@@ -1,0 +1,35 @@
+//! Benches regenerating Figures 6–9 of the paper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csp_bench::{bench_suite, print_report};
+use csp_harness::experiments::ExperimentId;
+
+fn bench_figures(c: &mut Criterion) {
+    let suite = bench_suite();
+    for id in [
+        ExperimentId::Fig6,
+        ExperimentId::Fig7,
+        ExperimentId::Fig8,
+        ExperimentId::Fig9,
+        ExperimentId::ExtA,
+        ExperimentId::ExtC,
+        ExperimentId::ExtDepth,
+        ExperimentId::ExtField,
+        ExperimentId::ExtSticky,
+        ExperimentId::ExtConfidence,
+        ExperimentId::ExtCosmos,
+        ExperimentId::ExtDegree,
+    ] {
+        print_report(&id.run(suite));
+        c.bench_function(id.name(), |b| {
+            b.iter(|| std::hint::black_box(id.run(suite)))
+        });
+    }
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = bench_figures
+}
+criterion_main!(figures);

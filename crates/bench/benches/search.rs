@@ -1,0 +1,27 @@
+//! Bench regenerating Tables 8–11: the full design-space search.
+//!
+//! One sweep produces all four top-ten tables; the bench times the whole
+//! search (the most expensive computation in the paper's evaluation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csp_bench::{bench_suite, print_report};
+use csp_harness::experiments::top_tables;
+
+fn bench_search(c: &mut Criterion) {
+    let suite = bench_suite();
+    let tops = top_tables(suite);
+    print_report(&tops.table8);
+    print_report(&tops.table9);
+    print_report(&tops.table10);
+    print_report(&tops.table11);
+    c.bench_function("table8_to_11_design_space_search", |b| {
+        b.iter(|| std::hint::black_box(top_tables(suite)))
+    });
+}
+
+criterion_group! {
+    name = search;
+    config = Criterion::default().sample_size(10);
+    targets = bench_search
+}
+criterion_main!(search);

@@ -1,0 +1,28 @@
+//! Benches regenerating Tables 3–7 of the paper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csp_bench::{bench_suite, print_report};
+use csp_harness::experiments::ExperimentId;
+
+fn bench_tables(c: &mut Criterion) {
+    let suite = bench_suite();
+    for id in [
+        ExperimentId::Table3,
+        ExperimentId::Table4,
+        ExperimentId::Table5,
+        ExperimentId::Table6,
+        ExperimentId::Table7,
+    ] {
+        print_report(&id.run(suite));
+        c.bench_function(id.name(), |b| {
+            b.iter(|| std::hint::black_box(id.run(suite)))
+        });
+    }
+}
+
+criterion_group! {
+    name = tables;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tables
+}
+criterion_main!(tables);

@@ -1,0 +1,30 @@
+//! Shared helpers for the benchmark targets.
+//!
+//! Each Criterion bench regenerates one table or figure of the paper
+//! (printing the rows once, so `cargo bench` output doubles as a
+//! reproduction record) and then times the computation at a reduced
+//! workload scale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use csp_harness::Suite;
+use std::sync::OnceLock;
+
+/// The workload scale benchmarks run at: large enough for stable rates,
+/// small enough that `cargo bench --workspace` stays in minutes.
+pub const BENCH_SCALE: f64 = 0.05;
+
+/// The per-session suite, generated once and shared by all bench targets
+/// in a process.
+pub fn bench_suite() -> &'static Suite {
+    static SUITE: OnceLock<Suite> = OnceLock::new();
+    SUITE.get_or_init(|| Suite::generate(BENCH_SCALE, 1))
+}
+
+/// Prints a reproduction report once, flagged so it is easy to find in
+/// `cargo bench` output.
+pub fn print_report(report: &str) {
+    println!("\n--- reproduction output (scale {BENCH_SCALE}) ---");
+    println!("{report}");
+}

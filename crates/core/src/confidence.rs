@@ -1,0 +1,263 @@
+//! Confidence-gated prediction (after Grunwald, Klauser, Manne & Pleszkun,
+//! "Confidence Estimation for Speculation Control", ISCA 1998 — the
+//! paper's reference \[11\], from which it borrows its statistical framing).
+//!
+//! A confidence estimator attaches a saturating counter to every predictor
+//! entry: the counter rises when the entry's prediction was *clean* (no
+//! false positive among its bits) and falls otherwise. Predictions are
+//! only emitted once the counter reaches a threshold. This converts any
+//! base scheme into a family of schemes trading sensitivity for PVP — the
+//! knob a deployment would turn as network load changes ("on a machine
+//! with a very busy communications network, only sure bets should be
+//! made", paper Section 6).
+
+use crate::hash::FxHashMap;
+use crate::{PredictorTable, Scheme, UpdateMode};
+use csp_metrics::ConfusionMatrix;
+use csp_trace::{SharingBitmap, Trace};
+
+/// Maximum confidence-counter value (2-bit saturating counter).
+pub const MAX_CONFIDENCE: u8 = 3;
+
+/// Runs `scheme` gated by per-entry confidence: a prediction is emitted
+/// only when the entry's counter is at least `threshold`.
+///
+/// * `threshold == 0` reproduces the ungated scheme exactly.
+/// * The counter is trained on every decision (whether emitted or not):
+///   +1 when the base prediction contained no false positive, -1 when it
+///   contained at least one.
+///
+/// # Example
+///
+/// ```
+/// use csp_core::confidence::run_with_confidence;
+/// use csp_core::{engine, Scheme};
+/// # use csp_trace::{NodeId, Pc, LineAddr, SharingBitmap, SharingEvent, Trace};
+/// # let mut trace = Trace::new(16);
+/// # for i in 0..40 {
+/// #     let inv = if i == 0 { SharingBitmap::empty() }
+/// #               else { SharingBitmap::from_nodes(&[NodeId(1)]) };
+/// #     let prev = if i == 0 { None } else { Some((NodeId(0), Pc(7))) };
+/// #     trace.push(SharingEvent::new(NodeId(0), Pc(7), LineAddr(3), NodeId(1), inv, prev));
+/// # }
+/// let scheme: Scheme = "union(pid+pc8)2[direct]".parse()?;
+/// let ungated = engine::run_scheme(&trace, &scheme);
+/// assert_eq!(run_with_confidence(&trace, &scheme, 0), ungated);
+/// # Ok::<(), csp_core::ParseSchemeError>(())
+/// ```
+///
+/// # Panics
+///
+/// Panics if `threshold` exceeds [`MAX_CONFIDENCE`].
+pub fn run_with_confidence(trace: &Trace, scheme: &Scheme, threshold: u8) -> ConfusionMatrix {
+    assert!(
+        threshold <= MAX_CONFIDENCE,
+        "threshold must be at most {MAX_CONFIDENCE}"
+    );
+    let nodes = trace.nodes();
+    let node_bits = crate::index::node_bits(nodes);
+    let actuals = trace.resolve_actuals();
+    let mut table = PredictorTable::new(scheme, nodes);
+    let mut confidence: FxHashMap<u64, u8> = FxHashMap::default();
+    let mut matrix = ConfusionMatrix::default();
+
+    for (i, event) in trace.events().iter().enumerate() {
+        let key = scheme.index.key_of(event, node_bits);
+        let base = match scheme.update {
+            UpdateMode::Direct => {
+                if event.prev_writer.is_some() {
+                    table.update(key, event.invalidated);
+                }
+                table.predict(key)
+            }
+            UpdateMode::Forwarded => {
+                if let Some(fkey) = scheme.index.forward_key_of(event, node_bits) {
+                    table.update(fkey, event.invalidated);
+                }
+                table.predict(key)
+            }
+            UpdateMode::Ordered => {
+                let p = table.predict(key);
+                table.update(key, actuals[i]);
+                p
+            }
+        };
+        let conf = confidence.entry(key).or_insert(0);
+        let emitted = if *conf >= threshold {
+            base
+        } else {
+            SharingBitmap::empty()
+        };
+        matrix.record(emitted, actuals[i], nodes);
+        // Train the estimator on the *base* prediction's cleanliness.
+        let clean = (base.masked(nodes) - actuals[i]).is_empty();
+        if clean {
+            *conf = (*conf + 1).min(MAX_CONFIDENCE);
+        } else {
+            *conf = conf.saturating_sub(1);
+        }
+    }
+    matrix
+}
+
+/// Evaluates the whole confidence ladder `0..=MAX_CONFIDENCE` in one call,
+/// returning the matrices in threshold order — the PVP/sensitivity
+/// trade-off curve of the estimator.
+pub fn confidence_curve(trace: &Trace, scheme: &Scheme) -> Vec<ConfusionMatrix> {
+    (0..=MAX_CONFIDENCE)
+        .map(|t| run_with_confidence(trace, scheme, t))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine;
+    use csp_trace::{LineAddr, NodeId, Pc, SharingEvent};
+
+    fn bm(nodes: &[u8]) -> SharingBitmap {
+        nodes.iter().map(|&n| NodeId(n)).collect()
+    }
+
+    /// A line whose reader alternates between two disjoint sets: `last`
+    /// prediction is always wrong, so confidence never rises.
+    fn flapping_trace(n: usize) -> Trace {
+        let mut t = Trace::new(16);
+        for i in 0..n {
+            let readers: &[u8] = if i % 2 == 0 { &[1] } else { &[2] };
+            t.push(SharingEvent::new(
+                NodeId(0),
+                Pc(7),
+                LineAddr(3),
+                NodeId(1),
+                if i == 0 {
+                    SharingBitmap::empty()
+                } else {
+                    bm(readers)
+                },
+                if i == 0 {
+                    None
+                } else {
+                    Some((NodeId(0), Pc(7)))
+                },
+            ));
+        }
+        t
+    }
+
+    fn stable_trace(n: usize) -> Trace {
+        let mut t = Trace::new(16);
+        for i in 0..n {
+            t.push(SharingEvent::new(
+                NodeId(0),
+                Pc(7),
+                LineAddr(3),
+                NodeId(1),
+                if i == 0 {
+                    SharingBitmap::empty()
+                } else {
+                    bm(&[4, 5])
+                },
+                if i == 0 {
+                    None
+                } else {
+                    Some((NodeId(0), Pc(7)))
+                },
+            ));
+        }
+        t.set_final_readers(LineAddr(3), bm(&[4, 5]));
+        t
+    }
+
+    #[test]
+    fn threshold_zero_is_the_base_scheme() {
+        for trace in [stable_trace(40), flapping_trace(40)] {
+            for spec in [
+                "last(pid+pc8)1",
+                "union(pid)2[forwarded]",
+                "inter(add8)2[ordered]",
+            ] {
+                let scheme: Scheme = spec.parse().unwrap();
+                assert_eq!(
+                    run_with_confidence(&trace, &scheme, 0),
+                    engine::run_scheme(&trace, &scheme),
+                    "{spec}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gating_silences_a_flapping_predictor() {
+        let trace = flapping_trace(100);
+        let scheme: Scheme = "last(pid+pc8)1".parse().unwrap();
+        let ungated = engine::run_scheme(&trace, &scheme);
+        let gated = run_with_confidence(&trace, &scheme, 2);
+        // Ungated last is always wrong here; gating should remove nearly
+        // all of those false positives.
+        assert!(ungated.fp > 50);
+        assert!(
+            gated.fp < ungated.fp / 4,
+            "gated fp {} vs ungated {}",
+            gated.fp,
+            ungated.fp
+        );
+    }
+
+    #[test]
+    fn gating_keeps_a_stable_predictor() {
+        let trace = stable_trace(100);
+        let scheme: Scheme = "last(pid+pc8)1".parse().unwrap();
+        let ungated = engine::run_scheme(&trace, &scheme).screening();
+        let gated = run_with_confidence(&trace, &scheme, 3).screening();
+        // Warmup costs a few true positives, no more.
+        assert!(gated.sensitivity > ungated.sensitivity - 0.06);
+        assert!(gated.pvp >= ungated.pvp);
+    }
+
+    #[test]
+    fn curve_trades_sensitivity_for_pvp() {
+        // On a mixed trace the curve should be monotone: sensitivity
+        // non-increasing with threshold.
+        let mut trace = flapping_trace(60);
+        // Interleave a stable line.
+        for i in 0..60 {
+            trace.push(SharingEvent::new(
+                NodeId(1),
+                Pc(9),
+                LineAddr(8),
+                NodeId(1),
+                if i == 0 {
+                    SharingBitmap::empty()
+                } else {
+                    bm(&[7])
+                },
+                if i == 0 {
+                    None
+                } else {
+                    Some((NodeId(1), Pc(9)))
+                },
+            ));
+        }
+        let scheme: Scheme = "last(pid+pc8)1".parse().unwrap();
+        let curve = confidence_curve(&trace, &scheme);
+        let sens: Vec<f64> = curve.iter().map(|m| m.screening().sensitivity).collect();
+        for w in sens.windows(2) {
+            assert!(
+                w[1] <= w[0] + 1e-12,
+                "sensitivity must fall with threshold: {sens:?}"
+            );
+        }
+        let pvp0 = curve[0].screening().pvp;
+        let pvp3 = curve[3].screening().pvp;
+        assert!(pvp3 > pvp0, "gating should raise PVP: {pvp0} -> {pvp3}");
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn oversized_threshold_rejected() {
+        let trace = stable_trace(4);
+        let scheme: Scheme = "last()1".parse().unwrap();
+        let _ = run_with_confidence(&trace, &scheme, 4);
+    }
+}

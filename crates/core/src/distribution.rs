@@ -1,0 +1,201 @@
+//! Physical distribution of the global predictor (paper Section 3.1,
+//! Figure 1).
+//!
+//! The paper's access-axis argument is that *where* predictor tables live
+//! is an implementation choice, not an accuracy choice: distributing the
+//! global predictor over the N processors is exactly `pid` indexing, and
+//! distributing it over the N directories is exactly `dir` indexing — "the
+//! physical distribution into N processors gives equivalent predictions to
+//! using log2 N bits of indexing in the global abstraction".
+//!
+//! This module implements the distributed organizations literally — one
+//! physically separate table per processor or per home directory, indexed
+//! only by the *remaining* fields — so the equivalence can be tested
+//! instead of assumed. [`run_distributed`] must agree bit-for-bit with
+//! [`engine::run_scheme`](crate::engine::run_scheme) on the corresponding
+//! globally-indexed scheme.
+
+use crate::{IndexSpec, PredictorTable, Scheme, UpdateMode};
+use csp_metrics::ConfusionMatrix;
+use csp_trace::Trace;
+
+/// Where the per-node predictor slices physically live.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Location {
+    /// One table per processor, consulted by the local writer
+    /// (instruction-based predictors' natural home). Requires `pid` in
+    /// the global scheme's index.
+    Processors,
+    /// One table per home directory, consulted where the line lives
+    /// (address-based predictors' natural home). Requires `dir` in the
+    /// global scheme's index.
+    Directories,
+}
+
+/// Runs `scheme` as N physically separate tables at `location`.
+///
+/// The local tables use the scheme's index minus the field that the
+/// physical placement encodes (`pid` for processors, `dir` for
+/// directories). History forwarding crosses table boundaries exactly as
+/// the protocol would: a forwarded update is delivered to the *previous
+/// writer's* processor table (or the line's home table).
+///
+/// # Panics
+///
+/// Panics if the scheme's index lacks the field its placement encodes —
+/// the configurations Table 1 marks as non-distributable at that location.
+pub fn run_distributed(trace: &Trace, scheme: &Scheme, location: Location) -> ConfusionMatrix {
+    match location {
+        Location::Processors => assert!(
+            scheme.index.pid,
+            "per-processor distribution requires pid indexing (Table 1)"
+        ),
+        Location::Directories => assert!(
+            scheme.index.dir,
+            "per-directory distribution requires dir indexing (Table 1)"
+        ),
+    }
+    // The local tables drop the physically-encoded field from the index.
+    let local_index = match location {
+        Location::Processors => IndexSpec::new(
+            false,
+            scheme.index.pc_bits,
+            scheme.index.dir,
+            scheme.index.addr_bits,
+        ),
+        Location::Directories => IndexSpec::new(
+            scheme.index.pid,
+            scheme.index.pc_bits,
+            false,
+            scheme.index.addr_bits,
+        ),
+    };
+    let local_scheme = Scheme::new(scheme.function, local_index, scheme.depth, scheme.update);
+
+    let nodes = trace.nodes();
+    let node_bits = crate::index::node_bits(nodes);
+    let actuals = trace.resolve_actuals();
+    let mut tables: Vec<PredictorTable> = (0..nodes)
+        .map(|_| PredictorTable::new(&local_scheme, nodes))
+        .collect();
+    let mut matrix = ConfusionMatrix::default();
+
+    for (i, event) in trace.events().iter().enumerate() {
+        // Which physical table this event consults.
+        let here = match location {
+            Location::Processors => event.writer.index(),
+            Location::Directories => event.home.index(),
+        };
+        let key = local_index.key_of(event, node_bits);
+        let predicted = match scheme.update {
+            UpdateMode::Direct => {
+                if event.prev_writer.is_some() {
+                    tables[here].update(key, event.invalidated);
+                }
+                tables[here].predict(key)
+            }
+            UpdateMode::Forwarded => {
+                if let Some((prev_pid, prev_pc)) = event.prev_writer {
+                    // The feedback travels to the previous writer's table
+                    // (same table when distributed at the home directory).
+                    let target = match location {
+                        Location::Processors => prev_pid.index(),
+                        Location::Directories => event.home.index(),
+                    };
+                    let fkey =
+                        local_index.key(prev_pid, prev_pc, event.home, event.line, node_bits);
+                    tables[target].update(fkey, event.invalidated);
+                }
+                tables[here].predict(key)
+            }
+            UpdateMode::Ordered => {
+                let p = tables[here].predict(key);
+                tables[here].update(key, actuals[i]);
+                p
+            }
+        };
+        matrix.record(predicted, actuals[i], nodes);
+    }
+    matrix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine;
+    use csp_trace::{LineAddr, NodeId, Pc, SharingBitmap, SharingEvent};
+
+    /// A trace with multiple writers, lines, homes and pcs.
+    fn mixed_trace() -> Trace {
+        let mut t = Trace::new(16);
+        let mut prev: std::collections::HashMap<u64, (NodeId, Pc)> = Default::default();
+        for i in 0..400u64 {
+            let writer = NodeId((i * 7 % 16) as u8);
+            let pc = Pc((i % 9) as u32 * 4);
+            let line = i * 3 % 40;
+            let home = NodeId((line % 16) as u8);
+            let inv = SharingBitmap::from_bits(i.wrapping_mul(0x9E3779B97F4A7C15))
+                .masked(16)
+                .without(writer);
+            t.push(SharingEvent::new(
+                writer,
+                pc,
+                LineAddr(line),
+                home,
+                inv,
+                prev.get(&line).copied(),
+            ));
+            prev.insert(line, (writer, pc));
+        }
+        t
+    }
+
+    #[test]
+    fn processor_distribution_equals_global_pid_indexing() {
+        let trace = mixed_trace();
+        for spec in [
+            "last(pid+pc4)1[direct]",
+            "inter(pid+pc4)2[forwarded]",
+            "union(pid+add4)4[ordered]",
+            "inter(pid+dir+add4)3[direct]",
+            "pas(pid+pc2)2[forwarded]",
+        ] {
+            let scheme: Scheme = spec.parse().unwrap();
+            let global = engine::run_scheme(&trace, &scheme);
+            let distributed = run_distributed(&trace, &scheme, Location::Processors);
+            assert_eq!(global, distributed, "{spec}: distribution must be exact");
+        }
+    }
+
+    #[test]
+    fn directory_distribution_equals_global_dir_indexing() {
+        let trace = mixed_trace();
+        for spec in [
+            "last(dir+add6)1[direct]",
+            "union(dir+add4)2[forwarded]",
+            "inter(pid+dir)4[ordered]",
+            "pas(dir+add2)1[direct]",
+        ] {
+            let scheme: Scheme = spec.parse().unwrap();
+            let global = engine::run_scheme(&trace, &scheme);
+            let distributed = run_distributed(&trace, &scheme, Location::Directories);
+            assert_eq!(global, distributed, "{spec}: distribution must be exact");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires pid")]
+    fn processor_distribution_needs_pid() {
+        let trace = mixed_trace();
+        let scheme: Scheme = "last(dir+add6)1".parse().unwrap();
+        let _ = run_distributed(&trace, &scheme, Location::Processors);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires dir")]
+    fn directory_distribution_needs_dir() {
+        let trace = mixed_trace();
+        let scheme: Scheme = "last(pid+pc4)1".parse().unwrap();
+        let _ = run_distributed(&trace, &scheme, Location::Directories);
+    }
+}

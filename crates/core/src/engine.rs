@@ -1,0 +1,483 @@
+//! The evaluation engine: runs schemes over traces.
+//!
+//! One trace event = one decision. The engine applies the scheme's update
+//! mechanism and scores each prediction against the event's *actual* bitmap
+//! (the trace's resolved ground truth). Update timing per mode:
+//!
+//! * `direct` — the invalidation feedback carried by the event itself is
+//!   shifted into the *current* event's entry, then the entry predicts.
+//!   Events with no previous writer carry no invalidation and update
+//!   nothing (keeping direct exactly equivalent to ordered under pure
+//!   address indexing, as Section 3.4 requires).
+//! * `forwarded` — the feedback is shifted into the *previous writer's*
+//!   entry (if any), then the current entry predicts.
+//! * `ordered` — the entry predicts, then is immediately trained with the
+//!   event's own actual bitmap (known from the trace's first pass): every
+//!   later prediction through that entry sees this feedback, the oracle
+//!   ordering of Figure 4.
+
+use crate::{IndexSpec, PredictorTable, Scheme, UpdateMode};
+use csp_metrics::ConfusionMatrix;
+use csp_trace::{SharingBitmap, Trace};
+
+/// Runs `scheme` over `trace`, scoring every decision.
+///
+/// # Example
+///
+/// See the [crate-level example](crate).
+pub fn run_scheme(trace: &Trace, scheme: &Scheme) -> ConfusionMatrix {
+    let mut matrix = ConfusionMatrix::default();
+    let nodes = trace.nodes();
+    drive(trace, scheme, |_, predicted, actual| {
+        matrix.record(predicted, actual, nodes);
+    });
+    matrix
+}
+
+/// Runs `scheme` over `trace` and returns the per-event predictions
+/// (e.g. for the forwarding estimator in `csp-sim`).
+pub fn predictions_for(trace: &Trace, scheme: &Scheme) -> Vec<SharingBitmap> {
+    let mut out = vec![SharingBitmap::empty(); trace.len()];
+    drive(trace, scheme, |i, predicted, _| {
+        out[i] = predicted;
+    });
+    out
+}
+
+/// The shared evaluation loop: calls `visit(event_index, predicted,
+/// actual)` for every event in order.
+fn drive<F: FnMut(usize, SharingBitmap, SharingBitmap)>(
+    trace: &Trace,
+    scheme: &Scheme,
+    mut visit: F,
+) {
+    let node_bits = crate::index::node_bits(trace.nodes());
+    let actuals = trace.resolve_actuals();
+    let mut table = PredictorTable::new(scheme, trace.nodes());
+    for (i, event) in trace.events().iter().enumerate() {
+        let key = scheme.index.key_of(event, node_bits);
+        let predicted = match scheme.update {
+            UpdateMode::Direct => {
+                if event.prev_writer.is_some() {
+                    table.update(key, event.invalidated);
+                }
+                table.predict(key)
+            }
+            UpdateMode::Forwarded => {
+                if let Some(fkey) = scheme.index.forward_key_of(event, node_bits) {
+                    table.update(fkey, event.invalidated);
+                }
+                table.predict(key)
+            }
+            UpdateMode::Ordered => {
+                let p = table.predict(key);
+                table.update(key, actuals[i]);
+                p
+            }
+        };
+        visit(i, predicted, actuals[i]);
+    }
+}
+
+/// Confusion matrices for the whole `union`/`inter` family over one index
+/// and update mode, evaluated in a single trace pass.
+///
+/// `union[d-1]` / `inter[d-1]` hold the results for history depth `d`.
+/// Depth 1 of either family is exactly `last` prediction.
+#[derive(Clone, Debug)]
+pub struct FamilyResult {
+    /// Results for `union(index)d`, indexed by `d - 1`.
+    pub union: Vec<ConfusionMatrix>,
+    /// Results for `inter(index)d`, indexed by `d - 1`.
+    pub inter: Vec<ConfusionMatrix>,
+}
+
+/// Evaluates `union` and `inter` at every depth `1..=max_depth` over one
+/// `(index, update)` point in a single pass — the workhorse of the
+/// design-space sweeps, ~`2 x max_depth` cheaper than separate runs.
+///
+/// # Panics
+///
+/// Panics if `max_depth` is out of `1..=MAX_DEPTH`.
+pub fn run_history_family(
+    trace: &Trace,
+    index: IndexSpec,
+    update: UpdateMode,
+    max_depth: usize,
+) -> FamilyResult {
+    assert!(
+        (1..=crate::MAX_DEPTH).contains(&max_depth),
+        "max_depth must be in 1..={}",
+        crate::MAX_DEPTH
+    );
+    let node_bits = crate::index::node_bits(trace.nodes());
+    let nodes = trace.nodes();
+    let actuals = trace.resolve_actuals();
+    // One table with the deepest history serves every depth: the prediction
+    // at depth d is a fold over the d most recent bitmaps.
+    let deepest = Scheme::new(crate::PredictionFunction::Union, index, max_depth, update);
+    let mut table = PredictorTable::new(&deepest, nodes);
+    let mut result = FamilyResult {
+        union: vec![ConfusionMatrix::default(); max_depth],
+        inter: vec![ConfusionMatrix::default(); max_depth],
+    };
+
+    let score =
+        |table: &PredictorTable, key: u64, actual: SharingBitmap, result: &mut FamilyResult| {
+            match table.history(key) {
+                None => {
+                    let empty = SharingBitmap::empty();
+                    for d in 0..max_depth {
+                        result.union[d].record(empty, actual, nodes);
+                        result.inter[d].record(empty, actual, nodes);
+                    }
+                }
+                Some(h) => {
+                    let mut acc_union = SharingBitmap::empty();
+                    let mut acc_inter = SharingBitmap::all(nodes);
+                    let mut d = 0;
+                    for b in h.recent(max_depth) {
+                        acc_union |= b;
+                        acc_inter &= b;
+                        result.union[d].record(acc_union, actual, nodes);
+                        result.inter[d].record(acc_inter, actual, nodes);
+                        d += 1;
+                    }
+                    // Shallower history than depth: union still folds over
+                    // everything stored, but an intersection entry whose
+                    // history is not yet full predicts nothing (empty slots
+                    // are all-zeros in hardware).
+                    let empty = SharingBitmap::empty();
+                    for rest in d..max_depth {
+                        result.union[rest].record(acc_union, actual, nodes);
+                        result.inter[rest].record(empty, actual, nodes);
+                    }
+                }
+            }
+        };
+
+    for (i, event) in trace.events().iter().enumerate() {
+        let key = index.key_of(event, node_bits);
+        match update {
+            UpdateMode::Direct => {
+                if event.prev_writer.is_some() {
+                    table.update(key, event.invalidated);
+                }
+                score(&table, key, actuals[i], &mut result);
+            }
+            UpdateMode::Forwarded => {
+                if let Some(fkey) = index.forward_key_of(event, node_bits) {
+                    table.update(fkey, event.invalidated);
+                }
+                score(&table, key, actuals[i], &mut result);
+            }
+            UpdateMode::Ordered => {
+                score(&table, key, actuals[i], &mut result);
+                table.update(key, actuals[i]);
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PredictionFunction;
+    use csp_trace::{LineAddr, NodeId, Pc, SharingEvent};
+
+    fn bm(nodes: &[u8]) -> SharingBitmap {
+        nodes.iter().map(|&n| NodeId(n)).collect()
+    }
+
+    /// Single-writer producer-consumer trace: node 0 writes line 1, nodes
+    /// 1 and 2 always read it.
+    fn stable_trace(n_events: usize) -> Trace {
+        let mut t = Trace::new(16);
+        for i in 0..n_events {
+            let (inv, prev) = if i == 0 {
+                (SharingBitmap::empty(), None)
+            } else {
+                (bm(&[1, 2]), Some((NodeId(0), Pc(7))))
+            };
+            t.push(SharingEvent::new(
+                NodeId(0),
+                Pc(7),
+                LineAddr(1),
+                NodeId(0),
+                inv,
+                prev,
+            ));
+        }
+        t.set_final_readers(LineAddr(1), bm(&[1, 2]));
+        t
+    }
+
+    /// Two writers alternating on one line, each with its own readers:
+    /// the pattern of the paper's Figure 3 where direct update learns the
+    /// *other* writer's history.
+    fn alternating_trace(pairs: usize) -> Trace {
+        let mut t = Trace::new(16);
+        let mut prev: Option<(NodeId, Pc)> = None;
+        for i in 0..pairs * 2 {
+            let (writer, pc, my_readers) = if i % 2 == 0 {
+                (NodeId(0), Pc(10), bm(&[4, 5]))
+            } else {
+                (NodeId(1), Pc(20), bm(&[8, 9]))
+            };
+            // Invalidation reports the *previous* writer's readers.
+            let inv = match prev {
+                None => SharingBitmap::empty(),
+                Some((NodeId(0), _)) => bm(&[4, 5]),
+                Some(_) => bm(&[8, 9]),
+            };
+            t.push(SharingEvent::new(
+                writer,
+                pc,
+                LineAddr(1),
+                NodeId(0),
+                inv,
+                prev,
+            ));
+            prev = Some((writer, pc));
+            let _ = my_readers;
+        }
+        // Last writer was node 1 (odd count), its readers are final.
+        t.set_final_readers(LineAddr(1), bm(&[8, 9]));
+        t
+    }
+
+    #[test]
+    fn stable_sharing_is_perfectly_predicted_after_warmup() {
+        let trace = stable_trace(50);
+        for spec in ["last(pid+pc8)1", "union(pid+pc8)2", "inter(pid+pc8)4"] {
+            let scheme: Scheme = spec.parse().unwrap();
+            let s = run_scheme(&trace, &scheme).screening();
+            assert!(s.pvp > 0.9, "{spec}: pvp {}", s.pvp);
+            assert!(s.sensitivity > 0.85, "{spec}: sens {}", s.sensitivity);
+        }
+    }
+
+    #[test]
+    fn forwarded_beats_direct_on_alternating_writers() {
+        // With pc indexing, direct update trains writer A's entry with
+        // writer B's readers; forwarded update routes feedback correctly.
+        let trace = alternating_trace(100);
+        let direct: Scheme = "last(pid+pc8)1[direct]".parse().unwrap();
+        let fwd: Scheme = "last(pid+pc8)1[forwarded]".parse().unwrap();
+        let sd = run_scheme(&trace, &direct).screening();
+        let sf = run_scheme(&trace, &fwd).screening();
+        assert!(
+            sf.pvp > sd.pvp + 0.4,
+            "forwarded {:.2} should beat direct {:.2}",
+            sf.pvp,
+            sd.pvp
+        );
+        // Direct learns exactly the wrong thing here: PVP ~ 0.
+        assert!(sd.pvp < 0.1);
+        assert!(sf.pvp > 0.9);
+    }
+
+    #[test]
+    fn ordered_equals_direct_for_pure_address_indexing() {
+        for trace in [stable_trace(40), alternating_trace(40)] {
+            for func in [PredictionFunction::Union, PredictionFunction::Inter] {
+                for depth in [1, 2, 4] {
+                    let ix = IndexSpec::new(false, 0, false, 16);
+                    let d = Scheme::new(func, ix, depth, UpdateMode::Direct);
+                    let o = Scheme::new(func, ix, depth, UpdateMode::Ordered);
+                    let f = Scheme::new(func, ix, depth, UpdateMode::Forwarded);
+                    let md = run_scheme(&trace, &d);
+                    assert_eq!(md, run_scheme(&trace, &o), "{func} depth {depth} ordered");
+                    assert_eq!(md, run_scheme(&trace, &f), "{func} depth {depth} forwarded");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn predictions_align_with_run_scheme() {
+        let trace = stable_trace(20);
+        let scheme: Scheme = "union(pid+pc4)2[direct]".parse().unwrap();
+        let preds = predictions_for(&trace, &scheme);
+        assert_eq!(preds.len(), trace.len());
+        let actuals = trace.resolve_actuals();
+        let mut m = ConfusionMatrix::default();
+        for (p, a) in preds.iter().zip(&actuals) {
+            m.record(*p, *a, trace.nodes());
+        }
+        assert_eq!(m, run_scheme(&trace, &scheme));
+    }
+
+    #[test]
+    fn decisions_equal_events_times_nodes() {
+        let trace = alternating_trace(30);
+        let scheme: Scheme = "inter(pid)2[direct]".parse().unwrap();
+        let m = run_scheme(&trace, &scheme);
+        assert_eq!(m.decisions(), trace.len() as u64 * 16);
+    }
+
+    #[test]
+    fn family_matches_individual_runs() {
+        let trace = alternating_trace(50);
+        for update in UpdateMode::ALL {
+            let ix = IndexSpec::new(true, 4, false, 2);
+            let fam = run_history_family(&trace, ix, update, 4);
+            for depth in 1..=4 {
+                let u = Scheme::new(PredictionFunction::Union, ix, depth, update);
+                let i = Scheme::new(PredictionFunction::Inter, ix, depth, update);
+                assert_eq!(
+                    fam.union[depth - 1],
+                    run_scheme(&trace, &u),
+                    "union d{depth} {update}"
+                );
+                assert_eq!(
+                    fam.inter[depth - 1],
+                    run_scheme(&trace, &i),
+                    "inter d{depth} {update}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn family_depth1_equals_last() {
+        let trace = stable_trace(30);
+        let ix = IndexSpec::new(true, 8, false, 0);
+        let fam = run_history_family(&trace, ix, UpdateMode::Direct, 3);
+        let last = Scheme::new(PredictionFunction::Last, ix, 1, UpdateMode::Direct);
+        assert_eq!(fam.union[0], run_scheme(&trace, &last));
+        assert_eq!(fam.inter[0], run_scheme(&trace, &last));
+    }
+
+    #[test]
+    fn union_sensitivity_at_least_inter_at_same_depth() {
+        let trace = alternating_trace(80);
+        let ix = IndexSpec::new(true, 0, false, 4);
+        let fam = run_history_family(&trace, ix, UpdateMode::Direct, 4);
+        for d in 0..4 {
+            let su = fam.union[d].screening();
+            let si = fam.inter[d].screening();
+            assert!(
+                su.sensitivity >= si.sensitivity - 1e-12,
+                "depth {}: union sens {} < inter sens {}",
+                d + 1,
+                su.sensitivity,
+                si.sensitivity
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_last_tracks_system_wide_bitmap() {
+        // With the baseline, the entry is shared by all lines: the
+        // prediction is always the most recent invalidation in the system.
+        let trace = stable_trace(10);
+        let m = run_scheme(&trace, &Scheme::baseline_last());
+        // Direct update delivers the event's own feedback before
+        // predicting; on this single-line stable trace that is perfect
+        // after warmup.
+        assert!(m.screening().pvp > 0.9);
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_matrix() {
+        let trace = Trace::new(16);
+        let m = run_scheme(&trace, &Scheme::baseline_last());
+        assert_eq!(m.decisions(), 0);
+    }
+}
+
+/// Compares two schemes decision-by-decision on the same trace, producing
+/// the paired counts McNemar's test needs (see
+/// [`csp_metrics::compare::PairedComparison`]). A per-node bit is
+/// "correct" when it matches the actual bit.
+pub fn compare_schemes(
+    trace: &Trace,
+    a: &Scheme,
+    b: &Scheme,
+) -> csp_metrics::compare::PairedComparison {
+    let preds_a = predictions_for(trace, a);
+    let preds_b = predictions_for(trace, b);
+    let actuals = trace.resolve_actuals();
+    let nodes = trace.nodes();
+    let mut paired = csp_metrics::compare::PairedComparison::default();
+    for ((pa, pb), actual) in preds_a.iter().zip(&preds_b).zip(&actuals) {
+        // XOR with the actual bitmap marks the *wrong* bits of each.
+        let wrong_a = (*pa ^ *actual).masked(nodes);
+        let wrong_b = (*pb ^ *actual).masked(nodes);
+        let both_wrong = (wrong_a & wrong_b).count() as u64;
+        let only_a_wrong = (wrong_a - wrong_b).count() as u64;
+        let only_b_wrong = (wrong_b - wrong_a).count() as u64;
+        paired.both_wrong += both_wrong;
+        paired.only_a += only_b_wrong; // B wrong, A right: A's win
+        paired.only_b += only_a_wrong;
+        paired.both_correct += nodes as u64 - both_wrong - only_a_wrong - only_b_wrong;
+    }
+    paired
+}
+
+#[cfg(test)]
+mod compare_tests {
+    use super::*;
+    use csp_trace::{LineAddr, NodeId, Pc, SharingBitmap, SharingEvent};
+
+    fn stable(n: usize) -> Trace {
+        let mut t = Trace::new(16);
+        let readers = SharingBitmap::from_nodes(&[NodeId(1), NodeId(2)]);
+        for i in 0..n {
+            let inv = if i == 0 {
+                SharingBitmap::empty()
+            } else {
+                readers
+            };
+            let prev = if i == 0 {
+                None
+            } else {
+                Some((NodeId(0), Pc(7)))
+            };
+            t.push(SharingEvent::new(
+                NodeId(0),
+                Pc(7),
+                LineAddr(3),
+                NodeId(1),
+                inv,
+                prev,
+            ));
+        }
+        t.set_final_readers(LineAddr(3), readers);
+        t
+    }
+
+    #[test]
+    fn scheme_vs_itself_has_no_disagreements() {
+        let trace = stable(30);
+        let s: Scheme = "union(pid+pc4)2".parse().unwrap();
+        let paired = compare_schemes(&trace, &s, &s);
+        assert_eq!(paired.only_a, 0);
+        assert_eq!(paired.only_b, 0);
+        assert_eq!(paired.total(), trace.len() as u64 * 16);
+    }
+
+    #[test]
+    fn accuracy_matches_confusion_matrix() {
+        let trace = stable(30);
+        let a: Scheme = "last(pid+pc8)1".parse().unwrap();
+        let b: Scheme = "inter(pid+pc8)4".parse().unwrap();
+        let paired = compare_schemes(&trace, &a, &b);
+        let ma = run_scheme(&trace, &a);
+        let acc_a = (ma.tp + ma.tn) as f64 / ma.decisions() as f64;
+        assert!((paired.accuracy_a() - acc_a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn a_strictly_better_shows_significant_wins() {
+        // On a stable trace the warm `last` beats a cold-start-heavy
+        // depth-4 inter (which abstains for its first 4 intervals).
+        let trace = stable(100);
+        let a: Scheme = "last(pid+pc8)1".parse().unwrap();
+        let b: Scheme = "inter(pid+pc8)4".parse().unwrap();
+        let paired = compare_schemes(&trace, &a, &b);
+        assert!(paired.only_a > paired.only_b);
+    }
+}

@@ -1,0 +1,403 @@
+//! Predictor entry state: bitmap histories and two-level PAs state.
+
+use csp_trace::{NodeId, SharingBitmap};
+
+/// Maximum supported history depth.
+pub const MAX_DEPTH: usize = 8;
+
+/// A ring of the most recent feedback bitmaps for one predictor entry.
+///
+/// `last`, `union` and `inter` prediction (and `overlap-last`) are all
+/// combinatorial functions over this state (paper Section 3.2): updates
+/// "replace the oldest bitmap in an entry with the feedback bitmap".
+///
+/// # Example
+///
+/// ```
+/// use csp_core::HistoryEntry;
+/// use csp_trace::{NodeId, SharingBitmap};
+///
+/// let mut h = HistoryEntry::new(2);
+/// h.push(SharingBitmap::from_nodes(&[NodeId(1), NodeId(2)]));
+/// h.push(SharingBitmap::from_nodes(&[NodeId(2), NodeId(3)]));
+/// assert_eq!(h.union(2).count(), 3);
+/// assert_eq!(h.inter(2), SharingBitmap::from_nodes(&[NodeId(2)]));
+/// assert_eq!(h.last(), SharingBitmap::from_nodes(&[NodeId(2), NodeId(3)]));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistoryEntry {
+    bitmaps: [SharingBitmap; MAX_DEPTH],
+    depth: u8,
+    len: u8,
+    head: u8, // slot of the most recent bitmap
+}
+
+impl HistoryEntry {
+    /// An empty history holding up to `depth` bitmaps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero or exceeds [`MAX_DEPTH`].
+    pub fn new(depth: usize) -> Self {
+        assert!(
+            depth >= 1 && depth <= MAX_DEPTH,
+            "history depth must be in 1..={MAX_DEPTH}, got {depth}"
+        );
+        HistoryEntry {
+            bitmaps: [SharingBitmap::empty(); MAX_DEPTH],
+            depth: depth as u8,
+            len: 0,
+            head: 0,
+        }
+    }
+
+    /// Number of bitmaps currently stored (saturates at the depth).
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Returns `true` if no feedback has arrived yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Shifts in a feedback bitmap, replacing the oldest if full.
+    #[inline]
+    pub fn push(&mut self, feedback: SharingBitmap) {
+        self.head = (self.head + 1) % self.depth;
+        self.bitmaps[self.head as usize] = feedback;
+        if self.len < self.depth {
+            self.len += 1;
+        }
+    }
+
+    /// The most recent `k` bitmaps, newest first (fewer if less history
+    /// exists).
+    #[inline]
+    pub fn recent(&self, k: usize) -> impl Iterator<Item = SharingBitmap> + '_ {
+        let take = k.min(self.len as usize);
+        (0..take).map(move |i| {
+            let slot = (self.head as usize + self.depth as usize - i) % self.depth as usize;
+            self.bitmaps[slot]
+        })
+    }
+
+    /// Union of the most recent `k` bitmaps (empty if no history).
+    #[inline]
+    pub fn union(&self, k: usize) -> SharingBitmap {
+        self.recent(k)
+            .fold(SharingBitmap::empty(), |acc, b| acc | b)
+    }
+
+    /// Intersection of the most recent `k` bitmaps.
+    ///
+    /// A hardware entry's history slots initialize to all-zeros, so until
+    /// `k` feedbacks have arrived the intersection is empty: a cold or
+    /// warming intersection predictor bets on nothing. (Without this, a
+    /// single stored bitmap would be predicted at full confidence, which
+    /// poisons precision on migratory sharing.)
+    #[inline]
+    pub fn inter(&self, k: usize) -> SharingBitmap {
+        if (self.len as usize) < k {
+            return SharingBitmap::empty();
+        }
+        let mut it = self.recent(k);
+        match it.next() {
+            None => SharingBitmap::empty(),
+            Some(first) => it.fold(first, |acc, b| acc & b),
+        }
+    }
+
+    /// The most recent bitmap (empty if no history) — `last` prediction.
+    #[inline]
+    pub fn last(&self) -> SharingBitmap {
+        if self.len == 0 {
+            SharingBitmap::empty()
+        } else {
+            self.bitmaps[self.head as usize]
+        }
+    }
+
+    /// Kaxiras & Goodman's `overlap-last` function (paper Section 3.5):
+    /// predict the last bitmap only if it overlaps the one before it;
+    /// otherwise predict nothing. With fewer than two bitmaps stored,
+    /// predicts nothing (no evidence of stability yet).
+    #[inline]
+    pub fn overlap_last(&self) -> SharingBitmap {
+        let mut it = self.recent(2);
+        match (it.next(), it.next()) {
+            (Some(last), Some(prev)) if last.overlaps(prev) => last,
+            _ => SharingBitmap::empty(),
+        }
+    }
+}
+
+/// Two-level PAs state for one predictor entry (paper Section 3.2,
+/// after Yeh & Patt).
+///
+/// Per potential reader: a `depth`-bit history register of that reader's
+/// recent actual-sharing bits, indexing a private pattern table of
+/// `2^depth` two-bit saturating counters. The aggregate of the per-reader
+/// binary predictions is the predicted bitmap.
+///
+/// # Example
+///
+/// ```
+/// use csp_core::PasEntry;
+/// use csp_trace::{NodeId, SharingBitmap};
+///
+/// let mut e = PasEntry::new(16, 2);
+/// let readers = SharingBitmap::from_nodes(&[NodeId(3)]);
+/// for _ in 0..4 {
+///     e.update(readers, 16);
+/// }
+/// assert!(e.predict(16).contains(NodeId(3)));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PasEntry {
+    /// Per-node history registers (low `depth` bits used).
+    hist: Vec<u8>,
+    /// `nodes << depth` two-bit counters, stored one per byte.
+    counters: Vec<u8>,
+    depth: u8,
+}
+
+impl PasEntry {
+    /// Counter threshold at or above which a bit predicts "will read".
+    const TAKEN: u8 = 2;
+
+    /// Creates cold PAs state for `nodes` potential readers with a
+    /// `depth`-bit history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero or exceeds [`MAX_DEPTH`].
+    pub fn new(nodes: usize, depth: usize) -> Self {
+        assert!(
+            depth >= 1 && depth <= MAX_DEPTH,
+            "PAs history depth must be in 1..={MAX_DEPTH}, got {depth}"
+        );
+        PasEntry {
+            hist: vec![0; nodes],
+            counters: vec![0; nodes << depth],
+            depth: depth as u8,
+        }
+    }
+
+    /// The predicted reader bitmap.
+    #[inline]
+    pub fn predict(&self, nodes: usize) -> SharingBitmap {
+        let mut b = SharingBitmap::empty();
+        for i in 0..nodes {
+            let idx = (i << self.depth) | self.hist[i] as usize;
+            if self.counters[idx] >= Self::TAKEN {
+                b.insert(NodeId(i as u8));
+            }
+        }
+        b
+    }
+
+    /// Trains on a feedback bitmap: bumps each node's selected counter
+    /// toward its actual bit and shifts the bit into its history register.
+    #[inline]
+    pub fn update(&mut self, feedback: SharingBitmap, nodes: usize) {
+        let mask = if self.depth as u32 >= 8 {
+            0xFF
+        } else {
+            (1u8 << self.depth) - 1
+        };
+        for i in 0..nodes {
+            let bit = u8::from(feedback.contains(NodeId(i as u8)));
+            let idx = (i << self.depth) | self.hist[i] as usize;
+            let c = &mut self.counters[idx];
+            if bit == 1 {
+                *c = (*c + 1).min(3);
+            } else {
+                *c = c.saturating_sub(1);
+            }
+            self.hist[i] = ((self.hist[i] << 1) | bit) & mask;
+        }
+    }
+}
+
+/// Bits of storage one entry of each kind costs (the paper's cost model,
+/// Section 5.4: "we counted the bit costs for both the history shift
+/// registers and the pattern history tables").
+pub(crate) fn entry_bits(function: crate::PredictionFunction, depth: usize, nodes: usize) -> u64 {
+    use crate::PredictionFunction::*;
+    let n = nodes as u64;
+    let d = depth as u64;
+    match function {
+        Last => n,
+        Union | Inter => n * d,
+        // Stores the last two bitmaps to evaluate the overlap test.
+        OverlapLast => n * 2,
+        // Per node: a depth-bit history register + 2^depth 2-bit counters.
+        Pas => n * d + n * (1u64 << d) * 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn bm(nodes: &[u8]) -> SharingBitmap {
+        nodes.iter().map(|&n| NodeId(n)).collect()
+    }
+
+    #[test]
+    fn empty_history_predicts_nothing() {
+        let h = HistoryEntry::new(4);
+        assert!(h.is_empty());
+        assert_eq!(h.union(4), SharingBitmap::empty());
+        assert_eq!(h.inter(4), SharingBitmap::empty());
+        assert_eq!(h.last(), SharingBitmap::empty());
+        assert_eq!(h.overlap_last(), SharingBitmap::empty());
+    }
+
+    #[test]
+    fn ring_replaces_oldest() {
+        let mut h = HistoryEntry::new(2);
+        h.push(bm(&[1]));
+        h.push(bm(&[2]));
+        h.push(bm(&[3])); // evicts {1}
+        assert_eq!(h.union(2), bm(&[2, 3]));
+        assert_eq!(h.last(), bm(&[3]));
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn partial_history_unions_but_does_not_intersect() {
+        let mut h = HistoryEntry::new(4);
+        h.push(bm(&[1, 2]));
+        // Union folds over whatever exists; intersection waits for a full
+        // history (empty slots are all-zeros).
+        assert_eq!(h.union(4), bm(&[1, 2]));
+        assert_eq!(h.inter(4), SharingBitmap::empty());
+        assert_eq!(h.inter(1), bm(&[1, 2]));
+        for _ in 0..3 {
+            h.push(bm(&[1, 2]));
+        }
+        assert_eq!(h.inter(4), bm(&[1, 2]));
+    }
+
+    #[test]
+    fn recent_is_newest_first() {
+        let mut h = HistoryEntry::new(3);
+        for i in 1..=3u8 {
+            h.push(bm(&[i]));
+        }
+        let v: Vec<_> = h.recent(3).collect();
+        assert_eq!(v, vec![bm(&[3]), bm(&[2]), bm(&[1])]);
+        // Asking for fewer returns only the newest.
+        let v2: Vec<_> = h.recent(2).collect();
+        assert_eq!(v2, vec![bm(&[3]), bm(&[2])]);
+    }
+
+    #[test]
+    fn overlap_last_requires_overlap() {
+        let mut h = HistoryEntry::new(2);
+        h.push(bm(&[1, 2]));
+        h.push(bm(&[2, 3]));
+        assert_eq!(h.overlap_last(), bm(&[2, 3])); // overlap at node 2
+        h.push(bm(&[7]));
+        assert_eq!(h.overlap_last(), SharingBitmap::empty()); // disjoint
+    }
+
+    #[test]
+    fn overlap_last_needs_two_bitmaps() {
+        let mut h = HistoryEntry::new(2);
+        h.push(bm(&[1]));
+        assert_eq!(h.overlap_last(), SharingBitmap::empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "history depth")]
+    fn zero_depth_rejected() {
+        let _ = HistoryEntry::new(0);
+    }
+
+    #[test]
+    fn pas_learns_stable_reader() {
+        let mut e = PasEntry::new(16, 2);
+        let readers = bm(&[5, 9]);
+        assert_eq!(e.predict(16), SharingBitmap::empty()); // cold
+        for _ in 0..4 {
+            e.update(readers, 16);
+        }
+        assert_eq!(e.predict(16), readers);
+    }
+
+    #[test]
+    fn pas_learns_alternating_pattern() {
+        // Node 3 reads every other interval: 1,0,1,0,... With depth 2 the
+        // PAs can learn both contexts (01 -> 0, 10 -> 1).
+        let mut e = PasEntry::new(16, 2);
+        let on = bm(&[3]);
+        let off = SharingBitmap::empty();
+        for _ in 0..12 {
+            e.update(on, 16);
+            e.update(off, 16);
+        }
+        // After an `off` the history is ..10 -> next is `on`.
+        assert!(e.predict(16).contains(NodeId(3)));
+        e.update(on, 16); // history ..01 -> next is `off`
+        assert!(!e.predict(16).contains(NodeId(3)));
+    }
+
+    #[test]
+    fn pas_counters_saturate() {
+        let mut e = PasEntry::new(4, 1);
+        for _ in 0..100 {
+            e.update(bm(&[0]), 4);
+        }
+        assert!(e.predict(4).contains(NodeId(0)));
+        // One disagreement must not unlearn the saturated pattern: once the
+        // sharing context recurs, the prediction persists.
+        e.update(SharingBitmap::empty(), 4);
+        e.update(bm(&[0]), 4);
+        assert!(e.predict(4).contains(NodeId(0)));
+    }
+
+    #[test]
+    fn entry_bits_matches_paper_cost_model() {
+        use crate::PredictionFunction::*;
+        assert_eq!(entry_bits(Last, 1, 16), 16);
+        assert_eq!(entry_bits(Union, 4, 16), 64);
+        assert_eq!(entry_bits(Inter, 2, 16), 32);
+        assert_eq!(entry_bits(OverlapLast, 1, 16), 32);
+        // PAs depth 2: 16*2 history + 16*4*2 counters = 160.
+        assert_eq!(entry_bits(Pas, 2, 16), 160);
+    }
+
+    proptest! {
+        /// inter(k) ⊆ last ⊆ union(k): the containment chain behind the
+        /// paper's sensitivity ordering.
+        #[test]
+        fn prop_inter_subset_last_subset_union(
+            feedbacks in proptest::collection::vec(any::<u64>(), 1..20),
+            k in 1usize..=4,
+        ) {
+            let mut h = HistoryEntry::new(4);
+            for f in feedbacks {
+                h.push(SharingBitmap::from_bits(f));
+            }
+            prop_assert!(h.inter(k).is_subset(h.last()));
+            prop_assert!(h.last().is_subset(h.union(k)));
+        }
+
+        /// Deeper unions only grow; deeper intersections only shrink.
+        #[test]
+        fn prop_depth_monotonicity(feedbacks in proptest::collection::vec(any::<u64>(), 1..20)) {
+            let mut h = HistoryEntry::new(MAX_DEPTH);
+            for f in feedbacks {
+                h.push(SharingBitmap::from_bits(f));
+            }
+            for k in 1..MAX_DEPTH {
+                prop_assert!(h.union(k).is_subset(h.union(k + 1)));
+                prop_assert!(h.inter(k + 1).is_subset(h.inter(k)));
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! The prediction-function axis.
+
+use std::fmt;
+
+/// How a predictor entry's state becomes a predicted reader bitmap
+/// (paper Section 3.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PredictionFunction {
+    /// Predict the most recent feedback bitmap. Identical to `union`/
+    /// `inter` at history depth 1; kept as its own name because prior work
+    /// (Lai & Falsafi) used it.
+    Last,
+    /// Predict the union of the stored bitmaps: optimistic, high
+    /// sensitivity, lower PVP.
+    Union,
+    /// Predict the intersection of the stored bitmaps: conservative — bets
+    /// only on stable sharing relationships — high PVP, lower sensitivity.
+    Inter,
+    /// Two-level adaptive PAs prediction (Yeh & Patt) with per-reader
+    /// history registers and pattern tables.
+    Pas,
+    /// Kaxiras & Goodman's guarded last prediction: predict the last bitmap
+    /// only if it overlaps the previous one (named in Section 3.5 of the
+    /// paper but not simulated there; included here as an extension).
+    OverlapLast,
+}
+
+impl PredictionFunction {
+    /// All functions, in a stable order (useful for sweeps).
+    pub const ALL: [PredictionFunction; 5] = [
+        PredictionFunction::Last,
+        PredictionFunction::Union,
+        PredictionFunction::Inter,
+        PredictionFunction::Pas,
+        PredictionFunction::OverlapLast,
+    ];
+
+    /// The notation name used in scheme strings.
+    pub fn name(self) -> &'static str {
+        match self {
+            PredictionFunction::Last => "last",
+            PredictionFunction::Union => "union",
+            PredictionFunction::Inter => "inter",
+            PredictionFunction::Pas => "pas",
+            PredictionFunction::OverlapLast => "overlap-last",
+        }
+    }
+
+    /// Whether this function keeps a bitmap history (as opposed to PAs
+    /// pattern state).
+    pub fn uses_history(self) -> bool {
+        !matches!(self, PredictionFunction::Pas)
+    }
+}
+
+impl fmt::Display for PredictionFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_paper_notation() {
+        assert_eq!(PredictionFunction::Last.to_string(), "last");
+        assert_eq!(PredictionFunction::Union.to_string(), "union");
+        assert_eq!(PredictionFunction::Inter.to_string(), "inter");
+        assert_eq!(PredictionFunction::Pas.to_string(), "pas");
+        assert_eq!(PredictionFunction::OverlapLast.to_string(), "overlap-last");
+    }
+
+    #[test]
+    fn all_lists_every_variant_once() {
+        let mut names: Vec<_> = PredictionFunction::ALL.iter().map(|f| f.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn history_usage() {
+        assert!(PredictionFunction::Union.uses_history());
+        assert!(!PredictionFunction::Pas.uses_history());
+    }
+}

@@ -1,0 +1,126 @@
+//! A small, fast, non-cryptographic hasher for predictor-table keys.
+//!
+//! Predictor keys are dense small integers (truncated index fields packed
+//! into a `u64`). The design-space sweeps hash hundreds of millions of
+//! them, so the default SipHash is a measurable cost. This is the familiar
+//! Fx/FNV-style multiplicative hasher — implemented here rather than pulled
+//! in as a dependency to stay within the workspace's vendored crate set.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative hasher in the style of rustc's `FxHasher`.
+///
+/// Not DoS-resistant; use only for internal tables keyed by trusted data.
+///
+/// # Example
+///
+/// ```
+/// use csp_core::hash::FxHashMap;
+/// let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+/// m.insert(42, "entry");
+/// assert_eq!(m.get(&42), Some(&"entry"));
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.mix(u64::from(v));
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_basic_operations() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i, (i * 2) as u32);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&500), Some(&1000));
+        assert_eq!(m.get(&5000), None);
+    }
+
+    #[test]
+    fn hash_is_deterministic() {
+        let h = |v: u64| {
+            let mut hasher = FxHasher::default();
+            hasher.write_u64(v);
+            hasher.finish()
+        };
+        assert_eq!(h(12345), h(12345));
+        assert_ne!(h(12345), h(12346));
+    }
+
+    #[test]
+    fn nearby_keys_spread() {
+        // Consecutive keys should not collide in the low bits (the bits a
+        // HashMap actually uses).
+        let mut low_bits = std::collections::HashSet::new();
+        for v in 0..256u64 {
+            let mut hasher = FxHasher::default();
+            hasher.write_u64(v);
+            low_bits.insert(hasher.finish() & 0xFF);
+        }
+        assert!(low_bits.len() > 128, "low-byte collisions too frequent");
+    }
+
+    #[test]
+    fn byte_writes_cover_partial_chunks() {
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 4]);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,327 @@
+//! The access axis: indexing a global predictor.
+//!
+//! Section 3.1 of the paper abstracts every predictor placement as a single
+//! *global predictor* indexed by any combination of `pid`, `pc`, `dir` and
+//! `addr`. `pid`/`dir` are used whole or not at all (so the global
+//! abstraction can be distributed to processors or directories without
+//! changing behaviour); `pc`/`addr` may be truncated to any bit budget.
+
+use csp_trace::{LineAddr, NodeId, Pc, SharingEvent};
+use std::fmt;
+
+/// Which fields (and how many bits of each) index the global predictor.
+///
+/// # Example
+///
+/// ```
+/// use csp_core::IndexSpec;
+/// use csp_trace::{NodeId, Pc, LineAddr};
+///
+/// // The paper's `pid+pc8` (Kaxiras-style instruction-based index).
+/// let ix = IndexSpec::new(true, 8, false, 0);
+/// assert_eq!(ix.bits(16), 12); // 4 pid bits + 8 pc bits
+/// let key = ix.key(NodeId(3), Pc(0x1ab), NodeId(0), LineAddr(999), 4);
+/// assert_eq!(key, (3 << 8) | 0xab);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IndexSpec {
+    /// Use the writer's node id (whole).
+    pub pid: bool,
+    /// Number of low-order pc bits (0 = unused).
+    pub pc_bits: u8,
+    /// Use the home directory node id (whole).
+    pub dir: bool,
+    /// Number of low-order line-address bits (0 = unused).
+    pub addr_bits: u8,
+}
+
+impl IndexSpec {
+    /// Maximum bits allowed for each of the truncatable fields.
+    pub const MAX_FIELD_BITS: u8 = 24;
+
+    /// Creates an index specification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc_bits` or `addr_bits` exceeds
+    /// [`MAX_FIELD_BITS`](Self::MAX_FIELD_BITS).
+    pub fn new(pid: bool, pc_bits: u8, dir: bool, addr_bits: u8) -> Self {
+        assert!(
+            pc_bits <= Self::MAX_FIELD_BITS && addr_bits <= Self::MAX_FIELD_BITS,
+            "index field limited to {} bits",
+            Self::MAX_FIELD_BITS
+        );
+        IndexSpec {
+            pid,
+            pc_bits,
+            dir,
+            addr_bits,
+        }
+    }
+
+    /// The no-indexing case (Table 1 case 0): a single entry for the whole
+    /// system.
+    pub fn none() -> Self {
+        IndexSpec::new(false, 0, false, 0)
+    }
+
+    /// Total index bits on an `nodes`-node machine (`pid`/`dir` each
+    /// contribute `ceil(log2(nodes))` bits).
+    pub fn bits(&self, nodes: usize) -> u32 {
+        let node_bits = node_bits(nodes);
+        let mut bits = u32::from(self.pc_bits) + u32::from(self.addr_bits);
+        if self.pid {
+            bits += node_bits;
+        }
+        if self.dir {
+            bits += node_bits;
+        }
+        bits
+    }
+
+    /// Packs the (truncated) fields into a table key. `node_bits` is
+    /// `ceil(log2(nodes))`.
+    #[inline]
+    pub fn key(&self, writer: NodeId, pc: Pc, home: NodeId, line: LineAddr, node_bits: u32) -> u64 {
+        let mut key = 0u64;
+        if self.pid {
+            key = (key << node_bits) | writer.index() as u64;
+        }
+        if self.pc_bits > 0 {
+            key = (key << self.pc_bits) | u64::from(pc.low_bits(self.pc_bits));
+        }
+        if self.dir {
+            key = (key << node_bits) | home.index() as u64;
+        }
+        if self.addr_bits > 0 {
+            key = (key << self.addr_bits) | line.low_bits(self.addr_bits);
+        }
+        key
+    }
+
+    /// The key a [`SharingEvent`] consults (indexed by the *current*
+    /// writer).
+    #[inline]
+    pub fn key_of(&self, event: &SharingEvent, node_bits: u32) -> u64 {
+        self.key(event.writer, event.pc, event.home, event.line, node_bits)
+    }
+
+    /// The key the event's feedback is *forwarded to*: the previous
+    /// writer's identity with the line's `dir`/`addr` (Figure 3 of the
+    /// paper). `None` if the line has no previous writer.
+    #[inline]
+    pub fn forward_key_of(&self, event: &SharingEvent, node_bits: u32) -> Option<u64> {
+        event
+            .prev_writer
+            .map(|(pid, pc)| self.key(pid, pc, event.home, event.line, node_bits))
+    }
+
+    /// The case number (0–15) of the paper's Table 1: bit 3 = `pid`,
+    /// bit 2 = `pc`, bit 1 = `dir`, bit 0 = `addr`.
+    pub fn table1_case(&self) -> u8 {
+        (u8::from(self.pid) << 3)
+            | (u8::from(self.pc_bits > 0) << 2)
+            | (u8::from(self.dir) << 1)
+            | u8::from(self.addr_bits > 0)
+    }
+
+    /// Whether the global predictor can be distributed across processors
+    /// (requires `pid` indexing; Table 1).
+    pub fn distributable_at_processors(&self) -> bool {
+        self.pid
+    }
+
+    /// Whether the global predictor can be distributed across directories
+    /// (requires `dir` indexing; Table 1).
+    pub fn distributable_at_directories(&self) -> bool {
+        self.dir
+    }
+
+    /// Whether only a centralized implementation exists (Table 1 cases 0,
+    /// 1, 4, 5: neither `pid` nor `dir` in the index).
+    pub fn centralized_only(&self) -> bool {
+        !self.pid && !self.dir
+    }
+
+    /// Pure address-based indexing (only `dir`/`addr` components): the
+    /// schemes for which the paper proves direct, forwarded and ordered
+    /// update equivalent (Section 3.4).
+    pub fn is_pure_address(&self) -> bool {
+        !self.pid && self.pc_bits == 0
+    }
+}
+
+/// `ceil(log2(nodes))`, the bits contributed by a whole `pid`/`dir` field.
+pub(crate) fn node_bits(nodes: usize) -> u32 {
+    assert!(nodes > 0, "machine must have at least one node");
+    usize::BITS - (nodes - 1).leading_zeros().min(usize::BITS)
+}
+
+impl fmt::Display for IndexSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        let mut sep = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            if first {
+                first = false;
+                Ok(())
+            } else {
+                write!(f, "+")
+            }
+        };
+        if self.pid {
+            sep(f)?;
+            write!(f, "pid")?;
+        }
+        if self.pc_bits > 0 {
+            sep(f)?;
+            write!(f, "pc{}", self.pc_bits)?;
+        }
+        if self.dir {
+            sep(f)?;
+            write!(f, "dir")?;
+        }
+        if self.addr_bits > 0 {
+            sep(f)?;
+            write!(f, "add{}", self.addr_bits)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csp_trace::SharingBitmap;
+    use proptest::prelude::*;
+
+    #[test]
+    fn node_bits_is_ceil_log2() {
+        assert_eq!(node_bits(1), 0);
+        assert_eq!(node_bits(2), 1);
+        assert_eq!(node_bits(3), 2);
+        assert_eq!(node_bits(16), 4);
+        assert_eq!(node_bits(17), 5);
+        assert_eq!(node_bits(64), 6);
+    }
+
+    #[test]
+    fn bits_sums_active_fields() {
+        assert_eq!(IndexSpec::none().bits(16), 0);
+        assert_eq!(IndexSpec::new(true, 0, true, 0).bits(16), 8);
+        assert_eq!(IndexSpec::new(true, 8, false, 6).bits(16), 18);
+        assert_eq!(IndexSpec::new(false, 0, true, 14).bits(16), 18);
+    }
+
+    #[test]
+    fn key_packs_fields_in_order() {
+        let ix = IndexSpec::new(true, 4, true, 4);
+        let key = ix.key(NodeId(0xA), Pc(0xBB), NodeId(0xC), LineAddr(0xDD), 4);
+        // pid(4) | pc(4) | dir(4) | addr(4): 0xA, 0xB, 0xC, 0xD.
+        assert_eq!(key, 0xABCD);
+    }
+
+    #[test]
+    fn unused_fields_do_not_affect_key() {
+        let ix = IndexSpec::new(false, 0, false, 8);
+        let k1 = ix.key(NodeId(0), Pc(1), NodeId(2), LineAddr(0x34), 4);
+        let k2 = ix.key(NodeId(9), Pc(7), NodeId(5), LineAddr(0x34), 4);
+        assert_eq!(k1, k2);
+        assert_eq!(k1, 0x34);
+    }
+
+    #[test]
+    fn forward_key_uses_previous_writer() {
+        let ix = IndexSpec::new(true, 8, false, 0);
+        let e = SharingEvent::new(
+            NodeId(1),
+            Pc(0x10),
+            LineAddr(5),
+            NodeId(0),
+            SharingBitmap::empty(),
+            Some((NodeId(2), Pc(0x20))),
+        );
+        assert_eq!(ix.key_of(&e, 4), (1 << 8) | 0x10);
+        assert_eq!(ix.forward_key_of(&e, 4), Some((2 << 8) | 0x20));
+        let first = SharingEvent::new(
+            NodeId(1),
+            Pc(0x10),
+            LineAddr(5),
+            NodeId(0),
+            SharingBitmap::empty(),
+            None,
+        );
+        assert_eq!(ix.forward_key_of(&first, 4), None);
+    }
+
+    #[test]
+    fn table1_cases() {
+        assert_eq!(IndexSpec::none().table1_case(), 0);
+        assert_eq!(IndexSpec::new(false, 0, false, 8).table1_case(), 1);
+        assert_eq!(IndexSpec::new(false, 0, true, 0).table1_case(), 2);
+        assert_eq!(IndexSpec::new(false, 8, false, 0).table1_case(), 4);
+        assert_eq!(IndexSpec::new(true, 0, false, 0).table1_case(), 8);
+        assert_eq!(IndexSpec::new(true, 8, true, 8).table1_case(), 15);
+    }
+
+    #[test]
+    fn distribution_rules_match_table1() {
+        let centralized = IndexSpec::new(false, 8, false, 8);
+        assert!(centralized.centralized_only());
+        let at_dir = IndexSpec::new(false, 0, true, 8);
+        assert!(at_dir.distributable_at_directories());
+        assert!(!at_dir.distributable_at_processors());
+        let at_proc = IndexSpec::new(true, 8, false, 0);
+        assert!(at_proc.distributable_at_processors());
+        assert!(!at_proc.distributable_at_directories());
+    }
+
+    #[test]
+    fn pure_address_detection() {
+        assert!(IndexSpec::new(false, 0, true, 8).is_pure_address());
+        assert!(IndexSpec::new(false, 0, false, 16).is_pure_address());
+        assert!(IndexSpec::none().is_pure_address());
+        assert!(!IndexSpec::new(true, 0, true, 8).is_pure_address());
+        assert!(!IndexSpec::new(false, 2, true, 8).is_pure_address());
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(
+            IndexSpec::new(true, 8, false, 6).to_string(),
+            "pid+pc8+add6"
+        );
+        assert_eq!(IndexSpec::new(false, 0, true, 14).to_string(), "dir+add14");
+        assert_eq!(IndexSpec::none().to_string(), "");
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to")]
+    fn rejects_oversized_fields() {
+        let _ = IndexSpec::new(false, 30, false, 0);
+    }
+
+    proptest! {
+        /// Keys fit in `bits(nodes)` bits.
+        #[test]
+        fn prop_key_within_bits(
+            pid: bool, pc_bits in 0u8..=16, dir: bool, addr_bits in 0u8..=16,
+            w in 0u8..16, pc: u32, h in 0u8..16, line: u64,
+        ) {
+            let ix = IndexSpec::new(pid, pc_bits, dir, addr_bits);
+            let key = ix.key(NodeId(w), Pc(pc), NodeId(h), LineAddr(line), 4);
+            let bits = ix.bits(16);
+            if bits < 64 {
+                prop_assert!(key < (1u64 << bits));
+            }
+        }
+
+        /// Two events differing only in an unused field collide.
+        #[test]
+        fn prop_unused_pid_ignored(pc: u32, line: u64, w1 in 0u8..16, w2 in 0u8..16) {
+            let ix = IndexSpec::new(false, 8, false, 8);
+            let k1 = ix.key(NodeId(w1), Pc(pc), NodeId(0), LineAddr(line), 4);
+            let k2 = ix.key(NodeId(w2), Pc(pc), NodeId(0), LineAddr(line), 4);
+            prop_assert_eq!(k1, k2);
+        }
+    }
+}

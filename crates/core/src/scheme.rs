@@ -1,0 +1,567 @@
+//! Schemes: one point of the design space, with the paper's notation and
+//! cost model.
+
+use crate::entry::entry_bits;
+use crate::{IndexSpec, PredictionFunction, MAX_DEPTH};
+use std::fmt;
+use std::str::FromStr;
+
+/// When and where invalidation feedback reaches predictor entries
+/// (paper Section 3.4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum UpdateMode {
+    /// Feedback goes to the entry of the *current* event, right before its
+    /// prediction. Exact for pure address indexing; a heuristic when
+    /// multiple writers alternate (the feedback may be another writer's
+    /// history, Figure 2/3).
+    Direct,
+    /// Feedback is forwarded to the entry of the line's *previous* writer,
+    /// arriving before the current event's prediction. Requires last-writer
+    /// (`pid`/`pc`) state per line at the directory.
+    Forwarded,
+    /// Forwarded update with oracle timing: every prediction by an entry
+    /// sees the feedback of all earlier predictions through that entry.
+    /// Not implementable for many schemes ("updates go back in time",
+    /// Figure 4); simulated in two passes as an upper bound.
+    Ordered,
+}
+
+impl UpdateMode {
+    /// All modes in the paper's presentation order.
+    pub const ALL: [UpdateMode; 3] = [
+        UpdateMode::Direct,
+        UpdateMode::Forwarded,
+        UpdateMode::Ordered,
+    ];
+
+    /// The notation suffix (`direct`, `forwarded`, `ordered`).
+    pub fn name(self) -> &'static str {
+        match self {
+            UpdateMode::Direct => "direct",
+            UpdateMode::Forwarded => "forwarded",
+            UpdateMode::Ordered => "ordered",
+        }
+    }
+}
+
+impl fmt::Display for UpdateMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A complete prediction scheme: `function(index)depth[update]`.
+///
+/// # Example
+///
+/// ```
+/// use csp_core::{PredictionFunction, Scheme, UpdateMode};
+///
+/// let s: Scheme = "inter(pid+pc8+add6)4[forwarded]".parse()?;
+/// assert_eq!(s.function, PredictionFunction::Inter);
+/// assert_eq!(s.depth, 4);
+/// assert_eq!(s.update, UpdateMode::Forwarded);
+/// assert_eq!(s.size_log2_bits(16), 24); // 4+8+6 index bits + log2(16*4)
+/// assert_eq!(s.to_string(), "inter(pid+pc8+add6)4[forwarded]");
+/// # Ok::<(), csp_core::ParseSchemeError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Scheme {
+    /// The prediction function.
+    pub function: PredictionFunction,
+    /// The indexing of the global predictor.
+    pub index: IndexSpec,
+    /// History depth (`1..=MAX_DEPTH`). Must be 1 for `last` and
+    /// `overlap-last`.
+    pub depth: usize,
+    /// The update mechanism.
+    pub update: UpdateMode,
+}
+
+impl Scheme {
+    /// Creates a scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is out of `1..=MAX_DEPTH`, or if a depth other
+    /// than 1 is given for `last`/`overlap-last` (which have no depth
+    /// parameter in the paper's notation).
+    pub fn new(
+        function: PredictionFunction,
+        index: IndexSpec,
+        depth: usize,
+        update: UpdateMode,
+    ) -> Self {
+        assert!(
+            (1..=MAX_DEPTH).contains(&depth),
+            "depth must be in 1..={MAX_DEPTH}, got {depth}"
+        );
+        if matches!(
+            function,
+            PredictionFunction::Last | PredictionFunction::OverlapLast
+        ) {
+            assert_eq!(depth, 1, "{function} prediction has a fixed depth of 1");
+        }
+        Scheme {
+            function,
+            index,
+            depth,
+            update,
+        }
+    }
+
+    /// The zero-indexing baseline of Table 7: a single system-wide `last`
+    /// entry ("predict that the next sharing bitmap will be the same as the
+    /// last direct sharing bitmap in the system").
+    pub fn baseline_last() -> Self {
+        Scheme::new(
+            PredictionFunction::Last,
+            IndexSpec::none(),
+            1,
+            UpdateMode::Direct,
+        )
+    }
+
+    /// Total predictor storage in bits on an `nodes`-node machine:
+    /// `2^index_bits x entry_bits`.
+    pub fn total_bits(&self, nodes: usize) -> u64 {
+        entry_bits(self.function, self.depth, nodes) << self.index.bits(nodes)
+    }
+
+    /// The paper's cost figure: `ceil(log2(total bits))`. (The paper quotes
+    /// the baseline as size 0, treating its single bitmap register as free;
+    /// this method reports its true cost, `log2(nodes)`.)
+    pub fn size_log2_bits(&self, nodes: usize) -> u32 {
+        let bits = self.total_bits(nodes);
+        debug_assert!(bits > 0);
+        // ceil(log2): position of the highest bit, +1 unless a power of 2.
+        63 - bits.leading_zeros() + u32::from(!bits.is_power_of_two())
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.function, self.index)?;
+        match self.function {
+            PredictionFunction::Last | PredictionFunction::OverlapLast => {}
+            _ => write!(f, "{}", self.depth)?,
+        }
+        write!(f, "[{}]", self.update)
+    }
+}
+
+/// Error parsing a scheme string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseSchemeError {
+    message: String,
+}
+
+impl ParseSchemeError {
+    fn new(message: impl Into<String>) -> Self {
+        ParseSchemeError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseSchemeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid scheme: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseSchemeError {}
+
+impl FromStr for Scheme {
+    type Err = ParseSchemeError;
+
+    /// Parses the paper's notation, e.g. `union(dir+add14)4[direct]`.
+    ///
+    /// Accepted liberties: the `[update]` suffix may be omitted (defaults
+    /// to `direct`); the depth may be omitted for `last`/`overlap-last`
+    /// (fixed at 1); `mem` is accepted as a synonym for `add` (the paper
+    /// writes Lai & Falsafi's scheme as `last(pid+mem8)`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let open = s
+            .find('(')
+            .ok_or_else(|| ParseSchemeError::new("missing '('"))?;
+        let close = s
+            .find(')')
+            .ok_or_else(|| ParseSchemeError::new("missing ')'"))?;
+        if close < open {
+            return Err(ParseSchemeError::new("')' before '('"));
+        }
+        let function = match &s[..open] {
+            "last" => PredictionFunction::Last,
+            "union" => PredictionFunction::Union,
+            "inter" => PredictionFunction::Inter,
+            "pas" | "PAs" => PredictionFunction::Pas,
+            "overlap-last" => PredictionFunction::OverlapLast,
+            other => {
+                return Err(ParseSchemeError::new(format!(
+                    "unknown prediction function {other:?}"
+                )))
+            }
+        };
+        let index = parse_index(&s[open + 1..close])?;
+        let rest = &s[close + 1..];
+        let (depth_str, update_str) = match rest.find('[') {
+            Some(b) => {
+                if !rest.ends_with(']') {
+                    return Err(ParseSchemeError::new("missing ']'"));
+                }
+                (&rest[..b], Some(&rest[b + 1..rest.len() - 1]))
+            }
+            None => (rest, None),
+        };
+        let depth = if depth_str.is_empty() {
+            match function {
+                PredictionFunction::Last | PredictionFunction::OverlapLast => 1,
+                _ => return Err(ParseSchemeError::new("missing history depth")),
+            }
+        } else {
+            depth_str
+                .parse::<usize>()
+                .map_err(|_| ParseSchemeError::new(format!("bad depth {depth_str:?}")))?
+        };
+        if !(1..=MAX_DEPTH).contains(&depth) {
+            return Err(ParseSchemeError::new(format!(
+                "depth must be in 1..={MAX_DEPTH}"
+            )));
+        }
+        if matches!(
+            function,
+            PredictionFunction::Last | PredictionFunction::OverlapLast
+        ) && depth != 1
+        {
+            return Err(ParseSchemeError::new(format!(
+                "{function} has a fixed depth of 1"
+            )));
+        }
+        let update = match update_str {
+            None | Some("direct") => UpdateMode::Direct,
+            Some("forwarded") | Some("forward") => UpdateMode::Forwarded,
+            Some("ordered") => UpdateMode::Ordered,
+            Some(other) => {
+                return Err(ParseSchemeError::new(format!(
+                    "unknown update mode {other:?}"
+                )))
+            }
+        };
+        Ok(Scheme {
+            function,
+            index,
+            depth,
+            update,
+        })
+    }
+}
+
+fn parse_index(s: &str) -> Result<IndexSpec, ParseSchemeError> {
+    let mut ix = IndexSpec::none();
+    if s.is_empty() {
+        return Ok(ix);
+    }
+    for part in s.split('+') {
+        match part {
+            "pid" => {
+                if ix.pid {
+                    return Err(ParseSchemeError::new("duplicate pid component"));
+                }
+                ix.pid = true;
+            }
+            "dir" => {
+                if ix.dir {
+                    return Err(ParseSchemeError::new("duplicate dir component"));
+                }
+                ix.dir = true;
+            }
+            _ if part.starts_with("pc") => {
+                ix.pc_bits = parse_bits(&part[2..], "pc", ix.pc_bits)?;
+            }
+            _ if part.starts_with("add") => {
+                ix.addr_bits = parse_bits(&part[3..], "add", ix.addr_bits)?;
+            }
+            _ if part.starts_with("mem") => {
+                ix.addr_bits = parse_bits(&part[3..], "mem", ix.addr_bits)?;
+            }
+            other => {
+                return Err(ParseSchemeError::new(format!(
+                    "unknown index component {other:?}"
+                )))
+            }
+        }
+    }
+    Ok(ix)
+}
+
+fn parse_bits(s: &str, field: &str, existing: u8) -> Result<u8, ParseSchemeError> {
+    if existing != 0 {
+        return Err(ParseSchemeError::new(format!(
+            "duplicate {field} component"
+        )));
+    }
+    let bits = s
+        .parse::<u8>()
+        .map_err(|_| ParseSchemeError::new(format!("bad {field} bit count {s:?}")))?;
+    if bits == 0 || bits > IndexSpec::MAX_FIELD_BITS {
+        return Err(ParseSchemeError::new(format!(
+            "{field} bits must be in 1..={}",
+            IndexSpec::MAX_FIELD_BITS
+        )));
+    }
+    Ok(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parse_paper_schemes() {
+        // Every scheme string quoted in the paper's tables.
+        for s in [
+            "last()1",
+            "last(pid+pc8)1",
+            "inter(pid+pc8)2",
+            "last(pid+mem8)",
+            "inter(pid+add6)4",
+            "inter(pid+pc2+add6)4",
+            "inter(pid+pc6+dir+add4)4",
+            "union(dir+add14)4",
+            "union(add16)4",
+            "union(pc4+dir)4",
+            "union(pc2+dir+add2)4",
+            "union(pid+dir+add4)4",
+        ] {
+            let parsed: Result<Scheme, _> = s.parse();
+            assert!(parsed.is_ok(), "failed to parse {s:?}: {parsed:?}");
+        }
+    }
+
+    #[test]
+    fn parse_specific_fields() {
+        let s: Scheme = "inter(pid+pc8+add6)4[forwarded]".parse().unwrap();
+        assert_eq!(s.function, PredictionFunction::Inter);
+        assert!(s.index.pid);
+        assert_eq!(s.index.pc_bits, 8);
+        assert!(!s.index.dir);
+        assert_eq!(s.index.addr_bits, 6);
+        assert_eq!(s.depth, 4);
+        assert_eq!(s.update, UpdateMode::Forwarded);
+    }
+
+    #[test]
+    fn mem_is_addr_synonym() {
+        let a: Scheme = "last(pid+mem8)".parse().unwrap();
+        let b: Scheme = "last(pid+add8)1".parse().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn update_defaults_to_direct() {
+        let s: Scheme = "union(dir+add2)4".parse().unwrap();
+        assert_eq!(s.update, UpdateMode::Direct);
+    }
+
+    #[test]
+    fn parse_errors() {
+        for bad in [
+            "nope(pid)1",
+            "inter pid 2",
+            "inter(pid]2",
+            "inter(pid)0",
+            "inter(pid)9",
+            "inter(pid)x",
+            "inter(pid)",
+            "last(pid)3",
+            "inter(pid+pid)2",
+            "inter(pc0)2",
+            "inter(wat)2",
+            "inter(pid)2[sometimes]",
+            "inter(pid)2[direct",
+        ] {
+            assert!(bad.parse::<Scheme>().is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn sizes_match_paper_tables() {
+        let nodes = 16;
+        // Table 7.
+        assert_eq!(
+            "last(pid+pc8)1"
+                .parse::<Scheme>()
+                .unwrap()
+                .size_log2_bits(nodes),
+            16
+        );
+        assert_eq!(
+            "inter(pid+pc8)2"
+                .parse::<Scheme>()
+                .unwrap()
+                .size_log2_bits(nodes),
+            17
+        );
+        assert_eq!(
+            "last(pid+mem8)"
+                .parse::<Scheme>()
+                .unwrap()
+                .size_log2_bits(nodes),
+            16
+        );
+        // Table 8.
+        assert_eq!(
+            "inter(pid+add6)4"
+                .parse::<Scheme>()
+                .unwrap()
+                .size_log2_bits(nodes),
+            16
+        );
+        assert_eq!(
+            "inter(pid+pc2+add6)4"
+                .parse::<Scheme>()
+                .unwrap()
+                .size_log2_bits(nodes),
+            18
+        );
+        assert_eq!(
+            "inter(pid+add4)4"
+                .parse::<Scheme>()
+                .unwrap()
+                .size_log2_bits(nodes),
+            14
+        );
+        assert_eq!(
+            "inter(pid+add8)3"
+                .parse::<Scheme>()
+                .unwrap()
+                .size_log2_bits(nodes),
+            18
+        );
+        // Table 9.
+        assert_eq!(
+            "inter(pid+pc8+add6)4"
+                .parse::<Scheme>()
+                .unwrap()
+                .size_log2_bits(nodes),
+            24
+        );
+        assert_eq!(
+            "inter(pid+pc6+dir+add4)4"
+                .parse::<Scheme>()
+                .unwrap()
+                .size_log2_bits(nodes),
+            24
+        );
+        // Tables 10/11.
+        assert_eq!(
+            "union(dir+add14)4"
+                .parse::<Scheme>()
+                .unwrap()
+                .size_log2_bits(nodes),
+            24
+        );
+        assert_eq!(
+            "union(add16)4"
+                .parse::<Scheme>()
+                .unwrap()
+                .size_log2_bits(nodes),
+            22
+        );
+        assert_eq!(
+            "union(dir+add2)4"
+                .parse::<Scheme>()
+                .unwrap()
+                .size_log2_bits(nodes),
+            12
+        );
+        assert_eq!(
+            "union(pc4+dir)4"
+                .parse::<Scheme>()
+                .unwrap()
+                .size_log2_bits(nodes),
+            14
+        );
+        assert_eq!(
+            "union(pid+dir+add4)4"
+                .parse::<Scheme>()
+                .unwrap()
+                .size_log2_bits(nodes),
+            18
+        );
+    }
+
+    #[test]
+    fn baseline_cost_is_log2_nodes() {
+        assert_eq!(Scheme::baseline_last().size_log2_bits(16), 4);
+        assert_eq!(Scheme::baseline_last().total_bits(16), 16);
+    }
+
+    #[test]
+    fn display_roundtrip_canonical_forms() {
+        for s in [
+            "last()[direct]",
+            "union(pid+dir+add4)4[forwarded]",
+            "inter(pc12)2[ordered]",
+            "pas(pid+add4)2[direct]",
+            "overlap-last(pid+pc8)[direct]",
+        ] {
+            let parsed: Scheme = s.parse().unwrap();
+            assert_eq!(parsed.to_string(), s, "roundtrip failed for {s:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed depth")]
+    fn last_with_depth_two_rejected() {
+        let _ = Scheme::new(
+            PredictionFunction::Last,
+            IndexSpec::none(),
+            2,
+            UpdateMode::Direct,
+        );
+    }
+
+    proptest! {
+        /// Display/parse round-trips for arbitrary valid schemes.
+        #[test]
+        fn prop_roundtrip(
+            func in 0usize..5,
+            pid: bool, pc_bits in 0u8..=16, dir: bool, addr_bits in 0u8..=16,
+            depth in 1usize..=MAX_DEPTH,
+            update in 0usize..3,
+        ) {
+            let function = PredictionFunction::ALL[func];
+            let depth = match function {
+                PredictionFunction::Last | PredictionFunction::OverlapLast => 1,
+                _ => depth,
+            };
+            let s = Scheme::new(
+                function,
+                IndexSpec::new(pid, pc_bits, dir, addr_bits),
+                depth,
+                UpdateMode::ALL[update],
+            );
+            let reparsed: Scheme = s.to_string().parse().unwrap();
+            prop_assert_eq!(s, reparsed);
+        }
+
+        /// The cost figure decomposes as index bits + entry-cost bits.
+        #[test]
+        fn prop_size_decomposes(
+            pid: bool, pc_bits in 0u8..=16, dir: bool, addr_bits in 0u8..=16,
+            depth in 1usize..=4,
+        ) {
+            let ix = IndexSpec::new(pid, pc_bits, dir, addr_bits);
+            let s = Scheme::new(PredictionFunction::Union, ix, depth, UpdateMode::Direct);
+            let entry = Scheme::new(PredictionFunction::Union, IndexSpec::none(), depth, UpdateMode::Direct);
+            prop_assert_eq!(
+                s.size_log2_bits(16),
+                ix.bits(16) + entry.size_log2_bits(16)
+            );
+        }
+    }
+}

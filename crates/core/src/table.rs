@@ -1,0 +1,205 @@
+//! Predictor tables: sparse storage of entry state, keyed by index.
+
+use crate::entry::{HistoryEntry, PasEntry};
+use crate::hash::FxHashMap;
+use crate::{PredictionFunction, Scheme};
+use csp_trace::SharingBitmap;
+
+/// The state of one global predictor: a sparse map from index key to entry.
+///
+/// The table allocates entries lazily (only for keys that are touched), so
+/// even a 24-bit index costs only as much as the distinct keys the trace
+/// exercises. Prediction on a cold (never-updated) entry yields the empty
+/// bitmap — a cold predictor forwards nothing.
+///
+/// # Example
+///
+/// ```
+/// use csp_core::{PredictorTable, Scheme};
+/// use csp_trace::{NodeId, SharingBitmap};
+///
+/// let scheme: Scheme = "union(pid+add4)2[direct]".parse()?;
+/// let mut t = PredictorTable::new(&scheme, 16);
+/// assert!(t.predict(7).is_empty()); // cold
+/// t.update(7, SharingBitmap::from_nodes(&[NodeId(2)]));
+/// t.update(7, SharingBitmap::from_nodes(&[NodeId(3)]));
+/// assert_eq!(t.predict(7).count(), 2); // union of the two feedbacks
+/// # Ok::<(), csp_core::ParseSchemeError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct PredictorTable {
+    function: PredictionFunction,
+    depth: usize,
+    nodes: usize,
+    storage: Storage,
+}
+
+#[derive(Clone, Debug)]
+enum Storage {
+    History(FxHashMap<u64, HistoryEntry>),
+    Pas(FxHashMap<u64, PasEntry>),
+}
+
+impl PredictorTable {
+    /// Creates an empty table for `scheme` on an `nodes`-node machine.
+    pub fn new(scheme: &Scheme, nodes: usize) -> Self {
+        let storage = if scheme.function.uses_history() {
+            Storage::History(FxHashMap::default())
+        } else {
+            Storage::Pas(FxHashMap::default())
+        };
+        PredictorTable {
+            function: scheme.function,
+            // `last`/`overlap-last` need up to 2 stored bitmaps.
+            depth: match scheme.function {
+                PredictionFunction::OverlapLast => 2,
+                _ => scheme.depth,
+            },
+            nodes,
+            storage,
+        }
+    }
+
+    /// The predicted reader bitmap for `key` (empty if the entry is cold).
+    #[inline]
+    pub fn predict(&self, key: u64) -> SharingBitmap {
+        match &self.storage {
+            Storage::History(map) => match map.get(&key) {
+                None => SharingBitmap::empty(),
+                Some(h) => match self.function {
+                    PredictionFunction::Last => h.last(),
+                    PredictionFunction::Union => h.union(self.depth),
+                    PredictionFunction::Inter => h.inter(self.depth),
+                    PredictionFunction::OverlapLast => h.overlap_last(),
+                    PredictionFunction::Pas => unreachable!("PAs uses Pas storage"),
+                },
+            },
+            Storage::Pas(map) => map
+                .get(&key)
+                .map(|e| e.predict(self.nodes))
+                .unwrap_or(SharingBitmap::empty()),
+        }
+    }
+
+    /// Delivers a feedback bitmap to the entry for `key`, creating it if
+    /// needed.
+    #[inline]
+    pub fn update(&mut self, key: u64, feedback: SharingBitmap) {
+        match &mut self.storage {
+            Storage::History(map) => {
+                map.entry(key)
+                    .or_insert_with(|| HistoryEntry::new(self.depth))
+                    .push(feedback);
+            }
+            Storage::Pas(map) => {
+                map.entry(key)
+                    .or_insert_with(|| PasEntry::new(self.nodes, self.depth))
+                    .update(feedback, self.nodes);
+            }
+        }
+    }
+
+    /// Number of entries allocated so far (distinct keys touched).
+    pub fn entries_touched(&self) -> usize {
+        match &self.storage {
+            Storage::History(m) => m.len(),
+            Storage::Pas(m) => m.len(),
+        }
+    }
+
+    /// Direct access to the history entry for `key`, if this is a
+    /// history-based table and the entry exists.
+    pub fn history(&self, key: u64) -> Option<&HistoryEntry> {
+        match &self.storage {
+            Storage::History(m) => m.get(&key),
+            Storage::Pas(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csp_trace::NodeId;
+
+    fn bm(nodes: &[u8]) -> SharingBitmap {
+        nodes.iter().map(|&n| NodeId(n)).collect()
+    }
+
+    fn table(spec: &str) -> PredictorTable {
+        PredictorTable::new(&spec.parse().unwrap(), 16)
+    }
+
+    #[test]
+    fn cold_entries_predict_empty() {
+        for spec in [
+            "last()1",
+            "union(pid)2",
+            "inter(pid)4",
+            "pas(pid)2",
+            "overlap-last(pid)",
+        ] {
+            assert!(table(spec).predict(0).is_empty(), "{spec} cold prediction");
+        }
+    }
+
+    #[test]
+    fn last_predicts_most_recent() {
+        let mut t = table("last(pid)1");
+        t.update(1, bm(&[2]));
+        t.update(1, bm(&[5]));
+        assert_eq!(t.predict(1), bm(&[5]));
+        assert!(t.predict(2).is_empty()); // other key untouched
+    }
+
+    #[test]
+    fn union_and_inter_over_depth() {
+        let mut u = table("union(pid)3");
+        let mut i = table("inter(pid)3");
+        for f in [bm(&[1, 2]), bm(&[2, 3]), bm(&[2, 4])] {
+            u.update(0, f);
+            i.update(0, f);
+        }
+        assert_eq!(u.predict(0), bm(&[1, 2, 3, 4]));
+        assert_eq!(i.predict(0), bm(&[2]));
+    }
+
+    #[test]
+    fn depth_window_slides() {
+        let mut u = table("union(pid)2");
+        u.update(0, bm(&[1]));
+        u.update(0, bm(&[2]));
+        u.update(0, bm(&[3]));
+        assert_eq!(u.predict(0), bm(&[2, 3])); // {1} aged out
+    }
+
+    #[test]
+    fn overlap_last_gates_on_overlap() {
+        let mut t = table("overlap-last(pid)");
+        t.update(0, bm(&[1, 2]));
+        t.update(0, bm(&[2, 3]));
+        assert_eq!(t.predict(0), bm(&[2, 3]));
+        t.update(0, bm(&[9]));
+        assert!(t.predict(0).is_empty());
+    }
+
+    #[test]
+    fn pas_trains_per_key() {
+        let mut t = table("pas(pid)2");
+        for _ in 0..4 {
+            t.update(3, bm(&[7]));
+        }
+        assert_eq!(t.predict(3), bm(&[7]));
+        assert!(t.predict(4).is_empty());
+        assert_eq!(t.entries_touched(), 1);
+    }
+
+    #[test]
+    fn history_accessor() {
+        let mut t = table("union(pid)2");
+        t.update(0, bm(&[1]));
+        assert_eq!(t.history(0).unwrap().last(), bm(&[1]));
+        assert!(t.history(9).is_none());
+        assert!(table("pas(pid)2").history(0).is_none());
+    }
+}

@@ -1,0 +1,50 @@
+//! Evaluate arbitrary schemes over the benchmark suite.
+//!
+//! ```text
+//! cargo run --release -p csp-harness --example eval -- \
+//!     --scale 0.3 "inter(pid+add6)4[direct]" "union(dir+add2)4"
+//! ```
+
+use csp_core::Scheme;
+use csp_harness::runner::{evaluate_scheme, Suite};
+use csp_workloads::Benchmark;
+
+fn main() {
+    let mut scale = 0.3f64;
+    let mut per_bench = false;
+    let mut specs: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--scale" {
+            scale = args.next().unwrap().parse().unwrap();
+        } else if a == "--per-bench" {
+            per_bench = true;
+        } else {
+            specs.push(a);
+        }
+    }
+    let suite = Suite::generate(scale, 1);
+    println!("{:34} {:>4} {:>6} {:>6}", "scheme", "size", "pvp", "sens");
+    for spec in specs {
+        let scheme: Scheme = spec.parse().expect("valid scheme");
+        let st = evaluate_scheme(&suite, &scheme);
+        println!(
+            "{:34} {:>4} {:>6.3} {:>6.3}",
+            scheme.to_string(),
+            st.size_log2(),
+            st.mean.pvp,
+            st.mean.sensitivity
+        );
+        if per_bench {
+            for (i, b) in Benchmark::ALL.iter().enumerate() {
+                let s = st.screening_for(i);
+                println!(
+                    "    {:10} pvp {:>6.3} sens {:>6.3}",
+                    b.name(),
+                    s.pvp,
+                    s.sensitivity
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! `csp-repro` — regenerate every table and figure of Kaxiras & Young
+//! (HPCA 2000) from the synthetic benchmark suite.
+//!
+//! ```text
+//! csp-repro [--scale S] [--seed N] [--out DIR] [EXPERIMENT...]
+//!
+//!   EXPERIMENT: table3..table11, fig6..fig9, extA, extC, ext-depth,
+//!               ext-field, ext-sticky, ext-confidence, ext-cosmos,
+//!               ext-degree, or `all` (default)
+//!   --scale S   workload scale factor (default 1.0)
+//!   --seed N    suite seed (default 1)
+//!   --out DIR   additionally write each report to DIR/<experiment>.txt
+//!   --sweep-tsv FILE  dump the full design-space sweep as TSV and exit
+//! ```
+
+use csp_harness::experiments::{top_tables, ExperimentId};
+use csp_harness::runner::dump_sweep_tsv;
+use csp_harness::Suite;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut scale = 1.0f64;
+    let mut seed = 1u64;
+    let mut out_dir: Option<std::path::PathBuf> = None;
+    let mut sweep_tsv: Option<std::path::PathBuf> = None;
+    let mut requested: Vec<ExperimentId> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v > 0.0 => scale = v,
+                _ => return usage("--scale needs a positive number"),
+            },
+            "--seed" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(v) => seed = v,
+                _ => return usage("--seed needs an integer"),
+            },
+            "--out" => match args.next() {
+                Some(dir) => out_dir = Some(std::path::PathBuf::from(dir)),
+                None => return usage("--out needs a directory"),
+            },
+            "--sweep-tsv" => match args.next() {
+                Some(f) => sweep_tsv = Some(std::path::PathBuf::from(f)),
+                None => return usage("--sweep-tsv needs a file path"),
+            },
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            "all" => requested.extend(ExperimentId::ALL),
+            name => match ExperimentId::from_name(name) {
+                Some(e) => requested.push(e),
+                None => return usage(&format!("unknown experiment {name:?}")),
+            },
+        }
+    }
+    if requested.is_empty() {
+        requested.extend(ExperimentId::ALL);
+    }
+
+    eprintln!("generating benchmark suite (scale {scale}, seed {seed})...");
+    let t0 = std::time::Instant::now();
+    let suite = Suite::generate(scale, seed);
+    for b in suite.traces() {
+        eprintln!(
+            "  {:9} {:>8} events, {:>7} blocks, prevalence {:.2}%",
+            b.benchmark.name(),
+            b.trace.len(),
+            b.stats.lines_touched,
+            b.trace.prevalence() * 100.0
+        );
+    }
+    eprintln!("suite ready in {:.1?}\n", t0.elapsed());
+
+    if let Some(path) = sweep_tsv {
+        eprintln!("dumping full design-space sweep to {}...", path.display());
+        let file = match std::fs::File::create(&path) {
+            Ok(f) => f,
+            Err(e) => return usage(&format!("cannot create {}: {e}", path.display())),
+        };
+        if let Err(e) = dump_sweep_tsv(&suite, std::io::BufWriter::new(file)) {
+            eprintln!("error writing sweep: {e}");
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // Tables 8-11 share one expensive sweep; compute it once if more than
+    // one of them was requested.
+    let search_ids = [
+        ExperimentId::Table8,
+        ExperimentId::Table9,
+        ExperimentId::Table10,
+        ExperimentId::Table11,
+    ];
+    let wants_search = requested.iter().filter(|e| search_ids.contains(e)).count();
+    let tops = if wants_search > 1 {
+        eprintln!("running design-space sweep for tables 8-11...");
+        let t = std::time::Instant::now();
+        let tops = top_tables(&suite);
+        eprintln!("sweep done in {:.1?}\n", t.elapsed());
+        Some(tops)
+    } else {
+        None
+    };
+
+    for e in requested {
+        let t = std::time::Instant::now();
+        let report = match (&tops, e) {
+            (Some(t), ExperimentId::Table8) => t.table8.clone(),
+            (Some(t), ExperimentId::Table9) => t.table9.clone(),
+            (Some(t), ExperimentId::Table10) => t.table10.clone(),
+            (Some(t), ExperimentId::Table11) => t.table11.clone(),
+            _ => e.run(&suite),
+        };
+        println!("{report}");
+        if let Some(dir) = &out_dir {
+            if let Err(err) = std::fs::create_dir_all(dir)
+                .and_then(|()| std::fs::write(dir.join(format!("{e}.txt")), &report))
+            {
+                eprintln!("warning: could not write {e}.txt: {err}");
+            }
+        }
+        eprintln!("[{e} in {:.1?}]\n", t.elapsed());
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("error: {err}\n");
+    print_usage();
+    ExitCode::FAILURE
+}
+
+fn print_usage() {
+    eprintln!("usage: csp-repro [--scale S] [--seed N] [--out DIR] [EXPERIMENT...]");
+    eprintln!("experiments:");
+    for e in ExperimentId::ALL {
+        eprintln!("  {e}");
+    }
+    eprintln!("  all (default)");
+}

@@ -1,0 +1,185 @@
+//! `csp-trace-tool` — generate, inspect and convert coherence traces.
+//!
+//! ```text
+//! csp-trace-tool gen <benchmark> <out.csptrc> [--scale S] [--seed N]
+//! csp-trace-tool info <trace.csptrc>
+//! csp-trace-tool csv <trace.csptrc> [out.csv]
+//! csp-trace-tool eval <trace.csptrc> <scheme>...
+//! ```
+
+use csp_core::{engine, Scheme};
+use csp_trace::transform::line_profile;
+use csp_trace::{io as trace_io, Trace};
+use csp_workloads::{Benchmark, WorkloadConfig};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("csv") => cmd_csv(&args[1..]),
+        Some("eval") => cmd_eval(&args[1..]),
+        _ => {
+            print_usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!("usage:");
+    eprintln!("  csp-trace-tool gen <benchmark> <out.csptrc> [--scale S] [--seed N]");
+    eprintln!("  csp-trace-tool info <trace.csptrc>");
+    eprintln!("  csp-trace-tool csv <trace.csptrc> [out.csv]");
+    eprintln!("  csp-trace-tool eval <trace.csptrc> <scheme>...");
+    eprintln!(
+        "benchmarks: {}",
+        Benchmark::ALL.map(|b| b.name()).join(", ")
+    );
+}
+
+fn load(path: &str) -> Result<Trace, String> {
+    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    trace_io::read_trace(BufReader::new(file)).map_err(|e| format!("read {path}: {e}"))
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let (mut scale, mut seed) = (1.0f64, 1u64);
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v: &f64| v > 0.0)
+                    .ok_or("--scale needs a positive number")?
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed needs an integer")?
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    let [bench_name, out_path] = positional.as_slice() else {
+        return Err("gen needs <benchmark> <out.csptrc>".into());
+    };
+    let benchmark = Benchmark::from_name(bench_name)
+        .ok_or_else(|| format!("unknown benchmark {bench_name:?}"))?;
+    let (trace, stats) = WorkloadConfig::new(benchmark)
+        .scale(scale)
+        .seed(seed)
+        .generate_trace();
+    let file = File::create(out_path).map_err(|e| format!("create {out_path}: {e}"))?;
+    trace_io::write_trace(BufWriter::new(file), &trace).map_err(|e| e.to_string())?;
+    eprintln!(
+        "{benchmark}: wrote {} events ({} blocks, prevalence {:.2}%) to {out_path}",
+        trace.len(),
+        stats.lines_touched,
+        trace.prevalence() * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err("info needs <trace.csptrc>".into());
+    };
+    let trace = load(path)?;
+    let stats = trace.stats();
+    println!("nodes:                 {}", trace.nodes());
+    println!("events:                {}", trace.len());
+    println!("blocks touched:        {}", stats.blocks_touched);
+    println!(
+        "max stores/node:       {}",
+        stats.max_predicted_stores_per_node
+    );
+    println!("prevalence:            {:.2}%", trace.prevalence() * 100.0);
+    let profile = line_profile(&trace);
+    println!(
+        "events/line:           mean {:.1}, max {} (hottest 10% of lines carry {:.0}% of events)",
+        profile.mean_events_per_line,
+        profile.max_events_per_line,
+        profile.hot_decile_share * 100.0
+    );
+    let hist = trace.sharing_degree_histogram();
+    let total: u64 = hist.iter().sum();
+    print!("degree distribution:  ");
+    for (k, &count) in hist.iter().enumerate().take(5) {
+        print!(" {k}:{:.1}%", count as f64 / total.max(1) as f64 * 100.0);
+    }
+    let rest: u64 = hist[5..].iter().sum();
+    println!(" 5+:{:.1}%", rest as f64 / total.max(1) as f64 * 100.0);
+    Ok(())
+}
+
+fn cmd_csv(args: &[String]) -> Result<(), String> {
+    let (path, out) = match args {
+        [p] => (p, None),
+        [p, o] => (p, Some(o)),
+        _ => return Err("csv needs <trace.csptrc> [out.csv]".into()),
+    };
+    let trace = load(path)?;
+    match out {
+        Some(o) => {
+            let file = File::create(o).map_err(|e| format!("create {o}: {e}"))?;
+            trace
+                .to_csv(BufWriter::new(file))
+                .map_err(|e| e.to_string())?;
+            eprintln!("wrote {} rows to {o}", trace.len());
+        }
+        None => {
+            let stdout = std::io::stdout();
+            trace
+                .to_csv(BufWriter::new(stdout.lock()))
+                .map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_eval(args: &[String]) -> Result<(), String> {
+    let [path, specs @ ..] = args else {
+        return Err("eval needs <trace.csptrc> <scheme>...".into());
+    };
+    if specs.is_empty() {
+        return Err("eval needs at least one scheme".into());
+    }
+    let trace = load(path)?;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    writeln!(
+        out,
+        "{:34} {:>6} {:>6} {:>6}",
+        "scheme", "prev", "pvp", "sens"
+    )
+    .ok();
+    for spec in specs {
+        let scheme: Scheme = spec.parse().map_err(|e| format!("{spec}: {e}"))?;
+        let s = engine::run_scheme(&trace, &scheme).screening();
+        writeln!(
+            out,
+            "{:34} {:>6.3} {:>6.3} {:>6.3}",
+            scheme.to_string(),
+            s.prevalence,
+            s.pvp,
+            s.sensitivity
+        )
+        .ok();
+    }
+    Ok(())
+}

@@ -1,0 +1,175 @@
+//! Figures 6–9: sensitivity and PVP across the 16 index configurations.
+
+use crate::render::bar_chart;
+use crate::runner::{evaluate_schemes, sweep_families, Suite};
+use crate::space::{figure6_index_grid, figure8_index_grid};
+use csp_core::{IndexSpec, PredictionFunction, Scheme, UpdateMode};
+
+fn grid_labels(grid: &[IndexSpec]) -> Vec<String> {
+    grid.iter()
+        .map(|ix| {
+            let s = ix.to_string();
+            if s.is_empty() {
+                "(none)".to_string()
+            } else {
+                s
+            }
+        })
+        .collect()
+}
+
+/// Renders one figure: for each update mode, sensitivity and PVP bars over
+/// the 16-point index grid, for a history-family function at `depth`.
+fn history_figure(
+    suite: &Suite,
+    title: &str,
+    function: PredictionFunction,
+    depth: usize,
+) -> String {
+    let grid = figure6_index_grid();
+    let labels = grid_labels(&grid);
+    let mut out = String::new();
+    for update in UpdateMode::ALL {
+        let cells = sweep_families(suite, &grid, &[update], depth);
+        let mut sens = Vec::with_capacity(grid.len());
+        let mut pvp = Vec::with_capacity(grid.len());
+        // sweep_families preserves index order for a single update mode.
+        for cell in &cells {
+            let m = cell.mean(function, depth);
+            sens.push(m.sensitivity);
+            pvp.push(m.pvp);
+        }
+        out.push_str(&bar_chart(
+            &format!("{title} — {update} update"),
+            &labels,
+            &[("sens", sens), ("pvp", pvp)],
+        ));
+        out.push('\n');
+    }
+    out
+}
+
+/// Figure 6: intersection prediction, history depth 2, 16-bit max index.
+pub fn fig6(suite: &Suite) -> String {
+    history_figure(
+        suite,
+        "Figure 6: intersection prediction (depth 2, 16-bit max index)",
+        PredictionFunction::Inter,
+        2,
+    )
+}
+
+/// Figure 7: union prediction, history depth 2, 16-bit max index.
+pub fn fig7(suite: &Suite) -> String {
+    history_figure(
+        suite,
+        "Figure 7: union prediction (depth 2, 16-bit max index)",
+        PredictionFunction::Union,
+        2,
+    )
+}
+
+/// Figure 8: PAs prediction, history depth 1, 12-bit max index.
+pub fn fig8(suite: &Suite) -> String {
+    let grid = figure8_index_grid();
+    let labels = grid_labels(&grid);
+    let mut out = String::new();
+    for update in UpdateMode::ALL {
+        let schemes: Vec<Scheme> = grid
+            .iter()
+            .map(|&ix| Scheme::new(PredictionFunction::Pas, ix, 1, update))
+            .collect();
+        let stats = evaluate_schemes(suite, &schemes);
+        let sens: Vec<f64> = stats.iter().map(|s| s.mean.sensitivity).collect();
+        let pvp: Vec<f64> = stats.iter().map(|s| s.mean.pvp).collect();
+        out.push_str(&bar_chart(
+            &format!("Figure 8: PAs prediction (depth 1, 12-bit max index) — {update} update"),
+            &labels,
+            &[("sens", sens), ("pvp", pvp)],
+        ));
+        out.push('\n');
+    }
+    out
+}
+
+/// Figure 9: direct update, history depths 2 vs 4, for intersection,
+/// union and PAs prediction.
+pub fn fig9(suite: &Suite) -> String {
+    let mut out = String::new();
+    // Intersection and union share one depth-4 family sweep.
+    let grid = figure6_index_grid();
+    let labels = grid_labels(&grid);
+    let cells = sweep_families(suite, &grid, &[UpdateMode::Direct], 4);
+    for function in [PredictionFunction::Inter, PredictionFunction::Union] {
+        let mut series: Vec<(&str, Vec<f64>)> = Vec::new();
+        for (name_p, name_s, depth) in [("pvp(2)", "sens(2)", 2usize), ("pvp(4)", "sens(4)", 4)] {
+            let mut pvp = Vec::new();
+            let mut sens = Vec::new();
+            for cell in &cells {
+                let m = cell.mean(function, depth);
+                pvp.push(m.pvp);
+                sens.push(m.sensitivity);
+            }
+            series.push((name_p, pvp));
+            series.push((name_s, sens));
+        }
+        out.push_str(&bar_chart(
+            &format!("Figure 9 ({function}): direct update, depth 2 vs 4"),
+            &labels,
+            &series,
+        ));
+        out.push('\n');
+    }
+    // PAs on its 12-bit grid.
+    let pas_grid = figure8_index_grid();
+    let pas_labels = grid_labels(&pas_grid);
+    let mut series: Vec<(&str, Vec<f64>)> = Vec::new();
+    for (name_p, name_s, depth) in [("pvp(2)", "sens(2)", 2usize), ("pvp(4)", "sens(4)", 4)] {
+        let schemes: Vec<Scheme> = pas_grid
+            .iter()
+            .map(|&ix| Scheme::new(PredictionFunction::Pas, ix, depth, UpdateMode::Direct))
+            .collect();
+        let stats = evaluate_schemes(suite, &schemes);
+        series.push((name_p, stats.iter().map(|s| s.mean.pvp).collect()));
+        series.push((name_s, stats.iter().map(|s| s.mean.sensitivity).collect()));
+    }
+    out.push_str(&bar_chart(
+        "Figure 9 (pas): direct update, depth 2 vs 4",
+        &pas_labels,
+        &series,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn suite() -> Suite {
+        Suite::generate(0.02, 5)
+    }
+
+    #[test]
+    fn fig6_renders_three_update_modes() {
+        let out = fig6(&suite());
+        assert!(out.contains("direct update"));
+        assert!(out.contains("forwarded update"));
+        assert!(out.contains("ordered update"));
+        assert!(out.contains("pid+pc4+dir+add4"));
+    }
+
+    #[test]
+    fn fig8_uses_12_bit_grid() {
+        let out = fig8(&suite());
+        assert!(out.contains("pid+pc2+dir+add2"));
+    }
+
+    #[test]
+    fn fig9_has_all_three_functions() {
+        let out = fig9(&suite());
+        assert!(out.contains("(inter)"));
+        assert!(out.contains("(union)"));
+        assert!(out.contains("(pas)"));
+        assert!(out.contains("pvp(4)"));
+    }
+}

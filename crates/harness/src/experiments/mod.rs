@@ -1,0 +1,190 @@
+//! One driver per table/figure of the paper, plus extension experiments.
+//!
+//! Every driver takes the shared [`Suite`] and returns a rendered
+//! plain-text report. `EXPERIMENTS.md` at the repository root records the
+//! paper-vs-measured comparison for each.
+
+mod ext;
+mod figures;
+mod search;
+mod tables;
+
+pub use search::{top_tables, TopTables};
+
+use crate::Suite;
+
+/// Identifier of one reproducible experiment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ExperimentId {
+    /// Table 3: benchmark inputs.
+    Table3,
+    /// Table 4: simulated system parameters.
+    Table4,
+    /// Table 5: store-instruction and cache-block statistics.
+    Table5,
+    /// Table 6: prevalence of sharing.
+    Table6,
+    /// Table 7: schemes reported by earlier work.
+    Table7,
+    /// Table 8: top-10 PVP, direct update.
+    Table8,
+    /// Table 9: top-10 PVP, forwarded update.
+    Table9,
+    /// Table 10: top-10 sensitivity, direct update.
+    Table10,
+    /// Table 11: top-10 sensitivity, forwarded update.
+    Table11,
+    /// Figure 6: intersection prediction across the 16 index configs.
+    Fig6,
+    /// Figure 7: union prediction across the 16 index configs.
+    Fig7,
+    /// Figure 8: PAs prediction across the 16 index configs.
+    Fig8,
+    /// Figure 9: history depth 2 vs 4 for inter/union/PAs.
+    Fig9,
+    /// Extension A: the `overlap-last` function the paper names but does
+    /// not simulate.
+    ExtA,
+    /// Extension C: forwarding latency/traffic estimate (the summary's
+    /// bandwidth-latency trade-off, quantified).
+    ExtC,
+    /// Extension: history-depth ablation beyond the paper's depth 4.
+    ExtDepth,
+    /// Extension: addr/pc field-size ablation (Section 5.4.3's prose).
+    ExtField,
+    /// Extension: sticky-spatial prediction (footnote 2 / reference \[4\]).
+    ExtSticky,
+    /// Extension: confidence-gated prediction (reference \[11\]).
+    ExtConfidence,
+    /// Extension: Cosmos next-writer prediction (footnote 5 / ref \[24\]).
+    ExtCosmos,
+    /// Extension: Weber & Gupta invalidation-degree histogram (ref \[28\]).
+    ExtDegree,
+    /// Extension: per-benchmark breakdown with confidence intervals.
+    ExtPerBench,
+    /// Extension: machine-size scaling (4/16/64 nodes).
+    ExtNodes,
+}
+
+impl ExperimentId {
+    /// All experiments in presentation order.
+    pub const ALL: [ExperimentId; 23] = [
+        ExperimentId::Table3,
+        ExperimentId::Table4,
+        ExperimentId::Table5,
+        ExperimentId::Table6,
+        ExperimentId::Table7,
+        ExperimentId::Table8,
+        ExperimentId::Table9,
+        ExperimentId::Table10,
+        ExperimentId::Table11,
+        ExperimentId::Fig6,
+        ExperimentId::Fig7,
+        ExperimentId::Fig8,
+        ExperimentId::Fig9,
+        ExperimentId::ExtA,
+        ExperimentId::ExtC,
+        ExperimentId::ExtDepth,
+        ExperimentId::ExtField,
+        ExperimentId::ExtSticky,
+        ExperimentId::ExtConfidence,
+        ExperimentId::ExtCosmos,
+        ExperimentId::ExtDegree,
+        ExperimentId::ExtPerBench,
+        ExperimentId::ExtNodes,
+    ];
+
+    /// The command-line name (`table8`, `fig6`, `extA`, ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            ExperimentId::Table3 => "table3",
+            ExperimentId::Table4 => "table4",
+            ExperimentId::Table5 => "table5",
+            ExperimentId::Table6 => "table6",
+            ExperimentId::Table7 => "table7",
+            ExperimentId::Table8 => "table8",
+            ExperimentId::Table9 => "table9",
+            ExperimentId::Table10 => "table10",
+            ExperimentId::Table11 => "table11",
+            ExperimentId::Fig6 => "fig6",
+            ExperimentId::Fig7 => "fig7",
+            ExperimentId::Fig8 => "fig8",
+            ExperimentId::Fig9 => "fig9",
+            ExperimentId::ExtA => "extA",
+            ExperimentId::ExtC => "extC",
+            ExperimentId::ExtDepth => "ext-depth",
+            ExperimentId::ExtField => "ext-field",
+            ExperimentId::ExtSticky => "ext-sticky",
+            ExperimentId::ExtConfidence => "ext-confidence",
+            ExperimentId::ExtCosmos => "ext-cosmos",
+            ExperimentId::ExtDegree => "ext-degree",
+            ExperimentId::ExtPerBench => "ext-per-bench",
+            ExperimentId::ExtNodes => "ext-nodes",
+        }
+    }
+
+    /// Parses a command-line experiment name.
+    pub fn from_name(name: &str) -> Option<ExperimentId> {
+        ExperimentId::ALL.iter().copied().find(|e| e.name() == name)
+    }
+
+    /// Runs the experiment and renders its report.
+    ///
+    /// Note: Tables 8–11 share one design-space sweep; when running
+    /// several of them, prefer [`top_tables`] which computes the sweep
+    /// once.
+    pub fn run(self, suite: &Suite) -> String {
+        match self {
+            ExperimentId::Table3 => tables::table3(),
+            ExperimentId::Table4 => tables::table4(),
+            ExperimentId::Table5 => tables::table5(suite),
+            ExperimentId::Table6 => tables::table6(suite),
+            ExperimentId::Table7 => tables::table7(suite),
+            ExperimentId::Table8 => top_tables(suite).table8,
+            ExperimentId::Table9 => top_tables(suite).table9,
+            ExperimentId::Table10 => top_tables(suite).table10,
+            ExperimentId::Table11 => top_tables(suite).table11,
+            ExperimentId::Fig6 => figures::fig6(suite),
+            ExperimentId::Fig7 => figures::fig7(suite),
+            ExperimentId::Fig8 => figures::fig8(suite),
+            ExperimentId::Fig9 => figures::fig9(suite),
+            ExperimentId::ExtA => ext::overlap_last(suite),
+            ExperimentId::ExtC => ext::forwarding(suite),
+            ExperimentId::ExtDepth => ext::depth_ablation(suite),
+            ExperimentId::ExtField => ext::field_size_ablation(suite),
+            ExperimentId::ExtSticky => ext::sticky_spatial(suite),
+            ExperimentId::ExtConfidence => ext::confidence(suite),
+            ExperimentId::ExtCosmos => ext::cosmos(suite),
+            ExperimentId::ExtDegree => ext::degree_histogram(suite),
+            ExperimentId::ExtPerBench => ext::per_benchmark(suite),
+            ExperimentId::ExtNodes => ext::node_scaling(suite),
+        }
+    }
+}
+
+impl std::fmt::Display for ExperimentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for e in ExperimentId::ALL {
+            assert_eq!(ExperimentId::from_name(e.name()), Some(e));
+        }
+        assert_eq!(ExperimentId::from_name("table99"), None);
+    }
+
+    #[test]
+    fn static_tables_render_without_suite_data() {
+        let out3 = tables::table3();
+        assert!(out3.contains("barnes"));
+        let out4 = tables::table4();
+        assert!(out4.contains("512"));
+    }
+}

@@ -1,0 +1,210 @@
+//! Tables 3–7 of the paper.
+
+use crate::render::{rate, table};
+use crate::runner::{evaluate_schemes, Suite};
+use csp_core::Scheme;
+use csp_sim::SystemConfig;
+use csp_workloads::Benchmark;
+
+/// Table 3: benchmark input sizes (the paper's inputs and, since our
+/// generators are scaled-down substitutes, the substitution note).
+pub fn table3() -> String {
+    let rows: Vec<Vec<String>> = Benchmark::ALL
+        .iter()
+        .map(|b| vec![b.name().to_string(), b.paper_input().to_string()])
+        .collect();
+    table(
+        "Table 3: benchmark input size (paper inputs)",
+        &["benchmark", "input"],
+        &rows,
+    )
+}
+
+/// Table 4: simulated system parameters.
+pub fn table4() -> String {
+    let c = SystemConfig::paper_16_node();
+    let rows = vec![
+        vec![
+            "nodes".into(),
+            format!(
+                "{} (2-D torus {}x{})",
+                c.nodes,
+                c.torus_width,
+                c.nodes / c.torus_width
+            ),
+        ],
+        vec![
+            "L1".into(),
+            format!(
+                "{}KB direct-mapped, {}-byte lines",
+                c.l1.size_bytes / 1024,
+                c.l1.line_size
+            ),
+        ],
+        vec![
+            "L2".into(),
+            format!(
+                "{}KB {}-way set-associative, {}-byte lines",
+                c.l2.size_bytes / 1024,
+                c.l2.associativity,
+                c.l2.line_size
+            ),
+        ],
+        vec![
+            "local memory latency".into(),
+            format!("{} cycles", c.latency.local_memory),
+        ],
+        vec![
+            "remote memory latency".into(),
+            format!("{} cycles", c.latency.remote_memory),
+        ],
+    ];
+    table("Table 4: system parameters", &["parameter", "value"], &rows)
+}
+
+/// Table 5: store-instruction and cache-block statistics per benchmark.
+pub fn table5(suite: &Suite) -> String {
+    let rows: Vec<Vec<String>> = suite
+        .traces()
+        .iter()
+        .map(|b| {
+            let ts = b.trace.stats();
+            vec![
+                b.benchmark.name().to_string(),
+                b.stats.max_static_stores_per_node.to_string(),
+                ts.max_predicted_stores_per_node.to_string(),
+                b.stats.lines_touched.to_string(),
+                ts.store_misses.to_string(),
+            ]
+        })
+        .collect();
+    table(
+        "Table 5: store instruction and cache block statistics",
+        &[
+            "benchmark",
+            "max static stores/node",
+            "max predicted stores/node",
+            "blocks touched",
+            "coherence store misses",
+        ],
+        &rows,
+    )
+}
+
+/// Table 6: prevalence of sharing per benchmark.
+pub fn table6(suite: &Suite) -> String {
+    let mut rows: Vec<Vec<String>> = suite
+        .traces()
+        .iter()
+        .map(|b| {
+            let events = b.trace.dynamic_sharing_events();
+            let decisions = b.trace.dynamic_sharing_decisions();
+            vec![
+                b.benchmark.name().to_string(),
+                events.to_string(),
+                decisions.to_string(),
+                format!("{:.2}", b.trace.prevalence() * 100.0),
+                format!("{:.2}", b.benchmark.paper_prevalence() * 100.0),
+            ]
+        })
+        .collect();
+    let mean: f64 = suite
+        .traces()
+        .iter()
+        .map(|b| b.trace.prevalence())
+        .sum::<f64>()
+        / suite.traces().len() as f64;
+    rows.push(vec![
+        "mean".into(),
+        String::new(),
+        String::new(),
+        format!("{:.2}", mean * 100.0),
+        "9.19".into(),
+    ]);
+    table(
+        "Table 6: prevalence of sharing",
+        &[
+            "benchmark",
+            "sharing events",
+            "sharing decisions",
+            "prevalence %",
+            "paper %",
+        ],
+        &rows,
+    )
+}
+
+/// Table 7: schemes reported by earlier work, under both update modes.
+pub fn table7(suite: &Suite) -> String {
+    let specs: Vec<(&str, &str)> = vec![
+        ("baseline-last", "last()1[direct]"),
+        ("Kaxiras-instr.-last", "last(pid+pc8)1[direct]"),
+        ("Kaxiras-instr.-inter.", "inter(pid+pc8)2[direct]"),
+        ("Lai-address+pid-last", "last(pid+mem8)[direct]"),
+        ("Kaxiras-instr.-last", "last(pid+pc8)1[forwarded]"),
+        ("Kaxiras-instr.-inter.", "inter(pid+pc8)2[forwarded]"),
+        ("Lai-address+pid-last", "last(pid+mem8)[forwarded]"),
+    ];
+    let schemes: Vec<Scheme> = specs
+        .iter()
+        .map(|(_, s)| s.parse().expect("valid scheme"))
+        .collect();
+    let stats = evaluate_schemes(suite, &schemes);
+    let rows: Vec<Vec<String>> = specs
+        .iter()
+        .zip(&stats)
+        .map(|((desc, _), st)| {
+            vec![
+                desc.to_string(),
+                st.scheme.to_string(),
+                st.size_log2().to_string(),
+                rate(st.mean.sensitivity),
+                rate(st.mean.pvp),
+            ]
+        })
+        .collect();
+    table(
+        "Table 7: schemes reported by earlier work",
+        &[
+            "description",
+            "scheme",
+            "size log2(bits)",
+            "sensitivity",
+            "PVP",
+        ],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn suite() -> Suite {
+        Suite::generate(0.02, 5)
+    }
+
+    #[test]
+    fn table5_has_seven_benchmarks() {
+        let out = table5(&suite());
+        for b in Benchmark::ALL {
+            assert!(out.contains(b.name()), "missing {b}");
+        }
+    }
+
+    #[test]
+    fn table6_reports_decisions_as_events_times_16() {
+        let s = suite();
+        let out = table6(&s);
+        let gauss = s.trace(Benchmark::Gauss);
+        assert!(out.contains(&(gauss.trace.len() as u64 * 16).to_string()));
+    }
+
+    #[test]
+    fn table7_contains_all_prior_schemes() {
+        let out = table7(&suite());
+        assert!(out.contains("baseline-last"));
+        assert!(out.contains("last(pid+pc8)[direct]") || out.contains("last(pid+pc8)"));
+        assert!(out.contains("inter(pid+pc8)2[forwarded]"));
+    }
+}

@@ -1,0 +1,29 @@
+//! Experiment harness: everything needed to regenerate the paper's tables
+//! and figures.
+//!
+//! * [`space`] — enumeration of the affordable design space (every
+//!   `union`/`inter` scheme up to the paper's 2^24-bit budget, Section 5.4);
+//! * [`runner`] — parallel evaluation of schemes over the benchmark suite,
+//!   including the single-pass family sweep that evaluates all depths of
+//!   `union` and `inter` together;
+//! * [`render`] — plain-text tables and bar "figures" for terminals;
+//! * [`experiments`] — one driver per table/figure of the paper (Tables
+//!   3–11, Figures 6–9) plus the extension experiments from `DESIGN.md`.
+//!
+//! The `csp-repro` binary exposes all of it from the command line:
+//!
+//! ```text
+//! csp-repro all            # every table and figure
+//! csp-repro table8         # one experiment
+//! csp-repro --scale 0.2 fig6
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod render;
+pub mod runner;
+pub mod space;
+
+pub use runner::{SchemeStats, Suite};

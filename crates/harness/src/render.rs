@@ -1,0 +1,145 @@
+//! Plain-text rendering of tables and figures.
+
+use std::fmt::Write;
+
+/// Renders an aligned plain-text table with a title.
+///
+/// # Example
+///
+/// ```
+/// let out = csp_harness::render::table(
+///     "Table X",
+///     &["scheme", "pvp"],
+///     &[vec!["inter(pid)2".into(), "0.91".into()]],
+/// );
+/// assert!(out.contains("Table X"));
+/// assert!(out.contains("inter(pid)2"));
+/// ```
+pub fn table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(
+            row.len(),
+            headers.len(),
+            "row width {} != header width {}",
+            row.len(),
+            headers.len()
+        );
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let mut line = String::new();
+    for (h, w) in headers.iter().zip(&widths) {
+        let _ = write!(line, "{h:<w$}  ");
+    }
+    let _ = writeln!(out, "{}", line.trim_end());
+    let _ = writeln!(out, "{}", "-".repeat(line.trim_end().len()));
+    for row in rows {
+        let mut line = String::new();
+        for (cell, w) in row.iter().zip(&widths) {
+            let _ = write!(line, "{cell:<w$}  ");
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+    }
+    out
+}
+
+/// Renders a labelled horizontal bar chart of values in `[0, 1]` — the
+/// terminal stand-in for the paper's figures. Each series gets one bar
+/// row per label.
+///
+/// # Example
+///
+/// ```
+/// let out = csp_harness::render::bar_chart(
+///     "Fig X",
+///     &["pid".into(), "dir".into()],
+///     &[("sens", vec![0.5, 0.25]), ("pvp", vec![1.0, 0.0])],
+/// );
+/// assert!(out.contains("pid"));
+/// assert!(out.contains("sens"));
+/// ```
+///
+/// # Panics
+///
+/// Panics if a series' length differs from the label count.
+pub fn bar_chart(title: &str, labels: &[String], series: &[(&str, Vec<f64>)]) -> String {
+    const WIDTH: usize = 40;
+    let label_w = labels.iter().map(String::len).max().unwrap_or(0).max(5);
+    let name_w = series.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    for (s, _) in series {
+        assert_eq!(
+            series.iter().find(|(n, _)| n == s).unwrap().1.len(),
+            labels.len(),
+            "series {s} length mismatch"
+        );
+    }
+    for (i, label) in labels.iter().enumerate() {
+        for (j, (name, values)) in series.iter().enumerate() {
+            let v = values[i].clamp(0.0, 1.0);
+            let filled = (v * WIDTH as f64).round() as usize;
+            let bar: String = "#".repeat(filled) + &".".repeat(WIDTH - filled);
+            let shown_label = if j == 0 { label.as_str() } else { "" };
+            let _ = writeln!(
+                out,
+                "{shown_label:<label_w$} {name:>name_w$} |{bar}| {v:.3}"
+            );
+        }
+    }
+    out
+}
+
+/// Formats a rate with three decimals (the paper's table precision is two;
+/// three avoids ties in rankings).
+pub fn rate(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let out = table(
+            "T",
+            &["a", "blong"],
+            &[
+                vec!["xxxx".into(), "1".into()],
+                vec!["y".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[1].starts_with("a     blong"));
+        assert!(lines[3].starts_with("xxxx  1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_validates_row_width() {
+        let _ = table("T", &["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn bar_chart_scales_bars() {
+        let out = bar_chart("F", &["x".into()], &[("s", vec![0.5])]);
+        let hashes = out.matches('#').count();
+        assert_eq!(hashes, 20); // half of 40
+    }
+
+    #[test]
+    fn bar_chart_clamps_out_of_range() {
+        let out = bar_chart("F", &["x".into()], &[("s", vec![1.7])]);
+        assert!(out.contains(&"#".repeat(40)));
+    }
+
+    #[test]
+    fn rate_formats() {
+        assert_eq!(rate(0.12345), "0.123");
+    }
+}

@@ -1,0 +1,336 @@
+//! Parallel evaluation of schemes over the benchmark suite.
+
+use csp_core::engine::{run_history_family, run_scheme, FamilyResult};
+use csp_core::{IndexSpec, PredictionFunction, Scheme, UpdateMode};
+use csp_metrics::{ConfusionMatrix, Screening};
+use csp_workloads::{generate_suite, Benchmark, BenchmarkTrace};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The benchmark suite an experiment session runs against, generated once
+/// and shared by every experiment.
+#[derive(Debug)]
+pub struct Suite {
+    traces: Vec<BenchmarkTrace>,
+    scale: f64,
+}
+
+impl Suite {
+    /// Generates the seven-benchmark suite at `scale` with `seed`.
+    pub fn generate(scale: f64, seed: u64) -> Self {
+        Suite {
+            traces: generate_suite(scale, seed),
+            scale,
+        }
+    }
+
+    /// The traces, in [`Benchmark::ALL`] order.
+    pub fn traces(&self) -> &[BenchmarkTrace] {
+        &self.traces
+    }
+
+    /// The scale the suite was generated at.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The trace for one benchmark.
+    pub fn trace(&self, benchmark: Benchmark) -> &BenchmarkTrace {
+        self.traces
+            .iter()
+            .find(|t| t.benchmark == benchmark)
+            .expect("suite contains every benchmark")
+    }
+}
+
+/// Evaluation results for one scheme over the whole suite.
+#[derive(Clone, Debug)]
+pub struct SchemeStats {
+    /// The scheme evaluated.
+    pub scheme: Scheme,
+    /// Per-benchmark confusion matrices, in [`Benchmark::ALL`] order.
+    pub per_benchmark: Vec<ConfusionMatrix>,
+    /// Arithmetic mean of the per-benchmark screening rates (the paper's
+    /// aggregation).
+    pub mean: Screening,
+}
+
+impl SchemeStats {
+    fn from_matrices(scheme: Scheme, per_benchmark: Vec<ConfusionMatrix>) -> Self {
+        let screenings: Vec<Screening> = per_benchmark.iter().map(|m| m.screening()).collect();
+        let mean = Screening::mean(&screenings).unwrap_or_default();
+        SchemeStats {
+            scheme,
+            per_benchmark,
+            mean,
+        }
+    }
+
+    /// The scheme's cost figure on the 16-node machine.
+    pub fn size_log2(&self) -> u32 {
+        self.scheme.size_log2_bits(16)
+    }
+
+    /// The screening rates for one benchmark.
+    pub fn screening_for(&self, idx: usize) -> Screening {
+        self.per_benchmark[idx].screening()
+    }
+}
+
+/// Evaluates one scheme over every benchmark (sequentially).
+pub fn evaluate_scheme(suite: &Suite, scheme: &Scheme) -> SchemeStats {
+    let per_benchmark = suite
+        .traces
+        .iter()
+        .map(|b| run_scheme(&b.trace, scheme))
+        .collect();
+    SchemeStats::from_matrices(*scheme, per_benchmark)
+}
+
+/// Evaluates many schemes in parallel (work-stealing over a shared index).
+pub fn evaluate_schemes(suite: &Suite, schemes: &[Scheme]) -> Vec<SchemeStats> {
+    let threads = worker_count(schemes.len());
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<SchemeStats>>> = Mutex::new(vec![None; schemes.len()]);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= schemes.len() {
+                    break;
+                }
+                let stats = evaluate_scheme(suite, &schemes[i]);
+                results.lock().expect("no panics hold the lock")[i] = Some(stats);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("scope joined all workers")
+        .into_iter()
+        .map(|s| s.expect("every slot filled"))
+        .collect()
+}
+
+/// One cell of a family sweep: all `union`/`inter` depths for one
+/// `(index, update)` point, per benchmark.
+#[derive(Clone, Debug)]
+pub struct FamilyCell {
+    /// The index specification.
+    pub index: IndexSpec,
+    /// The update mode.
+    pub update: UpdateMode,
+    /// Per-benchmark family results, in [`Benchmark::ALL`] order.
+    pub per_benchmark: Vec<FamilyResult>,
+}
+
+impl FamilyCell {
+    /// Extracts the [`SchemeStats`] for `function` at `depth` (1-based).
+    pub fn stats(&self, function: PredictionFunction, depth: usize) -> SchemeStats {
+        let matrices: Vec<ConfusionMatrix> = self
+            .per_benchmark
+            .iter()
+            .map(|f| match function {
+                PredictionFunction::Union => f.union[depth - 1],
+                PredictionFunction::Inter => f.inter[depth - 1],
+                PredictionFunction::Last => {
+                    assert_eq!(depth, 1);
+                    f.union[0]
+                }
+                other => panic!("family sweep has no {other} results"),
+            })
+            .collect();
+        let scheme = Scheme::new(function, self.index, depth, self.update);
+        SchemeStats::from_matrices(scheme, matrices)
+    }
+
+    /// Mean screening across benchmarks for `function` at `depth`.
+    pub fn mean(&self, function: PredictionFunction, depth: usize) -> Screening {
+        self.stats(function, depth).mean
+    }
+}
+
+/// Sweeps the `union`/`inter` family over every `(index, update)` pair, in
+/// parallel. The depth dimension comes for free (single pass per cell).
+pub fn sweep_families(
+    suite: &Suite,
+    indexes: &[IndexSpec],
+    updates: &[UpdateMode],
+    max_depth: usize,
+) -> Vec<FamilyCell> {
+    let cells: Vec<(IndexSpec, UpdateMode)> = indexes
+        .iter()
+        .flat_map(|&ix| updates.iter().map(move |&u| (ix, u)))
+        .collect();
+    let threads = worker_count(cells.len());
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<FamilyCell>>> = Mutex::new(vec![None; cells.len()]);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= cells.len() {
+                    break;
+                }
+                let (index, update) = cells[i];
+                let per_benchmark = suite
+                    .traces
+                    .iter()
+                    .map(|b| run_history_family(&b.trace, index, update, max_depth))
+                    .collect();
+                results.lock().expect("no panics hold the lock")[i] = Some(FamilyCell {
+                    index,
+                    update,
+                    per_benchmark,
+                });
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("scope joined all workers")
+        .into_iter()
+        .map(|c| c.expect("every slot filled"))
+        .collect()
+}
+
+fn worker_count(tasks: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(tasks.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_suite() -> Suite {
+        Suite::generate(0.02, 11)
+    }
+
+    #[test]
+    fn suite_has_all_benchmarks() {
+        let s = tiny_suite();
+        assert_eq!(s.traces().len(), 7);
+        assert_eq!(s.trace(Benchmark::Gauss).benchmark, Benchmark::Gauss);
+        assert!((s.scale() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let suite = tiny_suite();
+        let schemes: Vec<Scheme> = ["last(pid+pc8)1", "inter(pid+pc8)2", "union(dir+add8)4"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let par = evaluate_schemes(&suite, &schemes);
+        for (i, scheme) in schemes.iter().enumerate() {
+            let seq = evaluate_scheme(&suite, scheme);
+            assert_eq!(par[i].per_benchmark, seq.per_benchmark);
+            assert_eq!(par[i].scheme, *scheme);
+        }
+    }
+
+    #[test]
+    fn family_cell_matches_direct_evaluation() {
+        let suite = tiny_suite();
+        let ix = IndexSpec::new(true, 4, false, 4);
+        let cells = sweep_families(&suite, &[ix], &[UpdateMode::Direct], 2);
+        assert_eq!(cells.len(), 1);
+        let from_family = cells[0].stats(PredictionFunction::Inter, 2);
+        let direct = evaluate_scheme(
+            &suite,
+            &Scheme::new(PredictionFunction::Inter, ix, 2, UpdateMode::Direct),
+        );
+        assert_eq!(from_family.per_benchmark, direct.per_benchmark);
+    }
+
+    #[test]
+    fn scheme_stats_aggregates_mean() {
+        let suite = tiny_suite();
+        let stats = evaluate_scheme(&suite, &"last(pid+pc8)1".parse().unwrap());
+        assert_eq!(stats.per_benchmark.len(), 7);
+        let manual: Vec<_> = stats.per_benchmark.iter().map(|m| m.screening()).collect();
+        let mean = Screening::mean(&manual).unwrap();
+        assert!((stats.mean.pvp - mean.pvp).abs() < 1e-12);
+        assert!(stats.size_log2() >= 16);
+    }
+}
+
+/// Dumps the full paper design space — every in-budget `union`/`inter`
+/// scheme under both implementable update modes — as tab-separated values
+/// for offline analysis: scheme, size, mean prevalence/pvp/sensitivity,
+/// then per-benchmark pvp and sensitivity columns.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn dump_sweep_tsv<W: std::io::Write>(suite: &Suite, mut w: W) -> std::io::Result<()> {
+    use crate::space::DesignSpace;
+    let space = DesignSpace::paper();
+    let max_depth = *space.depths.iter().max().expect("non-empty depths");
+    let cells = sweep_families(suite, &space.index_specs(), &space.updates, max_depth);
+
+    write!(w, "scheme\tsize\tprev\tpvp\tsens")?;
+    for b in Benchmark::ALL {
+        write!(w, "\t{b}_pvp\t{b}_sens")?;
+    }
+    writeln!(w)?;
+    for cell in &cells {
+        for &f in &space.functions {
+            for &d in &space.depths {
+                if f == PredictionFunction::Inter && d == 1 {
+                    continue; // identical to union depth 1 (`last`)
+                }
+                let stats = cell.stats(f, d);
+                if stats.size_log2() > space.max_size_log2 {
+                    continue;
+                }
+                write!(
+                    w,
+                    "{}\t{}\t{:.4}\t{:.4}\t{:.4}",
+                    stats.scheme,
+                    stats.size_log2(),
+                    stats.mean.prevalence,
+                    stats.mean.pvp,
+                    stats.mean.sensitivity
+                )?;
+                for i in 0..Benchmark::ALL.len() {
+                    let s = stats.screening_for(i);
+                    write!(w, "\t{:.4}\t{:.4}", s.pvp, s.sensitivity)?;
+                }
+                writeln!(w)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tsv_tests {
+    use super::*;
+
+    #[test]
+    fn tsv_dump_has_header_and_schemes() {
+        let suite = Suite::generate(0.01, 2);
+        let mut buf = Vec::new();
+        dump_sweep_tsv(&suite, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut lines = text.lines();
+        let header = lines.next().unwrap();
+        assert!(header.starts_with("scheme\tsize\tprev"));
+        assert!(header.contains("water_sens"));
+        let body: Vec<&str> = lines.collect();
+        assert!(
+            body.len() > 1000,
+            "expected the full space, got {}",
+            body.len()
+        );
+        // Every row has the same column count as the header.
+        let cols = header.split('\t').count();
+        for row in body.iter().take(50) {
+            assert_eq!(row.split('\t').count(), cols);
+        }
+    }
+}

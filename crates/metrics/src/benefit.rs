@@ -1,0 +1,149 @@
+//! Closed-form benefit model: from screening rates to expected cycles and
+//! messages per decision.
+//!
+//! The empirical forwarding estimator in `csp-sim` replays a concrete
+//! trace; this module is its analytic companion. Given only a predictor's
+//! screening rates and two machine constants, it computes the expected
+//! latency saved and traffic spent *per decision* — the form in which the
+//! paper's summary reasons about the bandwidth-latency trade-off ("with
+//! more communications network bandwidth, we could use a
+//! higher-sensitivity predictor").
+
+use crate::Screening;
+
+/// Machine constants of the benefit model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BenefitModel {
+    /// Cycles a read miss costs when served by the home (the paper's
+    /// remote latency, 133, for most readers).
+    pub miss_cycles: f64,
+    /// Cycles a read costs when the data was forwarded ahead of time (an
+    /// L2 hit).
+    pub hit_cycles: f64,
+    /// Network messages one forward costs (≥ 1; use the torus mean hop
+    /// count for hop-weighted accounting).
+    pub msgs_per_forward: f64,
+}
+
+impl BenefitModel {
+    /// The paper-machine defaults: 133-cycle remote miss, 8-cycle L2 hit,
+    /// 2.13 mean hops per forward on the 4x4 torus.
+    pub fn paper_16_node() -> Self {
+        BenefitModel {
+            miss_cycles: 133.0,
+            hit_cycles: 8.0,
+            msgs_per_forward: 32.0 / 15.0,
+        }
+    }
+
+    /// Expected miss-latency cycles saved per decision:
+    /// `prevalence x sensitivity x (miss - hit)`.
+    ///
+    /// Prevalence bounds this: even a perfect predictor saves only
+    /// `prevalence x (miss - hit)` — the paper's "prevalence bounds the
+    /// total possible benefit" made quantitative.
+    pub fn cycles_saved_per_decision(&self, s: &Screening) -> f64 {
+        s.prevalence * s.sensitivity * (self.miss_cycles - self.hit_cycles)
+    }
+
+    /// Expected forwarding messages per decision: every predicted-positive
+    /// decision sends one forward. Derived from the rates:
+    /// `TP/N + FP/N = prev x sens + (1 - prev) x (1 - specificity)`.
+    pub fn messages_per_decision(&self, s: &Screening) -> f64 {
+        let tp_rate = s.prevalence * s.sensitivity;
+        let fp_rate = (1.0 - s.prevalence) * (1.0 - s.specificity);
+        (tp_rate + fp_rate) * self.msgs_per_forward
+    }
+
+    /// Cycles saved per message spent — the exchange rate between the two
+    /// resources; `0` when the scheme sends nothing.
+    pub fn cycles_per_message(&self, s: &Screening) -> f64 {
+        let msgs = self.messages_per_decision(s);
+        if msgs == 0.0 {
+            0.0
+        } else {
+            self.cycles_saved_per_decision(s) / msgs
+        }
+    }
+
+    /// The savings a *perfect* predictor would reach at this prevalence —
+    /// the upper bound to report alongside any scheme's actual savings.
+    pub fn oracle_cycles_per_decision(&self, prevalence: f64) -> f64 {
+        prevalence * (self.miss_cycles - self.hit_cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ConfusionMatrix;
+
+    fn screening(tp: u64, fp: u64, tn: u64, fn_: u64) -> Screening {
+        ConfusionMatrix { tp, fp, tn, fn_ }.screening()
+    }
+
+    #[test]
+    fn oracle_bounds_any_scheme() {
+        let model = BenefitModel::paper_16_node();
+        for (tp, fp, tn, fn_) in [(10, 5, 80, 5), (1, 0, 98, 1), (16, 16, 60, 8)] {
+            let s = screening(tp, fp, tn, fn_);
+            assert!(
+                model.cycles_saved_per_decision(&s)
+                    <= model.oracle_cycles_per_decision(s.prevalence) + 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn perfect_predictor_attains_the_oracle() {
+        let model = BenefitModel::paper_16_node();
+        let s = screening(10, 0, 90, 0);
+        assert!(
+            (model.cycles_saved_per_decision(&s) - model.oracle_cycles_per_decision(s.prevalence))
+                .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn message_rate_matches_raw_counts() {
+        let model = BenefitModel {
+            miss_cycles: 100.0,
+            hit_cycles: 0.0,
+            msgs_per_forward: 1.0,
+        };
+        let m = ConfusionMatrix {
+            tp: 30,
+            fp: 20,
+            tn: 40,
+            fn_: 10,
+        };
+        let s = m.screening();
+        let expected = m.predicted_positives() as f64 / m.decisions() as f64;
+        assert!((model.messages_per_decision(&s) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn high_pvp_scheme_has_better_exchange_rate() {
+        let model = BenefitModel::paper_16_node();
+        let precise = screening(30, 3, 900, 70); // inter-like
+        let broad = screening(70, 130, 770, 30); // union-like
+        assert!(precise.pvp > broad.pvp);
+        assert!(
+            model.cycles_per_message(&precise) > model.cycles_per_message(&broad),
+            "sure bets buy more latency per message"
+        );
+        // ...but the broad scheme saves more total latency.
+        assert!(
+            model.cycles_saved_per_decision(&broad) > model.cycles_saved_per_decision(&precise)
+        );
+    }
+
+    #[test]
+    fn silent_scheme_has_zero_rates() {
+        let model = BenefitModel::paper_16_node();
+        let s = screening(0, 0, 90, 10);
+        assert_eq!(model.messages_per_decision(&s), 0.0);
+        assert_eq!(model.cycles_per_message(&s), 0.0);
+    }
+}

@@ -1,0 +1,230 @@
+//! Paired comparison of two predictors on the same decisions.
+//!
+//! Screening rates alone cannot say whether scheme A *significantly*
+//! outperforms scheme B: the two are evaluated on exactly the same
+//! decisions, so the right tool is a paired analysis of their
+//! disagreements — McNemar's test, the standard companion of the
+//! screening-test statistics the paper imports.
+
+use std::fmt;
+
+/// Per-decision agreement counts for two predictors A and B.
+///
+/// A decision is *correct* for a predictor when its bit matches the actual
+/// bit (true positive or true negative).
+///
+/// # Example
+///
+/// ```
+/// use csp_metrics::compare::PairedComparison;
+/// let mut p = PairedComparison::default();
+/// p.record(true, true);
+/// p.record(true, false);
+/// p.record(false, false);
+/// assert_eq!(p.total(), 3);
+/// assert_eq!(p.only_a, 1);
+/// assert!(p.accuracy_a() > p.accuracy_b());
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PairedComparison {
+    /// Decisions both predictors got right.
+    pub both_correct: u64,
+    /// Decisions only A got right (A's wins).
+    pub only_a: u64,
+    /// Decisions only B got right (B's wins).
+    pub only_b: u64,
+    /// Decisions both predictors got wrong.
+    pub both_wrong: u64,
+}
+
+impl PairedComparison {
+    /// Records one decision's outcome for both predictors.
+    #[inline]
+    pub fn record(&mut self, a_correct: bool, b_correct: bool) {
+        match (a_correct, b_correct) {
+            (true, true) => self.both_correct += 1,
+            (true, false) => self.only_a += 1,
+            (false, true) => self.only_b += 1,
+            (false, false) => self.both_wrong += 1,
+        }
+    }
+
+    /// Total decisions compared.
+    pub fn total(&self) -> u64 {
+        self.both_correct + self.only_a + self.only_b + self.both_wrong
+    }
+
+    /// A's overall per-bit accuracy.
+    pub fn accuracy_a(&self) -> f64 {
+        ratio(self.both_correct + self.only_a, self.total())
+    }
+
+    /// B's overall per-bit accuracy.
+    pub fn accuracy_b(&self) -> f64 {
+        ratio(self.both_correct + self.only_b, self.total())
+    }
+
+    /// McNemar's chi-squared statistic (with continuity correction) over
+    /// the discordant pairs. Values above ~3.84 reject "A and B err
+    /// equally often" at the 5% level; above ~6.63 at the 1% level.
+    /// Returns 0 when there are no disagreements.
+    pub fn mcnemar_chi2(&self) -> f64 {
+        let n = self.only_a + self.only_b;
+        if n == 0 {
+            return 0.0;
+        }
+        let diff = self.only_a.abs_diff(self.only_b) as f64;
+        let corrected = (diff - 1.0).max(0.0);
+        corrected * corrected / n as f64
+    }
+
+    /// `true` when the disagreement pattern is significant at the 5%
+    /// level (chi-squared with one degree of freedom).
+    pub fn significant_at_5pct(&self) -> bool {
+        self.mcnemar_chi2() > 3.841
+    }
+
+    /// Merges another comparison's counts (e.g. across benchmarks).
+    pub fn merge(&mut self, other: &PairedComparison) {
+        self.both_correct += other.both_correct;
+        self.only_a += other.only_a;
+        self.only_b += other.only_b;
+        self.both_wrong += other.both_wrong;
+    }
+}
+
+impl fmt::Display for PairedComparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "A-wins={} B-wins={} both-right={} both-wrong={} (chi2={:.2})",
+            self.only_a,
+            self.only_b,
+            self.both_correct,
+            self.both_wrong,
+            self.mcnemar_chi2()
+        )
+    }
+}
+
+/// Wilson score interval for a binomial proportion at ~95% confidence —
+/// sturdier than the normal approximation at the extreme rates sharing
+/// predictors produce. Returns `(low, high)`, or `(0, 1)` when `n == 0`.
+///
+/// # Example
+///
+/// ```
+/// let (lo, hi) = csp_metrics::compare::wilson_interval(90, 100);
+/// assert!(lo > 0.8 && hi < 0.96);
+/// ```
+pub fn wilson_interval(successes: u64, n: u64) -> (f64, f64) {
+    if n == 0 {
+        return (0.0, 1.0);
+    }
+    let z = 1.96f64;
+    let n_f = n as f64;
+    let p = successes as f64 / n_f;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n_f;
+    let centre = p + z2 / (2.0 * n_f);
+    let margin = z * (p * (1.0 - p) / n_f + z2 / (4.0 * n_f * n_f)).sqrt();
+    (
+        ((centre - margin) / denom).max(0.0),
+        ((centre + margin) / denom).min(1.0),
+    )
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_classifies_all_four_cells() {
+        let mut p = PairedComparison::default();
+        p.record(true, true);
+        p.record(true, false);
+        p.record(false, true);
+        p.record(false, false);
+        assert_eq!(p.both_correct, 1);
+        assert_eq!(p.only_a, 1);
+        assert_eq!(p.only_b, 1);
+        assert_eq!(p.both_wrong, 1);
+        assert_eq!(p.total(), 4);
+        assert!((p.accuracy_a() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_disagreement_is_insignificant() {
+        let p = PairedComparison {
+            both_correct: 100,
+            only_a: 20,
+            only_b: 20,
+            both_wrong: 10,
+        };
+        assert!(p.mcnemar_chi2() < 0.1);
+        assert!(!p.significant_at_5pct());
+    }
+
+    #[test]
+    fn lopsided_disagreement_is_significant() {
+        let p = PairedComparison {
+            both_correct: 100,
+            only_a: 40,
+            only_b: 5,
+            both_wrong: 10,
+        };
+        assert!(p.significant_at_5pct(), "chi2 {}", p.mcnemar_chi2());
+        assert!(p.accuracy_a() > p.accuracy_b());
+    }
+
+    #[test]
+    fn no_disagreement_chi2_zero() {
+        let p = PairedComparison {
+            both_correct: 50,
+            both_wrong: 2,
+            ..Default::default()
+        };
+        assert_eq!(p.mcnemar_chi2(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = PairedComparison {
+            only_a: 3,
+            ..Default::default()
+        };
+        a.merge(&PairedComparison {
+            only_b: 4,
+            both_correct: 1,
+            ..Default::default()
+        });
+        assert_eq!(a.only_a, 3);
+        assert_eq!(a.only_b, 4);
+        assert_eq!(a.total(), 8);
+    }
+
+    #[test]
+    fn wilson_interval_properties() {
+        let (lo, hi) = wilson_interval(0, 0);
+        assert_eq!((lo, hi), (0.0, 1.0));
+        let (lo, hi) = wilson_interval(50, 100);
+        assert!(lo < 0.5 && hi > 0.5);
+        // Shrinks with n.
+        let (lo_small, hi_small) = wilson_interval(5, 10);
+        let (lo_big, hi_big) = wilson_interval(500, 1000);
+        assert!(hi_big - lo_big < hi_small - lo_small);
+        // Extreme proportions stay in [0, 1].
+        let (lo, hi) = wilson_interval(100, 100);
+        assert!(lo > 0.9 && hi <= 1.0);
+        let (lo, _) = wilson_interval(0, 100);
+        assert_eq!(lo, 0.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! The four-cell confusion matrix of Figure 5 of the paper.
+
+use crate::Screening;
+use csp_trace::SharingBitmap;
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Counts of the four prediction outcomes, accumulated bit-wise over
+/// decisions.
+///
+/// Each coherence store miss contributes one decision *per node*: predicted
+/// ∧ actual → true positive, predicted ∧ ¬actual → false positive,
+/// ¬predicted ∧ actual → false negative, ¬predicted ∧ ¬actual → true
+/// negative.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    /// Correctly predicted shared.
+    pub tp: u64,
+    /// Incorrectly predicted shared (punitive: wasted forwards).
+    pub fp: u64,
+    /// Correctly predicted not shared.
+    pub tn: u64,
+    /// Incorrectly predicted not shared (missed opportunities).
+    pub fn_: u64,
+}
+
+impl ConfusionMatrix {
+    /// Scores one decision: `predicted` vs `actual` over an `nodes`-wide
+    /// machine. Bits at or beyond `nodes` are ignored.
+    #[inline]
+    pub fn record(&mut self, predicted: SharingBitmap, actual: SharingBitmap, nodes: usize) {
+        let p = predicted.masked(nodes);
+        let a = actual.masked(nodes);
+        let tp = (p & a).count() as u64;
+        let fp = (p - a).count() as u64;
+        let fn_ = (a - p).count() as u64;
+        self.tp += tp;
+        self.fp += fp;
+        self.fn_ += fn_;
+        self.tn += nodes as u64 - tp - fp - fn_;
+    }
+
+    /// Total decisions scored (TP + FP + TN + FN).
+    #[inline]
+    pub fn decisions(&self) -> u64 {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Total actual sharing (TP + FN): the paper's "dynamic sharing events".
+    #[inline]
+    pub fn actual_positives(&self) -> u64 {
+        self.tp + self.fn_
+    }
+
+    /// Total predicted sharing (TP + FP): the data-forwarding traffic a
+    /// forwarding protocol driven by this predictor would inject.
+    #[inline]
+    pub fn predicted_positives(&self) -> u64 {
+        self.tp + self.fp
+    }
+
+    /// Derives the screening-test rates.
+    pub fn screening(&self) -> Screening {
+        Screening::from_confusion(self)
+    }
+}
+
+impl Add for ConfusionMatrix {
+    type Output = ConfusionMatrix;
+
+    fn add(self, rhs: ConfusionMatrix) -> ConfusionMatrix {
+        ConfusionMatrix {
+            tp: self.tp + rhs.tp,
+            fp: self.fp + rhs.fp,
+            tn: self.tn + rhs.tn,
+            fn_: self.fn_ + rhs.fn_,
+        }
+    }
+}
+
+impl AddAssign for ConfusionMatrix {
+    fn add_assign(&mut self, rhs: ConfusionMatrix) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::iter::Sum for ConfusionMatrix {
+    fn sum<I: Iterator<Item = ConfusionMatrix>>(iter: I) -> ConfusionMatrix {
+        iter.fold(ConfusionMatrix::default(), Add::add)
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tp={} fp={} tn={} fn={}",
+            self.tp, self.fp, self.tn, self.fn_
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csp_trace::NodeId;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_matrix() {
+        let m = ConfusionMatrix::default();
+        assert_eq!(m.decisions(), 0);
+        assert_eq!(m.actual_positives(), 0);
+        assert_eq!(m.predicted_positives(), 0);
+    }
+
+    #[test]
+    fn perfect_prediction_has_no_errors() {
+        let mut m = ConfusionMatrix::default();
+        let b = SharingBitmap::from_nodes(&[NodeId(0), NodeId(5)]);
+        m.record(b, b, 16);
+        assert_eq!(m.tp, 2);
+        assert_eq!(m.fp, 0);
+        assert_eq!(m.fn_, 0);
+        assert_eq!(m.tn, 14);
+    }
+
+    #[test]
+    fn out_of_machine_bits_are_ignored() {
+        let mut m = ConfusionMatrix::default();
+        m.record(
+            SharingBitmap::from_bits(u64::MAX),
+            SharingBitmap::empty(),
+            4,
+        );
+        assert_eq!(m.fp, 4);
+        assert_eq!(m.decisions(), 4);
+    }
+
+    #[test]
+    fn addition_merges_counts() {
+        let mut a = ConfusionMatrix::default();
+        a.record(SharingBitmap::all(4), SharingBitmap::all(4), 4);
+        let mut b = ConfusionMatrix::default();
+        b.record(SharingBitmap::empty(), SharingBitmap::all(4), 4);
+        let c = a + b;
+        assert_eq!(c.tp, 4);
+        assert_eq!(c.fn_, 4);
+        assert_eq!(c.decisions(), 8);
+        let s: ConfusionMatrix = [a, b].into_iter().sum();
+        assert_eq!(s, c);
+    }
+
+    proptest! {
+        /// Every decision lands in exactly one cell.
+        #[test]
+        fn prop_cells_partition_decisions(p: u64, a: u64, n in 1usize..=64, reps in 1usize..10) {
+            let mut m = ConfusionMatrix::default();
+            for _ in 0..reps {
+                m.record(SharingBitmap::from_bits(p), SharingBitmap::from_bits(a), n);
+            }
+            prop_assert_eq!(m.decisions(), (n * reps) as u64);
+        }
+
+        /// Actual positives depend only on the actual bitmap.
+        #[test]
+        fn prop_actual_positives_independent_of_prediction(p1: u64, p2: u64, a: u64) {
+            let mut m1 = ConfusionMatrix::default();
+            let mut m2 = ConfusionMatrix::default();
+            m1.record(SharingBitmap::from_bits(p1), SharingBitmap::from_bits(a), 16);
+            m2.record(SharingBitmap::from_bits(p2), SharingBitmap::from_bits(a), 16);
+            prop_assert_eq!(m1.actual_positives(), m2.actual_positives());
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Measurement precision of screening rates, after Gastwirth (1987).
+//!
+//! Section 5.3 of the paper notes that "low prevalence also compounds the
+//! errors in measuring the accuracy of a prediction scheme. As the
+//! prevalence of the underlying phenomenon decreases, the measurement error
+//! increases". This module quantifies that effect: binomial standard errors
+//! for each estimated rate, and the prevalence-driven error amplification
+//! of PVP.
+
+use crate::ConfusionMatrix;
+
+/// Standard errors of the estimated screening rates, treating each rate as
+/// a binomial proportion `p̂` with `SE = sqrt(p̂(1-p̂)/n)` over its own
+/// denominator.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RateErrors {
+    /// Standard error of the prevalence estimate.
+    pub prevalence: f64,
+    /// Standard error of the sensitivity estimate (denominator TP+FN).
+    pub sensitivity: f64,
+    /// Standard error of the PVP estimate (denominator TP+FP).
+    pub pvp: f64,
+    /// Standard error of the specificity estimate (denominator TN+FP).
+    pub specificity: f64,
+}
+
+/// Computes binomial standard errors for the rates of `m`.
+///
+/// Rates with empty denominators get an error of `0.0` (there is no
+/// estimate to be uncertain about; callers should treat such rates as
+/// undefined).
+///
+/// # Example
+///
+/// ```
+/// use csp_metrics::{ConfusionMatrix, precision};
+/// let m = ConfusionMatrix { tp: 50, fp: 50, tn: 800, fn_: 100 };
+/// let e = precision::rate_errors(&m);
+/// assert!(e.pvp > e.specificity); // far fewer positive predictions than negatives
+/// ```
+pub fn rate_errors(m: &ConfusionMatrix) -> RateErrors {
+    let s = m.screening();
+    RateErrors {
+        prevalence: binom_se(s.prevalence, m.decisions()),
+        sensitivity: binom_se(s.sensitivity, m.actual_positives()),
+        pvp: binom_se(s.pvp, m.predicted_positives()),
+        specificity: binom_se(s.specificity, m.tn + m.fp),
+    }
+}
+
+/// The PVP a test with the given `sensitivity` and `specificity` would
+/// achieve at a different `prevalence` — Gastwirth's core identity (Bayes'
+/// rule):
+///
+/// `PVP = sens·prev / (sens·prev + (1-spec)·(1-prev))`
+///
+/// This is how the paper's observation plays out quantitatively: as
+/// prevalence falls, the same test yields a rapidly falling PVP, so
+/// low-prevalence sharing demands very high specificity.
+///
+/// # Example
+///
+/// ```
+/// use csp_metrics::precision::pvp_at_prevalence;
+/// let high = pvp_at_prevalence(0.9, 0.95, 0.5);
+/// let low = pvp_at_prevalence(0.9, 0.95, 0.05);
+/// assert!(high > 0.9 && low < 0.5);
+/// ```
+///
+/// # Panics
+///
+/// Panics if any argument is outside `[0, 1]`.
+pub fn pvp_at_prevalence(sensitivity: f64, specificity: f64, prevalence: f64) -> f64 {
+    for (name, v) in [
+        ("sensitivity", sensitivity),
+        ("specificity", specificity),
+        ("prevalence", prevalence),
+    ] {
+        assert!((0.0..=1.0).contains(&v), "{name} must be in [0,1], got {v}");
+    }
+    let num = sensitivity * prevalence;
+    let den = num + (1.0 - specificity) * (1.0 - prevalence);
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+fn binom_se(p: f64, n: u64) -> f64 {
+    if n == 0 {
+        0.0
+    } else {
+        (p * (1.0 - p) / n as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_shrink_with_sample_size() {
+        let small = ConfusionMatrix {
+            tp: 5,
+            fp: 5,
+            tn: 80,
+            fn_: 10,
+        };
+        let big = ConfusionMatrix {
+            tp: 500,
+            fp: 500,
+            tn: 8000,
+            fn_: 1000,
+        };
+        assert!(rate_errors(&small).pvp > rate_errors(&big).pvp);
+        assert!(rate_errors(&small).prevalence > rate_errors(&big).prevalence);
+    }
+
+    #[test]
+    fn zero_counts_have_zero_errors() {
+        let e = rate_errors(&ConfusionMatrix::default());
+        assert_eq!(e.prevalence, 0.0);
+        assert_eq!(e.pvp, 0.0);
+    }
+
+    #[test]
+    fn pvp_falls_with_prevalence() {
+        let mut last = 1.0;
+        for prev in [0.5, 0.2, 0.1, 0.05, 0.01] {
+            let pvp = pvp_at_prevalence(0.8, 0.95, prev);
+            assert!(pvp < last, "PVP must fall as prevalence falls");
+            last = pvp;
+        }
+    }
+
+    #[test]
+    fn pvp_identity_matches_confusion_matrix() {
+        // Build a matrix, then check Bayes' identity reproduces its PVP.
+        let m = ConfusionMatrix {
+            tp: 120,
+            fp: 30,
+            tn: 700,
+            fn_: 150,
+        };
+        let s = m.screening();
+        let pvp = pvp_at_prevalence(s.sensitivity, s.specificity, s.prevalence);
+        assert!((pvp - s.pvp).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0,1]")]
+    fn pvp_rejects_bad_rates() {
+        pvp_at_prevalence(1.2, 0.5, 0.5);
+    }
+
+    #[test]
+    fn degenerate_test_has_zero_pvp() {
+        assert_eq!(pvp_at_prevalence(0.0, 1.0, 0.5), 0.0);
+    }
+}

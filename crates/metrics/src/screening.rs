@@ -1,0 +1,187 @@
+//! Derived screening-test rates (paper Table 2, plus footnote 7).
+
+use crate::ConfusionMatrix;
+use std::fmt;
+
+/// The screening-test rates derived from a [`ConfusionMatrix`].
+///
+/// All rates are in `[0, 1]`; a rate whose denominator is zero is reported
+/// as `0.0` (an empty test predicts nothing and captures nothing).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Screening {
+    /// `(TP+FN) / (TP+TN+FP+FN)` — how much sharing actually takes place;
+    /// the upper bound on the benefit of any prediction scheme.
+    pub prevalence: f64,
+    /// `TP / (TP+FN)` — how well the test predicts sharing when sharing
+    /// does take place.
+    pub sensitivity: f64,
+    /// `TP / (TP+FP)` — predictive value of a positive test: the fraction
+    /// of data-forwarding traffic that is useful. Prior studies called this
+    /// "prediction accuracy".
+    pub pvp: f64,
+    /// `TN / (TN+FP)` — how well the test predicts non-sharing (footnote 7;
+    /// not used by the paper's tables, provided for completeness).
+    pub specificity: f64,
+    /// `TN / (TN+FN)` — predictive value of a negative test (footnote 7).
+    pub pvn: f64,
+}
+
+impl Screening {
+    /// Computes the rates from raw counts.
+    pub fn from_confusion(m: &ConfusionMatrix) -> Self {
+        Screening {
+            prevalence: ratio(m.tp + m.fn_, m.decisions()),
+            sensitivity: ratio(m.tp, m.tp + m.fn_),
+            pvp: ratio(m.tp, m.tp + m.fp),
+            specificity: ratio(m.tn, m.tn + m.fp),
+            pvn: ratio(m.tn, m.tn + m.fn_),
+        }
+    }
+
+    /// Youden's J statistic (`sensitivity + specificity - 1`), a prevalence-
+    /// independent summary of test quality in `[-1, 1]`.
+    pub fn youden_j(&self) -> f64 {
+        self.sensitivity + self.specificity - 1.0
+    }
+
+    /// Arithmetic mean of a set of screening results — the paper's
+    /// cross-benchmark aggregation ("arithmetic average over all
+    /// benchmarks", Section 5.4.2). Returns `None` for an empty slice.
+    pub fn mean(results: &[Screening]) -> Option<Screening> {
+        if results.is_empty() {
+            return None;
+        }
+        let n = results.len() as f64;
+        let mut acc = Screening::default();
+        for r in results {
+            acc.prevalence += r.prevalence;
+            acc.sensitivity += r.sensitivity;
+            acc.pvp += r.pvp;
+            acc.specificity += r.specificity;
+            acc.pvn += r.pvn;
+        }
+        Some(Screening {
+            prevalence: acc.prevalence / n,
+            sensitivity: acc.sensitivity / n,
+            pvp: acc.pvp / n,
+            specificity: acc.specificity / n,
+            pvn: acc.pvn / n,
+        })
+    }
+}
+
+impl fmt::Display for Screening {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "prev={:.3} sens={:.3} pvp={:.3} spec={:.3} pvn={:.3}",
+            self.prevalence, self.sensitivity, self.pvp, self.specificity, self.pvn
+        )
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csp_trace::{NodeId, SharingBitmap};
+    use proptest::prelude::*;
+
+    fn matrix(tp: u64, fp: u64, tn: u64, fn_: u64) -> ConfusionMatrix {
+        ConfusionMatrix { tp, fp, tn, fn_ }
+    }
+
+    #[test]
+    fn known_rates() {
+        let s = matrix(30, 10, 50, 10).screening();
+        assert!((s.prevalence - 0.4).abs() < 1e-12);
+        assert!((s.sensitivity - 0.75).abs() < 1e-12);
+        assert!((s.pvp - 0.75).abs() < 1e-12);
+        assert!((s.specificity - 50.0 / 60.0).abs() < 1e-12);
+        assert!((s.pvn - 50.0 / 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_denominators_are_zero() {
+        let s = matrix(0, 0, 0, 0).screening();
+        assert_eq!(s.prevalence, 0.0);
+        assert_eq!(s.sensitivity, 0.0);
+        assert_eq!(s.pvp, 0.0);
+        assert_eq!(s.specificity, 0.0);
+        assert_eq!(s.pvn, 0.0);
+    }
+
+    #[test]
+    fn perfect_test() {
+        let s = matrix(10, 0, 90, 0).screening();
+        assert_eq!(s.sensitivity, 1.0);
+        assert_eq!(s.pvp, 1.0);
+        assert!((s.youden_j() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_averages_componentwise() {
+        let a = matrix(10, 0, 90, 0).screening(); // sens 1.0
+        let b = matrix(0, 0, 90, 10).screening(); // sens 0.0
+        let m = Screening::mean(&[a, b]).unwrap();
+        assert!((m.sensitivity - 0.5).abs() < 1e-12);
+        assert!(Screening::mean(&[]).is_none());
+    }
+
+    proptest! {
+        /// All rates stay within [0, 1] for any recorded decisions.
+        #[test]
+        fn prop_rates_bounded(records in proptest::collection::vec((any::<u64>(), any::<u64>()), 1..50)) {
+            let mut m = ConfusionMatrix::default();
+            for (p, a) in records {
+                m.record(SharingBitmap::from_bits(p), SharingBitmap::from_bits(a), 16);
+            }
+            let s = m.screening();
+            for rate in [s.prevalence, s.sensitivity, s.pvp, s.specificity, s.pvn] {
+                prop_assert!((0.0..=1.0).contains(&rate), "rate {rate} out of range for {m}");
+            }
+        }
+
+        /// Predicting everything gives sensitivity 1; predicting nothing
+        /// gives specificity 1.
+        #[test]
+        fn prop_degenerate_predictors(a: u64) {
+            let mut all = ConfusionMatrix::default();
+            all.record(SharingBitmap::all(16), SharingBitmap::from_bits(a), 16);
+            let mut none = ConfusionMatrix::default();
+            none.record(SharingBitmap::empty(), SharingBitmap::from_bits(a), 16);
+            let actual = SharingBitmap::from_bits(a).masked(16);
+            if !actual.is_empty() {
+                prop_assert_eq!(all.screening().sensitivity, 1.0);
+            }
+            if actual.count() < 16 {
+                prop_assert_eq!(none.screening().specificity, 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn display_shows_rates() {
+        let s = matrix(1, 1, 1, 1).screening();
+        let out = s.to_string();
+        assert!(out.contains("sens=0.500"));
+        assert!(out.contains("pvp=0.500"));
+    }
+
+    // Keep NodeId imported for the doc-test parity with the crate docs.
+    #[test]
+    fn crate_doc_example_counts() {
+        let mut m = ConfusionMatrix::default();
+        let predicted = SharingBitmap::from_nodes(&[NodeId(1), NodeId(2)]);
+        let actual = SharingBitmap::from_nodes(&[NodeId(2), NodeId(3)]);
+        m.record(predicted, actual, 16);
+        assert_eq!((m.tp, m.fp, m.fn_, m.tn), (1, 1, 1, 13));
+    }
+}

@@ -1,0 +1,255 @@
+//! Set-associative caches with LRU replacement.
+//!
+//! The simulator models each node's L1/L2 hierarchy to decide which sharer
+//! copies survive between invalidations — the one way timing-free simulation
+//! can still distort sharing patterns (paper Section 3.4: "cache
+//! replacements prior to invalidation can obscure our view of the true
+//! sharing"). States cover MSI plus the optional MESI clean-exclusive:
+//! `Shared` (clean, possibly replicated), `Exclusive` (clean, sole copy)
+//! and `Modified` (dirty, sole copy).
+
+use crate::CacheConfig;
+use csp_trace::LineAddr;
+
+/// Coherence state of a cached line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LineState {
+    /// Present, read-only copy.
+    Shared,
+    /// Present, exclusive *clean* copy (MESI only): no other cache holds
+    /// the line, so a write can upgrade silently.
+    Exclusive,
+    /// Present, exclusive dirty copy.
+    Modified,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Way {
+    line: LineAddr,
+    state: LineState,
+    /// Higher = more recently used.
+    lru: u64,
+}
+
+/// A single set-associative, LRU-replacement cache.
+///
+/// # Example
+///
+/// ```
+/// use csp_sim::cache::{Cache, LineState};
+/// use csp_sim::CacheConfig;
+/// use csp_trace::LineAddr;
+///
+/// let mut c = Cache::new(CacheConfig::new(2 * 64, 2, 64));
+/// assert!(c.insert(LineAddr(0), LineState::Shared).is_none());
+/// assert!(c.insert(LineAddr(1), LineState::Shared).is_none());
+/// // Both map to the single set; a third insert evicts the LRU line 0.
+/// let evicted = c.insert(LineAddr(2), LineState::Modified).unwrap();
+/// assert_eq!(evicted.0, LineAddr(0));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Vec<Way>>,
+    set_mask: u64,
+    clock: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(config: CacheConfig) -> Self {
+        let num_sets = config.num_sets() as usize;
+        Cache {
+            config,
+            sets: vec![Vec::with_capacity(config.associativity as usize); num_sets],
+            set_mask: config.num_sets() - 1,
+            clock: 0,
+        }
+    }
+
+    /// The cache's geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    #[inline]
+    fn set_index(&self, line: LineAddr) -> usize {
+        (line.0 & self.set_mask) as usize
+    }
+
+    /// Looks up `line`, updating LRU on a hit. Returns its state if present.
+    pub fn lookup(&mut self, line: LineAddr) -> Option<LineState> {
+        self.clock += 1;
+        let clock = self.clock;
+        let set = self.set_index(line);
+        self.sets[set].iter_mut().find(|w| w.line == line).map(|w| {
+            w.lru = clock;
+            w.state
+        })
+    }
+
+    /// Peeks at `line` without touching LRU state.
+    pub fn peek(&self, line: LineAddr) -> Option<LineState> {
+        let set = self.set_index(line);
+        self.sets[set]
+            .iter()
+            .find(|w| w.line == line)
+            .map(|w| w.state)
+    }
+
+    /// Inserts (or updates) `line` with `state`, evicting the LRU way if the
+    /// set is full. Returns the evicted `(line, state)` if any.
+    pub fn insert(&mut self, line: LineAddr, state: LineState) -> Option<(LineAddr, LineState)> {
+        self.clock += 1;
+        let clock = self.clock;
+        let assoc = self.config.associativity as usize;
+        let set_idx = self.set_index(line);
+        let set = &mut self.sets[set_idx];
+        if let Some(w) = set.iter_mut().find(|w| w.line == line) {
+            w.state = state;
+            w.lru = clock;
+            return None;
+        }
+        let mut evicted = None;
+        if set.len() == assoc {
+            let victim = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.lru)
+                .map(|(i, _)| i)
+                .expect("full set is non-empty");
+            let w = set.swap_remove(victim);
+            evicted = Some((w.line, w.state));
+        }
+        set.push(Way {
+            line,
+            state,
+            lru: clock,
+        });
+        evicted
+    }
+
+    /// Changes the state of a resident line. Returns `false` if absent.
+    pub fn set_state(&mut self, line: LineAddr, state: LineState) -> bool {
+        let set = self.set_index(line);
+        if let Some(w) = self.sets[set].iter_mut().find(|w| w.line == line) {
+            w.state = state;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes `line` (an external invalidation). Returns its state if it
+    /// was present.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<LineState> {
+        let set = self.set_index(line);
+        let pos = self.sets[set].iter().position(|w| w.line == line)?;
+        Some(self.sets[set].swap_remove(pos).state)
+    }
+
+    /// Number of resident lines.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Returns `true` if no lines are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn tiny() -> Cache {
+        // 2 sets x 2 ways.
+        Cache::new(CacheConfig::new(4 * 64, 2, 64))
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        assert_eq!(c.lookup(LineAddr(4)), None);
+        c.insert(LineAddr(4), LineState::Shared);
+        assert_eq!(c.lookup(LineAddr(4)), Some(LineState::Shared));
+        assert_eq!(c.peek(LineAddr(4)), Some(LineState::Shared));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = tiny();
+        // Lines 0, 2, 4 all map to set 0 (even line addresses).
+        c.insert(LineAddr(0), LineState::Shared);
+        c.insert(LineAddr(2), LineState::Shared);
+        c.lookup(LineAddr(0)); // make line 2 the LRU
+        let evicted = c.insert(LineAddr(4), LineState::Shared).unwrap();
+        assert_eq!(evicted.0, LineAddr(2));
+        assert!(c.peek(LineAddr(0)).is_some());
+    }
+
+    #[test]
+    fn insert_existing_updates_state_without_eviction() {
+        let mut c = tiny();
+        c.insert(LineAddr(0), LineState::Shared);
+        assert!(c.insert(LineAddr(0), LineState::Modified).is_none());
+        assert_eq!(c.peek(LineAddr(0)), Some(LineState::Modified));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn invalidate_removes_and_reports_state() {
+        let mut c = tiny();
+        c.insert(LineAddr(6), LineState::Modified);
+        assert_eq!(c.invalidate(LineAddr(6)), Some(LineState::Modified));
+        assert_eq!(c.invalidate(LineAddr(6)), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn set_state_on_absent_line_is_false() {
+        let mut c = tiny();
+        assert!(!c.set_state(LineAddr(1), LineState::Shared));
+        c.insert(LineAddr(1), LineState::Shared);
+        assert!(c.set_state(LineAddr(1), LineState::Modified));
+    }
+
+    #[test]
+    fn different_sets_do_not_conflict() {
+        let mut c = tiny();
+        // Even lines -> set 0, odd lines -> set 1.
+        c.insert(LineAddr(0), LineState::Shared);
+        c.insert(LineAddr(2), LineState::Shared);
+        c.insert(LineAddr(1), LineState::Shared);
+        c.insert(LineAddr(3), LineState::Shared);
+        assert_eq!(c.len(), 4);
+    }
+
+    proptest! {
+        /// Occupancy never exceeds capacity, and a just-inserted line is
+        /// always resident.
+        #[test]
+        fn prop_capacity_respected(lines in proptest::collection::vec(0u64..64, 1..200)) {
+            let mut c = tiny();
+            for &l in &lines {
+                c.insert(LineAddr(l), LineState::Shared);
+                prop_assert!(c.len() <= 4);
+                prop_assert!(c.peek(LineAddr(l)).is_some());
+            }
+        }
+
+        /// A line evicted from a set is no longer resident.
+        #[test]
+        fn prop_eviction_removes_line(lines in proptest::collection::vec(0u64..64, 1..200)) {
+            let mut c = tiny();
+            for &l in &lines {
+                if let Some((victim, _)) = c.insert(LineAddr(l), LineState::Shared) {
+                    prop_assert!(c.peek(victim).is_none());
+                    prop_assert_ne!(victim, LineAddr(l));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Simulator configuration, with the paper's Table 4 machine as default.
+
+/// Geometry of one cache level.
+///
+/// # Example
+///
+/// ```
+/// use csp_sim::CacheConfig;
+/// let l2 = CacheConfig::new(512 * 1024, 4, 64);
+/// assert_eq!(l2.num_sets(), 2048);
+/// assert_eq!(l2.num_lines(), 8192);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set); 1 = direct-mapped.
+    pub associativity: u32,
+    /// Line size in bytes (power of two).
+    pub line_size: u64,
+}
+
+impl CacheConfig {
+    /// Creates a cache geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `line_size` is a power of two, `associativity > 0`, and
+    /// `size_bytes` is a positive multiple of `associativity * line_size`
+    /// with a power-of-two set count.
+    pub fn new(size_bytes: u64, associativity: u32, line_size: u64) -> Self {
+        assert!(
+            line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(associativity > 0, "associativity must be positive");
+        let way_bytes = u64::from(associativity) * line_size;
+        assert!(
+            size_bytes > 0 && size_bytes % way_bytes == 0,
+            "size must be a positive multiple of associativity x line size"
+        );
+        let cfg = CacheConfig {
+            size_bytes,
+            associativity,
+            line_size,
+        };
+        assert!(
+            cfg.num_sets().is_power_of_two(),
+            "set count must be a power of two (got {})",
+            cfg.num_sets()
+        );
+        cfg
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> u64 {
+        self.size_bytes / (u64::from(self.associativity) * self.line_size)
+    }
+
+    /// Total number of lines the cache can hold.
+    pub fn num_lines(&self) -> u64 {
+        self.size_bytes / self.line_size
+    }
+}
+
+/// Access latencies in CPU cycles, used only by the after-the-fact cost and
+/// forwarding estimators (the paper's Table 4 values).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencyConfig {
+    /// L1 hit latency.
+    pub l1_hit: u64,
+    /// L2 hit latency.
+    pub l2_hit: u64,
+    /// Miss satisfied by the local memory/directory (Table 4: 52 cycles).
+    pub local_memory: u64,
+    /// Miss satisfied by a remote home node (Table 4: 133 cycles).
+    pub remote_memory: u64,
+    /// Extra cycles per additional network hop beyond the first, for the
+    /// torus latency model.
+    pub per_hop: u64,
+}
+
+impl Default for LatencyConfig {
+    fn default() -> Self {
+        LatencyConfig {
+            l1_hit: 1,
+            l2_hit: 8,
+            local_memory: 52,
+            remote_memory: 133,
+            per_hop: 8,
+        }
+    }
+}
+
+/// Which invalidation protocol the caches run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Protocol {
+    /// Three-state MSI: every first write to a line visits the directory,
+    /// even after a private read. The paper-faithful default.
+    #[default]
+    Msi,
+    /// MESI: a read miss to an uncached line grants a clean-exclusive
+    /// copy, so a private read-then-write upgrades silently — fewer
+    /// coherence store misses on private data.
+    Mesi,
+}
+
+/// Full machine configuration.
+///
+/// [`SystemConfig::paper_16_node`] reproduces the paper's simulated machine
+/// (Section 5.1 / Table 4): 16 nodes on a 2-D torus, 16 KB direct-mapped L1
+/// and 512 KB 4-way L2 with 64-byte lines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SystemConfig {
+    /// Number of nodes (1..=64).
+    pub nodes: usize,
+    /// L1 geometry.
+    pub l1: CacheConfig,
+    /// L2 geometry (inclusive of L1).
+    pub l2: CacheConfig,
+    /// Latency model.
+    pub latency: LatencyConfig,
+    /// Torus width; the height is `nodes / torus_width`.
+    pub torus_width: usize,
+    /// Whether cache replacements notify the directory (replacement hints).
+    /// The paper minimises replacement effects with large caches; hints keep
+    /// directory state exact, matching that intent.
+    pub replacement_hints: bool,
+    /// The coherence protocol (MSI default; MESI optional).
+    pub protocol: Protocol,
+}
+
+impl SystemConfig {
+    /// The paper's 16-node machine (Table 4).
+    pub fn paper_16_node() -> Self {
+        SystemConfig {
+            nodes: 16,
+            l1: CacheConfig::new(16 * 1024, 1, 64),
+            l2: CacheConfig::new(512 * 1024, 4, 64),
+            latency: LatencyConfig::default(),
+            torus_width: 4,
+            replacement_hints: true,
+            protocol: Protocol::Msi,
+        }
+    }
+
+    /// A small machine for unit tests and doc examples: 4 nodes, tiny
+    /// caches, so replacement paths are exercised cheaply.
+    pub fn small_test() -> Self {
+        SystemConfig {
+            nodes: 4,
+            l1: CacheConfig::new(4 * 64, 1, 64),
+            l2: CacheConfig::new(16 * 64, 2, 64),
+            latency: LatencyConfig::default(),
+            torus_width: 2,
+            replacement_hints: true,
+            protocol: Protocol::Msi,
+        }
+    }
+
+    /// Line size in bytes (shared by both levels).
+    pub fn line_size(&self) -> u64 {
+        self.l2.line_size
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if node count is out of range, the torus does not tile the
+    /// node count, or the two cache levels disagree on line size.
+    pub fn validate(&self) {
+        assert!(
+            self.nodes > 0 && self.nodes <= csp_trace::MAX_NODES,
+            "node count out of range"
+        );
+        assert!(
+            self.torus_width > 0 && self.nodes % self.torus_width == 0,
+            "torus width {} does not tile {} nodes",
+            self.torus_width,
+            self.nodes
+        );
+        assert_eq!(
+            self.l1.line_size, self.l2.line_size,
+            "L1 and L2 must share a line size"
+        );
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig::paper_16_node()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_table4() {
+        let c = SystemConfig::paper_16_node();
+        c.validate();
+        assert_eq!(c.nodes, 16);
+        assert_eq!(c.l1.size_bytes, 16 * 1024);
+        assert_eq!(c.l1.associativity, 1);
+        assert_eq!(c.l2.size_bytes, 512 * 1024);
+        assert_eq!(c.l2.associativity, 4);
+        assert_eq!(c.line_size(), 64);
+        assert_eq!(c.latency.local_memory, 52);
+        assert_eq!(c.latency.remote_memory, 133);
+    }
+
+    #[test]
+    fn cache_geometry() {
+        let l1 = CacheConfig::new(16 * 1024, 1, 64);
+        assert_eq!(l1.num_sets(), 256);
+        assert_eq!(l1.num_lines(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_odd_line_size() {
+        let _ = CacheConfig::new(1024, 1, 48);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn rejects_non_multiple_size() {
+        let _ = CacheConfig::new(1000, 4, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile")]
+    fn validate_rejects_bad_torus() {
+        let mut c = SystemConfig::paper_16_node();
+        c.torus_width = 5;
+        c.validate();
+    }
+}

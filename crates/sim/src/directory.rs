@@ -1,0 +1,201 @@
+//! Full-map directory state.
+//!
+//! Each cache line has a home node whose directory tracks the line's global
+//! coherence state: unowned, held dirty by one owner, or shared by a set of
+//! readers (plus possibly the last writer's stale-but-valid copy after a
+//! downgrade). The directory also remembers the last writer's identity
+//! (`pid`/`pc`) — the information forwarded update needs (paper Figure 3) —
+//! and which sharers actually *read* the line (the access bits that
+//! distinguish true readers from the last writer's retained copy).
+
+use csp_trace::{LineAddr, NodeId, Pc, SharingBitmap};
+use std::collections::HashMap;
+
+/// Global coherence state of one line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DirState {
+    /// No cached copies.
+    Uncached,
+    /// Exactly one dirty copy at the owner.
+    Exclusive(NodeId),
+    /// One or more clean copies; the bitmap lists all holders.
+    Shared(SharingBitmap),
+}
+
+/// Directory record for one line.
+#[derive(Clone, Copy, Debug)]
+pub struct DirEntry {
+    /// Coherence state.
+    pub state: DirState,
+    /// Holders that obtained their copy by *reading* since the last write
+    /// (access bits). A downgraded last writer is a holder but not a reader.
+    pub readers: SharingBitmap,
+    /// Identity of the last write to this line, if any.
+    pub last_writer: Option<(NodeId, Pc)>,
+    /// The line's home node, fixed at first touch.
+    pub home: NodeId,
+}
+
+impl DirEntry {
+    fn new(home: NodeId) -> Self {
+        DirEntry {
+            state: DirState::Uncached,
+            readers: SharingBitmap::empty(),
+            last_writer: None,
+            home,
+        }
+    }
+}
+
+/// The machine's directories, indexed by line address.
+///
+/// Home assignment is first-touch at line granularity, matching the paper's
+/// data-placement policy (Section 5.1): the first node to access a line
+/// becomes its home.
+///
+/// # Example
+///
+/// ```
+/// use csp_sim::directory::{Directory, DirState};
+/// use csp_trace::{LineAddr, NodeId};
+///
+/// let mut dir = Directory::new(16);
+/// let e = dir.entry_mut(LineAddr(5), NodeId(3));
+/// assert_eq!(e.home, NodeId(3)); // first-touch home
+/// assert_eq!(e.state, DirState::Uncached);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Directory {
+    nodes: usize,
+    entries: HashMap<LineAddr, DirEntry>,
+}
+
+impl Directory {
+    /// Creates an empty directory complex for an `nodes`-node machine.
+    pub fn new(nodes: usize) -> Self {
+        Directory {
+            nodes,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Number of nodes in the machine.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Returns the entry for `line`, creating it homed at `toucher` on first
+    /// touch.
+    pub fn entry_mut(&mut self, line: LineAddr, toucher: NodeId) -> &mut DirEntry {
+        self.entries
+            .entry(line)
+            .or_insert_with(|| DirEntry::new(toucher))
+    }
+
+    /// Returns the entry for `line` if it has been touched.
+    pub fn entry(&self, line: LineAddr) -> Option<&DirEntry> {
+        self.entries.get(&line)
+    }
+
+    /// Number of lines ever touched.
+    pub fn lines_touched(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Iterates over `(line, entry)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &DirEntry)> {
+        self.entries.iter().map(|(l, e)| (*l, e))
+    }
+
+    /// Checks the single-owner invariant: an `Exclusive` line has no reader
+    /// access bits set except possibly the owner's, and `Shared` bitmaps are
+    /// non-empty and within the machine width. Used by tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any invariant is violated.
+    pub fn assert_invariants(&self) {
+        for (line, e) in &self.entries {
+            match e.state {
+                DirState::Uncached => {
+                    assert!(
+                        e.readers.is_empty(),
+                        "{line}: uncached line has reader bits {}",
+                        e.readers
+                    );
+                }
+                DirState::Exclusive(owner) => {
+                    assert!(owner.index() < self.nodes, "{line}: owner outside machine");
+                    // MESI grants clean-exclusive copies to readers, so the
+                    // owner's own access bit may be set; nobody else's.
+                    assert!(
+                        e.readers
+                            .is_subset(csp_trace::SharingBitmap::singleton(owner)),
+                        "{line}: exclusive line has foreign reader bits {}",
+                        e.readers
+                    );
+                }
+                DirState::Shared(holders) => {
+                    assert!(!holders.is_empty(), "{line}: shared with no holders");
+                    assert_eq!(
+                        holders.masked(self.nodes),
+                        holders,
+                        "{line}: holders outside machine"
+                    );
+                    assert!(
+                        e.readers.is_subset(holders),
+                        "{line}: readers {} not within holders {}",
+                        e.readers,
+                        holders
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_touch_home_is_sticky() {
+        let mut dir = Directory::new(4);
+        assert_eq!(dir.entry_mut(LineAddr(1), NodeId(2)).home, NodeId(2));
+        // A later toucher does not move the home.
+        assert_eq!(dir.entry_mut(LineAddr(1), NodeId(3)).home, NodeId(2));
+        assert_eq!(dir.lines_touched(), 1);
+    }
+
+    #[test]
+    fn entry_absent_until_touched() {
+        let dir = Directory::new(4);
+        assert!(dir.entry(LineAddr(9)).is_none());
+    }
+
+    #[test]
+    fn invariants_hold_on_fresh_entries() {
+        let mut dir = Directory::new(4);
+        dir.entry_mut(LineAddr(1), NodeId(0));
+        dir.entry_mut(LineAddr(2), NodeId(1));
+        dir.assert_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "no holders")]
+    fn invariants_catch_empty_shared() {
+        let mut dir = Directory::new(4);
+        dir.entry_mut(LineAddr(1), NodeId(0)).state = DirState::Shared(SharingBitmap::empty());
+        dir.assert_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "reader bits")]
+    fn invariants_catch_readers_on_exclusive() {
+        let mut dir = Directory::new(4);
+        let e = dir.entry_mut(LineAddr(1), NodeId(0));
+        e.state = DirState::Exclusive(NodeId(1));
+        e.readers = SharingBitmap::singleton(NodeId(2));
+        dir.assert_invariants();
+    }
+}

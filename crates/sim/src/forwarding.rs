@@ -1,0 +1,322 @@
+//! Data-forwarding benefit estimation.
+//!
+//! The paper deliberately evaluates prediction accuracy in isolation
+//! (Section 3.3): the forwarding protocol is "outside the scope of our
+//! work". Its summary, however, frames the payoff as a bandwidth–latency
+//! trade-off: sensitive predictors save more miss latency but burn more
+//! network bandwidth. This module makes that trade-off concrete with an
+//! after-the-fact estimator in the spirit of Koufaty & Torrellas' forwarding
+//! protocol: after each coherence store miss, data is pushed to every
+//! predicted reader.
+//!
+//! Accounting per decision:
+//!
+//! * **useful forward** (true positive): the reader's subsequent read miss
+//!   becomes a local hit — it saves the remote (or local) memory latency
+//!   minus an L2 hit, at the price of one data message over the torus.
+//! * **wasted forward** (false positive): one data message over the torus
+//!   plus a cache fill that may displace useful data (counted, not
+//!   simulated).
+//! * **missed opportunity** (false negative): no cost, no saving — the
+//!   reader pays its full miss latency as in the base system.
+//!
+//! The estimator assumes every useful forward arrives in time, so its
+//! savings are an upper bound (the paper makes the same simplification:
+//! "we consider data forwarding to be correct as long as the destination
+//! node is a true reader").
+
+use crate::torus::Torus;
+use crate::{LatencyConfig, SystemConfig};
+use csp_trace::{SharingBitmap, Trace};
+use std::fmt;
+
+/// Totals produced by [`estimate`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ForwardingReport {
+    /// Forwards that reached a true reader.
+    pub useful_forwards: u64,
+    /// Forwards that reached a node that never read the line.
+    pub wasted_forwards: u64,
+    /// True readers that received no forward (missed opportunities).
+    pub missed_opportunities: u64,
+    /// Total cycles of miss latency eliminated by useful forwards.
+    pub latency_saved_cycles: u64,
+    /// Total miss latency the base (prediction-free) system pays for the
+    /// same reads.
+    pub base_latency_cycles: u64,
+    /// Hop-weighted data messages injected by forwarding (useful + wasted).
+    pub forward_traffic_hops: u64,
+    /// Hop-weighted request+response traffic *avoided* because satisfied
+    /// readers no longer fetch from the home.
+    pub avoided_fetch_hops: u64,
+}
+
+impl ForwardingReport {
+    /// Fraction of forwards that were useful (equals the prediction
+    /// scheme's PVP over this trace).
+    pub fn useful_fraction(&self) -> f64 {
+        let total = self.useful_forwards + self.wasted_forwards;
+        if total == 0 {
+            0.0
+        } else {
+            self.useful_forwards as f64 / total as f64
+        }
+    }
+
+    /// Fraction of base miss latency eliminated.
+    pub fn latency_saved_fraction(&self) -> f64 {
+        if self.base_latency_cycles == 0 {
+            0.0
+        } else {
+            self.latency_saved_cycles as f64 / self.base_latency_cycles as f64
+        }
+    }
+
+    /// Net hop-weighted traffic added (can be negative: avoided fetches can
+    /// outweigh forward pushes when the predictor is accurate).
+    pub fn net_traffic_hops(&self) -> i64 {
+        self.forward_traffic_hops as i64 - self.avoided_fetch_hops as i64
+    }
+}
+
+impl fmt::Display for ForwardingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "useful={} wasted={} missed={} saved={:.1}% of {} cycles, net traffic {:+} hop-msgs",
+            self.useful_forwards,
+            self.wasted_forwards,
+            self.missed_opportunities,
+            self.latency_saved_fraction() * 100.0,
+            self.base_latency_cycles,
+            self.net_traffic_hops()
+        )
+    }
+}
+
+/// Estimates the forwarding benefit of `predictions` (one bitmap per trace
+/// event, e.g. from `csp_core::engine::predictions_for`) over `trace`.
+///
+/// # Panics
+///
+/// Panics if `predictions.len() != trace.len()` or if the config's node
+/// count differs from the trace's.
+pub fn estimate(
+    trace: &Trace,
+    predictions: &[SharingBitmap],
+    config: &SystemConfig,
+) -> ForwardingReport {
+    assert_eq!(
+        predictions.len(),
+        trace.len(),
+        "one prediction per trace event required"
+    );
+    assert_eq!(
+        config.nodes,
+        trace.nodes(),
+        "config/trace node count mismatch"
+    );
+    let torus = Torus::new(config.torus_width, config.nodes / config.torus_width);
+    let lat: &LatencyConfig = &config.latency;
+    let actuals = trace.resolve_actuals();
+    let mut report = ForwardingReport::default();
+
+    for ((event, &predicted), &actual) in trace.events().iter().zip(predictions).zip(&actuals) {
+        let predicted = predicted.masked(config.nodes);
+        // Base system: every true reader pays a miss satisfied by the home.
+        for reader in actual.iter() {
+            report.base_latency_cycles += fetch_latency(lat, &torus, reader, event.home);
+        }
+        for node in predicted.iter() {
+            if node == event.writer {
+                continue; // forwarding to the producer is meaningless
+            }
+            // Data is pushed from the writer (the new owner) to the target.
+            report.forward_traffic_hops += u64::from(torus.hops(event.writer, node)).max(1);
+            if actual.contains(node) {
+                report.useful_forwards += 1;
+                let full = fetch_latency(lat, &torus, node, event.home);
+                report.latency_saved_cycles += full.saturating_sub(lat.l2_hit);
+                // The reader no longer sends a request to the home and the
+                // home no longer sends data back.
+                report.avoided_fetch_hops += 2 * u64::from(torus.hops(node, event.home)).max(1);
+            } else {
+                report.wasted_forwards += 1;
+            }
+        }
+        report.missed_opportunities += u64::from((actual - predicted).count());
+    }
+    report
+}
+
+fn fetch_latency(
+    lat: &LatencyConfig,
+    torus: &Torus,
+    node: csp_trace::NodeId,
+    home: csp_trace::NodeId,
+) -> u64 {
+    if node == home {
+        lat.local_memory
+    } else {
+        lat.remote_memory + lat.per_hop * u64::from(torus.hops(node, home)).saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csp_trace::{LineAddr, NodeId, Pc, SharingEvent};
+
+    fn two_event_trace() -> Trace {
+        let mut t = Trace::new(16);
+        t.push(SharingEvent::new(
+            NodeId(0),
+            Pc(1),
+            LineAddr(5),
+            NodeId(0),
+            SharingBitmap::empty(),
+            None,
+        ));
+        t.push(SharingEvent::new(
+            NodeId(0),
+            Pc(1),
+            LineAddr(5),
+            NodeId(0),
+            SharingBitmap::from_nodes(&[NodeId(1), NodeId(2)]),
+            Some((NodeId(0), Pc(1))),
+        ));
+        t
+    }
+
+    #[test]
+    fn perfect_prediction_saves_all_latency() {
+        let trace = two_event_trace();
+        let actuals = trace.resolve_actuals();
+        let report = estimate(&trace, &actuals, &SystemConfig::paper_16_node());
+        assert_eq!(report.wasted_forwards, 0);
+        assert_eq!(report.useful_forwards, 2);
+        assert_eq!(report.missed_opportunities, 0);
+        assert!(report.latency_saved_fraction() > 0.9);
+        assert!(
+            report.net_traffic_hops() <= 0,
+            "accurate forwarding should save traffic"
+        );
+    }
+
+    #[test]
+    fn empty_prediction_costs_nothing_and_saves_nothing() {
+        let trace = two_event_trace();
+        let preds = vec![SharingBitmap::empty(); trace.len()];
+        let report = estimate(&trace, &preds, &SystemConfig::paper_16_node());
+        assert_eq!(report.useful_forwards + report.wasted_forwards, 0);
+        assert_eq!(report.latency_saved_cycles, 0);
+        assert_eq!(report.missed_opportunities, 2);
+        assert!(report.base_latency_cycles > 0);
+    }
+
+    #[test]
+    fn broadcast_prediction_is_mostly_waste() {
+        let trace = two_event_trace();
+        let preds = vec![SharingBitmap::all(16); trace.len()];
+        let report = estimate(&trace, &preds, &SystemConfig::paper_16_node());
+        // 15 non-writer targets per event x 2 events = 30 forwards, 2 useful.
+        assert_eq!(report.useful_forwards, 2);
+        assert_eq!(report.wasted_forwards, 28);
+        assert!(report.useful_fraction() < 0.1);
+        assert!(report.net_traffic_hops() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one prediction per trace event")]
+    fn rejects_mismatched_lengths() {
+        let trace = two_event_trace();
+        estimate(&trace, &[], &SystemConfig::paper_16_node());
+    }
+}
+
+/// Builds the per-link congestion picture of a forwarding workload: every
+/// forward (useful or wasted) is routed writer → target over the torus
+/// X-Y paths. Use [`LinkLoad::hotspot_factor`](crate::torus::LinkLoad) to
+/// see how unevenly a prediction scheme loads the network.
+///
+/// # Panics
+///
+/// Panics if `predictions.len() != trace.len()` or if the config's node
+/// count differs from the trace's.
+pub fn link_analysis(
+    trace: &Trace,
+    predictions: &[SharingBitmap],
+    config: &SystemConfig,
+) -> crate::torus::LinkLoad {
+    assert_eq!(
+        predictions.len(),
+        trace.len(),
+        "one prediction per trace event required"
+    );
+    assert_eq!(
+        config.nodes,
+        trace.nodes(),
+        "config/trace node count mismatch"
+    );
+    let torus = Torus::new(config.torus_width, config.nodes / config.torus_width);
+    let mut load = crate::torus::LinkLoad::new(torus);
+    for (event, &predicted) in trace.events().iter().zip(predictions) {
+        for node in predicted.masked(config.nodes).iter() {
+            if node != event.writer {
+                load.send(event.writer, node);
+            }
+        }
+    }
+    load
+}
+
+#[cfg(test)]
+mod link_tests {
+    use super::*;
+    use csp_trace::{LineAddr, NodeId, Pc, SharingEvent};
+
+    #[test]
+    fn link_analysis_routes_every_forward() {
+        let mut t = Trace::new(16);
+        t.push(SharingEvent::new(
+            NodeId(0),
+            Pc(1),
+            LineAddr(5),
+            NodeId(0),
+            SharingBitmap::empty(),
+            None,
+        ));
+        let preds = vec![SharingBitmap::from_nodes(&[
+            NodeId(1),
+            NodeId(2),
+            NodeId(0),
+        ])];
+        let load = link_analysis(&t, &preds, &SystemConfig::paper_16_node());
+        // Forward to self (node 0) is skipped; 1 hop + 2 hops routed.
+        assert_eq!(load.total_messages(), 2);
+        assert_eq!(load.total_link_traversals(), 3);
+    }
+
+    #[test]
+    fn broadcast_predictions_stress_the_writers_links() {
+        let mut t = Trace::new(16);
+        for _ in 0..50 {
+            t.push(SharingEvent::new(
+                NodeId(0),
+                Pc(1),
+                LineAddr(5),
+                NodeId(0),
+                SharingBitmap::empty(),
+                Some((NodeId(0), Pc(1))),
+            ));
+        }
+        let preds = vec![SharingBitmap::all(16); t.len()];
+        let load = link_analysis(&t, &preds, &SystemConfig::paper_16_node());
+        // All traffic originates at node 0: its outgoing links are hot.
+        assert!(
+            load.hotspot_factor() > 1.5,
+            "factor {}",
+            load.hotspot_factor()
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! A trace-producing CC-NUMA memory-system simulator.
+//!
+//! This crate is the substrate the paper's study runs on: where Kaxiras &
+//! Young used RSIM to generate coherence traces of SPLASH programs, we
+//! simulate the same machine organisation from scratch:
+//!
+//! * per-node two-level caches ([`cache`]): 16 KB direct-mapped L1 and
+//!   512 KB 4-way L2 with 64-byte lines (Table 4 of the paper), inclusive,
+//!   LRU replacement;
+//! * a full-map directory per home node ([`directory`]) running an
+//!   invalidation protocol ([`protocol`]): write misses and write faults
+//!   invalidate all sharers and transfer exclusive ownership;
+//! * a 2-D torus interconnect and latency model ([`torus`]) used by the
+//!   traffic and forwarding estimators;
+//! * a data-forwarding benefit estimator ([`forwarding`]) for the
+//!   bandwidth–latency trade-off the paper's summary discusses.
+//!
+//! The simulator consumes per-node streams of [`MemAccess`]es and produces a
+//! [`csp_trace::Trace`]: one [`csp_trace::SharingEvent`] per coherence store
+//! miss, with the invalidated-true-reader feedback the paper's update
+//! mechanisms need, plus the final sharer state of memory.
+//!
+//! Timing is intentionally not simulated in the access path: the paper's
+//! metrics "are not affected by the timing of events in the execution"
+//! (Section 5.1). The latency model exists only to *cost* predictions after
+//! the fact.
+//!
+//! # Example
+//!
+//! ```
+//! use csp_sim::{MemAccess, MemorySystem, SystemConfig};
+//! use csp_trace::NodeId;
+//!
+//! let mut sys = MemorySystem::new(SystemConfig::paper_16_node());
+//! // Node 0 writes a word; nodes 1 and 2 read it; node 0 writes it again.
+//! sys.access(MemAccess::write(NodeId(0), 0x100, 0x4000));
+//! sys.access(MemAccess::read(NodeId(1), 0x200, 0x4000));
+//! sys.access(MemAccess::read(NodeId(2), 0x204, 0x4000));
+//! sys.access(MemAccess::write(NodeId(0), 0x100, 0x4000));
+//! let (trace, stats) = sys.finish();
+//! assert_eq!(trace.len(), 2); // two coherence store misses
+//! assert_eq!(stats.invalidations_sent, 2); // the second write invalidates both readers
+//! let actuals = trace.resolve_actuals();
+//! assert_eq!(actuals[0].count(), 2); // nodes 1 and 2 read the first write
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod access;
+pub mod cache;
+mod config;
+pub mod directory;
+pub mod forwarding;
+mod memsys;
+pub mod protocol;
+pub mod torus;
+
+pub use access::MemAccess;
+pub use config::{CacheConfig, LatencyConfig, Protocol, SystemConfig};
+pub use memsys::{MemorySystem, SimStats};

@@ -1,0 +1,161 @@
+//! The public simulator facade and its statistics.
+
+use crate::protocol::CoherenceEngine;
+use crate::{MemAccess, SystemConfig};
+use csp_trace::{SharingEvent, Trace};
+use std::fmt;
+
+/// Aggregate counters for one simulated run.
+///
+/// Together with [`csp_trace::TraceStats`] these supply the raw numbers of
+/// the paper's Tables 5 and 6.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Loads processed.
+    pub reads: u64,
+    /// Stores processed.
+    pub writes: u64,
+    /// Loads that hit in L1.
+    pub l1_hits: u64,
+    /// Loads that hit in L2 (after missing L1).
+    pub l2_hits: u64,
+    /// Loads that missed both levels and visited a directory.
+    pub read_misses: u64,
+    /// Stores that hit a locally modified copy (silent).
+    pub write_hits: u64,
+    /// Stores that missed both levels (write misses).
+    pub write_misses: u64,
+    /// Stores that hit a shared copy and upgraded it (write faults).
+    pub write_upgrades: u64,
+    /// MESI-only: stores that upgraded a clean-exclusive copy silently
+    /// (no directory visit, no prediction point).
+    pub silent_upgrades: u64,
+    /// Invalidation messages sent by directories.
+    pub invalidations_sent: u64,
+    /// Dirty writebacks (downgrades and dirty evictions).
+    pub writebacks: u64,
+    /// L2 capacity/conflict evictions.
+    pub l2_evictions: u64,
+    /// Distinct lines touched over the run.
+    pub lines_touched: u64,
+    /// Maximum over nodes of distinct store pcs executed (Table 5
+    /// "static stores per node", including silent stores).
+    pub max_static_stores_per_node: u64,
+    /// Total estimated miss latency in cycles (torus latency model).
+    pub miss_latency_cycles: u64,
+}
+
+impl SimStats {
+    /// Total coherence store misses (write misses plus upgrades): the number
+    /// of prediction points the run generated.
+    pub fn coherence_store_misses(&self) -> u64 {
+        self.write_misses + self.write_upgrades
+    }
+}
+
+impl fmt::Display for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "reads={} writes={} rd-miss={} wr-miss={} upgrades={} invals={} wb={} evict={} lines={}",
+            self.reads,
+            self.writes,
+            self.read_misses,
+            self.write_misses,
+            self.write_upgrades,
+            self.invalidations_sent,
+            self.writebacks,
+            self.l2_evictions,
+            self.lines_touched
+        )
+    }
+}
+
+/// The simulated multiprocessor: feed it accesses, collect a coherence
+/// trace.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Debug)]
+pub struct MemorySystem {
+    engine: CoherenceEngine,
+}
+
+impl MemorySystem {
+    /// Creates a machine from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent.
+    pub fn new(config: SystemConfig) -> Self {
+        MemorySystem {
+            engine: CoherenceEngine::new(config),
+        }
+    }
+
+    /// Processes one access. Returns the [`SharingEvent`] if the access was
+    /// a coherence store miss (a prediction point).
+    pub fn access(&mut self, access: MemAccess) -> Option<SharingEvent> {
+        self.engine.access(access)
+    }
+
+    /// Processes a whole access stream.
+    pub fn run<I: IntoIterator<Item = MemAccess>>(&mut self, accesses: I) {
+        for a in accesses {
+            self.engine.access(a);
+        }
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &SimStats {
+        self.engine.stats()
+    }
+
+    /// Ends the run, returning the trace (with final reader sets resolved)
+    /// and the final statistics.
+    pub fn finish(self) -> (Trace, SimStats) {
+        self.engine.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csp_trace::NodeId;
+
+    #[test]
+    fn run_matches_eventwise_access() {
+        let accesses = vec![
+            MemAccess::write(NodeId(0), 1, 0),
+            MemAccess::read(NodeId(1), 2, 0),
+            MemAccess::write(NodeId(2), 3, 0),
+        ];
+        let mut a = MemorySystem::new(SystemConfig::small_test());
+        a.run(accesses.iter().copied());
+        let (trace_a, stats_a) = a.finish();
+
+        let mut b = MemorySystem::new(SystemConfig::small_test());
+        for acc in accesses {
+            b.access(acc);
+        }
+        let (trace_b, stats_b) = b.finish();
+        assert_eq!(trace_a, trace_b);
+        assert_eq!(stats_a, stats_b);
+    }
+
+    #[test]
+    fn coherence_store_misses_counts_both_kinds() {
+        let mut sys = MemorySystem::new(SystemConfig::small_test());
+        sys.access(MemAccess::write(NodeId(0), 1, 0)); // write miss
+        sys.access(MemAccess::read(NodeId(1), 2, 0));
+        sys.access(MemAccess::write(NodeId(1), 3, 0)); // upgrade
+        let (trace, stats) = sys.finish();
+        assert_eq!(stats.coherence_store_misses(), 2);
+        assert_eq!(trace.len() as u64, stats.coherence_store_misses());
+    }
+
+    #[test]
+    fn stats_display_is_nonempty() {
+        let sys = MemorySystem::new(SystemConfig::small_test());
+        assert!(sys.stats().to_string().contains("reads=0"));
+    }
+}

@@ -1,0 +1,554 @@
+//! The invalidation coherence protocol.
+//!
+//! A full-map directory protocol in the DASH/Dir-N-NB family, reduced to the
+//! MSI states that matter for sharing-pattern extraction:
+//!
+//! * **read miss** — the home adds the requester to the sharer set (and
+//!   downgrades a dirty owner, who keeps a clean copy);
+//! * **write miss / write fault** — the home invalidates every other holder
+//!   and makes the writer the exclusive owner. This is the *coherence store
+//!   miss*, the paper's decision point: one [`SharingEvent`] is emitted per
+//!   occurrence, carrying the set of *true readers* of the interval that
+//!   just ended (the directory's access bits) and the previous writer's
+//!   identity.
+//!
+//! Stores that hit a locally modified copy are silent and emit nothing —
+//! exactly the stores the paper excludes from "predicted stores" in Table 5.
+//!
+//! One modelling note: the event's `invalidated` bitmap contains exactly
+//! the *invalidated* true readers. A node that read the line and then
+//! upgrades it keeps its copy — it receives no invalidation and reports no
+//! access bit — so a pure migration contributes an empty feedback bitmap,
+//! exactly as in the paper (and in Weber & Gupta's invalidation-pattern
+//! accounting the paper equates prevalence with).
+
+use crate::cache::{Cache, LineState};
+use crate::directory::{DirState, Directory};
+use crate::torus::Torus;
+use crate::{MemAccess, Protocol, SimStats, SystemConfig};
+use csp_trace::{LineAddr, NodeId, SharingBitmap, SharingEvent, Trace};
+use std::collections::HashSet;
+
+/// Per-node cache hierarchy (inclusive L1/L2).
+#[derive(Clone, Debug)]
+struct NodeCaches {
+    l1: Cache,
+    l2: Cache,
+}
+
+/// The protocol engine: caches + directories + event extraction.
+///
+/// Most users want the [`MemorySystem`](crate::MemorySystem) facade; the
+/// engine is public for tests and tools that need to inspect protocol state
+/// mid-run.
+#[derive(Debug)]
+pub struct CoherenceEngine {
+    config: SystemConfig,
+    caches: Vec<NodeCaches>,
+    directory: Directory,
+    torus: Torus,
+    trace: Trace,
+    stats: SimStats,
+    store_pcs: Vec<HashSet<u32>>,
+}
+
+impl CoherenceEngine {
+    /// Creates an engine for `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (see
+    /// [`SystemConfig::validate`]).
+    pub fn new(config: SystemConfig) -> Self {
+        config.validate();
+        let caches = (0..config.nodes)
+            .map(|_| NodeCaches {
+                l1: Cache::new(config.l1),
+                l2: Cache::new(config.l2),
+            })
+            .collect();
+        CoherenceEngine {
+            caches,
+            directory: Directory::new(config.nodes),
+            torus: Torus::new(config.torus_width, config.nodes / config.torus_width),
+            trace: Trace::new(config.nodes),
+            stats: SimStats::default(),
+            store_pcs: vec![HashSet::new(); config.nodes],
+            config,
+        }
+    }
+
+    /// The directory complex (for invariant checks in tests).
+    pub fn directory(&self) -> &Directory {
+        &self.directory
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Processes one access; returns the sharing event if the access was a
+    /// coherence store miss.
+    pub fn access(&mut self, access: MemAccess) -> Option<SharingEvent> {
+        assert!(
+            access.node.index() < self.config.nodes,
+            "access from node {} outside the {}-node machine",
+            access.node,
+            self.config.nodes
+        );
+        let line = LineAddr::from_byte_addr(access.addr, self.config.line_size());
+        if access.is_write {
+            self.stats.writes += 1;
+            self.store_pcs[access.node.index()].insert(access.pc.0);
+            self.write(access, line)
+        } else {
+            self.stats.reads += 1;
+            self.read(access, line);
+            None
+        }
+    }
+
+    /// Finishes the run, returning the trace (with final reader sets) and
+    /// the statistics.
+    pub fn finish(mut self) -> (Trace, SimStats) {
+        for (line, entry) in self.directory.iter() {
+            if !entry.readers.is_empty() {
+                self.trace.set_final_readers(line, entry.readers);
+            }
+        }
+        self.stats.lines_touched = self.directory.lines_touched() as u64;
+        self.stats.max_static_stores_per_node =
+            self.store_pcs.iter().map(HashSet::len).max().unwrap_or(0) as u64;
+        (self.trace, self.stats)
+    }
+
+    fn read(&mut self, access: MemAccess, line: LineAddr) {
+        let node = access.node;
+        let nc = &mut self.caches[node.index()];
+        if nc.l1.lookup(line).is_some() {
+            self.stats.l1_hits += 1;
+            return;
+        }
+        if let Some(state) = nc.l2.lookup(line) {
+            self.stats.l2_hits += 1;
+            self.fill_l1(node, line, state);
+            return;
+        }
+        // Read miss: visit the home directory.
+        self.stats.read_misses += 1;
+        let mesi = self.config.protocol == Protocol::Mesi;
+        let entry = self.directory.entry_mut(line, node);
+        let home = entry.home;
+        let mut fill_state = LineState::Shared;
+        match entry.state {
+            DirState::Uncached if mesi => {
+                // MESI: sole reader gets a clean-exclusive copy.
+                entry.state = DirState::Exclusive(node);
+                fill_state = LineState::Exclusive;
+            }
+            DirState::Uncached => {
+                entry.state = DirState::Shared(SharingBitmap::singleton(node));
+            }
+            DirState::Exclusive(owner) if owner == node => {
+                // Refetch after an L1-only miss resolved at L2 never lands
+                // here (L2 is inclusive); an owner re-read after losing
+                // both levels means the hint already uncached it, so this
+                // arm only fires with hints off. Keep exclusivity.
+                fill_state = if mesi {
+                    LineState::Exclusive
+                } else {
+                    LineState::Shared
+                };
+            }
+            DirState::Exclusive(owner) => {
+                // Downgrade the owner; write back only if its copy is dirty.
+                let dirty = self.caches[owner.index()].l2.peek(line) == Some(LineState::Modified);
+                if dirty {
+                    self.stats.writebacks += 1;
+                }
+                let mut holders = SharingBitmap::singleton(owner);
+                holders.insert(node);
+                entry.state = DirState::Shared(holders);
+                self.caches[owner.index()]
+                    .l1
+                    .set_state(line, LineState::Shared);
+                self.caches[owner.index()]
+                    .l2
+                    .set_state(line, LineState::Shared);
+            }
+            DirState::Shared(mut holders) => {
+                holders.insert(node);
+                entry.state = DirState::Shared(holders);
+            }
+        }
+        // The requester obtained its copy by reading: set its access bit.
+        let entry = self.directory.entry_mut(line, node);
+        entry.readers.insert(node);
+        self.account_miss_latency(node, home);
+        self.fill(node, line, fill_state);
+    }
+
+    fn write(&mut self, access: MemAccess, line: LineAddr) -> Option<SharingEvent> {
+        let node = access.node;
+        let nc = &mut self.caches[node.index()];
+        match nc.l1.lookup(line) {
+            Some(LineState::Modified) => {
+                self.stats.write_hits += 1;
+                return None;
+            }
+            Some(LineState::Exclusive) => {
+                // MESI: silent clean-exclusive upgrade; no directory visit.
+                self.stats.write_hits += 1;
+                self.stats.silent_upgrades += 1;
+                nc.l1.set_state(line, LineState::Modified);
+                nc.l2.set_state(line, LineState::Modified);
+                return None;
+            }
+            Some(LineState::Shared) => {
+                self.stats.write_upgrades += 1;
+            }
+            None => match nc.l2.lookup(line) {
+                Some(LineState::Modified) => {
+                    self.stats.write_hits += 1;
+                    self.fill_l1(node, line, LineState::Modified);
+                    return None;
+                }
+                Some(LineState::Exclusive) => {
+                    self.stats.write_hits += 1;
+                    self.stats.silent_upgrades += 1;
+                    nc.l2.set_state(line, LineState::Modified);
+                    self.fill_l1(node, line, LineState::Modified);
+                    return None;
+                }
+                Some(LineState::Shared) => {
+                    self.stats.write_upgrades += 1;
+                }
+                None => {
+                    self.stats.write_misses += 1;
+                }
+            },
+        }
+
+        // Coherence store miss: invalidate all other holders, take ownership.
+        let entry = self.directory.entry_mut(line, node);
+        let home = entry.home;
+        let prev_writer = entry.last_writer;
+        // Feedback is the set of *invalidated* true readers. A writer that
+        // read the line and now upgrades it is not invalidated (it keeps
+        // its copy), so it never appears in its own feedback — it is part
+        // of the migration, not a predicted reader.
+        let feedback = entry.readers.without(node);
+        let to_invalidate = match entry.state {
+            DirState::Uncached => SharingBitmap::empty(),
+            DirState::Exclusive(owner) => SharingBitmap::singleton(owner).without(node),
+            DirState::Shared(holders) => holders.without(node),
+        };
+        entry.state = DirState::Exclusive(node);
+        entry.readers = SharingBitmap::empty();
+        entry.last_writer = Some((node, access.pc));
+        for victim in to_invalidate.iter() {
+            self.stats.invalidations_sent += 1;
+            self.caches[victim.index()].l1.invalidate(line);
+            self.caches[victim.index()].l2.invalidate(line);
+        }
+        self.account_miss_latency(node, home);
+        self.fill(node, line, LineState::Modified);
+
+        let event = SharingEvent::new(node, access.pc, line, home, feedback, prev_writer);
+        self.trace.push(event);
+        Some(event)
+    }
+
+    /// Fills both cache levels, handling L2 evictions (inclusion + hints).
+    fn fill(&mut self, node: NodeId, line: LineAddr, state: LineState) {
+        let evicted = self.caches[node.index()].l2.insert(line, state);
+        if let Some((victim, victim_state)) = evicted {
+            self.evict(node, victim, victim_state);
+        }
+        self.fill_l1(node, line, state);
+    }
+
+    fn fill_l1(&mut self, node: NodeId, line: LineAddr, state: LineState) {
+        // L1 evictions are silent: the (inclusive) L2 still holds the line.
+        let _ = self.caches[node.index()].l1.insert(line, state);
+    }
+
+    /// Handles an L2 eviction: maintain inclusion, write back dirty data,
+    /// and optionally send a replacement hint for clean copies.
+    fn evict(&mut self, node: NodeId, victim: LineAddr, state: LineState) {
+        self.stats.l2_evictions += 1;
+        self.caches[node.index()].l1.invalidate(victim);
+        let hints = self.config.replacement_hints;
+        let entry = self.directory.entry_mut(victim, node);
+        match (state, entry.state) {
+            // Dirty evictions always write back (the data must not be lost).
+            (LineState::Modified, DirState::Exclusive(owner)) if owner == node => {
+                entry.state = DirState::Uncached;
+                entry.readers = SharingBitmap::empty();
+                self.stats.writebacks += 1;
+            }
+            // Clean-exclusive evictions notify the directory (no data).
+            (LineState::Exclusive, DirState::Exclusive(owner)) if owner == node => {
+                entry.state = DirState::Uncached;
+                entry.readers = SharingBitmap::empty();
+            }
+            // Clean evictions notify the directory only with hints enabled.
+            (_, DirState::Shared(holders)) if hints && holders.contains(node) => {
+                let remaining = holders.without(node);
+                entry.readers.remove(node);
+                entry.state = if remaining.is_empty() {
+                    DirState::Uncached
+                } else {
+                    DirState::Shared(remaining)
+                };
+            }
+            _ => {}
+        }
+    }
+
+    fn account_miss_latency(&mut self, node: NodeId, home: NodeId) {
+        let lat = &self.config.latency;
+        let cycles = if node == home {
+            lat.local_memory
+        } else {
+            let hops = self.torus.hops(node, home) as u64;
+            lat.remote_memory + lat.per_hop * hops.saturating_sub(1)
+        };
+        self.stats.miss_latency_cycles += cycles;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> CoherenceEngine {
+        CoherenceEngine::new(SystemConfig::small_test())
+    }
+
+    #[test]
+    fn first_write_emits_event_with_empty_feedback() {
+        let mut e = engine();
+        let ev = e.access(MemAccess::write(NodeId(0), 1, 0)).unwrap();
+        assert_eq!(ev.writer, NodeId(0));
+        assert!(ev.invalidated.is_empty());
+        assert_eq!(ev.prev_writer, None);
+        assert_eq!(ev.home, NodeId(0)); // first touch
+        e.directory().assert_invariants();
+    }
+
+    #[test]
+    fn second_write_by_same_node_is_silent() {
+        let mut e = engine();
+        assert!(e.access(MemAccess::write(NodeId(0), 1, 0)).is_some());
+        assert!(e.access(MemAccess::write(NodeId(0), 1, 0)).is_none());
+        assert_eq!(e.stats().write_hits, 1);
+    }
+
+    #[test]
+    fn readers_become_feedback_of_next_write() {
+        let mut e = engine();
+        e.access(MemAccess::write(NodeId(0), 1, 0));
+        e.access(MemAccess::read(NodeId(1), 2, 0));
+        e.access(MemAccess::read(NodeId(2), 3, 0));
+        let ev = e.access(MemAccess::write(NodeId(3), 4, 0)).unwrap();
+        assert_eq!(
+            ev.invalidated,
+            SharingBitmap::from_nodes(&[NodeId(1), NodeId(2)])
+        );
+        assert_eq!(ev.prev_writer.map(|(n, _)| n), Some(NodeId(0)));
+        // Invalidations go to the two readers and the downgraded old owner.
+        assert_eq!(e.stats().invalidations_sent, 3);
+        e.directory().assert_invariants();
+    }
+
+    #[test]
+    fn upgrading_reader_is_excluded_from_feedback() {
+        let mut e = engine();
+        e.access(MemAccess::write(NodeId(0), 1, 0));
+        e.access(MemAccess::read(NodeId(1), 2, 0));
+        e.access(MemAccess::read(NodeId(2), 2, 0));
+        // Node 1 upgrades: it keeps its copy (it is not invalidated), so
+        // the feedback reports only node 2.
+        let ev = e.access(MemAccess::write(NodeId(1), 5, 0)).unwrap();
+        assert!(!ev.invalidated.contains(NodeId(1)));
+        assert!(ev.invalidated.contains(NodeId(2)));
+        assert_eq!(e.stats().write_upgrades, 1);
+    }
+
+    #[test]
+    fn repeated_reads_hit_in_cache() {
+        let mut e = engine();
+        e.access(MemAccess::read(NodeId(1), 2, 0));
+        e.access(MemAccess::read(NodeId(1), 2, 0));
+        e.access(MemAccess::read(NodeId(1), 2, 4)); // same line, other word
+        assert_eq!(e.stats().read_misses, 1);
+        assert_eq!(e.stats().l1_hits, 2);
+    }
+
+    #[test]
+    fn dirty_owner_downgrades_on_remote_read() {
+        let mut e = engine();
+        e.access(MemAccess::write(NodeId(0), 1, 0));
+        e.access(MemAccess::read(NodeId(1), 2, 0));
+        assert_eq!(e.stats().writebacks, 1);
+        // A silent store is no longer possible for node 0: it upgraded away.
+        assert!(e.access(MemAccess::write(NodeId(0), 1, 0)).is_some());
+        e.directory().assert_invariants();
+    }
+
+    #[test]
+    fn final_readers_recorded_on_finish() {
+        let mut e = engine();
+        e.access(MemAccess::write(NodeId(0), 1, 0));
+        e.access(MemAccess::read(NodeId(2), 2, 0));
+        let (trace, _) = e.finish();
+        let actuals = trace.resolve_actuals();
+        assert_eq!(actuals[0], SharingBitmap::singleton(NodeId(2)));
+    }
+
+    #[test]
+    fn eviction_with_hints_removes_sharer() {
+        // L2 of small_test: 16 lines, 2-way, 8 sets. Lines 0, 8, 16 share a
+        // set; touching three forces an eviction.
+        let mut e = engine();
+        e.access(MemAccess::write(NodeId(0), 1, 0));
+        e.access(MemAccess::read(NodeId(1), 2, 0)); // sharer of line 0
+        for i in 1..3u64 {
+            e.access(MemAccess::read(NodeId(1), 2, i * 8 * 64));
+        }
+        assert!(e.stats().l2_evictions > 0);
+        e.directory().assert_invariants();
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back_and_uncaches() {
+        let mut e = engine();
+        e.access(MemAccess::write(NodeId(0), 1, 0));
+        for i in 1..3u64 {
+            e.access(MemAccess::write(NodeId(0), 1, i * 8 * 64));
+        }
+        assert!(e.stats().writebacks >= 1);
+        e.directory().assert_invariants();
+        // Next write to line 0 is a write miss with empty feedback but a
+        // preserved last-writer record.
+        let ev = e.access(MemAccess::write(NodeId(1), 9, 0)).unwrap();
+        assert!(ev.invalidated.is_empty());
+        assert_eq!(ev.prev_writer.map(|(n, _)| n), Some(NodeId(0)));
+    }
+
+    #[test]
+    fn static_store_counting() {
+        let mut e = engine();
+        e.access(MemAccess::write(NodeId(0), 1, 0));
+        e.access(MemAccess::write(NodeId(0), 2, 64));
+        e.access(MemAccess::write(NodeId(0), 1, 128));
+        e.access(MemAccess::write(NodeId(1), 1, 192));
+        let (_, stats) = e.finish();
+        assert_eq!(stats.max_static_stores_per_node, 2);
+        assert_eq!(stats.lines_touched, 4);
+    }
+
+    #[test]
+    fn miss_latency_accumulates() {
+        let mut e = engine();
+        e.access(MemAccess::write(NodeId(0), 1, 0)); // local (home = 0)
+        let local = e.stats().miss_latency_cycles;
+        assert_eq!(local, 52);
+        e.access(MemAccess::read(NodeId(3), 2, 0)); // remote
+        assert!(e.stats().miss_latency_cycles >= local + 133);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_access_from_unknown_node() {
+        let mut e = engine();
+        e.access(MemAccess::read(NodeId(9), 0, 0));
+    }
+
+    fn mesi_engine() -> CoherenceEngine {
+        let mut cfg = SystemConfig::small_test();
+        cfg.protocol = crate::Protocol::Mesi;
+        CoherenceEngine::new(cfg)
+    }
+
+    #[test]
+    fn mesi_private_read_then_write_is_silent() {
+        let mut e = mesi_engine();
+        e.access(MemAccess::read(NodeId(0), 1, 0)); // E grant
+        let ev = e.access(MemAccess::write(NodeId(0), 2, 0));
+        assert!(ev.is_none(), "E->M upgrade must not visit the directory");
+        assert_eq!(e.stats().silent_upgrades, 1);
+        assert_eq!(e.stats().coherence_store_misses(), 0);
+        e.directory().assert_invariants();
+    }
+
+    #[test]
+    fn msi_private_read_then_write_is_an_event() {
+        let mut e = engine();
+        e.access(MemAccess::read(NodeId(0), 1, 0));
+        let ev = e.access(MemAccess::write(NodeId(0), 2, 0));
+        assert!(ev.is_some(), "MSI upgrades after any read");
+        assert_eq!(e.stats().silent_upgrades, 0);
+    }
+
+    #[test]
+    fn mesi_clean_exclusive_downgrades_without_writeback() {
+        let mut e = mesi_engine();
+        e.access(MemAccess::read(NodeId(0), 1, 0)); // E grant, clean
+        e.access(MemAccess::read(NodeId(1), 2, 0)); // downgrade
+        assert_eq!(
+            e.stats().writebacks,
+            0,
+            "clean downgrade needs no writeback"
+        );
+        e.directory().assert_invariants();
+    }
+
+    #[test]
+    fn mesi_dirty_exclusive_downgrades_with_writeback() {
+        let mut e = mesi_engine();
+        e.access(MemAccess::read(NodeId(0), 1, 0)); // E
+        e.access(MemAccess::write(NodeId(0), 2, 0)); // silent E->M
+        e.access(MemAccess::read(NodeId(1), 3, 0)); // downgrade dirty
+        assert_eq!(e.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn mesi_e_holder_counts_as_true_reader_in_feedback() {
+        let mut e = mesi_engine();
+        e.access(MemAccess::read(NodeId(0), 1, 0)); // E grant by reading
+        let ev = e.access(MemAccess::write(NodeId(2), 5, 0)).unwrap();
+        assert!(
+            ev.invalidated.contains(NodeId(0)),
+            "the E holder consumed the line: it is a true invalidated reader"
+        );
+    }
+
+    #[test]
+    fn mesi_produces_no_more_events_than_msi() {
+        // Same access stream under both protocols: MESI can only remove
+        // prediction points (silent private upgrades), never add them.
+        let stream: Vec<MemAccess> = (0..200u64)
+            .map(|i| {
+                let node = NodeId((i % 4) as u8);
+                let addr = (i % 13) * 64;
+                if i % 3 == 0 {
+                    MemAccess::write(node, 1, addr)
+                } else {
+                    MemAccess::read(node, 2, addr)
+                }
+            })
+            .collect();
+        let mut msi = engine();
+        let mut mesi = mesi_engine();
+        for &a in &stream {
+            msi.access(a);
+            mesi.access(a);
+        }
+        assert!(mesi.stats().coherence_store_misses() <= msi.stats().coherence_store_misses());
+        msi.directory().assert_invariants();
+        mesi.directory().assert_invariants();
+    }
+}

@@ -1,0 +1,358 @@
+//! 2-D torus interconnect topology and latency model.
+//!
+//! The paper simulates "16-node systems with a fast 2-D torus interconnect"
+//! (Section 5.1). Prediction accuracy does not depend on the network, but
+//! the traffic/latency *cost* of predictions does: the forwarding estimator
+//! uses torus hop counts to price both useful and wasted forwards.
+
+use csp_trace::NodeId;
+
+/// A `width x height` 2-D torus with nodes numbered row-major.
+///
+/// # Example
+///
+/// ```
+/// use csp_sim::torus::Torus;
+/// use csp_trace::NodeId;
+///
+/// let t = Torus::new(4, 4);
+/// assert_eq!(t.hops(NodeId(0), NodeId(0)), 0);
+/// assert_eq!(t.hops(NodeId(0), NodeId(3)), 1);  // wraparound in x
+/// assert_eq!(t.hops(NodeId(0), NodeId(10)), 4); // (2,2) away
+/// assert_eq!(t.diameter(), 4);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Torus {
+    width: usize,
+    height: usize,
+}
+
+impl Torus {
+    /// Creates a torus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "torus dimensions must be positive");
+        Torus { width, height }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// The torus's width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The torus's height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The `(x, y)` coordinates of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the torus.
+    pub fn coords(&self, node: NodeId) -> (usize, usize) {
+        let i = node.index();
+        assert!(
+            i < self.nodes(),
+            "node {node} outside {}x{} torus",
+            self.width,
+            self.height
+        );
+        (i % self.width, i / self.width)
+    }
+
+    /// The node at `(x, y)`.
+    pub fn node_at(&self, x: usize, y: usize) -> NodeId {
+        assert!(x < self.width && y < self.height);
+        NodeId((y * self.width + x) as u8)
+    }
+
+    /// Minimal hop count between two nodes under X-Y routing with
+    /// wraparound.
+    pub fn hops(&self, a: NodeId, b: NodeId) -> u32 {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        (ring_distance(ax, bx, self.width) + ring_distance(ay, by, self.height)) as u32
+    }
+
+    /// The network diameter: the maximum hop count over all node pairs.
+    pub fn diameter(&self) -> u32 {
+        ((self.width / 2) + (self.height / 2)) as u32
+    }
+
+    /// Average hop count from `src` to every *other* node — the expected
+    /// cost of a random forward.
+    pub fn mean_hops_from(&self, src: NodeId) -> f64 {
+        let n = self.nodes();
+        if n <= 1 {
+            return 0.0;
+        }
+        let total: u32 = (0..n).map(|i| self.hops(src, NodeId(i as u8))).sum();
+        f64::from(total) / (n - 1) as f64
+    }
+}
+
+fn ring_distance(a: usize, b: usize, len: usize) -> usize {
+    let d = a.abs_diff(b);
+    d.min(len - d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn coords_roundtrip() {
+        let t = Torus::new(4, 4);
+        for i in 0..16u8 {
+            let (x, y) = t.coords(NodeId(i));
+            assert_eq!(t.node_at(x, y), NodeId(i));
+        }
+    }
+
+    #[test]
+    fn wraparound_shortens_paths() {
+        let t = Torus::new(4, 4);
+        assert_eq!(t.hops(NodeId(0), NodeId(3)), 1); // 0 -> 3 wraps
+        assert_eq!(t.hops(NodeId(0), NodeId(12)), 1); // vertical wrap
+        assert_eq!(t.hops(NodeId(0), NodeId(5)), 2);
+    }
+
+    #[test]
+    fn diameter_of_4x4_is_4() {
+        assert_eq!(Torus::new(4, 4).diameter(), 4);
+        assert_eq!(Torus::new(2, 2).diameter(), 2);
+        assert_eq!(Torus::new(1, 1).diameter(), 0);
+    }
+
+    #[test]
+    fn mean_hops_sane() {
+        let t = Torus::new(4, 4);
+        let m = t.mean_hops_from(NodeId(0));
+        assert!(m > 0.0 && m <= f64::from(t.diameter()));
+        assert_eq!(Torus::new(1, 1).mean_hops_from(NodeId(0)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn coords_panics_outside() {
+        Torus::new(2, 2).coords(NodeId(4));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_hops_symmetric(a in 0u8..16, b in 0u8..16) {
+            let t = Torus::new(4, 4);
+            prop_assert_eq!(t.hops(NodeId(a), NodeId(b)), t.hops(NodeId(b), NodeId(a)));
+        }
+
+        #[test]
+        fn prop_hops_within_diameter(a in 0u8..16, b in 0u8..16) {
+            let t = Torus::new(4, 4);
+            prop_assert!(t.hops(NodeId(a), NodeId(b)) <= t.diameter());
+        }
+
+        #[test]
+        fn prop_hops_zero_iff_same(a in 0u8..16, b in 0u8..16) {
+            let t = Torus::new(4, 4);
+            prop_assert_eq!(t.hops(NodeId(a), NodeId(b)) == 0, a == b);
+        }
+
+        #[test]
+        fn prop_triangle_inequality(a in 0u8..16, b in 0u8..16, c in 0u8..16) {
+            let t = Torus::new(4, 4);
+            prop_assert!(
+                t.hops(NodeId(a), NodeId(c))
+                    <= t.hops(NodeId(a), NodeId(b)) + t.hops(NodeId(b), NodeId(c))
+            );
+        }
+    }
+}
+
+/// A directed link between two adjacent torus nodes.
+pub type Link = (NodeId, NodeId);
+
+impl Torus {
+    /// The deterministic X-then-Y route from `a` to `b`, as the sequence
+    /// of nodes visited (including both endpoints). Wraparound is taken
+    /// whenever it is strictly shorter; ties go the positive direction.
+    pub fn route(&self, a: NodeId, b: NodeId) -> Vec<NodeId> {
+        let (mut x, mut y) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        let mut path = vec![a];
+        while x != bx {
+            x = step_ring(x, bx, self.width);
+            path.push(self.node_at(x, y));
+        }
+        while y != by {
+            y = step_ring(y, by, self.height);
+            path.push(self.node_at(x, y));
+        }
+        path
+    }
+
+    /// The directed links the X-Y route from `a` to `b` traverses.
+    pub fn route_links(&self, a: NodeId, b: NodeId) -> Vec<Link> {
+        let path = self.route(a, b);
+        path.windows(2).map(|w| (w[0], w[1])).collect()
+    }
+}
+
+/// One ring step from `from` toward `to` on a ring of length `len`,
+/// taking the shorter direction (positive on ties).
+fn step_ring(from: usize, to: usize, len: usize) -> usize {
+    let fwd = (to + len - from) % len; // hops going +1
+    if fwd <= len - fwd {
+        (from + 1) % len
+    } else {
+        (from + len - 1) % len
+    }
+}
+
+/// Accumulates per-link message counts — the congestion view of a
+/// forwarding workload, for finding bandwidth hotspots.
+///
+/// # Example
+///
+/// ```
+/// use csp_sim::torus::{LinkLoad, Torus};
+/// use csp_trace::NodeId;
+/// let torus = Torus::new(4, 4);
+/// let mut load = LinkLoad::new(torus);
+/// load.send(NodeId(0), NodeId(2)); // two X hops
+/// assert_eq!(load.total_messages(), 1);
+/// assert_eq!(load.total_link_traversals(), 2);
+/// assert_eq!(load.max_link_load(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct LinkLoad {
+    torus: Torus,
+    loads: std::collections::HashMap<Link, u64>,
+    messages: u64,
+}
+
+impl LinkLoad {
+    /// An empty accumulator for `torus`.
+    pub fn new(torus: Torus) -> Self {
+        LinkLoad {
+            torus,
+            loads: std::collections::HashMap::new(),
+            messages: 0,
+        }
+    }
+
+    /// Routes one message from `src` to `dst`, charging every link on the
+    /// X-Y path. Self-sends are counted as messages but traverse nothing.
+    pub fn send(&mut self, src: NodeId, dst: NodeId) {
+        self.messages += 1;
+        for link in self.torus.route_links(src, dst) {
+            *self.loads.entry(link).or_default() += 1;
+        }
+    }
+
+    /// Messages routed so far.
+    pub fn total_messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Sum of per-link traversals (hop-weighted traffic).
+    pub fn total_link_traversals(&self) -> u64 {
+        self.loads.values().sum()
+    }
+
+    /// The load on the busiest directed link.
+    pub fn max_link_load(&self) -> u64 {
+        self.loads.values().copied().max().unwrap_or(0)
+    }
+
+    /// Mean load over the links that carried any traffic.
+    pub fn mean_link_load(&self) -> f64 {
+        if self.loads.is_empty() {
+            0.0
+        } else {
+            self.total_link_traversals() as f64 / self.loads.len() as f64
+        }
+    }
+
+    /// Hotspot factor: busiest link relative to the mean (1.0 = perfectly
+    /// balanced).
+    pub fn hotspot_factor(&self) -> f64 {
+        let mean = self.mean_link_load();
+        if mean == 0.0 {
+            0.0
+        } else {
+            self.max_link_load() as f64 / mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod route_tests {
+    use super::*;
+
+    #[test]
+    fn route_endpoints_and_length() {
+        let t = Torus::new(4, 4);
+        for a in 0..16u8 {
+            for b in 0..16u8 {
+                let path = t.route(NodeId(a), NodeId(b));
+                assert_eq!(path[0], NodeId(a));
+                assert_eq!(*path.last().unwrap(), NodeId(b));
+                assert_eq!(
+                    path.len() as u32 - 1,
+                    t.hops(NodeId(a), NodeId(b)),
+                    "route {a}->{b} must be minimal"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn route_steps_are_adjacent() {
+        let t = Torus::new(4, 4);
+        for (a, b) in [(0u8, 15u8), (3, 12), (5, 10)] {
+            for (u, v) in t.route_links(NodeId(a), NodeId(b)) {
+                assert_eq!(t.hops(u, v), 1, "route step {u}->{v} not a link");
+            }
+        }
+    }
+
+    #[test]
+    fn wraparound_routes_take_the_short_way() {
+        let t = Torus::new(4, 4);
+        // 0 -> 3 wraps: one hop, through the 0<->3 wraparound link.
+        assert_eq!(t.route(NodeId(0), NodeId(3)), vec![NodeId(0), NodeId(3)]);
+    }
+
+    #[test]
+    fn link_load_accumulates_and_finds_hotspots() {
+        let t = Torus::new(4, 4);
+        let mut load = LinkLoad::new(t);
+        // Everyone sends to node 0: links into 0 become hot.
+        for n in 1..16u8 {
+            load.send(NodeId(n), NodeId(0));
+        }
+        assert_eq!(load.total_messages(), 15);
+        assert!(load.hotspot_factor() > 1.0);
+        assert!(load.max_link_load() >= 3);
+    }
+
+    #[test]
+    fn self_send_traverses_nothing() {
+        let mut load = LinkLoad::new(Torus::new(4, 4));
+        load.send(NodeId(5), NodeId(5));
+        assert_eq!(load.total_messages(), 1);
+        assert_eq!(load.total_link_traversals(), 0);
+        assert_eq!(load.mean_link_load(), 0.0);
+        assert_eq!(load.hotspot_factor(), 0.0);
+    }
+}

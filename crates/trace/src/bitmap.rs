@@ -1,0 +1,419 @@
+//! Sharing bitmaps: fixed-width sets of nodes.
+//!
+//! A sharing bitmap is the unit of both feedback (which nodes actually read
+//! a line) and prediction (which nodes a scheme guesses will read it). The
+//! paper's key observation (Section 3.2) is that although bitmaps look like
+//! values, they are really *vectors of independent single-bit predictions*;
+//! all the metrics in `csp-metrics` score them bit by bit.
+
+use crate::{NodeId, MAX_NODES};
+use std::fmt;
+use std::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, BitXor, Sub};
+
+/// A set of nodes, backed by a `u64` (up to [`MAX_NODES`] nodes).
+///
+/// Bit *i* set means node *i* is in the set. The machine's node count is
+/// carried by the [`Trace`](crate::Trace), not by each bitmap; operations
+/// here are width-agnostic and the scoring code masks to the machine width.
+///
+/// # Example
+///
+/// ```
+/// use csp_trace::{NodeId, SharingBitmap};
+///
+/// let a = SharingBitmap::from_nodes(&[NodeId(1), NodeId(3)]);
+/// let b = SharingBitmap::from_nodes(&[NodeId(3), NodeId(5)]);
+/// assert_eq!((a | b).count(), 3);
+/// assert_eq!((a & b), SharingBitmap::from_nodes(&[NodeId(3)]));
+/// assert!(a.contains(NodeId(1)));
+/// assert!(!a.contains(NodeId(5)));
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SharingBitmap(u64);
+
+impl SharingBitmap {
+    /// The empty set.
+    #[inline]
+    pub const fn empty() -> Self {
+        SharingBitmap(0)
+    }
+
+    /// The set of all nodes `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_NODES`.
+    #[inline]
+    pub fn all(n: usize) -> Self {
+        assert!(n <= MAX_NODES, "at most {MAX_NODES} nodes supported");
+        if n == MAX_NODES {
+            SharingBitmap(u64::MAX)
+        } else {
+            SharingBitmap((1u64 << n) - 1)
+        }
+    }
+
+    /// Builds a bitmap from raw bits.
+    #[inline]
+    pub const fn from_bits(bits: u64) -> Self {
+        SharingBitmap(bits)
+    }
+
+    /// Returns the raw bits.
+    #[inline]
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Builds a bitmap containing exactly the given nodes.
+    #[inline]
+    pub fn from_nodes(nodes: &[NodeId]) -> Self {
+        let mut b = SharingBitmap::empty();
+        for &n in nodes {
+            b.insert(n);
+        }
+        b
+    }
+
+    /// A bitmap containing only `node`.
+    #[inline]
+    pub fn singleton(node: NodeId) -> Self {
+        debug_assert!(node.index() < MAX_NODES);
+        SharingBitmap(1u64 << node.index())
+    }
+
+    /// Returns `true` if the set is empty.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of nodes in the set.
+    #[inline]
+    pub const fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Returns `true` if `node` is in the set.
+    #[inline]
+    pub fn contains(self, node: NodeId) -> bool {
+        debug_assert!(node.index() < MAX_NODES);
+        self.0 & (1u64 << node.index()) != 0
+    }
+
+    /// Adds `node` to the set.
+    #[inline]
+    pub fn insert(&mut self, node: NodeId) {
+        debug_assert!(node.index() < MAX_NODES);
+        self.0 |= 1u64 << node.index();
+    }
+
+    /// Removes `node` from the set.
+    #[inline]
+    pub fn remove(&mut self, node: NodeId) {
+        debug_assert!(node.index() < MAX_NODES);
+        self.0 &= !(1u64 << node.index());
+    }
+
+    /// Returns the set with `node` removed (non-mutating).
+    #[inline]
+    pub fn without(self, node: NodeId) -> Self {
+        let mut b = self;
+        b.remove(node);
+        b
+    }
+
+    /// Returns `true` if the two sets share at least one node (the test used
+    /// by the paper's `overlap-last` update function).
+    #[inline]
+    pub const fn overlaps(self, other: Self) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Returns `true` if every node of `self` is in `other`.
+    #[inline]
+    pub const fn is_subset(self, other: Self) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Keeps only bits for nodes `0..n` (mask to machine width).
+    #[inline]
+    pub fn masked(self, n: usize) -> Self {
+        SharingBitmap(self.0 & Self::all(n).0)
+    }
+
+    /// Iterates over the nodes in the set, in increasing id order.
+    ///
+    /// ```
+    /// use csp_trace::{NodeId, SharingBitmap};
+    /// let b = SharingBitmap::from_nodes(&[NodeId(5), NodeId(2)]);
+    /// let v: Vec<_> = b.iter().collect();
+    /// assert_eq!(v, vec![NodeId(2), NodeId(5)]);
+    /// ```
+    #[inline]
+    pub fn iter(self) -> NodeIter {
+        NodeIter(self.0)
+    }
+}
+
+/// Iterator over the nodes of a [`SharingBitmap`], produced by
+/// [`SharingBitmap::iter`].
+#[derive(Clone, Debug)]
+pub struct NodeIter(u64);
+
+impl Iterator for NodeIter {
+    type Item = NodeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeId> {
+        if self.0 == 0 {
+            None
+        } else {
+            let i = self.0.trailing_zeros() as u8;
+            self.0 &= self.0 - 1;
+            Some(NodeId(i))
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for NodeIter {}
+
+impl IntoIterator for SharingBitmap {
+    type Item = NodeId;
+    type IntoIter = NodeIter;
+
+    fn into_iter(self) -> NodeIter {
+        self.iter()
+    }
+}
+
+impl FromIterator<NodeId> for SharingBitmap {
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        let mut b = SharingBitmap::empty();
+        for n in iter {
+            b.insert(n);
+        }
+        b
+    }
+}
+
+impl Extend<NodeId> for SharingBitmap {
+    fn extend<I: IntoIterator<Item = NodeId>>(&mut self, iter: I) {
+        for n in iter {
+            self.insert(n);
+        }
+    }
+}
+
+impl BitOr for SharingBitmap {
+    type Output = Self;
+    #[inline]
+    fn bitor(self, rhs: Self) -> Self {
+        SharingBitmap(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for SharingBitmap {
+    #[inline]
+    fn bitor_assign(&mut self, rhs: Self) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl BitAnd for SharingBitmap {
+    type Output = Self;
+    #[inline]
+    fn bitand(self, rhs: Self) -> Self {
+        SharingBitmap(self.0 & rhs.0)
+    }
+}
+
+impl BitAndAssign for SharingBitmap {
+    #[inline]
+    fn bitand_assign(&mut self, rhs: Self) {
+        self.0 &= rhs.0;
+    }
+}
+
+impl BitXor for SharingBitmap {
+    type Output = Self;
+    #[inline]
+    fn bitxor(self, rhs: Self) -> Self {
+        SharingBitmap(self.0 ^ rhs.0)
+    }
+}
+
+/// Set difference: nodes in `self` but not in `rhs`.
+impl Sub for SharingBitmap {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        SharingBitmap(self.0 & !rhs.0)
+    }
+}
+
+impl fmt::Debug for SharingBitmap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SharingBitmap({:#b})", self.0)
+    }
+}
+
+impl fmt::Display for SharingBitmap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, n) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", n.0)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Binary for SharingBitmap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl fmt::LowerHex for SharingBitmap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_and_all() {
+        assert!(SharingBitmap::empty().is_empty());
+        assert_eq!(SharingBitmap::all(16).count(), 16);
+        assert_eq!(SharingBitmap::all(64).count(), 64);
+        assert_eq!(SharingBitmap::all(0), SharingBitmap::empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn all_rejects_too_many_nodes() {
+        let _ = SharingBitmap::all(65);
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut b = SharingBitmap::empty();
+        b.insert(NodeId(3));
+        b.insert(NodeId(0));
+        assert!(b.contains(NodeId(3)));
+        assert!(b.contains(NodeId(0)));
+        assert!(!b.contains(NodeId(1)));
+        b.remove(NodeId(3));
+        assert!(!b.contains(NodeId(3)));
+        assert_eq!(b.count(), 1);
+    }
+
+    #[test]
+    fn without_is_non_mutating() {
+        let b = SharingBitmap::from_nodes(&[NodeId(1), NodeId(2)]);
+        let c = b.without(NodeId(1));
+        assert!(b.contains(NodeId(1)));
+        assert!(!c.contains(NodeId(1)));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = SharingBitmap::from_nodes(&[NodeId(0), NodeId(1)]);
+        let b = SharingBitmap::from_nodes(&[NodeId(1), NodeId(2)]);
+        assert_eq!(
+            a | b,
+            SharingBitmap::from_nodes(&[NodeId(0), NodeId(1), NodeId(2)])
+        );
+        assert_eq!(a & b, SharingBitmap::from_nodes(&[NodeId(1)]));
+        assert_eq!(a - b, SharingBitmap::from_nodes(&[NodeId(0)]));
+        assert_eq!(a ^ b, SharingBitmap::from_nodes(&[NodeId(0), NodeId(2)]));
+        assert!(a.overlaps(b));
+        assert!(!a.overlaps(SharingBitmap::from_nodes(&[NodeId(5)])));
+    }
+
+    #[test]
+    fn subset() {
+        let a = SharingBitmap::from_nodes(&[NodeId(1)]);
+        let b = SharingBitmap::from_nodes(&[NodeId(1), NodeId(2)]);
+        assert!(a.is_subset(b));
+        assert!(!b.is_subset(a));
+        assert!(SharingBitmap::empty().is_subset(a));
+    }
+
+    #[test]
+    fn masked_truncates() {
+        let b = SharingBitmap::from_bits(u64::MAX);
+        assert_eq!(b.masked(16), SharingBitmap::all(16));
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let b = SharingBitmap::from_nodes(&[NodeId(7), NodeId(0), NodeId(63)]);
+        let v: Vec<_> = b.iter().map(|n| n.0).collect();
+        assert_eq!(v, vec![0, 7, 63]);
+        assert_eq!(b.iter().len(), 3);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let b: SharingBitmap = (0..4).map(NodeId).collect();
+        assert_eq!(b, SharingBitmap::all(4));
+    }
+
+    #[test]
+    fn display_formats() {
+        let b = SharingBitmap::from_nodes(&[NodeId(1), NodeId(3)]);
+        assert_eq!(b.to_string(), "{1,3}");
+        assert_eq!(format!("{:b}", b), "1010");
+        assert_eq!(format!("{:x}", b), "a");
+        assert_eq!(SharingBitmap::empty().to_string(), "{}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_union_contains_both(a: u64, b: u64) {
+            let (a, b) = (SharingBitmap::from_bits(a), SharingBitmap::from_bits(b));
+            prop_assert!(a.is_subset(a | b));
+            prop_assert!(b.is_subset(a | b));
+        }
+
+        #[test]
+        fn prop_intersection_within_both(a: u64, b: u64) {
+            let (a, b) = (SharingBitmap::from_bits(a), SharingBitmap::from_bits(b));
+            prop_assert!((a & b).is_subset(a));
+            prop_assert!((a & b).is_subset(b));
+        }
+
+        #[test]
+        fn prop_inclusion_exclusion(a: u64, b: u64) {
+            let (a, b) = (SharingBitmap::from_bits(a), SharingBitmap::from_bits(b));
+            prop_assert_eq!((a | b).count() + (a & b).count(), a.count() + b.count());
+        }
+
+        #[test]
+        fn prop_iter_roundtrip(bits: u64) {
+            let b = SharingBitmap::from_bits(bits);
+            let rebuilt: SharingBitmap = b.iter().collect();
+            prop_assert_eq!(b, rebuilt);
+        }
+
+        #[test]
+        fn prop_difference_disjoint(a: u64, b: u64) {
+            let (a, b) = (SharingBitmap::from_bits(a), SharingBitmap::from_bits(b));
+            prop_assert!(!(a - b).overlaps(b));
+            prop_assert_eq!((a - b) | (a & b), a);
+        }
+    }
+}

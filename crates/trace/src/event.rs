@@ -1,0 +1,86 @@
+//! Coherence sharing events: one record per coherence store miss.
+
+use crate::{LineAddr, NodeId, Pc, SharingBitmap};
+
+/// One coherence store miss: a write (write miss or write fault) that made
+/// `writer` the exclusive owner of `line` and invalidated the line's
+/// previous readers.
+///
+/// This is the paper's *decision point*: at this moment a prediction scheme
+/// may guess the bitmap of nodes that will read `line` before the next
+/// write. The fields are exactly the information the paper says is available
+/// at that moment (Section 3.1): `pid` ([`writer`](Self::writer)), `pc`
+/// ([`pc`](Self::pc)), `dir` ([`home`](Self::home)) and `addr`
+/// ([`line`](Self::line)) — plus the feedback every invalidation supplies:
+/// the *true* readers just invalidated ([`invalidated`](Self::invalidated)),
+/// and the last-writer information forwarded update requires
+/// ([`prev_writer`](Self::prev_writer)).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SharingEvent {
+    /// The node performing the write (`pid`).
+    pub writer: NodeId,
+    /// The static store instruction performing the write (`pc`).
+    pub pc: Pc,
+    /// The cache line being written (`addr`).
+    pub line: LineAddr,
+    /// The line's home directory node (`dir`).
+    pub home: NodeId,
+    /// The true readers invalidated by this write: the nodes that actually
+    /// read `line` between the previous write and this one, excluding the
+    /// previous writer itself. This is the history feedback the update
+    /// mechanisms consume (Section 3.4). Empty on the first write to a line.
+    pub invalidated: SharingBitmap,
+    /// The identity (`pid`, `pc`) of the previous writer of `line`, if any.
+    /// Forwarded update uses this to deliver `invalidated` to the entry of
+    /// the writer whose readers these were (Figure 3).
+    pub prev_writer: Option<(NodeId, Pc)>,
+}
+
+impl SharingEvent {
+    /// Creates a sharing event.
+    ///
+    /// `invalidated` should already exclude the previous writer; the
+    /// constructor does not (and cannot) check that, but
+    /// [`Trace::push`](crate::Trace::push) validates node ids against the
+    /// machine width.
+    pub fn new(
+        writer: NodeId,
+        pc: Pc,
+        line: LineAddr,
+        home: NodeId,
+        invalidated: SharingBitmap,
+        prev_writer: Option<(NodeId, Pc)>,
+    ) -> Self {
+        SharingEvent {
+            writer,
+            pc,
+            line,
+            home,
+            invalidated,
+            prev_writer,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construct_and_access() {
+        let e = SharingEvent::new(
+            NodeId(2),
+            Pc(0x40),
+            LineAddr(100),
+            NodeId(4),
+            SharingBitmap::from_nodes(&[NodeId(1)]),
+            Some((NodeId(3), Pc(0x44))),
+        );
+        assert_eq!(e.writer, NodeId(2));
+        assert_eq!(e.pc, Pc(0x40));
+        assert_eq!(e.line, LineAddr(100));
+        assert_eq!(e.home, NodeId(4));
+        assert!(e.invalidated.contains(NodeId(1)));
+        assert_eq!(e.prev_writer, Some((NodeId(3), Pc(0x44))));
+    }
+}

@@ -1,0 +1,192 @@
+//! Strongly-typed identifiers for the entities named by the paper's
+//! indexing taxonomy: `pid` (writer node), `pc` (static store instruction),
+//! `dir` (home directory node) and `addr` (cache-line address).
+
+use std::fmt;
+
+/// A processor/node identifier (`pid` in the paper's taxonomy).
+///
+/// Also used for directory/home nodes (`dir`): in a CC-NUMA machine each
+/// node hosts a slice of the physical memory and its directory, so home
+/// directories are named by the same id space.
+///
+/// # Example
+///
+/// ```
+/// use csp_trace::NodeId;
+/// let n = NodeId(3);
+/// assert_eq!(n.index(), 3);
+/// assert_eq!(n.to_string(), "n3");
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u8);
+
+impl NodeId {
+    /// Returns the node index as a `usize`, for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u8> for NodeId {
+    fn from(v: u8) -> Self {
+        NodeId(v)
+    }
+}
+
+/// A static store instruction identifier (`pc` in the paper's taxonomy).
+///
+/// The paper indexes predictors by (truncated) program-counter values of
+/// store instructions. Because our workloads are synthetic, a `Pc` is an
+/// abstract word-granular instruction id rather than a byte address; the
+/// low-order bits are the ones predictors truncate to.
+///
+/// # Example
+///
+/// ```
+/// use csp_trace::Pc;
+/// let pc = Pc(0b1011_0110);
+/// assert_eq!(pc.low_bits(4), 0b0110);
+/// assert_eq!(pc.low_bits(0), 0);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pc(pub u32);
+
+impl Pc {
+    /// Returns the `bits` low-order bits of the pc, as used when a predictor
+    /// truncates the pc field to meet an implementation cost.
+    ///
+    /// `bits` must be at most 32; `bits == 0` yields `0`.
+    #[inline]
+    pub fn low_bits(self, bits: u8) -> u32 {
+        debug_assert!(bits <= 32);
+        if bits == 0 {
+            0
+        } else if bits >= 32 {
+            self.0
+        } else {
+            self.0 & ((1u32 << bits) - 1)
+        }
+    }
+}
+
+impl fmt::Display for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pc{:#x}", self.0)
+    }
+}
+
+impl From<u32> for Pc {
+    fn from(v: u32) -> Self {
+        Pc(v)
+    }
+}
+
+/// A cache-line address (`addr` in the paper's taxonomy).
+///
+/// Line-granular: a byte address shifted right by `log2(line size)`. All
+/// sharing happens at line granularity (the paper uses 64-byte lines), so
+/// the trace never stores byte offsets.
+///
+/// # Example
+///
+/// ```
+/// use csp_trace::LineAddr;
+/// let line = LineAddr::from_byte_addr(0x1040, 64);
+/// assert_eq!(line, LineAddr(0x41));
+/// assert_eq!(line.low_bits(4), 0x1);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LineAddr(pub u64);
+
+impl LineAddr {
+    /// Converts a byte address into a line address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_size` is not a power of two.
+    #[inline]
+    pub fn from_byte_addr(byte_addr: u64, line_size: u64) -> Self {
+        assert!(
+            line_size.is_power_of_two(),
+            "line size must be a power of two, got {line_size}"
+        );
+        LineAddr(byte_addr >> line_size.trailing_zeros())
+    }
+
+    /// Returns the `bits` low-order bits of the line address, as used when a
+    /// predictor truncates the addr field to meet an implementation cost.
+    #[inline]
+    pub fn low_bits(self, bits: u8) -> u64 {
+        debug_assert!(bits <= 64);
+        if bits == 0 {
+            0
+        } else if bits >= 64 {
+            self.0
+        } else {
+            self.0 & ((1u64 << bits) - 1)
+        }
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line{:#x}", self.0)
+    }
+}
+
+impl From<u64> for LineAddr {
+    fn from(v: u64) -> Self {
+        LineAddr(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_index_and_display() {
+        assert_eq!(NodeId(15).index(), 15);
+        assert_eq!(NodeId(0).to_string(), "n0");
+        assert_eq!(NodeId::from(7u8), NodeId(7));
+    }
+
+    #[test]
+    fn pc_low_bits_masks_correctly() {
+        let pc = Pc(0xDEAD_BEEF);
+        assert_eq!(pc.low_bits(0), 0);
+        assert_eq!(pc.low_bits(8), 0xEF);
+        assert_eq!(pc.low_bits(16), 0xBEEF);
+        assert_eq!(pc.low_bits(32), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn line_addr_from_byte_addr() {
+        assert_eq!(LineAddr::from_byte_addr(0, 64), LineAddr(0));
+        assert_eq!(LineAddr::from_byte_addr(63, 64), LineAddr(0));
+        assert_eq!(LineAddr::from_byte_addr(64, 64), LineAddr(1));
+        assert_eq!(LineAddr::from_byte_addr(0x1000, 32), LineAddr(0x80));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn line_addr_rejects_non_power_of_two() {
+        let _ = LineAddr::from_byte_addr(100, 48);
+    }
+
+    #[test]
+    fn line_addr_low_bits() {
+        let a = LineAddr(0b1010_1100);
+        assert_eq!(a.low_bits(0), 0);
+        assert_eq!(a.low_bits(4), 0b1100);
+        assert_eq!(a.low_bits(64), 0b1010_1100);
+    }
+}

@@ -1,0 +1,264 @@
+//! A compact, self-describing binary on-disk format for traces.
+//!
+//! Traces can be expensive to regenerate (they come out of the memory-system
+//! simulator), so the harness caches them on disk. The format is
+//! deliberately simple — little-endian fixed-width fields with a magic
+//! header and version byte — and has no external dependencies.
+//!
+//! # Layout
+//!
+//! ```text
+//! magic   [8]  b"CSPTRC\0\0"
+//! version [1]  1
+//! nodes   [1]
+//! n_events[8]  u64
+//! events  [n_events x 32]:
+//!     writer[1] pc[4] line[8] home[1] invalidated[8]
+//!     has_prev[1] prev_writer[1] prev_pc[4] pad[4]
+//! n_final [8]  u64
+//! finals  [n_final x 16]: line[8] readers[8]
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> std::io::Result<()> {
+//! use csp_trace::{io, Trace};
+//! let trace = Trace::new(16);
+//! let mut buf = Vec::new();
+//! io::write_trace(&mut buf, &trace)?;
+//! let back = io::read_trace(&mut buf.as_slice())?;
+//! assert_eq!(trace, back);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::{LineAddr, NodeId, Pc, SharingBitmap, SharingEvent, Trace};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"CSPTRC\0\0";
+const VERSION: u8 = 1;
+
+/// Serializes `trace` to `w`.
+///
+/// Callers with a file should wrap it in a `BufWriter`; a `&mut Vec<u8>`
+/// works directly.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the writer.
+pub fn write_trace<W: Write>(mut w: W, trace: &Trace) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&[VERSION, trace.nodes() as u8])?;
+    w.write_all(&(trace.len() as u64).to_le_bytes())?;
+    for e in trace.events() {
+        w.write_all(&[e.writer.0])?;
+        w.write_all(&e.pc.0.to_le_bytes())?;
+        w.write_all(&e.line.0.to_le_bytes())?;
+        w.write_all(&[e.home.0])?;
+        w.write_all(&e.invalidated.bits().to_le_bytes())?;
+        match e.prev_writer {
+            Some((n, pc)) => {
+                w.write_all(&[1, n.0])?;
+                w.write_all(&pc.0.to_le_bytes())?;
+            }
+            None => {
+                w.write_all(&[0, 0])?;
+                w.write_all(&0u32.to_le_bytes())?;
+            }
+        }
+        w.write_all(&[0u8; 4])?;
+    }
+    // Final reader sets, in deterministic (sorted) order so identical traces
+    // serialize identically.
+    let mut finals: Vec<(u64, u64)> = trace
+        .events()
+        .iter()
+        .map(|e| e.line)
+        .collect::<std::collections::HashSet<_>>()
+        .into_iter()
+        .filter_map(|l| trace.final_readers(l).map(|r| (l.0, r.bits())))
+        .collect();
+    finals.sort_unstable();
+    w.write_all(&(finals.len() as u64).to_le_bytes())?;
+    for (line, readers) in finals {
+        w.write_all(&line.to_le_bytes())?;
+        w.write_all(&readers.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Deserializes a trace from `r`.
+///
+/// # Errors
+///
+/// Returns `InvalidData` if the magic, version, or any field is malformed,
+/// and propagates I/O errors from the reader.
+pub fn read_trace<R: Read>(mut r: R) -> io::Result<Trace> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("bad magic; not a CSP trace file"));
+    }
+    let mut head = [0u8; 2];
+    r.read_exact(&mut head)?;
+    if head[0] != VERSION {
+        return Err(bad("unsupported trace format version"));
+    }
+    let nodes = head[1] as usize;
+    if nodes == 0 || nodes > crate::MAX_NODES {
+        return Err(bad("node count out of range"));
+    }
+    let n_events = read_u64(&mut r)?;
+    let mut trace = Trace::new(nodes);
+    for _ in 0..n_events {
+        let writer = read_u8(&mut r)?;
+        let pc = read_u32(&mut r)?;
+        let line = read_u64(&mut r)?;
+        let home = read_u8(&mut r)?;
+        let invalidated = read_u64(&mut r)?;
+        let has_prev = read_u8(&mut r)?;
+        let prev_writer = read_u8(&mut r)?;
+        let prev_pc = read_u32(&mut r)?;
+        let mut pad = [0u8; 4];
+        r.read_exact(&mut pad)?;
+        if writer as usize >= nodes || home as usize >= nodes {
+            return Err(bad("event references node outside the machine"));
+        }
+        let prev = match has_prev {
+            0 => None,
+            1 => Some((NodeId(prev_writer), Pc(prev_pc))),
+            _ => return Err(bad("corrupt prev-writer flag")),
+        };
+        trace.push(SharingEvent::new(
+            NodeId(writer),
+            Pc(pc),
+            LineAddr(line),
+            NodeId(home),
+            SharingBitmap::from_bits(invalidated).masked(nodes),
+            prev,
+        ));
+    }
+    let n_final = read_u64(&mut r)?;
+    for _ in 0..n_final {
+        let line = read_u64(&mut r)?;
+        let readers = read_u64(&mut r)?;
+        trace.set_final_readers(LineAddr(line), SharingBitmap::from_bits(readers));
+    }
+    Ok(trace)
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+fn read_u8<R: Read>(r: &mut R) -> io::Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new(16);
+        t.push(SharingEvent::new(
+            NodeId(0),
+            Pc(0x400),
+            LineAddr(42),
+            NodeId(2),
+            SharingBitmap::empty(),
+            None,
+        ));
+        t.push(SharingEvent::new(
+            NodeId(3),
+            Pc(0x404),
+            LineAddr(42),
+            NodeId(2),
+            SharingBitmap::from_nodes(&[NodeId(1), NodeId(5)]),
+            Some((NodeId(0), Pc(0x400))),
+        ));
+        t.set_final_readers(LineAddr(42), SharingBitmap::from_nodes(&[NodeId(7)]));
+        t
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let t = Trace::new(2);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        assert_eq!(read_trace(buf.as_slice()).unwrap(), t);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_trace(&b"NOTATRACE........"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &Trace::new(2)).unwrap();
+        buf[8] = 99; // version byte
+        assert!(read_trace(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_input() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &sample_trace()).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_trace(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_node() {
+        let mut buf = Vec::new();
+        let mut t = Trace::new(16);
+        t.push(SharingEvent::new(
+            NodeId(15),
+            Pc(0),
+            LineAddr(0),
+            NodeId(0),
+            SharingBitmap::empty(),
+            None,
+        ));
+        write_trace(&mut buf, &t).unwrap();
+        buf[9] = 4; // shrink machine to 4 nodes; writer 15 now invalid
+        assert!(read_trace(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let t = sample_trace();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        write_trace(&mut a, &t).unwrap();
+        write_trace(&mut b, &t).unwrap();
+        assert_eq!(a, b);
+    }
+}

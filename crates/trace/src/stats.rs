@@ -1,0 +1,139 @@
+//! Per-trace statistics mirroring Table 5 of the paper.
+
+use crate::Trace;
+use std::collections::HashSet;
+use std::fmt;
+
+/// Store-instruction and cache-block statistics of a trace (paper Table 5),
+/// plus the sharing-prevalence numbers of Table 6.
+///
+/// * *static stores* — distinct `(node, pc)` pairs among all shared stores;
+///   the paper reports the maximum per node.
+/// * *predicted stores* — distinct `(node, pc)` pairs that appear in
+///   coherence store misses, i.e. stores that actually trigger predictions.
+///   In this trace model every recorded event is a prediction point, so the
+///   two collapse unless a richer front-end records silent stores; the
+///   simulator in `csp-sim` reports true static-store counts separately.
+/// * *blocks touched* — distinct lines appearing in the trace.
+/// * *store misses* — total coherence store misses (the event count).
+///
+/// # Example
+///
+/// ```
+/// use csp_trace::{NodeId, Pc, LineAddr, SharingBitmap, SharingEvent, Trace};
+/// let mut t = Trace::new(4);
+/// t.push(SharingEvent::new(NodeId(0), Pc(1), LineAddr(5), NodeId(1),
+///                          SharingBitmap::empty(), None));
+/// let s = t.stats();
+/// assert_eq!(s.store_misses, 1);
+/// assert_eq!(s.blocks_touched, 1);
+/// assert_eq!(s.max_predicted_stores_per_node, 1);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TraceStats {
+    /// Maximum over nodes of the number of distinct store pcs the node
+    /// executed on shared data.
+    pub max_static_stores_per_node: usize,
+    /// Maximum over nodes of the number of distinct store pcs involved in
+    /// predictions (coherence store misses) at that node.
+    pub max_predicted_stores_per_node: usize,
+    /// Total distinct cache lines touched by coherence store misses.
+    pub blocks_touched: usize,
+    /// Total coherence store misses (prediction points).
+    pub store_misses: u64,
+    /// Total set bits over all actual bitmaps (Table 6 "dynamic sharing
+    /// events").
+    pub dynamic_sharing_events: u64,
+    /// `store_misses x nodes` (Table 6 "dynamic sharing decisions").
+    pub dynamic_sharing_decisions: u64,
+    /// `dynamic_sharing_events / dynamic_sharing_decisions` (Table 6).
+    pub prevalence: f64,
+}
+
+impl TraceStats {
+    /// Computes the statistics of `trace`.
+    pub fn from_trace(trace: &Trace) -> Self {
+        let mut per_node_pcs: Vec<HashSet<u32>> = vec![HashSet::new(); trace.nodes()];
+        let mut blocks: HashSet<u64> = HashSet::new();
+        for e in trace.events() {
+            per_node_pcs[e.writer.index()].insert(e.pc.0);
+            blocks.insert(e.line.0);
+        }
+        let max_pcs = per_node_pcs.iter().map(HashSet::len).max().unwrap_or(0);
+        TraceStats {
+            // Event-visible static stores equal predicted stores; the
+            // simulator layer can widen the static count with stores that
+            // hit locally and never reach the directory.
+            max_static_stores_per_node: max_pcs,
+            max_predicted_stores_per_node: max_pcs,
+            blocks_touched: blocks.len(),
+            store_misses: trace.len() as u64,
+            dynamic_sharing_events: trace.dynamic_sharing_events(),
+            dynamic_sharing_decisions: trace.dynamic_sharing_decisions(),
+            prevalence: trace.prevalence(),
+        }
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "static/node={} predicted/node={} blocks={} misses={} prevalence={:.2}%",
+            self.max_static_stores_per_node,
+            self.max_predicted_stores_per_node,
+            self.blocks_touched,
+            self.store_misses,
+            self.prevalence * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LineAddr, NodeId, Pc, SharingEvent};
+
+    fn ev(writer: u8, pc: u32, line: u64, inv: &[u8]) -> SharingEvent {
+        SharingEvent::new(
+            NodeId(writer),
+            Pc(pc),
+            LineAddr(line),
+            NodeId(0),
+            inv.iter().map(|&n| NodeId(n)).collect(),
+            None,
+        )
+    }
+
+    #[test]
+    fn empty_trace_stats() {
+        let s = Trace::new(16).stats();
+        assert_eq!(s.store_misses, 0);
+        assert_eq!(s.blocks_touched, 0);
+        assert_eq!(s.max_static_stores_per_node, 0);
+        assert_eq!(s.prevalence, 0.0);
+    }
+
+    #[test]
+    fn counts_distinct_pcs_per_node_and_blocks() {
+        let mut t = Trace::new(4);
+        t.push(ev(0, 10, 1, &[]));
+        t.push(ev(0, 11, 2, &[]));
+        t.push(ev(0, 10, 3, &[])); // duplicate pc on node 0
+        t.push(ev(1, 10, 1, &[1])); // node 1: one pc, line 1 repeated
+        let s = t.stats();
+        assert_eq!(s.max_static_stores_per_node, 2); // node 0 has pcs {10,11}
+        assert_eq!(s.blocks_touched, 3);
+        assert_eq!(s.store_misses, 4);
+        assert_eq!(s.dynamic_sharing_decisions, 16);
+    }
+
+    #[test]
+    fn display_renders_all_fields() {
+        let mut t = Trace::new(4);
+        t.push(ev(0, 10, 1, &[]));
+        let rendered = t.stats().to_string();
+        assert!(rendered.contains("misses=1"));
+        assert!(rendered.contains("prevalence="));
+    }
+}

@@ -1,0 +1,245 @@
+//! Trace transforms: filtering, windowing, and CSV export.
+//!
+//! Analysis often wants a *view* of a trace — one data structure's lines,
+//! one program phase — without regenerating it. Transforms preserve the
+//! trace's semantics: ground-truth actual bitmaps of retained events are
+//! identical to what they were in the source trace.
+
+use crate::{LineAddr, Trace};
+use std::io::{self, Write};
+use std::ops::Range;
+
+impl Trace {
+    /// Keeps only events whose line satisfies `keep`, preserving per-line
+    /// event order, previous-writer chains and final reader sets.
+    ///
+    /// Because sharing is resolved per line, dropping whole lines never
+    /// changes the actual bitmap of any retained event.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use csp_trace::{NodeId, Pc, LineAddr, SharingBitmap, SharingEvent, Trace};
+    /// let mut t = Trace::new(4);
+    /// for line in [1u64, 2, 1] {
+    ///     t.push(SharingEvent::new(NodeId(0), Pc(1), LineAddr(line), NodeId(1),
+    ///                              SharingBitmap::empty(), None));
+    /// }
+    /// let only_line_1 = t.filter_lines(|l| l.0 == 1);
+    /// assert_eq!(only_line_1.len(), 2);
+    /// ```
+    pub fn filter_lines<F: Fn(LineAddr) -> bool>(&self, keep: F) -> Trace {
+        let mut out = Trace::new(self.nodes());
+        for e in self.events() {
+            if keep(e.line) {
+                out.push(*e);
+            }
+        }
+        for e in self.events() {
+            if keep(e.line) {
+                if let Some(readers) = self.final_readers(e.line) {
+                    out.set_final_readers(e.line, readers);
+                }
+            }
+        }
+        out
+    }
+
+    /// Extracts the events in `range` (by event index) as a standalone
+    /// trace — one program phase.
+    ///
+    /// The actual bitmap of every retained event is preserved exactly:
+    /// lines whose post-window events are cut get their last in-window
+    /// actual recorded as a final reader set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or reversed.
+    pub fn window(&self, range: Range<usize>) -> Trace {
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "window {range:?} out of bounds for {} events",
+            self.len()
+        );
+        let actuals = self.resolve_actuals();
+        let mut out = Trace::new(self.nodes());
+        // Last in-window event index per line.
+        let mut last_in_window: std::collections::HashMap<LineAddr, usize> =
+            std::collections::HashMap::new();
+        for (i, e) in self.events()[range.clone()].iter().enumerate() {
+            out.push(*e);
+            last_in_window.insert(e.line, range.start + i);
+        }
+        for (line, idx) in last_in_window {
+            // The source actual already excludes the event's writer, so the
+            // windowed trace's own resolution reproduces it unchanged.
+            out.set_final_readers(line, actuals[idx]);
+        }
+        out
+    }
+
+    /// Writes the trace as CSV (`writer,pc,line,home,invalidated,actual,
+    /// prev_writer,prev_pc`), one row per event, with bitmaps in hex.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn to_csv<W: Write>(&self, mut w: W) -> io::Result<()> {
+        writeln!(
+            w,
+            "writer,pc,line,home,invalidated,actual,prev_writer,prev_pc"
+        )?;
+        let actuals = self.resolve_actuals();
+        for (e, actual) in self.events().iter().zip(&actuals) {
+            let (pw, ppc) = match e.prev_writer {
+                Some((n, pc)) => (n.index() as i64, pc.0 as i64),
+                None => (-1, -1),
+            };
+            writeln!(
+                w,
+                "{},{},{},{},{:x},{:x},{},{}",
+                e.writer.index(),
+                e.pc.0,
+                e.line.0,
+                e.home.index(),
+                e.invalidated,
+                actual,
+                pw,
+                ppc
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Summary of how a trace's events and sharing split across lines —
+/// the working-set profile the paper's Table 5 sketches.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LineProfile {
+    /// Distinct lines.
+    pub lines: usize,
+    /// Events on the hottest line.
+    pub max_events_per_line: u64,
+    /// Mean events per line.
+    pub mean_events_per_line: f64,
+    /// Fraction of events on the hottest 10% of lines.
+    pub hot_decile_share: f64,
+}
+
+/// Profiles how a trace's events concentrate across lines.
+pub fn line_profile(trace: &Trace) -> LineProfile {
+    let mut counts: std::collections::HashMap<LineAddr, u64> = std::collections::HashMap::new();
+    for e in trace.events() {
+        *counts.entry(e.line).or_default() += 1;
+    }
+    if counts.is_empty() {
+        return LineProfile::default();
+    }
+    let mut per_line: Vec<u64> = counts.values().copied().collect();
+    per_line.sort_unstable_by(|a, b| b.cmp(a));
+    let lines = per_line.len();
+    let total: u64 = per_line.iter().sum();
+    let decile = lines.div_ceil(10);
+    let hot: u64 = per_line[..decile].iter().sum();
+    LineProfile {
+        lines,
+        max_events_per_line: per_line[0],
+        mean_events_per_line: total as f64 / lines as f64,
+        hot_decile_share: hot as f64 / total as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NodeId, Pc, SharingBitmap, SharingEvent};
+
+    fn sample() -> Trace {
+        let mut t = Trace::new(16);
+        let mut prev: std::collections::HashMap<u64, (NodeId, Pc)> = Default::default();
+        for i in 0..30u64 {
+            let line = i % 3;
+            let writer = NodeId((i % 4) as u8);
+            let inv = SharingBitmap::from_nodes(&[NodeId(((i + 1) % 16) as u8)]).without(writer);
+            t.push(SharingEvent::new(
+                writer,
+                Pc(i as u32 % 5),
+                LineAddr(line),
+                NodeId((line % 16) as u8),
+                inv,
+                prev.get(&line).copied(),
+            ));
+            prev.insert(line, (writer, Pc(i as u32 % 5)));
+        }
+        t.set_final_readers(LineAddr(0), SharingBitmap::from_nodes(&[NodeId(9)]));
+        t
+    }
+
+    #[test]
+    fn filter_preserves_per_line_actuals() {
+        let t = sample();
+        let full_actuals = t.resolve_actuals();
+        let filtered = t.filter_lines(|l| l.0 == 0);
+        let filtered_actuals = filtered.resolve_actuals();
+        let full_line0: Vec<_> = t
+            .events()
+            .iter()
+            .zip(&full_actuals)
+            .filter(|(e, _)| e.line.0 == 0)
+            .map(|(_, a)| *a)
+            .collect();
+        assert_eq!(filtered_actuals, full_line0);
+        assert_eq!(
+            filtered.final_readers(LineAddr(0)),
+            t.final_readers(LineAddr(0))
+        );
+    }
+
+    #[test]
+    fn window_preserves_actuals() {
+        let t = sample();
+        let full = t.resolve_actuals();
+        let w = t.window(5..20);
+        let windowed = w.resolve_actuals();
+        assert_eq!(w.len(), 15);
+        assert_eq!(&windowed[..], &full[5..20]);
+    }
+
+    #[test]
+    fn window_bounds() {
+        let t = sample();
+        assert_eq!(t.window(0..t.len()).resolve_actuals(), t.resolve_actuals());
+        assert!(t.window(7..7).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn window_rejects_overrun() {
+        let t = sample();
+        let _ = t.window(0..t.len() + 1);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let t = sample();
+        let mut buf = Vec::new();
+        t.to_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), t.len() + 1);
+        assert!(lines[0].starts_with("writer,pc,line"));
+        // First event has no previous writer.
+        assert!(lines[1].ends_with("-1,-1"));
+    }
+
+    #[test]
+    fn profile_concentration() {
+        let t = sample();
+        let p = line_profile(&t);
+        assert_eq!(p.lines, 3);
+        assert!((p.mean_events_per_line - 10.0).abs() < 1e-12);
+        assert_eq!(p.max_events_per_line, 10);
+        assert!(p.hot_decile_share > 0.3);
+        assert_eq!(line_profile(&Trace::new(4)), LineProfile::default());
+    }
+}

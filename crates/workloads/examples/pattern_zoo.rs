@@ -1,0 +1,74 @@
+//! The sharing-pattern zoo: each reusable component run in isolation
+//! through the simulated machine, showing its coherence signature —
+//! prevalence, invalidation degree, and how predictable it is.
+//!
+//! ```text
+//! cargo run --release -p csp-workloads --example pattern_zoo
+//! ```
+
+use csp_core::{engine, Scheme};
+use csp_sim::{MemorySystem, SystemConfig};
+use csp_workloads::patterns::{
+    run_schedule, AddressAllocator, Broadcast, FalseSharing, Locks, Migratory, ProducerConsumer,
+    ReadMostly, ReaderSizeDist, SharingComponent,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn show(name: &str, component: &mut dyn SharingComponent, rounds: usize) {
+    let stream = run_schedule(&mut [component], rounds, 42);
+    let mut sys = MemorySystem::new(SystemConfig::paper_16_node());
+    sys.run(stream);
+    let (trace, _) = sys.finish();
+    let last: Scheme = "last(dir+add16)1".parse().unwrap();
+    let inter: Scheme = "inter(dir+add16)4".parse().unwrap();
+    let s_last = engine::run_scheme(&trace, &last).screening();
+    let s_inter = engine::run_scheme(&trace, &inter).screening();
+    println!(
+        "{name:16} events {:>6}  prevalence {:>5.1}%  mean degree {:>4.2}  last pvp/sens {:.2}/{:.2}  inter4 {:.2}/{:.2}",
+        trace.len(),
+        trace.prevalence() * 100.0,
+        trace.prevalence() * 16.0,
+        s_last.pvp,
+        s_last.sensitivity,
+        s_inter.pvp,
+        s_inter.sensitivity,
+    );
+}
+
+fn main() {
+    println!("each component in isolation (16-node machine, address-indexed predictors):\n");
+    let mut rng = StdRng::seed_from_u64(7);
+
+    let mut alloc = AddressAllocator::new();
+    let dist = ReaderSizeDist::new(&[0.1, 0.3, 0.3, 0.2, 0.1]);
+    let mut pc = ProducerConsumer::new(&mut alloc, 600, dist, 0.0, 0.7, 0x100, 16, &mut rng);
+    show("producer-consumer", &mut pc, 30);
+
+    let mut alloc = AddressAllocator::new();
+    let mut mig = Migratory::new(&mut alloc, 600, 2, true, 0.5, 3, 0x200, 16, &mut rng);
+    show("migratory", &mut mig, 30);
+
+    let mut alloc = AddressAllocator::new();
+    let mut bc = Broadcast::new(&mut alloc, 8, 15, 0x300);
+    show("broadcast", &mut bc, 30);
+
+    let mut alloc = AddressAllocator::new();
+    let mut fs = FalseSharing::new(&mut alloc, 600, 0x400, 16);
+    show("false sharing", &mut fs, 30);
+
+    let mut alloc = AddressAllocator::new();
+    let mut locks = Locks::new(&mut alloc, 16, 3, 0x500);
+    show("locks", &mut locks, 30);
+
+    let mut alloc = AddressAllocator::new();
+    let mut rm = ReadMostly::new(&mut alloc, 600, 0.01, 0x600);
+    show("read-mostly", &mut rm, 30);
+
+    println!(
+        "\nStable producer-consumer sharing is trivially predictable; migratory\n\
+         and lock traffic defeat both functions; broadcast has huge prevalence;\n\
+         false sharing and read-mostly data contribute (nearly) zero true\n\
+         sharing. Real benchmarks are weighted mixtures of these signatures."
+    );
+}

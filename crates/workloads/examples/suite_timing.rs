@@ -1,0 +1,15 @@
+fn main() {
+    let t0 = std::time::Instant::now();
+    let suite = csp_workloads::generate_suite(1.0, 1);
+    for b in &suite {
+        println!(
+            "{:10} events={:7} blocks={:7} prev={:.4} static={}",
+            b.benchmark.name(),
+            b.trace.len(),
+            b.stats.lines_touched,
+            b.trace.prevalence(),
+            b.stats.max_static_stores_per_node
+        );
+    }
+    println!("total {:?}", t0.elapsed());
+}

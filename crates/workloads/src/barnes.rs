@@ -1,0 +1,116 @@
+//! `barnes` — hierarchical N-body (Barnes-Hut), 8K particles.
+//!
+//! Sharing structure: each node owns a block of bodies whose records it
+//! rewrites every timestep; the force-computation phase makes spatially
+//! nearby nodes read those records, so each body has a *moderately large,
+//! slowly drifting* reader set biased toward the owner's neighbourhood.
+//! The shared octree is rebuilt every step by whoever gets each cell —
+//! migratory read-modify-write traffic. This is the highest-prevalence
+//! benchmark in the suite (paper Table 6: 15.1%).
+
+use crate::patterns::{
+    run_schedule, AddressAllocator, Locks, Migratory, ProducerConsumer, ReaderSizeDist,
+};
+use csp_sim::MemAccess;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn scaled(n: u64, scale: f64) -> u64 {
+    ((n as f64 * scale).round() as u64).max(2)
+}
+
+/// Tunable inputs of the barnes generator (the Table 3 analogue of
+/// "8K particles").
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BarnesParams {
+    /// Body records (one cache line each).
+    pub bodies: u64,
+    /// Octree cells rebuilt every timestep.
+    pub tree_cells: u64,
+    /// Timesteps simulated.
+    pub rounds: usize,
+    /// Per-round probability that a body's reader set drifts.
+    pub reader_churn: f64,
+}
+
+impl BarnesParams {
+    /// The default working set multiplied by `scale`.
+    pub fn scaled(scale: f64) -> Self {
+        BarnesParams {
+            bodies: scaled(1600, scale),
+            tree_cells: scaled(320, scale),
+            rounds: 16,
+            reader_churn: 0.08,
+        }
+    }
+
+    /// Generates the access stream for these parameters.
+    pub fn accesses(&self, seed: u64) -> Vec<MemAccess> {
+        let mut alloc = AddressAllocator::new();
+        let mut setup_rng = StdRng::seed_from_u64(seed ^ 0xBA61E5);
+        // Body records: reader-set sizes average ~3 (prevalence ~15% of
+        // 16), drifting slowly as bodies move through space.
+        let body_dist = ReaderSizeDist::new(&[0.05, 0.11, 0.17, 0.22, 0.20, 0.15, 0.10]);
+        let mut bodies = ProducerConsumer::new(
+            &mut alloc,
+            self.bodies,
+            body_dist,
+            self.reader_churn,
+            0.75,
+            0x1000,
+            48,
+            &mut setup_rng,
+        );
+        // Octree cells: rebuilt each step by essentially random builders.
+        let mut tree = Migratory::new(
+            &mut alloc,
+            self.tree_cells,
+            2,
+            true,
+            1.10,
+            4,
+            0x2000,
+            24,
+            &mut setup_rng,
+        );
+        let mut locks = Locks::new(&mut alloc, 8, 3, 0x3000);
+        run_schedule(&mut [&mut bodies, &mut tree, &mut locks], self.rounds, seed)
+    }
+}
+
+impl Default for BarnesParams {
+    fn default() -> Self {
+        BarnesParams::scaled(1.0)
+    }
+}
+
+/// Generates the barnes access stream at `scale`.
+pub fn accesses(scale: f64, seed: u64) -> Vec<MemAccess> {
+    BarnesParams::scaled(scale).accesses(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Benchmark, WorkloadConfig};
+
+    #[test]
+    fn prevalence_near_paper_signature() {
+        let (trace, _) = WorkloadConfig::new(Benchmark::Barnes)
+            .scale(0.25)
+            .generate_trace();
+        let p = trace.prevalence();
+        assert!(
+            (0.10..=0.22).contains(&p),
+            "barnes prevalence {p:.4} outside calibration band (paper: 0.151)"
+        );
+    }
+
+    #[test]
+    fn static_store_population_is_small() {
+        let (trace, stats) = WorkloadConfig::new(Benchmark::Barnes)
+            .scale(0.25)
+            .generate_trace();
+        assert!(stats.max_static_stores_per_node <= 300);
+        assert!(trace.stats().max_predicted_stores_per_node <= 300);
+    }
+}

@@ -1,0 +1,127 @@
+//! `mp3d` — rarefied fluid-flow Monte Carlo, 50K molecules.
+//!
+//! Sharing structure: the canonical *migratory* benchmark. Particle and
+//! space-cell records are read-modified-written by whichever node's
+//! particle stream touches them, so each write interval's sole reader is
+//! the next — essentially random — writer, occasionally joined by a
+//! statistics scan. A small producer-consumer component models the global
+//! flow-field data. (Paper Table 6: 9.02% prevalence; the paper singles
+//! mp3d out as the pattern whose succession of producers and consumers is
+//! "effectively random".)
+
+use crate::patterns::{
+    run_schedule, AddressAllocator, Locks, Migratory, ProducerConsumer, ReaderSizeDist,
+};
+use csp_sim::MemAccess;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn scaled(n: u64, scale: f64) -> u64 {
+    ((n as f64 * scale).round() as u64).max(2)
+}
+
+/// Tunable inputs of the mp3d generator (the Table 3 analogue of
+/// "50K molecules").
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Mp3dParams {
+    /// Particle/cell record lines (migratory).
+    pub particle_lines: u64,
+    /// Flow-field lines (producer-consumer).
+    pub field_lines: u64,
+    /// Timesteps simulated.
+    pub rounds: usize,
+    /// Mean bystander readers per migration hop.
+    pub scan_readers: f64,
+}
+
+impl Mp3dParams {
+    /// The default working set multiplied by `scale`.
+    pub fn scaled(scale: f64) -> Self {
+        Mp3dParams {
+            particle_lines: scaled(2600, scale),
+            field_lines: scaled(300, scale),
+            rounds: 24,
+            scan_readers: 2.25,
+        }
+    }
+
+    /// Generates the access stream for these parameters.
+    pub fn accesses(&self, seed: u64) -> Vec<MemAccess> {
+        let mut alloc = AddressAllocator::new();
+        let mut setup_rng = StdRng::seed_from_u64(seed ^ 0x3D3D);
+        let mut particles = Migratory::new(
+            &mut alloc,
+            self.particle_lines,
+            2,
+            true,
+            self.scan_readers,
+            3,
+            0x1000,
+            90,
+            &mut setup_rng,
+        );
+        let field_dist = ReaderSizeDist::new(&[0.30, 0.25, 0.25, 0.15, 0.05]);
+        let mut field = ProducerConsumer::new(
+            &mut alloc,
+            self.field_lines,
+            field_dist,
+            0.02,
+            0.6,
+            0x2000,
+            40,
+            &mut setup_rng,
+        );
+        let mut locks = Locks::new(&mut alloc, 16, 2, 0x3000);
+        run_schedule(
+            &mut [&mut particles, &mut field, &mut locks],
+            self.rounds,
+            seed,
+        )
+    }
+}
+
+impl Default for Mp3dParams {
+    fn default() -> Self {
+        Mp3dParams::scaled(1.0)
+    }
+}
+
+/// Generates the mp3d access stream at `scale`.
+pub fn accesses(scale: f64, seed: u64) -> Vec<MemAccess> {
+    Mp3dParams::scaled(scale).accesses(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Benchmark, WorkloadConfig};
+
+    #[test]
+    fn prevalence_near_paper_signature() {
+        let (trace, _) = WorkloadConfig::new(Benchmark::Mp3d)
+            .scale(0.25)
+            .generate_trace();
+        let p = trace.prevalence();
+        assert!(
+            (0.05..=0.13).contains(&p),
+            "mp3d prevalence {p:.4} outside calibration band (paper: 0.0902)"
+        );
+    }
+
+    #[test]
+    fn migratory_sharing_is_hard_to_predict() {
+        // Intersection prediction over migratory traffic should be very
+        // conservative: low sensitivity (it refuses to guess the random
+        // next owner).
+        use csp_core::{engine, Scheme};
+        let (trace, _) = WorkloadConfig::new(Benchmark::Mp3d)
+            .scale(0.1)
+            .generate_trace();
+        let scheme: Scheme = "inter(pid+pc8)4[direct]".parse().unwrap();
+        let s = engine::run_scheme(&trace, &scheme).screening();
+        assert!(
+            s.sensitivity < 0.5,
+            "mp3d deep intersection sensitivity {:.3} should be low",
+            s.sensitivity
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! `ocean` — ocean basin simulation, 258x258 grid.
+//!
+//! Sharing structure: block-partitioned 5-point stencils. Only partition
+//! *boundary* rows are shared — each read every iteration by exactly one
+//! neighbouring node — while the vast interior plus the multigrid scratch
+//! arrays generate reader-free store misses (re-initialization sweeps whose
+//! write ownership rotates across phases, modelled as blind write
+//! rotation) and boundary-straddling lines add false sharing. The result
+//! is the suite's lowest prevalence (paper Table 6: 2.14%) across its
+//! largest block population and its biggest static-store count (380/node).
+
+use crate::patterns::{
+    run_schedule, AddressAllocator, FalseSharing, Locks, Migratory, ProducerConsumer,
+    ReaderSizeDist,
+};
+use csp_sim::MemAccess;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn scaled(n: u64, scale: f64) -> u64 {
+    ((n as f64 * scale).round() as u64).max(2)
+}
+
+/// Tunable inputs of the ocean generator (the Table 3 analogue of
+/// "258x258 grid").
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OceanParams {
+    /// Partition-boundary stencil lines (one neighbour reads each).
+    pub boundary_lines: u64,
+    /// Corner lines falsely shared between two partitions.
+    pub corner_lines: u64,
+    /// Multigrid scratch lines re-initialized by rotating writers.
+    pub scratch_lines: u64,
+    /// Solver iterations.
+    pub rounds: usize,
+}
+
+impl OceanParams {
+    /// The default working set multiplied by `scale`.
+    pub fn scaled(scale: f64) -> Self {
+        OceanParams {
+            boundary_lines: scaled(1300, scale),
+            corner_lines: scaled(250, scale),
+            scratch_lines: scaled(2300, scale),
+            rounds: 20,
+        }
+    }
+
+    /// Generates the access stream for these parameters.
+    pub fn accesses(&self, seed: u64) -> Vec<MemAccess> {
+        let mut alloc = AddressAllocator::new();
+        let mut setup_rng = StdRng::seed_from_u64(seed ^ 0x0CEA);
+        // Boundary rows: exactly one stencil neighbour reads each line.
+        let boundary_dist = ReaderSizeDist::new(&[0.0, 1.0]);
+        let mut boundaries = ProducerConsumer::new(
+            &mut alloc,
+            self.boundary_lines,
+            boundary_dist,
+            0.0,
+            1.0, // the reader is always a torus neighbour
+            0x1000,
+            120,
+            &mut setup_rng,
+        );
+        // Corner lines shared by two partitions: false sharing.
+        let mut corners = FalseSharing::new(&mut alloc, self.corner_lines, 0x2000, 60);
+        // Multigrid scratch: rotating blind re-initialization, no readers.
+        let mut scratch = Migratory::new(
+            &mut alloc,
+            self.scratch_lines,
+            1,
+            false,
+            0.0,
+            0,
+            0x3000,
+            120,
+            &mut setup_rng,
+        );
+        let mut locks = Locks::new(&mut alloc, 8, 2, 0x4000);
+        run_schedule(
+            &mut [&mut boundaries, &mut corners, &mut scratch, &mut locks],
+            self.rounds,
+            seed,
+        )
+    }
+}
+
+impl Default for OceanParams {
+    fn default() -> Self {
+        OceanParams::scaled(1.0)
+    }
+}
+
+/// Generates the ocean access stream at `scale`.
+pub fn accesses(scale: f64, seed: u64) -> Vec<MemAccess> {
+    OceanParams::scaled(scale).accesses(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Benchmark, WorkloadConfig};
+
+    #[test]
+    fn prevalence_near_paper_signature() {
+        let (trace, _) = WorkloadConfig::new(Benchmark::Ocean)
+            .scale(0.25)
+            .generate_trace();
+        let p = trace.prevalence();
+        assert!(
+            (0.008..=0.045).contains(&p),
+            "ocean prevalence {p:.4} outside calibration band (paper: 0.0214)"
+        );
+    }
+
+    #[test]
+    fn largest_static_store_population() {
+        let (_, stats) = WorkloadConfig::new(Benchmark::Ocean)
+            .scale(0.25)
+            .generate_trace();
+        // Ocean has by far the most static stores in the paper's Table 5.
+        assert!(
+            stats.max_static_stores_per_node >= 150,
+            "ocean static stores {} too few",
+            stats.max_static_stores_per_node
+        );
+    }
+}

@@ -1,0 +1,974 @@
+//! Reusable sharing-pattern components.
+//!
+//! Every synthetic benchmark is a weighted mixture of a few canonical
+//! sharing patterns (Weber & Gupta's classification, which the paper's
+//! Section 1 cites): producer–consumer, migratory, wide/broadcast sharing,
+//! and false sharing. Each component here owns a region of the address
+//! space, emits a deterministic access stream one *round* (outer program
+//! iteration) at a time, and models the static-store structure of the
+//! pattern by drawing its store `pc`s from a small per-component range —
+//! exactly the leverage instruction-based predictors exploit.
+
+use csp_sim::torus::Torus;
+use csp_sim::MemAccess;
+use csp_trace::{NodeId, SharingBitmap, PAPER_NODES};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Cache-line size all generators assume (the paper's 64 bytes).
+pub const LINE: u64 = 64;
+
+/// Number of nodes all generators target.
+pub const NODES: usize = PAPER_NODES;
+
+/// Data-structure groups per producer-consumer owner (see
+/// [`ProducerConsumer`]).
+const GROUPS: usize = 3;
+
+/// A contiguous range of cache lines owned by one component.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Region {
+    first_line: u64,
+    lines: u64,
+}
+
+impl Region {
+    /// The byte address of word `word` of line `idx` within the region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is outside the region.
+    pub fn addr(&self, idx: u64, word: u64) -> u64 {
+        assert!(
+            idx < self.lines,
+            "line {idx} outside region of {}",
+            self.lines
+        );
+        (self.first_line + idx) * LINE + (word % 8) * 8
+    }
+
+    /// Number of lines in the region.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+}
+
+/// Hands out disjoint address-space regions.
+#[derive(Clone, Debug)]
+pub struct AddressAllocator {
+    next_line: u64,
+}
+
+impl AddressAllocator {
+    /// A fresh allocator (regions start above line 256 to keep address 0
+    /// out of the data space).
+    pub fn new() -> Self {
+        AddressAllocator { next_line: 256 }
+    }
+
+    /// Allocates a region of `lines` cache lines, padded so distinct
+    /// regions never share a line.
+    pub fn alloc(&mut self, lines: u64) -> Region {
+        let r = Region {
+            first_line: self.next_line,
+            lines,
+        };
+        self.next_line += lines + 16;
+        r
+    }
+}
+
+impl Default for AddressAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A distribution over reader-set sizes: `probs[k]` is the probability of
+/// exactly `k` readers.
+#[derive(Clone, Debug)]
+pub struct ReaderSizeDist {
+    probs: Vec<f64>,
+}
+
+impl ReaderSizeDist {
+    /// Creates a distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the probabilities are non-negative and sum to ~1.
+    pub fn new(probs: &[f64]) -> Self {
+        assert!(!probs.is_empty());
+        assert!(probs.iter().all(|&p| p >= 0.0), "negative probability");
+        let total: f64 = probs.iter().sum();
+        assert!(
+            (total - 1.0).abs() < 1e-6,
+            "probabilities sum to {total}, expected 1"
+        );
+        ReaderSizeDist {
+            probs: probs.to_vec(),
+        }
+    }
+
+    /// The mean reader-set size — `16 x prevalence` is approximately this
+    /// for a pure producer-consumer workload.
+    pub fn mean(&self) -> f64 {
+        self.probs
+            .iter()
+            .enumerate()
+            .map(|(k, p)| k as f64 * p)
+            .sum()
+    }
+
+    /// Samples a size.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let mut x: f64 = rng.random();
+        for (k, &p) in self.probs.iter().enumerate() {
+            if x < p {
+                return k;
+            }
+            x -= p;
+        }
+        self.probs.len() - 1
+    }
+}
+
+/// Samples a reader set of `size` nodes for a line owned by `owner`,
+/// biased (probability `bias`) toward the owner's torus neighbourhood —
+/// the spatial locality that makes a node's stores have *correlated*
+/// reader sets, which is what gives `pid` indexing its power.
+pub fn sample_readers(
+    owner: NodeId,
+    size: usize,
+    bias: f64,
+    torus: &Torus,
+    rng: &mut StdRng,
+) -> SharingBitmap {
+    let nodes = torus.nodes();
+    let neighbourhood: Vec<NodeId> = (0..nodes)
+        .map(|i| NodeId(i as u8))
+        .filter(|&n| n != owner && torus.hops(owner, n) <= 2)
+        .collect();
+    let mut set = SharingBitmap::empty();
+    let mut guard = 0;
+    while (set.count() as usize) < size && guard < 1000 {
+        guard += 1;
+        let candidate = if rng.random_bool(bias) && !neighbourhood.is_empty() {
+            neighbourhood[rng.random_range(0..neighbourhood.len())]
+        } else {
+            NodeId(rng.random_range(0..nodes) as u8)
+        };
+        if candidate != owner {
+            set.insert(candidate);
+        }
+    }
+    set
+}
+
+/// The order in which a component visits its lines within a round:
+/// round-robin across the owning nodes, the way barrier-synchronized
+/// parallel phases interleave in a real trace. (Without this, consecutive
+/// events share an owner and even an index-free global predictor rides
+/// the temporal locality.)
+pub fn interleaved_order(lines: u64) -> Vec<u32> {
+    let per_node = lines.div_ceil(NODES as u64).max(1);
+    let mut order = Vec::with_capacity(lines as usize);
+    for r in 0..per_node {
+        for o in 0..NODES as u64 {
+            let idx = o * per_node + r;
+            if idx < lines {
+                order.push(idx as u32);
+            }
+        }
+    }
+    order
+}
+
+/// One sharing-pattern component: a source of rounds of accesses.
+pub trait SharingComponent {
+    /// Emits the initialization accesses (owners touch their lines first,
+    /// establishing first-touch homes — the paper's data placement).
+    fn init(&mut self, sink: &mut Vec<MemAccess>);
+
+    /// Emits one outer-iteration round of accesses.
+    fn round(&mut self, rng: &mut StdRng, sink: &mut Vec<MemAccess>);
+}
+
+/// Runs a schedule: init every component, then `rounds` rounds of each.
+pub fn run_schedule(
+    components: &mut [&mut dyn SharingComponent],
+    rounds: usize,
+    seed: u64,
+) -> Vec<MemAccess> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sink = Vec::new();
+    for c in components.iter_mut() {
+        c.init(&mut sink);
+    }
+    for _ in 0..rounds {
+        for c in components.iter_mut() {
+            c.round(&mut rng, &mut sink);
+        }
+    }
+    sink
+}
+
+/// Static (or slowly churning) producer–consumer sharing: each line has a
+/// fixed owner that writes it every round and a per-line reader set that
+/// reads it every round.
+#[derive(Clone, Debug)]
+pub struct ProducerConsumer {
+    region: Region,
+    owners: Vec<NodeId>,
+    readers: Vec<SharingBitmap>,
+    dist: ReaderSizeDist,
+    /// Per-round probability that one member of a line's reader set is
+    /// replaced (0 = perfectly static sharing).
+    churn: f64,
+    bias: f64,
+    /// Per-(owner, data-structure) "core partners": the nodes that consume
+    /// nearly everything this owner produces *into one data structure*.
+    /// Lines written by the same store pc belong to the same structure and
+    /// share a core pair, so `pid+pc` (and fine `addr`) indexing isolates a
+    /// precise, stable pattern, while coarse `pid`- or `dir`-only entries
+    /// mix the owner's structures and intersect away — the mechanism
+    /// behind the paper's "pid is paramount, dir has the least value".
+    cores: Vec<Vec<Vec<NodeId>>>,
+    /// Which node first touches each line. A realistic fraction of lines
+    /// is initialized serially by node 0 (SPLASH programs build many
+    /// structures before the parallel phase), which homes those lines
+    /// away from their producer — the reason `pid` indexing carries
+    /// information `dir` does not.
+    initializers: Vec<NodeId>,
+    order: Vec<u32>,
+    pc_base: u32,
+    pc_count: u32,
+    torus: Torus,
+}
+
+impl ProducerConsumer {
+    /// Creates the component: `lines` cache lines block-distributed over
+    /// the 16 owners, reader sets sampled from `dist` with neighbourhood
+    /// `bias`, mutated with per-round probability `churn`; store pcs drawn
+    /// from `pc_base..pc_base + pc_count`.
+    pub fn new(
+        alloc: &mut AddressAllocator,
+        lines: u64,
+        dist: ReaderSizeDist,
+        churn: f64,
+        bias: f64,
+        pc_base: u32,
+        pc_count: u32,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert!(pc_count > 0);
+        let region = alloc.alloc(lines);
+        let torus = Torus::new(4, 4);
+        let per_node = lines.div_ceil(NODES as u64);
+        let owners: Vec<NodeId> = (0..lines)
+            .map(|i| NodeId((i / per_node.max(1)).min(NODES as u64 - 1) as u8))
+            .collect();
+        // Nested core partners: every owner has one *primary* partner that
+        // consumes nearly everything it produces (the adjacent block in a
+        // spatial partitioning), plus one *secondary* partner per data
+        // structure. Entries that mix an owner's structures still
+        // intersect down to the primary partner, which is what makes
+        // hybrid pid+addr indexing precise in the paper.
+        let cores: Vec<Vec<Vec<NodeId>>> = (0..NODES)
+            .map(|o| {
+                let owner = NodeId(o as u8);
+                let near: Vec<NodeId> = (0..NODES)
+                    .map(|i| NodeId(i as u8))
+                    .filter(|&n| n != owner && torus.hops(owner, n) <= 2)
+                    .collect();
+                let primary = near[rng.random_range(0..near.len())];
+                (0..GROUPS)
+                    .map(|_| {
+                        let mut secondary = near[rng.random_range(0..near.len())];
+                        while secondary == primary {
+                            secondary = near[rng.random_range(0..near.len())];
+                        }
+                        vec![primary, secondary]
+                    })
+                    .collect()
+            })
+            .collect();
+        let initializers = owners
+            .iter()
+            .map(|&o| if rng.random_bool(0.4) { NodeId(0) } else { o })
+            .collect();
+        let mut pc = ProducerConsumer {
+            region,
+            owners,
+            readers: Vec::new(),
+            dist,
+            churn,
+            bias,
+            cores,
+            initializers,
+            order: interleaved_order(lines),
+            pc_base,
+            pc_count,
+            torus,
+        };
+        pc.readers = (0..lines as usize)
+            .map(|i| {
+                let size = pc.dist.sample(rng);
+                pc.sample_set(i, pc.owners[i], size, rng)
+            })
+            .collect();
+        pc
+    }
+
+    /// The structure group of line `i`: lines sharing a store pc share a
+    /// group (one instruction writes one data structure).
+    fn group_of(&self, i: usize) -> usize {
+        ((i as u32 % self.pc_count) % GROUPS as u32) as usize
+    }
+
+    /// Samples a reader set of roughly `size` nodes: the line's structure
+    /// core partners first (each with 85% probability), then
+    /// neighbourhood- or uniformly-drawn extras.
+    fn sample_set(
+        &self,
+        line: usize,
+        owner: NodeId,
+        size: usize,
+        rng: &mut StdRng,
+    ) -> SharingBitmap {
+        let mut set = SharingBitmap::empty();
+        for &c in &self.cores[owner.index()][self.group_of(line)] {
+            if (set.count() as usize) < size && rng.random_bool(0.85) {
+                set.insert(c);
+            }
+        }
+        let remainder = size.saturating_sub(set.count() as usize);
+        set | sample_readers(owner, remainder, self.bias, &self.torus, rng).without(owner)
+    }
+
+    /// The current reader set of line `idx` (for tests).
+    pub fn readers_of(&self, idx: u64) -> SharingBitmap {
+        self.readers[idx as usize]
+    }
+}
+
+impl SharingComponent for ProducerConsumer {
+    fn init(&mut self, sink: &mut Vec<MemAccess>) {
+        for (i, &initializer) in self.initializers.iter().enumerate() {
+            let pc = self.pc_base + 0x4000 + (i as u32 % self.pc_count);
+            sink.push(MemAccess::write(
+                initializer,
+                pc,
+                self.region.addr(i as u64, 0),
+            ));
+        }
+    }
+
+    fn round(&mut self, rng: &mut StdRng, sink: &mut Vec<MemAccess>) {
+        // Slow churn: occasionally resample one line's reader set.
+        for i in 0..self.owners.len() {
+            if self.churn > 0.0 && rng.random_bool(self.churn) {
+                let size = self.dist.sample(rng);
+                self.readers[i] = self.sample_set(i, self.owners[i], size, rng);
+            }
+        }
+        // Producers write (interleaved across owners, as in a real
+        // barrier-synchronized phase)...
+        for &i in &self.order {
+            let i = i as usize;
+            let pc = self.pc_base + (i as u32 % self.pc_count);
+            sink.push(MemAccess::write(
+                self.owners[i],
+                pc,
+                self.region.addr(i as u64, 0),
+            ));
+        }
+        // ...consumers read.
+        for &i in &self.order {
+            let i = i as usize;
+            for r in self.readers[i].iter() {
+                sink.push(MemAccess::read(
+                    r,
+                    self.pc_base + 0x8000,
+                    self.region.addr(i as u64, 1),
+                ));
+            }
+        }
+    }
+}
+
+/// Migratory sharing: each line's ownership migrates along a chain of
+/// nodes, each performing a read-modify-write (lock-protected object
+/// semantics). The effective "reader" of each write interval is just the
+/// next, essentially random, writer — the hard-to-predict pattern the
+/// paper deliberately keeps in its study.
+#[derive(Clone, Debug)]
+pub struct Migratory {
+    region: Region,
+    holder: Vec<NodeId>,
+    /// Per-line affinity set: the recurring visitors of this object
+    /// (spatial domain decomposition means a particle or cell is touched
+    /// by the same few nodes over and over). Empty = uniformly random
+    /// visitors (pure locks).
+    affinity: Vec<Vec<NodeId>>,
+    /// Ownership transfers per line per round.
+    chain: usize,
+    /// Whether the new holder reads before writing (true migratory RMW).
+    /// With `false`, this degenerates into rotating blind writes — events
+    /// with zero readers, modelling private-data re-initialization churn.
+    read_before_write: bool,
+    /// Mean number of bystander nodes that read the object during a hop
+    /// without writing it (statistics scans, neighbour lookups). These are
+    /// the true *consumers* migratory data has beyond the migration
+    /// itself; may exceed 1.
+    extra_readers: f64,
+    order: Vec<u32>,
+    pc_base: u32,
+    pc_count: u32,
+}
+
+impl Migratory {
+    /// Creates the component with every line initially held by a
+    /// block-distributed home node. `affinity_size > 0` gives each line a
+    /// fixed set of that many recurring visitors (drawn near its home);
+    /// visitors are picked from it with 85% probability.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        alloc: &mut AddressAllocator,
+        lines: u64,
+        chain: usize,
+        read_before_write: bool,
+        extra_readers: f64,
+        affinity_size: usize,
+        pc_base: u32,
+        pc_count: u32,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert!(pc_count > 0);
+        let region = alloc.alloc(lines);
+        let torus = Torus::new(4, 4);
+        let per_node = lines.div_ceil(NODES as u64);
+        let holder: Vec<NodeId> = (0..lines)
+            .map(|i| NodeId((i / per_node.max(1)).min(NODES as u64 - 1) as u8))
+            .collect();
+        let affinity = holder
+            .iter()
+            .map(|&home| {
+                let mut set = vec![home];
+                let mut guard = 0;
+                while set.len() < affinity_size && guard < 100 {
+                    guard += 1;
+                    let c = if rng.random_bool(0.7) {
+                        let near: Vec<NodeId> = (0..NODES)
+                            .map(|i| NodeId(i as u8))
+                            .filter(|&n| torus.hops(home, n) == 1)
+                            .collect();
+                        near[rng.random_range(0..near.len())]
+                    } else {
+                        NodeId(rng.random_range(0..NODES) as u8)
+                    };
+                    if !set.contains(&c) {
+                        set.push(c);
+                    }
+                }
+                if affinity_size == 0 {
+                    Vec::new()
+                } else {
+                    set
+                }
+            })
+            .collect();
+        Migratory {
+            region,
+            holder,
+            affinity,
+            chain,
+            read_before_write,
+            extra_readers,
+            order: interleaved_order(lines),
+            pc_base,
+            pc_count,
+        }
+    }
+
+    /// Picks the next visitor of line `i` (never the current holder).
+    fn next_visitor(&self, i: usize, rng: &mut StdRng) -> NodeId {
+        let aff = &self.affinity[i];
+        let mut next = if !aff.is_empty() && rng.random_bool(0.85) {
+            aff[rng.random_range(0..aff.len())]
+        } else {
+            NodeId(rng.random_range(0..NODES) as u8)
+        };
+        if next == self.holder[i] {
+            next = if aff.len() > 1 {
+                let pos = aff
+                    .iter()
+                    .position(|&n| n == next)
+                    .map(|p| (p + 1) % aff.len());
+                match pos {
+                    Some(p) => aff[p],
+                    None => NodeId(((next.index() + 1) % NODES) as u8),
+                }
+            } else {
+                NodeId(((next.index() + 1) % NODES) as u8)
+            };
+        }
+        next
+    }
+}
+
+impl SharingComponent for Migratory {
+    fn init(&mut self, sink: &mut Vec<MemAccess>) {
+        for (i, &h) in self.holder.iter().enumerate() {
+            let pc = self.pc_base + (i as u32 % self.pc_count);
+            sink.push(MemAccess::write(h, pc, self.region.addr(i as u64, 0)));
+        }
+    }
+
+    fn round(&mut self, rng: &mut StdRng, sink: &mut Vec<MemAccess>) {
+        for &i in &self.order {
+            let i = i as usize;
+            for _ in 0..self.chain {
+                let next = self.next_visitor(i, rng);
+                let addr = self.region.addr(i as u64, 0);
+                let pc = self.pc_base + (i as u32 % self.pc_count);
+                if self.read_before_write {
+                    sink.push(MemAccess::read(next, self.pc_base + 0x8000, addr));
+                }
+                // Bystander consumers, drawn mostly from the line's
+                // affinity set so their identity is learnable.
+                let mut budget = self.extra_readers;
+                while budget > 0.0 {
+                    if budget >= 1.0 || rng.random_bool(budget) {
+                        let aff = &self.affinity[i];
+                        let mut extra = if !aff.is_empty() && rng.random_bool(0.8) {
+                            aff[rng.random_range(0..aff.len())]
+                        } else {
+                            NodeId(rng.random_range(0..NODES) as u8)
+                        };
+                        if extra == next {
+                            extra = NodeId(((extra.index() + 1) % NODES) as u8);
+                        }
+                        sink.push(MemAccess::read(extra, self.pc_base + 0x8001, addr));
+                    }
+                    budget -= 1.0;
+                }
+                sink.push(MemAccess::write(next, pc, addr));
+                self.holder[i] = next;
+            }
+        }
+    }
+}
+
+/// False sharing: two nodes alternately write *different words* of the
+/// same line, never reading it. Every write is a coherence store miss with
+/// an empty true-reader set — the prevalence-diluting traffic that
+/// 64-byte lines induce at data-structure boundaries.
+#[derive(Clone, Debug)]
+pub struct FalseSharing {
+    region: Region,
+    pairs: Vec<(NodeId, NodeId)>,
+    parity: bool,
+    pc_base: u32,
+    pc_count: u32,
+}
+
+impl FalseSharing {
+    /// Creates the component with adjacent-node writer pairs.
+    pub fn new(alloc: &mut AddressAllocator, lines: u64, pc_base: u32, pc_count: u32) -> Self {
+        assert!(pc_count > 0);
+        let region = alloc.alloc(lines);
+        let pairs = (0..lines)
+            .map(|i| {
+                let a = (i % NODES as u64) as u8;
+                let b = ((i + 1) % NODES as u64) as u8;
+                (NodeId(a), NodeId(b))
+            })
+            .collect();
+        FalseSharing {
+            region,
+            pairs,
+            parity: false,
+            pc_base,
+            pc_count,
+        }
+    }
+}
+
+impl SharingComponent for FalseSharing {
+    fn init(&mut self, sink: &mut Vec<MemAccess>) {
+        for (i, &(a, _)) in self.pairs.iter().enumerate() {
+            let pc = self.pc_base + (i as u32 % self.pc_count);
+            sink.push(MemAccess::write(a, pc, self.region.addr(i as u64, 0)));
+        }
+    }
+
+    fn round(&mut self, _rng: &mut StdRng, sink: &mut Vec<MemAccess>) {
+        for (i, &(a, b)) in self.pairs.iter().enumerate() {
+            let (writer, word) = if self.parity { (b, 1) } else { (a, 0) };
+            let pc = self.pc_base + (i as u32 % self.pc_count);
+            sink.push(MemAccess::write(
+                writer,
+                pc,
+                self.region.addr(i as u64, word),
+            ));
+        }
+        self.parity = !self.parity;
+    }
+}
+
+/// Lock/barrier metadata: a handful of hot lines with short migratory
+/// read-modify-write chains every round. A thin wrapper that exists so
+/// benchmark mixtures read naturally.
+#[derive(Clone, Debug)]
+pub struct Locks {
+    inner: Migratory,
+}
+
+impl Locks {
+    /// `count` lock lines, each acquired by `acquirers` nodes per round.
+    pub fn new(alloc: &mut AddressAllocator, count: u64, acquirers: usize, pc_base: u32) -> Self {
+        let mut rng = StdRng::seed_from_u64(u64::from(pc_base));
+        Locks {
+            inner: Migratory::new(alloc, count, acquirers, true, 0.0, 0, pc_base, 2, &mut rng),
+        }
+    }
+}
+
+impl SharingComponent for Locks {
+    fn init(&mut self, sink: &mut Vec<MemAccess>) {
+        self.inner.init(sink);
+    }
+
+    fn round(&mut self, rng: &mut StdRng, sink: &mut Vec<MemAccess>) {
+        self.inner.round(rng, sink);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn allocator_regions_are_disjoint() {
+        let mut a = AddressAllocator::new();
+        let r1 = a.alloc(100);
+        let r2 = a.alloc(50);
+        let r1_last = r1.addr(99, 7);
+        let r2_first = r2.addr(0, 0);
+        assert!(r2_first > r1_last);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside region")]
+    fn region_bounds_checked() {
+        let mut a = AddressAllocator::new();
+        let r = a.alloc(10);
+        let _ = r.addr(10, 0);
+    }
+
+    #[test]
+    fn reader_dist_mean_and_sampling() {
+        let d = ReaderSizeDist::new(&[0.5, 0.25, 0.25]);
+        assert!((d.mean() - 0.75).abs() < 1e-12);
+        let mut rng = rng();
+        let mut total = 0usize;
+        let n = 20_000;
+        for _ in 0..n {
+            total += d.sample(&mut rng);
+        }
+        let empirical = total as f64 / n as f64;
+        assert!(
+            (empirical - 0.75).abs() < 0.05,
+            "empirical mean {empirical}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to")]
+    fn reader_dist_validates_sum() {
+        let _ = ReaderSizeDist::new(&[0.5, 0.2]);
+    }
+
+    #[test]
+    fn sample_readers_never_includes_owner() {
+        let torus = Torus::new(4, 4);
+        let mut rng = rng();
+        for _ in 0..100 {
+            let set = sample_readers(NodeId(5), 4, 0.7, &torus, &mut rng);
+            assert!(!set.contains(NodeId(5)));
+            assert!(set.count() <= 4);
+        }
+    }
+
+    #[test]
+    fn producer_consumer_emits_writes_then_reads() {
+        let mut alloc = AddressAllocator::new();
+        let mut rng = rng();
+        let dist = ReaderSizeDist::new(&[0.0, 1.0]); // exactly one reader
+        let mut pc = ProducerConsumer::new(&mut alloc, 32, dist, 0.0, 0.5, 100, 4, &mut rng);
+        let mut sink = Vec::new();
+        pc.init(&mut sink);
+        assert_eq!(sink.len(), 32);
+        assert!(sink.iter().all(|a| a.is_write));
+        sink.clear();
+        pc.round(&mut rng, &mut sink);
+        let writes = sink.iter().filter(|a| a.is_write).count();
+        let reads = sink.iter().filter(|a| !a.is_write).count();
+        assert_eq!(writes, 32);
+        assert_eq!(reads, 32); // one reader per line
+    }
+
+    #[test]
+    fn producer_consumer_static_sets_do_not_churn() {
+        let mut alloc = AddressAllocator::new();
+        let mut rng = rng();
+        let dist = ReaderSizeDist::new(&[0.0, 0.5, 0.5]);
+        let mut pc = ProducerConsumer::new(&mut alloc, 16, dist, 0.0, 0.5, 100, 4, &mut rng);
+        let before: Vec<_> = (0..16).map(|i| pc.readers_of(i)).collect();
+        let mut sink = Vec::new();
+        for _ in 0..5 {
+            pc.round(&mut rng, &mut sink);
+        }
+        let after: Vec<_> = (0..16).map(|i| pc.readers_of(i)).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn migratory_moves_ownership() {
+        let mut alloc = AddressAllocator::new();
+        let mut rng = rng();
+        let mut m = Migratory::new(&mut alloc, 8, 2, true, 0.0, 0, 200, 4, &mut rng);
+        let mut sink = Vec::new();
+        m.init(&mut sink);
+        sink.clear();
+        m.round(&mut rng, &mut sink);
+        // chain=2 with RMW: per line 2 reads + 2 writes.
+        assert_eq!(sink.len(), 8 * 4);
+        // Consecutive (read, write) pairs are by the same node.
+        for pair in sink.chunks(2) {
+            assert!(!pair[0].is_write);
+            assert!(pair[1].is_write);
+            assert_eq!(pair[0].node, pair[1].node);
+            assert_eq!(pair[0].addr & !63, pair[1].addr & !63);
+        }
+    }
+
+    #[test]
+    fn blind_rotation_emits_no_reads() {
+        let mut alloc = AddressAllocator::new();
+        let mut rng = rng();
+        let mut m = Migratory::new(&mut alloc, 8, 1, false, 0.0, 0, 200, 4, &mut rng);
+        let mut sink = Vec::new();
+        m.round(&mut rng, &mut sink);
+        assert!(sink.iter().all(|a| a.is_write));
+    }
+
+    #[test]
+    fn false_sharing_alternates_writers() {
+        let mut alloc = AddressAllocator::new();
+        let mut rng = rng();
+        let mut fs = FalseSharing::new(&mut alloc, 4, 300, 2);
+        let mut sink = Vec::new();
+        fs.round(&mut rng, &mut sink);
+        let first: Vec<_> = sink.iter().map(|a| a.node).collect();
+        sink.clear();
+        fs.round(&mut rng, &mut sink);
+        let second: Vec<_> = sink.iter().map(|a| a.node).collect();
+        assert_ne!(first, second);
+        assert!(sink.iter().all(|a| a.is_write));
+    }
+
+    #[test]
+    fn schedule_runs_init_once_and_rounds() {
+        let mut alloc = AddressAllocator::new();
+        let mut rng = rng();
+        let dist = ReaderSizeDist::new(&[1.0]);
+        let mut pc = ProducerConsumer::new(&mut alloc, 4, dist, 0.0, 0.5, 100, 1, &mut rng);
+        let stream = run_schedule(&mut [&mut pc], 3, 9);
+        // init (4 writes) + 3 rounds x 4 writes (no readers).
+        assert_eq!(stream.len(), 4 + 12);
+    }
+}
+
+/// Wide/broadcast sharing: a rotating producer writes a small set of hot
+/// lines that most of the machine reads every round (Weber & Gupta's
+/// "wide sharing"; the pattern pivot rows exhibit in gauss).
+#[derive(Clone, Debug)]
+pub struct Broadcast {
+    region: Region,
+    /// Which node produces in the current round.
+    producer: usize,
+    /// Readers per round (all nodes except the producer when >= NODES-1).
+    audience: usize,
+    pc_base: u32,
+}
+
+impl Broadcast {
+    /// `lines` hot lines, re-published every round to `audience` readers.
+    pub fn new(alloc: &mut AddressAllocator, lines: u64, audience: usize, pc_base: u32) -> Self {
+        Broadcast {
+            region: alloc.alloc(lines),
+            producer: 0,
+            audience: audience.min(NODES - 1),
+            pc_base,
+        }
+    }
+}
+
+impl SharingComponent for Broadcast {
+    fn init(&mut self, sink: &mut Vec<MemAccess>) {
+        for i in 0..self.region.lines() {
+            sink.push(MemAccess::write(
+                NodeId(0),
+                self.pc_base,
+                self.region.addr(i, 0),
+            ));
+        }
+    }
+
+    fn round(&mut self, _rng: &mut StdRng, sink: &mut Vec<MemAccess>) {
+        let producer = NodeId(self.producer as u8);
+        for i in 0..self.region.lines() {
+            sink.push(MemAccess::write(
+                producer,
+                self.pc_base + 1,
+                self.region.addr(i, 0),
+            ));
+        }
+        for k in 1..=self.audience {
+            let reader = NodeId(((self.producer + k) % NODES) as u8);
+            for i in 0..self.region.lines() {
+                sink.push(MemAccess::read(
+                    reader,
+                    self.pc_base + 0x8000,
+                    self.region.addr(i, 1),
+                ));
+            }
+        }
+        self.producer = (self.producer + 1) % NODES;
+    }
+}
+
+/// Read-mostly data: written once at initialization (plus very rare
+/// republications), read by everyone — lookup tables, program constants.
+/// Contributes read traffic and cache pressure but almost no prediction
+/// points, like the read-only segments of real programs.
+#[derive(Clone, Debug)]
+pub struct ReadMostly {
+    region: Region,
+    /// Republication probability per line per round.
+    update_prob: f64,
+    pc_base: u32,
+}
+
+impl ReadMostly {
+    /// `lines` of read-mostly data, republished with probability
+    /// `update_prob` per line per round.
+    pub fn new(alloc: &mut AddressAllocator, lines: u64, update_prob: f64, pc_base: u32) -> Self {
+        ReadMostly {
+            region: alloc.alloc(lines),
+            update_prob,
+            pc_base,
+        }
+    }
+}
+
+impl SharingComponent for ReadMostly {
+    fn init(&mut self, sink: &mut Vec<MemAccess>) {
+        for i in 0..self.region.lines() {
+            sink.push(MemAccess::write(
+                NodeId((i % NODES as u64) as u8),
+                self.pc_base,
+                self.region.addr(i, 0),
+            ));
+        }
+    }
+
+    fn round(&mut self, rng: &mut StdRng, sink: &mut Vec<MemAccess>) {
+        for i in 0..self.region.lines() {
+            let owner = NodeId((i % NODES as u64) as u8);
+            if self.update_prob > 0.0 && rng.random_bool(self.update_prob) {
+                sink.push(MemAccess::write(
+                    owner,
+                    self.pc_base + 1,
+                    self.region.addr(i, 0),
+                ));
+            }
+            // A rotating subset of nodes consults the table each round.
+            for k in 1..4u64 {
+                let reader = NodeId(((i + k * 5) % NODES as u64) as u8);
+                if reader != owner {
+                    sink.push(MemAccess::read(
+                        reader,
+                        self.pc_base + 0x8000,
+                        self.region.addr(i, 1),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod extra_tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn broadcast_rotates_producers() {
+        let mut alloc = AddressAllocator::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut b = Broadcast::new(&mut alloc, 2, 15, 0x500);
+        let mut sink = Vec::new();
+        b.round(&mut rng, &mut sink);
+        let first_producer = sink[0].node;
+        sink.clear();
+        b.round(&mut rng, &mut sink);
+        assert_ne!(sink[0].node, first_producer);
+        // Every round: 2 writes + 15 readers x 2 lines.
+        assert_eq!(sink.len(), 2 + 15 * 2);
+    }
+
+    #[test]
+    fn broadcast_audience_capped() {
+        let mut alloc = AddressAllocator::new();
+        let b = Broadcast::new(&mut alloc, 1, 99, 0x500);
+        assert_eq!(b.audience, NODES - 1);
+    }
+
+    #[test]
+    fn read_mostly_emits_mostly_reads() {
+        let mut alloc = AddressAllocator::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut r = ReadMostly::new(&mut alloc, 64, 0.01, 0x600);
+        let mut sink = Vec::new();
+        for _ in 0..10 {
+            r.round(&mut rng, &mut sink);
+        }
+        let writes = sink.iter().filter(|a| a.is_write).count();
+        let reads = sink.iter().filter(|a| !a.is_write).count();
+        assert!(reads > writes * 20, "reads {reads} writes {writes}");
+    }
+
+    #[test]
+    fn broadcast_generates_wide_sharing_through_the_simulator() {
+        use csp_sim::{MemorySystem, SystemConfig};
+        let mut alloc = AddressAllocator::new();
+        let mut b = Broadcast::new(&mut alloc, 4, 15, 0x500);
+        let stream = run_schedule(&mut [&mut b], 8, 3);
+        let mut sys = MemorySystem::new(SystemConfig::paper_16_node());
+        sys.run(stream);
+        let (trace, _) = sys.finish();
+        // Wide sharing: mean degree well above the suite's.
+        assert!(
+            trace.prevalence() > 0.5,
+            "broadcast prevalence {} should be high",
+            trace.prevalence()
+        );
+    }
+}

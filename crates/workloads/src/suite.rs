@@ -1,0 +1,79 @@
+//! Whole-suite generation.
+
+use crate::{Benchmark, WorkloadConfig};
+use csp_sim::SimStats;
+use csp_trace::Trace;
+
+/// One generated benchmark trace plus its simulator statistics.
+#[derive(Clone, Debug)]
+pub struct BenchmarkTrace {
+    /// Which benchmark this is.
+    pub benchmark: Benchmark,
+    /// The coherence trace.
+    pub trace: Trace,
+    /// The simulator's counters for the run.
+    pub stats: SimStats,
+}
+
+/// Generates the full seven-benchmark suite at the given scale.
+///
+/// Deterministic for a given `(scale, seed)`: each benchmark's generator
+/// seed is derived from `seed` and the benchmark's name.
+///
+/// # Example
+///
+/// ```
+/// let suite = csp_workloads::generate_suite(0.02, 1);
+/// assert_eq!(suite.len(), 7);
+/// assert!(suite.iter().all(|b| !b.trace.is_empty()));
+/// ```
+pub fn generate_suite(scale: f64, seed: u64) -> Vec<BenchmarkTrace> {
+    Benchmark::ALL
+        .iter()
+        .map(|&benchmark| {
+            let (trace, stats) = WorkloadConfig::new(benchmark)
+                .scale(scale)
+                .seed(seed.wrapping_add(benchmark as u64 * 0x9E37_79B9))
+                .generate_trace();
+            BenchmarkTrace {
+                benchmark,
+                trace,
+                stats,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_covers_all_benchmarks_in_order() {
+        let suite = generate_suite(0.02, 3);
+        let names: Vec<_> = suite.iter().map(|b| b.benchmark.name()).collect();
+        assert_eq!(
+            names,
+            vec!["barnes", "em3d", "gauss", "mp3d", "ocean", "unstruct", "water"]
+        );
+    }
+
+    #[test]
+    fn prevalence_ordering_matches_paper() {
+        // The paper's robust cross-benchmark shape: ocean and em3d are the
+        // low-prevalence outliers; barnes is the highest.
+        let suite = generate_suite(0.25, 3);
+        let prev: std::collections::HashMap<_, _> = suite
+            .iter()
+            .map(|b| (b.benchmark, b.trace.prevalence()))
+            .collect();
+        let barnes = prev[&Benchmark::Barnes];
+        for (&b, &p) in &prev {
+            if b != Benchmark::Barnes {
+                assert!(barnes >= p * 0.9, "barnes should be ~highest, {b} has {p}");
+            }
+        }
+        assert!(prev[&Benchmark::Ocean] < prev[&Benchmark::Unstruct]);
+        assert!(prev[&Benchmark::Em3d] < prev[&Benchmark::Water]);
+    }
+}

@@ -1,0 +1,96 @@
+//! `unstruct` — unstructured-mesh CFD, 2K mesh.
+//!
+//! Sharing structure: a small, *hot* set of vertex/edge blocks (the paper
+//! reports only 2832 blocks but 634K store misses — each block is written
+//! hundreds of times). Mesh connectivity is fixed, so each block's reader
+//! set (the owners of adjacent mesh entities) is almost perfectly stable
+//! across its many rewrites. (Paper Table 6: 12.83% prevalence.)
+
+use crate::patterns::{run_schedule, AddressAllocator, Locks, ProducerConsumer, ReaderSizeDist};
+use csp_sim::MemAccess;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn scaled(n: u64, scale: f64) -> u64 {
+    ((n as f64 * scale).round() as u64).max(2)
+}
+
+/// Tunable inputs of the unstruct generator (the Table 3 analogue of
+/// "2K mesh").
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UnstructParams {
+    /// Mesh vertex/edge lines.
+    pub mesh_lines: u64,
+    /// Sweeps over the mesh.
+    pub rounds: usize,
+}
+
+impl UnstructParams {
+    /// The default working set multiplied by `scale`.
+    pub fn scaled(scale: f64) -> Self {
+        UnstructParams {
+            mesh_lines: scaled(2500, scale),
+            rounds: 56,
+        }
+    }
+
+    /// Generates the access stream for these parameters.
+    pub fn accesses(&self, seed: u64) -> Vec<MemAccess> {
+        let mut alloc = AddressAllocator::new();
+        let mut setup_rng = StdRng::seed_from_u64(seed ^ 0x0575);
+        let mesh_dist = ReaderSizeDist::new(&[0.12, 0.30, 0.30, 0.17, 0.08, 0.03]);
+        let mut mesh = ProducerConsumer::new(
+            &mut alloc,
+            self.mesh_lines,
+            mesh_dist,
+            0.005, // mesh connectivity is essentially fixed
+            0.70,
+            0x1000,
+            50,
+            &mut setup_rng,
+        );
+        let mut locks = Locks::new(&mut alloc, 4, 2, 0x2000);
+        // Many sweeps over few blocks: the benchmark's signature shape.
+        run_schedule(&mut [&mut mesh, &mut locks], self.rounds, seed)
+    }
+}
+
+impl Default for UnstructParams {
+    fn default() -> Self {
+        UnstructParams::scaled(1.0)
+    }
+}
+
+/// Generates the unstruct access stream at `scale`.
+pub fn accesses(scale: f64, seed: u64) -> Vec<MemAccess> {
+    UnstructParams::scaled(scale).accesses(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Benchmark, WorkloadConfig};
+
+    #[test]
+    fn prevalence_near_paper_signature() {
+        let (trace, _) = WorkloadConfig::new(Benchmark::Unstruct)
+            .scale(0.25)
+            .generate_trace();
+        let p = trace.prevalence();
+        assert!(
+            (0.08..=0.19).contains(&p),
+            "unstruct prevalence {p:.4} outside calibration band (paper: 0.1283)"
+        );
+    }
+
+    #[test]
+    fn few_blocks_many_misses() {
+        let (trace, stats) = WorkloadConfig::new(Benchmark::Unstruct)
+            .scale(0.25)
+            .generate_trace();
+        let misses_per_block = trace.len() as f64 / stats.lines_touched as f64;
+        assert!(
+            misses_per_block > 10.0,
+            "unstruct should rewrite blocks many times, got {misses_per_block:.1} misses/block"
+        );
+    }
+}

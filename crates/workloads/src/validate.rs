@@ -1,0 +1,135 @@
+//! Calibration validation: checks a generated trace against the paper's
+//! per-benchmark sharing signature.
+//!
+//! The generators substitute for real SPLASH traces, so the repository
+//! needs a standing, testable definition of "close enough". This module
+//! encodes the calibration bands used by the unit tests and exposes them
+//! to users who retune generator parameters.
+
+use crate::Benchmark;
+use csp_trace::Trace;
+use std::fmt;
+
+/// One signature check's outcome.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SignatureCheck {
+    /// Which quantity was checked.
+    pub name: &'static str,
+    /// Measured value.
+    pub measured: f64,
+    /// Accepted band (inclusive).
+    pub band: (f64, f64),
+}
+
+impl SignatureCheck {
+    /// Whether the measurement falls inside the band.
+    pub fn passed(&self) -> bool {
+        self.measured >= self.band.0 && self.measured <= self.band.1
+    }
+}
+
+impl fmt::Display for SignatureCheck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {:.4} in [{:.4}, {:.4}] -> {}",
+            self.name,
+            self.measured,
+            self.band.0,
+            self.band.1,
+            if self.passed() { "ok" } else { "OUT OF BAND" }
+        )
+    }
+}
+
+/// Validates `trace` against `benchmark`'s paper signature.
+///
+/// Checks performed:
+///
+/// * prevalence within ±45% (relative) of the paper's Table 6 value;
+/// * mean invalidation degree consistent with that prevalence;
+/// * a non-degenerate event population (at least 16 events).
+///
+/// Returns every check; [`all_pass`] summarizes.
+///
+/// # Example
+///
+/// ```
+/// use csp_workloads::{validate, Benchmark, WorkloadConfig};
+/// let (trace, _) = WorkloadConfig::new(Benchmark::Ocean).scale(0.2).generate_trace();
+/// let checks = validate::signature_checks(Benchmark::Ocean, &trace);
+/// assert!(validate::all_pass(&checks), "{checks:?}");
+/// ```
+pub fn signature_checks(benchmark: Benchmark, trace: &Trace) -> Vec<SignatureCheck> {
+    let paper = benchmark.paper_prevalence();
+    let prevalence = trace.prevalence();
+    let mean_degree = prevalence * trace.nodes() as f64;
+    vec![
+        SignatureCheck {
+            name: "prevalence",
+            measured: prevalence,
+            band: (paper * 0.55, paper * 1.45),
+        },
+        SignatureCheck {
+            name: "mean invalidation degree",
+            measured: mean_degree,
+            band: (paper * 16.0 * 0.55, paper * 16.0 * 1.45),
+        },
+        SignatureCheck {
+            name: "events",
+            measured: trace.len() as f64,
+            band: (16.0, f64::INFINITY),
+        },
+    ]
+}
+
+/// `true` when every check passed.
+pub fn all_pass(checks: &[SignatureCheck]) -> bool {
+    checks.iter().all(SignatureCheck::passed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkloadConfig;
+
+    #[test]
+    fn every_benchmark_passes_its_own_signature() {
+        for b in Benchmark::ALL {
+            let (trace, _) = WorkloadConfig::new(b).scale(0.25).generate_trace();
+            let checks = signature_checks(b, &trace);
+            assert!(
+                all_pass(&checks),
+                "{b} failed calibration: {:#?}",
+                checks.iter().filter(|c| !c.passed()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn cross_signatures_fail() {
+        // An ocean trace (2% prevalence) must not pass barnes's (15%) band.
+        let (ocean, _) = WorkloadConfig::new(Benchmark::Ocean)
+            .scale(0.1)
+            .generate_trace();
+        let checks = signature_checks(Benchmark::Barnes, &ocean);
+        assert!(!all_pass(&checks));
+    }
+
+    #[test]
+    fn check_display_marks_failures() {
+        let bad = SignatureCheck {
+            name: "prevalence",
+            measured: 0.5,
+            band: (0.1, 0.2),
+        };
+        assert!(bad.to_string().contains("OUT OF BAND"));
+        assert!(!bad.passed());
+    }
+
+    #[test]
+    fn empty_trace_fails_event_check() {
+        let checks = signature_checks(Benchmark::Water, &Trace::new(16));
+        assert!(!all_pass(&checks));
+    }
+}

@@ -1,0 +1,115 @@
+//! `water` — N-molecule water simulation, 512 molecules.
+//!
+//! Sharing structure: a blend. Molecule *positions* are producer-consumer
+//! data read by the owners of interacting molecules (O(n²) pair force
+//! computation gives fairly large, slowly drifting reader sets), while the
+//! per-molecule *force accumulators* migrate under lock from accumulator
+//! to accumulator — migratory read-modify-write chains. Like unstruct,
+//! the block population is tiny and hot (paper: 2896 blocks, 173K misses,
+//! 12.13% prevalence).
+
+use crate::patterns::{
+    run_schedule, AddressAllocator, Locks, Migratory, ProducerConsumer, ReaderSizeDist,
+};
+use csp_sim::MemAccess;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn scaled(n: u64, scale: f64) -> u64 {
+    ((n as f64 * scale).round() as u64).max(2)
+}
+
+/// Tunable inputs of the water generator (the Table 3 analogue of
+/// "512 molecules").
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WaterParams {
+    /// Molecule records (one force-accumulator line and one position line
+    /// each).
+    pub molecules: u64,
+    /// Timesteps simulated.
+    pub rounds: usize,
+}
+
+impl WaterParams {
+    /// The default working set multiplied by `scale`.
+    pub fn scaled(scale: f64) -> Self {
+        WaterParams {
+            molecules: scaled(520, scale),
+            rounds: 36,
+        }
+    }
+
+    /// Generates the access stream for these parameters.
+    pub fn accesses(&self, seed: u64) -> Vec<MemAccess> {
+        let mut alloc = AddressAllocator::new();
+        let mut setup_rng = StdRng::seed_from_u64(seed ^ 0x0A7E2);
+        let mut forces = Migratory::new(
+            &mut alloc,
+            self.molecules,
+            3,
+            true,
+            2.30,
+            3,
+            0x1000,
+            30,
+            &mut setup_rng,
+        );
+        let position_dist = ReaderSizeDist::new(&[0.04, 0.08, 0.15, 0.25, 0.25, 0.15, 0.08]);
+        let mut positions = ProducerConsumer::new(
+            &mut alloc,
+            self.molecules,
+            position_dist,
+            0.04,
+            0.60,
+            0x2000,
+            30,
+            &mut setup_rng,
+        );
+        let mut locks = Locks::new(&mut alloc, 8, 2, 0x3000);
+        run_schedule(
+            &mut [&mut forces, &mut positions, &mut locks],
+            self.rounds,
+            seed,
+        )
+    }
+}
+
+impl Default for WaterParams {
+    fn default() -> Self {
+        WaterParams::scaled(1.0)
+    }
+}
+
+/// Generates the water access stream at `scale`.
+pub fn accesses(scale: f64, seed: u64) -> Vec<MemAccess> {
+    WaterParams::scaled(scale).accesses(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Benchmark, WorkloadConfig};
+
+    #[test]
+    fn prevalence_near_paper_signature() {
+        let (trace, _) = WorkloadConfig::new(Benchmark::Water)
+            .scale(0.5)
+            .generate_trace();
+        let p = trace.prevalence();
+        assert!(
+            (0.07..=0.18).contains(&p),
+            "water prevalence {p:.4} outside calibration band (paper: 0.1213)"
+        );
+    }
+
+    #[test]
+    fn block_population_is_small() {
+        let (_, stats) = WorkloadConfig::new(Benchmark::Water)
+            .scale(1.0)
+            .generate_trace();
+        assert!(
+            stats.lines_touched < 5000,
+            "water touches few blocks, got {}",
+            stats.lines_touched
+        );
+    }
+}

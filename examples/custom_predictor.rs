@@ -1,0 +1,97 @@
+//! Build a custom prediction scheme from the library's parts.
+//!
+//! The taxonomy crates expose every layer — index extraction, entry state,
+//! update timing, scoring — so new prediction functions can be prototyped
+//! in a few dozen lines. Here: a *majority-vote* predictor (predict a node
+//! iff it appeared in at least 2 of the last 3 feedback bitmaps), a point
+//! the paper's taxonomy allows but does not simulate. It sits between
+//! `inter` (all 3 of 3) and `union` (any 1 of 3).
+//!
+//! ```text
+//! cargo run --release --example custom_predictor
+//! ```
+
+use csp::core::hash::FxHashMap;
+use csp::core::{engine, IndexSpec, Scheme};
+use csp::metrics::ConfusionMatrix;
+use csp::trace::{NodeId, SharingBitmap, Trace};
+use csp::workloads::{Benchmark, WorkloadConfig};
+
+/// Majority vote over the last `DEPTH` feedback bitmaps.
+const DEPTH: usize = 3;
+const QUORUM: u32 = 2;
+
+#[derive(Default, Clone)]
+struct VoteEntry {
+    history: [SharingBitmap; DEPTH],
+    filled: usize,
+}
+
+impl VoteEntry {
+    fn push(&mut self, feedback: SharingBitmap) {
+        self.history.rotate_right(1);
+        self.history[0] = feedback;
+        self.filled = (self.filled + 1).min(DEPTH);
+    }
+
+    fn predict(&self, nodes: usize) -> SharingBitmap {
+        if self.filled < DEPTH {
+            return SharingBitmap::empty(); // cold, like a zero-filled entry
+        }
+        let mut out = SharingBitmap::empty();
+        for n in 0..nodes {
+            let node = NodeId(n as u8);
+            let votes = self.history.iter().filter(|b| b.contains(node)).count() as u32;
+            if votes >= QUORUM {
+                out.insert(node);
+            }
+        }
+        out
+    }
+}
+
+/// Runs the majority-vote predictor with direct update over a trace.
+fn run_majority(trace: &Trace, index: IndexSpec) -> ConfusionMatrix {
+    let node_bits = (trace.nodes() as u32).next_power_of_two().trailing_zeros();
+    let actuals = trace.resolve_actuals();
+    let mut table: FxHashMap<u64, VoteEntry> = FxHashMap::default();
+    let mut matrix = ConfusionMatrix::default();
+    for (event, actual) in trace.events().iter().zip(&actuals) {
+        let key = index.key_of(event, node_bits);
+        if event.prev_writer.is_some() {
+            table.entry(key).or_default().push(event.invalidated);
+        }
+        let predicted = table
+            .get(&key)
+            .map(|e| e.predict(trace.nodes()))
+            .unwrap_or(SharingBitmap::empty());
+        matrix.record(predicted, *actual, trace.nodes());
+    }
+    matrix
+}
+
+fn main() {
+    let (trace, _) = WorkloadConfig::new(Benchmark::Barnes)
+        .scale(0.2)
+        .generate_trace();
+    let index = IndexSpec::new(true, 8, false, 0);
+    println!("barnes, index pid+pc8, direct update:\n");
+    println!("{:24} {:>6} {:>6}", "scheme", "pvp", "sens");
+
+    let majority = run_majority(&trace, index).screening();
+    println!(
+        "{:24} {:>6.3} {:>6.3}",
+        "majority(2-of-3)", majority.pvp, majority.sensitivity
+    );
+
+    for spec in ["inter(pid+pc8)3[direct]", "union(pid+pc8)3[direct]"] {
+        let scheme: Scheme = spec.parse().expect("valid scheme");
+        let s = engine::run_scheme(&trace, &scheme).screening();
+        println!("{:24} {:>6.3} {:>6.3}", spec, s.pvp, s.sensitivity);
+    }
+    println!(
+        "\nMajority voting lands between intersection and union on both axes —\n\
+         a new point on the paper's sensitivity/PVP frontier, built entirely\n\
+         from the library's public pieces."
+    );
+}

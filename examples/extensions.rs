@@ -1,0 +1,79 @@
+//! Tour of the beyond-the-paper extensions: sticky-spatial prediction,
+//! confidence gating, Cosmos next-writer prediction, and statistically
+//! sound scheme comparison.
+//!
+//! ```text
+//! cargo run --release --example extensions
+//! ```
+
+use csp::core::confidence::confidence_curve;
+use csp::core::cosmos::Cosmos;
+use csp::core::sticky::StickySpatial;
+use csp::core::{engine, Scheme};
+use csp::workloads::{Benchmark, WorkloadConfig};
+
+fn main() {
+    let (unstruct, _) = WorkloadConfig::new(Benchmark::Unstruct)
+        .scale(0.1)
+        .generate_trace();
+    let (mp3d, _) = WorkloadConfig::new(Benchmark::Mp3d)
+        .scale(0.1)
+        .generate_trace();
+
+    // 1. Sticky-spatial (paper footnote 2): forgiving masks + neighbour
+    //    widening on an address-indexed predictor.
+    println!("— sticky-spatial on unstruct —");
+    for radius in [0u64, 1, 2] {
+        let s = StickySpatial::new(16, radius).run(&unstruct).screening();
+        println!(
+            "  radius {radius}: sensitivity {:.3}, PVP {:.3}",
+            s.sensitivity, s.pvp
+        );
+    }
+    let last =
+        engine::run_scheme(&unstruct, &"last(add16)1".parse::<Scheme>().unwrap()).screening();
+    println!(
+        "  plain last(add16): sensitivity {:.3}, PVP {:.3}\n",
+        last.sensitivity, last.pvp
+    );
+
+    // 2. Confidence gating (Grunwald et al.): a knob from sensitive to
+    //    sure-bets-only, on one base scheme.
+    println!("— confidence gating of union(pid+pc8)2 on mp3d —");
+    let scheme: Scheme = "union(pid+pc8)2".parse().unwrap();
+    for (threshold, m) in confidence_curve(&mp3d, &scheme).into_iter().enumerate() {
+        let s = m.screening();
+        println!(
+            "  threshold {threshold}: sensitivity {:.3}, PVP {:.3}",
+            s.sensitivity, s.pvp
+        );
+    }
+    println!();
+
+    // 3. Cosmos (Mukherjee & Hill): predict the next *writer* — the
+    //    question that matters for the migratory sharing reader-bitmap
+    //    predictors give up on.
+    println!("— Cosmos next-writer prediction —");
+    for (name, trace) in [("mp3d", &mp3d), ("unstruct", &unstruct)] {
+        let r = Cosmos::new(16, 2).run(trace);
+        println!(
+            "  {name}: accuracy {:.1}%, coverage {:.1}%",
+            r.accuracy() * 100.0,
+            r.coverage() * 100.0
+        );
+    }
+    println!();
+
+    // 4. Paired comparison: is inter's PVP advantage statistically real?
+    println!("— McNemar comparison on unstruct: inter(pid+pc8)4 vs last(pid+pc8) —");
+    let a: Scheme = "inter(pid+pc8)4".parse().unwrap();
+    let b: Scheme = "last(pid+pc8)1".parse().unwrap();
+    let paired = engine::compare_schemes(&unstruct, &a, &b);
+    println!(
+        "  accuracy {:.4} vs {:.4}; {}; significant at 5%: {}",
+        paired.accuracy_a(),
+        paired.accuracy_b(),
+        paired,
+        paired.significant_at_5pct()
+    );
+}

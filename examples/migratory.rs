@@ -1,0 +1,55 @@
+//! Why migratory sharing is the hard case: compare predictor families on
+//! mp3d (migratory) vs em3d (static producer-consumer).
+//!
+//! The paper deliberately keeps migratory sharing in its study ("we do not
+//! assume any other filter in the system which could distinguish sharing
+//! patterns"); this example shows what that costs.
+//!
+//! ```text
+//! cargo run --release --example migratory
+//! ```
+
+use csp::core::{engine, Scheme};
+use csp::workloads::{Benchmark, WorkloadConfig};
+use csp_trace::Trace;
+
+fn show(label: &str, trace: &Trace) {
+    println!(
+        "{label}: {} events, prevalence {:.2}%",
+        trace.len(),
+        trace.prevalence() * 100.0
+    );
+    println!("  {:30} {:>6} {:>6}", "scheme", "pvp", "sens");
+    for spec in [
+        "last(pid+pc8)1[direct]",
+        "inter(pid+pc8)4[direct]",
+        "union(pid+pc8)4[direct]",
+        "pas(pid+pc4)2[direct]",
+        "inter(dir+add12)4[direct]",
+    ] {
+        let scheme: Scheme = spec.parse().expect("valid scheme");
+        let s = engine::run_scheme(trace, &scheme).screening();
+        println!("  {:30} {:>6.3} {:>6.3}", spec, s.pvp, s.sensitivity);
+    }
+    println!();
+}
+
+fn main() {
+    let (migratory, _) = WorkloadConfig::new(Benchmark::Mp3d)
+        .scale(0.15)
+        .generate_trace();
+    let (static_pc, _) = WorkloadConfig::new(Benchmark::Em3d)
+        .scale(0.15)
+        .generate_trace();
+
+    show("mp3d (migratory)", &migratory);
+    show("em3d (static producer-consumer)", &static_pc);
+
+    println!(
+        "On static sharing every family nails the stable reader sets. On\n\
+         migratory sharing the next consumer is close to random: intersection\n\
+         retreats to near-zero sensitivity (it refuses to guess), union sprays\n\
+         traffic for modest precision, and the pattern-based PAs finds no\n\
+         pattern to exploit — the same ordering the paper reports."
+    );
+}

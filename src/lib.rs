@@ -1,0 +1,10 @@
+//! Facade crate re-exporting the whole coherence-sharing-prediction
+//! workspace. See README.md; the real documentation lives on the member
+//! crates.
+
+pub use csp_core as core;
+pub use csp_harness as harness;
+pub use csp_metrics as metrics;
+pub use csp_sim as sim;
+pub use csp_trace as trace;
+pub use csp_workloads as workloads;

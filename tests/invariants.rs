@@ -1,0 +1,185 @@
+//! Cross-crate invariants, including the paper's own theorems:
+//!
+//! * Section 3.4: "for pure address-based schemes the direct, forwarded
+//!   and ordered update schemes are equivalent";
+//! * union predictions contain intersection predictions at equal
+//!   index/depth/update, so union sensitivity dominates;
+//! * depth monotonicity: deeper intersection never gains sensitivity,
+//!   deeper union never loses it.
+
+use csp::core::{engine, IndexSpec, PredictionFunction, Scheme, UpdateMode};
+use csp::workloads::{Benchmark, WorkloadConfig};
+use csp_trace::Trace;
+use proptest::prelude::*;
+
+fn small_trace(bench: Benchmark) -> Trace {
+    WorkloadConfig::new(bench).scale(0.03).generate_trace().0
+}
+
+#[test]
+fn update_modes_coincide_for_pure_address_indexing() {
+    // Full-width address indexing on protocol-generated traces: the three
+    // update mechanisms must produce identical confusion matrices.
+    for bench in [Benchmark::Mp3d, Benchmark::Em3d, Benchmark::Water] {
+        let trace = small_trace(bench);
+        let ix = IndexSpec::new(false, 0, true, 24);
+        for func in [PredictionFunction::Union, PredictionFunction::Inter] {
+            for depth in [1, 2, 4] {
+                let results: Vec<_> = UpdateMode::ALL
+                    .iter()
+                    .map(|&u| engine::run_scheme(&trace, &Scheme::new(func, ix, depth, u)))
+                    .collect();
+                assert_eq!(
+                    results[0], results[1],
+                    "{bench}/{func}/{depth}: direct vs forwarded"
+                );
+                assert_eq!(
+                    results[0], results[2],
+                    "{bench}/{func}/{depth}: direct vs ordered"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn update_modes_differ_for_instruction_indexing() {
+    // The converse sanity check: with pid+pc indexing the heuristics are
+    // genuinely different mechanisms on a migratory workload.
+    let trace = small_trace(Benchmark::Mp3d);
+    let ix = IndexSpec::new(true, 8, false, 0);
+    let run = |u| engine::run_scheme(&trace, &Scheme::new(PredictionFunction::Union, ix, 2, u));
+    let direct = run(UpdateMode::Direct);
+    let forwarded = run(UpdateMode::Forwarded);
+    assert_ne!(
+        direct, forwarded,
+        "direct and forwarded should diverge on migratory sharing"
+    );
+}
+
+#[test]
+fn union_sensitivity_dominates_inter_everywhere() {
+    for bench in Benchmark::ALL {
+        let trace = small_trace(bench);
+        for ix in [
+            IndexSpec::new(true, 8, false, 0),
+            IndexSpec::new(false, 0, true, 8),
+            IndexSpec::new(true, 4, true, 4),
+        ] {
+            for update in UpdateMode::ALL {
+                for depth in [2, 4] {
+                    let u = engine::run_scheme(
+                        &trace,
+                        &Scheme::new(PredictionFunction::Union, ix, depth, update),
+                    )
+                    .screening();
+                    let i = engine::run_scheme(
+                        &trace,
+                        &Scheme::new(PredictionFunction::Inter, ix, depth, update),
+                    )
+                    .screening();
+                    assert!(
+                        u.sensitivity >= i.sensitivity - 1e-12,
+                        "{bench}/{ix}/{update}/d{depth}: union sens {} < inter sens {}",
+                        u.sensitivity,
+                        i.sensitivity
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn depth_monotonicity_of_sensitivity() {
+    let trace = small_trace(Benchmark::Barnes);
+    let ix = IndexSpec::new(true, 8, false, 0);
+    let fam = engine::run_history_family(&trace, ix, UpdateMode::Direct, 4);
+    for d in 0..3 {
+        let u_shallow = fam.union[d].screening().sensitivity;
+        let u_deep = fam.union[d + 1].screening().sensitivity;
+        assert!(
+            u_deep >= u_shallow - 1e-12,
+            "union sensitivity fell from {u_shallow} to {u_deep} at depth {}",
+            d + 2
+        );
+        let i_shallow = fam.inter[d].screening().sensitivity;
+        let i_deep = fam.inter[d + 1].screening().sensitivity;
+        assert!(
+            i_deep <= i_shallow + 1e-12,
+            "inter sensitivity rose from {i_shallow} to {i_deep} at depth {}",
+            d + 2
+        );
+    }
+}
+
+#[test]
+fn prevalence_is_scheme_independent() {
+    let trace = small_trace(Benchmark::Gauss);
+    let mut seen = Vec::new();
+    for spec in [
+        "last()1",
+        "inter(pid+pc8)4",
+        "union(dir+add8)2[ordered]",
+        "pas(pid)2",
+    ] {
+        let scheme: Scheme = spec.parse().unwrap();
+        seen.push(engine::run_scheme(&trace, &scheme).screening().prevalence);
+    }
+    for w in seen.windows(2) {
+        assert!(
+            (w[0] - w[1]).abs() < 1e-12,
+            "prevalence must not depend on the scheme"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random hand-built traces: confusion counts always partition the
+    /// decision space, for every scheme family and update mode.
+    #[test]
+    fn prop_decisions_partition(
+        events in proptest::collection::vec((0u8..16, 0u32..64, 0u64..32, any::<u16>()), 1..200),
+        spec in prop_oneof![
+            Just("last(pid+pc4)1"),
+            Just("inter(pid+add4)3[forwarded]"),
+            Just("union(dir+add4)2[ordered]"),
+            Just("pas(pid)1"),
+            Just("overlap-last(pc6)"),
+        ],
+    ) {
+        use csp_trace::{LineAddr, NodeId, Pc, SharingBitmap, SharingEvent};
+        let mut trace = Trace::new(16);
+        let mut last_writer: std::collections::HashMap<u64, (NodeId, Pc)> = Default::default();
+        for (w, pc, line, inv) in events {
+            let writer = NodeId(w);
+            let prev = last_writer.get(&line).copied();
+            let feedback = SharingBitmap::from_bits(u64::from(inv)).masked(16).without(writer);
+            trace.push(SharingEvent::new(writer, Pc(pc), LineAddr(line), NodeId((line % 16) as u8), feedback, prev));
+            last_writer.insert(line, (writer, Pc(pc)));
+        }
+        let scheme: Scheme = spec.parse().unwrap();
+        let m = engine::run_scheme(&trace, &scheme);
+        prop_assert_eq!(m.decisions(), trace.len() as u64 * 16);
+        let s = m.screening();
+        for rate in [s.prevalence, s.sensitivity, s.pvp, s.specificity, s.pvn] {
+            prop_assert!((0.0..=1.0).contains(&rate));
+        }
+    }
+
+    /// The engine is deterministic: same trace, same scheme, same counts.
+    #[test]
+    fn prop_engine_deterministic(seed in 0u64..32) {
+        let (trace, _) = WorkloadConfig::new(Benchmark::Water)
+            .scale(0.01)
+            .seed(seed)
+            .generate_trace();
+        let scheme: Scheme = "inter(pid+pc6+add4)2[forwarded]".parse().unwrap();
+        prop_assert_eq!(
+            engine::run_scheme(&trace, &scheme),
+            engine::run_scheme(&trace, &scheme)
+        );
+    }
+}

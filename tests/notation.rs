@@ -1,0 +1,116 @@
+//! The paper's scheme notation (Section 3.5) and cost model (Section 5.4),
+//! checked against every scheme string and size the paper prints.
+
+use csp::core::{IndexSpec, PredictionFunction, Scheme, UpdateMode};
+
+/// Every (scheme, size) pair quoted in the paper's Tables 7–11.
+const PAPER_SIZES: &[(&str, u32)] = &[
+    // Table 7.
+    ("last(pid+pc8)1", 16),
+    ("inter(pid+pc8)2", 17),
+    ("last(pid+mem8)", 16),
+    // Table 8.
+    ("inter(pid+add6)4", 16),
+    ("inter(pid+pc2+add6)4", 18),
+    ("inter(pid+add8)4", 18),
+    ("inter(pid+pc4+add6)4", 20),
+    ("inter(pid+add10)4", 20),
+    ("inter(pid+pc2+add8)4", 20),
+    ("inter(pid+add4)4", 14),
+    ("inter(pid+pc6+add6)4", 22),
+    ("inter(pid+add8)3", 18),
+    ("inter(pid+pc4+add4)4", 18),
+    // Table 9.
+    ("inter(pid+pc8+add6)4", 24),
+    ("inter(pid+pc6+dir+add4)4", 24),
+    ("inter(pid+pc10+add4)4", 24),
+    ("inter(pid+pc4+dir+add4)4", 22),
+    ("inter(pid+pc4+add6)4", 20),
+    ("inter(pid+pc6+add8)4", 24),
+    ("inter(pid+pc8+add4)4", 22),
+    ("inter(pid+pc4+dir+add6)4", 24),
+    ("inter(pid+pc6+add4)4", 20),
+    // Table 10.
+    ("union(dir+add14)4", 24),
+    ("union(add16)4", 22),
+    ("union(dir+add12)4", 22),
+    ("union(dir+add10)4", 20),
+    ("union(dir+add2)4", 12),
+    ("union(dir+add8)4", 18),
+    ("union(pc2+dir+add6)4", 18),
+    ("union(add14)4", 20),
+    ("union(pc4+dir)4", 14),
+    ("union(pc2+dir+add2)4", 14),
+    // Table 11.
+    ("union(pid+dir+add4)4", 18),
+    ("union(pid+dir+add2)4", 16),
+    ("union(pid+dir+add6)4", 20),
+    ("union(pid+add6)4", 16),
+];
+
+#[test]
+fn every_paper_scheme_parses_with_its_printed_size() {
+    for &(spec, size) in PAPER_SIZES {
+        let scheme: Scheme = spec.parse().unwrap_or_else(|e| panic!("{spec}: {e}"));
+        assert_eq!(
+            scheme.size_log2_bits(16),
+            size,
+            "{spec}: cost model disagrees with the paper"
+        );
+    }
+}
+
+#[test]
+fn canonical_display_reparses_to_the_same_scheme() {
+    for &(spec, _) in PAPER_SIZES {
+        let scheme: Scheme = spec.parse().unwrap();
+        let round: Scheme = scheme.to_string().parse().unwrap();
+        assert_eq!(scheme, round, "roundtrip failed for {spec}");
+    }
+}
+
+#[test]
+fn update_suffixes_parse() {
+    let d: Scheme = "inter(pid)2[direct]".parse().unwrap();
+    let f: Scheme = "inter(pid)2[forwarded]".parse().unwrap();
+    let o: Scheme = "inter(pid)2[ordered]".parse().unwrap();
+    assert_eq!(d.update, UpdateMode::Direct);
+    assert_eq!(f.update, UpdateMode::Forwarded);
+    assert_eq!(o.update, UpdateMode::Ordered);
+    // The paper's shorthand [forward] is accepted too.
+    let f2: Scheme = "inter(pid)2[forward]".parse().unwrap();
+    assert_eq!(f2.update, UpdateMode::Forwarded);
+}
+
+#[test]
+fn table1_distribution_rules() {
+    // Case 0: no indexing, centralized only.
+    assert!(IndexSpec::none().centralized_only());
+    // Lai & Falsafi's scheme (pid+addr) distributes at the processors.
+    let lai: Scheme = "last(pid+mem8)".parse().unwrap();
+    assert!(lai.index.distributable_at_processors());
+    assert!(!lai.index.distributable_at_directories());
+    // A dir+addr scheme distributes at the directories and is pure
+    // address-based (update mechanisms coincide).
+    let addr: Scheme = "union(dir+add8)1".parse().unwrap();
+    assert!(addr.index.distributable_at_directories());
+    assert!(addr.index.is_pure_address());
+}
+
+#[test]
+fn baseline_is_storage_free_modulo_one_register() {
+    // The paper quotes the baseline at size 0 ("it costs no storage"); we
+    // account its single 16-bit bitmap register honestly.
+    let baseline = Scheme::baseline_last();
+    assert_eq!(baseline.function, PredictionFunction::Last);
+    assert_eq!(baseline.total_bits(16), 16);
+    assert_eq!(baseline.size_log2_bits(16), 4);
+}
+
+#[test]
+fn pas_cost_includes_history_and_pattern_tables() {
+    // Per entry: 16 nodes x (depth history bits + 2^depth 2-bit counters).
+    let pas: Scheme = "pas(pid+add4)2[direct]".parse().unwrap();
+    // Entry: 16*2 + 16*4*2 = 160 bits; 2^8 entries.
+    assert_eq!(pas.total_bits(16), 160 << 8);
+}

@@ -1,0 +1,225 @@
+//! Reproduction smoke tests: the paper's qualitative findings, asserted on
+//! small-scale suite runs. These are the "shapes" EXPERIMENTS.md records —
+//! who wins, in which direction, not absolute numbers.
+
+use csp::core::{IndexSpec, PredictionFunction, Scheme, UpdateMode};
+use csp::harness::runner::{evaluate_scheme, sweep_families, Suite};
+use csp::metrics::Screening;
+use csp::workloads::Benchmark;
+
+fn suite() -> Suite {
+    Suite::generate(0.05, 1)
+}
+
+fn mean(suite: &Suite, spec: &str) -> Screening {
+    evaluate_scheme(suite, &spec.parse::<Scheme>().unwrap()).mean
+}
+
+/// Table 6's shape: prevalence is low everywhere (2–16%), ocean and em3d
+/// lowest, barnes highest, suite mean near 9%.
+#[test]
+fn prevalence_shape() {
+    let suite = suite();
+    let prev: Vec<(Benchmark, f64)> = suite
+        .traces()
+        .iter()
+        .map(|b| (b.benchmark, b.trace.prevalence()))
+        .collect();
+    for &(b, p) in &prev {
+        assert!(
+            (0.01..=0.20).contains(&p),
+            "{b}: prevalence {p} out of the paper's band"
+        );
+    }
+    let mean_prev: f64 = prev.iter().map(|(_, p)| p).sum::<f64>() / prev.len() as f64;
+    assert!(
+        (0.06..=0.13).contains(&mean_prev),
+        "suite mean prevalence {mean_prev}"
+    );
+}
+
+/// Table 7's artifact: under direct update, every `last` predictor
+/// collapses to the baseline regardless of indexing (the entry is updated
+/// with the event's own feedback immediately before predicting).
+#[test]
+fn direct_last_is_indexing_independent() {
+    let suite = suite();
+    let base = mean(&suite, "last()1[direct]");
+    for spec in [
+        "last(pid+pc8)1[direct]",
+        "last(pid+add8)1[direct]",
+        "last(dir+add12)1[direct]",
+    ] {
+        let s = mean(&suite, spec);
+        assert!(
+            (s.pvp - base.pvp).abs() < 1e-9,
+            "{spec} pvp {} != baseline {}",
+            s.pvp,
+            base.pvp
+        );
+        assert!(
+            (s.sensitivity - base.sensitivity).abs() < 1e-9,
+            "{spec} diverged from baseline"
+        );
+    }
+    // ...but not under forwarded update.
+    let fwd = mean(&suite, "last(pid+pc8)1[forwarded]");
+    assert!(
+        (fwd.pvp - base.pvp).abs() > 1e-6,
+        "forwarded last should differ from the baseline"
+    );
+}
+
+/// Section 5.4.1: deep intersection trades sensitivity for PVP; deep union
+/// does the opposite. The two families bracket `last`.
+#[test]
+fn inter_union_tradeoff() {
+    let suite = suite();
+    let last = mean(&suite, "last(pid+pc8)1");
+    let inter = mean(&suite, "inter(pid+pc8)4");
+    let union = mean(&suite, "union(pid+pc8)4");
+    assert!(
+        inter.pvp > last.pvp,
+        "deep inter PVP {} should beat last {}",
+        inter.pvp,
+        last.pvp
+    );
+    assert!(
+        union.sensitivity > last.sensitivity,
+        "deep union should be most sensitive"
+    );
+    assert!(
+        inter.sensitivity < last.sensitivity,
+        "deep inter sacrifices sensitivity"
+    );
+    assert!(union.pvp < last.pvp, "deep union sacrifices PVP");
+}
+
+/// Section 5.4.3: history depth pushes inter and union in opposite
+/// directions on both axes.
+#[test]
+fn history_depth_directions() {
+    let suite = suite();
+    let ix = IndexSpec::new(true, 8, false, 0);
+    let cells = sweep_families(&suite, &[ix], &[UpdateMode::Direct], 4);
+    let d2_i = cells[0].mean(PredictionFunction::Inter, 2);
+    let d4_i = cells[0].mean(PredictionFunction::Inter, 4);
+    let d2_u = cells[0].mean(PredictionFunction::Union, 2);
+    let d4_u = cells[0].mean(PredictionFunction::Union, 4);
+    assert!(
+        d4_i.pvp >= d2_i.pvp - 0.02,
+        "deeper inter should not lose PVP"
+    );
+    assert!(
+        d4_i.sensitivity <= d2_i.sensitivity,
+        "deeper inter predicts less"
+    );
+    assert!(
+        d4_u.sensitivity >= d2_u.sensitivity,
+        "deeper union predicts more"
+    );
+    assert!(
+        d4_u.pvp <= d2_u.pvp + 0.02,
+        "deeper union should not gain PVP"
+    );
+}
+
+/// Section 5.4.2: pc-only indexing is the all-around bad performer ("it is
+/// not a good idea to mix the history of store instructions belonging to
+/// different nodes").
+#[test]
+fn pc_only_indexing_is_bad() {
+    let suite = suite();
+    let pc_only = mean(&suite, "inter(pc12)2");
+    let with_pid = mean(&suite, "inter(pid+pc8)2");
+    assert!(
+        with_pid.pvp > pc_only.pvp && with_pid.sensitivity > pc_only.sensitivity,
+        "pid+pc ({:.3}/{:.3}) should dominate pc-only ({:.3}/{:.3})",
+        with_pid.pvp,
+        with_pid.sensitivity,
+        pc_only.pvp,
+        pc_only.sensitivity
+    );
+}
+
+/// Section 5.4.1: PAs predictors find no exploitable patterns beyond what
+/// plain history schemes capture — they never dominate both axes.
+#[test]
+fn pas_does_not_dominate_history_schemes() {
+    let suite = suite();
+    let pas = mean(&suite, "pas(pid+pc4)2");
+    let inter = mean(&suite, "inter(pid+pc8)4");
+    let union = mean(&suite, "union(pid+pc8)4");
+    let dominates = |a: &Screening, b: &Screening| a.pvp > b.pvp && a.sensitivity > b.sensitivity;
+    assert!(
+        !dominates(&pas, &inter) || !dominates(&pas, &union),
+        "PAs should not dominate both history families"
+    );
+}
+
+/// Summary: "the most sensitive schemes in our study are high-depth union
+/// schemes" — depth-4 union beats every inter scheme on sensitivity at
+/// equal indexing.
+#[test]
+fn deep_union_wins_sensitivity() {
+    let suite = suite();
+    for ix_spec in ["dir+add8", "pid+pc8"] {
+        let u = mean(&suite, &format!("union({ix_spec})4"));
+        for other in ["inter({})2", "inter({})4", "last({})1"] {
+            let spec = other.replace("{}", ix_spec);
+            let o = mean(&suite, &spec);
+            assert!(
+                u.sensitivity >= o.sensitivity,
+                "union({ix_spec})4 sens {} < {spec} sens {}",
+                u.sensitivity,
+                o.sensitivity
+            );
+        }
+    }
+}
+
+/// Forwarded update requires last-writer state but routes history to the
+/// right writer; on the whole suite it should at least match direct's
+/// sensitivity for instruction-indexed last prediction (Table 7's trend).
+#[test]
+fn forwarded_routes_history_to_the_right_writer() {
+    // The engine-level test (csp-core) proves this sharply on a synthetic
+    // alternating-writer trace; here we just require the suite-level means
+    // to be close (the paper: "direct update and forwarded update have
+    // very little influence on PVP").
+    let suite = suite();
+    let direct = mean(&suite, "inter(pid+pc8)2[direct]");
+    let fwd = mean(&suite, "inter(pid+pc8)2[forwarded]");
+    assert!(
+        (direct.pvp - fwd.pvp).abs() < 0.15,
+        "direct {} vs forwarded {} PVP should be broadly similar",
+        direct.pvp,
+        fwd.pvp
+    );
+}
+
+/// Ordered update is an upper bound in informational terms: it never sees
+/// stale history. For address-indexed schemes it coincides with the others
+/// (tested in invariants.rs); here we require it to be a competitive
+/// oracle for instruction indexing.
+#[test]
+fn ordered_update_is_a_strong_oracle() {
+    let suite = suite();
+    let fwd = mean(&suite, "last(pid+pc8)1[forwarded]");
+    let ord = mean(&suite, "last(pid+pc8)1[ordered]");
+    assert!(
+        ord.pvp >= fwd.pvp - 0.05,
+        "ordered pvp {} should not trail forwarded {} by much",
+        ord.pvp,
+        fwd.pvp
+    );
+}
+
+/// The engine's result for a mid-sized scheme is identical across repeated
+/// suite generations (full determinism of the reproduction pipeline).
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let a = mean(&suite(), "inter(pid+pc4+add4)3[forwarded]");
+    let b = mean(&suite(), "inter(pid+pc4+add4)3[forwarded]");
+    assert_eq!(a, b);
+}

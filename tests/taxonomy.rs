@@ -1,0 +1,133 @@
+//! The taxonomy's structural claims (paper Section 3.1, Table 1),
+//! verified over the complete 16-case indexing space.
+
+use csp::core::distribution::{run_distributed, Location};
+use csp::core::{engine, IndexSpec, PredictionFunction, Scheme, UpdateMode};
+use csp::workloads::{Benchmark, WorkloadConfig};
+
+/// One representative index per Table 1 case (pc/addr at 4 bits when
+/// present).
+fn table1_representatives() -> Vec<IndexSpec> {
+    let mut out = Vec::new();
+    for case in 0u8..16 {
+        out.push(IndexSpec::new(
+            case & 0b1000 != 0,
+            if case & 0b0100 != 0 { 4 } else { 0 },
+            case & 0b0010 != 0,
+            if case & 0b0001 != 0 { 4 } else { 0 },
+        ));
+    }
+    out
+}
+
+#[test]
+fn all_sixteen_cases_are_distinct_and_classified() {
+    let reps = table1_representatives();
+    for (case, ix) in reps.iter().enumerate() {
+        assert_eq!(ix.table1_case() as usize, case);
+        // Table 1's distribution columns.
+        assert_eq!(ix.distributable_at_processors(), case & 0b1000 != 0);
+        assert_eq!(ix.distributable_at_directories(), case & 0b0010 != 0);
+        // Cases 0, 1, 4, 5 are centralized-only (neither pid nor dir).
+        assert_eq!(ix.centralized_only(), matches!(case, 0 | 1 | 4 | 5));
+    }
+}
+
+#[test]
+fn every_distributable_case_distributes_exactly() {
+    let trace = WorkloadConfig::new(Benchmark::Water)
+        .scale(0.03)
+        .generate_trace()
+        .0;
+    for ix in table1_representatives() {
+        let scheme = Scheme::new(PredictionFunction::Union, ix, 2, UpdateMode::Direct);
+        let global = engine::run_scheme(&trace, &scheme);
+        if ix.distributable_at_processors() {
+            assert_eq!(
+                global,
+                run_distributed(&trace, &scheme, Location::Processors),
+                "case {} at processors",
+                ix.table1_case()
+            );
+        }
+        if ix.distributable_at_directories() {
+            assert_eq!(
+                global,
+                run_distributed(&trace, &scheme, Location::Directories),
+                "case {} at directories",
+                ix.table1_case()
+            );
+        }
+    }
+}
+
+#[test]
+fn index_bits_decompose_additively() {
+    // Section 3.1: pid/dir contribute log2(N) bits each; pc/addr their
+    // chosen widths. Every case's total must be the sum of its parts.
+    for ix in table1_representatives() {
+        let expected = u32::from(ix.pid) * 4
+            + u32::from(ix.pc_bits)
+            + u32::from(ix.dir) * 4
+            + u32::from(ix.addr_bits);
+        assert_eq!(ix.bits(16), expected, "{ix}");
+    }
+}
+
+#[test]
+fn case_zero_is_the_single_entry_predictor() {
+    let trace = WorkloadConfig::new(Benchmark::Unstruct)
+        .scale(0.03)
+        .generate_trace()
+        .0;
+    // Depth-1 `last` under direct update is indexing-independent (the
+    // Table 7 artifact), so the single-entry case is indistinguishable
+    // from per-line last there:
+    let baseline = engine::run_scheme(&trace, &Scheme::baseline_last());
+    let per_line_last = engine::run_scheme(&trace, &"last(add16)1".parse::<Scheme>().unwrap());
+    assert_eq!(baseline, per_line_last);
+    // ...but with any deeper history the single shared entry mixes every
+    // line's feedback and indexing matters again.
+    let global2 = engine::run_scheme(&trace, &"union()2".parse::<Scheme>().unwrap());
+    let per_line2 = engine::run_scheme(&trace, &"union(add16)2".parse::<Scheme>().unwrap());
+    assert_ne!(global2, per_line2);
+    assert_eq!(global2.decisions(), per_line2.decisions());
+}
+
+#[test]
+fn truncating_a_field_to_zero_bits_equals_dropping_it() {
+    let trace = WorkloadConfig::new(Benchmark::Barnes)
+        .scale(0.03)
+        .generate_trace()
+        .0;
+    let with_zero = Scheme::new(
+        PredictionFunction::Inter,
+        IndexSpec::new(true, 0, false, 0),
+        2,
+        UpdateMode::Direct,
+    );
+    let parsed: Scheme = "inter(pid)2[direct]".parse().unwrap();
+    assert_eq!(with_zero, parsed);
+    assert_eq!(
+        engine::run_scheme(&trace, &with_zero),
+        engine::run_scheme(&trace, &parsed)
+    );
+}
+
+#[test]
+fn wider_fields_never_change_decision_counts() {
+    let trace = WorkloadConfig::new(Benchmark::Em3d)
+        .scale(0.03)
+        .generate_trace()
+        .0;
+    let mut last_decisions = None;
+    for bits in [0u8, 2, 8, 16] {
+        let ix = IndexSpec::new(false, 0, false, bits);
+        let scheme = Scheme::new(PredictionFunction::Union, ix, 2, UpdateMode::Direct);
+        let d = engine::run_scheme(&trace, &scheme).decisions();
+        if let Some(prev) = last_decisions {
+            assert_eq!(d, prev, "decision count is index-independent");
+        }
+        last_decisions = Some(d);
+    }
+}
