@@ -237,7 +237,7 @@ mod tests {
     #[test]
     fn random_writers_are_unpredictable() {
         // A xorshift-random sequence: accuracy should be near chance.
-        let mut state = 0x1234_5u32;
+        let mut state = 0x0001_2345_u32;
         let writers: Vec<u8> = (0..400)
             .map(|_| {
                 state ^= state << 13;

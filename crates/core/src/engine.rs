@@ -84,7 +84,7 @@ fn drive<F: FnMut(usize, SharingBitmap, SharingBitmap)>(
 ///
 /// `union[d-1]` / `inter[d-1]` hold the results for history depth `d`.
 /// Depth 1 of either family is exactly `last` prediction.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FamilyResult {
     /// Results for `union(index)d`, indexed by `d - 1`.
     pub union: Vec<ConfusionMatrix>,

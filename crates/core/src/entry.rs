@@ -40,7 +40,7 @@ impl HistoryEntry {
     /// Panics if `depth` is zero or exceeds [`MAX_DEPTH`].
     pub fn new(depth: usize) -> Self {
         assert!(
-            depth >= 1 && depth <= MAX_DEPTH,
+            (1..=MAX_DEPTH).contains(&depth),
             "history depth must be in 1..={MAX_DEPTH}, got {depth}"
         );
         HistoryEntry {
@@ -174,7 +174,7 @@ impl PasEntry {
     /// Panics if `depth` is zero or exceeds [`MAX_DEPTH`].
     pub fn new(nodes: usize, depth: usize) -> Self {
         assert!(
-            depth >= 1 && depth <= MAX_DEPTH,
+            (1..=MAX_DEPTH).contains(&depth),
             "PAs history depth must be in 1..={MAX_DEPTH}, got {depth}"
         );
         PasEntry {

@@ -99,8 +99,21 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     let [path] = args else {
         return Err("info needs <trace.csptrc>".into());
     };
+    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let version =
+        trace_io::probe_version(BufReader::new(file)).map_err(|e| format!("read {path}: {e}"))?;
+    // `load` re-reads from the top; for a v2 file a successful load means
+    // every section checksum verified.
     let trace = load(path)?;
     let stats = trace.stats();
+    println!(
+        "format version:        {version} ({})",
+        if version >= trace_io::FORMAT_VERSION {
+            "CRC32c checksums verified"
+        } else {
+            "legacy, no checksums"
+        }
+    );
     println!("nodes:                 {}", trace.nodes());
     println!("events:                {}", trace.len());
     println!("blocks touched:        {}", stats.blocks_touched);

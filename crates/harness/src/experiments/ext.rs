@@ -472,7 +472,14 @@ pub fn node_scaling(_suite: &Suite) -> String {
     }
     table(
         "Extension: machine-size scaling (fixed per-node sharing structure)",
-        &["nodes", "events", "prevalence", "mean degree", "inter2 pvp", "inter2 sens"],
+        &[
+            "nodes",
+            "events",
+            "prevalence",
+            "mean degree",
+            "inter2 pvp",
+            "inter2 sens",
+        ],
         &rows,
     )
 }

@@ -9,7 +9,7 @@ mod figures;
 mod search;
 mod tables;
 
-pub use search::{top_tables, TopTables};
+pub use search::{top_tables, top_tables_checkpointed, TopTables};
 
 use crate::Suite;
 

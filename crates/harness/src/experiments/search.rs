@@ -25,13 +25,41 @@ pub struct TopTables {
 /// The sweep evaluates all depths of both families in one pass per
 /// `(index, update, benchmark)` cell, in parallel.
 pub fn top_tables(suite: &Suite) -> TopTables {
+    top_tables_inner(suite, None).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`top_tables`] with a resumable checkpoint: the expensive family sweep
+/// persists completed cells to `checkpoint` and a restarted run resumes
+/// from it with bitwise-identical tables.
+///
+/// # Errors
+///
+/// Returns [`crate::error::HarnessError`] on checkpoint I/O failures or if
+/// any sweep cell panicked twice.
+pub fn top_tables_checkpointed(
+    suite: &Suite,
+    checkpoint: &std::path::Path,
+) -> Result<TopTables, crate::error::HarnessError> {
+    top_tables_inner(suite, Some(checkpoint))
+}
+
+fn top_tables_inner(
+    suite: &Suite,
+    checkpoint: Option<&std::path::Path>,
+) -> Result<TopTables, crate::error::HarnessError> {
     let space = DesignSpace::paper();
-    let cells = sweep_families(
-        suite,
-        &space.index_specs(),
-        &space.updates,
-        *space.depths.iter().max().expect("non-empty depths"),
-    );
+    let max_depth = *space.depths.iter().max().expect("non-empty depths");
+    let cells = match checkpoint {
+        None => sweep_families(suite, &space.index_specs(), &space.updates, max_depth),
+        Some(path) => crate::runner::sweep_families_checkpointed(
+            suite,
+            &space.index_specs(),
+            &space.updates,
+            max_depth,
+            path,
+        )?
+        .into_complete()?,
+    };
 
     // Materialize stats for every in-budget scheme. Depth 1 of inter
     // duplicates depth 1 of union (both are `last`); keep only the union
@@ -51,7 +79,7 @@ pub fn top_tables(suite: &Suite) -> TopTables {
         }
     }
 
-    TopTables {
+    Ok(TopTables {
         table8: ranked(
             &all,
             UpdateMode::Direct,
@@ -76,7 +104,7 @@ pub fn top_tables(suite: &Suite) -> TopTables {
             RankBy::Sensitivity,
             "Table 11: top 10 sensitivity, forwarded update",
         ),
-    }
+    })
 }
 
 #[derive(Clone, Copy, PartialEq)]

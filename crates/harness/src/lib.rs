@@ -3,9 +3,16 @@
 //!
 //! * [`space`] — enumeration of the affordable design space (every
 //!   `union`/`inter` scheme up to the paper's 2^24-bit budget, Section 5.4);
-//! * [`runner`] — parallel evaluation of schemes over the benchmark suite,
-//!   including the single-pass family sweep that evaluates all depths of
-//!   `union` and `inter` together;
+//! * [`runner`] — parallel, panic-isolated evaluation of schemes over the
+//!   benchmark suite, including the single-pass family sweep that
+//!   evaluates all depths of `union` and `inter` together, with optional
+//!   resumable checkpointing;
+//! * [`cache`] — a checksummed on-disk cache of generated traces with
+//!   atomic writes and quarantine-on-corruption;
+//! * [`checkpoint`] — the crash-safe sweep-result log behind the
+//!   `*_checkpointed` runners;
+//! * [`error`] — the structured [`error::HarnessError`] the library
+//!   surfaces instead of panicking;
 //! * [`render`] — plain-text tables and bar "figures" for terminals;
 //! * [`experiments`] — one driver per table/figure of the paper (Tables
 //!   3–11, Figures 6–9) plus the extension experiments from `DESIGN.md`.
@@ -20,10 +27,18 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code must surface failures as typed errors, not unwrap panics;
+// tests opt back in where unwrapping is the assertion.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod cache;
+pub mod checkpoint;
+pub mod error;
 pub mod experiments;
 pub mod render;
 pub mod runner;
 pub mod space;
 
-pub use runner::{SchemeStats, Suite};
+pub use cache::{CacheOutcome, TraceCache};
+pub use error::HarnessError;
+pub use runner::{SchemeStats, Suite, SweepFailure, SweepOutcome};

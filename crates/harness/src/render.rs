@@ -72,12 +72,8 @@ pub fn bar_chart(title: &str, labels: &[String], series: &[(&str, Vec<f64>)]) ->
     let name_w = series.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
     let mut out = String::new();
     let _ = writeln!(out, "== {title} ==");
-    for (s, _) in series {
-        assert_eq!(
-            series.iter().find(|(n, _)| n == s).unwrap().1.len(),
-            labels.len(),
-            "series {s} length mismatch"
-        );
+    for (s, values) in series {
+        assert_eq!(values.len(), labels.len(), "series {s} length mismatch");
     }
     for (i, label) in labels.iter().enumerate() {
         for (j, (name, values)) in series.iter().enumerate() {

@@ -1,11 +1,34 @@
 //! Parallel evaluation of schemes over the benchmark suite.
+//!
+//! # Fault tolerance
+//!
+//! Sweep workers are *panic-isolated*: each work item runs under
+//! [`std::panic::catch_unwind`] with a retry-once policy (a second panic on
+//! the same item marks it failed, it does not bring down the sweep). Results
+//! are collected into lock-free per-slot cells ([`std::sync::OnceLock`]) —
+//! no mutex, so a panicking worker can never poison the collection path.
+//! The `try_*` entry points return a [`SweepOutcome`] carrying both the
+//! surviving results and the per-item failures; the legacy entry points
+//! ([`evaluate_schemes`], [`sweep_families`]) keep their infallible
+//! signatures and document the (now much narrower) panic they turn
+//! failures into.
+//!
+//! Long sweeps can additionally be *checkpointed*
+//! ([`evaluate_schemes_checkpointed`], [`sweep_families_checkpointed`]):
+//! completed cells are persisted periodically through a
+//! [`crate::checkpoint::SweepCheckpoint`], and a restarted sweep resumes
+//! from the log with bitwise-identical results.
 
+use crate::checkpoint::{CheckpointPayload, Fingerprint, SweepCheckpoint};
+use crate::error::HarnessError;
 use csp_core::engine::{run_history_family, run_scheme, FamilyResult};
 use csp_core::{IndexSpec, PredictionFunction, Scheme, UpdateMode};
 use csp_metrics::{ConfusionMatrix, Screening};
 use csp_workloads::{generate_suite, Benchmark, BenchmarkTrace};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::OnceLock;
 
 /// The benchmark suite an experiment session runs against, generated once
 /// and shared by every experiment.
@@ -13,6 +36,7 @@ use std::sync::Mutex;
 pub struct Suite {
     traces: Vec<BenchmarkTrace>,
     scale: f64,
+    seed: u64,
 }
 
 impl Suite {
@@ -21,7 +45,34 @@ impl Suite {
         Suite {
             traces: generate_suite(scale, seed),
             scale,
+            seed,
         }
+    }
+
+    /// Assembles a suite from pre-generated traces (e.g. a
+    /// [`crate::cache::TraceCache`]). The traces must cover every
+    /// benchmark in [`Benchmark::ALL`] order — the order every
+    /// per-benchmark result vector in the harness is indexed by.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::MissingBenchmark`] naming the first
+    /// benchmark that is absent or out of order.
+    pub fn from_parts(
+        traces: Vec<BenchmarkTrace>,
+        scale: f64,
+        seed: u64,
+    ) -> Result<Self, HarnessError> {
+        for (i, &expected) in Benchmark::ALL.iter().enumerate() {
+            if traces.get(i).map(|t| t.benchmark) != Some(expected) {
+                return Err(HarnessError::MissingBenchmark(expected));
+            }
+        }
+        Ok(Suite {
+            traces,
+            scale,
+            seed,
+        })
     }
 
     /// The traces, in [`Benchmark::ALL`] order.
@@ -34,12 +85,47 @@ impl Suite {
         self.scale
     }
 
+    /// The seed the suite was generated with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// The trace for one benchmark.
-    pub fn trace(&self, benchmark: Benchmark) -> &BenchmarkTrace {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::MissingBenchmark`] if the suite does not
+    /// contain `benchmark` (impossible for suites built through
+    /// [`Suite::generate`] or [`Suite::from_parts`], both of which
+    /// guarantee full coverage).
+    pub fn try_trace(&self, benchmark: Benchmark) -> Result<&BenchmarkTrace, HarnessError> {
         self.traces
             .iter()
             .find(|t| t.benchmark == benchmark)
-            .expect("suite contains every benchmark")
+            .ok_or(HarnessError::MissingBenchmark(benchmark))
+    }
+
+    /// The trace for one benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the suite does not contain `benchmark`; both
+    /// constructors guarantee it does, so this is unreachable short of a
+    /// harness bug. Fallible callers can use [`Suite::try_trace`].
+    pub fn trace(&self, benchmark: Benchmark) -> &BenchmarkTrace {
+        match self.try_trace(benchmark) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// A fingerprint of everything the suite's results depend on, used to
+    /// key sweep checkpoints.
+    pub fn fingerprint(&self) -> Fingerprint {
+        Fingerprint::new("suite-v1")
+            .push_u64(self.scale.to_bits())
+            .push_u64(self.seed)
+            .push_u64(self.traces.len() as u64)
     }
 }
 
@@ -56,7 +142,7 @@ pub struct SchemeStats {
 }
 
 impl SchemeStats {
-    fn from_matrices(scheme: Scheme, per_benchmark: Vec<ConfusionMatrix>) -> Self {
+    pub(crate) fn from_matrices(scheme: Scheme, per_benchmark: Vec<ConfusionMatrix>) -> Self {
         let screenings: Vec<Screening> = per_benchmark.iter().map(|m| m.screening()).collect();
         let mean = Screening::mean(&screenings).unwrap_or_default();
         SchemeStats {
@@ -77,6 +163,165 @@ impl SchemeStats {
     }
 }
 
+/// One sweep item that panicked twice (original attempt plus retry).
+#[derive(Clone, Debug)]
+pub struct SweepFailure {
+    /// Index of the work item in the sweep's item list.
+    pub index: usize,
+    /// Human-readable name of the item (scheme notation, cell spec, ...).
+    pub label: String,
+    /// The panic payload, if it was a string.
+    pub message: String,
+}
+
+/// The outcome of a panic-isolated sweep: every slot either a result or
+/// accounted for in `failures`.
+#[derive(Debug)]
+pub struct SweepOutcome<T> {
+    /// Per-item results, index-aligned with the sweep's item list; `None`
+    /// exactly where `failures` has an entry.
+    pub results: Vec<Option<T>>,
+    /// The items that panicked twice.
+    pub failures: Vec<SweepFailure>,
+}
+
+impl<T> SweepOutcome<T> {
+    /// `true` when every item produced a result.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// The successful `(index, result)` pairs.
+    pub fn successes(&self) -> impl Iterator<Item = (usize, &T)> {
+        self.results
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().map(|v| (i, v)))
+    }
+
+    /// Unwraps a fully successful sweep into its results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::WorkerPanic`] listing the failed items if
+    /// any worker panicked twice.
+    pub fn into_complete(self) -> Result<Vec<T>, HarnessError> {
+        if let Some(first) = self.failures.first() {
+            return Err(HarnessError::WorkerPanic {
+                message: first.message.clone(),
+                labels: self.failures.iter().map(|f| f.label.clone()).collect(),
+            });
+        }
+        // No failures means every slot is filled, by construction.
+        Ok(self.results.into_iter().flatten().collect())
+    }
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The panic-isolated work-stealing core: runs `job` for each index in
+/// `todo` (indices into a `total`-slot result vector), catching panics and
+/// retrying each failed item once. Results land in per-slot `OnceLock`s —
+/// lock-free, so no poisoning and no contention on collection.
+fn run_indices<T, J, L>(total: usize, todo: &[usize], job: &J, label: &L) -> SweepOutcome<T>
+where
+    T: Send + Sync,
+    J: Fn(usize) -> T + Sync,
+    L: Fn(usize) -> String + Sync,
+{
+    let threads = worker_count(todo.len());
+    let next = AtomicUsize::new(0);
+    let slots: Vec<OnceLock<Result<T, SweepFailure>>> =
+        (0..total).map(|_| OnceLock::new()).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let k = next.fetch_add(1, Ordering::Relaxed);
+                if k >= todo.len() {
+                    break;
+                }
+                let i = todo[k];
+                let attempt = || catch_unwind(AssertUnwindSafe(|| job(i)));
+                let outcome = match attempt() {
+                    Ok(v) => Ok(v),
+                    // Retry once: transient failures (e.g. allocation
+                    // pressure) get a second chance; deterministic
+                    // panics fail cleanly.
+                    Err(_) => attempt().map_err(|payload| SweepFailure {
+                        index: i,
+                        label: label(i),
+                        message: panic_message(payload.as_ref()),
+                    }),
+                };
+                // Each index is claimed exactly once, so the slot is
+                // always empty; a second set is a harness bug but not
+                // worth panicking a worker over.
+                let _ = slots[i].set(outcome);
+            });
+        }
+    });
+    let mut results: Vec<Option<T>> = Vec::with_capacity(total);
+    let mut failures = Vec::new();
+    for slot in slots {
+        match slot.into_inner() {
+            Some(Ok(v)) => results.push(Some(v)),
+            Some(Err(f)) => {
+                failures.push(f);
+                results.push(None);
+            }
+            None => results.push(None), // index was not in `todo`
+        }
+    }
+    SweepOutcome { results, failures }
+}
+
+/// Runs a checkpointed sweep: resumes completed cells from `ckpt`, runs
+/// the remainder in panic-isolated chunks, and appends each chunk's
+/// results to the log before starting the next (periodic persistence — an
+/// interrupted run loses at most one chunk of work).
+fn run_checkpointed<T, J, L>(
+    total: usize,
+    ckpt: &mut SweepCheckpoint<T>,
+    done: Vec<(usize, T)>,
+    job: &J,
+    label: &L,
+) -> Result<SweepOutcome<T>, HarnessError>
+where
+    T: CheckpointPayload + Send + Sync,
+    J: Fn(usize) -> T + Sync,
+    L: Fn(usize) -> String + Sync,
+{
+    let mut results: Vec<Option<T>> = (0..total).map(|_| None).collect();
+    for (i, v) in done {
+        if i < total {
+            results[i] = Some(v);
+        }
+    }
+    let todo: Vec<usize> = (0..total).filter(|&i| results[i].is_none()).collect();
+    let chunk_size = (worker_count(todo.len()) * 4).max(1);
+    let mut failures = Vec::new();
+    for chunk in todo.chunks(chunk_size) {
+        let outcome = run_indices(total, chunk, job, label);
+        for (i, r) in outcome.results.into_iter().enumerate() {
+            if let Some(v) = r {
+                ckpt.record(i, &v)?;
+                results[i] = Some(v);
+            }
+        }
+        failures.extend(outcome.failures);
+    }
+    Ok(SweepOutcome { results, failures })
+}
+
 /// Evaluates one scheme over every benchmark (sequentially).
 pub fn evaluate_scheme(suite: &Suite, scheme: &Scheme) -> SchemeStats {
     let per_benchmark = suite
@@ -87,29 +332,61 @@ pub fn evaluate_scheme(suite: &Suite, scheme: &Scheme) -> SchemeStats {
     SchemeStats::from_matrices(*scheme, per_benchmark)
 }
 
+/// Evaluates many schemes in parallel with panic isolation: a scheme whose
+/// evaluation panics (twice) is reported in the outcome's `failures`, the
+/// rest still complete.
+pub fn try_evaluate_schemes(suite: &Suite, schemes: &[Scheme]) -> SweepOutcome<SchemeStats> {
+    let todo: Vec<usize> = (0..schemes.len()).collect();
+    run_indices(
+        schemes.len(),
+        &todo,
+        &|i| evaluate_scheme(suite, &schemes[i]),
+        &|i| schemes[i].to_string(),
+    )
+}
+
 /// Evaluates many schemes in parallel (work-stealing over a shared index).
+///
+/// # Panics
+///
+/// Panics if any scheme's evaluation panics twice in a row (see
+/// [`try_evaluate_schemes`] for the fallible form).
 pub fn evaluate_schemes(suite: &Suite, schemes: &[Scheme]) -> Vec<SchemeStats> {
-    let threads = worker_count(schemes.len());
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<SchemeStats>>> = Mutex::new(vec![None; schemes.len()]);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= schemes.len() {
-                    break;
-                }
-                let stats = evaluate_scheme(suite, &schemes[i]);
-                results.lock().expect("no panics hold the lock")[i] = Some(stats);
-            });
-        }
-    });
-    results
-        .into_inner()
-        .expect("scope joined all workers")
-        .into_iter()
-        .map(|s| s.expect("every slot filled"))
-        .collect()
+    match try_evaluate_schemes(suite, schemes).into_complete() {
+        Ok(v) => v,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`try_evaluate_schemes`] with a resumable checkpoint at `path`.
+///
+/// The checkpoint is keyed by the suite and scheme list: resuming with a
+/// different suite or scheme set restarts from scratch rather than mixing
+/// results. A resumed sweep's results are bitwise identical to an
+/// uninterrupted run's.
+///
+/// # Errors
+///
+/// Returns [`HarnessError::Io`]/[`HarnessError::Checkpoint`] on
+/// checkpoint failures. Worker panics are *not* errors; they are reported
+/// in the outcome.
+pub fn evaluate_schemes_checkpointed(
+    suite: &Suite,
+    schemes: &[Scheme],
+    path: &Path,
+) -> Result<SweepOutcome<SchemeStats>, HarnessError> {
+    let mut fp = suite.fingerprint().push(b"schemes-v1");
+    for s in schemes {
+        fp = fp.push(s.to_string().as_bytes());
+    }
+    let (mut ckpt, done) = SweepCheckpoint::open(path, fp.finish())?;
+    run_checkpointed(
+        schemes.len(),
+        &mut ckpt,
+        done,
+        &|i| evaluate_scheme(suite, &schemes[i]),
+        &|i| schemes[i].to_string(),
+    )
 }
 
 /// One cell of a family sweep: all `union`/`inter` depths for one
@@ -126,22 +403,51 @@ pub struct FamilyCell {
 
 impl FamilyCell {
     /// Extracts the [`SchemeStats`] for `function` at `depth` (1-based).
-    pub fn stats(&self, function: PredictionFunction, depth: usize) -> SchemeStats {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::MissingFamily`] for functions a family
+    /// sweep does not evaluate (`pas`, `overlap-last`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` exceeds the sweep's `max_depth` (a caller bug:
+    /// the sweep never produced that depth), or if `depth != 1` for
+    /// `last`.
+    pub fn try_stats(
+        &self,
+        function: PredictionFunction,
+        depth: usize,
+    ) -> Result<SchemeStats, HarnessError> {
         let matrices: Vec<ConfusionMatrix> = self
             .per_benchmark
             .iter()
             .map(|f| match function {
-                PredictionFunction::Union => f.union[depth - 1],
-                PredictionFunction::Inter => f.inter[depth - 1],
+                PredictionFunction::Union => Ok(f.union[depth - 1]),
+                PredictionFunction::Inter => Ok(f.inter[depth - 1]),
                 PredictionFunction::Last => {
-                    assert_eq!(depth, 1);
-                    f.union[0]
+                    assert_eq!(depth, 1, "last prediction has a fixed depth of 1");
+                    Ok(f.union[0])
                 }
-                other => panic!("family sweep has no {other} results"),
+                PredictionFunction::Pas | PredictionFunction::OverlapLast => {
+                    Err(HarnessError::MissingFamily(function))
+                }
             })
-            .collect();
+            .collect::<Result<_, _>>()?;
         let scheme = Scheme::new(function, self.index, depth, self.update);
-        SchemeStats::from_matrices(scheme, matrices)
+        Ok(SchemeStats::from_matrices(scheme, matrices))
+    }
+
+    /// Extracts the [`SchemeStats`] for `function` at `depth` (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics where [`FamilyCell::try_stats`] errors.
+    pub fn stats(&self, function: PredictionFunction, depth: usize) -> SchemeStats {
+        match self.try_stats(function, depth) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Mean screening across benchmarks for `function` at `depth`.
@@ -150,48 +456,107 @@ impl FamilyCell {
     }
 }
 
+/// The `(index, update)` grid of a family sweep, in sweep order.
+fn family_cells(indexes: &[IndexSpec], updates: &[UpdateMode]) -> Vec<(IndexSpec, UpdateMode)> {
+    indexes
+        .iter()
+        .flat_map(|&ix| updates.iter().map(move |&u| (ix, u)))
+        .collect()
+}
+
+fn family_job<'a>(
+    suite: &'a Suite,
+    cells: &'a [(IndexSpec, UpdateMode)],
+    max_depth: usize,
+) -> impl Fn(usize) -> FamilyCell + Sync + 'a {
+    move |i| {
+        let (index, update) = cells[i];
+        let per_benchmark = suite
+            .traces
+            .iter()
+            .map(|b| run_history_family(&b.trace, index, update, max_depth))
+            .collect();
+        FamilyCell {
+            index,
+            update,
+            per_benchmark,
+        }
+    }
+}
+
+fn family_label<'a>(cells: &'a [(IndexSpec, UpdateMode)]) -> impl Fn(usize) -> String + Sync + 'a {
+    move |i| {
+        let (index, update) = cells[i];
+        format!("family({index})[{update}]")
+    }
+}
+
+/// Sweeps the `union`/`inter` family over every `(index, update)` pair in
+/// parallel with panic isolation. The depth dimension comes for free
+/// (single pass per cell).
+pub fn try_sweep_families(
+    suite: &Suite,
+    indexes: &[IndexSpec],
+    updates: &[UpdateMode],
+    max_depth: usize,
+) -> SweepOutcome<FamilyCell> {
+    let cells = family_cells(indexes, updates);
+    let todo: Vec<usize> = (0..cells.len()).collect();
+    let job = family_job(suite, &cells, max_depth);
+    let label = family_label(&cells);
+    run_indices(cells.len(), &todo, &job, &label)
+}
+
 /// Sweeps the `union`/`inter` family over every `(index, update)` pair, in
 /// parallel. The depth dimension comes for free (single pass per cell).
+///
+/// # Panics
+///
+/// Panics if any cell's evaluation panics twice in a row (see
+/// [`try_sweep_families`] for the fallible form).
 pub fn sweep_families(
     suite: &Suite,
     indexes: &[IndexSpec],
     updates: &[UpdateMode],
     max_depth: usize,
 ) -> Vec<FamilyCell> {
-    let cells: Vec<(IndexSpec, UpdateMode)> = indexes
-        .iter()
-        .flat_map(|&ix| updates.iter().map(move |&u| (ix, u)))
-        .collect();
-    let threads = worker_count(cells.len());
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<FamilyCell>>> = Mutex::new(vec![None; cells.len()]);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= cells.len() {
-                    break;
-                }
-                let (index, update) = cells[i];
-                let per_benchmark = suite
-                    .traces
-                    .iter()
-                    .map(|b| run_history_family(&b.trace, index, update, max_depth))
-                    .collect();
-                results.lock().expect("no panics hold the lock")[i] = Some(FamilyCell {
-                    index,
-                    update,
-                    per_benchmark,
-                });
-            });
-        }
-    });
-    results
-        .into_inner()
-        .expect("scope joined all workers")
-        .into_iter()
-        .map(|c| c.expect("every slot filled"))
-        .collect()
+    match try_sweep_families(suite, indexes, updates, max_depth).into_complete() {
+        Ok(v) => v,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`try_sweep_families`] with a resumable checkpoint at `path`.
+///
+/// Keyed by the suite and the full `(indexes, updates, max_depth)` grid;
+/// a resumed sweep is bitwise identical to an uninterrupted one.
+///
+/// # Errors
+///
+/// Returns [`HarnessError::Io`]/[`HarnessError::Checkpoint`] on
+/// checkpoint failures. Worker panics are reported in the outcome, not as
+/// errors.
+pub fn sweep_families_checkpointed(
+    suite: &Suite,
+    indexes: &[IndexSpec],
+    updates: &[UpdateMode],
+    max_depth: usize,
+    path: &Path,
+) -> Result<SweepOutcome<FamilyCell>, HarnessError> {
+    let cells = family_cells(indexes, updates);
+    let mut fp = suite
+        .fingerprint()
+        .push(b"families-v1")
+        .push_u64(max_depth as u64);
+    for (index, update) in &cells {
+        fp = fp
+            .push(format!("{index}").as_bytes())
+            .push(format!("{update}").as_bytes());
+    }
+    let (mut ckpt, done) = SweepCheckpoint::open(path, fp.finish())?;
+    let job = family_job(suite, &cells, max_depth);
+    let label = family_label(&cells);
+    run_checkpointed(cells.len(), &mut ckpt, done, &job, &label)
 }
 
 fn worker_count(tasks: usize) -> usize {
@@ -215,6 +580,35 @@ mod tests {
         assert_eq!(s.traces().len(), 7);
         assert_eq!(s.trace(Benchmark::Gauss).benchmark, Benchmark::Gauss);
         assert!((s.scale() - 0.02).abs() < 1e-12);
+        assert_eq!(s.seed(), 11);
+    }
+
+    #[test]
+    fn from_parts_validates_coverage_and_order() {
+        let s = tiny_suite();
+        let mut traces = s.traces.clone();
+        let rebuilt = Suite::from_parts(traces.clone(), 0.02, 11).expect("full set");
+        assert_eq!(rebuilt.trace(Benchmark::Water).benchmark, Benchmark::Water);
+
+        traces.swap(0, 1);
+        let err = Suite::from_parts(traces.clone(), 0.02, 11).unwrap_err();
+        assert!(matches!(err, HarnessError::MissingBenchmark(_)));
+
+        traces.truncate(3);
+        assert!(Suite::from_parts(traces, 0.02, 11).is_err());
+    }
+
+    #[test]
+    fn try_trace_reports_missing_benchmark() {
+        let s = tiny_suite();
+        assert!(s.try_trace(Benchmark::Mp3d).is_ok());
+        let partial = Suite {
+            traces: Vec::new(),
+            scale: 1.0,
+            seed: 0,
+        };
+        let err = partial.try_trace(Benchmark::Mp3d).unwrap_err();
+        assert!(err.to_string().contains("mp3d"), "{err}");
     }
 
     #[test]
@@ -233,6 +627,55 @@ mod tests {
     }
 
     #[test]
+    fn panicking_item_is_isolated_and_reported() {
+        // Item 2 always panics; the other four must still complete.
+        let todo: Vec<usize> = (0..5).collect();
+        let outcome = run_indices(
+            5,
+            &todo,
+            &|i| {
+                if i == 2 {
+                    panic!("injected failure on item {i}");
+                }
+                i * 10
+            },
+            &|i| format!("item {i}"),
+        );
+        assert_eq!(outcome.failures.len(), 1);
+        assert_eq!(outcome.failures[0].index, 2);
+        assert_eq!(outcome.failures[0].label, "item 2");
+        assert!(outcome.failures[0].message.contains("injected failure"));
+        assert!(!outcome.is_complete());
+        let ok: Vec<(usize, &usize)> = outcome.successes().collect();
+        assert_eq!(ok.len(), 4);
+        for (i, &v) in ok {
+            assert_eq!(v, i * 10);
+        }
+        let err = outcome.into_complete().unwrap_err();
+        assert!(matches!(err, HarnessError::WorkerPanic { .. }), "{err}");
+    }
+
+    #[test]
+    fn flaky_item_succeeds_on_retry() {
+        use std::sync::atomic::AtomicBool;
+        let tripped = AtomicBool::new(false);
+        let todo = [0usize];
+        let outcome = run_indices(
+            1,
+            &todo,
+            &|i| {
+                if !tripped.swap(true, Ordering::SeqCst) {
+                    panic!("transient failure");
+                }
+                i + 1
+            },
+            &|i| format!("item {i}"),
+        );
+        assert!(outcome.is_complete());
+        assert_eq!(outcome.into_complete().unwrap(), vec![1]);
+    }
+
+    #[test]
     fn family_cell_matches_direct_evaluation() {
         let suite = tiny_suite();
         let ix = IndexSpec::new(true, 4, false, 4);
@@ -247,6 +690,25 @@ mod tests {
     }
 
     #[test]
+    fn try_stats_rejects_unswept_functions() {
+        let suite = tiny_suite();
+        let ix = IndexSpec::new(true, 4, false, 4);
+        let cells = sweep_families(&suite, &[ix], &[UpdateMode::Direct], 2);
+        let err = cells[0].try_stats(PredictionFunction::Pas, 1).unwrap_err();
+        assert!(matches!(err, HarnessError::MissingFamily(_)), "{err}");
+        assert!(cells[0].try_stats(PredictionFunction::Union, 2).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "family sweep has no pas results")]
+    fn stats_panic_message_names_the_function() {
+        let suite = tiny_suite();
+        let ix = IndexSpec::new(false, 2, false, 2);
+        let cells = sweep_families(&suite, &[ix], &[UpdateMode::Direct], 1);
+        let _ = cells[0].stats(PredictionFunction::Pas, 1);
+    }
+
+    #[test]
     fn scheme_stats_aggregates_mean() {
         let suite = tiny_suite();
         let stats = evaluate_scheme(&suite, &"last(pid+pc8)1".parse().unwrap());
@@ -255,6 +717,70 @@ mod tests {
         let mean = Screening::mean(&manual).unwrap();
         assert!((stats.mean.pvp - mean.pvp).abs() < 1e-12);
         assert!(stats.size_log2() >= 16);
+    }
+
+    #[test]
+    fn checkpointed_schemes_resume_bitwise_identical() {
+        let suite = Suite::generate(0.01, 4);
+        let schemes: Vec<Scheme> = ["last(pid+pc8)1", "union(pid+pc8)2", "inter(dir+add8)2"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let path = std::env::temp_dir().join(format!("csp-runner-ckpt-{}.bin", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        let fresh = evaluate_schemes(&suite, &schemes);
+        // First pass populates the checkpoint...
+        let first = evaluate_schemes_checkpointed(&suite, &schemes, &path)
+            .unwrap()
+            .into_complete()
+            .unwrap();
+        // ...second pass resumes everything from it (no recomputation).
+        let resumed = evaluate_schemes_checkpointed(&suite, &schemes, &path)
+            .unwrap()
+            .into_complete()
+            .unwrap();
+        for ((a, b), c) in fresh.iter().zip(&first).zip(&resumed) {
+            assert_eq!(a.scheme, b.scheme);
+            assert_eq!(a.per_benchmark, b.per_benchmark);
+            assert_eq!(b.per_benchmark, c.per_benchmark);
+            // Bitwise on the derived floats too.
+            assert_eq!(a.mean.pvp.to_bits(), c.mean.pvp.to_bits());
+            assert_eq!(a.mean.sensitivity.to_bits(), c.mean.sensitivity.to_bits());
+            assert_eq!(a.mean.prevalence.to_bits(), c.mean.prevalence.to_bits());
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpointed_families_skip_finished_cells() {
+        let suite = Suite::generate(0.01, 4);
+        let indexes = [
+            IndexSpec::new(true, 2, false, 0),
+            IndexSpec::new(false, 0, true, 2),
+        ];
+        let updates = [UpdateMode::Direct];
+        let path =
+            std::env::temp_dir().join(format!("csp-runner-famckpt-{}.bin", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        let fresh = sweep_families(&suite, &indexes, &updates, 2);
+        let first = sweep_families_checkpointed(&suite, &indexes, &updates, 2, &path)
+            .unwrap()
+            .into_complete()
+            .unwrap();
+        let resumed = sweep_families_checkpointed(&suite, &indexes, &updates, 2, &path)
+            .unwrap()
+            .into_complete()
+            .unwrap();
+        assert_eq!(fresh.len(), resumed.len());
+        for ((a, b), c) in fresh.iter().zip(&first).zip(&resumed) {
+            assert_eq!(a.index, c.index);
+            assert_eq!(a.update, c.update);
+            assert_eq!(a.per_benchmark, b.per_benchmark);
+            assert_eq!(b.per_benchmark, c.per_benchmark);
+        }
+        let _ = std::fs::remove_file(&path);
     }
 }
 

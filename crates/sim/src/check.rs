@@ -1,0 +1,314 @@
+//! Golden-model checking of the coherence protocol.
+//!
+//! [`FlatModel`] is an independent *flat* reference implementation of the
+//! sharing semantics — no caches, no LRU, no hierarchy; just "who wrote
+//! last, who read since" bookkeeping per line. As long as capacity
+//! evictions cannot occur, it predicts exactly which accesses are
+//! coherence store misses and what feedback each carries, so running both
+//! models over the same access stream and demanding identical traces
+//! checks the full cache/directory/protocol stack against a twenty-line
+//! specification.
+//!
+//! Two detection channels cover the two classes of directory corruption
+//! (see [`crate::directory::DirFault`]):
+//!
+//! * structural damage (empty sharer sets, foreign reader bits) is caught
+//!   by [`crate::directory::Directory::check_invariants`];
+//! * semantically incoherent but structurally well-formed damage (lost or
+//!   phantom sharers) is caught by divergence from this model —
+//!   [`compare_traces`] names the first differing event.
+
+use crate::MemAccess;
+use csp_trace::{LineAddr, NodeId, Pc, SharingBitmap, SharingEvent, Trace};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Per-line state of the reference model.
+#[derive(Clone)]
+struct FlatLine {
+    owner: Option<NodeId>,
+    readers: SharingBitmap,
+    holders: SharingBitmap,
+    last_writer: Option<(NodeId, Pc)>,
+    home: NodeId,
+}
+
+/// The flat reference model (MSI semantics).
+///
+/// # Example
+///
+/// ```
+/// use csp_sim::check::FlatModel;
+/// use csp_sim::MemAccess;
+/// use csp_trace::NodeId;
+///
+/// let mut model = FlatModel::new(16);
+/// model.access(MemAccess::write(NodeId(0), 1, 0));
+/// model.access(MemAccess::read(NodeId(1), 2, 0));
+/// model.access(MemAccess::write(NodeId(0), 1, 0)); // invalidates node 1
+/// let trace = model.finish();
+/// assert_eq!(trace.len(), 2);
+/// assert_eq!(trace.events()[1].invalidated.count(), 1);
+/// ```
+pub struct FlatModel {
+    lines: HashMap<u64, FlatLine>,
+    trace: Trace,
+}
+
+impl FlatModel {
+    /// A fresh model of an `nodes`-node machine.
+    pub fn new(nodes: usize) -> Self {
+        FlatModel {
+            lines: HashMap::new(),
+            trace: Trace::new(nodes),
+        }
+    }
+
+    fn line(&mut self, line: u64, toucher: NodeId) -> &mut FlatLine {
+        self.lines.entry(line).or_insert_with(|| FlatLine {
+            owner: None,
+            readers: SharingBitmap::empty(),
+            holders: SharingBitmap::empty(),
+            last_writer: None,
+            home: toucher,
+        })
+    }
+
+    /// Processes one access (64-byte line granularity, like the real
+    /// simulator).
+    pub fn access(&mut self, a: MemAccess) {
+        let line = a.addr / 64;
+        let entry = self.line(line, a.node);
+        if a.is_write {
+            // Silent iff the writer already owns the line exclusively.
+            let silent =
+                entry.owner == Some(a.node) && entry.holders == SharingBitmap::singleton(a.node);
+            if !silent {
+                let feedback = entry.readers.without(a.node);
+                let event = SharingEvent::new(
+                    a.node,
+                    a.pc,
+                    LineAddr(line),
+                    entry.home,
+                    feedback,
+                    entry.last_writer,
+                );
+                entry.owner = Some(a.node);
+                entry.holders = SharingBitmap::singleton(a.node);
+                entry.readers = SharingBitmap::empty();
+                entry.last_writer = Some((a.node, a.pc));
+                self.trace.push(event);
+            }
+        } else {
+            // A read by a non-holder joins the sharers and sets its
+            // access bit; the owner keeps a (now shared) copy.
+            if !entry.holders.contains(a.node) {
+                entry.holders.insert(a.node);
+                entry.readers.insert(a.node);
+            }
+        }
+    }
+
+    /// Ends the run, resolving final reader sets, and returns the
+    /// reference trace.
+    pub fn finish(mut self) -> Trace {
+        let lines: Vec<(u64, SharingBitmap)> =
+            self.lines.iter().map(|(l, e)| (*l, e.readers)).collect();
+        for (line, readers) in lines {
+            if !readers.is_empty() {
+                self.trace.set_final_readers(LineAddr(line), readers);
+            }
+        }
+        self.trace
+    }
+}
+
+/// Runs a whole access stream through a fresh [`FlatModel`] and returns
+/// the reference trace.
+pub fn reference_trace<I: IntoIterator<Item = MemAccess>>(nodes: usize, accesses: I) -> Trace {
+    let mut model = FlatModel::new(nodes);
+    for a in accesses {
+        model.access(a);
+    }
+    model.finish()
+}
+
+/// The first point where a simulated trace departs from the reference.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceDivergence {
+    /// The traces have different event counts.
+    LengthMismatch {
+        /// Events in the trace under test.
+        actual: usize,
+        /// Events in the reference trace.
+        reference: usize,
+    },
+    /// Event `index` differs between the two traces.
+    EventMismatch {
+        /// Index of the first differing event.
+        index: usize,
+        /// The event the trace under test produced.
+        actual: Box<SharingEvent>,
+        /// The event the reference model produced.
+        reference: Box<SharingEvent>,
+    },
+    /// The events agree but the resolved ground-truth (actual future
+    /// readers) of event `index` differs — the final sharer state of
+    /// memory diverged.
+    ActualsMismatch {
+        /// Index of the first event with differing ground truth.
+        index: usize,
+        /// Ground truth in the trace under test.
+        actual: SharingBitmap,
+        /// Ground truth in the reference trace.
+        reference: SharingBitmap,
+    },
+}
+
+impl fmt::Display for TraceDivergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceDivergence::LengthMismatch { actual, reference } => write!(
+                f,
+                "trace has {actual} events where the reference has {reference}"
+            ),
+            TraceDivergence::EventMismatch { index, .. } => {
+                write!(f, "event {index} differs from the reference")
+            }
+            TraceDivergence::ActualsMismatch { index, .. } => {
+                write!(
+                    f,
+                    "ground truth of event {index} differs from the reference"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceDivergence {}
+
+/// Compares a simulated trace against the reference model's, returning the
+/// first divergence (events first, then resolved ground truth).
+///
+/// # Errors
+///
+/// Returns the first [`TraceDivergence`] found; `Ok(())` means the traces
+/// are behaviourally identical.
+pub fn compare_traces(actual: &Trace, reference: &Trace) -> Result<(), TraceDivergence> {
+    if actual.len() != reference.len() {
+        return Err(TraceDivergence::LengthMismatch {
+            actual: actual.len(),
+            reference: reference.len(),
+        });
+    }
+    for (index, (a, r)) in actual.events().iter().zip(reference.events()).enumerate() {
+        if a != r {
+            return Err(TraceDivergence::EventMismatch {
+                index,
+                actual: Box::new(*a),
+                reference: Box::new(*r),
+            });
+        }
+    }
+    for (index, (a, r)) in actual
+        .resolve_actuals()
+        .into_iter()
+        .zip(reference.resolve_actuals())
+        .enumerate()
+    {
+        if a != r {
+            return Err(TraceDivergence::ActualsMismatch {
+                index,
+                actual: a,
+                reference: r,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CacheConfig, MemorySystem, SystemConfig};
+
+    #[test]
+    fn flat_model_sanity() {
+        // Deterministic miniature: the reference model's own behaviour.
+        let mut m = FlatModel::new(16);
+        m.access(MemAccess::write(NodeId(0), 1, 0));
+        m.access(MemAccess::read(NodeId(1), 2, 0));
+        m.access(MemAccess::write(NodeId(0), 1, 0)); // upgrade: invalidates 1
+        let trace = m.finish();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(
+            trace.events()[1].invalidated,
+            SharingBitmap::from_nodes(&[NodeId(1)])
+        );
+    }
+
+    #[test]
+    fn simulator_matches_reference_on_a_small_stream() {
+        let mut cfg = SystemConfig::paper_16_node();
+        cfg.l1 = CacheConfig::new(1 << 22, 4, 64);
+        cfg.l2 = CacheConfig::new(1 << 24, 8, 64);
+        let stream: Vec<MemAccess> = (0..200u64)
+            .map(|i| {
+                let node = NodeId((i % 7) as u8);
+                let addr = (i % 11) * 64;
+                if i % 3 == 0 {
+                    MemAccess::write(node, (i % 5) as u32, addr)
+                } else {
+                    MemAccess::read(node, (i % 5) as u32, addr)
+                }
+            })
+            .collect();
+        let mut sys = MemorySystem::new(cfg);
+        for &a in &stream {
+            sys.access(a);
+        }
+        let (trace, _) = sys.finish();
+        let reference = reference_trace(16, stream);
+        assert_eq!(compare_traces(&trace, &reference), Ok(()));
+    }
+
+    #[test]
+    fn compare_traces_reports_divergence_kind() {
+        let mut a = Trace::new(4);
+        a.push(SharingEvent::new(
+            NodeId(0),
+            Pc(1),
+            LineAddr(1),
+            NodeId(0),
+            SharingBitmap::empty(),
+            None,
+        ));
+        let b = Trace::new(4);
+        assert!(matches!(
+            compare_traces(&a, &b),
+            Err(TraceDivergence::LengthMismatch { .. })
+        ));
+
+        let mut c = Trace::new(4);
+        c.push(SharingEvent::new(
+            NodeId(1),
+            Pc(1),
+            LineAddr(1),
+            NodeId(0),
+            SharingBitmap::empty(),
+            None,
+        ));
+        assert!(matches!(
+            compare_traces(&a, &c),
+            Err(TraceDivergence::EventMismatch { index: 0, .. })
+        ));
+
+        // Same events, different final reader state: ground truth differs.
+        let mut d = a.clone();
+        d.set_final_readers(LineAddr(1), SharingBitmap::singleton(NodeId(2)));
+        assert!(matches!(
+            compare_traces(&a, &d),
+            Err(TraceDivergence::ActualsMismatch { index: 0, .. })
+        ));
+    }
+}

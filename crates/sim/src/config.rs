@@ -36,7 +36,7 @@ impl CacheConfig {
         assert!(associativity > 0, "associativity must be positive");
         let way_bytes = u64::from(associativity) * line_size;
         assert!(
-            size_bytes > 0 && size_bytes % way_bytes == 0,
+            size_bytes > 0 && size_bytes.is_multiple_of(way_bytes),
             "size must be a positive multiple of associativity x line size"
         );
         let cfg = CacheConfig {
@@ -175,7 +175,7 @@ impl SystemConfig {
             "node count out of range"
         );
         assert!(
-            self.torus_width > 0 && self.nodes % self.torus_width == 0,
+            self.torus_width > 0 && self.nodes.is_multiple_of(self.torus_width),
             "torus width {} does not tile {} nodes",
             self.torus_width,
             self.nodes

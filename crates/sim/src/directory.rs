@@ -10,6 +10,135 @@
 
 use csp_trace::{LineAddr, NodeId, Pc, SharingBitmap};
 use std::collections::HashMap;
+use std::fmt;
+
+/// A violation of the directory's coherence invariants: the typed form of
+/// what [`Directory::assert_invariants`] panics with, so protocol checkers
+/// and fault-injection harnesses can match on *which* invariant broke.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoherenceViolation {
+    /// An uncached line still has reader access bits.
+    UncachedWithReaders {
+        /// The offending line.
+        line: LineAddr,
+        /// The leftover access bits.
+        readers: SharingBitmap,
+    },
+    /// An exclusive line's owner id is outside the machine.
+    OwnerOutsideMachine {
+        /// The offending line.
+        line: LineAddr,
+        /// The bogus owner.
+        owner: NodeId,
+    },
+    /// An exclusive line has access bits for nodes other than the owner.
+    ForeignReadersOnExclusive {
+        /// The offending line.
+        line: LineAddr,
+        /// The full access-bit set.
+        readers: SharingBitmap,
+    },
+    /// A shared line has an empty holder set.
+    SharedWithNoHolders {
+        /// The offending line.
+        line: LineAddr,
+    },
+    /// A shared line's holder set names nodes outside the machine.
+    HoldersOutsideMachine {
+        /// The offending line.
+        line: LineAddr,
+        /// The out-of-range holder set.
+        holders: SharingBitmap,
+    },
+    /// A shared line has access bits for nodes that hold no copy.
+    ReadersNotWithinHolders {
+        /// The offending line.
+        line: LineAddr,
+        /// The access bits.
+        readers: SharingBitmap,
+        /// The holder set.
+        holders: SharingBitmap,
+    },
+}
+
+impl fmt::Display for CoherenceViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoherenceViolation::UncachedWithReaders { line, readers } => {
+                write!(f, "{line}: uncached line has reader bits {readers}")
+            }
+            CoherenceViolation::OwnerOutsideMachine { line, owner } => {
+                write!(f, "{line}: owner {owner} outside machine")
+            }
+            CoherenceViolation::ForeignReadersOnExclusive { line, readers } => {
+                write!(
+                    f,
+                    "{line}: exclusive line has foreign reader bits {readers}"
+                )
+            }
+            CoherenceViolation::SharedWithNoHolders { line } => {
+                write!(f, "{line}: shared with no holders")
+            }
+            CoherenceViolation::HoldersOutsideMachine { line, holders } => {
+                write!(f, "{line}: holders {holders} outside machine")
+            }
+            CoherenceViolation::ReadersNotWithinHolders {
+                line,
+                readers,
+                holders,
+            } => {
+                write!(f, "{line}: readers {readers} not within holders {holders}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoherenceViolation {}
+
+/// A deliberate corruption of directory state, for fault-injection tests:
+/// each variant models a distinct bookkeeping bug (lost invalidation,
+/// spurious grant, owner mix-up) whose incoherence the checkers must
+/// flag — structurally via [`Directory::check_invariants`] or behaviourally
+/// via divergence from the [`crate::check::FlatModel`] golden model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DirFault {
+    /// Forget one sharer of a `Shared` line (holder and access bit): the
+    /// node keeps a stale copy the directory will never invalidate.
+    DropSharer {
+        /// The line to corrupt.
+        line: LineAddr,
+        /// The sharer to forget.
+        node: NodeId,
+    },
+    /// Record a sharer (holder *and* reader) that never requested the
+    /// line: its phantom access bit pollutes the next write's feedback.
+    PhantomSharer {
+        /// The line to corrupt.
+        line: LineAddr,
+        /// The phantom node.
+        node: NodeId,
+    },
+    /// Hand an `Exclusive` line's ownership to a different node without a
+    /// data transfer.
+    RedirectOwner {
+        /// The line to corrupt.
+        line: LineAddr,
+        /// The new (wrong) owner.
+        node: NodeId,
+    },
+    /// Set a foreign reader access bit on an `Exclusive` line.
+    LeakReaderBit {
+        /// The line to corrupt.
+        line: LineAddr,
+        /// The node whose bit to set.
+        node: NodeId,
+    },
+    /// Empty a `Shared` line's holder set while leaving it `Shared`.
+    ClearSharers {
+        /// The line to corrupt.
+        line: LineAddr,
+    },
+}
 
 /// Global coherence state of one line.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -109,46 +238,144 @@ impl Directory {
 
     /// Checks the single-owner invariant: an `Exclusive` line has no reader
     /// access bits set except possibly the owner's, and `Shared` bitmaps are
-    /// non-empty and within the machine width. Used by tests.
+    /// non-empty and within the machine width.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CoherenceViolation`] found (iteration order over
+    /// lines is unspecified).
+    pub fn check_invariants(&self) -> Result<(), CoherenceViolation> {
+        for (line, e) in &self.entries {
+            let line = *line;
+            match e.state {
+                DirState::Uncached => {
+                    if !e.readers.is_empty() {
+                        return Err(CoherenceViolation::UncachedWithReaders {
+                            line,
+                            readers: e.readers,
+                        });
+                    }
+                }
+                DirState::Exclusive(owner) => {
+                    if owner.index() >= self.nodes {
+                        return Err(CoherenceViolation::OwnerOutsideMachine { line, owner });
+                    }
+                    // MESI grants clean-exclusive copies to readers, so the
+                    // owner's own access bit may be set; nobody else's.
+                    if !e
+                        .readers
+                        .is_subset(csp_trace::SharingBitmap::singleton(owner))
+                    {
+                        return Err(CoherenceViolation::ForeignReadersOnExclusive {
+                            line,
+                            readers: e.readers,
+                        });
+                    }
+                }
+                DirState::Shared(holders) => {
+                    if holders.is_empty() {
+                        return Err(CoherenceViolation::SharedWithNoHolders { line });
+                    }
+                    if holders.masked(self.nodes) != holders {
+                        return Err(CoherenceViolation::HoldersOutsideMachine { line, holders });
+                    }
+                    if !e.readers.is_subset(holders) {
+                        return Err(CoherenceViolation::ReadersNotWithinHolders {
+                            line,
+                            readers: e.readers,
+                            holders,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// [`check_invariants`](Self::check_invariants) for tests that want a
+    /// panic.
     ///
     /// # Panics
     ///
-    /// Panics if any invariant is violated.
+    /// Panics with the violation's message if any invariant is violated.
     pub fn assert_invariants(&self) {
-        for (line, e) in &self.entries {
-            match e.state {
-                DirState::Uncached => {
-                    assert!(
-                        e.readers.is_empty(),
-                        "{line}: uncached line has reader bits {}",
-                        e.readers
-                    );
+        if let Err(violation) = self.check_invariants() {
+            panic!("{violation}");
+        }
+    }
+
+    /// Applies a [`DirFault`] — a deliberate state corruption for
+    /// fault-injection tests. Returns `false` when the fault is not
+    /// applicable (line never touched, or its state does not match the
+    /// fault's precondition), so harnesses can tell "injected" from
+    /// "no-op".
+    pub fn inject_fault(&mut self, fault: DirFault) -> bool {
+        match fault {
+            DirFault::DropSharer { line, node } => {
+                let Some(e) = self.entries.get_mut(&line) else {
+                    return false;
+                };
+                let DirState::Shared(mut holders) = e.state else {
+                    return false;
+                };
+                if !holders.contains(node) {
+                    return false;
                 }
-                DirState::Exclusive(owner) => {
-                    assert!(owner.index() < self.nodes, "{line}: owner outside machine");
-                    // MESI grants clean-exclusive copies to readers, so the
-                    // owner's own access bit may be set; nobody else's.
-                    assert!(
-                        e.readers
-                            .is_subset(csp_trace::SharingBitmap::singleton(owner)),
-                        "{line}: exclusive line has foreign reader bits {}",
-                        e.readers
-                    );
+                holders.remove(node);
+                e.state = DirState::Shared(holders);
+                e.readers.remove(node);
+                true
+            }
+            DirFault::PhantomSharer { line, node } => {
+                let Some(e) = self.entries.get_mut(&line) else {
+                    return false;
+                };
+                let DirState::Shared(mut holders) = e.state else {
+                    return false;
+                };
+                if holders.contains(node) {
+                    return false;
                 }
-                DirState::Shared(holders) => {
-                    assert!(!holders.is_empty(), "{line}: shared with no holders");
-                    assert_eq!(
-                        holders.masked(self.nodes),
-                        holders,
-                        "{line}: holders outside machine"
-                    );
-                    assert!(
-                        e.readers.is_subset(holders),
-                        "{line}: readers {} not within holders {}",
-                        e.readers,
-                        holders
-                    );
+                holders.insert(node);
+                e.state = DirState::Shared(holders);
+                e.readers.insert(node);
+                true
+            }
+            DirFault::RedirectOwner { line, node } => {
+                let Some(e) = self.entries.get_mut(&line) else {
+                    return false;
+                };
+                let DirState::Exclusive(owner) = e.state else {
+                    return false;
+                };
+                if owner == node {
+                    return false;
                 }
+                e.state = DirState::Exclusive(node);
+                true
+            }
+            DirFault::LeakReaderBit { line, node } => {
+                let Some(e) = self.entries.get_mut(&line) else {
+                    return false;
+                };
+                let DirState::Exclusive(owner) = e.state else {
+                    return false;
+                };
+                if owner == node {
+                    return false;
+                }
+                e.readers.insert(node);
+                true
+            }
+            DirFault::ClearSharers { line } => {
+                let Some(e) = self.entries.get_mut(&line) else {
+                    return false;
+                };
+                let DirState::Shared(_) = e.state else {
+                    return false;
+                };
+                e.state = DirState::Shared(SharingBitmap::empty());
+                true
             }
         }
     }
@@ -197,5 +424,82 @@ mod tests {
         e.state = DirState::Exclusive(NodeId(1));
         e.readers = SharingBitmap::singleton(NodeId(2));
         dir.assert_invariants();
+    }
+
+    #[test]
+    fn check_invariants_returns_typed_violation() {
+        let mut dir = Directory::new(4);
+        dir.entry_mut(LineAddr(1), NodeId(0)).state = DirState::Shared(SharingBitmap::empty());
+        assert_eq!(
+            dir.check_invariants(),
+            Err(CoherenceViolation::SharedWithNoHolders { line: LineAddr(1) })
+        );
+    }
+
+    fn shared_line(dir: &mut Directory, line: u64, holders: &[u8]) {
+        let nodes: Vec<NodeId> = holders.iter().map(|&n| NodeId(n)).collect();
+        let e = dir.entry_mut(LineAddr(line), NodeId(holders[0]));
+        e.state = DirState::Shared(SharingBitmap::from_nodes(&nodes));
+        e.readers = SharingBitmap::from_nodes(&nodes);
+    }
+
+    #[test]
+    fn clear_sharers_fault_is_flagged() {
+        let mut dir = Directory::new(4);
+        shared_line(&mut dir, 1, &[0, 2]);
+        assert!(dir.check_invariants().is_ok());
+        assert!(dir.inject_fault(DirFault::ClearSharers { line: LineAddr(1) }));
+        assert!(dir.check_invariants().is_err());
+    }
+
+    #[test]
+    fn leak_reader_bit_fault_is_flagged() {
+        let mut dir = Directory::new(4);
+        dir.entry_mut(LineAddr(1), NodeId(0)).state = DirState::Exclusive(NodeId(1));
+        assert!(dir.inject_fault(DirFault::LeakReaderBit {
+            line: LineAddr(1),
+            node: NodeId(3),
+        }));
+        assert!(matches!(
+            dir.check_invariants(),
+            Err(CoherenceViolation::ForeignReadersOnExclusive { .. })
+        ));
+    }
+
+    #[test]
+    fn inapplicable_faults_report_noop() {
+        let mut dir = Directory::new(4);
+        shared_line(&mut dir, 1, &[0]);
+        // Untouched line.
+        assert!(!dir.inject_fault(DirFault::ClearSharers { line: LineAddr(9) }));
+        // Wrong state: the line is Shared, not Exclusive.
+        assert!(!dir.inject_fault(DirFault::RedirectOwner {
+            line: LineAddr(1),
+            node: NodeId(2),
+        }));
+        // Dropping a node that is not a sharer.
+        assert!(!dir.inject_fault(DirFault::DropSharer {
+            line: LineAddr(1),
+            node: NodeId(3),
+        }));
+        assert!(dir.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn drop_and_phantom_sharers_stay_structurally_valid() {
+        // These two faults corrupt *semantics* (who really holds copies),
+        // not structure — they must slip past check_invariants, which is
+        // exactly why the golden-model divergence check exists.
+        let mut dir = Directory::new(4);
+        shared_line(&mut dir, 1, &[0, 1, 2]);
+        assert!(dir.inject_fault(DirFault::DropSharer {
+            line: LineAddr(1),
+            node: NodeId(1),
+        }));
+        assert!(dir.inject_fault(DirFault::PhantomSharer {
+            line: LineAddr(1),
+            node: NodeId(3),
+        }));
+        assert!(dir.check_invariants().is_ok());
     }
 }

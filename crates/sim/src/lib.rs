@@ -10,6 +10,11 @@
 //! * a full-map directory per home node ([`directory`]) running an
 //!   invalidation protocol ([`protocol`]): write misses and write faults
 //!   invalidate all sharers and transfer exclusive ownership;
+//! * a golden-model protocol checker ([`check`]): an independent flat
+//!   reference implementation plus trace-divergence reporting, and typed
+//!   directory invariant checking with fault injection
+//!   ([`directory::DirFault`]) to prove corrupted coherence state is
+//!   flagged;
 //! * a 2-D torus interconnect and latency model ([`torus`]) used by the
 //!   traffic and forwarding estimators;
 //! * a data-forwarding benefit estimator ([`forwarding`]) for the
@@ -49,6 +54,7 @@
 
 mod access;
 pub mod cache;
+pub mod check;
 mod config;
 pub mod directory;
 pub mod forwarding;

@@ -110,6 +110,20 @@ impl MemorySystem {
         self.engine.stats()
     }
 
+    /// The directory complex, for invariant checking
+    /// ([`crate::directory::Directory::check_invariants`]).
+    pub fn directory(&self) -> &crate::directory::Directory {
+        self.engine.directory()
+    }
+
+    /// Mutable directory access. **Test support only**: exists so
+    /// fault-injection harnesses can corrupt coherence state
+    /// ([`crate::directory::DirFault`]) and prove the checkers flag it;
+    /// mutating the directory mid-run voids the simulation's guarantees.
+    pub fn directory_mut(&mut self) -> &mut crate::directory::Directory {
+        self.engine.directory_mut()
+    }
+
     /// Ends the run, returning the trace (with final reader sets resolved)
     /// and the final statistics.
     pub fn finish(self) -> (Trace, SimStats) {

@@ -83,6 +83,12 @@ impl CoherenceEngine {
         &self.directory
     }
 
+    /// Mutable directory access — fault-injection support
+    /// ([`crate::directory::DirFault`]); not part of the simulation API.
+    pub fn directory_mut(&mut self) -> &mut Directory {
+        &mut self.directory
+    }
+
     /// Statistics accumulated so far.
     pub fn stats(&self) -> &SimStats {
         &self.stats

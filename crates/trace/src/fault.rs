@@ -1,0 +1,219 @@
+//! Byte-level fault injection for the on-disk trace format.
+//!
+//! Test support for the robustness suite: deterministic, seedable
+//! generators of corrupted trace buffers — single-byte flips, truncations,
+//! and splices — used to prove that [`crate::io::read_trace`] never
+//! panics on malformed input and that the v2 checksums catch payload
+//! corruption. Lives in the library (rather than a test file) so the
+//! harness and integration suites can share one mutation engine.
+//!
+//! The generator is a self-contained SplitMix64 so mutations reproduce
+//! exactly from a seed, independent of any external RNG crate.
+
+/// One concrete corruption applied to a byte buffer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// XOR the byte at `offset` with `xor` (never zero, so the buffer
+    /// always changes).
+    Flip {
+        /// Byte position mutated.
+        offset: usize,
+        /// Nonzero mask XORed into the byte.
+        xor: u8,
+    },
+    /// Cut the buffer down to `len` bytes.
+    Truncate {
+        /// New (shorter) length.
+        len: usize,
+    },
+    /// Overwrite the bytes at `offset` with a copy of the bytes at
+    /// `source` (a plausible-looking internal corruption, e.g. a repeated
+    /// sector).
+    Splice {
+        /// Destination of the copied run.
+        offset: usize,
+        /// Source of the copied run.
+        source: usize,
+        /// Run length in bytes.
+        len: usize,
+    },
+}
+
+impl Mutation {
+    /// Applies the mutation to a copy of `buf` and returns it.
+    pub fn apply(&self, buf: &[u8]) -> Vec<u8> {
+        let mut out = buf.to_vec();
+        match *self {
+            Mutation::Flip { offset, xor } => {
+                if let Some(b) = out.get_mut(offset) {
+                    *b ^= xor;
+                }
+            }
+            Mutation::Truncate { len } => out.truncate(len),
+            Mutation::Splice {
+                offset,
+                source,
+                len,
+            } => {
+                let run: Vec<u8> = out.iter().copied().skip(source).take(len).collect();
+                for (i, b) in run.into_iter().enumerate() {
+                    if let Some(dst) = out.get_mut(offset + i) {
+                        *dst = b;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Deterministic stream of [`Mutation`]s for a buffer of `len` bytes.
+///
+/// # Example
+///
+/// ```
+/// use csp_trace::fault::{Mutation, MutationStream};
+///
+/// let buf = vec![0u8; 64];
+/// let mutated: Vec<Vec<u8>> = MutationStream::new(buf.len(), 7)
+///     .take(100)
+///     .map(|m| m.apply(&buf))
+///     .collect();
+/// assert_eq!(mutated.len(), 100);
+/// // Flips always change the buffer; splices may copy equal bytes.
+/// for (m, out) in MutationStream::new(buf.len(), 7).take(100).zip(&mutated) {
+///     if let Mutation::Flip { .. } = m {
+///         assert_ne!(*out, buf);
+///     }
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct MutationStream {
+    len: usize,
+    state: u64,
+}
+
+impl MutationStream {
+    /// A stream of mutations for buffers of `len` bytes, seeded by `seed`.
+    pub fn new(len: usize, seed: u64) -> Self {
+        MutationStream {
+            len,
+            // Offset the seed so seed 0 does not start at raw state 0.
+            state: seed ^ 0x6A09_E667_F3BC_C908,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl Iterator for MutationStream {
+    type Item = Mutation;
+
+    fn next(&mut self) -> Option<Mutation> {
+        if self.len == 0 {
+            return None;
+        }
+        let r = self.next_u64();
+        let kind = r % 4;
+        let offset = (self.next_u64() % self.len as u64) as usize;
+        Some(match kind {
+            // Flips dominate: they are the subtlest corruption.
+            0 | 1 => Mutation::Flip {
+                offset,
+                xor: ((r >> 8) as u8) | 1,
+            },
+            2 => Mutation::Truncate { len: offset },
+            _ => {
+                let source = (self.next_u64() % self.len as u64) as usize;
+                let len = 1 + (self.next_u64() % 32) as usize;
+                Mutation::Splice {
+                    offset,
+                    source,
+                    len,
+                }
+            }
+        })
+    }
+}
+
+/// Every single-byte flip of `buf`, with the given XOR mask.
+///
+/// Exhaustive where [`MutationStream`] is sampled: used to prove that *no*
+/// single-byte corruption of a v2 file goes undetected.
+pub fn all_single_byte_flips(buf: &[u8], xor: u8) -> impl Iterator<Item = Mutation> + '_ {
+    assert_ne!(xor, 0, "a zero mask is not a mutation");
+    (0..buf.len()).map(move |offset| Mutation::Flip { offset, xor })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_deterministic() {
+        let a: Vec<Mutation> = MutationStream::new(100, 42).take(50).collect();
+        let b: Vec<Mutation> = MutationStream::new(100, 42).take(50).collect();
+        assert_eq!(a, b);
+        let c: Vec<Mutation> = MutationStream::new(100, 43).take(50).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn flips_always_change_the_buffer() {
+        let buf = vec![0xA5u8; 64];
+        for m in MutationStream::new(buf.len(), 1).take(200) {
+            if let Mutation::Flip { .. } = m {
+                assert_ne!(m.apply(&buf), buf, "{m:?} was a no-op");
+            }
+        }
+    }
+
+    #[test]
+    fn truncate_shortens() {
+        let buf = vec![1u8; 32];
+        let m = Mutation::Truncate { len: 10 };
+        assert_eq!(m.apply(&buf).len(), 10);
+    }
+
+    #[test]
+    fn splice_copies_runs() {
+        let buf: Vec<u8> = (0..32).collect();
+        let m = Mutation::Splice {
+            offset: 0,
+            source: 16,
+            len: 4,
+        };
+        assert_eq!(&m.apply(&buf)[..4], &[16, 17, 18, 19]);
+    }
+
+    #[test]
+    fn splice_past_end_is_safe() {
+        let buf: Vec<u8> = (0..8).collect();
+        let m = Mutation::Splice {
+            offset: 6,
+            source: 0,
+            len: 100,
+        };
+        let out = m.apply(&buf);
+        assert_eq!(out.len(), 8);
+        assert_eq!(&out[6..], &[0, 1]);
+    }
+
+    #[test]
+    fn exhaustive_flips_cover_every_byte() {
+        let buf = vec![0u8; 10];
+        let flips: Vec<Mutation> = all_single_byte_flips(&buf, 0x80).collect();
+        assert_eq!(flips.len(), 10);
+    }
+
+    #[test]
+    fn empty_buffer_yields_no_mutations() {
+        assert_eq!(MutationStream::new(0, 1).next(), None);
+    }
+}

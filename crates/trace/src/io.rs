@@ -1,23 +1,41 @@
-//! A compact, self-describing binary on-disk format for traces.
+//! A compact, self-describing, *checksummed* binary on-disk format for
+//! traces.
 //!
-//! Traces can be expensive to regenerate (they come out of the memory-system
-//! simulator), so the harness caches them on disk. The format is
-//! deliberately simple — little-endian fixed-width fields with a magic
-//! header and version byte — and has no external dependencies.
+//! Traces can be expensive to regenerate (they come out of the
+//! memory-system simulator), so the harness caches them on disk (see
+//! `csp-harness`'s `cache` module). The format is deliberately simple —
+//! little-endian fixed-width fields with a magic header and version byte —
+//! and has no external dependencies. Version 2 adds per-section CRC32c
+//! checksums ([`crate::crc32c`]) so that a bit-flip inside a structurally
+//! valid file is detected instead of silently skewing results.
 //!
-//! # Layout
+//! # Layout (version 2)
 //!
 //! ```text
-//! magic   [8]  b"CSPTRC\0\0"
-//! version [1]  1
-//! nodes   [1]
-//! n_events[8]  u64
-//! events  [n_events x 32]:
+//! magic      [8]  b"CSPTRC\0\0"
+//! version    [1]  2
+//! nodes      [1]
+//! n_events   [8]  u64
+//! events     [n_events x 32]:
 //!     writer[1] pc[4] line[8] home[1] invalidated[8]
-//!     has_prev[1] prev_writer[1] prev_pc[4] pad[4]
-//! n_final [8]  u64
-//! finals  [n_final x 16]: line[8] readers[8]
+//!     has_prev[1] prev_writer[1] prev_pc[4] pad[4] (pad must be zero)
+//! events_crc [4]  CRC32c of every byte above (magic through events)
+//! n_final    [8]  u64
+//! finals     [n_final x 16]: line[8] readers[8]
+//! finals_crc [4]  CRC32c of n_final + finals
 //! ```
+//!
+//! # Version negotiation
+//!
+//! [`write_trace`] always writes the current version
+//! ([`FORMAT_VERSION`] = 2). [`read_trace`] accepts both versions: v1
+//! files (no checksums, laxer field validation) remain readable forever;
+//! v2 files are verified section by section and additionally reject
+//! non-canonical encodings (nonzero padding, out-of-range bitmap bits,
+//! nonzero prev-writer fields when `has_prev` is 0). A checksum mismatch
+//! surfaces as [`std::io::ErrorKind::InvalidData`] with a message naming
+//! the failing section, which the harness cache uses to quarantine the
+//! file and regenerate.
 //!
 //! # Example
 //!
@@ -33,13 +51,95 @@
 //! # }
 //! ```
 
+use crate::crc32c;
 use crate::{LineAddr, NodeId, Pc, SharingBitmap, SharingEvent, Trace};
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 8] = b"CSPTRC\0\0";
-const VERSION: u8 = 1;
 
-/// Serializes `trace` to `w`.
+/// The version [`write_trace`] produces.
+pub const FORMAT_VERSION: u8 = 2;
+
+/// The legacy, checksum-free version still accepted by [`read_trace`].
+pub const LEGACY_VERSION: u8 = 1;
+
+/// A writer wrapper that checksums everything written through it.
+struct HashingWriter<W> {
+    inner: W,
+    hasher: crc32c::Hasher,
+}
+
+impl<W: Write> HashingWriter<W> {
+    fn new(inner: W) -> Self {
+        HashingWriter {
+            inner,
+            hasher: crc32c::Hasher::new(),
+        }
+    }
+
+    /// Emits the current section checksum (unhashed) and starts the next
+    /// section.
+    fn write_section_crc(&mut self) -> io::Result<()> {
+        let crc = self.hasher.finalize();
+        self.inner.write_all(&crc.to_le_bytes())?;
+        self.hasher = crc32c::Hasher::new();
+        Ok(())
+    }
+}
+
+impl<W: Write> Write for HashingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.hasher.update(&buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// A reader wrapper that checksums everything read through it.
+struct HashingReader<R> {
+    inner: R,
+    hasher: crc32c::Hasher,
+}
+
+impl<R: Read> HashingReader<R> {
+    fn new(inner: R) -> Self {
+        HashingReader {
+            inner,
+            hasher: crc32c::Hasher::new(),
+        }
+    }
+
+    /// Reads the stored section checksum (unhashed), compares it with the
+    /// computed one, and starts the next section.
+    fn check_section_crc(&mut self, section: &str) -> io::Result<()> {
+        let computed = self.hasher.finalize();
+        let mut b = [0u8; 4];
+        self.inner.read_exact(&mut b)?;
+        let stored = u32::from_le_bytes(b);
+        if stored != computed {
+            return Err(bad(&format!(
+                "{section} checksum mismatch (stored {stored:#010x}, computed {computed:#010x})"
+            )));
+        }
+        self.hasher = crc32c::Hasher::new();
+        Ok(())
+    }
+}
+
+impl<R: Read> Read for HashingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.hasher.update(&buf[..n]);
+        Ok(n)
+    }
+}
+
+/// Serializes `trace` to `w` in the current format version (v2, with
+/// per-section CRC32c checksums).
 ///
 /// Callers with a file should wrap it in a `BufWriter`; a `&mut Vec<u8>`
 /// works directly.
@@ -47,9 +147,32 @@ const VERSION: u8 = 1;
 /// # Errors
 ///
 /// Propagates any I/O error from the writer.
-pub fn write_trace<W: Write>(mut w: W, trace: &Trace) -> io::Result<()> {
+pub fn write_trace<W: Write>(w: W, trace: &Trace) -> io::Result<()> {
+    let mut w = HashingWriter::new(w);
+    write_header_and_events(&mut w, trace, FORMAT_VERSION)?;
+    w.write_section_crc()?;
+    write_finals(&mut w, trace)?;
+    w.write_section_crc()?;
+    Ok(())
+}
+
+/// Serializes `trace` in the legacy v1 layout (no checksums).
+///
+/// Exists for compatibility testing and for the fault-injection harness;
+/// new files should use [`write_trace`].
+///
+/// # Errors
+///
+/// Propagates any I/O error from the writer.
+pub fn write_trace_v1<W: Write>(mut w: W, trace: &Trace) -> io::Result<()> {
+    write_header_and_events(&mut w, trace, LEGACY_VERSION)?;
+    write_finals(&mut w, trace)?;
+    Ok(())
+}
+
+fn write_header_and_events<W: Write>(w: &mut W, trace: &Trace, version: u8) -> io::Result<()> {
     w.write_all(MAGIC)?;
-    w.write_all(&[VERSION, trace.nodes() as u8])?;
+    w.write_all(&[version, trace.nodes() as u8])?;
     w.write_all(&(trace.len() as u64).to_le_bytes())?;
     for e in trace.events() {
         w.write_all(&[e.writer.0])?;
@@ -69,6 +192,10 @@ pub fn write_trace<W: Write>(mut w: W, trace: &Trace) -> io::Result<()> {
         }
         w.write_all(&[0u8; 4])?;
     }
+    Ok(())
+}
+
+fn write_finals<W: Write>(w: &mut W, trace: &Trace) -> io::Result<()> {
     // Final reader sets, in deterministic (sorted) order so identical traces
     // serialize identically.
     let mut finals: Vec<(u64, u64)> = trace
@@ -88,13 +215,40 @@ pub fn write_trace<W: Write>(mut w: W, trace: &Trace) -> io::Result<()> {
     Ok(())
 }
 
-/// Deserializes a trace from `r`.
+/// Reads just the header of a trace stream and returns its format
+/// version, without validating the body.
+///
+/// Useful for tooling that reports whether a file is the checksummed v2
+/// format or a legacy v1 file.
 ///
 /// # Errors
 ///
-/// Returns `InvalidData` if the magic, version, or any field is malformed,
-/// and propagates I/O errors from the reader.
-pub fn read_trace<R: Read>(mut r: R) -> io::Result<Trace> {
+/// Returns [`std::io::ErrorKind::InvalidData`] on a bad magic or an
+/// unsupported version, and propagates I/O errors from the reader.
+pub fn probe_version<R: Read>(mut r: R) -> io::Result<u8> {
+    let mut header = [0u8; 9];
+    r.read_exact(&mut header)?;
+    if header[..8] != MAGIC[..] {
+        return Err(bad("bad magic; not a CSP trace file"));
+    }
+    let version = header[8];
+    if version != LEGACY_VERSION && version != FORMAT_VERSION {
+        return Err(bad(&format!(
+            "unsupported trace format version {version} (this build reads 1..={FORMAT_VERSION})"
+        )));
+    }
+    Ok(version)
+}
+
+/// Deserializes a trace from `r`, accepting format versions 1 and 2.
+///
+/// # Errors
+///
+/// Returns [`std::io::ErrorKind::InvalidData`] if the magic, version, any
+/// field, or (v2) any section checksum is malformed, and propagates I/O
+/// errors from the reader. Never panics, for any input bytes.
+pub fn read_trace<R: Read>(r: R) -> io::Result<Trace> {
+    let mut r = HashingReader::new(r);
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
@@ -102,9 +256,13 @@ pub fn read_trace<R: Read>(mut r: R) -> io::Result<Trace> {
     }
     let mut head = [0u8; 2];
     r.read_exact(&mut head)?;
-    if head[0] != VERSION {
-        return Err(bad("unsupported trace format version"));
+    let version = head[0];
+    if version != LEGACY_VERSION && version != FORMAT_VERSION {
+        return Err(bad(&format!(
+            "unsupported trace format version {version} (this build reads 1..={FORMAT_VERSION})"
+        )));
     }
+    let checked = version >= FORMAT_VERSION;
     let nodes = head[1] as usize;
     if nodes == 0 || nodes > crate::MAX_NODES {
         return Err(bad("node count out of range"));
@@ -125,8 +283,25 @@ pub fn read_trace<R: Read>(mut r: R) -> io::Result<Trace> {
         if writer as usize >= nodes || home as usize >= nodes {
             return Err(bad("event references node outside the machine"));
         }
+        let bitmap = SharingBitmap::from_bits(invalidated);
+        if checked {
+            // v2 encodings are canonical: reserved bytes are zero and
+            // bitmaps carry no bits outside the machine.
+            if pad != [0u8; 4] {
+                return Err(bad("nonzero reserved padding"));
+            }
+            if bitmap.masked(nodes) != bitmap {
+                return Err(bad("invalidated bitmap has bits outside the machine"));
+            }
+            if has_prev == 0 && (prev_writer != 0 || prev_pc != 0) {
+                return Err(bad("nonzero prev-writer fields without has_prev"));
+            }
+        }
         let prev = match has_prev {
             0 => None,
+            1 if checked && prev_writer as usize >= nodes => {
+                return Err(bad("prev-writer outside the machine"));
+            }
             1 => Some((NodeId(prev_writer), Pc(prev_pc))),
             _ => return Err(bad("corrupt prev-writer flag")),
         };
@@ -135,21 +310,31 @@ pub fn read_trace<R: Read>(mut r: R) -> io::Result<Trace> {
             Pc(pc),
             LineAddr(line),
             NodeId(home),
-            SharingBitmap::from_bits(invalidated).masked(nodes),
+            bitmap.masked(nodes),
             prev,
         ));
+    }
+    if checked {
+        r.check_section_crc("event section")?;
     }
     let n_final = read_u64(&mut r)?;
     for _ in 0..n_final {
         let line = read_u64(&mut r)?;
         let readers = read_u64(&mut r)?;
-        trace.set_final_readers(LineAddr(line), SharingBitmap::from_bits(readers));
+        let bitmap = SharingBitmap::from_bits(readers);
+        if checked && bitmap.masked(nodes) != bitmap {
+            return Err(bad("final-reader bitmap has bits outside the machine"));
+        }
+        trace.set_final_readers(LineAddr(line), bitmap.masked(nodes));
+    }
+    if checked {
+        r.check_section_crc("final-reader section")?;
     }
     Ok(trace)
 }
 
 fn bad(msg: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg)
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
 }
 
 fn read_u8<R: Read>(r: &mut R) -> io::Result<u8> {
@@ -214,6 +399,30 @@ mod tests {
     }
 
     #[test]
+    fn v1_files_still_read() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_trace_v1(&mut buf, &t).unwrap();
+        assert_eq!(buf[8], LEGACY_VERSION);
+        assert_eq!(read_trace(buf.as_slice()).unwrap(), t);
+    }
+
+    #[test]
+    fn v2_is_v1_plus_checksums() {
+        // The v2 payload is byte-identical to v1 apart from the version
+        // byte and the two interleaved CRC fields.
+        let t = sample_trace();
+        let (mut v1, mut v2) = (Vec::new(), Vec::new());
+        write_trace_v1(&mut v1, &t).unwrap();
+        write_trace(&mut v2, &t).unwrap();
+        assert_eq!(v2.len(), v1.len() + 8);
+        let events_end = 10 + 8 + t.len() * 32;
+        assert_eq!(v1[..8], v2[..8]);
+        assert_eq!(v1[9..events_end], v2[9..events_end]);
+        assert_eq!(v1[events_end..], v2[events_end + 4..v2.len() - 4]);
+    }
+
+    #[test]
     fn rejects_bad_magic() {
         let err = read_trace(&b"NOTATRACE........"[..]).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
@@ -231,8 +440,11 @@ mod tests {
     fn rejects_truncated_input() {
         let mut buf = Vec::new();
         write_trace(&mut buf, &sample_trace()).unwrap();
-        buf.truncate(buf.len() - 3);
-        assert!(read_trace(buf.as_slice()).is_err());
+        for cut in [3, buf.len() / 2, buf.len() - 3] {
+            let mut short = buf.clone();
+            short.truncate(buf.len() - cut);
+            assert!(read_trace(short.as_slice()).is_err(), "cut {cut} accepted");
+        }
     }
 
     #[test]
@@ -247,7 +459,7 @@ mod tests {
             SharingBitmap::empty(),
             None,
         ));
-        write_trace(&mut buf, &t).unwrap();
+        write_trace_v1(&mut buf, &t).unwrap();
         buf[9] = 4; // shrink machine to 4 nodes; writer 15 now invalid
         assert!(read_trace(buf.as_slice()).is_err());
     }
@@ -260,5 +472,37 @@ mod tests {
         write_trace(&mut a, &t).unwrap();
         write_trace(&mut b, &t).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn checksum_catches_payload_corruption_v2_but_not_v1() {
+        let t = sample_trace();
+        // Flip one bit inside the invalidated bitmap of the second event:
+        // structurally valid, semantically corrupt.
+        let offset = 10 + 8 + 32 + 14; // header + count + event 0 + event 1 field offset
+        let mut v2 = Vec::new();
+        write_trace(&mut v2, &t).unwrap();
+        v2[offset] ^= 1 << 2;
+        let err = read_trace(v2.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("checksum"), "got: {err}");
+
+        let mut v1 = Vec::new();
+        write_trace_v1(&mut v1, &t).unwrap();
+        v1[offset] ^= 1 << 2;
+        // The legacy format cannot tell: the corrupt trace parses fine.
+        let back = read_trace(v1.as_slice()).unwrap();
+        assert_ne!(back, t, "flip should have changed the decoded trace");
+    }
+
+    #[test]
+    fn checksum_mismatch_names_the_section() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0xFF; // the finals CRC itself
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("final-reader"), "got: {err}");
     }
 }

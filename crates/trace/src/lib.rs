@@ -47,9 +47,14 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code must surface failures as typed errors, not unwrap panics;
+// tests opt back in where unwrapping is the assertion.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod bitmap;
+pub mod crc32c;
 mod event;
+pub mod fault;
 mod ids;
 pub mod io;
 mod stats;

@@ -1,0 +1,109 @@
+//! Property tests for the on-disk trace format's failure behaviour:
+//! `read_trace` must never panic — not on arbitrary bytes, not on any
+//! mutation of a valid file — and v1 files must round-trip through the
+//! v2-aware reader.
+
+use csp_trace::fault::MutationStream;
+use csp_trace::{io, LineAddr, NodeId, Pc, SharingBitmap, SharingEvent, Trace};
+use proptest::prelude::*;
+
+/// An arbitrary small-but-structured trace: valid events over a 16-node
+/// machine with optional prev-writer links and final reader sets.
+fn arbitrary_trace() -> impl Strategy<Value = Trace> {
+    proptest::collection::vec(
+        (
+            0u8..16,
+            any::<u32>(),
+            0u64..64,
+            0u8..16,
+            any::<u16>(),
+            any::<bool>(),
+        ),
+        0..40,
+    )
+    .prop_map(|events| {
+        let mut trace = Trace::new(16);
+        let mut prev: Option<(NodeId, Pc)> = None;
+        for (writer, pc, line, home, inv, link) in events {
+            trace.push(SharingEvent::new(
+                NodeId(writer),
+                Pc(pc),
+                LineAddr(line),
+                NodeId(home),
+                SharingBitmap::from_bits(u64::from(inv)).masked(16),
+                if link { prev } else { None },
+            ));
+            prev = Some((NodeId(writer), Pc(pc)));
+            if line % 3 == 0 {
+                trace.set_final_readers(
+                    LineAddr(line),
+                    SharingBitmap::from_bits(u64::from(inv) >> 4).masked(16),
+                );
+            }
+        }
+        trace
+    })
+}
+
+/// Runs the reader and demands a clean outcome (no panic is implicit: a
+/// panic fails the test).
+fn read_must_not_panic(bytes: &[u8]) {
+    let _ = io::read_trace(bytes);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary byte strings: garbage in, `Err` (or a valid trace) out —
+    /// never a panic.
+    #[test]
+    fn prop_arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+        read_must_not_panic(&bytes);
+    }
+
+    /// Randomly mutated valid v2 buffers never panic, and single-byte
+    /// flips never yield a trace different from the original (the
+    /// checksum catches them).
+    #[test]
+    fn prop_mutated_v2_never_panics(trace in arbitrary_trace(), seed: u64) {
+        let mut buf = Vec::new();
+        io::write_trace(&mut buf, &trace).expect("serialize");
+        for mutation in MutationStream::new(buf.len(), seed).take(50) {
+            let mutated = mutation.apply(&buf);
+            if let Ok(back) = io::read_trace(mutated.as_slice()) {
+                // A mutation that leaves the file readable must decode to
+                // the original: v2's checksums leave no silent corruption.
+                prop_assert_eq!(&back, &trace, "silent corruption via {:?}", mutation);
+            }
+        }
+    }
+
+    /// Randomly mutated valid v1 buffers never panic (they may decode to
+    /// a different trace: v1 has no checksums, which is why v2 exists).
+    #[test]
+    fn prop_mutated_v1_never_panics(trace in arbitrary_trace(), seed: u64) {
+        let mut buf = Vec::new();
+        io::write_trace_v1(&mut buf, &trace).expect("serialize");
+        for mutation in MutationStream::new(buf.len(), seed).take(50) {
+            read_must_not_panic(&mutation.apply(&buf));
+        }
+    }
+
+    /// Every trace written in the legacy v1 layout reads back identically
+    /// through the v2-aware reader.
+    #[test]
+    fn prop_v1_roundtrips_through_v2_reader(trace in arbitrary_trace()) {
+        let mut v1 = Vec::new();
+        io::write_trace_v1(&mut v1, &trace).expect("serialize v1");
+        let back = io::read_trace(v1.as_slice()).expect("v1 must stay readable");
+        prop_assert_eq!(back, trace);
+    }
+
+    /// v2 write/read is the identity.
+    #[test]
+    fn prop_v2_roundtrips(trace in arbitrary_trace()) {
+        let mut buf = Vec::new();
+        io::write_trace(&mut buf, &trace).expect("serialize v2");
+        prop_assert_eq!(io::read_trace(buf.as_slice()).expect("read back"), trace);
+    }
+}

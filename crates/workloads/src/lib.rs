@@ -63,7 +63,7 @@ pub use em3d::Em3dParams;
 pub use gauss::GaussParams;
 pub use mp3d::Mp3dParams;
 pub use ocean::OceanParams;
-pub use suite::{generate_suite, BenchmarkTrace};
+pub use suite::{benchmark_seed, generate_benchmark, generate_suite, BenchmarkTrace};
 pub use unstruct::UnstructParams;
 pub use water::WaterParams;
 

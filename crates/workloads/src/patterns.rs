@@ -251,6 +251,7 @@ impl ProducerConsumer {
     /// the 16 owners, reader sets sampled from `dist` with neighbourhood
     /// `bias`, mutated with per-round probability `churn`; store pcs drawn
     /// from `pc_base..pc_base + pc_count`.
+    #[allow(clippy::too_many_arguments)] // mirrors the paper's knob list
     pub fn new(
         alloc: &mut AddressAllocator,
         lines: u64,

@@ -15,10 +15,34 @@ pub struct BenchmarkTrace {
     pub stats: SimStats,
 }
 
+/// Derives the generator seed for one benchmark from a suite seed.
+///
+/// This is the suite's seed-spreading rule, exposed so callers (notably
+/// the harness trace cache) can regenerate a *single* benchmark and get
+/// bit-identical output to the corresponding member of
+/// [`generate_suite`]`(scale, seed)`.
+pub fn benchmark_seed(suite_seed: u64, benchmark: Benchmark) -> u64 {
+    suite_seed.wrapping_add(benchmark as u64 * 0x9E37_79B9)
+}
+
+/// Generates one benchmark of the suite, identical to the corresponding
+/// element of [`generate_suite`]`(scale, seed)`.
+pub fn generate_benchmark(benchmark: Benchmark, scale: f64, seed: u64) -> BenchmarkTrace {
+    let (trace, stats) = WorkloadConfig::new(benchmark)
+        .scale(scale)
+        .seed(benchmark_seed(seed, benchmark))
+        .generate_trace();
+    BenchmarkTrace {
+        benchmark,
+        trace,
+        stats,
+    }
+}
+
 /// Generates the full seven-benchmark suite at the given scale.
 ///
 /// Deterministic for a given `(scale, seed)`: each benchmark's generator
-/// seed is derived from `seed` and the benchmark's name.
+/// seed is derived from `seed` via [`benchmark_seed`].
 ///
 /// # Example
 ///
@@ -30,23 +54,25 @@ pub struct BenchmarkTrace {
 pub fn generate_suite(scale: f64, seed: u64) -> Vec<BenchmarkTrace> {
     Benchmark::ALL
         .iter()
-        .map(|&benchmark| {
-            let (trace, stats) = WorkloadConfig::new(benchmark)
-                .scale(scale)
-                .seed(seed.wrapping_add(benchmark as u64 * 0x9E37_79B9))
-                .generate_trace();
-            BenchmarkTrace {
-                benchmark,
-                trace,
-                stats,
-            }
-        })
+        .map(|&benchmark| generate_benchmark(benchmark, scale, seed))
         .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn single_benchmark_matches_suite_member() {
+        let suite = generate_suite(0.02, 9);
+        let solo = generate_benchmark(Benchmark::Gauss, 0.02, 9);
+        let in_suite = suite
+            .iter()
+            .find(|b| b.benchmark == Benchmark::Gauss)
+            .unwrap();
+        assert_eq!(solo.trace, in_suite.trace);
+        assert_eq!(solo.stats, in_suite.stats);
+    }
 
     #[test]
     fn suite_covers_all_benchmarks_in_order() {

@@ -1,0 +1,281 @@
+//! End-to-end fault injection: corrupt bytes, corrupt directories, torn
+//! cache entries.
+//!
+//! Three layers of the robustness story are exercised here, on top of the
+//! unit suites in the member crates:
+//!
+//! * **Byte level** — [`csp::trace::fault`] mutates serialized traces and
+//!   [`csp::trace::io::read_trace`] must never panic; for the checksummed
+//!   v2 format, *every* single-byte flip must be rejected.
+//! * **Protocol level** — [`csp::sim::directory::DirFault`] corrupts the
+//!   live directory mid-run; structural damage is flagged by the typed
+//!   invariant checker and semantic damage by divergence from the flat
+//!   golden model ([`csp::sim::check`]).
+//! * **Pipeline level** — a corrupted cache entry is quarantined and
+//!   regenerated bit-identically, and a checkpointed sweep replayed from
+//!   its log reproduces the fresh run bitwise.
+//!
+//! (Worker panic isolation and partial-resume are covered by the unit
+//! tests in `csp-harness`'s `runner` module, where a panicking job can be
+//! injected directly.)
+
+use csp::harness::runner::{evaluate_schemes, evaluate_schemes_checkpointed, Suite};
+use csp::harness::{CacheOutcome, TraceCache};
+use csp::sim::check::{compare_traces, reference_trace, TraceDivergence};
+use csp::sim::directory::DirFault;
+use csp::sim::{CacheConfig, MemAccess, MemorySystem, SystemConfig};
+use csp::trace::fault::{all_single_byte_flips, Mutation, MutationStream};
+use csp::trace::{io as trace_io, LineAddr, NodeId};
+use csp::workloads::{Benchmark, WorkloadConfig};
+
+/// A small but real benchmark trace, serialized with the given writer.
+fn sample_bytes(v1: bool) -> Vec<u8> {
+    let (trace, _) = WorkloadConfig::new(Benchmark::Water)
+        .scale(0.02)
+        .seed(11)
+        .generate_trace();
+    let mut buf = Vec::new();
+    if v1 {
+        trace_io::write_trace_v1(&mut buf, &trace).expect("serialize v1");
+    } else {
+        trace_io::write_trace(&mut buf, &trace).expect("serialize v2");
+    }
+    buf
+}
+
+/// ≥1000 mutated buffers across both format versions: the reader must
+/// never panic, and any v2 flip that actually changed the bytes must be
+/// rejected rather than silently decoded.
+#[test]
+fn mutated_trace_buffers_never_panic() {
+    let v2 = sample_bytes(false);
+    let v1 = sample_bytes(true);
+    let mut total = 0usize;
+    for (buf, checked) in [(&v2, true), (&v1, false)] {
+        for mutation in MutationStream::new(buf.len(), 0xFA17).take(600) {
+            let mutated = mutation.apply(buf);
+            total += 1;
+            // The call itself is the assertion: any panic fails the test.
+            let result = trace_io::read_trace(mutated.as_slice());
+            if checked && mutated != *buf {
+                if let Mutation::Flip { offset, .. } = mutation {
+                    assert!(
+                        result.is_err(),
+                        "v2 flip at byte {offset} was accepted: {mutation:?}"
+                    );
+                }
+            }
+        }
+    }
+    assert!(total >= 1000, "only {total} mutated buffers exercised");
+}
+
+/// Exhaustive corruption coverage: no single-byte flip of a v2 file,
+/// anywhere in the file and under several masks, decodes successfully.
+///
+/// Exhaustive-times-whole-file decoding is quadratic, so this uses a
+/// small (but real, with prev-writer links and final reader sets) trace
+/// from the golden model rather than a full benchmark.
+#[test]
+fn every_single_byte_flip_of_a_v2_file_is_detected() {
+    let stream = (0..120u64).map(|i| {
+        let node = NodeId((i % 9) as u8);
+        let addr = (i % 13) * 64;
+        if i % 3 == 0 {
+            MemAccess::write(node, (i % 5) as u32, addr)
+        } else {
+            MemAccess::read(node, (i % 5) as u32, addr)
+        }
+    });
+    let trace = reference_trace(16, stream);
+    assert!(trace.len() > 20, "the sample must contain real events");
+    let mut buf = Vec::new();
+    trace_io::write_trace(&mut buf, &trace).expect("serialize v2");
+    for xor in [0x01u8, 0x80, 0xFF] {
+        for mutation in all_single_byte_flips(&buf, xor) {
+            let mutated = mutation.apply(&buf);
+            assert!(
+                trace_io::read_trace(mutated.as_slice()).is_err(),
+                "undetected corruption: {mutation:?}"
+            );
+        }
+    }
+}
+
+/// v1 files written by older builds stay readable through the v2 reader.
+#[test]
+fn legacy_v1_files_round_trip_through_the_v2_reader() {
+    let (trace, _) = WorkloadConfig::new(Benchmark::Em3d)
+        .scale(0.02)
+        .seed(4)
+        .generate_trace();
+    let mut buf = Vec::new();
+    trace_io::write_trace_v1(&mut buf, &trace).expect("serialize v1");
+    assert_eq!(trace_io::probe_version(buf.as_slice()).unwrap(), 1);
+    let back = trace_io::read_trace(buf.as_slice()).expect("v1 must stay readable");
+    assert_eq!(trace, back);
+}
+
+/// Huge caches so evictions cannot occur and the golden model applies.
+fn eviction_free_config() -> SystemConfig {
+    let mut cfg = SystemConfig::paper_16_node();
+    cfg.l1 = CacheConfig::new(1 << 22, 4, 64);
+    cfg.l2 = CacheConfig::new(1 << 24, 8, 64);
+    cfg
+}
+
+/// Structurally invalid directory damage is caught by the typed invariant
+/// checker without any reference model.
+#[test]
+fn structural_directory_faults_are_flagged() {
+    let line = LineAddr(5);
+    let addr = line.0 * 64;
+    let mut sys = MemorySystem::new(eviction_free_config());
+    sys.access(MemAccess::write(NodeId(0), 1, addr));
+    sys.access(MemAccess::read(NodeId(1), 2, addr));
+    sys.access(MemAccess::read(NodeId(2), 3, addr));
+    assert!(sys.directory().check_invariants().is_ok());
+
+    assert!(
+        sys.directory_mut()
+            .inject_fault(DirFault::ClearSharers { line }),
+        "the shared line must accept the fault"
+    );
+    let violation = sys
+        .directory()
+        .check_invariants()
+        .expect_err("an empty sharer set must be flagged");
+    assert!(
+        violation.to_string().contains("no holders"),
+        "unexpected violation: {violation}"
+    );
+}
+
+/// Structurally *valid* but semantically incoherent damage (a forgotten
+/// sharer) escapes the invariant checker by design and is caught instead
+/// by divergence from the flat golden model.
+#[test]
+fn semantic_directory_faults_diverge_from_the_golden_model() {
+    let line = LineAddr(5);
+    let addr = line.0 * 64;
+    let prefix = [
+        MemAccess::write(NodeId(0), 1, addr),
+        MemAccess::read(NodeId(1), 2, addr),
+        MemAccess::read(NodeId(2), 3, addr),
+    ];
+    // The write that follows must invalidate (and report) nodes 1 and 2.
+    let probe = MemAccess::write(NodeId(3), 4, addr);
+
+    let mut sys = MemorySystem::new(eviction_free_config());
+    for &a in &prefix {
+        sys.access(a);
+    }
+    assert!(
+        sys.directory_mut().inject_fault(DirFault::DropSharer {
+            line,
+            node: NodeId(1),
+        }),
+        "node 1 must be a sharer after its read"
+    );
+    // The fault is invisible to the structural checker...
+    assert!(sys.directory().check_invariants().is_ok());
+
+    sys.access(probe);
+    let (actual, _) = sys.finish();
+    let reference = reference_trace(16, prefix.iter().copied().chain([probe]));
+    // ...but the golden model sees the lost invalidation.
+    match compare_traces(&actual, &reference) {
+        Err(TraceDivergence::EventMismatch { index, .. }) => {
+            assert_eq!(index, 1, "the probe write is the diverging event");
+        }
+        other => panic!("expected an event mismatch, got {other:?}"),
+    }
+}
+
+/// A corrupted cache entry is quarantined (kept for forensics under
+/// `.corrupt`) and regenerated with bit-identical contents.
+#[test]
+fn corrupt_cache_entries_are_quarantined_and_regenerated() {
+    let dir =
+        std::env::temp_dir().join(format!("csp-fault-injection-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = TraceCache::new(&dir);
+    let (original, outcome) = cache
+        .load_or_generate(Benchmark::Barnes, 0.02, 7)
+        .expect("first generation");
+    assert_eq!(outcome, CacheOutcome::Miss);
+
+    // Flip one payload byte, mid-file.
+    let path = cache.trace_path(Benchmark::Barnes, 0.02, 7);
+    let mut bytes = std::fs::read(&path).expect("read cache entry");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&path, &bytes).expect("write corrupted entry");
+
+    let (regenerated, outcome) = cache
+        .load_or_generate(Benchmark::Barnes, 0.02, 7)
+        .expect("regeneration");
+    assert_eq!(outcome, CacheOutcome::Quarantined);
+    assert_eq!(
+        original.trace, regenerated.trace,
+        "regeneration must be bit-identical"
+    );
+    assert!(
+        path.with_extension("csptrc.corrupt").exists()
+            || dir
+                .read_dir()
+                .expect("list cache dir")
+                .filter_map(Result::ok)
+                .any(|e| e.path().to_string_lossy().ends_with(".corrupt")),
+        "the corrupt file must be preserved for forensics"
+    );
+
+    // And a third load is a clean hit again.
+    let (_, outcome) = cache
+        .load_or_generate(Benchmark::Barnes, 0.02, 7)
+        .expect("reload");
+    assert_eq!(outcome, CacheOutcome::Hit);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A sweep replayed from its checkpoint log reproduces the fresh run
+/// bitwise, end to end through the public API.
+#[test]
+fn checkpointed_sweep_replays_bitwise_identically() {
+    let suite = Suite::generate(0.01, 3);
+    let schemes: Vec<csp::core::Scheme> = [
+        "union(pid+pc8)2[direct]",
+        "inter(add10)2[forwarded]",
+        "union(add8+pc4)1[direct]",
+    ]
+    .iter()
+    .map(|s| s.parse().expect("valid scheme"))
+    .collect();
+    let path = std::env::temp_dir().join(format!(
+        "csp-fault-injection-ckpt-{}.bin",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+
+    let fresh = evaluate_schemes(&suite, &schemes);
+    let first = evaluate_schemes_checkpointed(&suite, &schemes, &path)
+        .expect("checkpointed run")
+        .into_complete()
+        .expect("no failures");
+    // The second run resolves every cell from the checkpoint log alone.
+    let replayed = evaluate_schemes_checkpointed(&suite, &schemes, &path)
+        .expect("replayed run")
+        .into_complete()
+        .expect("no failures");
+
+    for ((f, a), b) in fresh.iter().zip(&first).zip(&replayed) {
+        assert_eq!(f.scheme, a.scheme);
+        assert_eq!(f.scheme, b.scheme);
+        assert_eq!(f.per_benchmark, a.per_benchmark);
+        assert_eq!(f.per_benchmark, b.per_benchmark);
+        assert_eq!(f.mean.pvp.to_bits(), b.mean.pvp.to_bits());
+        assert_eq!(f.mean.sensitivity.to_bits(), b.mean.sensitivity.to_bits());
+        assert_eq!(f.mean.prevalence.to_bits(), b.mean.prevalence.to_bits());
+    }
+    let _ = std::fs::remove_file(&path);
+}

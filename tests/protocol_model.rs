@@ -1,97 +1,14 @@
 //! Golden-model checking of the coherence protocol.
 //!
-//! An independent *flat* reference model — no caches, no LRU, no
-//! hierarchy; just "who wrote last, who read since" bookkeeping per line —
-//! predicts exactly which accesses are coherence store misses and what
-//! feedback each carries, as long as capacity evictions cannot occur.
-//! Running both models over random access streams and demanding identical
-//! traces checks the full cache/directory/protocol stack against a
-//! twenty-line specification.
+//! The flat reference model lives in `csp::sim::check` (promoted from this
+//! file so fault-injection suites can share it); these property tests run
+//! it against the full cache/directory/protocol stack over random access
+//! streams and demand identical traces whenever evictions cannot occur.
 
+use csp::sim::check::{compare_traces, FlatModel};
 use csp::sim::{MemAccess, MemorySystem, Protocol, SystemConfig};
-use csp::trace::{LineAddr, NodeId, Pc, SharingBitmap, SharingEvent, Trace};
+use csp::trace::NodeId;
 use proptest::prelude::*;
-use std::collections::HashMap;
-
-/// The flat reference model (MSI semantics).
-struct FlatModel {
-    /// Per line: (current writer if any, readers since last write,
-    /// holders of valid copies, last writer identity, home).
-    lines: HashMap<u64, FlatLine>,
-    trace: Trace,
-}
-
-#[derive(Clone)]
-struct FlatLine {
-    owner: Option<NodeId>,
-    readers: SharingBitmap,
-    holders: SharingBitmap,
-    last_writer: Option<(NodeId, Pc)>,
-    home: NodeId,
-}
-
-impl FlatModel {
-    fn new(nodes: usize) -> Self {
-        FlatModel {
-            lines: HashMap::new(),
-            trace: Trace::new(nodes),
-        }
-    }
-
-    fn line(&mut self, line: u64, toucher: NodeId) -> &mut FlatLine {
-        self.lines.entry(line).or_insert_with(|| FlatLine {
-            owner: None,
-            readers: SharingBitmap::empty(),
-            holders: SharingBitmap::empty(),
-            last_writer: None,
-            home: toucher,
-        })
-    }
-
-    fn access(&mut self, a: MemAccess) {
-        let line = a.addr / 64;
-        let entry = self.line(line, a.node);
-        if a.is_write {
-            // Silent iff the writer already owns the line exclusively.
-            let silent =
-                entry.owner == Some(a.node) && entry.holders == SharingBitmap::singleton(a.node);
-            if !silent {
-                let feedback = entry.readers.without(a.node);
-                let event = SharingEvent::new(
-                    a.node,
-                    a.pc,
-                    LineAddr(line),
-                    entry.home,
-                    feedback,
-                    entry.last_writer,
-                );
-                entry.owner = Some(a.node);
-                entry.holders = SharingBitmap::singleton(a.node);
-                entry.readers = SharingBitmap::empty();
-                entry.last_writer = Some((a.node, a.pc));
-                self.trace.push(event);
-            }
-        } else {
-            // A read by a non-holder joins the sharers and sets its
-            // access bit; the owner keeps a (now shared) copy.
-            if !entry.holders.contains(a.node) {
-                entry.holders.insert(a.node);
-                entry.readers.insert(a.node);
-            }
-        }
-    }
-
-    fn finish(mut self) -> Trace {
-        let lines: Vec<(u64, SharingBitmap)> =
-            self.lines.iter().map(|(l, e)| (*l, e.readers)).collect();
-        for (line, readers) in lines {
-            if !readers.is_empty() {
-                self.trace.set_final_readers(LineAddr(line), readers);
-            }
-        }
-        self.trace
-    }
-}
 
 /// Huge caches so the real simulator can never evict: the only divergence
 /// channel between the two models is a protocol bug.
@@ -132,10 +49,22 @@ proptest! {
         let (real, stats) = sys.finish();
         let reference = model.finish();
         prop_assert_eq!(stats.l2_evictions, 0, "config must make evictions impossible");
-        prop_assert_eq!(real.events(), reference.events());
-        // Ground truth must agree too (final readers may differ in
-        // representation but resolve identically).
-        prop_assert_eq!(real.resolve_actuals(), reference.resolve_actuals());
+        if let Err(divergence) = compare_traces(&real, &reference) {
+            return Err(TestCaseError::fail(format!("{divergence}")));
+        }
+    }
+
+    /// The directory's structural invariants hold at end of run, via the
+    /// typed checker.
+    #[test]
+    fn prop_invariants_hold_after_any_stream(stream in arbitrary_stream()) {
+        let mut sys = MemorySystem::new(eviction_free_config());
+        for &a in &stream {
+            sys.access(a);
+        }
+        if let Err(violation) = sys.directory().check_invariants() {
+            return Err(TestCaseError::fail(format!("{violation}")));
+        }
     }
 
     /// MESI only removes events relative to MSI, never changes feedback of
@@ -164,19 +93,4 @@ proptest! {
             prop_assert_eq!(msi_trace, mesi_trace);
         }
     }
-}
-
-#[test]
-fn flat_model_sanity() {
-    // Deterministic miniature: the reference model's own behaviour.
-    let mut m = FlatModel::new(16);
-    m.access(MemAccess::write(NodeId(0), 1, 0));
-    m.access(MemAccess::read(NodeId(1), 2, 0));
-    m.access(MemAccess::write(NodeId(0), 1, 0)); // upgrade: invalidates 1
-    let trace = m.finish();
-    assert_eq!(trace.len(), 2);
-    assert_eq!(
-        trace.events()[1].invalidated,
-        SharingBitmap::from_nodes(&[NodeId(1)])
-    );
 }

@@ -1,0 +1,469 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate implements the subset of proptest the workspace's property tests
+//! use: the [`proptest!`] macro (mixed `name in strategy` / `name: Type`
+//! parameters, inner `#![proptest_config(..)]`), `prop_assert*`,
+//! [`prop_oneof!`], [`strategy::Just`], integer-range and tuple
+//! strategies, [`collection::vec`], `any::<T>()`, and `.prop_map`.
+//!
+//! Differences from upstream, by design:
+//!
+//! * no shrinking — a failing case reports its inputs and panics;
+//! * deterministic seeding derived from the test's module path and name,
+//!   so failures reproduce exactly across runs and machines;
+//! * `proptest-regressions` files are ignored;
+//! * the default case count is 64 (upstream: 256) to keep offline CI fast.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use super::TestRng;
+
+    /// A recipe for generating values of type [`Strategy::Value`].
+    pub trait Strategy {
+        /// The type of values this strategy generates.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erases the strategy's concrete type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A boxed, type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Uniform choice between strategies of a common value type; the
+    /// engine behind [`prop_oneof!`](crate::prop_oneof).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union over `arms`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `arms` is empty.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let i = rng.random_index(self.arms.len());
+            self.arms[i].sample(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident => $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A => 0);
+    impl_tuple_strategy!(A => 0, B => 1);
+    impl_tuple_strategy!(A => 0, B => 1, C => 2);
+    impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3);
+    impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4);
+    impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5);
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Generates `Vec`s of `element` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// The result of [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.random_range(self.size.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.0.random()
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.0.random::<u64>() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The canonical strategy for a type: `any::<T>()`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// The result of [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> strategy::Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The deterministic generator property tests draw from.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seeds a generator from a test's fully-qualified name, so each test
+    /// gets an independent but fully reproducible stream.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the test name.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+
+    fn random_index(&mut self, len: usize) -> usize {
+        self.0.random_range(0..len)
+    }
+
+    fn random_range<T, R: rand::SampleRange<T>>(&mut self, range: R) -> T {
+        self.0.random_range(range)
+    }
+}
+
+/// Test-runner plumbing used by the generated code.
+pub mod test_runner {
+    /// Per-block configuration (`#![proptest_config(..)]`).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// A failed property case (from `prop_assert*`).
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// Builds a failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+}
+
+/// Everything a property test module needs.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests; see the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Internal: expands each `fn` inside a [`proptest!`] block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let __name = concat!(module_path!(), "::", stringify!($name));
+            let mut __rng = $crate::TestRng::for_test(__name);
+            $crate::__proptest_run!(__config, __name, __rng, [] $($params)* ; $body);
+        }
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+}
+
+/// Internal: normalises the parameter list, then runs the cases.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_run {
+    // `name in strategy` with and without trailing params.
+    ($cfg:ident, $name:ident, $rng:ident, [$($acc:tt)*] $id:ident in $strat:expr, $($rest:tt)*) => {
+        $crate::__proptest_run!($cfg, $name, $rng, [$($acc)* ($id, $strat)] $($rest)*)
+    };
+    ($cfg:ident, $name:ident, $rng:ident, [$($acc:tt)*] $id:ident in $strat:expr ; $body:block) => {
+        $crate::__proptest_run!($cfg, $name, $rng, [$($acc)* ($id, $strat)] ; $body)
+    };
+    // `name: Type` sugar for `name in any::<Type>()`.
+    ($cfg:ident, $name:ident, $rng:ident, [$($acc:tt)*] $id:ident : $ty:ty, $($rest:tt)*) => {
+        $crate::__proptest_run!($cfg, $name, $rng, [$($acc)* ($id, $crate::any::<$ty>())] $($rest)*)
+    };
+    ($cfg:ident, $name:ident, $rng:ident, [$($acc:tt)*] $id:ident : $ty:ty ; $body:block) => {
+        $crate::__proptest_run!($cfg, $name, $rng, [$($acc)* ($id, $crate::any::<$ty>())] ; $body)
+    };
+    // All parameters consumed: run the cases.
+    ($cfg:ident, $name:ident, $rng:ident, [$(($id:ident, $strat:expr))*] ; $body:block) => {{
+        $(let $id = $strat;)*
+        for __case in 0..$cfg.cases {
+            $(let $id = $crate::strategy::Strategy::sample(&$id, &mut $rng);)*
+            let __inputs = {
+                let mut __s = String::new();
+                $(__s.push_str(&format!(
+                    concat!("  ", stringify!($id), " = {:?}\n"), &$id));)*
+                __s
+            };
+            let __result: Result<(), $crate::test_runner::TestCaseError> = (|| {
+                $body
+                #[allow(unreachable_code)]
+                Ok(())
+            })();
+            if let Err(__e) = __result {
+                panic!(
+                    "{} failed at case {}/{}: {}\ninputs:\n{}",
+                    $name, __case + 1, $cfg.cases, __e, __inputs
+                );
+            }
+        }
+    }};
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a == *__b,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), __a, __b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a == *__b,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+), __a, __b
+        );
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a != *__b,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($a),
+            stringify!($b),
+            __a
+        );
+    }};
+}
+
+/// Uniform choice between strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_streams_per_test() {
+        let mut a = crate::TestRng::for_test("x::y");
+        let mut b = crate::TestRng::for_test("x::y");
+        let sa: Vec<u64> = (0..10)
+            .map(|_| crate::Arbitrary::arbitrary(&mut a))
+            .collect();
+        let sb: Vec<u64> = (0..10)
+            .map(|_| crate::Arbitrary::arbitrary(&mut b))
+            .collect();
+        assert_eq!(sa, sb);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Mixed `in`/`:` parameters, trailing comma, tuples, vec, map,
+        /// oneof — the full grammar the workspace relies on.
+        #[test]
+        fn grammar_smoke(
+            x in 0u8..16,
+            flag: bool,
+            v in crate::collection::vec((0u32..4, any::<bool>()).prop_map(|(a, b)| (a, b)), 1..10),
+            pick in prop_oneof![Just("a"), Just("b")],
+            y in 1usize..=4,
+        ) {
+            prop_assert!(x < 16);
+            prop_assert!(v.len() < 10 && !v.is_empty());
+            prop_assert!(pick == "a" || pick == "b");
+            prop_assert!((1..=4).contains(&y));
+            prop_assert_eq!(flag, flag);
+            prop_assert_ne!(y, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics_with_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            #[allow(unused)]
+            fn inner(x in 0u8..4) {
+                prop_assert!(x < 2, "x was {x}");
+            }
+        }
+        inner();
+    }
+}
