@@ -1,0 +1,93 @@
+//! Microbenchmarks of the serving layer: raw single-shard predictor
+//! table lookups/updates (the per-shard inner loop of `csp-served`) and
+//! the sharded online engine end to end — batched predictions and full
+//! trace replay through the worker threads.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use csp_bench::bench_suite;
+use csp_core::{PredictorTable, Scheme};
+use csp_serve::{probe_stream, ShardedEngine};
+use csp_workloads::Benchmark;
+
+/// Keys a probe stream resolves to under `scheme`, precomputed so the
+/// table benches time only the table, not the index packing.
+fn keys_for(scheme: &Scheme, nodes: usize, count: usize) -> Vec<u64> {
+    let engine = ShardedEngine::new(*scheme, nodes, 1);
+    let keys = probe_stream(0x5EED, nodes, count)
+        .iter()
+        .map(|p| engine.key_of(p))
+        .collect();
+    drop(engine);
+    keys
+}
+
+fn bench_single_shard_table(c: &mut Criterion) {
+    let scheme: Scheme = "last(pid+pc8)1[direct]".parse().expect("valid scheme");
+    let nodes = 16;
+    let keys = keys_for(&scheme, nodes, 4096);
+    let feedback = csp_trace::SharingBitmap::from_bits(0b1010);
+
+    let mut g = c.benchmark_group("shard_table");
+    g.throughput(Throughput::Elements(keys.len() as u64));
+    g.bench_function("lookup_4096", |b| {
+        let mut table = PredictorTable::new(&scheme, nodes);
+        for &k in &keys {
+            table.update(k, feedback);
+        }
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &k in &keys {
+                acc ^= table.predict(k).bits();
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    g.bench_function("update_4096", |b| {
+        let mut table = PredictorTable::new(&scheme, nodes);
+        b.iter(|| {
+            for &k in &keys {
+                table.update(k, feedback);
+            }
+            std::hint::black_box(table.entries_touched())
+        })
+    });
+    g.finish();
+}
+
+fn bench_sharded_engine(c: &mut Criterion) {
+    let scheme: Scheme = "last(pid+pc8)1[direct]".parse().expect("valid scheme");
+    let nodes = 16usize;
+    let probes = probe_stream(0x5EED, nodes, 1024);
+
+    let mut g = c.benchmark_group("sharded_engine");
+    g.throughput(Throughput::Elements(probes.len() as u64));
+    for shards in [1usize, 4] {
+        let engine = ShardedEngine::new(scheme, nodes, shards);
+        g.bench_function(format!("predict_batch_1024_x{shards}"), |b| {
+            b.iter(|| std::hint::black_box(engine.predict_batch(&probes)))
+        });
+    }
+    g.finish();
+
+    let suite = bench_suite();
+    let trace = &suite.trace(Benchmark::Unstruct).trace;
+    let mut g = c.benchmark_group("sharded_replay");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    for shards in [1usize, 4] {
+        g.bench_function(format!("replay_unstruct_x{shards}"), |b| {
+            b.iter(|| {
+                let engine = ShardedEngine::new(scheme, trace.nodes(), shards);
+                engine.replay_trace(trace);
+                std::hint::black_box(engine.stats().scored)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = shard;
+    config = Criterion::default().sample_size(20);
+    targets = bench_single_shard_table, bench_sharded_engine
+}
+criterion_main!(shard);

@@ -152,7 +152,12 @@ impl IndexSpec {
 }
 
 /// `ceil(log2(nodes))`, the bits contributed by a whole `pid`/`dir` field.
-pub(crate) fn node_bits(nodes: usize) -> u32 {
+/// This is the `node_bits` argument of [`IndexSpec::key`] and friends.
+///
+/// # Panics
+///
+/// Panics if `nodes` is zero.
+pub fn node_bits(nodes: usize) -> u32 {
     assert!(nodes > 0, "machine must have at least one node");
     usize::BITS - (nodes - 1).leading_zeros().min(usize::BITS)
 }

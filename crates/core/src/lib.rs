@@ -64,6 +64,6 @@ mod table;
 
 pub use entry::{HistoryEntry, PasEntry, MAX_DEPTH};
 pub use function::PredictionFunction;
-pub use index::IndexSpec;
+pub use index::{node_bits, IndexSpec};
 pub use scheme::{ParseSchemeError, Scheme, UpdateMode};
-pub use table::PredictorTable;
+pub use table::{shard_of_key, PredictorTable};

@@ -115,7 +115,67 @@ impl PredictorTable {
             Storage::Pas(_) => None,
         }
     }
+
+    /// Splits an empty table into `shards` independent shard tables.
+    ///
+    /// A sharded deployment (e.g. `csp-serve`) routes every key to the
+    /// shard [`shard_of_key`] names and keeps one of these tables per
+    /// shard. Because an entry's state depends only on the ordered
+    /// sequence of updates to *its own key*, running each shard
+    /// independently — as long as per-key operation order is preserved —
+    /// produces bit-identical predictions to one global table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn split(scheme: &Scheme, nodes: usize, shards: usize) -> Vec<PredictorTable> {
+        assert!(shards > 0, "need at least one shard");
+        (0..shards)
+            .map(|_| PredictorTable::new(scheme, nodes))
+            .collect()
+    }
+
+    /// Merges the entries of `other` into `self` (used to fold shard
+    /// tables back into one global table, e.g. for snapshots).
+    ///
+    /// The two tables must come from the same scheme; keys present in
+    /// both (impossible under disjoint shard routing) keep `other`'s
+    /// entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tables use different storage kinds (different
+    /// prediction-function families).
+    pub fn absorb(&mut self, other: PredictorTable) {
+        match (&mut self.storage, other.storage) {
+            (Storage::History(a), Storage::History(b)) => a.extend(b),
+            (Storage::Pas(a), Storage::Pas(b)) => a.extend(b),
+            _ => panic!("cannot absorb a table of a different storage kind"),
+        }
+    }
 }
+
+/// The shard that owns `key` in an `shards`-way partitioned predictor.
+///
+/// Fibonacci multiplicative spreading before the modulo, so that keys
+/// whose low bits carry structured fields (truncated `addr`/`pc`) still
+/// distribute evenly across any shard count.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if `shards` is zero.
+#[inline]
+pub fn shard_of_key(key: u64, shards: usize) -> usize {
+    debug_assert!(shards > 0, "need at least one shard");
+    (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 17) as usize % shards
+}
+
+// Shard workers move tables across threads; keep that possibility pinned
+// at compile time.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PredictorTable>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -201,5 +261,64 @@ mod tests {
         assert_eq!(t.history(0).unwrap().last(), bm(&[1]));
         assert!(t.history(9).is_none());
         assert!(table("pas(pid)2").history(0).is_none());
+    }
+
+    #[test]
+    fn shard_routing_is_stable_and_in_range() {
+        for shards in [1, 2, 3, 7, 16] {
+            for key in 0..1000u64 {
+                let s = shard_of_key(key, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of_key(key, shards), "routing must be pure");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_routing_spreads_structured_keys() {
+        // Keys that differ only in their low (addr) bits must not all land
+        // on one shard.
+        let shards = 8;
+        let mut hit = vec![0usize; shards];
+        for key in 0..64u64 {
+            hit[shard_of_key(key, shards)] += 1;
+        }
+        let occupied = hit.iter().filter(|&&c| c > 0).count();
+        assert!(occupied >= shards / 2, "low-bit keys collapsed: {hit:?}");
+    }
+
+    #[test]
+    fn split_tables_reassemble_to_global_state() {
+        let scheme: Scheme = "union(pid)2".parse().unwrap();
+        let shards = 4;
+        let mut global = PredictorTable::new(&scheme, 16);
+        let mut split = PredictorTable::split(&scheme, 16, shards);
+        for key in 0..200u64 {
+            let fb = bm(&[(key % 16) as u8]);
+            global.update(key, fb);
+            split[shard_of_key(key, shards)].update(key, fb);
+        }
+        for key in 0..200u64 {
+            assert_eq!(
+                global.predict(key),
+                split[shard_of_key(key, shards)].predict(key),
+                "key {key}"
+            );
+        }
+        let mut merged = PredictorTable::new(&scheme, 16);
+        for t in split {
+            merged.absorb(t);
+        }
+        assert_eq!(merged.entries_touched(), global.entries_touched());
+        for key in 0..200u64 {
+            assert_eq!(merged.predict(key), global.predict(key));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different storage kind")]
+    fn absorb_rejects_mismatched_storage() {
+        let mut a = table("union(pid)2");
+        a.absorb(table("pas(pid)2"));
     }
 }

@@ -14,6 +14,8 @@
 //!   --no-cache        generate the suite in memory, bypassing the cache
 //!   --checkpoint FILE resume the tables 8-11 design-space sweep from FILE
 //!   --sweep-tsv FILE  dump the full design-space sweep as TSV and exit
+//!   --verify-serve    replay the suite through the online sharded engine
+//!                     (csp-serve) and verify bit-identical statistics
 //! ```
 //!
 //! Exit codes: 0 success; 1 runtime failure (I/O, corruption, worker
@@ -34,6 +36,7 @@ struct Options {
     cache_dir: Option<PathBuf>,
     checkpoint: Option<PathBuf>,
     sweep_tsv: Option<PathBuf>,
+    verify_serve: bool,
     requested: Vec<ExperimentId>,
 }
 
@@ -61,6 +64,7 @@ fn parse_args() -> Result<Options, String> {
         cache_dir: Some(PathBuf::from("results/trace-cache")),
         checkpoint: None,
         sweep_tsv: None,
+        verify_serve: false,
         requested: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -91,6 +95,7 @@ fn parse_args() -> Result<Options, String> {
                 Some(f) => opts.sweep_tsv = Some(PathBuf::from(f)),
                 None => return Err("--sweep-tsv needs a file path".into()),
             },
+            "--verify-serve" => opts.verify_serve = true,
             "--help" | "-h" => {
                 print_usage();
                 std::process::exit(0);
@@ -121,6 +126,10 @@ fn run(opts: &Options) -> Result<(), HarnessError> {
         );
     }
     eprintln!("suite ready in {:.1?}\n", t0.elapsed());
+
+    if opts.verify_serve {
+        return verify_serve(&suite);
+    }
 
     if let Some(path) = &opts.sweep_tsv {
         eprintln!("dumping full design-space sweep to {}...", path.display());
@@ -178,6 +187,42 @@ fn run(opts: &Options) -> Result<(), HarnessError> {
     Ok(())
 }
 
+/// Replays the suite through the online sharded engine (`csp-serve`) for
+/// every scheme in the verification grid and checks the screening
+/// statistics are bit-identical to the offline reference engine.
+fn verify_serve(suite: &Suite) -> Result<(), HarnessError> {
+    use csp_harness::serve::{verification_schemes, verify_online_equivalence};
+
+    const SHARDS: usize = 4;
+    let schemes = verification_schemes();
+    println!(
+        "verifying online (sharded x{SHARDS}) == offline across {} schemes x {} benchmarks",
+        schemes.len(),
+        suite.traces().len()
+    );
+    let t0 = std::time::Instant::now();
+    let divergences = verify_online_equivalence(suite, &schemes, SHARDS);
+    for scheme in &schemes {
+        let diverged: Vec<_> = divergences.iter().filter(|d| d.scheme == *scheme).collect();
+        if diverged.is_empty() {
+            println!("  {scheme:<28} online == offline (bit-identical)");
+        } else {
+            for d in diverged {
+                println!("  DIVERGED: {d}");
+            }
+        }
+    }
+    println!("verified in {:.1?}", t0.elapsed());
+    if divergences.is_empty() {
+        Ok(())
+    } else {
+        Err(HarnessError::ServeDivergence {
+            count: divergences.len(),
+            first: divergences[0].to_string(),
+        })
+    }
+}
+
 /// Builds the suite, through the trace cache unless `--no-cache`.
 fn load_suite(opts: &Options) -> Result<Suite, HarnessError> {
     match &opts.cache_dir {
@@ -231,6 +276,7 @@ fn print_usage() {
     eprintln!("  --no-cache        generate the suite in memory, bypassing the cache");
     eprintln!("  --checkpoint FILE resume the tables 8-11 sweep from FILE");
     eprintln!("  --sweep-tsv FILE  dump the full design-space sweep as TSV and exit");
+    eprintln!("  --verify-serve    verify the online sharded engine reproduces offline stats");
     eprintln!("experiments:");
     for e in ExperimentId::ALL {
         eprintln!("  {e}");

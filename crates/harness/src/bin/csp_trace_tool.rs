@@ -3,9 +3,14 @@
 //! ```text
 //! csp-trace-tool gen <benchmark> <out.csptrc> [--scale S] [--seed N]
 //! csp-trace-tool info <trace.csptrc>
+//! csp-trace-tool cat <trace.csptrc> [--limit N]
 //! csp-trace-tool csv <trace.csptrc> [out.csv]
 //! csp-trace-tool eval <trace.csptrc> <scheme>...
 //! ```
+//!
+//! `cat` streams events straight off disk (via [`trace_io::EventStream`])
+//! without materialising the whole trace, so it is safe on traces far
+//! larger than memory.
 
 use csp_core::{engine, Scheme};
 use csp_trace::transform::line_profile;
@@ -20,6 +25,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("gen") => cmd_gen(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
+        Some("cat") => cmd_cat(&args[1..]),
         Some("csv") => cmd_csv(&args[1..]),
         Some("eval") => cmd_eval(&args[1..]),
         _ => {
@@ -40,6 +46,7 @@ fn print_usage() {
     eprintln!("usage:");
     eprintln!("  csp-trace-tool gen <benchmark> <out.csptrc> [--scale S] [--seed N]");
     eprintln!("  csp-trace-tool info <trace.csptrc>");
+    eprintln!("  csp-trace-tool cat <trace.csptrc> [--limit N]");
     eprintln!("  csp-trace-tool csv <trace.csptrc> [out.csv]");
     eprintln!("  csp-trace-tool eval <trace.csptrc> <scheme>...");
     eprintln!(
@@ -116,6 +123,10 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     );
     println!("nodes:                 {}", trace.nodes());
     println!("events:                {}", trace.len());
+    println!("  first writes:        {}", stats.first_writes);
+    println!("  rewrites:            {}", stats.rewrites);
+    println!("  migrations:          {}", stats.migrations);
+    println!("  invalidating misses: {}", stats.invalidating_misses);
     println!("blocks touched:        {}", stats.blocks_touched);
     println!(
         "max stores/node:       {}",
@@ -137,6 +148,75 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     }
     let rest: u64 = hist[5..].iter().sum();
     println!(" 5+:{:.1}%", rest as f64 / total.max(1) as f64 * 100.0);
+    Ok(())
+}
+
+fn cmd_cat(args: &[String]) -> Result<(), String> {
+    let mut limit: Option<u64> = None;
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--limit" => {
+                limit = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--limit needs an integer")?,
+                )
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    let [path] = positional.as_slice() else {
+        return Err("cat needs <trace.csptrc> [--limit N]".into());
+    };
+    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    // Stream events one at a time instead of load()ing the whole trace:
+    // `cat --limit 20` on a multi-gigabyte trace reads only the header
+    // plus twenty records.
+    let mut stream = trace_io::EventStream::new(BufReader::new(file))
+        .map_err(|e| format!("read {path}: {e}"))?;
+    let total = stream.remaining();
+    let take = limit.unwrap_or(total).min(total);
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    writeln!(
+        out,
+        "# {path}: {total} events, {} nodes, format v{}",
+        stream.nodes(),
+        stream.version()
+    )
+    .ok();
+    writeln!(
+        out,
+        "{:>10} {:>7} {:>11} {:>5}  {:16} {:18} prev-writer",
+        "event", "writer", "pc", "home", "line", "invalidated"
+    )
+    .ok();
+    for i in 0..take {
+        let event = stream
+            .next_event()
+            .map_err(|e| format!("read {path}: {e}"))?
+            .ok_or_else(|| format!("read {path}: truncated at event {i}"))?;
+        let prev = match event.prev_writer {
+            Some((node, pc)) => format!("{node}@{pc}"),
+            None => "-".to_string(),
+        };
+        writeln!(
+            out,
+            "{:>10} {:>7} {:>11} {:>5}  {:16} {:18} {prev}",
+            i,
+            event.writer.to_string(),
+            event.pc.to_string(),
+            event.home.to_string(),
+            event.line.to_string(),
+            event.invalidated.to_string(),
+        )
+        .ok();
+    }
+    if take < total {
+        writeln!(out, "# ... {} more event(s) not shown", total - take).ok();
+    }
     Ok(())
 }
 

@@ -47,6 +47,16 @@ pub enum HarnessError {
         /// The panic payload of the first failure, if it was a string.
         message: String,
     },
+    /// The online sharded engine (`csp-serve`) disagreed with the
+    /// offline reference engine — the online == offline equivalence the
+    /// serving layer is built on does not hold (a serious bug in one of
+    /// the two engines).
+    ServeDivergence {
+        /// Number of `(scheme, benchmark)` cells that diverged.
+        count: usize,
+        /// Human-readable description of the first divergence.
+        first: String,
+    },
     /// A suite is missing the trace for `benchmark`.
     MissingBenchmark(Benchmark),
     /// A family sweep was asked for a prediction function it does not
@@ -72,6 +82,12 @@ impl fmt::Display for HarnessError {
                     "{} work item(s) panicked twice (first: {}): {message}",
                     labels.len(),
                     labels.first().map(String::as_str).unwrap_or("?"),
+                )
+            }
+            HarnessError::ServeDivergence { count, first } => {
+                write!(
+                    f,
+                    "online engine diverged from offline on {count} cell(s); first: {first}"
                 )
             }
             HarnessError::MissingBenchmark(b) => {

@@ -13,6 +13,9 @@
 //!   `*_checkpointed` runners;
 //! * [`error`] — the structured [`error::HarnessError`] the library
 //!   surfaces instead of panicking;
+//! * [`serve`] — serve-backed evaluation through the online sharded
+//!   engine (`csp-serve`) and the online == offline equivalence check
+//!   behind `csp-repro --verify-serve`;
 //! * [`render`] — plain-text tables and bar "figures" for terminals;
 //! * [`experiments`] — one driver per table/figure of the paper (Tables
 //!   3–11, Figures 6–9) plus the extension experiments from `DESIGN.md`.
@@ -37,6 +40,7 @@ pub mod error;
 pub mod experiments;
 pub mod render;
 pub mod runner;
+pub mod serve;
 pub mod space;
 
 pub use cache::{CacheOutcome, TraceCache};

@@ -1,0 +1,122 @@
+//! Serve-backed evaluation: runs suite experiments through the *online*
+//! sharded engine (`csp-serve`) instead of the offline single-threaded
+//! engine, and verifies the two agree bit for bit.
+//!
+//! The offline engine is the methodological ground truth (it is what
+//! every table and figure of the paper reproduction uses); the sharded
+//! engine is what a deployment would run. This module is the bridge that
+//! proves switching to the deployment path changes *nothing*: same
+//! confusion counts, same screening rates, on every benchmark.
+
+use crate::runner::{SchemeStats, Suite};
+use csp_core::engine::run_scheme;
+use csp_core::Scheme;
+use csp_metrics::ConfusionMatrix;
+use csp_serve::ShardedEngine;
+use csp_workloads::Benchmark;
+use std::fmt;
+
+/// Evaluates one scheme over every benchmark through the sharded online
+/// engine — the serve-backed twin of [`crate::runner::evaluate_scheme`].
+pub fn evaluate_scheme_online(suite: &Suite, scheme: &Scheme, shards: usize) -> SchemeStats {
+    let per_benchmark = suite
+        .traces()
+        .iter()
+        .map(|b| {
+            let engine = ShardedEngine::new(*scheme, b.trace.nodes(), shards);
+            engine.replay_trace(&b.trace);
+            engine.stats().confusion
+        })
+        .collect();
+    SchemeStats::from_matrices(*scheme, per_benchmark)
+}
+
+/// One benchmark where online and offline evaluation disagreed.
+#[derive(Clone, Debug)]
+pub struct ServeDivergence {
+    /// The scheme that diverged.
+    pub scheme: Scheme,
+    /// The benchmark it diverged on.
+    pub benchmark: Benchmark,
+    /// What the sharded online engine counted.
+    pub online: ConfusionMatrix,
+    /// What the offline reference engine counted.
+    pub offline: ConfusionMatrix,
+}
+
+impl fmt::Display for ServeDivergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} on {}: online {:?} != offline {:?}",
+            self.scheme, self.benchmark, self.online, self.offline
+        )
+    }
+}
+
+/// Replays every benchmark through the online engine for each scheme and
+/// compares against the offline engine. An empty return means the
+/// online == offline proof holds for the whole grid.
+pub fn verify_online_equivalence(
+    suite: &Suite,
+    schemes: &[Scheme],
+    shards: usize,
+) -> Vec<ServeDivergence> {
+    let mut divergences = Vec::new();
+    for scheme in schemes {
+        for bench in suite.traces() {
+            let offline = run_scheme(&bench.trace, scheme);
+            let engine = ShardedEngine::new(*scheme, bench.trace.nodes(), shards);
+            engine.replay_trace(&bench.trace);
+            let online = engine.stats().confusion;
+            if online != offline {
+                divergences.push(ServeDivergence {
+                    scheme: *scheme,
+                    benchmark: bench.benchmark,
+                    online,
+                    offline,
+                });
+            }
+        }
+    }
+    divergences
+}
+
+/// The scheme grid `csp-repro --verify-serve` checks: the paper's three
+/// prediction-function families under every update mode they support.
+pub fn verification_schemes() -> Vec<Scheme> {
+    [
+        "last(pid+pc8)1[direct]",
+        "last(pid+pc8)1[forwarded]",
+        "union(pid+pc8)2[direct]",
+        "union(pid+pc8)2[forwarded]",
+        "union(dir+add8)2[ordered]",
+        "pas(pid+pc8)2[direct]",
+    ]
+    .iter()
+    .map(|s| s.parse().expect("verification scheme notation"))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::evaluate_scheme;
+
+    #[test]
+    fn online_stats_match_offline_stats_exactly() {
+        let suite = Suite::generate(0.02, 11);
+        let scheme: Scheme = "union(pid+pc8)2[forwarded]".parse().unwrap();
+        let online = evaluate_scheme_online(&suite, &scheme, 3);
+        let offline = evaluate_scheme(&suite, &scheme);
+        assert_eq!(online.per_benchmark, offline.per_benchmark);
+        assert_eq!(online.mean.pvp.to_bits(), offline.mean.pvp.to_bits());
+    }
+
+    #[test]
+    fn verification_grid_is_clean() {
+        let suite = Suite::generate(0.02, 11);
+        let divergences = verify_online_equivalence(&suite, &verification_schemes(), 4);
+        assert!(divergences.is_empty(), "{divergences:?}");
+    }
+}

@@ -40,8 +40,10 @@
 pub mod benefit;
 pub mod compare;
 mod confusion;
+pub mod online;
 pub mod precision;
 mod screening;
 
 pub use confusion::ConfusionMatrix;
+pub use online::OnlineConfusion;
 pub use screening::Screening;

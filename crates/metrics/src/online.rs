@@ -1,0 +1,160 @@
+//! Lock-free online confusion counters for concurrent predictor serving.
+//!
+//! An offline experiment owns its [`ConfusionMatrix`] exclusively; a
+//! *serving* deployment (see the `csp-serve` crate) scores decisions on
+//! shard worker threads while monitoring code wants live
+//! prevalence/sensitivity/PVP snapshots. [`OnlineConfusion`] is the
+//! bridge: each cell is an atomic counter, writers record without any
+//! lock, and readers take a [`snapshot`](OnlineConfusion::snapshot) at
+//! any time. Per-shard snapshots merge with plain
+//! [`ConfusionMatrix`] addition, which commutes — so the merged totals
+//! are exactly what a single sequential matrix would have counted, no
+//! matter how decisions were spread over shards.
+
+use crate::{ConfusionMatrix, Screening};
+use csp_trace::SharingBitmap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A [`ConfusionMatrix`] whose cells are independently updatable atomics.
+///
+/// Single-writer-per-shard deployments get exact counts; multi-writer use
+/// is also sound (every increment lands) but a snapshot taken mid-record
+/// may observe a decision split across cells. Monotonicity always holds:
+/// later snapshots dominate earlier ones cell-wise.
+///
+/// # Example
+///
+/// ```
+/// use csp_metrics::OnlineConfusion;
+/// use csp_trace::{NodeId, SharingBitmap};
+///
+/// let online = OnlineConfusion::default();
+/// let predicted = SharingBitmap::from_nodes(&[NodeId(1)]);
+/// let actual = SharingBitmap::from_nodes(&[NodeId(1), NodeId(2)]);
+/// online.record(predicted, actual, 16);
+/// let m = online.snapshot();
+/// assert_eq!((m.tp, m.fn_), (1, 1));
+/// ```
+#[derive(Debug, Default)]
+pub struct OnlineConfusion {
+    tp: AtomicU64,
+    fp: AtomicU64,
+    tn: AtomicU64,
+    fn_: AtomicU64,
+}
+
+impl OnlineConfusion {
+    /// Scores one decision, exactly as [`ConfusionMatrix::record`] would.
+    ///
+    /// Takes `&self`: safe to call from any number of threads.
+    #[inline]
+    pub fn record(&self, predicted: SharingBitmap, actual: SharingBitmap, nodes: usize) {
+        // Delegate the cell arithmetic to the offline matrix so the two
+        // paths can never drift apart.
+        let mut m = ConfusionMatrix::default();
+        m.record(predicted, actual, nodes);
+        self.add(&m);
+    }
+
+    /// Adds a whole pre-computed matrix (e.g. a batch scored locally).
+    #[inline]
+    pub fn add(&self, m: &ConfusionMatrix) {
+        self.tp.fetch_add(m.tp, Ordering::Relaxed);
+        self.fp.fetch_add(m.fp, Ordering::Relaxed);
+        self.tn.fetch_add(m.tn, Ordering::Relaxed);
+        self.fn_.fetch_add(m.fn_, Ordering::Relaxed);
+    }
+
+    /// The current counts as an ordinary mergeable [`ConfusionMatrix`].
+    pub fn snapshot(&self) -> ConfusionMatrix {
+        ConfusionMatrix {
+            tp: self.tp.load(Ordering::Relaxed),
+            fp: self.fp.load(Ordering::Relaxed),
+            tn: self.tn.load(Ordering::Relaxed),
+            fn_: self.fn_.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Screening rates of the current snapshot.
+    pub fn screening(&self) -> Screening {
+        self.snapshot().screening()
+    }
+}
+
+/// Merges per-shard snapshots into system-wide totals.
+///
+/// Plain summation — kept as a named function so call sites document that
+/// the merge is exact (integer addition commutes over any sharding).
+pub fn merge_snapshots<I: IntoIterator<Item = ConfusionMatrix>>(shards: I) -> ConfusionMatrix {
+    shards.into_iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csp_trace::NodeId;
+
+    fn bm(nodes: &[u8]) -> SharingBitmap {
+        nodes.iter().map(|&n| NodeId(n)).collect()
+    }
+
+    #[test]
+    fn matches_offline_record() {
+        let online = OnlineConfusion::default();
+        let mut offline = ConfusionMatrix::default();
+        let cases = [
+            (bm(&[1, 2]), bm(&[2, 3])),
+            (bm(&[]), bm(&[0])),
+            (bm(&[5]), bm(&[5])),
+        ];
+        for (p, a) in cases {
+            online.record(p, a, 16);
+            offline.record(p, a, 16);
+        }
+        assert_eq!(online.snapshot(), offline);
+        assert_eq!(online.screening(), offline.screening());
+    }
+
+    #[test]
+    fn sharded_merge_equals_sequential() {
+        // Score 100 decisions round-robin over 4 shards; the merged counts
+        // must be byte-identical to one sequential matrix.
+        let shards: Vec<OnlineConfusion> = (0..4).map(|_| OnlineConfusion::default()).collect();
+        let mut sequential = ConfusionMatrix::default();
+        for i in 0..100u8 {
+            let p = bm(&[i % 16]);
+            let a = bm(&[(i + 1) % 16, i % 16]);
+            shards[i as usize % 4].record(p, a, 16);
+            sequential.record(p, a, 16);
+        }
+        let merged = merge_snapshots(shards.iter().map(|s| s.snapshot()));
+        assert_eq!(merged, sequential);
+    }
+
+    #[test]
+    fn concurrent_writers_lose_nothing() {
+        let online = OnlineConfusion::default();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        online.record(bm(&[1]), bm(&[1]), 4);
+                    }
+                });
+            }
+        });
+        let m = online.snapshot();
+        assert_eq!(m.tp, 4000);
+        assert_eq!(m.decisions(), 16000);
+    }
+
+    #[test]
+    fn add_accumulates_batches() {
+        let online = OnlineConfusion::default();
+        let mut batch = ConfusionMatrix::default();
+        batch.record(bm(&[0]), bm(&[0, 1]), 4);
+        online.add(&batch);
+        online.add(&batch);
+        assert_eq!(online.snapshot(), batch + batch);
+    }
+}

@@ -1,0 +1,186 @@
+//! The load generator: drives a running server with batched prediction
+//! queries and reports throughput and latency percentiles.
+
+use crate::{Client, Probe};
+use csp_trace::{LineAddr, NodeId, Pc};
+use std::fmt;
+use std::io;
+use std::net::ToSocketAddrs;
+use std::time::{Duration, Instant};
+
+/// Load-generation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadOptions {
+    /// Probes per request frame (amortizes one round-trip over the
+    /// batch; the dominant throughput lever).
+    pub batch: usize,
+    /// Number of request frames to send.
+    pub frames: usize,
+    /// Machine width probes are drawn for.
+    pub nodes: usize,
+    /// Seed for the deterministic probe stream.
+    pub seed: u64,
+}
+
+impl Default for LoadOptions {
+    fn default() -> Self {
+        LoadOptions {
+            batch: 1024,
+            frames: 1000,
+            nodes: 16,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// The measured outcome of one load run.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadReport {
+    /// Total probes answered.
+    pub probes: u64,
+    /// Request frames sent.
+    pub frames: u64,
+    /// Wall-clock time over the whole run.
+    pub elapsed: Duration,
+    /// Median per-frame round-trip latency.
+    pub p50: Duration,
+    /// 99th-percentile per-frame round-trip latency.
+    pub p99: Duration,
+}
+
+impl LoadReport {
+    /// Aggregate predictor queries per second.
+    pub fn qps(&self) -> f64 {
+        self.probes as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+impl fmt::Display for LoadReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} probes in {:.3}s = {:.0} queries/sec (frame p50 {:.1}us, p99 {:.1}us)",
+            self.probes,
+            self.elapsed.as_secs_f64(),
+            self.qps(),
+            self.p50.as_secs_f64() * 1e6,
+            self.p99.as_secs_f64() * 1e6,
+        )
+    }
+}
+
+/// SplitMix64: a tiny deterministic generator for the probe stream (no
+/// external dependency, identical stream on every run of a given seed).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct SplitMix64(pub u64);
+
+impl SplitMix64 {
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// The deterministic probe at position `i` of the stream for `seed`.
+pub fn probe_stream(seed: u64, nodes: usize, count: usize) -> Vec<Probe> {
+    let mut rng = SplitMix64(seed);
+    (0..count)
+        .map(|_| {
+            let r = rng.next_u64();
+            Probe::new(
+                NodeId((r % nodes as u64) as u8),
+                Pc((r >> 8) as u32 & 0x3FF),
+                NodeId(((r >> 40) % nodes as u64) as u8),
+                LineAddr((r >> 20) & 0xFFFF),
+            )
+        })
+        .collect()
+}
+
+/// Runs a load test against the server at `addr`, sending
+/// [`LoadOptions::frames`] batches of [`LoadOptions::batch`] probes and
+/// timing each round-trip.
+///
+/// # Errors
+///
+/// Propagates connection and transport errors.
+pub fn run_load<A: ToSocketAddrs>(addr: A, opts: &LoadOptions) -> io::Result<LoadReport> {
+    let mut client = Client::connect_tcp(addr)?;
+    client.ping()?;
+    // One warm-up frame so connection setup is not in the measurement.
+    let probes = probe_stream(opts.seed, opts.nodes, opts.batch.max(1));
+    let _ = client.predict_batch(&probes)?;
+
+    let mut latencies = Vec::with_capacity(opts.frames);
+    let start = Instant::now();
+    for frame in 0..opts.frames {
+        // Rotate through frame-specific probe sets so predictions are not
+        // answered out of a single hot cache line.
+        let probes = probe_stream(opts.seed ^ frame as u64, opts.nodes, opts.batch.max(1));
+        let t0 = Instant::now();
+        let preds = client.predict_batch(&probes)?;
+        latencies.push(t0.elapsed());
+        debug_assert_eq!(preds.len(), probes.len());
+    }
+    let elapsed = start.elapsed();
+    latencies.sort_unstable();
+    let pick = |q: f64| {
+        let idx = ((latencies.len() as f64 - 1.0) * q).round() as usize;
+        latencies.get(idx).copied().unwrap_or_default()
+    };
+    Ok(LoadReport {
+        probes: (opts.frames * opts.batch.max(1)) as u64,
+        frames: opts.frames as u64,
+        elapsed,
+        p50: pick(0.50),
+        p99: pick(0.99),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Server, ShardedEngine};
+    use std::sync::Arc;
+
+    #[test]
+    fn probe_stream_is_deterministic_and_in_range() {
+        let a = probe_stream(42, 16, 500);
+        let b = probe_stream(42, 16, 500);
+        assert_eq!(a, b);
+        assert_ne!(a, probe_stream(43, 16, 500));
+        for p in &a {
+            assert!(p.writer.index() < 16);
+            assert!(p.home.index() < 16);
+        }
+    }
+
+    #[test]
+    fn load_run_reports_sane_numbers() {
+        let engine = Arc::new(ShardedEngine::new(
+            "last(pid+pc8)1[direct]".parse().unwrap(),
+            16,
+            2,
+        ));
+        let server = Server::bind_tcp("127.0.0.1:0", Arc::clone(&engine)).unwrap();
+        let addr = server.local_addr().unwrap();
+        std::thread::spawn(move || server.run());
+
+        let opts = LoadOptions {
+            batch: 64,
+            frames: 20,
+            ..LoadOptions::default()
+        };
+        let report = run_load(addr, &opts).unwrap();
+        assert_eq!(report.probes, 64 * 20);
+        assert_eq!(report.frames, 20);
+        assert!(report.qps() > 0.0);
+        assert!(report.p99 >= report.p50);
+        assert!(report.to_string().contains("queries/sec"));
+        // The engine really answered them (warm-up frame included).
+        assert_eq!(engine.stats().queries, 64 * 21);
+    }
+}

@@ -1,0 +1,276 @@
+//! `csp-served` — host, drive and verify the online prediction service.
+//!
+//! ```text
+//! csp-served serve  --scheme S [--nodes N] [--shards K] [--listen ADDR]
+//!                   [--unix PATH] [--warm trace.csptrc]... [--stats-every SECS]
+//! csp-served bench  [--scheme S] [--nodes N] [--shards K] [--batch B]
+//!                   [--frames F] [--addr ADDR] [--warm trace.csptrc]
+//! csp-served replay --scheme S [--shards K] <trace.csptrc>...
+//! ```
+//!
+//! `serve` hosts an engine on TCP (and optionally a Unix socket) and logs
+//! live screening statistics. `bench` measures queries/sec and frame
+//! latency percentiles — against `--addr`, or against a self-hosted
+//! loopback server when no address is given. `replay` replays recorded
+//! traces through the sharded engine and *verifies* the online screening
+//! statistics are bit-identical to the offline engine's (exit code 2 on
+//! divergence).
+
+use csp_core::engine::run_scheme;
+use csp_core::Scheme;
+use csp_serve::{run_load, LoadOptions, Server, ShardedEngine};
+use csp_trace::{io as trace_io, Trace};
+use std::fs::File;
+use std::io::BufReader;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        _ => {
+            print_usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!("usage:");
+    eprintln!("  csp-served serve  --scheme S [--nodes N] [--shards K] [--listen ADDR]");
+    eprintln!("                    [--unix PATH] [--warm trace.csptrc]... [--stats-every SECS]");
+    eprintln!("  csp-served bench  [--scheme S] [--nodes N] [--shards K] [--batch B]");
+    eprintln!("                    [--frames F] [--addr ADDR] [--warm trace.csptrc]");
+    eprintln!("  csp-served replay --scheme S [--shards K] <trace.csptrc>...");
+}
+
+fn load_trace(path: &str) -> Result<Trace, String> {
+    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    trace_io::read_trace(BufReader::new(file)).map_err(|e| format!("read {path}: {e}"))
+}
+
+fn parse_scheme(spec: &str) -> Result<Scheme, String> {
+    spec.parse().map_err(|e| format!("{spec}: {e}"))
+}
+
+/// Options shared by the subcommands, parsed from `--flag value` pairs;
+/// anything unflagged lands in `positional`.
+struct Options {
+    scheme: Option<String>,
+    nodes: usize,
+    shards: usize,
+    listen: String,
+    unix: Option<String>,
+    addr: Option<String>,
+    warm: Vec<String>,
+    batch: usize,
+    frames: usize,
+    stats_every: u64,
+    positional: Vec<String>,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut o = Options {
+        scheme: None,
+        nodes: 16,
+        shards: 4,
+        listen: "127.0.0.1:7117".to_string(),
+        unix: None,
+        addr: None,
+        warm: Vec::new(),
+        batch: 1024,
+        frames: 2000,
+        stats_every: 10,
+        positional: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--scheme" => o.scheme = Some(value("--scheme")?),
+            "--nodes" => {
+                o.nodes = value("--nodes")?
+                    .parse()
+                    .map_err(|_| "--nodes needs an integer")?
+            }
+            "--shards" => {
+                o.shards = value("--shards")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&v| v > 0)
+                    .ok_or("--shards needs a positive integer")?
+            }
+            "--listen" => o.listen = value("--listen")?,
+            "--unix" => o.unix = Some(value("--unix")?),
+            "--addr" => o.addr = Some(value("--addr")?),
+            "--warm" => {
+                let path = value("--warm")?;
+                o.warm.push(path);
+            }
+            "--batch" => {
+                o.batch = value("--batch")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&v| v > 0)
+                    .ok_or("--batch needs a positive integer")?
+            }
+            "--frames" => {
+                o.frames = value("--frames")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&v| v > 0)
+                    .ok_or("--frames needs a positive integer")?
+            }
+            "--stats-every" => {
+                o.stats_every = value("--stats-every")?
+                    .parse()
+                    .map_err(|_| "--stats-every needs a number of seconds")?
+            }
+            other => o.positional.push(other.to_string()),
+        }
+    }
+    Ok(o)
+}
+
+fn build_engine(o: &Options, default_scheme: &str) -> Result<Arc<ShardedEngine>, String> {
+    let scheme = parse_scheme(o.scheme.as_deref().unwrap_or(default_scheme))?;
+    let engine = Arc::new(ShardedEngine::new(scheme, o.nodes, o.shards));
+    for path in &o.warm {
+        let trace = load_trace(path)?;
+        if trace.nodes() != o.nodes {
+            return Err(format!(
+                "{path}: trace has {} nodes, engine has {}",
+                trace.nodes(),
+                o.nodes
+            ));
+        }
+        engine.replay_trace(&trace);
+        eprintln!("warmed from {path}: {} events", trace.len());
+    }
+    Ok(engine)
+}
+
+fn log_stats(engine: &ShardedEngine) {
+    let s = engine.stats();
+    let scr = s.screening();
+    eprintln!(
+        "[stats] queries={} updates={} scored={} entries={} pvp={:.3} sens={:.3}",
+        s.queries, s.updates, s.scored, s.entries, scr.pvp, scr.sensitivity
+    );
+}
+
+fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
+    let o = parse_options(args)?;
+    if o.scheme.is_none() {
+        return Err("serve needs --scheme (e.g. --scheme 'inter(pid+pc8)2[direct]')".into());
+    }
+    let engine = build_engine(&o, "")?;
+
+    if let Some(path) = &o.unix {
+        let _ = std::fs::remove_file(path);
+        let server = Server::bind_unix(path, Arc::clone(&engine))
+            .map_err(|e| format!("bind {path}: {e}"))?;
+        eprintln!("listening on unix socket {path}");
+        std::thread::spawn(move || server.run());
+    }
+    let server = Server::bind_tcp(&o.listen, Arc::clone(&engine))
+        .map_err(|e| format!("bind {}: {e}", o.listen))?;
+    eprintln!(
+        "serving {} on {} ({} shards, {} nodes)",
+        engine.scheme(),
+        server.local_addr().map_err(|e| e.to_string())?,
+        engine.shard_count(),
+        engine.nodes()
+    );
+
+    if o.stats_every > 0 {
+        let monitor = Arc::clone(&engine);
+        let every = Duration::from_secs(o.stats_every);
+        std::thread::spawn(move || loop {
+            std::thread::sleep(every);
+            log_stats(&monitor);
+        });
+    }
+    server.run().map_err(|e| e.to_string())?;
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
+    let o = parse_options(args)?;
+    let opts = LoadOptions {
+        batch: o.batch,
+        frames: o.frames,
+        nodes: o.nodes,
+        ..LoadOptions::default()
+    };
+    let report = match &o.addr {
+        Some(addr) => run_load(addr.as_str(), &opts).map_err(|e| e.to_string())?,
+        None => {
+            // Self-hosted: spin the engine up on a loopback ephemeral port
+            // so `csp-served bench` measures the full service stack.
+            let engine = build_engine(&o, "last(pid+pc8)1[direct]")?;
+            eprintln!(
+                "self-hosted bench: {} with {} shards",
+                engine.scheme(),
+                engine.shard_count()
+            );
+            let server =
+                Server::bind_tcp("127.0.0.1:0", engine).map_err(|e| format!("bind: {e}"))?;
+            let addr = server.local_addr().map_err(|e| e.to_string())?;
+            std::thread::spawn(move || server.run());
+            run_load(addr, &opts).map_err(|e| e.to_string())?
+        }
+    };
+    println!("{report}");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_replay(args: &[String]) -> Result<ExitCode, String> {
+    let o = parse_options(args)?;
+    let spec = o.scheme.as_deref().ok_or("replay needs --scheme")?;
+    let scheme = parse_scheme(spec)?;
+    if o.positional.is_empty() {
+        return Err("replay needs at least one <trace.csptrc>".into());
+    }
+    let mut diverged = false;
+    for path in &o.positional {
+        let trace = load_trace(path)?;
+        let engine = ShardedEngine::new(scheme, trace.nodes(), o.shards);
+        engine.replay_trace(&trace);
+        let online = engine.stats().confusion;
+        let offline = run_scheme(&trace, &scheme);
+        let s = online.screening();
+        let verdict = if online == offline {
+            "= offline (bit-identical)"
+        } else {
+            diverged = true;
+            "!= offline: DIVERGED"
+        };
+        println!(
+            "{path}: {} events, pvp {:.3}, sens {:.3} {verdict}",
+            trace.len(),
+            s.pvp,
+            s.sensitivity
+        );
+    }
+    Ok(if diverged {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    })
+}

@@ -1,0 +1,146 @@
+//! A blocking client for the prediction service.
+
+use crate::wire::{self, Request, Response, StatsReply};
+use crate::Probe;
+use csp_trace::SharingBitmap;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+
+enum Transport {
+    Tcp {
+        reader: BufReader<TcpStream>,
+        writer: BufWriter<TcpStream>,
+    },
+    #[cfg(unix)]
+    Unix {
+        reader: BufReader<UnixStream>,
+        writer: BufWriter<UnixStream>,
+    },
+}
+
+/// A synchronous request/response client.
+///
+/// One request is in flight at a time; clone nothing — open one client
+/// per thread (the server multiplexes connections onto the shared
+/// engine).
+pub struct Client {
+    transport: Transport,
+}
+
+fn unexpected(resp: Response) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        match resp {
+            Response::Error(msg) => format!("server error: {msg}"),
+            other => format!("unexpected response: {other:?}"),
+        },
+    )
+}
+
+impl Client {
+    /// Connects over TCP.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect_tcp<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            transport: Transport::Tcp {
+                reader: BufReader::new(stream.try_clone()?),
+                writer: BufWriter::new(stream),
+            },
+        })
+    }
+
+    /// Connects over a Unix-domain socket.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    #[cfg(unix)]
+    pub fn connect_unix<P: AsRef<std::path::Path>>(path: P) -> io::Result<Self> {
+        let stream = UnixStream::connect(path)?;
+        Ok(Client {
+            transport: Transport::Unix {
+                reader: BufReader::new(stream.try_clone()?),
+                writer: BufWriter::new(stream),
+            },
+        })
+    }
+
+    fn round_trip(&mut self, req: &Request) -> io::Result<Response> {
+        fn go<R: Read, W: Write>(r: &mut R, w: &mut W, req: &Request) -> io::Result<Response> {
+            wire::write_request(w, req)?;
+            w.flush()?;
+            wire::read_response(r)
+        }
+        match &mut self.transport {
+            Transport::Tcp { reader, writer } => go(reader, writer, req),
+            #[cfg(unix)]
+            Transport::Unix { reader, writer } => go(reader, writer, req),
+        }
+    }
+
+    /// Liveness check.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or [`io::ErrorKind::InvalidData`] on a non-pong reply.
+    pub fn ping(&mut self) -> io::Result<()> {
+        match self.round_trip(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Predicts the reader bitmap for one probe.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or [`io::ErrorKind::InvalidData`] on a mismatched
+    /// reply (including server-side errors).
+    pub fn predict(&mut self, probe: &Probe) -> io::Result<SharingBitmap> {
+        match self.round_trip(&Request::Predict(*probe))? {
+            Response::Prediction(b) => Ok(b),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Predicts a batch of probes; the reply preserves probe order.
+    ///
+    /// # Errors
+    ///
+    /// As [`predict`](Self::predict), plus [`io::ErrorKind::InvalidData`]
+    /// if the reply count differs from the probe count.
+    pub fn predict_batch(&mut self, probes: &[Probe]) -> io::Result<Vec<SharingBitmap>> {
+        match self.round_trip(&Request::PredictBatch(probes.to_vec()))? {
+            Response::PredictionBatch(bitmaps) if bitmaps.len() == probes.len() => Ok(bitmaps),
+            Response::PredictionBatch(bitmaps) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "sent {} probes, got {} predictions",
+                    probes.len(),
+                    bitmaps.len()
+                ),
+            )),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetches the engine's merged live statistics.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or [`io::ErrorKind::InvalidData`] on a mismatched
+    /// reply.
+    pub fn stats(&mut self) -> io::Result<StatsReply> {
+        match self.round_trip(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(unexpected(other)),
+        }
+    }
+}

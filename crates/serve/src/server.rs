@@ -1,0 +1,236 @@
+//! The query front-end: serves the wire protocol over TCP or Unix
+//! sockets, one connection-handler thread per client, all sharing one
+//! [`ShardedEngine`].
+
+use crate::wire::{self, Request, Response, StatsReply};
+use crate::ShardedEngine;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+#[cfg(unix)]
+use std::os::unix::net::UnixListener;
+use std::sync::Arc;
+
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+/// A prediction server bound to a socket, not yet accepting.
+///
+/// [`run`](Server::run) accepts forever; spawn it on a thread to serve in
+/// the background (see the crate-level example).
+pub struct Server {
+    listener: Listener,
+    engine: Arc<ShardedEngine>,
+}
+
+impl Server {
+    /// Binds a TCP listener (use port 0 for an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    pub fn bind_tcp<A: ToSocketAddrs>(addr: A, engine: Arc<ShardedEngine>) -> io::Result<Self> {
+        Ok(Server {
+            listener: Listener::Tcp(TcpListener::bind(addr)?),
+            engine,
+        })
+    }
+
+    /// Binds a Unix-domain socket listener at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors (e.g. the path already exists).
+    #[cfg(unix)]
+    pub fn bind_unix<P: AsRef<std::path::Path>>(
+        path: P,
+        engine: Arc<ShardedEngine>,
+    ) -> io::Result<Self> {
+        Ok(Server {
+            listener: Listener::Unix(UnixListener::bind(path)?),
+            engine,
+        })
+    }
+
+    /// The bound TCP address (for ephemeral-port binds).
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::Unsupported`] for Unix-socket servers.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        match &self.listener {
+            Listener::Tcp(l) => l.local_addr(),
+            #[cfg(unix)]
+            Listener::Unix(_) => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "unix-socket server has no TCP address",
+            )),
+        }
+    }
+
+    /// Accepts connections forever, one handler thread per client.
+    ///
+    /// # Errors
+    ///
+    /// Returns only on a fatal accept error; per-connection I/O errors
+    /// just end that connection.
+    pub fn run(self) -> io::Result<()> {
+        match self.listener {
+            Listener::Tcp(listener) => loop {
+                let (stream, _) = listener.accept()?;
+                stream.set_nodelay(true)?;
+                let engine = Arc::clone(&self.engine);
+                std::thread::spawn(move || {
+                    let reader = BufReader::new(&stream);
+                    let writer = BufWriter::new(&stream);
+                    let _ = serve_connection(reader, writer, &engine);
+                });
+            },
+            #[cfg(unix)]
+            Listener::Unix(listener) => loop {
+                let (stream, _) = listener.accept()?;
+                let engine = Arc::clone(&self.engine);
+                std::thread::spawn(move || {
+                    let reader = BufReader::new(&stream);
+                    let writer = BufWriter::new(&stream);
+                    let _ = serve_connection(reader, writer, &engine);
+                });
+            },
+        }
+    }
+}
+
+/// Serves one connection until EOF: read a request frame, answer it,
+/// flush. Malformed-but-framed requests get a [`Response::Error`] and the
+/// connection continues; transport-level errors (bad checksum, mid-frame
+/// EOF) end it, since framing can no longer be trusted.
+///
+/// # Errors
+///
+/// Propagates transport I/O errors.
+pub fn serve_connection<R: Read, W: Write>(
+    mut reader: R,
+    mut writer: W,
+    engine: &ShardedEngine,
+) -> io::Result<()> {
+    loop {
+        let payload = match wire::read_frame(&mut reader)? {
+            Some(p) => p,
+            None => return Ok(()), // clean EOF
+        };
+        let response = match wire::decode_request(&payload) {
+            Ok(request) => answer(engine, request),
+            Err(e) => Response::Error(e.to_string()),
+        };
+        wire::write_response(&mut writer, &response)?;
+        writer.flush()?;
+    }
+}
+
+/// Computes the response to one request.
+pub fn answer(engine: &ShardedEngine, request: Request) -> Response {
+    match request {
+        Request::Ping => Response::Pong,
+        Request::Predict(probe) => Response::Prediction(engine.predict(&probe)),
+        Request::PredictBatch(probes) => Response::PredictionBatch(engine.predict_batch(&probes)),
+        Request::Stats => Response::Stats(StatsReply::from_snapshot(
+            &engine.scheme().to_string(),
+            engine.nodes(),
+            engine.shard_count(),
+            &engine.stats(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Client, Probe};
+    use csp_trace::{LineAddr, NodeId, Pc, SharingBitmap, SharingEvent};
+
+    fn engine() -> Arc<ShardedEngine> {
+        let engine = ShardedEngine::new("last(pid)1[direct]".parse().unwrap(), 16, 2);
+        for pid in 0..16u8 {
+            engine.ingest_event(&SharingEvent::new(
+                NodeId(pid),
+                Pc(0),
+                LineAddr(0),
+                NodeId(0),
+                SharingBitmap::singleton(NodeId(15 - pid)),
+                Some((NodeId(pid), Pc(0))),
+            ));
+        }
+        engine.flush();
+        Arc::new(engine)
+    }
+
+    fn probe(pid: u8) -> Probe {
+        Probe::new(NodeId(pid), Pc(0), NodeId(0), LineAddr(0))
+    }
+
+    #[test]
+    fn tcp_round_trip_single_batch_and_stats() {
+        let server = Server::bind_tcp("127.0.0.1:0", engine()).unwrap();
+        let addr = server.local_addr().unwrap();
+        std::thread::spawn(move || server.run());
+
+        let mut client = Client::connect_tcp(addr).unwrap();
+        client.ping().unwrap();
+        assert_eq!(
+            client.predict(&probe(3)).unwrap(),
+            SharingBitmap::singleton(NodeId(12))
+        );
+        let batch: Vec<Probe> = (0..16).map(probe).collect();
+        let preds = client.predict_batch(&batch).unwrap();
+        for (pid, pred) in preds.iter().enumerate() {
+            assert_eq!(*pred, SharingBitmap::singleton(NodeId(15 - pid as u8)));
+        }
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.scheme, "last(pid)[direct]");
+        assert_eq!(stats.nodes, 16);
+        assert_eq!(stats.shards, 2);
+        assert_eq!(stats.updates, 16);
+        assert!(stats.queries >= 17); // 1 single + 16 batch
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_socket_round_trip() {
+        let path =
+            std::env::temp_dir().join(format!("csp-served-test-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let server = Server::bind_unix(&path, engine()).unwrap();
+        let server_path = path.clone();
+        std::thread::spawn(move || server.run());
+
+        let mut client = Client::connect_unix(&server_path).unwrap();
+        client.ping().unwrap();
+        assert_eq!(
+            client.predict(&probe(0)).unwrap(),
+            SharingBitmap::singleton(NodeId(15))
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn malformed_request_gets_error_and_connection_survives() {
+        let server = Server::bind_tcp("127.0.0.1:0", engine()).unwrap();
+        let addr = server.local_addr().unwrap();
+        std::thread::spawn(move || server.run());
+
+        let stream = std::net::TcpStream::connect(addr).unwrap();
+        let mut writer = BufWriter::new(&stream);
+        let mut reader = BufReader::new(&stream);
+        // A well-framed but unknown request type.
+        wire::write_frame(&mut writer, &[0x7E, 1, 2]).unwrap();
+        writer.flush().unwrap();
+        let resp = wire::read_response(&mut reader).unwrap();
+        assert!(matches!(resp, Response::Error(_)), "got {resp:?}");
+        // The connection still answers real requests.
+        wire::write_request(&mut writer, &Request::Ping).unwrap();
+        writer.flush().unwrap();
+        assert_eq!(wire::read_response(&mut reader).unwrap(), Response::Pong);
+    }
+}

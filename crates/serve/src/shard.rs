@@ -1,0 +1,700 @@
+//! The sharded predictor engine: one worker thread per shard, each owning
+//! a private [`PredictorTable`] partition. No global lock anywhere.
+//!
+//! # Why sharding is exact
+//!
+//! A predictor entry's state depends only on the *ordered sequence of
+//! updates to its own key* — entries never interact. The dispatcher routes
+//! every operation (update, score, query) to the shard
+//! [`shard_of_key`] names, appending to that shard's FIFO inbox in global
+//! emission order. Restricted to one key, the shard's inbox order is
+//! therefore exactly the sequential engine's order, so each entry moves
+//! through the same states it would in one global table. Screening
+//! counters are integers and merge by addition, which commutes — the
+//! merged totals are bit-identical to a sequential run no matter how keys
+//! spread over shards. This holds for *forwarded* update too: the
+//! `update(fkey)` and the `score(key)` of one event may land on different
+//! shards, but each touches only its own key's entry, and each shard sees
+//! its share of operations in emission order.
+//!
+//! The one thing sharding reorders is *wall-clock interleaving across
+//! keys*, which no per-key state can observe.
+
+use crate::Probe;
+use csp_core::{node_bits, shard_of_key, PredictorTable, Scheme, UpdateMode};
+use csp_metrics::{ConfusionMatrix, OnlineConfusion, Screening};
+use csp_trace::{SharingBitmap, SharingEvent, Trace};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Operations batched into a shard's inbox by the ingest path.
+#[derive(Clone, Copy, Debug)]
+pub enum IngestOp {
+    /// Deliver a feedback bitmap to `key`'s entry.
+    Update {
+        /// The predictor index key to train.
+        key: u64,
+        /// The invalidation feedback to shift in.
+        feedback: SharingBitmap,
+    },
+    /// Predict through `key`'s entry and score the prediction against
+    /// `actual` in the shard's live confusion counters.
+    Score {
+        /// The predictor index key to consult.
+        key: u64,
+        /// The ground-truth reader bitmap for this decision.
+        actual: SharingBitmap,
+    },
+}
+
+/// Messages a shard worker consumes.
+enum ShardMsg {
+    /// A batch of in-order ingest operations.
+    Ingest(Vec<IngestOp>),
+    /// Predict for `(position, key)` probes and reply. An empty probe list
+    /// doubles as a flush barrier: the reply proves every earlier message
+    /// has been applied.
+    Query {
+        probes: Vec<(usize, u64)>,
+        reply: Sender<Vec<(usize, SharingBitmap)>>,
+    },
+}
+
+/// Per-shard live counters, shared lock-free between the worker (writer)
+/// and monitoring readers.
+#[derive(Debug, Default)]
+pub struct ShardCounters {
+    /// Screening counters over every scored decision on this shard.
+    pub confusion: OnlineConfusion,
+    /// Update operations applied.
+    pub updates: AtomicU64,
+    /// Score operations applied (replay decisions).
+    pub scored: AtomicU64,
+    /// Query probes answered (serving decisions; not scored).
+    pub queries: AtomicU64,
+    /// Predictor entries currently allocated on this shard.
+    pub entries: AtomicU64,
+}
+
+/// A merged, point-in-time view of the whole engine's counters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EngineSnapshot {
+    /// Merged screening counters over all shards.
+    pub confusion: ConfusionMatrix,
+    /// Total update operations applied.
+    pub updates: u64,
+    /// Total scored (replay) decisions.
+    pub scored: u64,
+    /// Total serving probes answered.
+    pub queries: u64,
+    /// Total predictor entries allocated.
+    pub entries: u64,
+    /// Per-shard confusion matrices, in shard order.
+    pub per_shard: Vec<ConfusionMatrix>,
+}
+
+impl EngineSnapshot {
+    /// Screening rates of the merged confusion counters.
+    pub fn screening(&self) -> Screening {
+        self.confusion.screening()
+    }
+}
+
+struct ShardHandle {
+    tx: SyncSender<ShardMsg>,
+    counters: Arc<ShardCounters>,
+    join: Option<JoinHandle<PredictorTable>>,
+}
+
+/// How many messages a shard inbox buffers before senders block
+/// (backpressure: a slow shard throttles ingest instead of ballooning
+/// memory).
+const INBOX_DEPTH: usize = 64;
+
+/// Ingest operations buffered per shard before a batch is flushed.
+const BATCH: usize = 1024;
+
+/// An online prediction engine partitioned over worker-thread shards.
+///
+/// Construction spawns the workers; [`shutdown`](ShardedEngine::shutdown)
+/// (or drop) joins them. All methods take `&self` — the engine is shared
+/// across server connection threads behind an [`Arc`].
+///
+/// # Example
+///
+/// ```
+/// use csp_serve::{Probe, ShardedEngine};
+/// use csp_trace::{LineAddr, NodeId, Pc, SharingBitmap, SharingEvent, Trace};
+///
+/// let mut trace = Trace::new(16);
+/// let readers = SharingBitmap::from_nodes(&[NodeId(1), NodeId(2)]);
+/// for i in 0..50 {
+///     let (inv, prev) = if i == 0 {
+///         (SharingBitmap::empty(), None)
+///     } else {
+///         (readers, Some((NodeId(0), Pc(7))))
+///     };
+///     trace.push(SharingEvent::new(NodeId(0), Pc(7), LineAddr(3), NodeId(1), inv, prev));
+/// }
+/// trace.set_final_readers(LineAddr(3), readers);
+///
+/// let engine = ShardedEngine::new("last(pid+pc8)1[direct]".parse().unwrap(), 16, 4);
+/// engine.replay_trace(&trace);
+/// let probe = Probe::new(NodeId(0), Pc(7), NodeId(1), LineAddr(3));
+/// assert_eq!(engine.predict(&probe), readers);
+/// let stats = engine.stats();
+/// assert!(stats.screening().pvp > 0.9);
+/// ```
+#[derive(Debug)]
+pub struct ShardedEngine {
+    scheme: Scheme,
+    nodes: usize,
+    node_bits: u32,
+    shards: Vec<ShardHandle>,
+}
+
+impl std::fmt::Debug for ShardHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardHandle").finish_non_exhaustive()
+    }
+}
+
+impl ShardedEngine {
+    /// Spawns `shards` worker threads for `scheme` on an `nodes`-node
+    /// machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or a worker thread cannot be spawned.
+    pub fn new(scheme: Scheme, nodes: usize, shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        let handles = (0..shards)
+            .map(|i| {
+                let (tx, rx) = sync_channel(INBOX_DEPTH);
+                let counters = Arc::new(ShardCounters::default());
+                let worker_counters = Arc::clone(&counters);
+                let join = std::thread::Builder::new()
+                    .name(format!("csp-shard-{i}"))
+                    .spawn(move || shard_worker(&scheme, nodes, rx, &worker_counters))
+                    .expect("spawn shard worker");
+                ShardHandle {
+                    tx,
+                    counters,
+                    join: Some(join),
+                }
+            })
+            .collect();
+        ShardedEngine {
+            scheme,
+            nodes,
+            node_bits: node_bits(nodes),
+            shards: handles,
+        }
+    }
+
+    /// The scheme the engine serves.
+    pub fn scheme(&self) -> &Scheme {
+        &self.scheme
+    }
+
+    /// The machine width predictions are scored against.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The predictor key a probe consults under the engine's scheme.
+    pub fn key_of(&self, probe: &Probe) -> u64 {
+        self.scheme.index.key(
+            probe.writer,
+            probe.pc,
+            probe.home,
+            probe.line,
+            self.node_bits,
+        )
+    }
+
+    fn send(&self, shard: usize, msg: ShardMsg) {
+        // A send can only fail after a worker panicked, which tears down
+        // the run anyway; surface it as the panic it is.
+        if self.shards[shard].tx.send(msg).is_err() {
+            panic!("shard {shard} worker terminated early");
+        }
+    }
+
+    /// Streams one live event into the predictor (no scoring): the update
+    /// half of the engine loop, for deployments that learn from a
+    /// coherence feed while serving queries.
+    ///
+    /// `direct` trains the current writer's entry, `forwarded` the
+    /// previous writer's (Figure 3 of the paper). `ordered` is the
+    /// paper's unimplementable-in-hardware oracle — it needs the event's
+    /// *future* readers, which a live stream cannot know — so it falls
+    /// back to `direct` here; use [`replay_trace`](Self::replay_trace)
+    /// for faithful ordered replay of a recorded trace.
+    pub fn ingest_event(&self, event: &SharingEvent) {
+        let op = match self.scheme.update {
+            UpdateMode::Forwarded => {
+                self.scheme
+                    .index
+                    .forward_key_of(event, self.node_bits)
+                    .map(|key| IngestOp::Update {
+                        key,
+                        feedback: event.invalidated,
+                    })
+            }
+            UpdateMode::Direct | UpdateMode::Ordered => {
+                event.prev_writer.is_some().then(|| IngestOp::Update {
+                    key: self.scheme.index.key_of(event, self.node_bits),
+                    feedback: event.invalidated,
+                })
+            }
+        };
+        if let Some(op) = op {
+            let key = match op {
+                IngestOp::Update { key, .. } | IngestOp::Score { key, .. } => key,
+            };
+            self.send(
+                shard_of_key(key, self.shards.len()),
+                ShardMsg::Ingest(vec![op]),
+            );
+        }
+    }
+
+    /// Replays a full recorded trace through the engine, updating *and
+    /// scoring* every decision exactly as the offline engine
+    /// (`csp_core::engine::run_scheme`) does — including the two-pass
+    /// `ordered` oracle, whose ground truth the trace supplies.
+    ///
+    /// After this returns (it flushes internally), the engine's
+    /// [`stats`](Self::stats) confusion counters are bit-identical to the
+    /// offline run's confusion matrix, and its tables are bit-identical
+    /// to the offline tables — see `tests/equivalence.rs`.
+    pub fn replay_trace(&self, trace: &Trace) {
+        let actuals = trace.resolve_actuals();
+        let shards = self.shards.len();
+        let mut buffers: Vec<Vec<IngestOp>> = vec![Vec::with_capacity(BATCH); shards];
+        let push = |buffers: &mut Vec<Vec<IngestOp>>, op: IngestOp| {
+            let key = match op {
+                IngestOp::Update { key, .. } | IngestOp::Score { key, .. } => key,
+            };
+            let s = shard_of_key(key, shards);
+            buffers[s].push(op);
+            if buffers[s].len() >= BATCH {
+                let batch = std::mem::replace(&mut buffers[s], Vec::with_capacity(BATCH));
+                self.send(s, ShardMsg::Ingest(batch));
+            }
+        };
+        for (i, event) in trace.events().iter().enumerate() {
+            let key = self.scheme.index.key_of(event, self.node_bits);
+            match self.scheme.update {
+                UpdateMode::Direct => {
+                    if event.prev_writer.is_some() {
+                        push(
+                            &mut buffers,
+                            IngestOp::Update {
+                                key,
+                                feedback: event.invalidated,
+                            },
+                        );
+                    }
+                    push(
+                        &mut buffers,
+                        IngestOp::Score {
+                            key,
+                            actual: actuals[i],
+                        },
+                    );
+                }
+                UpdateMode::Forwarded => {
+                    if let Some(fkey) = self.scheme.index.forward_key_of(event, self.node_bits) {
+                        push(
+                            &mut buffers,
+                            IngestOp::Update {
+                                key: fkey,
+                                feedback: event.invalidated,
+                            },
+                        );
+                    }
+                    push(
+                        &mut buffers,
+                        IngestOp::Score {
+                            key,
+                            actual: actuals[i],
+                        },
+                    );
+                }
+                UpdateMode::Ordered => {
+                    push(
+                        &mut buffers,
+                        IngestOp::Score {
+                            key,
+                            actual: actuals[i],
+                        },
+                    );
+                    push(
+                        &mut buffers,
+                        IngestOp::Update {
+                            key,
+                            feedback: actuals[i],
+                        },
+                    );
+                }
+            }
+        }
+        for (s, batch) in buffers.into_iter().enumerate() {
+            if !batch.is_empty() {
+                self.send(s, ShardMsg::Ingest(batch));
+            }
+        }
+        self.flush();
+    }
+
+    /// Predicts the reader bitmap for one probe.
+    pub fn predict(&self, probe: &Probe) -> SharingBitmap {
+        self.predict_keys(&[self.key_of(probe)])[0]
+    }
+
+    /// Predicts a batch of probes, preserving input order.
+    pub fn predict_batch(&self, probes: &[Probe]) -> Vec<SharingBitmap> {
+        let keys: Vec<u64> = probes.iter().map(|p| self.key_of(p)).collect();
+        self.predict_keys(&keys)
+    }
+
+    /// Predicts for raw predictor keys, preserving input order.
+    pub fn predict_keys(&self, keys: &[u64]) -> Vec<SharingBitmap> {
+        let shards = self.shards.len();
+        let mut per_shard: Vec<Vec<(usize, u64)>> = vec![Vec::new(); shards];
+        for (pos, &key) in keys.iter().enumerate() {
+            per_shard[shard_of_key(key, shards)].push((pos, key));
+        }
+        let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+        let mut outstanding = 0usize;
+        for (s, probes) in per_shard.into_iter().enumerate() {
+            if probes.is_empty() {
+                continue;
+            }
+            outstanding += 1;
+            self.send(
+                s,
+                ShardMsg::Query {
+                    probes,
+                    reply: reply_tx.clone(),
+                },
+            );
+        }
+        let mut out = vec![SharingBitmap::empty(); keys.len()];
+        for _ in 0..outstanding {
+            let part = reply_rx.recv().expect("shard worker terminated early");
+            for (pos, bitmap) in part {
+                out[pos] = bitmap;
+            }
+        }
+        out
+    }
+
+    /// Blocks until every shard has applied all previously sent
+    /// operations (an empty query round-trip per shard).
+    pub fn flush(&self) {
+        let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+        for s in 0..self.shards.len() {
+            self.send(
+                s,
+                ShardMsg::Query {
+                    probes: Vec::new(),
+                    reply: reply_tx.clone(),
+                },
+            );
+        }
+        for _ in 0..self.shards.len() {
+            let _ = reply_rx.recv().expect("shard worker terminated early");
+        }
+    }
+
+    /// A live snapshot of the merged per-shard counters.
+    ///
+    /// Lock-free: reads the atomic counters without interrupting the
+    /// workers. Call [`flush`](Self::flush) first when the snapshot must
+    /// reflect everything already *sent* (e.g. after a replay).
+    pub fn stats(&self) -> EngineSnapshot {
+        let per_shard: Vec<ConfusionMatrix> = self
+            .shards
+            .iter()
+            .map(|s| s.counters.confusion.snapshot())
+            .collect();
+        let confusion = csp_metrics::online::merge_snapshots(per_shard.iter().copied());
+        let sum = |f: fn(&ShardCounters) -> &AtomicU64| {
+            self.shards
+                .iter()
+                .map(|s| f(&s.counters).load(Ordering::Relaxed))
+                .sum()
+        };
+        EngineSnapshot {
+            confusion,
+            updates: sum(|c| &c.updates),
+            scored: sum(|c| &c.scored),
+            queries: sum(|c| &c.queries),
+            entries: sum(|c| &c.entries),
+            per_shard,
+        }
+    }
+
+    /// Drains the shards, joins the workers, and folds the shard tables
+    /// into one global [`PredictorTable`] (e.g. for snapshot/restore or
+    /// offline inspection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard worker panicked.
+    pub fn shutdown(mut self) -> PredictorTable {
+        let mut global = PredictorTable::new(&self.scheme, self.nodes);
+        for shard in self.shards.drain(..) {
+            drop(shard.tx); // close the inbox: the worker's recv loop ends
+            if let Some(join) = shard.join {
+                match join.join() {
+                    Ok(table) => global.absorb(table),
+                    Err(_) => panic!("shard worker panicked"),
+                }
+            }
+        }
+        global
+    }
+}
+
+impl Drop for ShardedEngine {
+    fn drop(&mut self) {
+        for shard in self.shards.drain(..) {
+            drop(shard.tx);
+            if let Some(join) = shard.join {
+                let _ = join.join();
+            }
+        }
+    }
+}
+
+/// The shard worker loop: owns this shard's table partition, applies
+/// inbox messages in FIFO order, publishes counters.
+fn shard_worker(
+    scheme: &Scheme,
+    nodes: usize,
+    rx: Receiver<ShardMsg>,
+    counters: &ShardCounters,
+) -> PredictorTable {
+    let mut table = PredictorTable::new(scheme, nodes);
+    // Scored decisions accumulate locally and publish per batch: one
+    // atomic add per cell per batch instead of four per decision.
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Ingest(ops) => {
+                let mut batch_confusion = ConfusionMatrix::default();
+                let (mut updates, mut scored) = (0u64, 0u64);
+                for op in ops {
+                    match op {
+                        IngestOp::Update { key, feedback } => {
+                            table.update(key, feedback);
+                            updates += 1;
+                        }
+                        IngestOp::Score { key, actual } => {
+                            let predicted = table.predict(key);
+                            batch_confusion.record(predicted, actual, nodes);
+                            scored += 1;
+                        }
+                    }
+                }
+                counters.confusion.add(&batch_confusion);
+                counters.updates.fetch_add(updates, Ordering::Relaxed);
+                counters.scored.fetch_add(scored, Ordering::Relaxed);
+            }
+            ShardMsg::Query { probes, reply } => {
+                counters
+                    .queries
+                    .fetch_add(probes.len() as u64, Ordering::Relaxed);
+                let out: Vec<(usize, SharingBitmap)> = probes
+                    .into_iter()
+                    .map(|(pos, key)| (pos, table.predict(key)))
+                    .collect();
+                // A dropped reply receiver just means the querier went
+                // away; the prediction work is already done.
+                let _ = reply.send(out);
+            }
+        }
+        counters
+            .entries
+            .store(table.entries_touched() as u64, Ordering::Relaxed);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csp_core::engine::run_scheme;
+    use csp_trace::{LineAddr, NodeId, Pc};
+
+    fn bm(nodes: &[u8]) -> SharingBitmap {
+        nodes.iter().map(|&n| NodeId(n)).collect()
+    }
+
+    /// Alternating writers over several lines: exercises forwarded update
+    /// across shard boundaries.
+    fn busy_trace(events: usize) -> Trace {
+        let mut t = Trace::new(16);
+        let mut prev: Vec<Option<(NodeId, Pc)>> = vec![None; 8];
+        for i in 0..events {
+            let line = (i % 8) as u64;
+            let writer = NodeId(((i / 8) % 4) as u8);
+            let pc = Pc(100 + (i % 3) as u32);
+            let inv = match prev[line as usize] {
+                None => SharingBitmap::empty(),
+                Some((w, _)) => bm(&[(w.index() as u8 + 5) % 16, (w.index() as u8 + 6) % 16]),
+            };
+            t.push(SharingEvent::new(
+                writer,
+                pc,
+                LineAddr(line),
+                NodeId((line % 4) as u8),
+                inv,
+                prev[line as usize],
+            ));
+            prev[line as usize] = Some((writer, pc));
+        }
+        for line in 0..8u64 {
+            if let Some((w, _)) = prev[line as usize] {
+                t.set_final_readers(LineAddr(line), bm(&[(w.index() as u8 + 5) % 16]));
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn replay_matches_offline_engine_for_every_update_mode() {
+        let trace = busy_trace(500);
+        for spec in [
+            "last(pid+pc8)1[direct]",
+            "last(pid+pc8)1[forwarded]",
+            "last(pid+pc8)1[ordered]",
+            "union(pid+pc4+add4)2[forwarded]",
+            "inter(dir+add8)3[direct]",
+            "pas(pid+pc6)2[direct]",
+        ] {
+            let scheme: Scheme = spec.parse().unwrap();
+            let offline = run_scheme(&trace, &scheme);
+            for shards in [1, 3, 8] {
+                let engine = ShardedEngine::new(scheme, trace.nodes(), shards);
+                engine.replay_trace(&trace);
+                let snap = engine.stats();
+                assert_eq!(snap.confusion, offline, "{spec} with {shards} shards");
+                assert_eq!(snap.scored, trace.len() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn shutdown_table_matches_offline_table_state() {
+        let trace = busy_trace(300);
+        let scheme: Scheme = "union(pid+pc8)2[direct]".parse().unwrap();
+        let engine = ShardedEngine::new(scheme, trace.nodes(), 4);
+        engine.replay_trace(&trace);
+
+        // Rebuild the offline table and compare predictions key by key.
+        let nb = node_bits(trace.nodes());
+        let mut offline = PredictorTable::new(&scheme, trace.nodes());
+        for event in trace.events() {
+            if event.prev_writer.is_some() {
+                offline.update(scheme.index.key_of(event, nb), event.invalidated);
+            }
+        }
+        let keys: Vec<u64> = trace
+            .events()
+            .iter()
+            .map(|e| scheme.index.key_of(e, nb))
+            .collect();
+        let online_preds = engine.predict_keys(&keys);
+        let merged = engine.shutdown();
+        assert_eq!(merged.entries_touched(), offline.entries_touched());
+        for (key, online) in keys.iter().zip(online_preds) {
+            assert_eq!(offline.predict(*key), online, "key {key}");
+            assert_eq!(merged.predict(*key), online, "merged key {key}");
+        }
+    }
+
+    #[test]
+    fn streaming_ingest_matches_update_only_sequential_run() {
+        let trace = busy_trace(200);
+        for spec in ["last(pid+pc8)1[direct]", "last(pid+pc8)1[forwarded]"] {
+            let scheme: Scheme = spec.parse().unwrap();
+            let engine = ShardedEngine::new(scheme, trace.nodes(), 4);
+            let nb = node_bits(trace.nodes());
+            let mut offline = PredictorTable::new(&scheme, trace.nodes());
+            for event in trace.events() {
+                engine.ingest_event(event);
+                match scheme.update {
+                    UpdateMode::Forwarded => {
+                        if let Some(fkey) = scheme.index.forward_key_of(event, nb) {
+                            offline.update(fkey, event.invalidated);
+                        }
+                    }
+                    _ => {
+                        if event.prev_writer.is_some() {
+                            offline.update(scheme.index.key_of(event, nb), event.invalidated);
+                        }
+                    }
+                }
+            }
+            engine.flush();
+            for event in trace.events() {
+                let key = scheme.index.key_of(event, nb);
+                assert_eq!(
+                    engine.predict_keys(&[key])[0],
+                    offline.predict(key),
+                    "{spec}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_predictions_preserve_order_and_count_queries() {
+        let engine = ShardedEngine::new("last(pid)1[direct]".parse().unwrap(), 16, 4);
+        // Train each pid entry with a distinct bitmap via streaming ingest.
+        for pid in 0..16u8 {
+            engine.ingest_event(&SharingEvent::new(
+                NodeId(pid),
+                Pc(0),
+                LineAddr(0),
+                NodeId(0),
+                bm(&[pid]),
+                Some((NodeId(pid), Pc(0))),
+            ));
+        }
+        engine.flush();
+        let keys: Vec<u64> = (0..16u64).rev().collect();
+        let preds = engine.predict_keys(&keys);
+        for (i, &key) in keys.iter().enumerate() {
+            assert_eq!(preds[i], bm(&[key as u8]), "reversed position {i}");
+        }
+        let snap = engine.stats();
+        assert_eq!(snap.queries, 16);
+        assert_eq!(snap.updates, 16);
+        assert_eq!(snap.entries, 16);
+    }
+
+    #[test]
+    fn stats_merge_per_shard_counters() {
+        let trace = busy_trace(400);
+        let scheme: Scheme = "last(pid+pc8)1[direct]".parse().unwrap();
+        let engine = ShardedEngine::new(scheme, trace.nodes(), 5);
+        engine.replay_trace(&trace);
+        let snap = engine.stats();
+        let merged: ConfusionMatrix = snap.per_shard.iter().copied().sum();
+        assert_eq!(merged, snap.confusion);
+        assert_eq!(snap.per_shard.len(), 5);
+        assert!(snap.per_shard.iter().filter(|m| m.decisions() > 0).count() > 1);
+    }
+}

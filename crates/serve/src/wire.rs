@@ -1,0 +1,524 @@
+//! The wire protocol: length-prefixed, CRC32c-checksummed binary frames.
+//!
+//! Same conventions as the on-disk trace format (`csp_trace::io`):
+//! little-endian fixed-width fields, CRC32c ([`csp_trace::crc32c`]) over
+//! the payload so a corrupted frame is detected instead of silently
+//! mis-predicting. See `crates/serve/PROTOCOL.md` for the normative spec.
+//!
+//! ```text
+//! frame: len[4] payload[len] crc[4]      (crc = CRC32c of payload)
+//! payload: type[1] body[...]
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use csp_serve::wire::{self, Request};
+//! use csp_serve::Probe;
+//! use csp_trace::{LineAddr, NodeId, Pc};
+//!
+//! let mut buf = Vec::new();
+//! let req = Request::Predict(Probe::new(NodeId(1), Pc(7), NodeId(0), LineAddr(42)));
+//! wire::write_request(&mut buf, &req)?;
+//! let back = wire::read_request(&mut buf.as_slice())?;
+//! assert_eq!(back, req);
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+use crate::{EngineSnapshot, Probe};
+use csp_metrics::ConfusionMatrix;
+use csp_trace::{crc32c, LineAddr, NodeId, Pc, SharingBitmap};
+use std::io::{self, Read, Write};
+
+/// Hard ceiling on payload size: fits the largest batch comfortably and
+/// bounds what a malformed length prefix can make the peer allocate.
+pub const MAX_PAYLOAD: usize = 1 << 20;
+
+/// Maximum probes per [`Request::PredictBatch`] (the body counts them in
+/// a `u16`).
+pub const MAX_BATCH: usize = u16::MAX as usize;
+
+const T_PING: u8 = 0x01;
+const T_PREDICT: u8 = 0x02;
+const T_PREDICT_BATCH: u8 = 0x03;
+const T_STATS: u8 = 0x04;
+const T_PONG: u8 = 0x81;
+const T_PREDICTION: u8 = 0x82;
+const T_PREDICTION_BATCH: u8 = 0x83;
+const T_STATS_SNAPSHOT: u8 = 0x84;
+const T_ERROR: u8 = 0xFF;
+
+/// A client-to-server message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness check.
+    Ping,
+    /// Predict the reader bitmap for one probe.
+    Predict(Probe),
+    /// Predict for a batch of probes (answered in order).
+    PredictBatch(Vec<Probe>),
+    /// Fetch the engine's merged live statistics.
+    Stats,
+}
+
+/// The statistics body of a [`Response::Stats`] frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StatsReply {
+    /// The scheme the engine serves, in paper notation.
+    pub scheme: String,
+    /// Machine width.
+    pub nodes: u8,
+    /// Shard count.
+    pub shards: u16,
+    /// Total update operations applied.
+    pub updates: u64,
+    /// Total scored (replay) decisions.
+    pub scored: u64,
+    /// Total serving probes answered.
+    pub queries: u64,
+    /// Predictor entries allocated.
+    pub entries: u64,
+    /// Merged screening counters.
+    pub confusion: ConfusionMatrix,
+}
+
+impl StatsReply {
+    /// Builds the reply from an engine snapshot.
+    pub fn from_snapshot(scheme: &str, nodes: usize, shards: usize, s: &EngineSnapshot) -> Self {
+        StatsReply {
+            scheme: scheme.to_string(),
+            nodes: nodes as u8,
+            shards: shards as u16,
+            updates: s.updates,
+            scored: s.scored,
+            queries: s.queries,
+            entries: s.entries,
+            confusion: s.confusion,
+        }
+    }
+}
+
+/// A server-to-client message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Answer to [`Request::Predict`].
+    Prediction(SharingBitmap),
+    /// Answer to [`Request::PredictBatch`], in request order.
+    PredictionBatch(Vec<SharingBitmap>),
+    /// Answer to [`Request::Stats`].
+    Stats(StatsReply),
+    /// The request could not be served; the connection stays usable.
+    Error(String),
+}
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn put_probe(buf: &mut Vec<u8>, p: &Probe) {
+    buf.push(p.writer.index() as u8);
+    buf.extend_from_slice(&p.pc.0.to_le_bytes());
+    buf.push(p.home.index() as u8);
+    buf.extend_from_slice(&p.line.0.to_le_bytes());
+}
+
+fn get_probe(b: &[u8]) -> Probe {
+    Probe {
+        writer: NodeId(b[0]),
+        pc: Pc(u32::from_le_bytes([b[1], b[2], b[3], b[4]])),
+        home: NodeId(b[5]),
+        line: LineAddr(u64::from_le_bytes([
+            b[6], b[7], b[8], b[9], b[10], b[11], b[12], b[13],
+        ])),
+    }
+}
+
+const PROBE_LEN: usize = 14;
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    buf.extend_from_slice(&(bytes.len().min(u16::MAX as usize) as u16).to_le_bytes());
+    buf.extend_from_slice(&bytes[..bytes.len().min(u16::MAX as usize)]);
+}
+
+fn get_str(b: &[u8]) -> io::Result<(String, usize)> {
+    if b.len() < 2 {
+        return Err(invalid("truncated string"));
+    }
+    let len = u16::from_le_bytes([b[0], b[1]]) as usize;
+    if b.len() < 2 + len {
+        return Err(invalid("truncated string body"));
+    }
+    let s = std::str::from_utf8(&b[2..2 + len])
+        .map_err(|_| invalid("string is not UTF-8"))?
+        .to_string();
+    Ok((s, 2 + len))
+}
+
+/// Encodes a request into a payload (type byte + body).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut buf = Vec::new();
+    match req {
+        Request::Ping => buf.push(T_PING),
+        Request::Predict(p) => {
+            buf.push(T_PREDICT);
+            put_probe(&mut buf, p);
+        }
+        Request::PredictBatch(probes) => {
+            buf.push(T_PREDICT_BATCH);
+            let n = probes.len().min(MAX_BATCH);
+            buf.extend_from_slice(&(n as u16).to_le_bytes());
+            for p in &probes[..n] {
+                put_probe(&mut buf, p);
+            }
+        }
+        Request::Stats => buf.push(T_STATS),
+    }
+    buf
+}
+
+/// Decodes a request payload.
+///
+/// # Errors
+///
+/// [`io::ErrorKind::InvalidData`] on unknown types or malformed bodies.
+pub fn decode_request(payload: &[u8]) -> io::Result<Request> {
+    let (&tag, body) = payload
+        .split_first()
+        .ok_or_else(|| invalid("empty payload"))?;
+    match tag {
+        T_PING if body.is_empty() => Ok(Request::Ping),
+        T_PREDICT if body.len() == PROBE_LEN => Ok(Request::Predict(get_probe(body))),
+        T_PREDICT_BATCH => {
+            if body.len() < 2 {
+                return Err(invalid("truncated batch header"));
+            }
+            let n = u16::from_le_bytes([body[0], body[1]]) as usize;
+            let rest = &body[2..];
+            if rest.len() != n * PROBE_LEN {
+                return Err(invalid(format!(
+                    "batch of {n} probes needs {} body bytes, got {}",
+                    n * PROBE_LEN,
+                    rest.len()
+                )));
+            }
+            Ok(Request::PredictBatch(
+                rest.chunks_exact(PROBE_LEN).map(get_probe).collect(),
+            ))
+        }
+        T_STATS if body.is_empty() => Ok(Request::Stats),
+        _ => Err(invalid(format!("malformed request (type 0x{tag:02X})"))),
+    }
+}
+
+/// Encodes a response into a payload (type byte + body).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut buf = Vec::new();
+    match resp {
+        Response::Pong => buf.push(T_PONG),
+        Response::Prediction(b) => {
+            buf.push(T_PREDICTION);
+            buf.extend_from_slice(&b.bits().to_le_bytes());
+        }
+        Response::PredictionBatch(bitmaps) => {
+            buf.push(T_PREDICTION_BATCH);
+            buf.extend_from_slice(&(bitmaps.len().min(MAX_BATCH) as u16).to_le_bytes());
+            for b in bitmaps.iter().take(MAX_BATCH) {
+                buf.extend_from_slice(&b.bits().to_le_bytes());
+            }
+        }
+        Response::Stats(s) => {
+            buf.push(T_STATS_SNAPSHOT);
+            put_str(&mut buf, &s.scheme);
+            buf.push(s.nodes);
+            buf.extend_from_slice(&s.shards.to_le_bytes());
+            for v in [
+                s.updates,
+                s.scored,
+                s.queries,
+                s.entries,
+                s.confusion.tp,
+                s.confusion.fp,
+                s.confusion.tn,
+                s.confusion.fn_,
+            ] {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        Response::Error(msg) => {
+            buf.push(T_ERROR);
+            put_str(&mut buf, msg);
+        }
+    }
+    buf
+}
+
+fn get_u64(b: &[u8], at: usize) -> u64 {
+    let mut bytes = [0u8; 8];
+    bytes.copy_from_slice(&b[at..at + 8]);
+    u64::from_le_bytes(bytes)
+}
+
+/// Decodes a response payload.
+///
+/// # Errors
+///
+/// [`io::ErrorKind::InvalidData`] on unknown types or malformed bodies.
+pub fn decode_response(payload: &[u8]) -> io::Result<Response> {
+    let (&tag, body) = payload
+        .split_first()
+        .ok_or_else(|| invalid("empty payload"))?;
+    match tag {
+        T_PONG if body.is_empty() => Ok(Response::Pong),
+        T_PREDICTION if body.len() == 8 => Ok(Response::Prediction(SharingBitmap::from_bits(
+            get_u64(body, 0),
+        ))),
+        T_PREDICTION_BATCH => {
+            if body.len() < 2 {
+                return Err(invalid("truncated batch header"));
+            }
+            let n = u16::from_le_bytes([body[0], body[1]]) as usize;
+            let rest = &body[2..];
+            if rest.len() != n * 8 {
+                return Err(invalid("batch body length mismatch"));
+            }
+            Ok(Response::PredictionBatch(
+                (0..n)
+                    .map(|i| SharingBitmap::from_bits(get_u64(rest, i * 8)))
+                    .collect(),
+            ))
+        }
+        T_STATS_SNAPSHOT => {
+            let (scheme, used) = get_str(body)?;
+            let rest = &body[used..];
+            if rest.len() != 1 + 2 + 8 * 8 {
+                return Err(invalid("stats body length mismatch"));
+            }
+            let fixed = &rest[3..];
+            Ok(Response::Stats(StatsReply {
+                scheme,
+                nodes: rest[0],
+                shards: u16::from_le_bytes([rest[1], rest[2]]),
+                updates: get_u64(fixed, 0),
+                scored: get_u64(fixed, 8),
+                queries: get_u64(fixed, 16),
+                entries: get_u64(fixed, 24),
+                confusion: ConfusionMatrix {
+                    tp: get_u64(fixed, 32),
+                    fp: get_u64(fixed, 40),
+                    tn: get_u64(fixed, 48),
+                    fn_: get_u64(fixed, 56),
+                },
+            }))
+        }
+        T_ERROR => {
+            let (msg, used) = get_str(body)?;
+            if used != body.len() {
+                return Err(invalid("trailing bytes after error message"));
+            }
+            Ok(Response::Error(msg))
+        }
+        _ => Err(invalid(format!("malformed response (type 0x{tag:02X})"))),
+    }
+}
+
+/// Writes one frame: `len` prefix, payload, CRC32c of the payload.
+///
+/// # Errors
+///
+/// Propagates I/O errors; rejects payloads over [`MAX_PAYLOAD`].
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_PAYLOAD {
+        return Err(invalid(format!(
+            "payload of {} bytes exceeds the {MAX_PAYLOAD}-byte frame limit",
+            payload.len()
+        )));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.write_all(&crc32c::checksum(payload).to_le_bytes())?;
+    Ok(())
+}
+
+/// Reads one frame and verifies its checksum, returning the payload.
+/// Returns `Ok(None)` on a clean EOF at a frame boundary.
+///
+/// # Errors
+///
+/// [`io::ErrorKind::InvalidData`] on oversized frames or checksum
+/// mismatch; [`io::ErrorKind::UnexpectedEof`] on mid-frame EOF.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    match r.read_exact(&mut len_bytes) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(invalid(format!(
+            "frame length {len} exceeds the {MAX_PAYLOAD}-byte limit"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let mut crc_bytes = [0u8; 4];
+    r.read_exact(&mut crc_bytes)?;
+    let stored = u32::from_le_bytes(crc_bytes);
+    let computed = crc32c::checksum(&payload);
+    if stored != computed {
+        return Err(invalid(format!(
+            "frame checksum mismatch: stored {stored:#010X}, computed {computed:#010X}"
+        )));
+    }
+    Ok(Some(payload))
+}
+
+/// Writes one request frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_request<W: Write>(w: &mut W, req: &Request) -> io::Result<()> {
+    write_frame(w, &encode_request(req))
+}
+
+/// Reads one request frame.
+///
+/// # Errors
+///
+/// As [`read_frame`] plus [`decode_request`]; EOF at a frame boundary is
+/// [`io::ErrorKind::UnexpectedEof`] here (a request was expected).
+pub fn read_request<R: Read>(r: &mut R) -> io::Result<Request> {
+    match read_frame(r)? {
+        Some(payload) => decode_request(&payload),
+        None => Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before a request",
+        )),
+    }
+}
+
+/// Writes one response frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> io::Result<()> {
+    write_frame(w, &encode_response(resp))
+}
+
+/// Reads one response frame.
+///
+/// # Errors
+///
+/// As [`read_frame`] plus [`decode_response`].
+pub fn read_response<R: Read>(r: &mut R) -> io::Result<Response> {
+    match read_frame(r)? {
+        Some(payload) => decode_response(&payload),
+        None => Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before a response",
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe(seed: u64) -> Probe {
+        Probe::new(
+            NodeId((seed % 16) as u8),
+            Pc((seed * 7) as u32),
+            NodeId(((seed + 3) % 16) as u8),
+            LineAddr(seed * 1_000_003),
+        )
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Ping,
+            Request::Predict(probe(1)),
+            Request::PredictBatch((0..100).map(probe).collect()),
+            Request::PredictBatch(Vec::new()),
+            Request::Stats,
+        ];
+        for req in reqs {
+            let mut buf = Vec::new();
+            write_request(&mut buf, &req).unwrap();
+            assert_eq!(read_request(&mut buf.as_slice()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = [
+            Response::Pong,
+            Response::Prediction(SharingBitmap::from_bits(0xDEAD_BEEF)),
+            Response::PredictionBatch((0..64).map(|i| SharingBitmap::from_bits(1 << i)).collect()),
+            Response::Stats(StatsReply {
+                scheme: "inter(pid+pc8)2[direct]".to_string(),
+                nodes: 16,
+                shards: 8,
+                updates: 1,
+                scored: 2,
+                queries: 3,
+                entries: 4,
+                confusion: ConfusionMatrix {
+                    tp: 10,
+                    fp: 20,
+                    tn: 30,
+                    fn_: 40,
+                },
+            }),
+            Response::Error("predictor on fire".to_string()),
+        ];
+        for resp in resps {
+            let mut buf = Vec::new();
+            write_response(&mut buf, &resp).unwrap();
+            assert_eq!(read_response(&mut buf.as_slice()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn corrupted_frame_is_rejected_by_checksum() {
+        let mut buf = Vec::new();
+        write_request(&mut buf, &Request::Predict(probe(9))).unwrap();
+        // Flip a payload bit: length still matches, CRC must not.
+        buf[6] ^= 0x40;
+        let err = read_request(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("checksum"), "got: {err}");
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let err = read_frame(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("limit"), "got: {err}");
+    }
+
+    #[test]
+    fn eof_at_frame_boundary_is_none_mid_frame_is_error() {
+        assert!(read_frame(&mut [].as_slice()).unwrap().is_none());
+        let mut buf = Vec::new();
+        write_request(&mut buf, &Request::Ping).unwrap();
+        buf.truncate(buf.len() - 2); // cut into the CRC
+        let err = read_frame(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn unknown_types_are_invalid_data() {
+        assert!(decode_request(&[0x7E]).is_err());
+        assert!(decode_response(&[0x00]).is_err());
+        assert!(decode_request(&[]).is_err());
+        // Wrong body length for a known type.
+        assert!(decode_request(&[T_PREDICT, 1, 2, 3]).is_err());
+    }
+}

@@ -100,6 +100,7 @@ impl<W: Write> Write for HashingWriter<W> {
 }
 
 /// A reader wrapper that checksums everything read through it.
+#[derive(Debug)]
 struct HashingReader<R> {
     inner: R,
     hasher: crc32c::Hasher,
@@ -248,36 +249,143 @@ pub fn probe_version<R: Read>(mut r: R) -> io::Result<u8> {
 /// field, or (v2) any section checksum is malformed, and propagates I/O
 /// errors from the reader. Never panics, for any input bytes.
 pub fn read_trace<R: Read>(r: R) -> io::Result<Trace> {
-    let mut r = HashingReader::new(r);
-    let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(bad("bad magic; not a CSP trace file"));
+    let mut stream = EventStream::new(r)?;
+    let mut trace = Trace::new(stream.nodes());
+    while let Some(event) = stream.next_event()? {
+        trace.push(event);
     }
-    let mut head = [0u8; 2];
-    r.read_exact(&mut head)?;
-    let version = head[0];
-    if version != LEGACY_VERSION && version != FORMAT_VERSION {
-        return Err(bad(&format!(
-            "unsupported trace format version {version} (this build reads 1..={FORMAT_VERSION})"
-        )));
+    for (line, readers) in stream.finish()? {
+        trace.set_final_readers(line, readers);
     }
-    let checked = version >= FORMAT_VERSION;
-    let nodes = head[1] as usize;
-    if nodes == 0 || nodes > crate::MAX_NODES {
-        return Err(bad("node count out of range"));
+    Ok(trace)
+}
+
+/// An incremental reader over the events of a trace stream.
+///
+/// Where [`read_trace`] materializes the whole [`Trace`] (events plus
+/// final-reader state), this yields one [`SharingEvent`] at a time, so a
+/// consumer — the `csp-serve` ingest path, `csp-trace-tool cat` — can
+/// process arbitrarily long streams in constant memory. Both format
+/// versions are accepted; for v2 the event-section checksum is verified
+/// when the last event has been read (or in [`finish`](Self::finish)),
+/// so a consumer that stops early trades away corruption detection for
+/// latency, exactly like any streaming decoder.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> std::io::Result<()> {
+/// use csp_trace::{io, Trace, SharingEvent, SharingBitmap, NodeId, Pc, LineAddr};
+/// let mut t = Trace::new(4);
+/// t.push(SharingEvent::new(NodeId(1), Pc(2), LineAddr(3), NodeId(0),
+///                          SharingBitmap::empty(), None));
+/// let mut buf = Vec::new();
+/// io::write_trace(&mut buf, &t)?;
+/// let mut stream = io::EventStream::new(buf.as_slice())?;
+/// assert_eq!(stream.nodes(), 4);
+/// assert_eq!(stream.remaining(), 1);
+/// let event = stream.next_event()?.expect("one event");
+/// assert_eq!(event.writer, NodeId(1));
+/// let finals = stream.finish()?;
+/// assert!(finals.is_empty());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct EventStream<R> {
+    r: HashingReader<R>,
+    version: u8,
+    nodes: usize,
+    remaining: u64,
+    events_verified: bool,
+}
+
+impl<R: Read> EventStream<R> {
+    /// Opens a stream, consuming and validating the header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`std::io::ErrorKind::InvalidData`] on a bad magic, an
+    /// unsupported version or an out-of-range node count, and propagates
+    /// I/O errors from the reader.
+    pub fn new(r: R) -> io::Result<Self> {
+        let mut r = HashingReader::new(r);
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(bad("bad magic; not a CSP trace file"));
+        }
+        let mut head = [0u8; 2];
+        r.read_exact(&mut head)?;
+        let version = head[0];
+        if version != LEGACY_VERSION && version != FORMAT_VERSION {
+            return Err(bad(&format!(
+                "unsupported trace format version {version} (this build reads 1..={FORMAT_VERSION})"
+            )));
+        }
+        let nodes = head[1] as usize;
+        if nodes == 0 || nodes > crate::MAX_NODES {
+            return Err(bad("node count out of range"));
+        }
+        let remaining = read_u64(&mut r)?;
+        Ok(EventStream {
+            r,
+            version,
+            nodes,
+            remaining,
+            events_verified: false,
+        })
     }
-    let n_events = read_u64(&mut r)?;
-    let mut trace = Trace::new(nodes);
-    for _ in 0..n_events {
-        let writer = read_u8(&mut r)?;
-        let pc = read_u32(&mut r)?;
-        let line = read_u64(&mut r)?;
-        let home = read_u8(&mut r)?;
-        let invalidated = read_u64(&mut r)?;
-        let has_prev = read_u8(&mut r)?;
-        let prev_writer = read_u8(&mut r)?;
-        let prev_pc = read_u32(&mut r)?;
+
+    /// The format version of the stream (1 or 2).
+    pub fn version(&self) -> u8 {
+        self.version
+    }
+
+    /// The machine's node count.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Events not yet read.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Whether this stream's sections carry (and are checked against)
+    /// CRC32c checksums.
+    fn checked(&self) -> bool {
+        self.version >= FORMAT_VERSION
+    }
+
+    /// Reads the next event, or `None` when the event section is done.
+    ///
+    /// Reading the final event of a v2 stream also verifies the
+    /// event-section checksum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`std::io::ErrorKind::InvalidData`] on any malformed field
+    /// or checksum mismatch, and propagates I/O errors.
+    pub fn next_event(&mut self) -> io::Result<Option<SharingEvent>> {
+        if self.remaining == 0 {
+            if self.checked() && !self.events_verified {
+                self.r.check_section_crc("event section")?;
+                self.events_verified = true;
+            }
+            return Ok(None);
+        }
+        let checked = self.checked();
+        let nodes = self.nodes;
+        let r = &mut self.r;
+        let writer = read_u8(r)?;
+        let pc = read_u32(r)?;
+        let line = read_u64(r)?;
+        let home = read_u8(r)?;
+        let invalidated = read_u64(r)?;
+        let has_prev = read_u8(r)?;
+        let prev_writer = read_u8(r)?;
+        let prev_pc = read_u32(r)?;
         let mut pad = [0u8; 4];
         r.read_exact(&mut pad)?;
         if writer as usize >= nodes || home as usize >= nodes {
@@ -305,32 +413,53 @@ pub fn read_trace<R: Read>(r: R) -> io::Result<Trace> {
             1 => Some((NodeId(prev_writer), Pc(prev_pc))),
             _ => return Err(bad("corrupt prev-writer flag")),
         };
-        trace.push(SharingEvent::new(
+        self.remaining -= 1;
+        Ok(Some(SharingEvent::new(
             NodeId(writer),
             Pc(pc),
             LineAddr(line),
             NodeId(home),
             bitmap.masked(nodes),
             prev,
-        ));
+        )))
     }
-    if checked {
-        r.check_section_crc("event section")?;
-    }
-    let n_final = read_u64(&mut r)?;
-    for _ in 0..n_final {
-        let line = read_u64(&mut r)?;
-        let readers = read_u64(&mut r)?;
-        let bitmap = SharingBitmap::from_bits(readers);
-        if checked && bitmap.masked(nodes) != bitmap {
-            return Err(bad("final-reader bitmap has bits outside the machine"));
+
+    /// Drains any unread events, verifies the remaining checksums, and
+    /// returns the final-reader section as `(line, readers)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`std::io::ErrorKind::InvalidData`] on any malformed field
+    /// or checksum mismatch, and propagates I/O errors.
+    pub fn finish(mut self) -> io::Result<Vec<(LineAddr, SharingBitmap)>> {
+        while self.next_event()?.is_some() {}
+        let checked = self.checked();
+        let nodes = self.nodes;
+        let r = &mut self.r;
+        let n_final = read_u64(r)?;
+        let mut finals = Vec::new();
+        for _ in 0..n_final {
+            let line = read_u64(r)?;
+            let readers = read_u64(r)?;
+            let bitmap = SharingBitmap::from_bits(readers);
+            if checked && bitmap.masked(nodes) != bitmap {
+                return Err(bad("final-reader bitmap has bits outside the machine"));
+            }
+            finals.push((LineAddr(line), bitmap.masked(nodes)));
         }
-        trace.set_final_readers(LineAddr(line), bitmap.masked(nodes));
+        if checked {
+            r.check_section_crc("final-reader section")?;
+        }
+        Ok(finals)
     }
-    if checked {
-        r.check_section_crc("final-reader section")?;
+}
+
+impl<R: Read> Iterator for EventStream<R> {
+    type Item = io::Result<SharingEvent>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_event().transpose()
     }
-    Ok(trace)
 }
 
 fn bad(msg: &str) -> io::Error {
@@ -493,6 +622,53 @@ mod tests {
         // The legacy format cannot tell: the corrupt trace parses fine.
         let back = read_trace(v1.as_slice()).unwrap();
         assert_ne!(back, t, "flip should have changed the decoded trace");
+    }
+
+    #[test]
+    fn event_stream_yields_same_events_as_read_trace() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        let stream = EventStream::new(buf.as_slice()).unwrap();
+        assert_eq!(stream.version(), FORMAT_VERSION);
+        assert_eq!(stream.nodes(), 16);
+        assert_eq!(stream.remaining(), 2);
+        let events: Vec<SharingEvent> = stream.map(|e| e.unwrap()).collect();
+        assert_eq!(events, t.events());
+    }
+
+    #[test]
+    fn event_stream_finish_returns_finals_and_drains() {
+        let t = sample_trace();
+        type WriterFn = fn(&mut Vec<u8>, &Trace) -> io::Result<()>;
+        let writers: [WriterFn; 2] = [|w, t| write_trace(w, t), |w, t| write_trace_v1(w, t)];
+        for writer in writers {
+            let mut buf = Vec::new();
+            writer(&mut buf, &t).unwrap();
+            // Finish without reading any event: it must drain and still
+            // surface the final-reader section.
+            let stream = EventStream::new(buf.as_slice()).unwrap();
+            let finals = stream.finish().unwrap();
+            assert_eq!(
+                finals,
+                vec![(LineAddr(42), SharingBitmap::from_nodes(&[NodeId(7)]))]
+            );
+        }
+    }
+
+    #[test]
+    fn event_stream_detects_corruption_at_section_end() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        buf[10 + 8 + 2] ^= 0x10; // inside event 0's pc field
+        let mut stream = EventStream::new(buf.as_slice()).unwrap();
+        // Individual events still parse (the flip is structurally valid)...
+        assert!(stream.next_event().unwrap().is_some());
+        assert!(stream.next_event().unwrap().is_some());
+        // ...but the section checksum catches it at the end.
+        let err = stream.next_event().unwrap_err();
+        assert!(err.to_string().contains("checksum"), "got: {err}");
     }
 
     #[test]

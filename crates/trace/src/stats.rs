@@ -41,6 +41,18 @@ pub struct TraceStats {
     pub blocks_touched: usize,
     /// Total coherence store misses (prediction points).
     pub store_misses: u64,
+    /// Misses that are the first write to their line in the trace (no
+    /// previous writer, so no feedback to deliver).
+    pub first_writes: u64,
+    /// Misses where the line's previous writer is the same node writing
+    /// again (a refetch after losing exclusivity to readers).
+    pub rewrites: u64,
+    /// Misses where ownership migrated to a different node than the
+    /// previous writer — the events forwarded update exists for.
+    pub migrations: u64,
+    /// Misses whose write actually invalidated at least one reader
+    /// (non-empty feedback bitmap).
+    pub invalidating_misses: u64,
     /// Total set bits over all actual bitmaps (Table 6 "dynamic sharing
     /// events").
     pub dynamic_sharing_events: u64,
@@ -55,9 +67,18 @@ impl TraceStats {
     pub fn from_trace(trace: &Trace) -> Self {
         let mut per_node_pcs: Vec<HashSet<u32>> = vec![HashSet::new(); trace.nodes()];
         let mut blocks: HashSet<u64> = HashSet::new();
+        let (mut first_writes, mut rewrites, mut migrations, mut invalidating) = (0, 0, 0, 0);
         for e in trace.events() {
             per_node_pcs[e.writer.index()].insert(e.pc.0);
             blocks.insert(e.line.0);
+            match e.prev_writer {
+                None => first_writes += 1,
+                Some((prev, _)) if prev == e.writer => rewrites += 1,
+                Some(_) => migrations += 1,
+            }
+            if !e.invalidated.is_empty() {
+                invalidating += 1;
+            }
         }
         let max_pcs = per_node_pcs.iter().map(HashSet::len).max().unwrap_or(0);
         TraceStats {
@@ -68,6 +89,10 @@ impl TraceStats {
             max_predicted_stores_per_node: max_pcs,
             blocks_touched: blocks.len(),
             store_misses: trace.len() as u64,
+            first_writes,
+            rewrites,
+            migrations,
+            invalidating_misses: invalidating,
             dynamic_sharing_events: trace.dynamic_sharing_events(),
             dynamic_sharing_decisions: trace.dynamic_sharing_decisions(),
             prevalence: trace.prevalence(),
@@ -126,6 +151,32 @@ mod tests {
         assert_eq!(s.blocks_touched, 3);
         assert_eq!(s.store_misses, 4);
         assert_eq!(s.dynamic_sharing_decisions, 16);
+    }
+
+    fn ev_prev(writer: u8, line: u64, inv: &[u8], prev: Option<u8>) -> SharingEvent {
+        SharingEvent::new(
+            NodeId(writer),
+            Pc(1),
+            LineAddr(line),
+            NodeId(0),
+            inv.iter().map(|&n| NodeId(n)).collect(),
+            prev.map(|p| (NodeId(p), Pc(1))),
+        )
+    }
+
+    #[test]
+    fn event_type_counts_partition_the_trace() {
+        let mut t = Trace::new(4);
+        t.push(ev_prev(0, 1, &[], None)); // first write
+        t.push(ev_prev(0, 1, &[1, 2], Some(0))); // rewrite, invalidating
+        t.push(ev_prev(3, 1, &[], Some(0))); // migration, silent
+        t.push(ev_prev(3, 2, &[], None)); // first write
+        let s = t.stats();
+        assert_eq!(s.first_writes, 2);
+        assert_eq!(s.rewrites, 1);
+        assert_eq!(s.migrations, 1);
+        assert_eq!(s.invalidating_misses, 1);
+        assert_eq!(s.first_writes + s.rewrites + s.migrations, s.store_misses);
     }
 
     #[test]
