@@ -15,20 +15,39 @@
 //!   event's own actual bitmap (known from the trace's first pass): every
 //!   later prediction through that entry sees this feedback, the oracle
 //!   ordering of Figure 4.
+//!
+//! There is exactly one evaluation loop. It walks the flat columns of a
+//! [`PreparedTrace`] — ground-truth actuals resolved once, per-index key
+//! streams computed once — and touches the predictor table through the
+//! one-probe entry API ([`PredictorTable::update_and_predict`] and
+//! friends). The `*_prepared` entry points share an explicit
+//! `PreparedTrace` across many schemes (the sweep case); the plain entry
+//! points prepare internally per call, so a single evaluation still pays
+//! resolution exactly once.
 
-use crate::{IndexSpec, PredictorTable, Scheme, UpdateMode};
+use crate::{IndexSpec, PredictorTable, PreparedTrace, Scheme, UpdateMode};
 use csp_metrics::ConfusionMatrix;
 use csp_trace::{SharingBitmap, Trace};
 
 /// Runs `scheme` over `trace`, scoring every decision.
 ///
+/// Prepares the trace internally; sweeps that evaluate many schemes over
+/// one trace should prepare once and call [`run_scheme_prepared`].
+///
 /// # Example
 ///
 /// See the [crate-level example](crate).
 pub fn run_scheme(trace: &Trace, scheme: &Scheme) -> ConfusionMatrix {
+    run_scheme_prepared(&PreparedTrace::new(trace), scheme)
+}
+
+/// Runs `scheme` over an already-prepared trace, scoring every decision.
+/// Bit-identical to [`run_scheme`]; the actuals and the key stream come
+/// from `prepared`'s shared columns instead of being recomputed.
+pub fn run_scheme_prepared(prepared: &PreparedTrace<'_>, scheme: &Scheme) -> ConfusionMatrix {
     let mut matrix = ConfusionMatrix::default();
-    let nodes = trace.nodes();
-    drive(trace, scheme, |_, predicted, actual| {
+    let nodes = prepared.nodes();
+    drive(prepared, scheme, |_, predicted, actual| {
         matrix.record(predicted, actual, nodes);
     });
     matrix
@@ -37,43 +56,63 @@ pub fn run_scheme(trace: &Trace, scheme: &Scheme) -> ConfusionMatrix {
 /// Runs `scheme` over `trace` and returns the per-event predictions
 /// (e.g. for the forwarding estimator in `csp-sim`).
 pub fn predictions_for(trace: &Trace, scheme: &Scheme) -> Vec<SharingBitmap> {
-    let mut out = vec![SharingBitmap::empty(); trace.len()];
-    drive(trace, scheme, |i, predicted, _| {
+    predictions_for_prepared(&PreparedTrace::new(trace), scheme)
+}
+
+/// Per-event predictions over an already-prepared trace (see
+/// [`predictions_for`]).
+pub fn predictions_for_prepared(
+    prepared: &PreparedTrace<'_>,
+    scheme: &Scheme,
+) -> Vec<SharingBitmap> {
+    let mut out = vec![SharingBitmap::empty(); prepared.len()];
+    drive(prepared, scheme, |i, predicted, _| {
         out[i] = predicted;
     });
     out
 }
 
-/// The shared evaluation loop: calls `visit(event_index, predicted,
-/// actual)` for every event in order.
+/// The single evaluation loop: calls `visit(event_index, predicted,
+/// actual)` for every event in order, walking the prepared columns with
+/// one table probe per entry touched.
 fn drive<F: FnMut(usize, SharingBitmap, SharingBitmap)>(
-    trace: &Trace,
+    prepared: &PreparedTrace<'_>,
     scheme: &Scheme,
     mut visit: F,
 ) {
-    let node_bits = crate::index::node_bits(trace.nodes());
-    let actuals = trace.resolve_actuals();
-    let mut table = PredictorTable::new(scheme, trace.nodes());
-    for (i, event) in trace.events().iter().enumerate() {
-        let key = scheme.index.key_of(event, node_bits);
+    let stream = prepared.key_stream(scheme.index);
+    let keys = stream.keys();
+    let forward_keys = stream.forward_keys();
+    let has_prev = prepared.has_prev();
+    let invalidated = prepared.invalidated();
+    let actuals = prepared.actuals();
+    // Entries are created by the update path only: `direct`/`ordered`
+    // tables converge to the distinct predictor keys, `forwarded` tables
+    // to the distinct forward keys.
+    let capacity = match scheme.update {
+        UpdateMode::Forwarded => stream.distinct_forward_keys(),
+        UpdateMode::Direct | UpdateMode::Ordered => stream.distinct_keys(),
+    };
+    let mut table = PredictorTable::with_capacity(scheme, prepared.nodes(), capacity);
+    for i in 0..prepared.len() {
+        let key = keys[i];
         let predicted = match scheme.update {
             UpdateMode::Direct => {
-                if event.prev_writer.is_some() {
-                    table.update(key, event.invalidated);
+                if has_prev[i] {
+                    table.update_and_predict(key, invalidated[i])
+                } else {
+                    table.predict(key)
                 }
-                table.predict(key)
             }
             UpdateMode::Forwarded => {
-                if let Some(fkey) = scheme.index.forward_key_of(event, node_bits) {
-                    table.update(fkey, event.invalidated);
+                // Forward key and predictor key are distinct entries: one
+                // probe each is already minimal.
+                if has_prev[i] {
+                    table.update(forward_keys[i], invalidated[i]);
                 }
                 table.predict(key)
             }
-            UpdateMode::Ordered => {
-                let p = table.predict(key);
-                table.update(key, actuals[i]);
-                p
-            }
+            UpdateMode::Ordered => table.predict_and_update(key, actuals[i]),
         };
         visit(i, predicted, actuals[i]);
     }
@@ -105,79 +144,203 @@ pub fn run_history_family(
     update: UpdateMode,
     max_depth: usize,
 ) -> FamilyResult {
+    run_history_family_prepared(&PreparedTrace::new(trace), index, update, max_depth)
+}
+
+/// The family evaluator over an already-prepared trace: bit-identical to
+/// [`run_history_family`], sharing `prepared`'s actuals and key stream
+/// with every other scheme of the sweep.
+///
+/// # Panics
+///
+/// Panics if `max_depth` is out of `1..=MAX_DEPTH`.
+pub fn run_history_family_prepared(
+    prepared: &PreparedTrace<'_>,
+    index: IndexSpec,
+    update: UpdateMode,
+    max_depth: usize,
+) -> FamilyResult {
     assert!(
         (1..=crate::MAX_DEPTH).contains(&max_depth),
         "max_depth must be in 1..={}",
         crate::MAX_DEPTH
     );
-    let node_bits = crate::index::node_bits(trace.nodes());
-    let nodes = trace.nodes();
-    let actuals = trace.resolve_actuals();
-    // One table with the deepest history serves every depth: the prediction
-    // at depth d is a fold over the d most recent bitmaps.
-    let deepest = Scheme::new(crate::PredictionFunction::Union, index, max_depth, update);
-    let mut table = PredictorTable::new(&deepest, nodes);
-    let mut result = FamilyResult {
-        union: vec![ConfusionMatrix::default(); max_depth],
-        inter: vec![ConfusionMatrix::default(); max_depth],
-    };
+    let stream = prepared.key_stream(index);
+    let nodes = prepared.nodes();
+    // Monomorphize the hot loop per depth: a const-generic depth turns
+    // the per-decision fold into a fixed-bound, fully unrollable loop
+    // with no per-depth branches.
+    match max_depth {
+        1 => family_sweep::<1>(&stream, update, nodes),
+        2 => family_sweep::<2>(&stream, update, nodes),
+        3 => family_sweep::<3>(&stream, update, nodes),
+        4 => family_sweep::<4>(&stream, update, nodes),
+        5 => family_sweep::<5>(&stream, update, nodes),
+        6 => family_sweep::<6>(&stream, update, nodes),
+        7 => family_sweep::<7>(&stream, update, nodes),
+        8 => family_sweep::<8>(&stream, update, nodes),
+        _ => unreachable!("max_depth checked above"),
+    }
+}
 
-    let score =
-        |table: &PredictorTable, key: u64, actual: SharingBitmap, result: &mut FamilyResult| {
-            match table.history(key) {
-                None => {
-                    let empty = SharingBitmap::empty();
-                    for d in 0..max_depth {
-                        result.union[d].record(empty, actual, nodes);
-                        result.inter[d].record(empty, actual, nodes);
+/// The slot-major family evaluation at one const depth `MD`.
+///
+/// The loop runs *slot-major*: each predictor entry's interactions are
+/// replayed in event order against one stack-local history window, so
+/// there is no table at all — no per-event hash probe, no random entry
+/// access — and the pre-gathered slot payloads make every read
+/// sequential. This visits exactly the entry states the event-order loop
+/// would (an entry's state depends only on earlier events touching the
+/// same slot), and the accumulated counts are order-independent sums, so
+/// the result is bit-identical to the event-order evaluation. A fresh
+/// (all-cold) window also scores exactly like an absent table entry,
+/// matching the hashed create-on-update semantics.
+fn family_sweep<const MD: usize>(
+    stream: &crate::KeyStream,
+    update: UpdateMode,
+    nodes: usize,
+) -> FamilyResult {
+    let mut acc = FamilyAcc::<MD>::new(nodes);
+    match update {
+        UpdateMode::Direct => {
+            for slot in 0..stream.slot_count() {
+                let mut w = Window::<MD>::new();
+                for d in stream.slot_data(slot) {
+                    if d.has_prev {
+                        w.push(d.feedback);
                     }
-                }
-                Some(h) => {
-                    let mut acc_union = SharingBitmap::empty();
-                    let mut acc_inter = SharingBitmap::all(nodes);
-                    let mut d = 0;
-                    for b in h.recent(max_depth) {
-                        acc_union |= b;
-                        acc_inter &= b;
-                        result.union[d].record(acc_union, actual, nodes);
-                        result.inter[d].record(acc_inter, actual, nodes);
-                        d += 1;
-                    }
-                    // Shallower history than depth: union still folds over
-                    // everything stored, but an intersection entry whose
-                    // history is not yet full predicts nothing (empty slots
-                    // are all-zeros in hardware).
-                    let empty = SharingBitmap::empty();
-                    for rest in d..max_depth {
-                        result.union[rest].record(acc_union, actual, nodes);
-                        result.inter[rest].record(empty, actual, nodes);
-                    }
+                    acc.score(&w, d.actual);
                 }
             }
-        };
-
-    for (i, event) in trace.events().iter().enumerate() {
-        let key = index.key_of(event, node_bits);
-        match update {
-            UpdateMode::Direct => {
-                if event.prev_writer.is_some() {
-                    table.update(key, event.invalidated);
+        }
+        UpdateMode::Ordered => {
+            for slot in 0..stream.slot_count() {
+                let mut w = Window::<MD>::new();
+                for d in stream.slot_data(slot) {
+                    acc.score(&w, d.actual);
+                    w.push(d.actual);
                 }
-                score(&table, key, actuals[i], &mut result);
             }
-            UpdateMode::Forwarded => {
-                if let Some(fkey) = index.forward_key_of(event, node_bits) {
-                    table.update(fkey, event.invalidated);
+        }
+        // Forwarded events touch up to two slots (push via the forward
+        // key, score via their own), so this walks the stream's merged
+        // per-slot op sequence instead of its per-slot event list.
+        UpdateMode::Forwarded => {
+            for slot in 0..stream.slot_count() {
+                let mut w = Window::<MD>::new();
+                for (&op, &payload) in stream.slot_ops(slot).iter().zip(stream.slot_op_data(slot)) {
+                    if op & 1 == 0 {
+                        w.push(payload);
+                    } else {
+                        acc.score(&w, payload);
+                    }
                 }
-                score(&table, key, actuals[i], &mut result);
-            }
-            UpdateMode::Ordered => {
-                score(&table, key, actuals[i], &mut result);
-                table.update(key, actuals[i]);
             }
         }
     }
-    result
+    acc.finalize(nodes)
+}
+
+/// A predictor entry's history as a linear shift window: `bitmaps[0]` is
+/// the newest stored feedback. Same state as [`crate::HistoryEntry`] but
+/// laid out for the family evaluator's fold: pushes shift instead of
+/// rotating a ring, and slots never written stay *empty*. Empty is the
+/// identity of the union fold and absorbing for the intersection fold, so
+/// the scorer needs no occupancy count — folding across all `MD` slots of
+/// a partially-filled window reproduces exactly the shallow-entry
+/// semantics (union over everything stored; an intersection entry whose
+/// history is not yet full predicts nothing).
+struct Window<const MD: usize> {
+    bitmaps: [SharingBitmap; MD],
+}
+
+impl<const MD: usize> Window<MD> {
+    fn new() -> Self {
+        Window {
+            bitmaps: [SharingBitmap::empty(); MD],
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, feedback: SharingBitmap) {
+        self.bitmaps.copy_within(0..MD - 1, 1);
+        self.bitmaps[0] = feedback;
+    }
+}
+
+/// Per-depth counters for one family pass, accumulated on the stack.
+///
+/// Only true positives and predicted positives are counted per depth —
+/// the full matrices follow from counter algebra at the end:
+/// `fp = predicted − tp`, `fn = actual_total − tp`, and
+/// `tn = decisions − tp − fp − fn`. These are exact integer identities
+/// over the same per-event popcounts [`ConfusionMatrix::record`] sums, so
+/// the finalized matrices are bit-identical to per-event `record` calls.
+struct FamilyAcc<const MD: usize> {
+    tp_union: [u64; MD],
+    predicted_union: [u64; MD],
+    tp_inter: [u64; MD],
+    predicted_inter: [u64; MD],
+    actual_total: u64,
+    scored: u64,
+    all: SharingBitmap,
+}
+
+impl<const MD: usize> FamilyAcc<MD> {
+    fn new(nodes: usize) -> Self {
+        FamilyAcc {
+            tp_union: [0; MD],
+            predicted_union: [0; MD],
+            tp_inter: [0; MD],
+            predicted_inter: [0; MD],
+            actual_total: 0,
+            scored: 0,
+            all: SharingBitmap::all(nodes),
+        }
+    }
+
+    /// Scores one decision at every depth `1..=MD` against the window's
+    /// fold prefixes. The window's empty padding (see [`Window`]) makes
+    /// the fold exact for partially-filled histories with no length
+    /// bookkeeping.
+    #[inline]
+    fn score(&mut self, w: &Window<MD>, actual: SharingBitmap) {
+        self.scored += 1;
+        self.actual_total += actual.count() as u64;
+        let mut union = SharingBitmap::empty();
+        let mut inter = self.all;
+        for d in 0..MD {
+            let b = w.bitmaps[d];
+            union |= b;
+            inter &= b;
+            self.tp_union[d] += (union & actual).count() as u64;
+            self.predicted_union[d] += union.count() as u64;
+            self.tp_inter[d] += (inter & actual).count() as u64;
+            self.predicted_inter[d] += inter.count() as u64;
+        }
+    }
+
+    fn finalize(self, nodes: usize) -> FamilyResult {
+        let decisions = self.scored * nodes as u64;
+        let matrix = |tp: u64, predicted: u64| {
+            let fp = predicted - tp;
+            let fn_ = self.actual_total - tp;
+            ConfusionMatrix {
+                tp,
+                fp,
+                fn_,
+                tn: decisions - tp - fp - fn_,
+            }
+        };
+        FamilyResult {
+            union: (0..MD)
+                .map(|d| matrix(self.tp_union[d], self.predicted_union[d]))
+                .collect(),
+            inter: (0..MD)
+                .map(|d| matrix(self.tp_inter[d], self.predicted_inter[d]))
+                .collect(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -386,6 +549,48 @@ mod tests {
         let m = run_scheme(&trace, &Scheme::baseline_last());
         assert_eq!(m.decisions(), 0);
     }
+
+    #[test]
+    fn prepared_matches_naive_across_schemes_and_updates() {
+        let trace = alternating_trace(60);
+        let prepared = PreparedTrace::new(&trace);
+        for func in ["last", "union", "inter", "overlap-last", "pas"] {
+            for update in ["direct", "forwarded", "ordered"] {
+                let spec = match func {
+                    "overlap-last" => format!("overlap-last(pid+pc4)[{update}]"),
+                    "last" => format!("last(pid+pc4)1[{update}]"),
+                    _ => format!("{func}(pid+pc4)2[{update}]"),
+                };
+                let scheme: Scheme = spec.parse().unwrap();
+                assert_eq!(
+                    run_scheme_prepared(&prepared, &scheme),
+                    run_scheme(&trace, &scheme),
+                    "{spec}"
+                );
+                assert_eq!(
+                    predictions_for_prepared(&prepared, &scheme),
+                    predictions_for(&trace, &scheme),
+                    "{spec} predictions"
+                );
+            }
+        }
+        // All schemes above share one index: one key stream serves them all.
+        assert_eq!(prepared.cached_streams(), 1);
+    }
+
+    #[test]
+    fn prepared_family_matches_naive_family() {
+        let trace = alternating_trace(40);
+        let prepared = PreparedTrace::new(&trace);
+        let ix = IndexSpec::new(true, 4, false, 2);
+        for update in UpdateMode::ALL {
+            assert_eq!(
+                run_history_family_prepared(&prepared, ix, update, 4),
+                run_history_family(&trace, ix, update, 4),
+                "{update}"
+            );
+        }
+    }
 }
 
 /// Compares two schemes decision-by-decision on the same trace, producing
@@ -397,12 +602,23 @@ pub fn compare_schemes(
     a: &Scheme,
     b: &Scheme,
 ) -> csp_metrics::compare::PairedComparison {
-    let preds_a = predictions_for(trace, a);
-    let preds_b = predictions_for(trace, b);
-    let actuals = trace.resolve_actuals();
-    let nodes = trace.nodes();
+    // One preparation serves both prediction passes and the actuals —
+    // previously this resolved the trace three times over.
+    compare_schemes_prepared(&PreparedTrace::new(trace), a, b)
+}
+
+/// [`compare_schemes`] over an already-prepared trace.
+pub fn compare_schemes_prepared(
+    prepared: &PreparedTrace<'_>,
+    a: &Scheme,
+    b: &Scheme,
+) -> csp_metrics::compare::PairedComparison {
+    let preds_a = predictions_for_prepared(prepared, a);
+    let preds_b = predictions_for_prepared(prepared, b);
+    let actuals = prepared.actuals();
+    let nodes = prepared.nodes();
     let mut paired = csp_metrics::compare::PairedComparison::default();
-    for ((pa, pb), actual) in preds_a.iter().zip(&preds_b).zip(&actuals) {
+    for ((pa, pb), actual) in preds_a.iter().zip(&preds_b).zip(actuals) {
         // XOR with the actual bitmap marks the *wrong* bits of each.
         let wrong_a = (*pa ^ *actual).masked(nodes);
         let wrong_b = (*pb ^ *actual).masked(nodes);
@@ -468,6 +684,42 @@ mod compare_tests {
         let ma = run_scheme(&trace, &a);
         let acc_a = (ma.tp + ma.tn) as f64 / ma.decisions() as f64;
         assert!((paired.accuracy_a() - acc_a).abs() < 1e-12);
+    }
+
+    /// Pins the prepared-trace rerouting of `compare_schemes` against the
+    /// original three-pass spelling (two `predictions_for` calls plus a
+    /// separate `resolve_actuals`).
+    #[test]
+    fn compare_matches_three_pass_spelling() {
+        let trace = stable(50);
+        let a: Scheme = "last(pid+pc8)1".parse().unwrap();
+        let b: Scheme = "inter(pid+pc8)4[forwarded]".parse().unwrap();
+        let preds_a = predictions_for(&trace, &a);
+        let preds_b = predictions_for(&trace, &b);
+        let actuals = trace.resolve_actuals();
+        let nodes = trace.nodes();
+        let mut expected = csp_metrics::compare::PairedComparison::default();
+        for ((pa, pb), actual) in preds_a.iter().zip(&preds_b).zip(&actuals) {
+            let wrong_a = (*pa ^ *actual).masked(nodes);
+            let wrong_b = (*pb ^ *actual).masked(nodes);
+            let both_wrong = (wrong_a & wrong_b).count() as u64;
+            let only_a_wrong = (wrong_a - wrong_b).count() as u64;
+            let only_b_wrong = (wrong_b - wrong_a).count() as u64;
+            expected.both_wrong += both_wrong;
+            expected.only_a += only_b_wrong;
+            expected.only_b += only_a_wrong;
+            expected.both_correct += nodes as u64 - both_wrong - only_a_wrong - only_b_wrong;
+        }
+        let got = compare_schemes(&trace, &a, &b);
+        assert_eq!(got.both_wrong, expected.both_wrong);
+        assert_eq!(got.only_a, expected.only_a);
+        assert_eq!(got.only_b, expected.only_b);
+        assert_eq!(got.both_correct, expected.both_correct);
+        // And the prepared form shares one preparation across both passes.
+        let prepared = PreparedTrace::new(&trace);
+        let via_prepared = compare_schemes_prepared(&prepared, &a, &b);
+        assert_eq!(via_prepared.only_a, expected.only_a);
+        assert_eq!(via_prepared.only_b, expected.only_b);
     }
 
     #[test]

@@ -62,10 +62,19 @@ impl HistoryEntry {
     }
 
     /// Shifts in a feedback bitmap, replacing the oldest if full.
+    ///
+    /// The head advances by compare-and-reset rather than `% depth`:
+    /// `head` is always `< depth`, so `head + 1` either stays in range or
+    /// lands exactly on `depth` — and an integer division in the hottest
+    /// write path of every sweep is measurable.
     #[inline]
     pub fn push(&mut self, feedback: SharingBitmap) {
-        self.head = (self.head + 1) % self.depth;
-        self.bitmaps[self.head as usize] = feedback;
+        let mut head = self.head + 1;
+        if head == self.depth {
+            head = 0;
+        }
+        self.head = head;
+        self.bitmaps[head as usize] = feedback;
         if self.len < self.depth {
             self.len += 1;
         }
@@ -73,11 +82,19 @@ impl HistoryEntry {
 
     /// The most recent `k` bitmaps, newest first (fewer if less history
     /// exists).
+    ///
+    /// Walks the ring backwards by decrement-and-wrap (no per-item
+    /// modulo; this iterator sits inside every `union`/`inter`
+    /// prediction).
     #[inline]
     pub fn recent(&self, k: usize) -> impl Iterator<Item = SharingBitmap> + '_ {
         let take = k.min(self.len as usize);
+        let depth = self.depth as usize;
+        let mut slot = self.head as usize;
         (0..take).map(move |i| {
-            let slot = (self.head as usize + self.depth as usize - i) % self.depth as usize;
+            if i > 0 {
+                slot = if slot == 0 { depth - 1 } else { slot - 1 };
+            }
             self.bitmaps[slot]
         })
     }
@@ -316,6 +333,50 @@ mod tests {
     #[should_panic(expected = "history depth")]
     fn zero_depth_rejected() {
         let _ = HistoryEntry::new(0);
+    }
+
+    /// Ring semantics pinned against a straightforward deque model at
+    /// every supported depth: regression guard for the compare-and-reset
+    /// head advance in [`HistoryEntry::push`].
+    #[test]
+    fn ring_matches_deque_model_at_every_depth() {
+        use std::collections::VecDeque;
+        for depth in 1..=MAX_DEPTH {
+            let mut h = HistoryEntry::new(depth);
+            let mut model: VecDeque<SharingBitmap> = VecDeque::new();
+            for step in 0..3 * MAX_DEPTH as u64 + 1 {
+                let fb = SharingBitmap::from_bits(step.wrapping_mul(0x9E37_79B9) | 1);
+                h.push(fb);
+                model.push_front(fb);
+                model.truncate(depth);
+
+                assert_eq!(h.len(), model.len(), "depth {depth} step {step}");
+                let got: Vec<_> = h.recent(depth).collect();
+                let want: Vec<_> = model.iter().copied().collect();
+                assert_eq!(got, want, "depth {depth} step {step}: newest-first order");
+                assert_eq!(h.last(), model[0], "depth {depth} step {step}");
+                assert_eq!(
+                    h.union(depth),
+                    model.iter().fold(SharingBitmap::empty(), |a, &b| a | b),
+                    "depth {depth} step {step}"
+                );
+                if model.len() == depth {
+                    assert_eq!(
+                        h.inter(depth),
+                        model.iter().skip(1).fold(model[0], |a, &b| a & b),
+                        "depth {depth} step {step}"
+                    );
+                } else {
+                    assert_eq!(h.inter(depth), SharingBitmap::empty());
+                }
+                // Partial windows walk the same ring.
+                for k in 1..=depth {
+                    let got: Vec<_> = h.recent(k).collect();
+                    let want: Vec<_> = model.iter().take(k).copied().collect();
+                    assert_eq!(got, want, "depth {depth} step {step} window {k}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -58,6 +58,7 @@ mod entry;
 mod function;
 pub mod hash;
 mod index;
+mod prepared;
 mod scheme;
 pub mod sticky;
 mod table;
@@ -65,5 +66,6 @@ mod table;
 pub use entry::{HistoryEntry, PasEntry, MAX_DEPTH};
 pub use function::PredictionFunction;
 pub use index::{node_bits, IndexSpec};
+pub use prepared::{KeyStream, PreparedTrace, SlotData};
 pub use scheme::{ParseSchemeError, Scheme, UpdateMode};
 pub use table::{shard_of_key, PredictorTable};

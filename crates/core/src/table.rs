@@ -43,10 +43,28 @@ enum Storage {
 impl PredictorTable {
     /// Creates an empty table for `scheme` on an `nodes`-node machine.
     pub fn new(scheme: &Scheme, nodes: usize) -> Self {
+        Self::with_capacity(scheme, nodes, 0)
+    }
+
+    /// Creates an empty table pre-sized for `capacity` entries.
+    ///
+    /// The evaluation hot loop grows the table one entry at a time; with
+    /// the default constructor that means a rehash-and-move of every
+    /// entry at each power-of-two boundary. Sweeps that already know the
+    /// trace's distinct-key count (see
+    /// [`KeyStream::distinct_keys`](crate::KeyStream::distinct_keys))
+    /// allocate the end-state table up front instead.
+    pub fn with_capacity(scheme: &Scheme, nodes: usize, capacity: usize) -> Self {
         let storage = if scheme.function.uses_history() {
-            Storage::History(FxHashMap::default())
+            Storage::History(FxHashMap::with_capacity_and_hasher(
+                capacity,
+                Default::default(),
+            ))
         } else {
-            Storage::Pas(FxHashMap::default())
+            Storage::Pas(FxHashMap::with_capacity_and_hasher(
+                capacity,
+                Default::default(),
+            ))
         };
         PredictorTable {
             function: scheme.function,
@@ -60,19 +78,29 @@ impl PredictorTable {
         }
     }
 
+    /// The prediction function applied to one history entry's state.
+    #[inline]
+    fn predict_history(
+        function: PredictionFunction,
+        depth: usize,
+        h: &HistoryEntry,
+    ) -> SharingBitmap {
+        match function {
+            PredictionFunction::Last => h.last(),
+            PredictionFunction::Union => h.union(depth),
+            PredictionFunction::Inter => h.inter(depth),
+            PredictionFunction::OverlapLast => h.overlap_last(),
+            PredictionFunction::Pas => unreachable!("PAs uses Pas storage"),
+        }
+    }
+
     /// The predicted reader bitmap for `key` (empty if the entry is cold).
     #[inline]
     pub fn predict(&self, key: u64) -> SharingBitmap {
         match &self.storage {
             Storage::History(map) => match map.get(&key) {
                 None => SharingBitmap::empty(),
-                Some(h) => match self.function {
-                    PredictionFunction::Last => h.last(),
-                    PredictionFunction::Union => h.union(self.depth),
-                    PredictionFunction::Inter => h.inter(self.depth),
-                    PredictionFunction::OverlapLast => h.overlap_last(),
-                    PredictionFunction::Pas => unreachable!("PAs uses Pas storage"),
-                },
+                Some(h) => Self::predict_history(self.function, self.depth, h),
             },
             Storage::Pas(map) => map
                 .get(&key)
@@ -96,6 +124,105 @@ impl PredictorTable {
                     .or_insert_with(|| PasEntry::new(self.nodes, self.depth))
                     .update(feedback, self.nodes);
             }
+        }
+    }
+
+    /// Delivers `feedback` to `key`'s entry, then predicts through the
+    /// *updated* entry — the `direct`-update step of the engine loop — in
+    /// a single table probe.
+    ///
+    /// Bit-identical to `update(key, feedback)` followed by
+    /// `predict(key)`, without the second hash lookup (the hottest pair
+    /// of operations in a design-space sweep).
+    #[inline]
+    pub fn update_and_predict(&mut self, key: u64, feedback: SharingBitmap) -> SharingBitmap {
+        match &mut self.storage {
+            Storage::History(map) => {
+                let h = map
+                    .entry(key)
+                    .or_insert_with(|| HistoryEntry::new(self.depth));
+                h.push(feedback);
+                Self::predict_history(self.function, self.depth, h)
+            }
+            Storage::Pas(map) => {
+                let e = map
+                    .entry(key)
+                    .or_insert_with(|| PasEntry::new(self.nodes, self.depth));
+                e.update(feedback, self.nodes);
+                e.predict(self.nodes)
+            }
+        }
+    }
+
+    /// Predicts through `key`'s entry, then trains it with `feedback` —
+    /// the `ordered`-update step of the engine loop — in a single table
+    /// probe.
+    ///
+    /// Bit-identical to `predict(key)` followed by
+    /// `update(key, feedback)`: the entry this creates for a cold key
+    /// predicts exactly what the absent entry would have (empty), because
+    /// a fresh entry holds no history.
+    #[inline]
+    pub fn predict_and_update(&mut self, key: u64, feedback: SharingBitmap) -> SharingBitmap {
+        match &mut self.storage {
+            Storage::History(map) => {
+                let h = map
+                    .entry(key)
+                    .or_insert_with(|| HistoryEntry::new(self.depth));
+                let predicted = Self::predict_history(self.function, self.depth, h);
+                h.push(feedback);
+                predicted
+            }
+            Storage::Pas(map) => {
+                let e = map
+                    .entry(key)
+                    .or_insert_with(|| PasEntry::new(self.nodes, self.depth));
+                let predicted = e.predict(self.nodes);
+                e.update(feedback, self.nodes);
+                predicted
+            }
+        }
+    }
+
+    /// Delivers `feedback` to `key`'s entry and returns a view of the
+    /// updated history — the one-probe form of `update` +
+    /// [`history`](Self::history) used by the family evaluator. Returns
+    /// `None` on PAs storage.
+    #[inline]
+    pub fn update_and_history(
+        &mut self,
+        key: u64,
+        feedback: SharingBitmap,
+    ) -> Option<&HistoryEntry> {
+        match &mut self.storage {
+            Storage::History(map) => {
+                let h = map
+                    .entry(key)
+                    .or_insert_with(|| HistoryEntry::new(self.depth));
+                h.push(feedback);
+                Some(h)
+            }
+            Storage::Pas(map) => {
+                map.entry(key)
+                    .or_insert_with(|| PasEntry::new(self.nodes, self.depth))
+                    .update(feedback, self.nodes);
+                None
+            }
+        }
+    }
+
+    /// Mutable access to `key`'s history entry, creating a cold one if
+    /// absent — the family evaluator's one-probe score-then-train step
+    /// for `ordered` update (a cold entry scores exactly like an absent
+    /// one: it holds no history). Returns `None` on PAs storage.
+    #[inline]
+    pub fn history_mut(&mut self, key: u64) -> Option<&mut HistoryEntry> {
+        match &mut self.storage {
+            Storage::History(map) => Some(
+                map.entry(key)
+                    .or_insert_with(|| HistoryEntry::new(self.depth)),
+            ),
+            Storage::Pas(_) => None,
         }
     }
 
@@ -320,5 +447,75 @@ mod tests {
     fn absorb_rejects_mismatched_storage() {
         let mut a = table("union(pid)2");
         a.absorb(table("pas(pid)2"));
+    }
+
+    /// One-probe ops must be bit-identical to their two-probe spellings,
+    /// for both storage families and arbitrary interleavings.
+    #[test]
+    fn one_probe_ops_match_two_probe_spellings() {
+        for spec in [
+            "last(pid)1",
+            "union(pid)3",
+            "inter(pid)2",
+            "overlap-last(pid)",
+            "pas(pid)2",
+        ] {
+            let mut one = table(spec);
+            let mut two = table(spec);
+            for step in 0..60u64 {
+                let key = step % 5;
+                let feedback = bm(&[(step % 16) as u8, ((step * 7) % 16) as u8]);
+                if step % 2 == 0 {
+                    let got = one.update_and_predict(key, feedback);
+                    two.update(key, feedback);
+                    assert_eq!(got, two.predict(key), "{spec} update_and_predict @{step}");
+                } else {
+                    let got = one.predict_and_update(key, feedback);
+                    let want = two.predict(key);
+                    two.update(key, feedback);
+                    assert_eq!(got, want, "{spec} predict_and_update @{step}");
+                }
+                // The tables must stay in lock-step on every key.
+                for k in 0..5 {
+                    assert_eq!(one.predict(k), two.predict(k), "{spec} key {k} @{step}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn update_and_history_views_the_updated_entry() {
+        let mut t = table("union(pid)2");
+        let h = t.update_and_history(7, bm(&[1])).expect("history storage");
+        assert_eq!(h.last(), bm(&[1]));
+        assert!(table("pas(pid)2").update_and_history(0, bm(&[1])).is_none());
+    }
+
+    #[test]
+    fn history_mut_creates_cold_entries_that_score_like_absent_ones() {
+        let mut t = table("inter(pid)2");
+        {
+            let h = t.history_mut(3).expect("history storage");
+            assert!(h.is_empty(), "fresh entry holds no history");
+        }
+        // The cold entry predicts exactly what the absent entry did.
+        assert!(t.predict(3).is_empty());
+        assert!(table("pas(pid)2").history_mut(0).is_none());
+    }
+
+    #[test]
+    fn with_capacity_behaves_identically() {
+        let scheme: Scheme = "union(pid)2".parse().unwrap();
+        let mut hinted = PredictorTable::with_capacity(&scheme, 16, 128);
+        let mut plain = PredictorTable::new(&scheme, 16);
+        for key in 0..200u64 {
+            let fb = bm(&[(key % 16) as u8]);
+            hinted.update(key, fb);
+            plain.update(key, fb);
+        }
+        assert_eq!(hinted.entries_touched(), plain.entries_touched());
+        for key in 0..200u64 {
+            assert_eq!(hinted.predict(key), plain.predict(key));
+        }
     }
 }

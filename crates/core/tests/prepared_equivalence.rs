@@ -1,0 +1,206 @@
+//! Property-style equivalence suite: the prepared evaluation path must be
+//! bit-identical to the naive one.
+//!
+//! The prepared engine ([`engine::run_scheme_prepared`] and friends) walks
+//! flat resolved columns and shared key streams, and touches predictor
+//! tables through the one-probe entry API. None of that may change a
+//! single confusion-matrix count relative to the naive spelling: these
+//! properties pin that across random small traces, all three update
+//! modes, and both storage families (history and PAs).
+
+use csp_core::{engine, IndexSpec, PredictionFunction, PreparedTrace, Scheme, UpdateMode};
+use csp_trace::{LineAddr, NodeId, Pc, SharingBitmap, SharingEvent, Trace};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const NODES: usize = 8;
+
+/// One raw generated event: `(line, writer, pc, feedback_bits, final_bits)`.
+type RawEvent = (u64, u8, u32, u8, u8);
+
+/// Builds a trace with *consistent* per-line previous-writer chains (the
+/// invariant real traces have and `forward_key_of` relies on): each
+/// event's `prev_writer` is the line's actual previous writer, and only
+/// events with a previous writer carry invalidation feedback.
+fn build_trace(raw: &[RawEvent]) -> Trace {
+    let mut t = Trace::new(NODES);
+    let mut last: HashMap<u64, (NodeId, Pc)> = HashMap::new();
+    for &(line, writer, pc, bits, _) in raw {
+        let writer = NodeId(writer % NODES as u8);
+        let pc = Pc(pc % 16);
+        let prev = last.get(&line).copied();
+        let invalidated = if prev.is_some() {
+            SharingBitmap::from_bits(u64::from(bits)).masked(NODES)
+        } else {
+            SharingBitmap::empty()
+        };
+        let dir = NodeId((line % NODES as u64) as u8);
+        t.push(SharingEvent::new(
+            writer,
+            pc,
+            LineAddr(line),
+            dir,
+            invalidated,
+            prev,
+        ));
+        last.insert(line, (writer, pc));
+    }
+    for &(line, _, _, _, final_bits) in raw {
+        t.set_final_readers(
+            LineAddr(line),
+            SharingBitmap::from_bits(u64::from(final_bits)).masked(NODES),
+        );
+    }
+    t
+}
+
+/// The index points exercised: pc-hybrid, pure-address, full hybrid, and
+/// the degenerate baseline (everything shares one entry).
+fn index_points() -> [IndexSpec; 4] {
+    [
+        IndexSpec::new(true, 2, false, 0),
+        IndexSpec::new(false, 0, false, 3),
+        IndexSpec::new(true, 2, true, 2),
+        IndexSpec::none(),
+    ]
+}
+
+/// Every scheme shape the equivalence must hold for: both storage
+/// families (history: last/union/inter/overlap-last; PAs) at a spread of
+/// depths.
+fn scheme_points(index: IndexSpec, update: UpdateMode) -> Vec<Scheme> {
+    let mut out = vec![
+        Scheme::new(PredictionFunction::Last, index, 1, update),
+        Scheme::new(PredictionFunction::OverlapLast, index, 1, update),
+    ];
+    for depth in [1, 2, 4] {
+        out.push(Scheme::new(PredictionFunction::Union, index, depth, update));
+        out.push(Scheme::new(PredictionFunction::Inter, index, depth, update));
+        out.push(Scheme::new(PredictionFunction::Pas, index, depth, update));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `run_scheme_prepared` == `run_scheme` for every update mode and
+    /// both storage families, on random consistent traces.
+    #[test]
+    fn prepared_scheme_matches_naive(
+        raw in vec((0u64..4, any::<u8>(), any::<u32>(), any::<u8>(), any::<u8>()), 1..40),
+    ) {
+        let trace = build_trace(&raw);
+        let prepared = PreparedTrace::new(&trace);
+        for index in index_points() {
+            for update in UpdateMode::ALL {
+                for scheme in scheme_points(index, update) {
+                    prop_assert_eq!(
+                        engine::run_scheme_prepared(&prepared, &scheme),
+                        engine::run_scheme(&trace, &scheme),
+                        "scheme {}", scheme
+                    );
+                }
+            }
+        }
+    }
+
+    /// The single-pass family evaluator stays equivalent too, at every
+    /// depth it reports.
+    #[test]
+    fn prepared_family_matches_naive(
+        raw in vec((0u64..4, any::<u8>(), any::<u32>(), any::<u8>(), any::<u8>()), 1..40),
+        max_depth in 1usize..=4,
+    ) {
+        let trace = build_trace(&raw);
+        let prepared = PreparedTrace::new(&trace);
+        for index in index_points() {
+            for update in UpdateMode::ALL {
+                let fam_p = engine::run_history_family_prepared(&prepared, index, update, max_depth);
+                let fam_n = engine::run_history_family(&trace, index, update, max_depth);
+                prop_assert_eq!(&fam_p, &fam_n, "family {index} {update} depth {max_depth}");
+                // And the family agrees with individual prepared runs.
+                for d in 1..=max_depth {
+                    let u = Scheme::new(PredictionFunction::Union, index, d, update);
+                    let i = Scheme::new(PredictionFunction::Inter, index, d, update);
+                    prop_assert_eq!(&fam_p.union[d - 1], &engine::run_scheme_prepared(&prepared, &u));
+                    prop_assert_eq!(&fam_p.inter[d - 1], &engine::run_scheme_prepared(&prepared, &i));
+                }
+            }
+        }
+    }
+
+    /// Per-event predictions (not just aggregate matrices) are identical,
+    /// so downstream consumers (forwarding estimator, paired comparison,
+    /// online replay) see the same stream.
+    #[test]
+    fn prepared_predictions_match_naive(
+        raw in vec((0u64..6, any::<u8>(), any::<u32>(), any::<u8>(), any::<u8>()), 1..30),
+    ) {
+        let trace = build_trace(&raw);
+        let prepared = PreparedTrace::new(&trace);
+        for update in UpdateMode::ALL {
+            let scheme = Scheme::new(
+                PredictionFunction::Union,
+                IndexSpec::new(true, 2, false, 2),
+                2,
+                update,
+            );
+            prop_assert_eq!(
+                engine::predictions_for_prepared(&prepared, &scheme),
+                engine::predictions_for(&trace, &scheme)
+            );
+        }
+    }
+
+    /// Paired comparisons ride the same prepared path without drift.
+    #[test]
+    fn prepared_compare_matches_naive(
+        raw in vec((0u64..4, any::<u8>(), any::<u32>(), any::<u8>(), any::<u8>()), 1..30),
+    ) {
+        let trace = build_trace(&raw);
+        let prepared = PreparedTrace::new(&trace);
+        let a = Scheme::new(PredictionFunction::Last, IndexSpec::new(true, 2, false, 0), 1, UpdateMode::Direct);
+        let b = Scheme::new(PredictionFunction::Pas, IndexSpec::new(false, 0, false, 3), 2, UpdateMode::Forwarded);
+        let naive = engine::compare_schemes(&trace, &a, &b);
+        let fast = engine::compare_schemes_prepared(&prepared, &a, &b);
+        prop_assert_eq!(naive.both_correct, fast.both_correct);
+        prop_assert_eq!(naive.both_wrong, fast.both_wrong);
+        prop_assert_eq!(naive.only_a, fast.only_a);
+        prop_assert_eq!(naive.only_b, fast.only_b);
+    }
+}
+
+/// A deterministic exhaustive sweep on one fixed trace: every function x
+/// update x depth x index point, so a failure here names the exact cell
+/// without needing the property seed.
+#[test]
+fn exhaustive_fixed_trace_sweep() {
+    let raw: Vec<RawEvent> = (0..48u64)
+        .map(|i| {
+            (
+                i % 3,
+                (i * 5 % 7) as u8,
+                (i * 11 % 5) as u32,
+                (i * 37 % 251) as u8,
+                (i * 13 % 251) as u8,
+            )
+        })
+        .collect();
+    let trace = build_trace(&raw);
+    let prepared = PreparedTrace::new(&trace);
+    for index in index_points() {
+        for update in UpdateMode::ALL {
+            for scheme in scheme_points(index, update) {
+                assert_eq!(
+                    engine::run_scheme_prepared(&prepared, &scheme),
+                    engine::run_scheme(&trace, &scheme),
+                    "scheme {scheme}"
+                );
+            }
+        }
+    }
+    // One key stream per index point, shared across all schemes above.
+    assert_eq!(prepared.cached_streams(), index_points().len());
+}

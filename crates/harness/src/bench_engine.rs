@@ -1,0 +1,394 @@
+//! The engine benchmark: measures the prepared single-pass sweep against
+//! the naive per-cell path and guards the ratio in CI.
+//!
+//! Both arms run the *same* family-sweep workload (the Figure 6/7 index
+//! grid under every update mode) sequentially on one thread. The naive
+//! arm is a faithful reference spelling of the pre-prepared-layer
+//! evaluation: every `(index, update, benchmark)` cell re-resolves the
+//! trace's ground truth, re-derives each event's key, and walks a hashed
+//! create-on-update predictor table probed separately for update and
+//! score. The prepared arm is the production path: resolution and key
+//! streams shared across cells, entries in a flat slot-indexed table. The
+//! two arms' confusion matrices are asserted bit-identical before any
+//! rate is reported, so the reference doubles as an independent
+//! equivalence oracle for the prepared engine.
+//!
+//! The committed baseline (`BENCH_engine.json`) records the measured
+//! *speedup ratio*, not absolute events/sec: the ratio is
+//! machine-relative (both arms run on the same box back to back), so a
+//! slower CI runner does not trip the gate but a real regression of the
+//! prepared path does.
+
+use crate::error::HarnessError;
+use crate::runner::{PreparedSuite, Suite};
+use crate::space::figure6_index_grid;
+use csp_core::engine::{run_history_family_prepared, FamilyResult};
+use csp_core::{
+    node_bits, HistoryEntry, IndexSpec, PredictionFunction, PredictorTable, Scheme, UpdateMode,
+};
+use csp_metrics::ConfusionMatrix;
+use csp_trace::{SharingBitmap, Trace};
+use std::time::Instant;
+
+/// One timed arm of the benchmark.
+#[derive(Clone, Copy, Debug)]
+pub struct StageRate {
+    /// Wall-clock seconds the arm took.
+    pub seconds: f64,
+    /// Decisions scored per second (`events_per_pass / seconds`).
+    pub events_per_sec: f64,
+}
+
+/// The engine benchmark's result: both arms plus their ratio.
+#[derive(Clone, Debug)]
+pub struct EngineBenchReport {
+    /// Workload scale the suite was generated at.
+    pub scale: f64,
+    /// Suite seed.
+    pub seed: u64,
+    /// Family depth both arms evaluate to.
+    pub max_depth: usize,
+    /// Index specifications in the grid.
+    pub indexes: usize,
+    /// Update modes in the grid.
+    pub updates: usize,
+    /// Benchmarks in the suite.
+    pub benchmarks: usize,
+    /// Decisions one full sweep scores (`cells x suite events`); each arm
+    /// processes exactly this many.
+    pub events_per_pass: u64,
+    /// The naive arm (per-cell resolution and key derivation).
+    pub naive: StageRate,
+    /// The prepared arm (shared resolution and key streams).
+    pub prepared: StageRate,
+    /// `prepared.events_per_sec / naive.events_per_sec`.
+    pub speedup: f64,
+}
+
+/// Runs both arms of the engine benchmark over `suite` and verifies they
+/// produce bit-identical results.
+///
+/// # Panics
+///
+/// Panics if the two arms disagree on any confusion matrix — a
+/// correctness bug that must never be papered over by a benchmark.
+pub fn run_engine_bench(suite: &Suite, max_depth: usize) -> EngineBenchReport {
+    let indexes = figure6_index_grid();
+    let updates = UpdateMode::ALL;
+    let suite_events: u64 = suite.traces().iter().map(|b| b.trace.len() as u64).sum();
+    let cells = (indexes.len() * updates.len()) as u64;
+    let events_per_pass = cells * suite_events;
+
+    let (naive_results, naive) = timed(events_per_pass, || {
+        sweep_naive(suite, &indexes, &updates, max_depth)
+    });
+    let (prepared_results, prepared) = timed(events_per_pass, || {
+        sweep_prepared(suite, &indexes, &updates, max_depth)
+    });
+    assert_eq!(
+        naive_results, prepared_results,
+        "prepared sweep diverged from naive sweep"
+    );
+    drop(naive_results);
+    drop(prepared_results);
+
+    EngineBenchReport {
+        scale: suite.scale(),
+        seed: suite.seed(),
+        max_depth,
+        indexes: indexes.len(),
+        updates: updates.len(),
+        benchmarks: suite.traces().len(),
+        events_per_pass,
+        naive,
+        prepared,
+        speedup: prepared.events_per_sec / naive.events_per_sec,
+    }
+}
+
+/// Times `f` over [`BENCH_ITERS`] runs and reports the fastest — a
+/// single-shot wall-clock sample is too noisy to gate CI on.
+fn timed<T>(events: u64, f: impl Fn() -> T) -> (T, StageRate) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..BENCH_ITERS {
+        let t0 = Instant::now();
+        let v = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        out = Some(v);
+    }
+    let seconds = best.max(1e-9);
+    (
+        out.expect("BENCH_ITERS >= 1"),
+        StageRate {
+            seconds,
+            events_per_sec: events as f64 / seconds,
+        },
+    )
+}
+
+/// Timed iterations per arm; the fastest is reported.
+const BENCH_ITERS: usize = 3;
+
+/// The naive arm: every cell evaluated by [`family_reference`], paying
+/// per-cell resolution, per-event key derivation, and hashed table probes.
+fn sweep_naive(
+    suite: &Suite,
+    indexes: &[IndexSpec],
+    updates: &[UpdateMode],
+    max_depth: usize,
+) -> Vec<FamilyResult> {
+    let mut out = Vec::new();
+    for &index in indexes {
+        for &update in updates {
+            for b in suite.traces() {
+                out.push(family_reference(&b.trace, index, update, max_depth));
+            }
+        }
+    }
+    out
+}
+
+/// Reference spelling of the family evaluator as it stood before the
+/// prepared layer: ground truth resolved per call, `key_of` /
+/// `forward_key_of` computed per event, and a hashed create-on-update
+/// [`PredictorTable`] probed once to update and once again to score.
+///
+/// Kept as the benchmark's naive arm *and* as an independent oracle: it
+/// shares no code with the prepared path beyond the entry and index
+/// primitives, and [`run_engine_bench`] asserts its output bit-identical
+/// to `run_history_family_prepared` on every cell.
+pub fn family_reference(
+    trace: &Trace,
+    index: IndexSpec,
+    update: UpdateMode,
+    max_depth: usize,
+) -> FamilyResult {
+    let actuals = trace.resolve_actuals();
+    let nb = node_bits(trace.nodes());
+    let nodes = trace.nodes();
+    let deepest = Scheme::new(PredictionFunction::Union, index, max_depth, update);
+    let mut table = PredictorTable::new(&deepest, nodes);
+    let mut result = FamilyResult {
+        union: vec![ConfusionMatrix::default(); max_depth],
+        inter: vec![ConfusionMatrix::default(); max_depth],
+    };
+    let score = |h: Option<&HistoryEntry>, actual: SharingBitmap, result: &mut FamilyResult| {
+        let mut acc_union = SharingBitmap::empty();
+        let mut acc_inter = SharingBitmap::all(nodes);
+        let mut d = 0;
+        if let Some(h) = h {
+            for b in h.recent(max_depth) {
+                acc_union |= b;
+                acc_inter &= b;
+                result.union[d].record(acc_union, actual, nodes);
+                result.inter[d].record(acc_inter, actual, nodes);
+                d += 1;
+            }
+        }
+        let empty = SharingBitmap::empty();
+        for rest in d..max_depth {
+            result.union[rest].record(acc_union, actual, nodes);
+            result.inter[rest].record(empty, actual, nodes);
+        }
+    };
+    for (i, event) in trace.events().iter().enumerate() {
+        let key = index.key_of(event, nb);
+        match update {
+            UpdateMode::Direct => {
+                if event.prev_writer.is_some() {
+                    table.update(key, event.invalidated);
+                }
+                score(table.history(key), actuals[i], &mut result);
+            }
+            UpdateMode::Forwarded => {
+                if let Some(fkey) = index.forward_key_of(event, nb) {
+                    table.update(fkey, event.invalidated);
+                }
+                score(table.history(key), actuals[i], &mut result);
+            }
+            UpdateMode::Ordered => {
+                score(table.history(key), actuals[i], &mut result);
+                table.update(key, actuals[i]);
+            }
+        }
+    }
+    result
+}
+
+/// The prepared arm: one resolution per benchmark, one key stream per
+/// index, shared across every cell.
+fn sweep_prepared(
+    suite: &Suite,
+    indexes: &[IndexSpec],
+    updates: &[UpdateMode],
+    max_depth: usize,
+) -> Vec<FamilyResult> {
+    let prepared = PreparedSuite::new(suite);
+    let mut out = Vec::new();
+    for &index in indexes {
+        for &update in updates {
+            for pt in prepared.traces() {
+                out.push(run_history_family_prepared(pt, index, update, max_depth));
+            }
+        }
+        // Mirror the sweep planner: no later cell of this pass touches
+        // the index again, so evict rather than let the bounded stream
+        // cache thrash (which would recompute streams mid-pass).
+        for pt in prepared.traces() {
+            pt.evict_stream(index);
+        }
+    }
+    out
+}
+
+impl EngineBenchReport {
+    /// A one-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "engine bench: naive {:.2}M ev/s, prepared {:.2}M ev/s, speedup {:.2}x \
+             ({} indexes x {} updates x {} benchmarks, depth {}, {} events/pass)",
+            self.naive.events_per_sec / 1e6,
+            self.prepared.events_per_sec / 1e6,
+            self.speedup,
+            self.indexes,
+            self.updates,
+            self.benchmarks,
+            self.max_depth,
+            self.events_per_pass,
+        )
+    }
+
+    /// Serialises the report as JSON (hand-rolled: the workspace is
+    /// offline and carries no serde).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"bench\": \"engine\",\n  \"scale\": {},\n  \"seed\": {},\n  \
+             \"max_depth\": {},\n  \"indexes\": {},\n  \"updates\": {},\n  \
+             \"benchmarks\": {},\n  \"events_per_pass\": {},\n  \
+             \"naive\": {{ \"seconds\": {:.6}, \"events_per_sec\": {:.1} }},\n  \
+             \"prepared\": {{ \"seconds\": {:.6}, \"events_per_sec\": {:.1} }},\n  \
+             \"speedup\": {:.4}\n}}\n",
+            self.scale,
+            self.seed,
+            self.max_depth,
+            self.indexes,
+            self.updates,
+            self.benchmarks,
+            self.events_per_pass,
+            self.naive.seconds,
+            self.naive.events_per_sec,
+            self.prepared.seconds,
+            self.prepared.events_per_sec,
+            self.speedup,
+        )
+    }
+
+    /// Extracts the `"speedup"` field from a report previously written by
+    /// [`EngineBenchReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::Bench`] if the field is missing or not a
+    /// number.
+    pub fn speedup_from_json(text: &str) -> Result<f64, HarnessError> {
+        extract_number(text, "speedup").ok_or_else(|| HarnessError::Bench {
+            detail: "baseline report has no numeric \"speedup\" field".into(),
+        })
+    }
+
+    /// Compares this run's speedup against a committed baseline report,
+    /// allowing the ratio to degrade by at most `tolerance` (e.g. `0.2`
+    /// for 20%).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::Bench`] if the baseline cannot be parsed
+    /// or the measured speedup regressed past the tolerance.
+    pub fn check_against_baseline(
+        &self,
+        baseline_json: &str,
+        tolerance: f64,
+    ) -> Result<(), HarnessError> {
+        let baseline = Self::speedup_from_json(baseline_json)?;
+        let floor = baseline * (1.0 - tolerance);
+        if self.speedup < floor {
+            return Err(HarnessError::Bench {
+                detail: format!(
+                    "prepared-path speedup regressed: measured {:.2}x, baseline {:.2}x \
+                     (floor {:.2}x at {:.0}% tolerance)",
+                    self.speedup,
+                    baseline,
+                    floor,
+                    tolerance * 100.0
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Finds `"key": <number>` in a flat JSON document. Enough of a parser
+/// for the reports this module itself writes.
+fn extract_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+')
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_arms_agree_and_report_roundtrips() {
+        let suite = Suite::generate(0.01, 3);
+        let report = run_engine_bench(&suite, 2);
+        assert!(report.naive.events_per_sec > 0.0);
+        assert!(report.prepared.events_per_sec > 0.0);
+        assert!(report.speedup > 0.0);
+        assert_eq!(report.benchmarks, 7);
+        assert_eq!(report.indexes, 16);
+        assert_eq!(report.updates, UpdateMode::ALL.len());
+
+        let json = report.to_json();
+        let speedup = EngineBenchReport::speedup_from_json(&json).unwrap();
+        assert!((speedup - report.speedup).abs() < 1e-3, "{speedup}");
+        assert!(report.summary().contains("speedup"));
+    }
+
+    #[test]
+    fn regression_check_enforces_tolerance() {
+        let suite = Suite::generate(0.01, 3);
+        let mut report = run_engine_bench(&suite, 1);
+        report.speedup = 2.0;
+        // Baseline 2.0, measured 2.0: fine at any tolerance.
+        let baseline = report.to_json();
+        report.check_against_baseline(&baseline, 0.2).unwrap();
+        // Measured 1.5 vs baseline 2.0 is inside 30% but outside 20%.
+        report.speedup = 1.5;
+        report.check_against_baseline(&baseline, 0.3).unwrap();
+        let err = report.check_against_baseline(&baseline, 0.2).unwrap_err();
+        assert!(err.to_string().contains("regressed"), "{err}");
+    }
+
+    #[test]
+    fn malformed_baseline_is_a_bench_error() {
+        let err = EngineBenchReport::speedup_from_json("{}").unwrap_err();
+        assert!(err.to_string().contains("speedup"), "{err}");
+        assert!(EngineBenchReport::speedup_from_json("{\"speedup\": 3.25}").unwrap() == 3.25);
+    }
+
+    #[test]
+    fn extract_number_handles_layouts() {
+        assert_eq!(extract_number("{\"x\":1.5}", "x"), Some(1.5));
+        assert_eq!(extract_number("{ \"x\" : 2 }", "x"), Some(2.0));
+        assert_eq!(extract_number("{\"y\": 1}", "x"), None);
+    }
+}

@@ -16,6 +16,11 @@
 //!   --sweep-tsv FILE  dump the full design-space sweep as TSV and exit
 //!   --verify-serve    replay the suite through the online sharded engine
 //!                     (csp-serve) and verify bit-identical statistics
+//!   --bench-engine    time the naive vs prepared sweep paths and exit
+//!   --bench-out FILE  where --bench-engine writes its JSON report
+//!                     (default BENCH_engine.json)
+//!   --bench-check FILE  fail if the measured speedup regressed more than
+//!                     20% below the baseline report in FILE
 //! ```
 //!
 //! Exit codes: 0 success; 1 runtime failure (I/O, corruption, worker
@@ -37,6 +42,9 @@ struct Options {
     checkpoint: Option<PathBuf>,
     sweep_tsv: Option<PathBuf>,
     verify_serve: bool,
+    bench_engine: bool,
+    bench_out: PathBuf,
+    bench_check: Option<PathBuf>,
     requested: Vec<ExperimentId>,
 }
 
@@ -65,6 +73,9 @@ fn parse_args() -> Result<Options, String> {
         checkpoint: None,
         sweep_tsv: None,
         verify_serve: false,
+        bench_engine: false,
+        bench_out: PathBuf::from("BENCH_engine.json"),
+        bench_check: None,
         requested: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -96,6 +107,15 @@ fn parse_args() -> Result<Options, String> {
                 None => return Err("--sweep-tsv needs a file path".into()),
             },
             "--verify-serve" => opts.verify_serve = true,
+            "--bench-engine" => opts.bench_engine = true,
+            "--bench-out" => match args.next() {
+                Some(f) => opts.bench_out = PathBuf::from(f),
+                None => return Err("--bench-out needs a file path".into()),
+            },
+            "--bench-check" => match args.next() {
+                Some(f) => opts.bench_check = Some(PathBuf::from(f)),
+                None => return Err("--bench-check needs a file path".into()),
+            },
             "--help" | "-h" => {
                 print_usage();
                 std::process::exit(0);
@@ -126,6 +146,10 @@ fn run(opts: &Options) -> Result<(), HarnessError> {
         );
     }
     eprintln!("suite ready in {:.1?}\n", t0.elapsed());
+
+    if opts.bench_engine {
+        return bench_engine(&suite, opts);
+    }
 
     if opts.verify_serve {
         return verify_serve(&suite);
@@ -183,6 +207,31 @@ fn run(opts: &Options) -> Result<(), HarnessError> {
             }
         }
         eprintln!("[{e} in {:.1?}]\n", t.elapsed());
+    }
+    Ok(())
+}
+
+/// Times the naive (per-cell resolution) and prepared (shared key-stream)
+/// sweep paths over the same family grid, writes the JSON report, and
+/// optionally gates on a committed baseline.
+fn bench_engine(suite: &Suite, opts: &Options) -> Result<(), HarnessError> {
+    use csp_harness::run_engine_bench;
+
+    const MAX_DEPTH: usize = 4;
+    const TOLERANCE: f64 = 0.2;
+    let report = run_engine_bench(suite, MAX_DEPTH);
+    println!("{}", report.summary());
+    std::fs::write(&opts.bench_out, report.to_json())
+        .map_err(|e| HarnessError::io(&opts.bench_out, e))?;
+    eprintln!("report written to {}", opts.bench_out.display());
+    if let Some(baseline) = &opts.bench_check {
+        let text = std::fs::read_to_string(baseline).map_err(|e| HarnessError::io(baseline, e))?;
+        report.check_against_baseline(&text, TOLERANCE)?;
+        println!(
+            "speedup within {:.0}% of baseline {}",
+            TOLERANCE * 100.0,
+            baseline.display()
+        );
     }
     Ok(())
 }
@@ -277,6 +326,11 @@ fn print_usage() {
     eprintln!("  --checkpoint FILE resume the tables 8-11 sweep from FILE");
     eprintln!("  --sweep-tsv FILE  dump the full design-space sweep as TSV and exit");
     eprintln!("  --verify-serve    verify the online sharded engine reproduces offline stats");
+    eprintln!("  --bench-engine    time the naive vs prepared sweep paths and exit");
+    eprintln!(
+        "  --bench-out FILE  where --bench-engine writes its report (default BENCH_engine.json)"
+    );
+    eprintln!("  --bench-check FILE  fail if speedup regressed >20% below the baseline in FILE");
     eprintln!("experiments:");
     for e in ExperimentId::ALL {
         eprintln!("  {e}");

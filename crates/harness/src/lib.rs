@@ -13,6 +13,8 @@
 //!   `*_checkpointed` runners;
 //! * [`error`] — the structured [`error::HarnessError`] the library
 //!   surfaces instead of panicking;
+//! * [`bench_engine`] — the naive-vs-prepared engine benchmark behind
+//!   `csp-repro --bench-engine` and the CI regression gate;
 //! * [`serve`] — serve-backed evaluation through the online sharded
 //!   engine (`csp-serve`) and the online == offline equivalence check
 //!   behind `csp-repro --verify-serve`;
@@ -34,6 +36,7 @@
 // tests opt back in where unwrapping is the assertion.
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod bench_engine;
 pub mod cache;
 pub mod checkpoint;
 pub mod error;
@@ -43,6 +46,7 @@ pub mod runner;
 pub mod serve;
 pub mod space;
 
+pub use bench_engine::{run_engine_bench, EngineBenchReport};
 pub use cache::{CacheOutcome, TraceCache};
 pub use error::HarnessError;
-pub use runner::{SchemeStats, Suite, SweepFailure, SweepOutcome};
+pub use runner::{PreparedSuite, SchemeStats, Suite, SweepFailure, SweepOutcome};

@@ -21,8 +21,10 @@
 
 use crate::checkpoint::{CheckpointPayload, Fingerprint, SweepCheckpoint};
 use crate::error::HarnessError;
-use csp_core::engine::{run_history_family, run_scheme, FamilyResult};
-use csp_core::{IndexSpec, PredictionFunction, Scheme, UpdateMode};
+use csp_core::engine::{
+    run_history_family_prepared, run_scheme, run_scheme_prepared, FamilyResult,
+};
+use csp_core::{IndexSpec, PredictionFunction, PreparedTrace, Scheme, UpdateMode};
 use csp_metrics::{ConfusionMatrix, Screening};
 use csp_workloads::{generate_suite, Benchmark, BenchmarkTrace};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -126,6 +128,38 @@ impl Suite {
             .push_u64(self.scale.to_bits())
             .push_u64(self.seed)
             .push_u64(self.traces.len() as u64)
+    }
+}
+
+/// The suite with every trace prepared for repeated evaluation: actuals
+/// resolved once per benchmark, key streams computed once per
+/// [`IndexSpec`] and shared (thread-safely) by every scheme of a sweep.
+///
+/// Building one of these up front is what turns an N-scheme sweep from N
+/// full trace resolutions into one; all sweep entry points construct one
+/// internally, and callers orchestrating several sweeps over the same
+/// suite can build their own and reuse it.
+#[derive(Debug)]
+pub struct PreparedSuite<'s> {
+    prepared: Vec<PreparedTrace<'s>>,
+}
+
+impl<'s> PreparedSuite<'s> {
+    /// Prepares every trace of `suite` (one resolution pass per
+    /// benchmark).
+    pub fn new(suite: &'s Suite) -> Self {
+        PreparedSuite {
+            prepared: suite
+                .traces
+                .iter()
+                .map(|b| PreparedTrace::new(&b.trace))
+                .collect(),
+        }
+    }
+
+    /// The prepared traces, in [`Benchmark::ALL`] order.
+    pub fn traces(&self) -> &[PreparedTrace<'s>] {
+        &self.prepared
     }
 }
 
@@ -322,7 +356,9 @@ where
     Ok(SweepOutcome { results, failures })
 }
 
-/// Evaluates one scheme over every benchmark (sequentially).
+/// Evaluates one scheme over every benchmark (sequentially, preparing
+/// each trace per call — the naive reference path; sweeps should prepare
+/// once via [`PreparedSuite`] / [`evaluate_scheme_prepared`]).
 pub fn evaluate_scheme(suite: &Suite, scheme: &Scheme) -> SchemeStats {
     let per_benchmark = suite
         .traces
@@ -332,15 +368,29 @@ pub fn evaluate_scheme(suite: &Suite, scheme: &Scheme) -> SchemeStats {
     SchemeStats::from_matrices(*scheme, per_benchmark)
 }
 
+/// Evaluates one scheme over an already-prepared suite. Bit-identical to
+/// [`evaluate_scheme`]; the trace resolutions and key streams come from
+/// `prepared`'s shared columns.
+pub fn evaluate_scheme_prepared(prepared: &PreparedSuite<'_>, scheme: &Scheme) -> SchemeStats {
+    let per_benchmark = prepared
+        .traces()
+        .iter()
+        .map(|pt| run_scheme_prepared(pt, scheme))
+        .collect();
+    SchemeStats::from_matrices(*scheme, per_benchmark)
+}
+
 /// Evaluates many schemes in parallel with panic isolation: a scheme whose
 /// evaluation panics (twice) is reported in the outcome's `failures`, the
-/// rest still complete.
+/// rest still complete. The suite is prepared once and shared by every
+/// worker.
 pub fn try_evaluate_schemes(suite: &Suite, schemes: &[Scheme]) -> SweepOutcome<SchemeStats> {
+    let prepared = PreparedSuite::new(suite);
     let todo: Vec<usize> = (0..schemes.len()).collect();
     run_indices(
         schemes.len(),
         &todo,
-        &|i| evaluate_scheme(suite, &schemes[i]),
+        &|i| evaluate_scheme_prepared(&prepared, &schemes[i]),
         &|i| schemes[i].to_string(),
     )
 }
@@ -380,11 +430,12 @@ pub fn evaluate_schemes_checkpointed(
         fp = fp.push(s.to_string().as_bytes());
     }
     let (mut ckpt, done) = SweepCheckpoint::open(path, fp.finish())?;
+    let prepared = PreparedSuite::new(suite);
     run_checkpointed(
         schemes.len(),
         &mut ckpt,
         done,
-        &|i| evaluate_scheme(suite, &schemes[i]),
+        &|i| evaluate_scheme_prepared(&prepared, &schemes[i]),
         &|i| schemes[i].to_string(),
     )
 }
@@ -465,16 +516,16 @@ fn family_cells(indexes: &[IndexSpec], updates: &[UpdateMode]) -> Vec<(IndexSpec
 }
 
 fn family_job<'a>(
-    suite: &'a Suite,
+    prepared: &'a PreparedSuite<'a>,
     cells: &'a [(IndexSpec, UpdateMode)],
     max_depth: usize,
 ) -> impl Fn(usize) -> FamilyCell + Sync + 'a {
     move |i| {
         let (index, update) = cells[i];
-        let per_benchmark = suite
-            .traces
+        let per_benchmark = prepared
+            .traces()
             .iter()
-            .map(|b| run_history_family(&b.trace, index, update, max_depth))
+            .map(|pt| run_history_family_prepared(pt, index, update, max_depth))
             .collect();
         FamilyCell {
             index,
@@ -494,6 +545,12 @@ fn family_label<'a>(cells: &'a [(IndexSpec, UpdateMode)]) -> impl Fn(usize) -> S
 /// Sweeps the `union`/`inter` family over every `(index, update)` pair in
 /// parallel with panic isolation. The depth dimension comes for free
 /// (single pass per cell).
+///
+/// Work is planned as one item per `(benchmark, index)` group rather than
+/// per `(index, update)` cell: a worker that claims a group runs the
+/// benchmark's prepared key stream through *every* update mode while the
+/// stream is hot in cache, then the groups are reassembled into the cell
+/// grid. A group that panics twice fails every cell that needed it.
 pub fn try_sweep_families(
     suite: &Suite,
     indexes: &[IndexSpec],
@@ -501,10 +558,76 @@ pub fn try_sweep_families(
     max_depth: usize,
 ) -> SweepOutcome<FamilyCell> {
     let cells = family_cells(indexes, updates);
-    let todo: Vec<usize> = (0..cells.len()).collect();
-    let job = family_job(suite, &cells, max_depth);
-    let label = family_label(&cells);
-    run_indices(cells.len(), &todo, &job, &label)
+    if cells.is_empty() {
+        return SweepOutcome {
+            results: Vec::new(),
+            failures: Vec::new(),
+        };
+    }
+    let prepared = PreparedSuite::new(suite);
+    let n_bench = suite.traces.len();
+    // Group g = index i x benchmark b, laid out index-major.
+    let groups: Vec<(usize, usize)> = (0..indexes.len())
+        .flat_map(|i| (0..n_bench).map(move |b| (i, b)))
+        .collect();
+    let todo: Vec<usize> = (0..groups.len()).collect();
+    let job = |g: usize| -> Vec<FamilyResult> {
+        let (i, b) = groups[g];
+        let pt = &prepared.traces()[b];
+        let out = updates
+            .iter()
+            .map(|&u| run_history_family_prepared(pt, indexes[i], u, max_depth))
+            .collect();
+        // This group is the only consumer of the (trace, index) stream;
+        // evicting here keeps a design-space-sized sweep's footprint at
+        // O(live groups) instead of O(all indexes).
+        pt.evict_stream(indexes[i]);
+        out
+    };
+    let label = |g: usize| -> String {
+        let (i, b) = groups[g];
+        format!("family({})@{}", indexes[i], suite.traces[b].benchmark)
+    };
+    let grouped = run_indices(groups.len(), &todo, &job, &label);
+
+    // Reassemble the groups into the (index, update) cell grid the sweep
+    // is specified in. A cell exists iff every benchmark group under its
+    // index survived.
+    let mut results: Vec<Option<FamilyCell>> = Vec::with_capacity(cells.len());
+    let mut failures = Vec::new();
+    for (c, &(index, update)) in cells.iter().enumerate() {
+        let i = c / updates.len();
+        let j = c % updates.len();
+        let per_benchmark: Option<Vec<FamilyResult>> = (0..n_bench)
+            .map(|b| {
+                grouped.results[i * n_bench + b]
+                    .as_ref()
+                    .map(|group| group[j].clone())
+            })
+            .collect();
+        match per_benchmark {
+            Some(per_benchmark) => results.push(Some(FamilyCell {
+                index,
+                update,
+                per_benchmark,
+            })),
+            None => {
+                let message = grouped
+                    .failures
+                    .iter()
+                    .find(|f| f.index / n_bench == i)
+                    .map(|f| f.message.clone())
+                    .unwrap_or_else(|| "benchmark group failed".to_string());
+                failures.push(SweepFailure {
+                    index: c,
+                    label: format!("family({index})[{update}]"),
+                    message,
+                });
+                results.push(None);
+            }
+        }
+    }
+    SweepOutcome { results, failures }
 }
 
 /// Sweeps the `union`/`inter` family over every `(index, update)` pair, in
@@ -554,7 +677,12 @@ pub fn sweep_families_checkpointed(
             .push(format!("{update}").as_bytes());
     }
     let (mut ckpt, done) = SweepCheckpoint::open(path, fp.finish())?;
-    let job = family_job(suite, &cells, max_depth);
+    // Per-cell job granularity keeps the fingerprint and log layout
+    // identical to earlier versions (old checkpoints stay resumable); the
+    // jobs still share one prepared suite, so resolutions and key streams
+    // are paid once, not per cell.
+    let prepared = PreparedSuite::new(suite);
+    let job = family_job(&prepared, &cells, max_depth);
     let label = family_label(&cells);
     run_checkpointed(cells.len(), &mut ckpt, done, &job, &label)
 }
@@ -687,6 +815,63 @@ mod tests {
             &Scheme::new(PredictionFunction::Inter, ix, 2, UpdateMode::Direct),
         );
         assert_eq!(from_family.per_benchmark, direct.per_benchmark);
+    }
+
+    #[test]
+    fn grouped_sweep_matches_naive_per_cell_runs() {
+        use csp_core::engine::run_history_family;
+        let suite = tiny_suite();
+        let indexes = [
+            IndexSpec::new(true, 2, false, 0),
+            IndexSpec::new(false, 0, false, 4),
+            IndexSpec::new(true, 2, true, 2),
+        ];
+        let updates = [
+            UpdateMode::Direct,
+            UpdateMode::Forwarded,
+            UpdateMode::Ordered,
+        ];
+        let outcome = try_sweep_families(&suite, &indexes, &updates, 3);
+        assert!(outcome.is_complete());
+        let cells = outcome.into_complete().unwrap();
+        assert_eq!(cells.len(), indexes.len() * updates.len());
+        // Cell order is index-major, update-minor, and every cell is
+        // bit-identical to a naive single-cell evaluation.
+        for (c, cell) in cells.iter().enumerate() {
+            assert_eq!(cell.index, indexes[c / updates.len()]);
+            assert_eq!(cell.update, updates[c % updates.len()]);
+            for (b, bench) in suite.traces().iter().enumerate() {
+                assert_eq!(
+                    cell.per_benchmark[b],
+                    run_history_family(&bench.trace, cell.index, cell.update, 3),
+                    "cell {c} benchmark {}",
+                    bench.benchmark
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_suite_shares_resolutions_across_schemes() {
+        let suite = tiny_suite();
+        let prepared = PreparedSuite::new(&suite);
+        assert_eq!(prepared.traces().len(), suite.traces().len());
+        let scheme: Scheme = "union(pid+pc8)2[forwarded]".parse().unwrap();
+        let fast = evaluate_scheme_prepared(&prepared, &scheme);
+        let naive = evaluate_scheme(&suite, &scheme);
+        assert_eq!(fast.per_benchmark, naive.per_benchmark);
+        assert_eq!(fast.scheme, naive.scheme);
+    }
+
+    #[test]
+    fn empty_family_grid_returns_empty_outcome() {
+        let suite = tiny_suite();
+        let outcome = try_sweep_families(&suite, &[], &[UpdateMode::Direct], 2);
+        assert!(outcome.is_complete());
+        assert!(outcome.results.is_empty());
+        let outcome = try_sweep_families(&suite, &[IndexSpec::none()], &[], 2);
+        assert!(outcome.is_complete());
+        assert!(outcome.results.is_empty());
     }
 
     #[test]

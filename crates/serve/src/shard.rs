@@ -21,7 +21,7 @@
 //! keys*, which no per-key state can observe.
 
 use crate::Probe;
-use csp_core::{node_bits, shard_of_key, PredictorTable, Scheme, UpdateMode};
+use csp_core::{node_bits, shard_of_key, PredictorTable, PreparedTrace, Scheme, UpdateMode};
 use csp_metrics::{ConfusionMatrix, OnlineConfusion, Screening};
 use csp_trace::{SharingBitmap, SharingEvent, Trace};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -276,8 +276,36 @@ impl ShardedEngine {
     /// [`stats`](Self::stats) confusion counters are bit-identical to the
     /// offline run's confusion matrix, and its tables are bit-identical
     /// to the offline tables — see `tests/equivalence.rs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace's machine width differs from the engine's.
     pub fn replay_trace(&self, trace: &Trace) {
-        let actuals = trace.resolve_actuals();
+        self.replay_prepared(&PreparedTrace::new(trace));
+    }
+
+    /// [`replay_trace`](Self::replay_trace) over an already-prepared
+    /// trace: the actuals and the key stream come from the *same* shared
+    /// computation (`csp_core::KeyStream`) the offline engine walks, so
+    /// online and offline replay cannot derive keys differently. A caller
+    /// replaying one trace through several engines (or schemes) shares
+    /// one preparation across all of them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace's machine width differs from the engine's.
+    pub fn replay_prepared(&self, prepared: &PreparedTrace<'_>) {
+        assert_eq!(
+            prepared.nodes(),
+            self.nodes,
+            "trace/engine machine width mismatch"
+        );
+        let stream = prepared.key_stream(self.scheme.index);
+        let keys = stream.keys();
+        let forward_keys = stream.forward_keys();
+        let has_prev = prepared.has_prev();
+        let invalidated = prepared.invalidated();
+        let actuals = prepared.actuals();
         let shards = self.shards.len();
         let mut buffers: Vec<Vec<IngestOp>> = vec![Vec::with_capacity(BATCH); shards];
         let push = |buffers: &mut Vec<Vec<IngestOp>>, op: IngestOp| {
@@ -291,16 +319,16 @@ impl ShardedEngine {
                 self.send(s, ShardMsg::Ingest(batch));
             }
         };
-        for (i, event) in trace.events().iter().enumerate() {
-            let key = self.scheme.index.key_of(event, self.node_bits);
+        for i in 0..prepared.len() {
+            let key = keys[i];
             match self.scheme.update {
                 UpdateMode::Direct => {
-                    if event.prev_writer.is_some() {
+                    if has_prev[i] {
                         push(
                             &mut buffers,
                             IngestOp::Update {
                                 key,
-                                feedback: event.invalidated,
+                                feedback: invalidated[i],
                             },
                         );
                     }
@@ -313,12 +341,12 @@ impl ShardedEngine {
                     );
                 }
                 UpdateMode::Forwarded => {
-                    if let Some(fkey) = self.scheme.index.forward_key_of(event, self.node_bits) {
+                    if has_prev[i] {
                         push(
                             &mut buffers,
                             IngestOp::Update {
-                                key: fkey,
-                                feedback: event.invalidated,
+                                key: forward_keys[i],
+                                feedback: invalidated[i],
                             },
                         );
                     }

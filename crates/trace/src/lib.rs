@@ -57,6 +57,7 @@ mod event;
 pub mod fault;
 mod ids;
 pub mod io;
+mod prepared;
 mod stats;
 mod trace;
 pub mod transform;
@@ -64,6 +65,7 @@ pub mod transform;
 pub use bitmap::{NodeIter, SharingBitmap};
 pub use event::SharingEvent;
 pub use ids::{LineAddr, NodeId, Pc};
+pub use prepared::ResolvedTrace;
 pub use stats::TraceStats;
 pub use trace::Trace;
 
