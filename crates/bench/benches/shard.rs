@@ -77,7 +77,7 @@ fn bench_sharded_engine(c: &mut Criterion) {
         g.bench_function(format!("replay_unstruct_x{shards}"), |b| {
             b.iter(|| {
                 let engine = ShardedEngine::new(scheme, trace.nodes(), shards);
-                engine.replay_trace(trace);
+                engine.replay_trace(trace).expect("matching width");
                 std::hint::black_box(engine.stats().scored)
             })
         });

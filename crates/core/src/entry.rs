@@ -32,6 +32,24 @@ pub struct HistoryEntry {
     head: u8, // slot of the most recent bitmap
 }
 
+/// The raw, serializable state of a [`HistoryEntry`].
+///
+/// Produced by [`HistoryEntry::to_raw`] and consumed by
+/// [`HistoryEntry::from_raw`]: the exact ring contents, so a
+/// snapshot/restore round-trip reconstructs an entry that is equal (not
+/// just behaviorally equivalent) to the original.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RawHistoryEntry {
+    /// All ring slots, including never-written (empty) ones.
+    pub bitmaps: [SharingBitmap; MAX_DEPTH],
+    /// Ring capacity actually used by the entry.
+    pub depth: u8,
+    /// Number of feedback bitmaps stored so far (saturates at `depth`).
+    pub len: u8,
+    /// Slot index of the most recent bitmap.
+    pub head: u8,
+}
+
 impl HistoryEntry {
     /// An empty history holding up to `depth` bitmaps.
     ///
@@ -54,6 +72,52 @@ impl HistoryEntry {
     /// Number of bitmaps currently stored (saturates at the depth).
     pub fn len(&self) -> usize {
         self.len as usize
+    }
+
+    /// The ring capacity this entry was created with.
+    pub fn depth(&self) -> usize {
+        self.depth as usize
+    }
+
+    /// The raw ring state, for serialization (e.g. table snapshots).
+    pub fn to_raw(&self) -> RawHistoryEntry {
+        RawHistoryEntry {
+            bitmaps: self.bitmaps,
+            depth: self.depth,
+            len: self.len,
+            head: self.head,
+        }
+    }
+
+    /// Reconstructs an entry from raw ring state.
+    ///
+    /// # Errors
+    ///
+    /// Rejects state no sequence of [`push`](Self::push) calls could have
+    /// produced: a depth outside `1..=MAX_DEPTH`, `len > depth`,
+    /// `head >= depth`, or a non-empty bitmap in a slot the ring never
+    /// writes (`>= depth`). This is what lets a restore path trust a
+    /// decoded-but-hostile snapshot body.
+    pub fn from_raw(raw: &RawHistoryEntry) -> Result<Self, String> {
+        let depth = raw.depth as usize;
+        if !(1..=MAX_DEPTH).contains(&depth) {
+            return Err(format!("history depth {depth} outside 1..={MAX_DEPTH}"));
+        }
+        if raw.len > raw.depth {
+            return Err(format!("history len {} exceeds depth {depth}", raw.len));
+        }
+        if raw.head as usize >= depth {
+            return Err(format!("history head {} outside ring of {depth}", raw.head));
+        }
+        if raw.bitmaps[depth..].iter().any(|b| !b.is_empty()) {
+            return Err("non-empty bitmap beyond the ring depth".into());
+        }
+        Ok(HistoryEntry {
+            bitmaps: raw.bitmaps,
+            depth: raw.depth,
+            len: raw.len,
+            head: raw.head,
+        })
     }
 
     /// Returns `true` if no feedback has arrived yet.
@@ -179,6 +243,18 @@ pub struct PasEntry {
     depth: u8,
 }
 
+/// The raw, serializable state of a [`PasEntry`] (see
+/// [`PasEntry::to_raw`] / [`PasEntry::from_raw`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RawPasEntry {
+    /// Per-node history registers.
+    pub hist: Vec<u8>,
+    /// Per-node pattern tables of two-bit counters, one per byte.
+    pub counters: Vec<u8>,
+    /// History register width in bits.
+    pub depth: u8,
+}
+
 impl PasEntry {
     /// Counter threshold at or above which a bit predicts "will read".
     const TAKEN: u8 = 2;
@@ -199,6 +275,61 @@ impl PasEntry {
             counters: vec![0; nodes << depth],
             depth: depth as u8,
         }
+    }
+
+    /// The history register width in bits.
+    pub fn depth(&self) -> usize {
+        self.depth as usize
+    }
+
+    /// The raw two-level state, for serialization (e.g. table snapshots).
+    pub fn to_raw(&self) -> RawPasEntry {
+        RawPasEntry {
+            hist: self.hist.clone(),
+            counters: self.counters.clone(),
+            depth: self.depth,
+        }
+    }
+
+    /// Reconstructs an entry from raw two-level state for an
+    /// `nodes`-node machine.
+    ///
+    /// # Errors
+    ///
+    /// Rejects state no sequence of [`update`](Self::update) calls could
+    /// have produced: a depth outside `1..=MAX_DEPTH`, vector lengths
+    /// that disagree with `nodes`/`depth`, a counter above the two-bit
+    /// saturation ceiling, or history bits outside the register width.
+    pub fn from_raw(raw: RawPasEntry, nodes: usize) -> Result<Self, String> {
+        let depth = raw.depth as usize;
+        if !(1..=MAX_DEPTH).contains(&depth) {
+            return Err(format!("PAs depth {depth} outside 1..={MAX_DEPTH}"));
+        }
+        if raw.hist.len() != nodes {
+            return Err(format!(
+                "PAs history registers: {} for a {nodes}-node machine",
+                raw.hist.len()
+            ));
+        }
+        if raw.counters.len() != nodes << depth {
+            return Err(format!(
+                "PAs pattern table: {} counters, expected {}",
+                raw.counters.len(),
+                nodes << depth
+            ));
+        }
+        if raw.counters.iter().any(|&c| c > 3) {
+            return Err("PAs counter above two-bit saturation".into());
+        }
+        let mask = if depth >= 8 { 0xFF } else { (1u8 << depth) - 1 };
+        if raw.hist.iter().any(|&h| h & !mask != 0) {
+            return Err("PAs history register bits outside the width".into());
+        }
+        Ok(PasEntry {
+            hist: raw.hist,
+            counters: raw.counters,
+            depth: raw.depth,
+        })
     }
 
     /// The predicted reader bitmap.
@@ -419,6 +550,67 @@ mod tests {
         e.update(SharingBitmap::empty(), 4);
         e.update(bm(&[0]), 4);
         assert!(e.predict(4).contains(NodeId(0)));
+    }
+
+    #[test]
+    fn history_raw_round_trip_is_exact() {
+        for depth in 1..=MAX_DEPTH {
+            let mut h = HistoryEntry::new(depth);
+            for i in 0..2 * depth as u64 + 1 {
+                h.push(SharingBitmap::from_bits(i.wrapping_mul(0x1234_5677) | 1));
+                let back = HistoryEntry::from_raw(&h.to_raw()).expect("own raw state is valid");
+                assert_eq!(back, h, "depth {depth} step {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn history_from_raw_rejects_impossible_state() {
+        let good = HistoryEntry::new(2).to_raw();
+        for (name, bad) in [
+            ("zero depth", RawHistoryEntry { depth: 0, ..good }),
+            (
+                "oversized depth",
+                RawHistoryEntry {
+                    depth: MAX_DEPTH as u8 + 1,
+                    ..good
+                },
+            ),
+            ("len > depth", RawHistoryEntry { len: 3, ..good }),
+            ("head >= depth", RawHistoryEntry { head: 2, ..good }),
+            ("dirty dead slot", {
+                let mut r = good;
+                r.bitmaps[5] = bm(&[1]);
+                r
+            }),
+        ] {
+            assert!(HistoryEntry::from_raw(&bad).is_err(), "{name} accepted");
+        }
+    }
+
+    #[test]
+    fn pas_raw_round_trip_is_exact() {
+        let mut e = PasEntry::new(8, 3);
+        for i in 0..20u8 {
+            e.update(bm(&[i % 8, (i * 3) % 8]), 8);
+            let back = PasEntry::from_raw(e.to_raw(), 8).expect("own raw state is valid");
+            assert_eq!(back, e, "step {i}");
+        }
+    }
+
+    #[test]
+    fn pas_from_raw_rejects_impossible_state() {
+        let good = PasEntry::new(4, 2).to_raw();
+        assert!(PasEntry::from_raw(good.clone(), 8).is_err(), "wrong nodes");
+        let mut hot = good.clone();
+        hot.counters[0] = 4;
+        assert!(PasEntry::from_raw(hot, 4).is_err(), "counter above 3");
+        let mut wide = good.clone();
+        wide.hist[0] = 0b100;
+        assert!(PasEntry::from_raw(wide, 4).is_err(), "history bits wide");
+        let mut short = good;
+        short.counters.pop();
+        assert!(PasEntry::from_raw(short, 4).is_err(), "short pattern table");
     }
 
     #[test]

@@ -63,9 +63,9 @@ mod scheme;
 pub mod sticky;
 mod table;
 
-pub use entry::{HistoryEntry, PasEntry, MAX_DEPTH};
+pub use entry::{HistoryEntry, PasEntry, RawHistoryEntry, RawPasEntry, MAX_DEPTH};
 pub use function::PredictionFunction;
 pub use index::{node_bits, IndexSpec};
 pub use prepared::{KeyStream, PreparedTrace, SlotData};
 pub use scheme::{ParseSchemeError, Scheme, UpdateMode};
-pub use table::{shard_of_key, PredictorTable};
+pub use table::{shard_of_key, EntryView, PredictorTable, TableEntry};

@@ -40,6 +40,24 @@ enum Storage {
     Pas(FxHashMap<u64, PasEntry>),
 }
 
+/// A borrowed view of one table entry (see [`PredictorTable::entries`]).
+#[derive(Clone, Copy, Debug)]
+pub enum EntryView<'a> {
+    /// A ring-history entry (`last`/`union`/`inter`/`overlap-last`).
+    History(&'a HistoryEntry),
+    /// A two-level PAs entry.
+    Pas(&'a PasEntry),
+}
+
+/// An owned table entry for [`PredictorTable::insert_entry`].
+#[derive(Clone, Debug)]
+pub enum TableEntry {
+    /// A ring-history entry.
+    History(HistoryEntry),
+    /// A two-level PAs entry.
+    Pas(PasEntry),
+}
+
 impl PredictorTable {
     /// Creates an empty table for `scheme` on an `nodes`-node machine.
     pub fn new(scheme: &Scheme, nodes: usize) -> Self {
@@ -223,6 +241,78 @@ impl PredictorTable {
                     .or_insert_with(|| HistoryEntry::new(self.depth)),
             ),
             Storage::Pas(_) => None,
+        }
+    }
+
+    /// Whether this table stores ring-history entries (`true`) or
+    /// two-level PAs entries (`false`).
+    pub fn uses_history(&self) -> bool {
+        matches!(self.storage, Storage::History(_))
+    }
+
+    /// The history depth entries of this table carry.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// The machine width the table was created for.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Iterates over every allocated entry as `(key, view)` pairs, in
+    /// arbitrary (hash-map) order. Serialization callers that need a
+    /// canonical byte stream should sort by key.
+    pub fn entries(&self) -> impl Iterator<Item = (u64, EntryView<'_>)> + '_ {
+        let history = match &self.storage {
+            Storage::History(m) => Some(m.iter().map(|(&k, e)| (k, EntryView::History(e)))),
+            Storage::Pas(_) => None,
+        };
+        let pas = match &self.storage {
+            Storage::Pas(m) => Some(m.iter().map(|(&k, e)| (k, EntryView::Pas(e)))),
+            Storage::History(_) => None,
+        };
+        history
+            .into_iter()
+            .flatten()
+            .chain(pas.into_iter().flatten())
+    }
+
+    /// Inserts a fully-formed entry under `key` (the restore half of
+    /// [`entries`](Self::entries); replaces any existing entry).
+    ///
+    /// # Errors
+    ///
+    /// Rejects an entry of the wrong storage family for this table's
+    /// prediction function, a history entry whose ring depth differs from
+    /// the table's, or a PAs entry sized for a different machine width —
+    /// the corruption classes a snapshot decoder cannot rule out on its
+    /// own.
+    pub fn insert_entry(&mut self, key: u64, entry: TableEntry) -> Result<(), String> {
+        match (&mut self.storage, entry) {
+            (Storage::History(map), TableEntry::History(e)) => {
+                if e.depth() != self.depth {
+                    return Err(format!(
+                        "history entry depth {} in a depth-{} table",
+                        e.depth(),
+                        self.depth
+                    ));
+                }
+                map.insert(key, e);
+                Ok(())
+            }
+            (Storage::Pas(map), TableEntry::Pas(e)) => {
+                if e.depth() != self.depth {
+                    return Err(format!(
+                        "PAs entry depth {} in a depth-{} table",
+                        e.depth(),
+                        self.depth
+                    ));
+                }
+                map.insert(key, e);
+                Ok(())
+            }
+            _ => Err("entry storage kind does not match the table's".into()),
         }
     }
 
@@ -440,6 +530,59 @@ mod tests {
         for key in 0..200u64 {
             assert_eq!(merged.predict(key), global.predict(key));
         }
+    }
+
+    #[test]
+    fn entries_export_and_insert_rebuild_identical_tables() {
+        for spec in ["union(pid)3", "pas(pid)2"] {
+            let scheme: Scheme = spec.parse().unwrap();
+            let mut original = PredictorTable::new(&scheme, 16);
+            for key in 0..100u64 {
+                original.update(key % 13, bm(&[(key % 16) as u8]));
+            }
+            let mut rebuilt = PredictorTable::new(&scheme, 16);
+            for (key, view) in original.entries() {
+                let entry = match view {
+                    EntryView::History(h) => TableEntry::History(*h),
+                    EntryView::Pas(p) => TableEntry::Pas(p.clone()),
+                };
+                rebuilt.insert_entry(key, entry).unwrap();
+            }
+            assert_eq!(rebuilt.entries_touched(), original.entries_touched());
+            for key in 0..13u64 {
+                assert_eq!(
+                    rebuilt.predict(key),
+                    original.predict(key),
+                    "{spec} key {key}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn insert_entry_rejects_mismatches() {
+        let mut history = table("union(pid)3");
+        let mut pas = table("pas(pid)2");
+        assert!(history
+            .insert_entry(0, TableEntry::Pas(PasEntry::new(16, 2)))
+            .is_err());
+        assert!(pas
+            .insert_entry(0, TableEntry::History(HistoryEntry::new(2)))
+            .is_err());
+        // Right family, wrong depth.
+        assert!(history
+            .insert_entry(0, TableEntry::History(HistoryEntry::new(2)))
+            .is_err());
+        assert!(pas
+            .insert_entry(0, TableEntry::Pas(PasEntry::new(16, 3)))
+            .is_err());
+        // Right family and depth.
+        assert!(history
+            .insert_entry(0, TableEntry::History(HistoryEntry::new(3)))
+            .is_ok());
+        assert!(pas
+            .insert_entry(0, TableEntry::Pas(PasEntry::new(16, 2)))
+            .is_ok());
     }
 
     #[test]

@@ -28,7 +28,6 @@ use csp_sim::SimStats;
 use csp_trace::{crc32c, io as trace_io};
 use csp_workloads::{generate_benchmark, Benchmark, BenchmarkTrace};
 use std::fs;
-use std::io::Write;
 use std::path::{Path, PathBuf};
 
 /// How a cache lookup was satisfied.
@@ -189,17 +188,10 @@ impl TraceCache {
     }
 }
 
-/// Writes `bytes` to `path` via a temporary sibling plus rename.
+/// Writes `bytes` to `path` via a temporary sibling plus rename (the
+/// shared [`trace_io::write_file_atomically`] convention).
 fn write_atomically(path: &Path, bytes: &[u8]) -> Result<(), HarnessError> {
-    let mut tmp = path.as_os_str().to_owned();
-    tmp.push(".tmp");
-    let tmp = PathBuf::from(tmp);
-    let wrap = |e| HarnessError::io(&tmp, e);
-    let mut file = fs::File::create(&tmp).map_err(wrap)?;
-    file.write_all(bytes).map_err(wrap)?;
-    file.sync_all().map_err(wrap)?;
-    drop(file);
-    fs::rename(&tmp, path).map_err(|e| HarnessError::io(path, e))
+    trace_io::write_file_atomically(path, bytes).map_err(|e| HarnessError::io(path, e))
 }
 
 /// Moves a failed-validation file aside to `<name>.corrupt` (replacing any

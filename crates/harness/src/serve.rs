@@ -24,7 +24,9 @@ pub fn evaluate_scheme_online(suite: &Suite, scheme: &Scheme, shards: usize) -> 
         .iter()
         .map(|b| {
             let engine = ShardedEngine::new(*scheme, b.trace.nodes(), shards);
-            engine.replay_trace(&b.trace);
+            engine
+                .replay_trace(&b.trace)
+                .expect("engine built with the trace's own width");
             engine.stats().confusion
         })
         .collect();
@@ -67,7 +69,9 @@ pub fn verify_online_equivalence(
         for bench in suite.traces() {
             let offline = run_scheme(&bench.trace, scheme);
             let engine = ShardedEngine::new(*scheme, bench.trace.nodes(), shards);
-            engine.replay_trace(&bench.trace);
+            engine
+                .replay_trace(&bench.trace)
+                .expect("engine built with the trace's own width");
             let online = engine.stats().confusion;
             if online != offline {
                 divergences.push(ServeDivergence {

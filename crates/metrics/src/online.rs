@@ -65,6 +65,20 @@ impl OnlineConfusion {
         self.fn_.fetch_add(m.fn_, Ordering::Relaxed);
     }
 
+    /// Overwrites every cell with the counts in `m`.
+    ///
+    /// The single-writer publishing primitive behind shard supervision:
+    /// a restarted worker republishes its *recomputed* absolute totals,
+    /// so counters never double-count work replayed after a panic. With
+    /// one writer per instance, readers still see monotone snapshots.
+    #[inline]
+    pub fn store(&self, m: &ConfusionMatrix) {
+        self.tp.store(m.tp, Ordering::Relaxed);
+        self.fp.store(m.fp, Ordering::Relaxed);
+        self.tn.store(m.tn, Ordering::Relaxed);
+        self.fn_.store(m.fn_, Ordering::Relaxed);
+    }
+
     /// The current counts as an ordinary mergeable [`ConfusionMatrix`].
     pub fn snapshot(&self) -> ConfusionMatrix {
         ConfusionMatrix {
@@ -146,6 +160,17 @@ mod tests {
         let m = online.snapshot();
         assert_eq!(m.tp, 4000);
         assert_eq!(m.decisions(), 16000);
+    }
+
+    #[test]
+    fn store_overwrites_rather_than_accumulates() {
+        let online = OnlineConfusion::default();
+        let mut batch = ConfusionMatrix::default();
+        batch.record(bm(&[0]), bm(&[0, 1]), 4);
+        online.add(&batch);
+        online.add(&batch);
+        online.store(&batch);
+        assert_eq!(online.snapshot(), batch);
     }
 
     #[test]

@@ -20,6 +20,10 @@ pub struct LoadOptions {
     pub nodes: usize,
     /// Seed for the deterministic probe stream.
     pub seed: u64,
+    /// Per-request socket deadline. A frame that exceeds it is counted
+    /// as a timeout (the generator reconnects and keeps going) instead
+    /// of hanging the whole run. `None` waits forever.
+    pub timeout: Option<Duration>,
 }
 
 impl Default for LoadOptions {
@@ -29,6 +33,7 @@ impl Default for LoadOptions {
             frames: 1000,
             nodes: 16,
             seed: 0x5EED,
+            timeout: Some(Duration::from_secs(10)),
         }
     }
 }
@@ -46,6 +51,11 @@ pub struct LoadReport {
     pub p50: Duration,
     /// 99th-percentile per-frame round-trip latency.
     pub p99: Duration,
+    /// Frames that missed the [`LoadOptions::timeout`] deadline.
+    pub timeouts: u64,
+    /// Connections the server (or network) dropped mid-run; each one
+    /// forced a reconnect.
+    pub disconnects: u64,
 }
 
 impl LoadReport {
@@ -65,7 +75,15 @@ impl fmt::Display for LoadReport {
             self.qps(),
             self.p50.as_secs_f64() * 1e6,
             self.p99.as_secs_f64() * 1e6,
-        )
+        )?;
+        if self.timeouts > 0 || self.disconnects > 0 {
+            write!(
+                f,
+                " [{} timeouts, {} disconnects]",
+                self.timeouts, self.disconnects
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -100,30 +118,67 @@ pub fn probe_stream(seed: u64, nodes: usize, count: usize) -> Vec<Probe> {
         .collect()
 }
 
+/// `true` for the error kinds a socket deadline produces.
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
 /// Runs a load test against the server at `addr`, sending
 /// [`LoadOptions::frames`] batches of [`LoadOptions::batch`] probes and
 /// timing each round-trip.
 ///
+/// A frame that misses the [`LoadOptions::timeout`] deadline or lands on
+/// a dropped connection is counted (see [`LoadReport::timeouts`] and
+/// [`LoadReport::disconnects`]) rather than failing the run; the
+/// generator reconnects and continues. Only successfully answered frames
+/// contribute probes and latency samples.
+///
 /// # Errors
 ///
-/// Propagates connection and transport errors.
+/// Propagates initial-connection and reconnection failures (a server
+/// that is *gone* still fails the run; one that is merely slow or
+/// flaky does not).
 pub fn run_load<A: ToSocketAddrs>(addr: A, opts: &LoadOptions) -> io::Result<LoadReport> {
-    let mut client = Client::connect_tcp(addr)?;
+    let connect = |client: &mut Client| -> io::Result<()> {
+        *client = Client::connect_tcp(&addr)?;
+        client.set_timeouts(opts.timeout, opts.timeout)
+    };
+    let mut client = Client::connect_tcp(&addr)?;
+    client.set_timeouts(opts.timeout, opts.timeout)?;
     client.ping()?;
     // One warm-up frame so connection setup is not in the measurement.
     let probes = probe_stream(opts.seed, opts.nodes, opts.batch.max(1));
     let _ = client.predict_batch(&probes)?;
 
     let mut latencies = Vec::with_capacity(opts.frames);
+    let mut timeouts = 0u64;
+    let mut disconnects = 0u64;
     let start = Instant::now();
     for frame in 0..opts.frames {
         // Rotate through frame-specific probe sets so predictions are not
         // answered out of a single hot cache line.
         let probes = probe_stream(opts.seed ^ frame as u64, opts.nodes, opts.batch.max(1));
         let t0 = Instant::now();
-        let preds = client.predict_batch(&probes)?;
-        latencies.push(t0.elapsed());
-        debug_assert_eq!(preds.len(), probes.len());
+        match client.predict_batch(&probes) {
+            Ok(preds) => {
+                latencies.push(t0.elapsed());
+                debug_assert_eq!(preds.len(), probes.len());
+            }
+            Err(e) => {
+                if is_timeout(&e) {
+                    timeouts += 1;
+                } else {
+                    disconnects += 1;
+                }
+                // Either way the stream state is unknown (a late reply
+                // would desynchronize request/response pairing), so start
+                // a fresh connection.
+                connect(&mut client)?;
+            }
+        }
     }
     let elapsed = start.elapsed();
     latencies.sort_unstable();
@@ -132,11 +187,13 @@ pub fn run_load<A: ToSocketAddrs>(addr: A, opts: &LoadOptions) -> io::Result<Loa
         latencies.get(idx).copied().unwrap_or_default()
     };
     Ok(LoadReport {
-        probes: (opts.frames * opts.batch.max(1)) as u64,
+        probes: (latencies.len() * opts.batch.max(1)) as u64,
         frames: opts.frames as u64,
         elapsed,
         p50: pick(0.50),
         p99: pick(0.99),
+        timeouts,
+        disconnects,
     })
 }
 
@@ -180,7 +237,66 @@ mod tests {
         assert!(report.qps() > 0.0);
         assert!(report.p99 >= report.p50);
         assert!(report.to_string().contains("queries/sec"));
+        // A healthy run has a clean robustness ledger, and Display omits it.
+        assert_eq!(report.timeouts, 0);
+        assert_eq!(report.disconnects, 0);
+        assert!(!report.to_string().contains("timeouts"));
         // The engine really answered them (warm-up frame included).
         assert_eq!(engine.stats().queries, 64 * 21);
+    }
+
+    #[test]
+    fn dropped_connections_are_counted_not_fatal() {
+        use crate::server::answer;
+        use crate::wire;
+        use std::io::Write as _;
+
+        // A deliberately flaky server: answers three requests per
+        // connection, then hangs up mid-conversation.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let engine = Arc::new(ShardedEngine::new(
+            "last(pid+pc8)1[direct]".parse().unwrap(),
+            16,
+            1,
+        ));
+        let flaky_engine = Arc::clone(&engine);
+        std::thread::spawn(move || {
+            for stream in listener.incoming().flatten() {
+                let mut reader = std::io::BufReader::new(&stream);
+                let mut writer = std::io::BufWriter::new(&stream);
+                for _ in 0..3 {
+                    let Ok(Some(payload)) = wire::read_frame(&mut reader) else {
+                        break;
+                    };
+                    let Ok(req) = wire::decode_request(&payload) else {
+                        break;
+                    };
+                    let resp = answer(&flaky_engine, req);
+                    if wire::write_response(&mut writer, &resp)
+                        .and_then(|()| writer.flush())
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+            }
+        });
+
+        let opts = LoadOptions {
+            batch: 8,
+            frames: 10,
+            ..LoadOptions::default()
+        };
+        let report = run_load(addr, &opts).unwrap();
+        // Connection 1 spends its three answers on ping + warm-up +
+        // frame 0; each reconnect then serves three frames. Ten frames
+        // need three reconnects.
+        assert_eq!(report.disconnects, 3, "{report}");
+        assert_eq!(report.timeouts, 0);
+        assert_eq!(report.frames, 10);
+        // Only answered frames contribute probes.
+        assert_eq!(report.probes, 7 * 8, "{report}");
+        assert!(report.to_string().contains("3 disconnects"), "{report}");
     }
 }

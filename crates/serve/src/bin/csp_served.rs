@@ -1,30 +1,63 @@
 //! `csp-served` — host, drive and verify the online prediction service.
 //!
 //! ```text
-//! csp-served serve  --scheme S [--nodes N] [--shards K] [--listen ADDR]
-//!                   [--unix PATH] [--warm trace.csptrc]... [--stats-every SECS]
-//! csp-served bench  [--scheme S] [--nodes N] [--shards K] [--batch B]
-//!                   [--frames F] [--addr ADDR] [--warm trace.csptrc]
-//! csp-served replay --scheme S [--shards K] <trace.csptrc>...
+//! csp-served serve    --scheme S [--nodes N] [--shards K] [--listen ADDR]
+//!                     [--unix PATH] [--warm trace.csptrc]... [--stats-every SECS]
+//!                     [--snapshot-dir DIR] [--snapshot-every SECS] [--restore]
+//! csp-served bench    [--scheme S] [--nodes N] [--shards K] [--batch B]
+//!                     [--frames F] [--addr ADDR] [--warm trace.csptrc]
+//! csp-served replay   --scheme S [--shards K] [--snapshot-dir DIR]
+//!                     [--snapshot-every-events N] [--restore]
+//!                     [--stats-out FILE] <trace.csptrc>...
+//! csp-served snapshot <DIR>
 //! ```
 //!
-//! `serve` hosts an engine on TCP (and optionally a Unix socket) and logs
-//! live screening statistics. `bench` measures queries/sec and frame
-//! latency percentiles — against `--addr`, or against a self-hosted
-//! loopback server when no address is given. `replay` replays recorded
-//! traces through the sharded engine and *verifies* the online screening
-//! statistics are bit-identical to the offline engine's (exit code 2 on
-//! divergence).
+//! `serve` hosts an engine on TCP (and optionally a Unix socket), logs
+//! live screening statistics, and — given `--snapshot-dir` — persists
+//! durable table snapshots periodically and once more on graceful
+//! shutdown (triggered by stdin closing). `--restore` resumes from the
+//! newest snapshot in the directory.
+//!
+//! `bench` measures queries/sec and frame latency percentiles — against
+//! `--addr`, or against a self-hosted loopback server when no address is
+//! given — and reports any timeouts or disconnects the run absorbed.
+//!
+//! `replay` replays recorded traces through the sharded engine and
+//! *verifies* the online screening statistics are bit-identical to the
+//! offline engine's. With `--snapshot-dir` it snapshots every
+//! `--snapshot-every-events` events, and `--restore` resumes a replay
+//! that was killed mid-trace — the recovery path `tests/crash_recovery.rs`
+//! proves bit-identical.
+//!
+//! `snapshot` inspects the newest snapshot in a directory.
+//!
+//! Exit codes: `0` success, `1` runtime failure (I/O, corrupt input,
+//! online/offline divergence), `2` usage error.
 
 use csp_core::engine::run_scheme;
-use csp_core::Scheme;
-use csp_serve::{run_load, LoadOptions, Server, ShardedEngine};
+use csp_core::{PreparedTrace, Scheme};
+use csp_serve::{run_load, EngineState, LoadOptions, Server, ShardedEngine, SnapshotStore};
 use csp_trace::{io as trace_io, Trace};
 use std::fs::File;
-use std::io::BufReader;
+use std::io::{BufReader, Read as _};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Usage errors exit 2 (and print the usage text); runtime errors exit 1.
+enum CliError {
+    Usage(String),
+    Runtime(String),
+}
+
+fn usage_err(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
+
+fn rt(e: impl std::fmt::Display) -> CliError {
+    CliError::Runtime(e.to_string())
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,14 +65,20 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
+        Some("snapshot") => cmd_snapshot(&args[1..]),
         _ => {
             print_usage();
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     };
     match result {
         Ok(code) => code,
-        Err(msg) => {
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}");
+            print_usage();
+            ExitCode::from(2)
+        }
+        Err(CliError::Runtime(msg)) => {
             eprintln!("error: {msg}");
             ExitCode::FAILURE
         }
@@ -48,20 +87,25 @@ fn main() -> ExitCode {
 
 fn print_usage() {
     eprintln!("usage:");
-    eprintln!("  csp-served serve  --scheme S [--nodes N] [--shards K] [--listen ADDR]");
-    eprintln!("                    [--unix PATH] [--warm trace.csptrc]... [--stats-every SECS]");
-    eprintln!("  csp-served bench  [--scheme S] [--nodes N] [--shards K] [--batch B]");
-    eprintln!("                    [--frames F] [--addr ADDR] [--warm trace.csptrc]");
-    eprintln!("  csp-served replay --scheme S [--shards K] <trace.csptrc>...");
+    eprintln!("  csp-served serve    --scheme S [--nodes N] [--shards K] [--listen ADDR]");
+    eprintln!("                      [--unix PATH] [--warm trace.csptrc]... [--stats-every SECS]");
+    eprintln!("                      [--snapshot-dir DIR] [--snapshot-every SECS] [--restore]");
+    eprintln!("  csp-served bench    [--scheme S] [--nodes N] [--shards K] [--batch B]");
+    eprintln!("                      [--frames F] [--addr ADDR] [--warm trace.csptrc]");
+    eprintln!("  csp-served replay   --scheme S [--shards K] [--snapshot-dir DIR]");
+    eprintln!("                      [--snapshot-every-events N] [--restore]");
+    eprintln!("                      [--stats-out FILE] <trace.csptrc>...");
+    eprintln!("  csp-served snapshot <DIR>");
+    eprintln!("exit codes: 0 ok, 1 runtime failure (incl. divergence), 2 usage");
 }
 
-fn load_trace(path: &str) -> Result<Trace, String> {
-    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-    trace_io::read_trace(BufReader::new(file)).map_err(|e| format!("read {path}: {e}"))
+fn load_trace(path: &str) -> Result<Trace, CliError> {
+    let file = File::open(path).map_err(|e| rt(format!("open {path}: {e}")))?;
+    trace_io::read_trace(BufReader::new(file)).map_err(|e| rt(format!("read {path}: {e}")))
 }
 
-fn parse_scheme(spec: &str) -> Result<Scheme, String> {
-    spec.parse().map_err(|e| format!("{spec}: {e}"))
+fn parse_scheme(spec: &str) -> Result<Scheme, CliError> {
+    spec.parse().map_err(|e| usage_err(format!("{spec}: {e}")))
 }
 
 /// Options shared by the subcommands, parsed from `--flag value` pairs;
@@ -77,10 +121,16 @@ struct Options {
     batch: usize,
     frames: usize,
     stats_every: u64,
+    snapshot_dir: Option<String>,
+    snapshot_every: u64,
+    snapshot_every_events: usize,
+    restore: bool,
+    crash_after: Option<usize>,
+    stats_out: Option<String>,
     positional: Vec<String>,
 }
 
-fn parse_options(args: &[String]) -> Result<Options, String> {
+fn parse_options(args: &[String]) -> Result<Options, CliError> {
     let mut o = Options {
         scheme: None,
         nodes: 16,
@@ -92,6 +142,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         batch: 1024,
         frames: 2000,
         stats_every: 10,
+        snapshot_dir: None,
+        snapshot_every: 30,
+        snapshot_every_events: 100_000,
+        restore: false,
+        crash_after: None,
+        stats_out: None,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -99,21 +155,21 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         let mut value = |name: &str| {
             it.next()
                 .cloned()
-                .ok_or_else(|| format!("{name} needs a value"))
+                .ok_or_else(|| usage_err(format!("{name} needs a value")))
         };
         match a.as_str() {
             "--scheme" => o.scheme = Some(value("--scheme")?),
             "--nodes" => {
                 o.nodes = value("--nodes")?
                     .parse()
-                    .map_err(|_| "--nodes needs an integer")?
+                    .map_err(|_| usage_err("--nodes needs an integer"))?
             }
             "--shards" => {
                 o.shards = value("--shards")?
                     .parse::<usize>()
                     .ok()
                     .filter(|&v| v > 0)
-                    .ok_or("--shards needs a positive integer")?
+                    .ok_or_else(|| usage_err("--shards needs a positive integer"))?
             }
             "--listen" => o.listen = value("--listen")?,
             "--unix" => o.unix = Some(value("--unix")?),
@@ -127,73 +183,155 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .parse::<usize>()
                     .ok()
                     .filter(|&v| v > 0)
-                    .ok_or("--batch needs a positive integer")?
+                    .ok_or_else(|| usage_err("--batch needs a positive integer"))?
             }
             "--frames" => {
                 o.frames = value("--frames")?
                     .parse::<usize>()
                     .ok()
                     .filter(|&v| v > 0)
-                    .ok_or("--frames needs a positive integer")?
+                    .ok_or_else(|| usage_err("--frames needs a positive integer"))?
             }
             "--stats-every" => {
                 o.stats_every = value("--stats-every")?
                     .parse()
-                    .map_err(|_| "--stats-every needs a number of seconds")?
+                    .map_err(|_| usage_err("--stats-every needs a number of seconds"))?
             }
+            "--snapshot-dir" => o.snapshot_dir = Some(value("--snapshot-dir")?),
+            "--snapshot-every" => {
+                o.snapshot_every = value("--snapshot-every")?
+                    .parse()
+                    .map_err(|_| usage_err("--snapshot-every needs a number of seconds"))?
+            }
+            "--snapshot-every-events" => {
+                o.snapshot_every_events = value("--snapshot-every-events")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&v| v > 0)
+                    .ok_or_else(|| usage_err("--snapshot-every-events needs a positive integer"))?
+            }
+            "--restore" => o.restore = true,
+            "--crash-after" => {
+                // Test hook: simulate a hard kill (SIGKILL-style abort)
+                // once this many events have been replayed.
+                o.crash_after = Some(
+                    value("--crash-after")?
+                        .parse()
+                        .map_err(|_| usage_err("--crash-after needs an event count"))?,
+                )
+            }
+            "--stats-out" => o.stats_out = Some(value("--stats-out")?),
             other => o.positional.push(other.to_string()),
         }
     }
     Ok(o)
 }
 
-fn build_engine(o: &Options, default_scheme: &str) -> Result<Arc<ShardedEngine>, String> {
+fn build_engine(o: &Options, default_scheme: &str) -> Result<Arc<ShardedEngine>, CliError> {
     let scheme = parse_scheme(o.scheme.as_deref().unwrap_or(default_scheme))?;
     let engine = Arc::new(ShardedEngine::new(scheme, o.nodes, o.shards));
+    warm_engine(&engine, o)?;
+    Ok(engine)
+}
+
+fn warm_engine(engine: &ShardedEngine, o: &Options) -> Result<(), CliError> {
     for path in &o.warm {
         let trace = load_trace(path)?;
-        if trace.nodes() != o.nodes {
-            return Err(format!(
-                "{path}: trace has {} nodes, engine has {}",
-                trace.nodes(),
-                o.nodes
-            ));
-        }
-        engine.replay_trace(&trace);
+        engine.replay_trace(&trace).map_err(rt)?;
         eprintln!("warmed from {path}: {} events", trace.len());
     }
-    Ok(engine)
+    Ok(())
 }
 
 fn log_stats(engine: &ShardedEngine) {
     let s = engine.stats();
     let scr = s.screening();
     eprintln!(
-        "[stats] queries={} updates={} scored={} entries={} pvp={:.3} sens={:.3}",
-        s.queries, s.updates, s.scored, s.entries, scr.pvp, scr.sensitivity
+        "[stats] queries={} updates={} scored={} entries={} restarts={} pvp={:.3} sens={:.3}",
+        s.queries,
+        s.updates,
+        s.scored,
+        s.entries,
+        s.total_restarts(),
+        scr.pvp,
+        scr.sensitivity
     );
 }
 
-fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
+fn save_snapshot(store: &SnapshotStore, engine: &ShardedEngine, seq: u64) -> Result<(), CliError> {
+    let path = store.save(&EngineState::capture(engine, seq)).map_err(rt)?;
+    eprintln!("snapshot seq {seq} -> {}", path.display());
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<ExitCode, CliError> {
     let o = parse_options(args)?;
     if o.scheme.is_none() {
-        return Err("serve needs --scheme (e.g. --scheme 'inter(pid+pc8)2[direct]')".into());
+        return Err(usage_err(
+            "serve needs --scheme (e.g. --scheme 'inter(pid+pc8)2[direct]')",
+        ));
     }
-    let engine = build_engine(&o, "")?;
+    if o.restore && o.snapshot_dir.is_none() {
+        return Err(usage_err("--restore needs --snapshot-dir"));
+    }
+    let store = match &o.snapshot_dir {
+        Some(dir) => Some(SnapshotStore::open(dir).map_err(rt)?),
+        None => None,
+    };
 
+    // Restore from the newest snapshot, or start fresh (and warm).
+    let seq = Arc::new(AtomicU64::new(0));
+    let engine = match (&store, o.restore) {
+        (Some(store), true) => match store.load_latest().map_err(rt)? {
+            Some((state, path)) => {
+                let want = parse_scheme(o.scheme.as_deref().unwrap_or(""))?;
+                if state.scheme.to_string() != want.to_string() || state.nodes != o.nodes {
+                    return Err(rt(format!(
+                        "{}: snapshot is {} over {} nodes; asked to serve {} over {}",
+                        path.display(),
+                        state.scheme,
+                        state.nodes,
+                        want,
+                        o.nodes
+                    )));
+                }
+                seq.store(state.seq, Ordering::Relaxed);
+                eprintln!(
+                    "restored {} (seq {}) from {}",
+                    state.scheme,
+                    state.seq,
+                    path.display()
+                );
+                // Warm traces are part of *fresh* bring-up; a restored
+                // engine already contains everything it had learned.
+                if !o.warm.is_empty() {
+                    eprintln!("--warm skipped: state came from the snapshot");
+                }
+                Arc::new(state.restore().map_err(rt)?)
+            }
+            None => {
+                eprintln!("no snapshot found; starting fresh");
+                build_engine(&o, "")?
+            }
+        },
+        _ => build_engine(&o, "")?,
+    };
+
+    let mut unix_shutdown = None;
     if let Some(path) = &o.unix {
         let _ = std::fs::remove_file(path);
         let server = Server::bind_unix(path, Arc::clone(&engine))
-            .map_err(|e| format!("bind {path}: {e}"))?;
+            .map_err(|e| rt(format!("bind {path}: {e}")))?;
         eprintln!("listening on unix socket {path}");
+        unix_shutdown = Some(server.shutdown_handle());
         std::thread::spawn(move || server.run());
     }
     let server = Server::bind_tcp(&o.listen, Arc::clone(&engine))
-        .map_err(|e| format!("bind {}: {e}", o.listen))?;
+        .map_err(|e| rt(format!("bind {}: {e}", o.listen)))?;
     eprintln!(
         "serving {} on {} ({} shards, {} nodes)",
         engine.scheme(),
-        server.local_addr().map_err(|e| e.to_string())?,
+        server.local_addr().map_err(rt)?,
         engine.shard_count(),
         engine.nodes()
     );
@@ -206,11 +344,60 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
             log_stats(&monitor);
         });
     }
-    server.run().map_err(|e| e.to_string())?;
+
+    // Periodic background snapshots.
+    if let (Some(dir), true) = (&o.snapshot_dir, o.snapshot_every > 0) {
+        let dir = dir.clone();
+        let snap_engine = Arc::clone(&engine);
+        let snap_seq = Arc::clone(&seq);
+        let every = Duration::from_secs(o.snapshot_every);
+        std::thread::spawn(move || {
+            let Ok(store) = SnapshotStore::open(&dir) else {
+                return;
+            };
+            loop {
+                std::thread::sleep(every);
+                let s = snap_seq.fetch_add(1, Ordering::Relaxed) + 1;
+                if let Err(e) = save_snapshot(&store, &snap_engine, s) {
+                    match e {
+                        CliError::Usage(msg) | CliError::Runtime(msg) => {
+                            eprintln!("snapshot failed: {msg}")
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    // Graceful shutdown: when stdin closes (Ctrl-D, or the supervising
+    // process going away), stop accepting, drain, snapshot, exit 0.
+    let shutdown = server.shutdown_handle();
+    std::thread::spawn(move || {
+        let mut sink = [0u8; 256];
+        let mut stdin = std::io::stdin();
+        loop {
+            match stdin.read(&mut sink) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+        eprintln!("stdin closed; shutting down");
+        if let Some(h) = &unix_shutdown {
+            h.shutdown();
+        }
+        shutdown.shutdown();
+    });
+
+    server.run().map_err(rt)?;
+    if let Some(store) = &store {
+        let s = seq.fetch_add(1, Ordering::Relaxed) + 1;
+        save_snapshot(store, &engine, s)?;
+    }
+    log_stats(&engine);
     Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
+fn cmd_bench(args: &[String]) -> Result<ExitCode, CliError> {
     let o = parse_options(args)?;
     let opts = LoadOptions {
         batch: o.batch,
@@ -219,7 +406,7 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
         ..LoadOptions::default()
     };
     let report = match &o.addr {
-        Some(addr) => run_load(addr.as_str(), &opts).map_err(|e| e.to_string())?,
+        Some(addr) => run_load(addr.as_str(), &opts).map_err(rt)?,
         None => {
             // Self-hosted: spin the engine up on a loopback ephemeral port
             // so `csp-served bench` measures the full service stack.
@@ -230,32 +417,108 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
                 engine.shard_count()
             );
             let server =
-                Server::bind_tcp("127.0.0.1:0", engine).map_err(|e| format!("bind: {e}"))?;
-            let addr = server.local_addr().map_err(|e| e.to_string())?;
+                Server::bind_tcp("127.0.0.1:0", engine).map_err(|e| rt(format!("bind: {e}")))?;
+            let addr = server.local_addr().map_err(rt)?;
             std::thread::spawn(move || server.run());
-            run_load(addr, &opts).map_err(|e| e.to_string())?
+            run_load(addr, &opts).map_err(rt)?
         }
     };
     println!("{report}");
     Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_replay(args: &[String]) -> Result<ExitCode, String> {
+fn cmd_replay(args: &[String]) -> Result<ExitCode, CliError> {
     let o = parse_options(args)?;
-    let spec = o.scheme.as_deref().ok_or("replay needs --scheme")?;
+    let spec = o
+        .scheme
+        .as_deref()
+        .ok_or_else(|| usage_err("replay needs --scheme"))?;
     let scheme = parse_scheme(spec)?;
     if o.positional.is_empty() {
-        return Err("replay needs at least one <trace.csptrc>".into());
+        return Err(usage_err("replay needs at least one <trace.csptrc>"));
     }
+    if (o.snapshot_dir.is_some() || o.restore) && o.positional.len() != 1 {
+        return Err(usage_err(
+            "snapshotted replay takes exactly one trace (snapshots mark a position in it)",
+        ));
+    }
+    if o.restore && o.snapshot_dir.is_none() {
+        return Err(usage_err("--restore needs --snapshot-dir"));
+    }
+    let store = match &o.snapshot_dir {
+        Some(dir) => Some(SnapshotStore::open(dir).map_err(rt)?),
+        None => None,
+    };
+
     let mut diverged = false;
     for path in &o.positional {
         let trace = load_trace(path)?;
-        let engine = ShardedEngine::new(scheme, trace.nodes(), o.shards);
-        engine.replay_trace(&trace);
-        let online = engine.stats().confusion;
+        let prepared = PreparedTrace::new(&trace);
+        let total = prepared.len();
+
+        // Fresh engine, or resume from the newest snapshot's position.
+        let mut start = 0usize;
+        let engine = match (&store, o.restore) {
+            (Some(store), true) => match store.load_latest().map_err(rt)? {
+                Some((state, spath)) => {
+                    if state.scheme.to_string() != scheme.to_string()
+                        || state.nodes != trace.nodes()
+                    {
+                        return Err(rt(format!(
+                            "{}: snapshot is {} over {} nodes; replay wants {} over {}",
+                            spath.display(),
+                            state.scheme,
+                            state.nodes,
+                            scheme,
+                            trace.nodes()
+                        )));
+                    }
+                    if state.seq as usize > total {
+                        return Err(rt(format!(
+                            "{}: snapshot seq {} is past the end of {path} ({total} events)",
+                            spath.display(),
+                            state.seq
+                        )));
+                    }
+                    start = state.seq as usize;
+                    eprintln!("restored at event {start} from {}", spath.display());
+                    state.restore().map_err(rt)?
+                }
+                None => ShardedEngine::new(scheme, trace.nodes(), o.shards),
+            },
+            _ => ShardedEngine::new(scheme, trace.nodes(), o.shards),
+        };
+
+        // Replay in snapshot-bounded chunks. Each replay_range flushes, so
+        // a snapshot taken between chunks is an exact prefix cut.
+        let chunk = if store.is_some() {
+            o.snapshot_every_events
+        } else {
+            total.saturating_sub(start).max(1)
+        };
+        let mut pos = start;
+        while pos < total {
+            let end = (pos + chunk).min(total);
+            engine.replay_range(&prepared, pos..end).map_err(rt)?;
+            pos = end;
+            if let Some(m) = o.crash_after {
+                // Hard-kill simulation: die *before* persisting this
+                // chunk, exactly like a power cut mid-interval. Recovery
+                // must re-earn everything after the last durable snapshot.
+                if pos >= m {
+                    eprintln!("injected crash at event {pos}");
+                    std::process::abort();
+                }
+            }
+            if let Some(store) = &store {
+                save_snapshot(store, &engine, pos as u64)?;
+            }
+        }
+
+        let online = engine.stats();
         let offline = run_scheme(&trace, &scheme);
-        let s = online.screening();
-        let verdict = if online == offline {
+        let s = online.confusion.screening();
+        let verdict = if online.confusion == offline {
             "= offline (bit-identical)"
         } else {
             diverged = true;
@@ -267,10 +530,45 @@ fn cmd_replay(args: &[String]) -> Result<ExitCode, String> {
             s.pvp,
             s.sensitivity
         );
+
+        if let Some(out) = &o.stats_out {
+            let c = online.confusion;
+            let body = format!(
+                "tp {}\nfp {}\ntn {}\nfn {}\nupdates {}\nscored {}\n",
+                c.tp, c.fp, c.tn, c.fn_, online.updates, online.scored
+            );
+            trace_io::write_file_atomically(std::path::Path::new(out), body.as_bytes())
+                .map_err(|e| rt(format!("write {out}: {e}")))?;
+        }
     }
-    Ok(if diverged {
-        ExitCode::from(2)
+    if diverged {
+        Err(rt("online replay diverged from the offline reference"))
     } else {
-        ExitCode::SUCCESS
-    })
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+fn cmd_snapshot(args: &[String]) -> Result<ExitCode, CliError> {
+    let [dir] = args else {
+        return Err(usage_err("snapshot takes exactly one <DIR>"));
+    };
+    let store = SnapshotStore::open(dir.as_str()).map_err(rt)?;
+    match store.load_latest().map_err(rt)? {
+        Some((state, path)) => {
+            let entries: usize = state.shards.iter().map(|s| s.table.entries().count()).sum();
+            let updates: u64 = state.shards.iter().map(|s| s.updates).sum();
+            println!(
+                "{}: {} over {} nodes, {} shards, seq {}, {} entries, {} updates",
+                path.display(),
+                state.scheme,
+                state.nodes,
+                state.shards.len(),
+                state.seq,
+                entries,
+                updates
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        None => Err(rt(format!("no usable snapshot in {dir}"))),
+    }
 }

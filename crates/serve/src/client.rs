@@ -72,6 +72,32 @@ impl Client {
         })
     }
 
+    /// Sets read/write deadlines on the underlying socket. A request
+    /// against a stalled server then fails with a timeout-kind error
+    /// ([`io::ErrorKind::WouldBlock`] or [`io::ErrorKind::TimedOut`])
+    /// instead of blocking forever. `None` removes a deadline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `setsockopt` failures (e.g. a zero `Duration`).
+    pub fn set_timeouts(
+        &mut self,
+        read: Option<std::time::Duration>,
+        write: Option<std::time::Duration>,
+    ) -> io::Result<()> {
+        match &self.transport {
+            Transport::Tcp { reader, writer } => {
+                reader.get_ref().set_read_timeout(read)?;
+                writer.get_ref().set_write_timeout(write)
+            }
+            #[cfg(unix)]
+            Transport::Unix { reader, writer } => {
+                reader.get_ref().set_read_timeout(read)?;
+                writer.get_ref().set_write_timeout(write)
+            }
+        }
+    }
+
     fn round_trip(&mut self, req: &Request) -> io::Result<Response> {
         fn go<R: Read, W: Write>(r: &mut R, w: &mut W, req: &Request) -> io::Result<Response> {
             wire::write_request(w, req)?;

@@ -1,0 +1,97 @@
+//! Typed errors for the serving crate.
+//!
+//! The engine and snapshot layers report recoverable failures through
+//! [`ServeError`] instead of panicking: the `csp-served` binary maps them
+//! onto its exit-code convention (1 for runtime failures, 2 for usage
+//! errors), and the supervisor distinguishes restartable faults from
+//! configuration mistakes.
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// A recoverable serving-layer failure.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A trace was replayed into an engine built for a different machine
+    /// width — a configuration mistake, not a data fault.
+    WidthMismatch {
+        /// Machine width recorded in the trace.
+        trace_nodes: usize,
+        /// Machine width the engine was built for.
+        engine_nodes: usize,
+    },
+    /// A snapshot's header does not match the engine it would restore
+    /// into (scheme, width, or shard count differ).
+    SnapshotMismatch {
+        /// What differs, and the two values.
+        detail: String,
+    },
+    /// A snapshot file is structurally invalid or fails its checksums.
+    SnapshotCorrupt {
+        /// The offending file.
+        path: PathBuf,
+        /// What the reader rejected.
+        detail: String,
+    },
+    /// An I/O failure while reading or writing snapshot state.
+    Io {
+        /// The path being accessed, when known.
+        path: Option<PathBuf>,
+        /// The underlying error.
+        source: io::Error,
+    },
+}
+
+impl ServeError {
+    /// Wraps an I/O error with the path it occurred on.
+    pub fn io(path: impl Into<PathBuf>, source: io::Error) -> Self {
+        ServeError::Io {
+            path: Some(path.into()),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::WidthMismatch {
+                trace_nodes,
+                engine_nodes,
+            } => write!(
+                f,
+                "trace/engine machine width mismatch: trace has {trace_nodes} nodes, \
+                 engine built for {engine_nodes}"
+            ),
+            ServeError::SnapshotMismatch { detail } => {
+                write!(f, "snapshot does not match engine: {detail}")
+            }
+            ServeError::SnapshotCorrupt { path, detail } => {
+                write!(f, "corrupt snapshot {}: {detail}", path.display())
+            }
+            ServeError::Io {
+                path: Some(p),
+                source,
+            } => {
+                write!(f, "{}: {source}", p.display())
+            }
+            ServeError::Io { path: None, source } => source.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ServeError {
+    fn from(source: io::Error) -> Self {
+        ServeError::Io { path: None, source }
+    }
+}

@@ -16,6 +16,14 @@
 //! * live screening statistics — per-shard lock-free
 //!   [`csp_metrics::OnlineConfusion`] counters, merged on demand into an
 //!   [`EngineSnapshot`].
+//! * crash safety — workers supervise themselves (a panicked batch is
+//!   recovered from an in-memory checkpoint + journal, surfacing as
+//!   [`ShardRestart`] stats), and [`snapshot`] persists the live tables
+//!   as CRC32c-checksummed, atomically written files that restore to a
+//!   bit-identical engine ([`ShardedEngine::with_state`]). Connections
+//!   carry read/write deadlines and per-connection error budgets
+//!   ([`ServerOptions`]), and [`ShutdownHandle`] drains the server
+//!   gracefully so a final snapshot can be taken.
 //! * [`bench`] — a load generator reporting queries/sec and p50/p99
 //!   latency against a running server.
 //!
@@ -49,14 +57,18 @@
 
 pub mod bench;
 pub mod client;
+pub mod error;
 pub mod server;
 pub mod shard;
+pub mod snapshot;
 pub mod wire;
 
 pub use bench::{probe_stream, run_load, LoadOptions, LoadReport};
 pub use client::Client;
-pub use server::Server;
-pub use shard::{EngineSnapshot, IngestOp, ShardCounters, ShardedEngine};
+pub use error::ServeError;
+pub use server::{Server, ServerOptions, ShutdownHandle};
+pub use shard::{EngineSnapshot, IngestOp, ShardCounters, ShardRestart, ShardState, ShardedEngine};
+pub use snapshot::{EngineState, SnapshotStore};
 
 use csp_trace::{LineAddr, NodeId, Pc};
 

@@ -1,14 +1,87 @@
 //! The query front-end: serves the wire protocol over TCP or Unix
 //! sockets, one connection-handler thread per client, all sharing one
 //! [`ShardedEngine`].
+//!
+//! # Failure model
+//!
+//! A hostile or broken client must never take the server down or wedge a
+//! handler thread forever (see `PROTOCOL.md`, "Failure model & recovery"):
+//!
+//! * **Deadlines** — client sockets carry read/write timeouts
+//!   ([`ServerOptions::read_timeout`]). A connection that stalls
+//!   *mid-frame* (slowloris) is cut; one that is merely idle between
+//!   requests is kept.
+//! * **Error budget** — malformed-but-framed requests and checksum
+//!   failures each get a typed [`Response::Error`]; a connection that
+//!   keeps sending garbage exhausts [`ServerOptions::error_budget`] and
+//!   is disconnected with a final typed error frame.
+//! * **Framing loss** — an oversized length prefix cannot be skipped
+//!   safely, so it draws a typed error and an immediate disconnect.
+//! * **Graceful shutdown** — [`Server::shutdown_handle`] returns a flag
+//!   that makes [`Server::run`] stop accepting, drain in-flight
+//!   connections, and return, so the owner can take a final snapshot.
 
-use crate::wire::{self, Request, Response, StatsReply};
-use crate::ShardedEngine;
+use crate::shard::ShardedEngine;
+use crate::wire::{self, FrameRead, Request, Response, StatsReply};
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 #[cfg(unix)]
 use std::os::unix::net::UnixListener;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Connection-robustness knobs for a [`Server`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServerOptions {
+    /// Per-read deadline on client sockets. A timeout while *idle* (no
+    /// frame started) keeps the connection; a timeout *mid-frame* cuts
+    /// it. `None` disables the deadline entirely.
+    pub read_timeout: Option<Duration>,
+    /// Per-write deadline on client sockets (protects handler threads
+    /// from clients that stop reading).
+    pub write_timeout: Option<Duration>,
+    /// Protocol errors (bad checksum, malformed request) a connection
+    /// may accumulate before it is disconnected.
+    pub error_budget: u32,
+    /// How long [`Server::run`] waits for in-flight connections to end
+    /// after shutdown is requested before returning anyway.
+    pub drain_timeout: Duration,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            error_budget: 8,
+            drain_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// A cloneable flag that asks a running [`Server`] to shut down
+/// gracefully: stop accepting, drain connections, return from
+/// [`Server::run`].
+#[derive(Clone, Debug, Default)]
+pub struct ShutdownHandle(Arc<AtomicBool>);
+
+impl ShutdownHandle {
+    /// A fresh, un-triggered handle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests shutdown. Idempotent; never blocks.
+    pub fn shutdown(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
 
 enum Listener {
     Tcp(TcpListener),
@@ -18,11 +91,14 @@ enum Listener {
 
 /// A prediction server bound to a socket, not yet accepting.
 ///
-/// [`run`](Server::run) accepts forever; spawn it on a thread to serve in
-/// the background (see the crate-level example).
+/// [`run`](Server::run) accepts until [`shutdown_handle`](Server::shutdown_handle)
+/// fires; spawn it on a thread to serve in the background (see the
+/// crate-level example).
 pub struct Server {
     listener: Listener,
     engine: Arc<ShardedEngine>,
+    options: ServerOptions,
+    shutdown: ShutdownHandle,
 }
 
 impl Server {
@@ -35,6 +111,8 @@ impl Server {
         Ok(Server {
             listener: Listener::Tcp(TcpListener::bind(addr)?),
             engine,
+            options: ServerOptions::default(),
+            shutdown: ShutdownHandle::new(),
         })
     }
 
@@ -51,7 +129,22 @@ impl Server {
         Ok(Server {
             listener: Listener::Unix(UnixListener::bind(path)?),
             engine,
+            options: ServerOptions::default(),
+            shutdown: ShutdownHandle::new(),
         })
+    }
+
+    /// Replaces the connection-robustness options.
+    #[must_use]
+    pub fn with_options(mut self, options: ServerOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The flag that stops [`run`](Self::run) gracefully. Clone it out
+    /// before spawning the server thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        self.shutdown.clone()
     }
 
     /// The bound TCP address (for ephemeral-port binds).
@@ -70,62 +163,191 @@ impl Server {
         }
     }
 
-    /// Accepts connections forever, one handler thread per client.
+    /// Accepts connections, one handler thread per client, until a fatal
+    /// accept error or a [`shutdown_handle`](Self::shutdown_handle)
+    /// request. On shutdown the accept loop stops, in-flight connections
+    /// are drained (bounded by [`ServerOptions::drain_timeout`]), and
+    /// `Ok(())` is returned — the caller then owns the engine again and
+    /// can snapshot it.
     ///
     /// # Errors
     ///
     /// Returns only on a fatal accept error; per-connection I/O errors
     /// just end that connection.
     pub fn run(self) -> io::Result<()> {
-        match self.listener {
-            Listener::Tcp(listener) => loop {
-                let (stream, _) = listener.accept()?;
-                stream.set_nodelay(true)?;
-                let engine = Arc::clone(&self.engine);
-                std::thread::spawn(move || {
-                    let reader = BufReader::new(&stream);
-                    let writer = BufWriter::new(&stream);
-                    let _ = serve_connection(reader, writer, &engine);
-                });
-            },
+        let active = Arc::new(AtomicUsize::new(0));
+        let poll = Duration::from_millis(25);
+        match &self.listener {
+            Listener::Tcp(listener) => {
+                listener.set_nonblocking(true)?;
+                while !self.shutdown.is_shutdown() {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            stream.set_nodelay(true)?;
+                            stream.set_nonblocking(false)?;
+                            stream.set_read_timeout(self.options.read_timeout)?;
+                            stream.set_write_timeout(self.options.write_timeout)?;
+                            self.spawn_handler(stream, &active);
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(poll);
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
             #[cfg(unix)]
-            Listener::Unix(listener) => loop {
-                let (stream, _) = listener.accept()?;
-                let engine = Arc::clone(&self.engine);
-                std::thread::spawn(move || {
-                    let reader = BufReader::new(&stream);
-                    let writer = BufWriter::new(&stream);
-                    let _ = serve_connection(reader, writer, &engine);
-                });
-            },
+            Listener::Unix(listener) => {
+                listener.set_nonblocking(true)?;
+                while !self.shutdown.is_shutdown() {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            stream.set_nonblocking(false)?;
+                            stream.set_read_timeout(self.options.read_timeout)?;
+                            stream.set_write_timeout(self.options.write_timeout)?;
+                            self.spawn_handler(stream, &active);
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(poll);
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+        }
+        // Drain: handlers see the shutdown flag at their next idle read
+        // and wind down; bound the wait so a wedged peer cannot hold the
+        // process open forever.
+        let deadline = Instant::now() + self.options.drain_timeout;
+        while active.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        Ok(())
+    }
+
+    fn spawn_handler<S>(&self, stream: S, active: &Arc<AtomicUsize>)
+    where
+        S: Send + 'static,
+        for<'a> &'a S: Read + Write,
+    {
+        let engine = Arc::clone(&self.engine);
+        let options = self.options;
+        let shutdown = self.shutdown.clone();
+        let active = Arc::clone(active);
+        active.fetch_add(1, Ordering::AcqRel);
+        std::thread::spawn(move || {
+            let reader = BufReader::new(&stream);
+            let writer = BufWriter::new(&stream);
+            let _ = serve_connection(reader, writer, &engine, &options, &shutdown);
+            active.fetch_sub(1, Ordering::AcqRel);
+        });
+    }
+}
+
+/// `true` for the error kinds a socket read/write deadline produces.
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Waits for the first byte of the next frame. Read-deadline expiries
+/// here mean the connection is merely *idle*, so the wait continues —
+/// unless shutdown was requested, which ends it.
+///
+/// Returns `None` on clean EOF or shutdown.
+fn wait_first_byte<R: Read>(reader: &mut R, shutdown: &ShutdownHandle) -> io::Result<Option<u8>> {
+    let mut first = [0u8; 1];
+    loop {
+        match reader.read(&mut first) {
+            Ok(0) => return Ok(None),
+            Ok(_) => return Ok(Some(first[0])),
+            Err(e) if is_timeout(&e) => {
+                if shutdown.is_shutdown() {
+                    return Ok(None);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
         }
     }
 }
 
-/// Serves one connection until EOF: read a request frame, answer it,
-/// flush. Malformed-but-framed requests get a [`Response::Error`] and the
-/// connection continues; transport-level errors (bad checksum, mid-frame
-/// EOF) end it, since framing can no longer be trusted.
+fn send_error<W: Write>(writer: &mut W, msg: String) -> io::Result<()> {
+    wire::write_response(writer, &Response::Error(msg))?;
+    writer.flush()
+}
+
+/// Serves one connection until EOF, shutdown, or disqualification: read
+/// a request frame, answer it, flush.
+///
+/// Malformed-but-framed requests and checksum failures get a typed
+/// [`Response::Error`] and count against the connection's error budget;
+/// exhausting it disconnects. Framing-destroying input (an oversized
+/// length prefix) or a mid-frame stall past the read deadline draws a
+/// final typed error and an immediate disconnect.
 ///
 /// # Errors
 ///
-/// Propagates transport I/O errors.
+/// Propagates transport I/O errors (the connection is gone either way).
 pub fn serve_connection<R: Read, W: Write>(
     mut reader: R,
     mut writer: W,
     engine: &ShardedEngine,
+    options: &ServerOptions,
+    shutdown: &ShutdownHandle,
 ) -> io::Result<()> {
+    let mut errors: u32 = 0;
     loop {
-        let payload = match wire::read_frame(&mut reader)? {
-            Some(p) => p,
-            None => return Ok(()), // clean EOF
+        let first = match wait_first_byte(&mut reader, shutdown)? {
+            Some(b) => b,
+            None => return Ok(()), // clean EOF or shutdown
         };
-        let response = match wire::decode_request(&payload) {
-            Ok(request) => answer(engine, request),
-            Err(e) => Response::Error(e.to_string()),
+        let outcome = match wire::read_frame_after_first(&mut reader, first) {
+            Ok(o) => o,
+            Err(e) if is_timeout(&e) => {
+                // Mid-frame stall: a slowloris peer. Best-effort notice,
+                // then hang up.
+                let _ = send_error(&mut writer, "read deadline exceeded mid-frame".to_string());
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        let response = match outcome {
+            FrameRead::Oversized { len } => {
+                let _ = send_error(
+                    &mut writer,
+                    format!(
+                        "frame length {len} exceeds the {}-byte limit; closing",
+                        wire::MAX_PAYLOAD
+                    ),
+                );
+                return Ok(()); // framing lost, nothing more to parse
+            }
+            FrameRead::BadChecksum { stored, computed } => {
+                errors += 1;
+                Response::Error(format!(
+                    "frame checksum mismatch: stored {stored:#010X}, computed {computed:#010X}"
+                ))
+            }
+            FrameRead::Frame(payload) => match wire::decode_request(&payload) {
+                Ok(request) => answer(engine, request),
+                Err(e) => {
+                    errors += 1;
+                    Response::Error(e.to_string())
+                }
+            },
         };
         wire::write_response(&mut writer, &response)?;
         writer.flush()?;
+        if errors > options.error_budget {
+            let _ = send_error(
+                &mut writer,
+                format!("error budget exhausted ({errors} protocol errors); closing",),
+            );
+            return Ok(());
+        }
     }
 }
 
@@ -192,6 +414,7 @@ mod tests {
         assert_eq!(stats.nodes, 16);
         assert_eq!(stats.shards, 2);
         assert_eq!(stats.updates, 16);
+        assert_eq!(stats.restarts, 0);
         assert!(stats.queries >= 17); // 1 single + 16 batch
     }
 
@@ -232,5 +455,153 @@ mod tests {
         wire::write_request(&mut writer, &Request::Ping).unwrap();
         writer.flush().unwrap();
         assert_eq!(wire::read_response(&mut reader).unwrap(), Response::Pong);
+    }
+
+    #[test]
+    fn error_budget_disconnects_persistent_offenders() {
+        let server = Server::bind_tcp("127.0.0.1:0", engine())
+            .unwrap()
+            .with_options(ServerOptions {
+                error_budget: 2,
+                ..ServerOptions::default()
+            });
+        let addr = server.local_addr().unwrap();
+        std::thread::spawn(move || server.run());
+
+        let stream = std::net::TcpStream::connect(addr).unwrap();
+        let mut writer = BufWriter::new(&stream);
+        let mut reader = BufReader::new(&stream);
+        // Three malformed frames: errors 1 and 2 fit the budget, the
+        // third overflows it.
+        for _ in 0..3 {
+            wire::write_frame(&mut writer, &[0x7E]).unwrap();
+            writer.flush().unwrap();
+            let resp = wire::read_response(&mut reader).unwrap();
+            assert!(matches!(resp, Response::Error(_)), "got {resp:?}");
+        }
+        // The final typed frame announces the disconnect...
+        match wire::read_response(&mut reader).unwrap() {
+            Response::Error(msg) => assert!(msg.contains("budget"), "got: {msg}"),
+            other => panic!("expected the budget error, got {other:?}"),
+        }
+        // ...and then the server hangs up.
+        assert!(wire::read_frame(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_length_prefix_draws_error_and_disconnect() {
+        let server = Server::bind_tcp("127.0.0.1:0", engine()).unwrap();
+        let addr = server.local_addr().unwrap();
+        std::thread::spawn(move || server.run());
+
+        let stream = std::net::TcpStream::connect(addr).unwrap();
+        let mut writer = BufWriter::new(&stream);
+        let mut reader = BufReader::new(&stream);
+        writer.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        writer.flush().unwrap();
+        match wire::read_response(&mut reader).unwrap() {
+            Response::Error(msg) => assert!(msg.contains("limit"), "got: {msg}"),
+            other => panic!("expected an error frame, got {other:?}"),
+        }
+        assert!(wire::read_frame(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn corrupt_checksum_gets_typed_error_and_connection_survives() {
+        let server = Server::bind_tcp("127.0.0.1:0", engine()).unwrap();
+        let addr = server.local_addr().unwrap();
+        std::thread::spawn(move || server.run());
+
+        let stream = std::net::TcpStream::connect(addr).unwrap();
+        let mut writer = BufWriter::new(&stream);
+        let mut reader = BufReader::new(&stream);
+        let mut frame = Vec::new();
+        wire::write_request(&mut frame, &Request::Ping).unwrap();
+        *frame.last_mut().unwrap() ^= 0xFF; // corrupt the CRC
+        writer.write_all(&frame).unwrap();
+        writer.flush().unwrap();
+        match wire::read_response(&mut reader).unwrap() {
+            Response::Error(msg) => assert!(msg.contains("checksum"), "got: {msg}"),
+            other => panic!("expected an error frame, got {other:?}"),
+        }
+        // Framing was never lost: the connection still works.
+        wire::write_request(&mut writer, &Request::Ping).unwrap();
+        writer.flush().unwrap();
+        assert_eq!(wire::read_response(&mut reader).unwrap(), Response::Pong);
+    }
+
+    #[test]
+    fn slowloris_mid_frame_is_cut_by_the_read_deadline() {
+        let server = Server::bind_tcp("127.0.0.1:0", engine())
+            .unwrap()
+            .with_options(ServerOptions {
+                read_timeout: Some(Duration::from_millis(100)),
+                ..ServerOptions::default()
+            });
+        let addr = server.local_addr().unwrap();
+        std::thread::spawn(move || server.run());
+
+        let stream = std::net::TcpStream::connect(addr).unwrap();
+        let mut writer = BufWriter::new(&stream);
+        let mut reader = BufReader::new(&stream);
+        // Start a frame and stall: two bytes of the length prefix, then
+        // silence.
+        writer.write_all(&[4, 0]).unwrap();
+        writer.flush().unwrap();
+        match wire::read_response(&mut reader).unwrap() {
+            Response::Error(msg) => assert!(msg.contains("deadline"), "got: {msg}"),
+            other => panic!("expected the deadline error, got {other:?}"),
+        }
+        assert!(wire::read_frame(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn idle_connection_outlives_the_read_deadline() {
+        let server = Server::bind_tcp("127.0.0.1:0", engine())
+            .unwrap()
+            .with_options(ServerOptions {
+                read_timeout: Some(Duration::from_millis(50)),
+                ..ServerOptions::default()
+            });
+        let addr = server.local_addr().unwrap();
+        std::thread::spawn(move || server.run());
+
+        let mut client = Client::connect_tcp(addr).unwrap();
+        client.ping().unwrap();
+        // Several deadline periods of silence, then another request: the
+        // connection must still be there.
+        std::thread::sleep(Duration::from_millis(200));
+        client.ping().unwrap();
+    }
+
+    #[test]
+    fn graceful_shutdown_drains_and_returns() {
+        let server = Server::bind_tcp("127.0.0.1:0", engine())
+            .unwrap()
+            .with_options(ServerOptions {
+                read_timeout: Some(Duration::from_millis(25)),
+                ..ServerOptions::default()
+            });
+        let addr = server.local_addr().unwrap();
+        let handle = server.shutdown_handle();
+        let join = std::thread::spawn(move || server.run());
+
+        let mut client = Client::connect_tcp(addr).unwrap();
+        client.ping().unwrap();
+        handle.shutdown();
+        let result = join.join().expect("server thread");
+        assert!(result.is_ok(), "graceful shutdown errored: {result:?}");
+        // The listener is gone: new connections fail or are never served.
+        let refused = std::net::TcpStream::connect(addr)
+            .map(|s| {
+                let mut r = BufReader::new(&s);
+                let mut w = BufWriter::new(&s);
+                wire::write_request(&mut w, &Request::Ping)
+                    .and_then(|()| w.flush())
+                    .and_then(|()| wire::read_response(&mut r))
+                    .is_err()
+            })
+            .unwrap_or(true);
+        assert!(refused, "server still answering after shutdown");
     }
 }

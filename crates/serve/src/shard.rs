@@ -19,11 +19,25 @@
 //!
 //! The one thing sharding reorders is *wall-clock interleaving across
 //! keys*, which no per-key state can observe.
+//!
+//! # Supervision
+//!
+//! A worker never dies from a poisoned operation. Each worker keeps a
+//! *checkpoint* (a clone of its state) plus a journal of the operations
+//! applied since; a batch that panics is rolled back by restoring the
+//! checkpoint, replaying the journal, and re-applying the batch one
+//! operation at a time with the poison skipped. Counters are published as
+//! *absolute* values after every message (see
+//! [`csp_metrics::OnlineConfusion::store`]), so a recovery recomputes
+//! them instead of double-counting. Restart totals surface as
+//! [`ShardRestart`] entries in [`EngineSnapshot`].
 
-use crate::Probe;
+use crate::{error::ServeError, Probe};
 use csp_core::{node_bits, shard_of_key, PredictorTable, PreparedTrace, Scheme, UpdateMode};
 use csp_metrics::{ConfusionMatrix, OnlineConfusion, Screening};
 use csp_trace::{SharingBitmap, SharingEvent, Trace};
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
 use std::sync::Arc;
@@ -47,6 +61,24 @@ pub enum IngestOp {
         /// The ground-truth reader bitmap for this decision.
         actual: SharingBitmap,
     },
+    /// Test-only: panics the applying worker, exercising supervision.
+    /// Routed to the shard owning `key`; never affects table state (a
+    /// supervised recovery skips it).
+    #[doc(hidden)]
+    Poison {
+        /// Routing key (picks which shard's worker panics).
+        key: u64,
+    },
+}
+
+impl IngestOp {
+    /// The key that routes this operation to its shard.
+    fn route_key(&self) -> u64 {
+        match *self {
+            IngestOp::Update { key, .. } | IngestOp::Score { key, .. } => key,
+            IngestOp::Poison { key } => key,
+        }
+    }
 }
 
 /// Messages a shard worker consumes.
@@ -60,6 +92,43 @@ enum ShardMsg {
         probes: Vec<(usize, u64)>,
         reply: Sender<Vec<(usize, SharingBitmap)>>,
     },
+    /// Clone the worker's full state and reply with it. In-band, so the
+    /// captured state reflects exactly the messages sent before it on
+    /// this shard's inbox. Doubles as the worker's recovery checkpoint.
+    Snapshot { reply: Sender<ShardState> },
+}
+
+/// Point-in-time state of one shard: its table partition plus its share
+/// of the engine counters. The unit of durable snapshots
+/// (see [`crate::snapshot`]) and of supervised restarts.
+#[derive(Clone, Debug)]
+pub struct ShardState {
+    /// This shard's predictor table partition.
+    pub table: PredictorTable,
+    /// Screening counters over decisions scored on this shard.
+    pub confusion: ConfusionMatrix,
+    /// Update operations applied.
+    pub updates: u64,
+    /// Score operations applied.
+    pub scored: u64,
+    /// Query probes answered.
+    pub queries: u64,
+    /// Supervised worker restarts so far.
+    pub restarts: u64,
+}
+
+impl ShardState {
+    /// A fresh, empty shard for `scheme` on an `nodes`-node machine.
+    pub fn empty(scheme: &Scheme, nodes: usize) -> Self {
+        ShardState {
+            table: PredictorTable::new(scheme, nodes),
+            confusion: ConfusionMatrix::default(),
+            updates: 0,
+            scored: 0,
+            queries: 0,
+            restarts: 0,
+        }
+    }
 }
 
 /// Per-shard live counters, shared lock-free between the worker (writer)
@@ -76,6 +145,18 @@ pub struct ShardCounters {
     pub queries: AtomicU64,
     /// Predictor entries currently allocated on this shard.
     pub entries: AtomicU64,
+    /// Supervised worker restarts (panics recovered in place).
+    pub restarts: AtomicU64,
+}
+
+/// One shard's supervised-recovery total, surfaced in
+/// [`EngineSnapshot::restarts`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardRestart {
+    /// Which shard restarted.
+    pub shard: usize,
+    /// How many times its worker has recovered from a panic.
+    pub count: u64,
 }
 
 /// A merged, point-in-time view of the whole engine's counters.
@@ -93,12 +174,20 @@ pub struct EngineSnapshot {
     pub entries: u64,
     /// Per-shard confusion matrices, in shard order.
     pub per_shard: Vec<ConfusionMatrix>,
+    /// Shards that have recovered from worker panics (empty when the
+    /// engine has never restarted a worker).
+    pub restarts: Vec<ShardRestart>,
 }
 
 impl EngineSnapshot {
     /// Screening rates of the merged confusion counters.
     pub fn screening(&self) -> Screening {
         self.confusion.screening()
+    }
+
+    /// Total supervised restarts across all shards.
+    pub fn total_restarts(&self) -> u64 {
+        self.restarts.iter().map(|r| r.count).sum()
     }
 }
 
@@ -141,7 +230,7 @@ const BATCH: usize = 1024;
 /// trace.set_final_readers(LineAddr(3), readers);
 ///
 /// let engine = ShardedEngine::new("last(pid+pc8)1[direct]".parse().unwrap(), 16, 4);
-/// engine.replay_trace(&trace);
+/// engine.replay_trace(&trace).unwrap();
 /// let probe = Probe::new(NodeId(0), Pc(7), NodeId(1), LineAddr(3));
 /// assert_eq!(engine.predict(&probe), readers);
 /// let stats = engine.stats();
@@ -170,14 +259,59 @@ impl ShardedEngine {
     /// Panics if `shards` is zero or a worker thread cannot be spawned.
     pub fn new(scheme: Scheme, nodes: usize, shards: usize) -> Self {
         assert!(shards > 0, "need at least one shard");
-        let handles = (0..shards)
-            .map(|i| {
+        let states = (0..shards)
+            .map(|_| ShardState::empty(&scheme, nodes))
+            .collect();
+        Self::spawn(scheme, nodes, states)
+    }
+
+    /// Resurrects an engine from previously captured shard states (e.g. a
+    /// durable snapshot loaded by [`crate::snapshot::SnapshotStore`]).
+    /// Workers start with the given tables and counter values, so the
+    /// engine continues exactly where the states left off.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::SnapshotMismatch`] when a state's table width does
+    /// not match `nodes`, or `states` is empty.
+    pub fn with_state(
+        scheme: Scheme,
+        nodes: usize,
+        states: Vec<ShardState>,
+    ) -> Result<Self, ServeError> {
+        if states.is_empty() {
+            return Err(ServeError::SnapshotMismatch {
+                detail: "no shard states to restore".to_string(),
+            });
+        }
+        for (i, s) in states.iter().enumerate() {
+            if s.table.nodes() != nodes {
+                return Err(ServeError::SnapshotMismatch {
+                    detail: format!(
+                        "shard {i} table is {}-node, engine is {nodes}-node",
+                        s.table.nodes()
+                    ),
+                });
+            }
+        }
+        Ok(Self::spawn(scheme, nodes, states))
+    }
+
+    fn spawn(scheme: Scheme, nodes: usize, states: Vec<ShardState>) -> Self {
+        let handles = states
+            .into_iter()
+            .enumerate()
+            .map(|(i, initial)| {
                 let (tx, rx) = sync_channel(INBOX_DEPTH);
                 let counters = Arc::new(ShardCounters::default());
+                // Publish before the worker thread exists: a restored
+                // engine's counters must be readable immediately, not
+                // only after the OS happens to schedule each worker.
+                publish(&counters, &initial);
                 let worker_counters = Arc::clone(&counters);
                 let join = std::thread::Builder::new()
                     .name(format!("csp-shard-{i}"))
-                    .spawn(move || shard_worker(&scheme, nodes, rx, &worker_counters))
+                    .spawn(move || shard_worker(nodes, rx, &worker_counters, initial))
                     .expect("spawn shard worker");
                 ShardHandle {
                     tx,
@@ -257,13 +391,27 @@ impl ShardedEngine {
             }
         };
         if let Some(op) = op {
-            let key = match op {
-                IngestOp::Update { key, .. } | IngestOp::Score { key, .. } => key,
-            };
             self.send(
-                shard_of_key(key, self.shards.len()),
+                shard_of_key(op.route_key(), self.shards.len()),
                 ShardMsg::Ingest(vec![op]),
             );
+        }
+    }
+
+    /// Routes a pre-built batch of raw operations to their shards, in
+    /// order. The low-level ingest path behind
+    /// [`ingest_event`](Self::ingest_event), exposed for callers that
+    /// compute keys themselves (custom feeds, fault-injection tests).
+    pub fn ingest_ops(&self, ops: Vec<IngestOp>) {
+        let shards = self.shards.len();
+        let mut buffers: Vec<Vec<IngestOp>> = vec![Vec::new(); shards];
+        for op in ops {
+            buffers[shard_of_key(op.route_key(), shards)].push(op);
+        }
+        for (s, batch) in buffers.into_iter().enumerate() {
+            if !batch.is_empty() {
+                self.send(s, ShardMsg::Ingest(batch));
+            }
         }
     }
 
@@ -277,11 +425,12 @@ impl ShardedEngine {
     /// offline run's confusion matrix, and its tables are bit-identical
     /// to the offline tables — see `tests/equivalence.rs`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the trace's machine width differs from the engine's.
-    pub fn replay_trace(&self, trace: &Trace) {
-        self.replay_prepared(&PreparedTrace::new(trace));
+    /// [`ServeError::WidthMismatch`] when the trace's machine width
+    /// differs from the engine's.
+    pub fn replay_trace(&self, trace: &Trace) -> Result<(), ServeError> {
+        self.replay_prepared(&PreparedTrace::new(trace))
     }
 
     /// [`replay_trace`](Self::replay_trace) over an already-prepared
@@ -291,15 +440,42 @@ impl ShardedEngine {
     /// replaying one trace through several engines (or schemes) shares
     /// one preparation across all of them.
     ///
+    /// # Errors
+    ///
+    /// [`ServeError::WidthMismatch`] when the trace's machine width
+    /// differs from the engine's.
+    pub fn replay_prepared(&self, prepared: &PreparedTrace<'_>) -> Result<(), ServeError> {
+        self.replay_range(prepared, 0..prepared.len())
+    }
+
+    /// Replays only events `range` of a prepared trace, then flushes.
+    ///
+    /// The building block of crash-safe replay: a caller alternates
+    /// `replay_range` chunks with [`snapshot_state`](Self::snapshot_state)
+    /// calls, and because each chunk flushes before returning, every
+    /// snapshot captures *exactly* the events replayed so far — an exact
+    /// prefix cut, restorable to bit-identical state.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::WidthMismatch`] when the trace's machine width
+    /// differs from the engine's.
+    ///
     /// # Panics
     ///
-    /// Panics if the trace's machine width differs from the engine's.
-    pub fn replay_prepared(&self, prepared: &PreparedTrace<'_>) {
-        assert_eq!(
-            prepared.nodes(),
-            self.nodes,
-            "trace/engine machine width mismatch"
-        );
+    /// Panics if `range` is out of bounds for the prepared trace.
+    pub fn replay_range(
+        &self,
+        prepared: &PreparedTrace<'_>,
+        range: Range<usize>,
+    ) -> Result<(), ServeError> {
+        if prepared.nodes() != self.nodes {
+            return Err(ServeError::WidthMismatch {
+                trace_nodes: prepared.nodes(),
+                engine_nodes: self.nodes,
+            });
+        }
+        assert!(range.end <= prepared.len(), "replay range out of bounds");
         let stream = prepared.key_stream(self.scheme.index);
         let keys = stream.keys();
         let forward_keys = stream.forward_keys();
@@ -309,17 +485,14 @@ impl ShardedEngine {
         let shards = self.shards.len();
         let mut buffers: Vec<Vec<IngestOp>> = vec![Vec::with_capacity(BATCH); shards];
         let push = |buffers: &mut Vec<Vec<IngestOp>>, op: IngestOp| {
-            let key = match op {
-                IngestOp::Update { key, .. } | IngestOp::Score { key, .. } => key,
-            };
-            let s = shard_of_key(key, shards);
+            let s = shard_of_key(op.route_key(), shards);
             buffers[s].push(op);
             if buffers[s].len() >= BATCH {
                 let batch = std::mem::replace(&mut buffers[s], Vec::with_capacity(BATCH));
                 self.send(s, ShardMsg::Ingest(batch));
             }
         };
-        for i in 0..prepared.len() {
+        for i in range {
             let key = keys[i];
             match self.scheme.update {
                 UpdateMode::Direct => {
@@ -382,6 +555,37 @@ impl ShardedEngine {
             }
         }
         self.flush();
+        Ok(())
+    }
+
+    /// Captures every shard's state, in shard order.
+    ///
+    /// The capture is *in-band*: each shard serves it from its inbox, so
+    /// the state reflects exactly the operations sent to that shard
+    /// before this call. With no concurrent senders (e.g. between
+    /// [`replay_range`](Self::replay_range) chunks) the cut is an exact
+    /// global prefix; with live traffic each shard's state is a valid
+    /// per-shard prefix — restoring yields a correct (possibly slightly
+    /// stale) engine. Serving a snapshot also refreshes the worker's
+    /// recovery checkpoint.
+    pub fn snapshot_state(&self) -> Vec<ShardState> {
+        // One reply channel per shard keeps the result in shard order
+        // regardless of which worker answers first.
+        let pending: Vec<_> = (0..self.shards.len())
+            .map(|s| {
+                let (tx, rx) = std::sync::mpsc::channel();
+                self.send(s, ShardMsg::Snapshot { reply: tx });
+                rx
+            })
+            .collect();
+        pending
+            .into_iter()
+            .enumerate()
+            .map(|(s, rx)| {
+                rx.recv()
+                    .unwrap_or_else(|_| panic!("shard {s} worker terminated early"))
+            })
+            .collect()
     }
 
     /// Predicts the reader bitmap for one probe.
@@ -463,6 +667,15 @@ impl ShardedEngine {
                 .map(|s| f(&s.counters).load(Ordering::Relaxed))
                 .sum()
         };
+        let restarts = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter_map(|(shard, s)| {
+                let count = s.counters.restarts.load(Ordering::Relaxed);
+                (count > 0).then_some(ShardRestart { shard, count })
+            })
+            .collect();
         EngineSnapshot {
             confusion,
             updates: sum(|c| &c.updates),
@@ -470,6 +683,7 @@ impl ShardedEngine {
             queries: sum(|c| &c.queries),
             entries: sum(|c| &c.entries),
             per_shard,
+            restarts,
         }
     }
 
@@ -506,57 +720,124 @@ impl Drop for ShardedEngine {
     }
 }
 
-/// The shard worker loop: owns this shard's table partition, applies
-/// inbox messages in FIFO order, publishes counters.
+/// Journal length at which a worker rolls its recovery checkpoint
+/// forward (clone the state, clear the journal). Bounds both recovery
+/// time and journal memory.
+const JOURNAL_CAP: usize = 1 << 16;
+
+/// Applies one ingest operation to a shard's state. The only function a
+/// supervised recovery has to re-run, so *all* state mutation funnels
+/// through it.
+#[inline]
+fn apply_op(state: &mut ShardState, op: IngestOp, nodes: usize) {
+    match op {
+        IngestOp::Update { key, feedback } => {
+            state.table.update(key, feedback);
+            state.updates += 1;
+        }
+        IngestOp::Score { key, actual } => {
+            let predicted = state.table.predict(key);
+            state.confusion.record(predicted, actual, nodes);
+            state.scored += 1;
+        }
+        IngestOp::Poison { .. } => panic!("injected poison op"),
+    }
+}
+
+/// Publishes a worker's counters as absolute values. Absolute (not
+/// incremental) publication is what makes supervised recovery exact:
+/// after a restart the worker recomputes its counters from the
+/// checkpoint and the replayed journal, and the next publish overwrites
+/// any partially counted batch.
+fn publish(counters: &ShardCounters, state: &ShardState) {
+    counters.confusion.store(&state.confusion);
+    counters.updates.store(state.updates, Ordering::Relaxed);
+    counters.scored.store(state.scored, Ordering::Relaxed);
+    counters.queries.store(state.queries, Ordering::Relaxed);
+    counters
+        .entries
+        .store(state.table.entries_touched() as u64, Ordering::Relaxed);
+    counters.restarts.store(state.restarts, Ordering::Relaxed);
+}
+
+/// The shard worker loop: owns this shard's state, applies inbox
+/// messages in FIFO order, publishes counters, and supervises itself —
+/// a panic while applying a batch is recovered in place from the last
+/// checkpoint plus the journal, with the poisonous operation skipped.
 fn shard_worker(
-    scheme: &Scheme,
     nodes: usize,
     rx: Receiver<ShardMsg>,
     counters: &ShardCounters,
+    initial: ShardState,
 ) -> PredictorTable {
-    let mut table = PredictorTable::new(scheme, nodes);
-    // Scored decisions accumulate locally and publish per batch: one
-    // atomic add per cell per batch instead of four per decision.
+    let mut state = initial;
+    let mut checkpoint = state.clone();
+    let mut journal: Vec<IngestOp> = Vec::new();
+    publish(counters, &state);
     while let Ok(msg) = rx.recv() {
         match msg {
             ShardMsg::Ingest(ops) => {
-                let mut batch_confusion = ConfusionMatrix::default();
-                let (mut updates, mut scored) = (0u64, 0u64);
-                for op in ops {
-                    match op {
-                        IngestOp::Update { key, feedback } => {
-                            table.update(key, feedback);
-                            updates += 1;
-                        }
-                        IngestOp::Score { key, actual } => {
-                            let predicted = table.predict(key);
-                            batch_confusion.record(predicted, actual, nodes);
-                            scored += 1;
+                let healthy = catch_unwind(AssertUnwindSafe(|| {
+                    for &op in &ops {
+                        apply_op(&mut state, op, nodes);
+                    }
+                }))
+                .is_ok();
+                if healthy {
+                    journal.extend_from_slice(&ops);
+                } else {
+                    // The batch died partway through and may have left
+                    // `state` inconsistent. Discard it: rebuild from the
+                    // checkpoint, re-run the journal, then re-apply this
+                    // batch one op at a time with the poison skipped.
+                    // Queries are not journaled (they don't mutate the
+                    // table), so carry their count over directly.
+                    let restarts = state.restarts + 1;
+                    let queries = state.queries;
+                    state = checkpoint.clone();
+                    state.restarts = restarts;
+                    state.queries = queries;
+                    for &op in &journal {
+                        let _ = catch_unwind(AssertUnwindSafe(|| apply_op(&mut state, op, nodes)));
+                    }
+                    for &op in &ops {
+                        if catch_unwind(AssertUnwindSafe(|| apply_op(&mut state, op, nodes)))
+                            .is_ok()
+                        {
+                            journal.push(op);
                         }
                     }
                 }
-                counters.confusion.add(&batch_confusion);
-                counters.updates.fetch_add(updates, Ordering::Relaxed);
-                counters.scored.fetch_add(scored, Ordering::Relaxed);
+                if journal.len() >= JOURNAL_CAP {
+                    checkpoint = state.clone();
+                    journal.clear();
+                }
             }
             ShardMsg::Query { probes, reply } => {
-                counters
-                    .queries
-                    .fetch_add(probes.len() as u64, Ordering::Relaxed);
+                state.queries += probes.len() as u64;
                 let out: Vec<(usize, SharingBitmap)> = probes
                     .into_iter()
-                    .map(|(pos, key)| (pos, table.predict(key)))
+                    .map(|(pos, key)| (pos, state.table.predict(key)))
                     .collect();
+                // Publish before replying: a querier that reads stats()
+                // right after the reply must see its own queries counted
+                // (the reply is the synchronization point).
+                publish(counters, &state);
                 // A dropped reply receiver just means the querier went
                 // away; the prediction work is already done.
                 let _ = reply.send(out);
             }
+            ShardMsg::Snapshot { reply } => {
+                // The captured state doubles as the recovery checkpoint:
+                // both need the same "known consistent point" clone.
+                checkpoint = state.clone();
+                journal.clear();
+                let _ = reply.send(checkpoint.clone());
+            }
         }
-        counters
-            .entries
-            .store(table.entries_touched() as u64, Ordering::Relaxed);
+        publish(counters, &state);
     }
-    table
+    state.table
 }
 
 #[cfg(test)]
@@ -615,7 +896,7 @@ mod tests {
             let offline = run_scheme(&trace, &scheme);
             for shards in [1, 3, 8] {
                 let engine = ShardedEngine::new(scheme, trace.nodes(), shards);
-                engine.replay_trace(&trace);
+                engine.replay_trace(&trace).unwrap();
                 let snap = engine.stats();
                 assert_eq!(snap.confusion, offline, "{spec} with {shards} shards");
                 assert_eq!(snap.scored, trace.len() as u64);
@@ -628,7 +909,7 @@ mod tests {
         let trace = busy_trace(300);
         let scheme: Scheme = "union(pid+pc8)2[direct]".parse().unwrap();
         let engine = ShardedEngine::new(scheme, trace.nodes(), 4);
-        engine.replay_trace(&trace);
+        engine.replay_trace(&trace).unwrap();
 
         // Rebuild the offline table and compare predictions key by key.
         let nb = node_bits(trace.nodes());
@@ -714,11 +995,112 @@ mod tests {
     }
 
     #[test]
+    fn width_mismatch_is_a_typed_error_not_a_panic() {
+        let trace = busy_trace(10); // 16-node trace
+        let engine = ShardedEngine::new("last(pid)1[direct]".parse().unwrap(), 32, 2);
+        match engine.replay_trace(&trace) {
+            Err(ServeError::WidthMismatch {
+                trace_nodes: 16,
+                engine_nodes: 32,
+            }) => {}
+            other => panic!("expected WidthMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn poisoned_batch_recovers_to_the_unpoisoned_state() {
+        let trace = busy_trace(400);
+        let scheme: Scheme = "last(pid+pc8)1[direct]".parse().unwrap();
+        let clean = ShardedEngine::new(scheme, trace.nodes(), 3);
+        clean.replay_trace(&trace).unwrap();
+
+        // Same replay, but with poison ops injected between chunks.
+        let poisoned = ShardedEngine::new(scheme, trace.nodes(), 3);
+        let prepared = PreparedTrace::new(&trace);
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence the injected panics
+        poisoned.replay_range(&prepared, 0..200).unwrap();
+        // One ingest_ops call per poison: each arrives as its own batch,
+        // so each is its own supervised recovery.
+        for key in 0..3 {
+            poisoned.ingest_ops(vec![IngestOp::Poison { key }]);
+        }
+        poisoned.replay_range(&prepared, 200..trace.len()).unwrap();
+        std::panic::set_hook(hook);
+
+        let (a, b) = (clean.stats(), poisoned.stats());
+        assert_eq!(a.confusion, b.confusion);
+        assert_eq!(a.updates, b.updates);
+        assert_eq!(a.scored, b.scored);
+        assert_eq!(a.entries, b.entries);
+        assert!(a.restarts.is_empty());
+        assert_eq!(b.total_restarts(), 3, "restarts: {:?}", b.restarts);
+        // Tables survived too: the merged tables predict identically.
+        let nb = node_bits(trace.nodes());
+        let keys: Vec<u64> = trace
+            .events()
+            .iter()
+            .map(|e| scheme.index.key_of(e, nb))
+            .collect();
+        let (ta, tb) = (clean.shutdown(), poisoned.shutdown());
+        for key in keys {
+            assert_eq!(ta.predict(key), tb.predict(key), "key {key}");
+        }
+    }
+
+    #[test]
+    fn snapshot_then_restore_continues_bit_identically() {
+        let trace = busy_trace(600);
+        for spec in ["union(pid+pc8)2[forwarded]", "pas(pid+pc6)2[direct]"] {
+            let scheme: Scheme = spec.parse().unwrap();
+            let reference = ShardedEngine::new(scheme, trace.nodes(), 4);
+            reference.replay_trace(&trace).unwrap();
+
+            // Replay half, capture, rebuild a new engine from the capture,
+            // replay the rest there.
+            let prepared = PreparedTrace::new(&trace);
+            let first = ShardedEngine::new(scheme, trace.nodes(), 4);
+            first.replay_range(&prepared, 0..300).unwrap();
+            let states = first.snapshot_state();
+            drop(first);
+            let restored = ShardedEngine::with_state(scheme, trace.nodes(), states).unwrap();
+            restored.replay_range(&prepared, 300..trace.len()).unwrap();
+
+            let (a, b) = (reference.stats(), restored.stats());
+            assert_eq!(a.confusion, b.confusion, "{spec}");
+            assert_eq!(a.updates, b.updates, "{spec}");
+            assert_eq!(a.scored, b.scored, "{spec}");
+            assert_eq!(a.entries, b.entries, "{spec}");
+            let nb = node_bits(trace.nodes());
+            let keys: Vec<u64> = trace
+                .events()
+                .iter()
+                .map(|e| scheme.index.key_of(e, nb))
+                .collect();
+            assert_eq!(
+                reference.predict_keys(&keys),
+                restored.predict_keys(&keys),
+                "{spec}"
+            );
+        }
+    }
+
+    #[test]
+    fn with_state_rejects_mismatched_width() {
+        let scheme: Scheme = "last(pid)1[direct]".parse().unwrap();
+        let states = vec![ShardState::empty(&scheme, 16)];
+        match ShardedEngine::with_state(scheme, 32, states) {
+            Err(ServeError::SnapshotMismatch { .. }) => {}
+            other => panic!("expected SnapshotMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn stats_merge_per_shard_counters() {
         let trace = busy_trace(400);
         let scheme: Scheme = "last(pid+pc8)1[direct]".parse().unwrap();
         let engine = ShardedEngine::new(scheme, trace.nodes(), 5);
-        engine.replay_trace(&trace);
+        engine.replay_trace(&trace).unwrap();
         let snap = engine.stats();
         let merged: ConfusionMatrix = snap.per_shard.iter().copied().sum();
         assert_eq!(merged, snap.confusion);

@@ -78,6 +78,10 @@ pub struct StatsReply {
     pub queries: u64,
     /// Predictor entries allocated.
     pub entries: u64,
+    /// Supervised shard-worker restarts (see
+    /// [`crate::ShardRestart`]); nonzero means the engine recovered from
+    /// worker panics.
+    pub restarts: u64,
     /// Merged screening counters.
     pub confusion: ConfusionMatrix,
 }
@@ -93,6 +97,7 @@ impl StatsReply {
             scored: s.scored,
             queries: s.queries,
             entries: s.entries,
+            restarts: s.total_restarts(),
             confusion: s.confusion,
         }
     }
@@ -239,6 +244,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 s.scored,
                 s.queries,
                 s.entries,
+                s.restarts,
                 s.confusion.tp,
                 s.confusion.fp,
                 s.confusion.tn,
@@ -293,7 +299,7 @@ pub fn decode_response(payload: &[u8]) -> io::Result<Response> {
         T_STATS_SNAPSHOT => {
             let (scheme, used) = get_str(body)?;
             let rest = &body[used..];
-            if rest.len() != 1 + 2 + 8 * 8 {
+            if rest.len() != 1 + 2 + 9 * 8 {
                 return Err(invalid("stats body length mismatch"));
             }
             let fixed = &rest[3..];
@@ -305,11 +311,12 @@ pub fn decode_response(payload: &[u8]) -> io::Result<Response> {
                 scored: get_u64(fixed, 8),
                 queries: get_u64(fixed, 16),
                 entries: get_u64(fixed, 24),
+                restarts: get_u64(fixed, 32),
                 confusion: ConfusionMatrix {
-                    tp: get_u64(fixed, 32),
-                    fp: get_u64(fixed, 40),
-                    tn: get_u64(fixed, 48),
-                    fn_: get_u64(fixed, 56),
+                    tp: get_u64(fixed, 40),
+                    fp: get_u64(fixed, 48),
+                    tn: get_u64(fixed, 56),
+                    fn_: get_u64(fixed, 64),
                 },
             }))
         }
@@ -342,6 +349,60 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
     Ok(())
 }
 
+/// Outcome of reading one frame, with enough structure for a server to
+/// decide whether the connection's *framing* is still trustworthy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameRead {
+    /// A checksum-verified payload.
+    Frame(Vec<u8>),
+    /// The frame arrived whole but its payload fails the CRC. Framing is
+    /// intact (length and trailer were consumed), so the connection can
+    /// continue after reporting the error.
+    BadChecksum {
+        /// CRC the peer sent.
+        stored: u32,
+        /// CRC computed over the received payload.
+        computed: u32,
+    },
+    /// The length prefix claims more than [`MAX_PAYLOAD`]. Nothing past
+    /// the prefix was read, and it cannot be skipped safely — the
+    /// connection's framing is lost.
+    Oversized {
+        /// The hostile claimed length.
+        len: u32,
+    },
+}
+
+/// Reads the remainder of a frame whose first length byte was already
+/// consumed (servers read that byte separately so an *idle* wait can be
+/// told apart from a *mid-frame* stall when read deadlines fire).
+///
+/// Never allocates more than [`MAX_PAYLOAD`].
+///
+/// # Errors
+///
+/// Only transport errors ([`io::ErrorKind::UnexpectedEof`] on mid-frame
+/// EOF, timeouts, resets); protocol-level problems come back as
+/// [`FrameRead`] variants.
+pub fn read_frame_after_first<R: Read>(r: &mut R, first: u8) -> io::Result<FrameRead> {
+    let mut rest = [0u8; 3];
+    r.read_exact(&mut rest)?;
+    let len = u32::from_le_bytes([first, rest[0], rest[1], rest[2]]);
+    if len as usize > MAX_PAYLOAD {
+        return Ok(FrameRead::Oversized { len });
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    let mut crc_bytes = [0u8; 4];
+    r.read_exact(&mut crc_bytes)?;
+    let stored = u32::from_le_bytes(crc_bytes);
+    let computed = crc32c::checksum(&payload);
+    if stored != computed {
+        return Ok(FrameRead::BadChecksum { stored, computed });
+    }
+    Ok(FrameRead::Frame(payload))
+}
+
 /// Reads one frame and verifies its checksum, returning the payload.
 /// Returns `Ok(None)` on a clean EOF at a frame boundary.
 ///
@@ -350,30 +411,21 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
 /// [`io::ErrorKind::InvalidData`] on oversized frames or checksum
 /// mismatch; [`io::ErrorKind::UnexpectedEof`] on mid-frame EOF.
 pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
-    let mut len_bytes = [0u8; 4];
-    match r.read_exact(&mut len_bytes) {
+    let mut first = [0u8; 1];
+    match r.read_exact(&mut first) {
         Ok(()) => {}
         Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
         Err(e) => return Err(e),
     }
-    let len = u32::from_le_bytes(len_bytes) as usize;
-    if len > MAX_PAYLOAD {
-        return Err(invalid(format!(
+    match read_frame_after_first(r, first[0])? {
+        FrameRead::Frame(payload) => Ok(Some(payload)),
+        FrameRead::Oversized { len } => Err(invalid(format!(
             "frame length {len} exceeds the {MAX_PAYLOAD}-byte limit"
-        )));
-    }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
-    let mut crc_bytes = [0u8; 4];
-    r.read_exact(&mut crc_bytes)?;
-    let stored = u32::from_le_bytes(crc_bytes);
-    let computed = crc32c::checksum(&payload);
-    if stored != computed {
-        return Err(invalid(format!(
+        ))),
+        FrameRead::BadChecksum { stored, computed } => Err(invalid(format!(
             "frame checksum mismatch: stored {stored:#010X}, computed {computed:#010X}"
-        )));
+        ))),
     }
-    Ok(Some(payload))
 }
 
 /// Writes one request frame.
@@ -468,6 +520,7 @@ mod tests {
                 scored: 2,
                 queries: 3,
                 entries: 4,
+                restarts: 5,
                 confusion: ConfusionMatrix {
                     tp: 10,
                     fp: 20,

@@ -1,0 +1,316 @@
+//! The wire-level chaos harness: adversarial connections throw every
+//! [`csp_trace::fault::WireFault`] at a live server — truncation, bit
+//! flips, hostile length prefixes, slowloris dribble — while healthy
+//! clients keep querying. The server must answer every healthy probe
+//! with the exactly correct prediction throughout, disconnect the
+//! abusers, and still be accepting when the dust settles.
+
+use csp_serve::wire::{self, Request, Response};
+use csp_serve::{Client, Probe, Server, ServerOptions, ShardedEngine};
+use csp_trace::fault::{FaultyWriter, WireFault};
+use csp_trace::{LineAddr, NodeId, Pc, SharingBitmap, SharingEvent};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const NODES: u8 = 16;
+
+/// Trains a deterministic engine: writer `pid` at pc 0 always sees
+/// reader `15 - pid` next, so every prediction has one known-correct
+/// answer.
+fn trained_engine() -> Arc<ShardedEngine> {
+    let engine = ShardedEngine::new("last(pid)1[direct]".parse().unwrap(), NODES as usize, 3);
+    for pid in 0..NODES {
+        engine.ingest_event(&SharingEvent::new(
+            NodeId(pid),
+            Pc(0),
+            LineAddr(0),
+            NodeId(0),
+            SharingBitmap::singleton(NodeId(NODES - 1 - pid)),
+            Some((NodeId(pid), Pc(0))),
+        ));
+    }
+    engine.flush();
+    Arc::new(engine)
+}
+
+fn probe(pid: u8) -> Probe {
+    Probe::new(NodeId(pid), Pc(0), NodeId(0), LineAddr(0))
+}
+
+fn expected(pid: u8) -> SharingBitmap {
+    SharingBitmap::singleton(NodeId(NODES - 1 - pid))
+}
+
+/// Sends a request through a [`FaultyWriter`] applying `fault` to the
+/// frame bytes, then returns the socket for reading replies.
+fn send_faulted(addr: SocketAddr, fault: WireFault, req: &Request) -> TcpStream {
+    let stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut w = FaultyWriter::new(&stream, fault);
+    // Faults may make the write itself fail (peer hangs up mid-dribble);
+    // that is the adversary's problem, not the test's.
+    let _ = wire::write_request(&mut w, req);
+    let _ = (&stream).flush();
+    stream
+}
+
+/// Truncation: the frame stops mid-payload and the writer hangs up. The
+/// server must treat it as a mid-frame EOF and drop only that connection.
+fn adversary_truncation(addr: SocketAddr) {
+    let stream = send_faulted(
+        addr,
+        WireFault::Truncate { offset: 6 },
+        &Request::Predict(probe(0)),
+    );
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    // Whatever comes back (nothing, or an error on some platforms), the
+    // read must terminate rather than hang.
+    let mut reader = BufReader::new(&stream);
+    let _ = wire::read_frame(&mut reader);
+}
+
+/// Bit flips: every flipped frame draws a typed checksum error, and a
+/// connection that keeps flipping exhausts its error budget and is cut.
+fn adversary_bit_flips(addr: SocketAddr, budget: u32) {
+    let stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut reader = BufReader::new(&stream);
+    let mut typed_errors = 0u32;
+    let mut disconnected = false;
+    for _ in 0..budget + 4 {
+        let mut w = FaultyWriter::new(
+            &stream,
+            WireFault::Flip {
+                offset: 5,
+                xor: 0x20,
+            },
+        );
+        if wire::write_request(&mut w, &Request::Predict(probe(1))).is_err() {
+            disconnected = true;
+            break;
+        }
+        match wire::read_response(&mut reader) {
+            // The farewell frame before the cut may or may not arrive
+            // before the close races it; both count as the disconnect.
+            Ok(Response::Error(msg)) if msg.contains("budget") => {
+                disconnected = true;
+                break;
+            }
+            Ok(Response::Error(msg)) => {
+                assert!(msg.contains("checksum"), "got: {msg}");
+                typed_errors += 1;
+            }
+            Ok(other) => panic!("corrupt frame answered with {other:?}"),
+            Err(_) => {
+                disconnected = true;
+                break;
+            }
+        }
+    }
+    assert!(typed_errors > 0, "never saw a typed checksum error");
+    assert!(
+        disconnected || typed_errors > budget,
+        "server tolerated {typed_errors} corrupt frames without cutting the connection"
+    );
+    // Drain to the disconnect if it came via the final budget frame.
+    while wire::read_response(&mut reader).is_ok() {}
+}
+
+/// Oversized length prefix: framing is unrecoverable, so the server must
+/// send one typed error and hang up.
+fn adversary_oversized(addr: SocketAddr) {
+    let stream = send_faulted(
+        addr,
+        WireFault::OversizedLen { len: u32::MAX / 2 },
+        &Request::Ping,
+    );
+    let mut reader = BufReader::new(&stream);
+    match wire::read_response(&mut reader) {
+        Ok(Response::Error(msg)) => assert!(msg.contains("limit"), "got: {msg}"),
+        Ok(other) => panic!("hostile length answered with {other:?}"),
+        Err(e) => panic!("expected a typed error before the disconnect: {e}"),
+    }
+    assert!(
+        wire::read_frame(&mut reader).unwrap().is_none(),
+        "server kept the connection after losing framing"
+    );
+}
+
+/// Slowloris: bytes dribble in slower than the read deadline. The server
+/// must cut the connection instead of pinning a handler thread.
+fn adversary_slowloris(addr: SocketAddr) {
+    let stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut w = FaultyWriter::new(
+        &stream,
+        WireFault::Slowloris {
+            delay_micros: 400_000, // well past the server's 150ms deadline
+        },
+    );
+    // The server cuts us off mid-dribble; the tail of the write may fail.
+    let _ = wire::write_request(&mut w, &Request::Ping);
+    let mut reader = BufReader::new(&stream);
+    match wire::read_response(&mut reader) {
+        Ok(Response::Error(msg)) => assert!(msg.contains("deadline"), "got: {msg}"),
+        Ok(other) => panic!("slowloris answered with {other:?}"),
+        // The cut can also surface as a plain reset once the error frame
+        // raced the close; either way the connection ended.
+        Err(_) => {}
+    }
+}
+
+#[test]
+fn server_survives_wire_chaos_with_zero_incorrect_predictions() {
+    let budget = 3u32;
+    let server = Server::bind_tcp("127.0.0.1:0", trained_engine())
+        .unwrap()
+        .with_options(ServerOptions {
+            read_timeout: Some(Duration::from_millis(150)),
+            write_timeout: Some(Duration::from_secs(5)),
+            error_budget: budget,
+            drain_timeout: Duration::from_secs(2),
+        });
+    let addr = server.local_addr().unwrap();
+    let shutdown = server.shutdown_handle();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    // Healthy clients: hammer known-answer predictions for the whole
+    // duration of the chaos. Every single answer must be exactly right.
+    let stop = Arc::new(AtomicBool::new(false));
+    let healthy: Vec<_> = (0..2)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut client = Client::connect_tcp(addr).unwrap();
+                client
+                    .set_timeouts(Some(Duration::from_secs(5)), Some(Duration::from_secs(5)))
+                    .unwrap();
+                let mut correct = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    for pid in 0..NODES {
+                        let got = client
+                            .predict(&probe(pid))
+                            .expect("healthy connection must stay served");
+                        assert_eq!(got, expected(pid), "incorrect healthy prediction");
+                        correct += 1;
+                    }
+                }
+                correct
+            })
+        })
+        .collect();
+
+    // Chaos, two full rounds of every fault class.
+    for _ in 0..2 {
+        adversary_truncation(addr);
+        adversary_bit_flips(addr, budget);
+        adversary_oversized(addr);
+        adversary_slowloris(addr);
+    }
+
+    stop.store(true, Ordering::Release);
+    let mut total_correct = 0u64;
+    for h in healthy {
+        total_correct += h.join().expect("healthy client panicked");
+    }
+    assert!(
+        total_correct >= 2 * NODES as u64,
+        "healthy clients barely ran: {total_correct} predictions"
+    );
+
+    // The server is still accepting, still correct, and never had to
+    // restart a shard over any of it (wire faults die at the framing
+    // layer, far from the predictor state).
+    let mut client = Client::connect_tcp(addr).unwrap();
+    client.ping().unwrap();
+    assert_eq!(client.predict(&probe(7)).unwrap(), expected(7));
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.restarts, 0, "wire chaos must not reach shard state");
+    assert_eq!(stats.updates, NODES as u64);
+    drop(client);
+
+    // And it still shuts down gracefully afterwards.
+    shutdown.shutdown();
+    let result = server_thread.join().expect("server thread");
+    assert!(result.is_ok(), "shutdown after chaos errored: {result:?}");
+}
+
+#[test]
+fn interleaved_chaos_and_writes_keep_state_exact() {
+    // Adversarial frames interleaved with real ingest through a healthy
+    // connection: the table must end exactly where a clean run ends.
+    let engine = trained_engine();
+    let server = Server::bind_tcp("127.0.0.1:0", Arc::clone(&engine))
+        .unwrap()
+        .with_options(ServerOptions {
+            read_timeout: Some(Duration::from_millis(150)),
+            error_budget: 2,
+            ..ServerOptions::default()
+        });
+    let addr = server.local_addr().unwrap();
+    std::thread::spawn(move || server.run());
+
+    for round in 0..3 {
+        adversary_bit_flips(addr, 2);
+        adversary_oversized(addr);
+        // Healthy traffic between the attacks.
+        let mut client = Client::connect_tcp(addr).unwrap();
+        for pid in 0..NODES {
+            assert_eq!(
+                client.predict(&probe(pid)).unwrap(),
+                expected(pid),
+                "round {round}"
+            );
+        }
+    }
+    assert_eq!(engine.stats().total_restarts(), 0);
+}
+
+/// The load generator's ledger stays clean against a healthy server even
+/// while chaos runs — robustness accounting must not invent failures.
+#[test]
+fn load_generator_ledger_is_clean_under_parallel_chaos() {
+    let server = Server::bind_tcp("127.0.0.1:0", trained_engine())
+        .unwrap()
+        .with_options(ServerOptions {
+            read_timeout: Some(Duration::from_millis(150)),
+            error_budget: 3,
+            ..ServerOptions::default()
+        });
+    let addr = server.local_addr().unwrap();
+    std::thread::spawn(move || server.run());
+
+    let chaos = std::thread::spawn(move || {
+        adversary_truncation(addr);
+        adversary_oversized(addr);
+        adversary_bit_flips(addr, 3);
+    });
+    let report = csp_serve::run_load(
+        addr,
+        &csp_serve::LoadOptions {
+            batch: 64,
+            frames: 50,
+            nodes: NODES as usize,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    chaos.join().unwrap();
+    assert_eq!(report.timeouts, 0, "{report}");
+    assert_eq!(report.disconnects, 0, "{report}");
+    assert_eq!(report.probes, 64 * 50);
+
+    let mut writer = BufWriter::new(TcpStream::connect(addr).unwrap());
+    // One last well-formed frame proves the listener is still alive.
+    wire::write_request(&mut writer, &Request::Ping).unwrap();
+    writer.flush().unwrap();
+}

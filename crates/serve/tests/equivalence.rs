@@ -27,7 +27,7 @@ fn verify(specs: &[&str], shards: usize) {
         for bench in &suite {
             let offline = run_scheme(&bench.trace, &scheme);
             let engine = ShardedEngine::new(scheme, bench.trace.nodes(), shards);
-            engine.replay_trace(&bench.trace);
+            engine.replay_trace(&bench.trace).expect("matching width");
             let snapshot = engine.stats();
             assert_eq!(
                 snapshot.confusion, offline,
@@ -85,7 +85,7 @@ fn shard_count_does_not_change_results() {
     let offline = run_scheme(&bench.trace, &scheme);
     for shards in [1, 2, 5, 8] {
         let engine = ShardedEngine::new(scheme, bench.trace.nodes(), shards);
-        engine.replay_trace(&bench.trace);
+        engine.replay_trace(&bench.trace).expect("matching width");
         assert_eq!(engine.stats().confusion, offline, "{shards} shards");
     }
 }

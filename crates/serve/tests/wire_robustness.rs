@@ -1,0 +1,256 @@
+//! Decode-path robustness for the wire protocol: every message type must
+//! reject truncated payloads, every frame must reject truncation and
+//! single-byte corruption, and `StatsReply` must round-trip for arbitrary
+//! field values (proptest).
+
+use csp_metrics::ConfusionMatrix;
+use csp_serve::wire::{self, read_frame, FrameRead, Request, Response, StatsReply, MAX_PAYLOAD};
+use csp_serve::Probe;
+use csp_trace::{LineAddr, NodeId, Pc, SharingBitmap};
+use proptest::prelude::*;
+use std::io;
+
+/// Scheme-notation-shaped ASCII strings of bounded length (the vendored
+/// proptest has no regex strategies).
+fn scheme_strings() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            (b'a'..=b'z').prop_map(|c| c as char),
+            (b'0'..=b'9').prop_map(|c| c as char),
+            prop_oneof![Just('('), Just(')'), Just('+'), Just('['), Just(']')],
+        ],
+        0..40,
+    )
+    .prop_map(|chars| chars.into_iter().collect())
+}
+
+fn probe(seed: u64) -> Probe {
+    Probe::new(
+        NodeId((seed % 16) as u8),
+        Pc((seed * 7) as u32),
+        NodeId(((seed + 3) % 16) as u8),
+        LineAddr(seed * 1_000_003),
+    )
+}
+
+fn stats_reply() -> StatsReply {
+    StatsReply {
+        scheme: "union(pid+pc8)2[forwarded]".to_string(),
+        nodes: 32,
+        shards: 6,
+        updates: 1_000_001,
+        scored: 999_999,
+        queries: 42,
+        entries: 77,
+        restarts: 3,
+        confusion: ConfusionMatrix {
+            tp: 1,
+            fp: 2,
+            tn: 3,
+            fn_: 4,
+        },
+    }
+}
+
+/// One payload per request tag (`T_PING`, `T_PREDICT`,
+/// `T_PREDICT_BATCH`, `T_STATS`).
+fn request_payloads() -> Vec<(&'static str, Vec<u8>)> {
+    vec![
+        ("ping", wire::encode_request(&Request::Ping)),
+        ("predict", wire::encode_request(&Request::Predict(probe(1)))),
+        (
+            "predict-batch",
+            wire::encode_request(&Request::PredictBatch((0..17).map(probe).collect())),
+        ),
+        ("stats", wire::encode_request(&Request::Stats)),
+    ]
+}
+
+/// One payload per response tag (`T_PONG`, `T_PREDICTION`,
+/// `T_PREDICTION_BATCH`, `T_STATS_SNAPSHOT`, `T_ERROR`).
+fn response_payloads() -> Vec<(&'static str, Vec<u8>)> {
+    vec![
+        ("pong", wire::encode_response(&Response::Pong)),
+        (
+            "prediction",
+            wire::encode_response(&Response::Prediction(SharingBitmap::from_bits(0xF00D))),
+        ),
+        (
+            "prediction-batch",
+            wire::encode_response(&Response::PredictionBatch(
+                (0..9).map(|i| SharingBitmap::from_bits(1 << i)).collect(),
+            )),
+        ),
+        (
+            "stats",
+            wire::encode_response(&Response::Stats(stats_reply())),
+        ),
+        (
+            "error",
+            wire::encode_response(&Response::Error("no".to_string())),
+        ),
+    ]
+}
+
+#[test]
+fn every_request_tag_rejects_every_truncation() {
+    for (name, payload) in request_payloads() {
+        assert!(
+            wire::decode_request(&payload).is_ok(),
+            "{name}: untruncated payload must decode"
+        );
+        for cut in 0..payload.len() {
+            assert!(
+                wire::decode_request(&payload[..cut]).is_err(),
+                "{name}: truncation to {cut}/{} bytes must be rejected",
+                payload.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_response_tag_rejects_every_truncation() {
+    for (name, payload) in response_payloads() {
+        assert!(
+            wire::decode_response(&payload).is_ok(),
+            "{name}: untruncated payload must decode"
+        );
+        for cut in 0..payload.len() {
+            assert!(
+                wire::decode_response(&payload[..cut]).is_err(),
+                "{name}: truncation to {cut}/{} bytes must be rejected",
+                payload.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_request_tag_rejects_trailing_garbage() {
+    for (name, mut payload) in request_payloads() {
+        payload.push(0xAA);
+        assert!(
+            wire::decode_request(&payload).is_err(),
+            "{name}: a trailing byte must be rejected"
+        );
+    }
+}
+
+#[test]
+fn every_frame_truncation_is_a_clean_transport_error() {
+    for (name, payload) in request_payloads().into_iter().chain(response_payloads()) {
+        let mut frame = Vec::new();
+        wire::write_frame(&mut frame, &payload).unwrap();
+        // Cut 0 bytes is a clean boundary EOF (None); any other cut is a
+        // mid-frame EOF, never a panic and never a bogus frame.
+        assert!(read_frame(&mut [].as_slice()).unwrap().is_none());
+        for cut in 1..frame.len() {
+            let err = read_frame(&mut &frame[..cut]).unwrap_err();
+            assert_eq!(
+                err.kind(),
+                io::ErrorKind::UnexpectedEof,
+                "{name}: cut at {cut}/{} gave {err}",
+                frame.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_single_byte_frame_corruption_is_detected() {
+    for (name, payload) in request_payloads().into_iter().chain(response_payloads()) {
+        let mut frame = Vec::new();
+        wire::write_frame(&mut frame, &payload).unwrap();
+        for i in 0..frame.len() {
+            let mut hurt = frame.clone();
+            hurt[i] ^= 0x10;
+            // The read may fail at the framing layer (checksum, length,
+            // short stream) or the decode layer (bad tag/body) — but it
+            // must fail somewhere.
+            let survived = match read_frame(&mut hurt.as_slice()) {
+                Err(_) | Ok(None) => false,
+                Ok(Some(p)) => {
+                    wire::decode_request(&p).is_ok() || wire::decode_response(&p).is_ok()
+                }
+            };
+            assert!(
+                !survived,
+                "{name}: flipping byte {i}/{} went undetected",
+                frame.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn oversized_length_prefix_is_typed_and_never_allocates() {
+    for len in [MAX_PAYLOAD as u32 + 1, u32::MAX / 2, u32::MAX] {
+        let bytes = len.to_le_bytes();
+        let mut rest = &bytes[1..];
+        match wire::read_frame_after_first(&mut rest, bytes[0]).unwrap() {
+            FrameRead::Oversized { len: got } => assert_eq!(got, len),
+            other => panic!("length {len} gave {other:?}"),
+        }
+    }
+    // The largest *legal* length with a short stream is EOF, not Oversized.
+    let bytes = (MAX_PAYLOAD as u32).to_le_bytes();
+    let mut rest = &bytes[1..];
+    let err = wire::read_frame_after_first(&mut rest, bytes[0]).unwrap_err();
+    assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+}
+
+#[test]
+fn bad_checksum_is_typed_with_both_crcs() {
+    let mut frame = Vec::new();
+    wire::write_frame(&mut frame, &wire::encode_request(&Request::Ping)).unwrap();
+    let n = frame.len();
+    frame[n - 1] ^= 0xFF;
+    let mut rest = &frame[1..];
+    match wire::read_frame_after_first(&mut rest, frame[0]).unwrap() {
+        FrameRead::BadChecksum { stored, computed } => assert_ne!(stored, computed),
+        other => panic!("got {other:?}"),
+    }
+}
+
+proptest! {
+    #[test]
+    fn stats_reply_round_trips(
+        scheme in scheme_strings(),
+        nodes in any::<u8>(),
+        shards in any::<u16>(),
+        updates in any::<u64>(),
+        scored in any::<u64>(),
+        queries in any::<u64>(),
+        entries in any::<u64>(),
+        restarts in any::<u64>(),
+        tp in any::<u64>(),
+        fp in any::<u64>(),
+        tn in any::<u64>(),
+        fn_ in any::<u64>(),
+    ) {
+        let reply = StatsReply {
+            scheme,
+            nodes,
+            shards,
+            updates,
+            scored,
+            queries,
+            entries,
+            restarts,
+            confusion: ConfusionMatrix { tp, fp, tn, fn_ },
+        };
+        let mut frame = Vec::new();
+        wire::write_response(&mut frame, &Response::Stats(reply.clone())).unwrap();
+        let back = wire::read_response(&mut frame.as_slice()).unwrap();
+        prop_assert_eq!(back, Response::Stats(reply));
+    }
+
+    #[test]
+    fn random_bytes_never_panic_the_decoders(payload in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = wire::decode_request(&payload);
+        let _ = wire::decode_response(&payload);
+        let mut stream = payload.as_slice();
+        let _ = read_frame(&mut stream);
+    }
+}

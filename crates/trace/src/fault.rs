@@ -142,6 +142,156 @@ impl Iterator for MutationStream {
     }
 }
 
+/// One adversarial behavior applied to a byte *stream* (a socket's write
+/// half) rather than a whole buffer — the wire twin of [`Mutation`].
+///
+/// Offsets are absolute positions in the stream since the wrapper was
+/// created, so a fault can be aimed at a specific frame field (e.g. the
+/// length prefix of the first frame) regardless of how the writer chunks
+/// its writes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireFault {
+    /// Forward bytes unchanged (the healthy-control arm of a chaos run).
+    Clean,
+    /// XOR the byte at absolute stream `offset` with `xor` — the wire
+    /// form of [`Mutation::Flip`]; a CRC-checked peer must reject the
+    /// frame instead of acting on it.
+    Flip {
+        /// Absolute stream position mutated.
+        offset: u64,
+        /// Nonzero mask XORed into the byte.
+        xor: u8,
+    },
+    /// Silently discard every byte from absolute stream `offset` on,
+    /// while reporting success to the writer — the wire form of
+    /// [`Mutation::Truncate`]: the peer sees a frame that stops mid-body
+    /// and then silence.
+    Truncate {
+        /// Stream position after which nothing is forwarded.
+        offset: u64,
+    },
+    /// Overwrite the first four stream bytes (a frame's length prefix)
+    /// with `len` — claims a frame far larger than will ever arrive, so
+    /// a peer without a frame-size ceiling would allocate unboundedly.
+    OversizedLen {
+        /// The hostile little-endian length to claim.
+        len: u32,
+    },
+    /// Slowloris: forward at most one byte per write call, sleeping
+    /// `delay_micros` before each — a peer without read deadlines wedges
+    /// a thread on such a connection indefinitely.
+    Slowloris {
+        /// Microseconds slept before each forwarded byte.
+        delay_micros: u64,
+    },
+}
+
+/// A [`std::io::Write`] adapter that injects one [`WireFault`] into the
+/// bytes flowing through it.
+///
+/// Wrap a socket's write half with this to drive the chaos harness: the
+/// application code above it (frame encoder, client) is unchanged and
+/// unaware, exactly like a hostile network or a buggy peer.
+///
+/// # Example
+///
+/// ```
+/// use csp_trace::fault::{FaultyWriter, WireFault};
+/// use std::io::Write;
+///
+/// let mut w = FaultyWriter::new(Vec::new(), WireFault::Flip { offset: 1, xor: 0x80 });
+/// w.write_all(&[0, 0, 0]).unwrap();
+/// assert_eq!(w.into_inner(), vec![0, 0x80, 0]);
+/// ```
+#[derive(Debug)]
+pub struct FaultyWriter<W> {
+    inner: W,
+    fault: WireFault,
+    written: u64,
+}
+
+impl<W: std::io::Write> FaultyWriter<W> {
+    /// Wraps `inner`, injecting `fault` at the configured stream offsets.
+    pub fn new(inner: W, fault: WireFault) -> Self {
+        FaultyWriter {
+            inner,
+            fault,
+            written: 0,
+        }
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+
+    /// Total bytes the application has written (whether forwarded or
+    /// swallowed by a truncation).
+    pub fn stream_position(&self) -> u64 {
+        self.written
+    }
+}
+
+impl<W: std::io::Write> std::io::Write for FaultyWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let start = self.written;
+        match self.fault {
+            WireFault::Clean => {
+                let n = self.inner.write(buf)?;
+                self.written += n as u64;
+                Ok(n)
+            }
+            WireFault::Flip { offset, xor } => {
+                let end = start + buf.len() as u64;
+                let n = if (start..end).contains(&offset) {
+                    let mut mutated = buf.to_vec();
+                    mutated[(offset - start) as usize] ^= xor;
+                    self.inner.write(&mutated)?
+                } else {
+                    self.inner.write(buf)?
+                };
+                self.written += n as u64;
+                Ok(n)
+            }
+            WireFault::Truncate { offset } => {
+                let keep = offset.saturating_sub(start).min(buf.len() as u64) as usize;
+                if keep > 0 {
+                    self.inner.write_all(&buf[..keep])?;
+                }
+                // Swallow the rest: the writer believes the bytes left.
+                self.written += buf.len() as u64;
+                Ok(buf.len())
+            }
+            WireFault::OversizedLen { len } => {
+                let mut mutated = buf.to_vec();
+                let hostile = len.to_le_bytes();
+                for (pos, b) in mutated.iter_mut().enumerate() {
+                    let abs = start + pos as u64;
+                    if abs < 4 {
+                        *b = hostile[abs as usize];
+                    }
+                }
+                let n = self.inner.write(&mutated)?;
+                self.written += n as u64;
+                Ok(n)
+            }
+            WireFault::Slowloris { delay_micros } => {
+                std::thread::sleep(std::time::Duration::from_micros(delay_micros));
+                let n = self.inner.write(&buf[..1])?;
+                self.written += n as u64;
+                Ok(n)
+            }
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
 /// Every single-byte flip of `buf`, with the given XOR mask.
 ///
 /// Exhaustive where [`MutationStream`] is sampled: used to prove that *no*
@@ -215,5 +365,61 @@ mod tests {
     #[test]
     fn empty_buffer_yields_no_mutations() {
         assert_eq!(MutationStream::new(0, 1).next(), None);
+    }
+
+    #[test]
+    fn clean_wire_forwards_verbatim() {
+        use std::io::Write;
+        let mut w = FaultyWriter::new(Vec::new(), WireFault::Clean);
+        w.write_all(&[1, 2, 3]).unwrap();
+        w.write_all(&[4, 5]).unwrap();
+        assert_eq!(w.stream_position(), 5);
+        assert_eq!(w.into_inner(), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn wire_flip_hits_absolute_offset_across_chunks() {
+        use std::io::Write;
+        let mut w = FaultyWriter::new(
+            Vec::new(),
+            WireFault::Flip {
+                offset: 3,
+                xor: 0xFF,
+            },
+        );
+        // The target byte lands in the second chunk.
+        w.write_all(&[0, 0]).unwrap();
+        w.write_all(&[0, 0, 0]).unwrap();
+        assert_eq!(w.into_inner(), vec![0, 0, 0, 0xFF, 0]);
+    }
+
+    #[test]
+    fn wire_truncate_swallows_but_reports_success() {
+        use std::io::Write;
+        let mut w = FaultyWriter::new(Vec::new(), WireFault::Truncate { offset: 4 });
+        w.write_all(&[1, 2, 3]).unwrap();
+        w.write_all(&[4, 5, 6]).unwrap();
+        w.write_all(&[7]).unwrap();
+        // The writer believes all 7 bytes left; only 4 did.
+        assert_eq!(w.stream_position(), 7);
+        assert_eq!(w.into_inner(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn wire_oversized_len_rewrites_the_length_prefix() {
+        use std::io::Write;
+        let mut w = FaultyWriter::new(Vec::new(), WireFault::OversizedLen { len: u32::MAX });
+        w.write_all(&[9, 9]).unwrap();
+        w.write_all(&[9, 9, 9, 9]).unwrap();
+        assert_eq!(w.into_inner(), vec![0xFF, 0xFF, 0xFF, 0xFF, 9, 9]);
+    }
+
+    #[test]
+    fn wire_slowloris_dribbles_one_byte_per_call() {
+        use std::io::Write;
+        let mut w = FaultyWriter::new(Vec::new(), WireFault::Slowloris { delay_micros: 0 });
+        assert_eq!(w.write(&[1, 2, 3]).unwrap(), 1);
+        assert_eq!(w.write(&[2, 3]).unwrap(), 1);
+        assert_eq!(w.into_inner(), vec![1, 2]);
     }
 }

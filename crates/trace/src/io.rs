@@ -64,14 +64,21 @@ pub const FORMAT_VERSION: u8 = 2;
 pub const LEGACY_VERSION: u8 = 1;
 
 /// A writer wrapper that checksums everything written through it.
-struct HashingWriter<W> {
+///
+/// The building block of every checksummed format in the workspace: the
+/// trace format here, and the `csp-serve` snapshot format. Write section
+/// bytes through the wrapper, then call
+/// [`write_section_crc`](Self::write_section_crc) to emit the CRC32c of
+/// the section and start the next one.
+pub struct ChecksumWriter<W> {
     inner: W,
     hasher: crc32c::Hasher,
 }
 
-impl<W: Write> HashingWriter<W> {
-    fn new(inner: W) -> Self {
-        HashingWriter {
+impl<W: Write> ChecksumWriter<W> {
+    /// Wraps `inner`, starting the first section.
+    pub fn new(inner: W) -> Self {
+        ChecksumWriter {
             inner,
             hasher: crc32c::Hasher::new(),
         }
@@ -79,7 +86,11 @@ impl<W: Write> HashingWriter<W> {
 
     /// Emits the current section checksum (unhashed) and starts the next
     /// section.
-    fn write_section_crc(&mut self) -> io::Result<()> {
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the inner writer.
+    pub fn write_section_crc(&mut self) -> io::Result<()> {
         let crc = self.hasher.finalize();
         self.inner.write_all(&crc.to_le_bytes())?;
         self.hasher = crc32c::Hasher::new();
@@ -87,7 +98,7 @@ impl<W: Write> HashingWriter<W> {
     }
 }
 
-impl<W: Write> Write for HashingWriter<W> {
+impl<W: Write> Write for ChecksumWriter<W> {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
         let n = self.inner.write(buf)?;
         self.hasher.update(&buf[..n]);
@@ -99,16 +110,18 @@ impl<W: Write> Write for HashingWriter<W> {
     }
 }
 
-/// A reader wrapper that checksums everything read through it.
+/// A reader wrapper that checksums everything read through it — the
+/// decoding twin of [`ChecksumWriter`].
 #[derive(Debug)]
-struct HashingReader<R> {
+pub struct ChecksumReader<R> {
     inner: R,
     hasher: crc32c::Hasher,
 }
 
-impl<R: Read> HashingReader<R> {
-    fn new(inner: R) -> Self {
-        HashingReader {
+impl<R: Read> ChecksumReader<R> {
+    /// Wraps `inner`, starting the first section.
+    pub fn new(inner: R) -> Self {
+        ChecksumReader {
             inner,
             hasher: crc32c::Hasher::new(),
         }
@@ -116,7 +129,12 @@ impl<R: Read> HashingReader<R> {
 
     /// Reads the stored section checksum (unhashed), compares it with the
     /// computed one, and starts the next section.
-    fn check_section_crc(&mut self, section: &str) -> io::Result<()> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`std::io::ErrorKind::InvalidData`] naming `section` on a
+    /// mismatch, and propagates I/O errors from the inner reader.
+    pub fn check_section_crc(&mut self, section: &str) -> io::Result<()> {
         let computed = self.hasher.finalize();
         let mut b = [0u8; 4];
         self.inner.read_exact(&mut b)?;
@@ -131,7 +149,7 @@ impl<R: Read> HashingReader<R> {
     }
 }
 
-impl<R: Read> Read for HashingReader<R> {
+impl<R: Read> Read for ChecksumReader<R> {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
         let n = self.inner.read(buf)?;
         self.hasher.update(&buf[..n]);
@@ -149,7 +167,7 @@ impl<R: Read> Read for HashingReader<R> {
 ///
 /// Propagates any I/O error from the writer.
 pub fn write_trace<W: Write>(w: W, trace: &Trace) -> io::Result<()> {
-    let mut w = HashingWriter::new(w);
+    let mut w = ChecksumWriter::new(w);
     write_header_and_events(&mut w, trace, FORMAT_VERSION)?;
     w.write_section_crc()?;
     write_finals(&mut w, trace)?;
@@ -293,7 +311,7 @@ pub fn read_trace<R: Read>(r: R) -> io::Result<Trace> {
 /// ```
 #[derive(Debug)]
 pub struct EventStream<R> {
-    r: HashingReader<R>,
+    r: ChecksumReader<R>,
     version: u8,
     nodes: usize,
     remaining: u64,
@@ -309,7 +327,7 @@ impl<R: Read> EventStream<R> {
     /// unsupported version or an out-of-range node count, and propagates
     /// I/O errors from the reader.
     pub fn new(r: R) -> io::Result<Self> {
-        let mut r = HashingReader::new(r);
+        let mut r = ChecksumReader::new(r);
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)?;
         if &magic != MAGIC {
@@ -460,6 +478,26 @@ impl<R: Read> Iterator for EventStream<R> {
     fn next(&mut self) -> Option<Self::Item> {
         self.next_event().transpose()
     }
+}
+
+/// Writes `bytes` to `path` via a `.tmp` sibling, fsync, and rename — the
+/// workspace-wide convention for crash-safe file writes (the harness
+/// trace cache and the `csp-serve` snapshot store both use it): a crash
+/// mid-write never leaves a plausible half-file under the real name.
+///
+/// # Errors
+///
+/// Propagates I/O errors from creating, writing, syncing, or renaming the
+/// temporary file.
+pub fn write_file_atomically(path: &std::path::Path, bytes: &[u8]) -> io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    let mut file = std::fs::File::create(&tmp)?;
+    file.write_all(bytes)?;
+    file.sync_all()?;
+    drop(file);
+    std::fs::rename(&tmp, path)
 }
 
 fn bad(msg: &str) -> io::Error {
