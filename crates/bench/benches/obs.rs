@@ -1,0 +1,201 @@
+//! Observability overhead benchmarks.
+//!
+//! Two questions, answered directly:
+//!
+//! 1. What does each `csp-obs` primitive cost? (counter inc, histogram
+//!    record, disabled span — the things sitting on the serving hot
+//!    path.)
+//! 2. What does the shard worker's full instrumentation add to a batch?
+//!    The `obs_overhead` group runs the per-shard ingest inner loop bare
+//!    and then with the *exact* instrument calls `csp_serve::shard`
+//!    makes per message (queue-depth gauge add/sub, batch-size and
+//!    batch-service-time histogram records); `main` re-times both loops
+//!    head-to-head and prints the overhead ratio, which must stay under
+//!    the 3% budget the serving layer promises.
+
+use criterion::{criterion_group, Criterion, Throughput};
+use csp_core::{PredictorTable, Scheme};
+use csp_obs::{span, Counter, Gauge, Histogram};
+use csp_serve::{probe_stream, ShardedEngine};
+use std::time::Instant;
+
+const BATCH: usize = 1024;
+
+fn scheme() -> Scheme {
+    "last(pid+pc8)1[direct]".parse().expect("valid scheme")
+}
+
+/// Keys a probe stream resolves to, precomputed so the loops time table
+/// work, not index packing.
+fn keys(nodes: usize, count: usize) -> Vec<u64> {
+    let engine = ShardedEngine::new(scheme(), nodes, 1);
+    probe_stream(0x5EED, nodes, count)
+        .iter()
+        .map(|p| engine.key_of(p))
+        .collect()
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs_primitives");
+    g.throughput(Throughput::Elements(1));
+
+    let counter = Counter::new();
+    g.bench_function("counter_inc", |b| b.iter(|| counter.inc()));
+
+    let gauge = Gauge::new();
+    g.bench_function("gauge_add_sub", |b| {
+        b.iter(|| {
+            gauge.add(1);
+            gauge.sub(1);
+        })
+    });
+
+    let histogram = Histogram::new();
+    let mut v = 0u64;
+    g.bench_function("histogram_record", |b| {
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            histogram.record(v >> 32);
+        })
+    });
+
+    // The common case on the serving path: tracing compiled in, turned
+    // off. One relaxed load, no guard armed.
+    csp_obs::global_ring().set_enabled(false);
+    g.bench_function("span_disabled", |b| {
+        b.iter(|| {
+            let _g = span("bench.noop");
+        })
+    });
+    g.finish();
+}
+
+/// The shard worker's ingest inner loop, bare.
+fn ingest_bare(
+    table: &mut PredictorTable,
+    keys: &[u64],
+    feedback: csp_trace::SharingBitmap,
+) -> u64 {
+    for &k in keys {
+        table.update(k, feedback);
+    }
+    table.entries_touched() as u64
+}
+
+/// The same loop wrapped in exactly the instrument calls
+/// `csp_serve::shard` makes per ingest message.
+fn ingest_instrumented(
+    table: &mut PredictorTable,
+    keys: &[u64],
+    feedback: csp_trace::SharingBitmap,
+    queue_depth: &Gauge,
+    batch_size: &Histogram,
+    batch_ns: &Histogram,
+) -> u64 {
+    queue_depth.add(1);
+    queue_depth.sub(1);
+    let started = Instant::now();
+    for &k in keys {
+        table.update(k, feedback);
+    }
+    batch_size.record(keys.len() as u64);
+    batch_ns.record_duration(started.elapsed());
+    table.entries_touched() as u64
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let nodes = 16;
+    let keys = keys(nodes, BATCH);
+    let feedback = csp_trace::SharingBitmap::from_bits(0b1010);
+
+    let mut g = c.benchmark_group("obs_overhead");
+    g.throughput(Throughput::Elements(BATCH as u64));
+    g.bench_function("ingest_1024_bare", |b| {
+        let mut table = PredictorTable::new(&scheme(), nodes);
+        b.iter(|| std::hint::black_box(ingest_bare(&mut table, &keys, feedback)))
+    });
+    g.bench_function("ingest_1024_instrumented", |b| {
+        let mut table = PredictorTable::new(&scheme(), nodes);
+        let queue_depth = Gauge::new();
+        let batch_size = Histogram::new();
+        let batch_ns = Histogram::new();
+        b.iter(|| {
+            std::hint::black_box(ingest_instrumented(
+                &mut table,
+                &keys,
+                feedback,
+                &queue_depth,
+                &batch_size,
+                &batch_ns,
+            ))
+        })
+    });
+    g.finish();
+}
+
+/// Times the bare and instrumented ingest loops head to head and prints
+/// the overhead as a percentage. Interleaves the two loops round-robin so
+/// frequency scaling and cache warm-up hit both equally.
+fn overhead_report() {
+    let nodes = 16;
+    let keys = keys(nodes, BATCH);
+    let feedback = csp_trace::SharingBitmap::from_bits(0b1010);
+    let mut bare_table = PredictorTable::new(&scheme(), nodes);
+    let mut inst_table = PredictorTable::new(&scheme(), nodes);
+    let queue_depth = Gauge::new();
+    let batch_size = Histogram::new();
+    let batch_ns = Histogram::new();
+
+    const ROUNDS: usize = 2000;
+    // Warm both tables to steady state first.
+    for _ in 0..100 {
+        std::hint::black_box(ingest_bare(&mut bare_table, &keys, feedback));
+        std::hint::black_box(ingest_instrumented(
+            &mut inst_table,
+            &keys,
+            feedback,
+            &queue_depth,
+            &batch_size,
+            &batch_ns,
+        ));
+    }
+    // Medians of interleaved per-round samples: robust against the
+    // scheduler or a frequency ramp landing on one side.
+    let mut bare_samples = Vec::with_capacity(ROUNDS);
+    let mut inst_samples = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        let t = Instant::now();
+        std::hint::black_box(ingest_bare(&mut bare_table, &keys, feedback));
+        bare_samples.push(t.elapsed().as_nanos());
+        let t = Instant::now();
+        std::hint::black_box(ingest_instrumented(
+            &mut inst_table,
+            &keys,
+            feedback,
+            &queue_depth,
+            &batch_size,
+            &batch_ns,
+        ));
+        inst_samples.push(t.elapsed().as_nanos());
+    }
+    bare_samples.sort_unstable();
+    inst_samples.sort_unstable();
+    let bare = bare_samples[ROUNDS / 2] as f64;
+    let inst = inst_samples[ROUNDS / 2] as f64;
+    let overhead = (inst - bare) / bare * 100.0;
+    println!(
+        "obs_overhead: bare {bare:.0} ns/batch, instrumented {inst:.0} ns/batch, \
+         median overhead {overhead:+.2}% (budget 3%)"
+    );
+}
+
+criterion_group! {
+    name = obs;
+    config = Criterion::default().sample_size(50);
+    targets = bench_primitives, bench_overhead
+}
+
+fn main() {
+    obs();
+    overhead_report();
+}

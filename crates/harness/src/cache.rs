@@ -45,6 +45,23 @@ pub enum CacheOutcome {
 /// Magic prefix of the stats sidecar file.
 const STATS_MAGIC: &[u8; 8] = b"CSPSTAT\x01";
 
+/// Counts one lookup outcome in the process-global metrics registry
+/// (`csp_cache_lookups_total{outcome=...}`).
+fn observe(outcome: CacheOutcome) {
+    let label = match outcome {
+        CacheOutcome::Hit => "hit",
+        CacheOutcome::Miss => "miss",
+        CacheOutcome::Quarantined => "quarantined",
+    };
+    csp_obs::global()
+        .counter(
+            "csp_cache_lookups_total",
+            "Trace-cache lookups by outcome.",
+            &[("outcome", label)],
+        )
+        .inc();
+}
+
 /// A directory of cached benchmark traces.
 #[derive(Clone, Debug)]
 pub struct TraceCache {
@@ -99,7 +116,10 @@ impl TraceCache {
         let stats_path = self.stats_path(benchmark, scale, seed);
 
         let outcome = match self.try_load(benchmark, &trace_path, &stats_path) {
-            Ok(Some(cached)) => return Ok((cached, CacheOutcome::Hit)),
+            Ok(Some(cached)) => {
+                observe(CacheOutcome::Hit);
+                return Ok((cached, CacheOutcome::Hit));
+            }
             Ok(None) => CacheOutcome::Miss,
             Err(detail) => {
                 quarantine(&trace_path)?;
@@ -114,6 +134,7 @@ impl TraceCache {
 
         let generated = generate_benchmark(benchmark, scale, seed);
         self.store(&generated, &trace_path, &stats_path)?;
+        observe(outcome);
         Ok((generated, outcome))
     }
 
@@ -377,6 +398,33 @@ mod tests {
             .load_or_generate(Benchmark::Ocean, 0.01, 5)
             .expect("reload");
         assert_eq!(outcome, CacheOutcome::Hit);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lookups_surface_in_the_global_metrics_registry() {
+        // The registry is process-global and other tests also look things
+        // up concurrently, so assert on deltas, not absolute values.
+        fn lookup_count(outcome: &str) -> u64 {
+            csp_obs::parse_text(&csp_obs::global().encode_prometheus())
+                .iter()
+                .filter(|s| {
+                    s.name == "csp_cache_lookups_total" && s.label("outcome") == Some(outcome)
+                })
+                .filter_map(csp_obs::Sample::value_u64)
+                .sum()
+        }
+        let dir = temp_dir("metrics");
+        let cache = TraceCache::new(&dir);
+        let (miss0, hit0) = (lookup_count("miss"), lookup_count("hit"));
+        cache
+            .load_or_generate(Benchmark::Barnes, 0.01, 9)
+            .expect("generate");
+        cache
+            .load_or_generate(Benchmark::Barnes, 0.01, 9)
+            .expect("load");
+        assert!(lookup_count("miss") > miss0);
+        assert!(lookup_count("hit") > hit0);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -31,6 +31,17 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
+use std::time::Instant;
+
+/// The wall-time histogram for one kind of evaluation work item, in the
+/// process-global metrics registry (`csp_harness_eval_ns{kind=...}`).
+fn eval_timer(kind: &'static str) -> std::sync::Arc<csp_obs::Histogram> {
+    csp_obs::global().histogram(
+        "csp_harness_eval_ns",
+        "Evaluation wall time per work item, by kind.",
+        &[("kind", kind)],
+    )
+}
 
 /// The benchmark suite an experiment session runs against, generated once
 /// and shared by every experiment.
@@ -372,12 +383,15 @@ pub fn evaluate_scheme(suite: &Suite, scheme: &Scheme) -> SchemeStats {
 /// [`evaluate_scheme`]; the trace resolutions and key streams come from
 /// `prepared`'s shared columns.
 pub fn evaluate_scheme_prepared(prepared: &PreparedSuite<'_>, scheme: &Scheme) -> SchemeStats {
+    let started = Instant::now();
     let per_benchmark = prepared
         .traces()
         .iter()
         .map(|pt| run_scheme_prepared(pt, scheme))
         .collect();
-    SchemeStats::from_matrices(*scheme, per_benchmark)
+    let stats = SchemeStats::from_matrices(*scheme, per_benchmark);
+    eval_timer("scheme").record_duration(started.elapsed());
+    stats
 }
 
 /// Evaluates many schemes in parallel with panic isolation: a scheme whose
@@ -521,12 +535,14 @@ fn family_job<'a>(
     max_depth: usize,
 ) -> impl Fn(usize) -> FamilyCell + Sync + 'a {
     move |i| {
+        let started = Instant::now();
         let (index, update) = cells[i];
         let per_benchmark = prepared
             .traces()
             .iter()
             .map(|pt| run_history_family_prepared(pt, index, update, max_depth))
             .collect();
+        eval_timer("family_cell").record_duration(started.elapsed());
         FamilyCell {
             index,
             update,
@@ -572,12 +588,14 @@ pub fn try_sweep_families(
         .collect();
     let todo: Vec<usize> = (0..groups.len()).collect();
     let job = |g: usize| -> Vec<FamilyResult> {
+        let started = Instant::now();
         let (i, b) = groups[g];
         let pt = &prepared.traces()[b];
         let out = updates
             .iter()
             .map(|&u| run_history_family_prepared(pt, indexes[i], u, max_depth))
             .collect();
+        eval_timer("family_group").record_duration(started.elapsed());
         // This group is the only consumer of the (trace, index) stream;
         // evicting here keeps a design-space-sized sweep's footprint at
         // O(live groups) instead of O(all indexes).

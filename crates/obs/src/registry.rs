@@ -1,0 +1,567 @@
+//! The metrics registry: named, labeled instruments plus a
+//! Prometheus-style text exposition encoder and its parsing twin.
+//!
+//! Registration is get-or-create behind a mutex (cold path: once per
+//! instrument, typically at engine construction or connection setup);
+//! the returned [`Arc`] handles record lock-free on the hot path.
+//! Encoding walks the registry under the same mutex, reading each
+//! instrument's atomics — readers never interrupt recorders.
+//!
+//! Besides owned instruments, a registry accepts *callback* series
+//! ([`Registry::register_counter_fn`], [`Registry::register_gauge_fn`])
+//! polled at encode time — the integration path for subsystems that
+//! already maintain their own atomic counters (e.g. the shard workers'
+//! [`ShardCounters`](https://docs.rs)-style cells): no double counting,
+//! no hot-path change, the registry just learns where to look.
+
+use crate::metrics::{bucket_upper, Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// What kind of series a metric name exposes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing.
+    Counter,
+    /// Goes up and down.
+    Gauge,
+    /// Bucketed distribution.
+    Histogram,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+type Labels = Vec<(String, String)>;
+
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+    CounterFn(Box<dyn Fn() -> u64 + Send + Sync>),
+    GaugeFn(Box<dyn Fn() -> i64 + Send + Sync>),
+}
+
+struct Family {
+    kind: MetricKind,
+    help: String,
+    series: BTreeMap<Labels, Instrument>,
+}
+
+/// A collection of named, labeled metric instruments.
+///
+/// # Example
+///
+/// ```
+/// use csp_obs::Registry;
+///
+/// let registry = Registry::new();
+/// let hits = registry.counter("cache_hits_total", "Cache hits.", &[("tier", "l1")]);
+/// hits.inc();
+/// let text = registry.encode_prometheus();
+/// assert!(text.contains("cache_hits_total{tier=\"l1\"} 1"));
+/// ```
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry").finish_non_exhaustive()
+    }
+}
+
+fn to_labels(labels: &[(&str, &str)]) -> Labels {
+    labels
+        .iter()
+        .map(|&(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn instrument<T, F, G>(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        kind: MetricKind,
+        make: F,
+        get: G,
+    ) -> Arc<T>
+    where
+        F: FnOnce() -> (Arc<T>, Instrument),
+        G: FnOnce(&Instrument) -> Option<Arc<T>>,
+    {
+        let mut families = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            kind,
+            help: help.to_string(),
+            series: BTreeMap::new(),
+        });
+        assert!(
+            family.kind == kind,
+            "metric {name} registered as {} and requested as {}",
+            family.kind.as_str(),
+            kind.as_str()
+        );
+        let key = to_labels(labels);
+        if let Some(existing) = family.series.get(&key) {
+            return get(existing).unwrap_or_else(|| {
+                panic!("metric {name}{labels:?} is a callback series, not an owned instrument")
+            });
+        }
+        let (handle, instrument) = make();
+        family.series.insert(key, instrument);
+        handle
+    }
+
+    /// Gets or registers a counter. `help` is recorded on first
+    /// registration of the name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered with a different kind, or
+    /// this exact series was registered as a callback.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.instrument(
+            name,
+            help,
+            labels,
+            MetricKind::Counter,
+            || {
+                let h = Arc::new(Counter::new());
+                (Arc::clone(&h), Instrument::Counter(h))
+            },
+            |i| match i {
+                Instrument::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Gets or registers a gauge.
+    ///
+    /// # Panics
+    ///
+    /// As [`counter`](Self::counter).
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        self.instrument(
+            name,
+            help,
+            labels,
+            MetricKind::Gauge,
+            || {
+                let h = Arc::new(Gauge::new());
+                (Arc::clone(&h), Instrument::Gauge(h))
+            },
+            |i| match i {
+                Instrument::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Gets or registers a histogram.
+    ///
+    /// # Panics
+    ///
+    /// As [`counter`](Self::counter).
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        self.instrument(
+            name,
+            help,
+            labels,
+            MetricKind::Histogram,
+            || {
+                let h = Arc::new(Histogram::new());
+                (Arc::clone(&h), Instrument::Histogram(h))
+            },
+            |i| match i {
+                Instrument::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Registers (or replaces) a counter series whose value is polled
+    /// from `f` at encode time — for subsystems that already keep their
+    /// own atomic counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered with a non-counter kind.
+    pub fn register_counter_fn(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        f: impl Fn() -> u64 + Send + Sync + 'static,
+    ) {
+        self.register_fn(name, help, labels, MetricKind::Counter, {
+            Instrument::CounterFn(Box::new(f))
+        });
+    }
+
+    /// Registers (or replaces) a gauge series polled from `f` at encode
+    /// time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered with a non-gauge kind.
+    pub fn register_gauge_fn(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        f: impl Fn() -> i64 + Send + Sync + 'static,
+    ) {
+        self.register_fn(name, help, labels, MetricKind::Gauge, {
+            Instrument::GaugeFn(Box::new(f))
+        });
+    }
+
+    fn register_fn(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        kind: MetricKind,
+        instrument: Instrument,
+    ) {
+        let mut families = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            kind,
+            help: help.to_string(),
+            series: BTreeMap::new(),
+        });
+        assert!(
+            family.kind == kind,
+            "metric {name} registered as {} and requested as {}",
+            family.kind.as_str(),
+            kind.as_str()
+        );
+        family.series.insert(to_labels(labels), instrument);
+    }
+
+    /// Encodes every series as Prometheus-style text exposition:
+    /// `# HELP` / `# TYPE` headers per family, then one line per series
+    /// (histograms expand to cumulative `_bucket{le=...}`, `_sum`,
+    /// `_count`, and a non-standard `_max` line). Families and series
+    /// are emitted in sorted order, so equal registry states encode to
+    /// equal bytes — see `tests/golden.rs`.
+    pub fn encode_prometheus(&self) -> String {
+        let families = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::new();
+        for (name, family) in families.iter() {
+            let _ = writeln!(out, "# HELP {name} {}", family.help);
+            let _ = writeln!(out, "# TYPE {name} {}", family.kind.as_str());
+            for (labels, instrument) in &family.series {
+                match instrument {
+                    Instrument::Counter(c) => {
+                        emit_sample(&mut out, name, labels, &[], c.get().to_string());
+                    }
+                    Instrument::CounterFn(f) => {
+                        emit_sample(&mut out, name, labels, &[], f().to_string());
+                    }
+                    Instrument::Gauge(g) => {
+                        emit_sample(&mut out, name, labels, &[], g.get().to_string());
+                    }
+                    Instrument::GaugeFn(f) => {
+                        emit_sample(&mut out, name, labels, &[], f().to_string());
+                    }
+                    Instrument::Histogram(h) => {
+                        encode_histogram(&mut out, name, labels, &h.snapshot());
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Appends `name{labels,extra} value\n`.
+fn emit_sample(
+    out: &mut String,
+    name: &str,
+    labels: &Labels,
+    extra: &[(&str, String)],
+    value: String,
+) {
+    out.push_str(name);
+    if !labels.is_empty() || !extra.is_empty() {
+        out.push('{');
+        let mut first = true;
+        for (k, v) in labels {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+        }
+        for (k, v) in extra {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(&value);
+    out.push('\n');
+}
+
+fn encode_histogram(out: &mut String, name: &str, labels: &Labels, s: &HistogramSnapshot) {
+    let highest = s
+        .buckets
+        .iter()
+        .rposition(|&c| c > 0)
+        .map_or(0, |i| (i + 1).min(BUCKETS - 1));
+    let mut cumulative = 0u64;
+    for (i, &c) in s.buckets.iter().enumerate().take(highest + 1) {
+        cumulative += c;
+        emit_sample(
+            out,
+            &format!("{name}_bucket"),
+            labels,
+            &[("le", bucket_upper(i).to_string())],
+            cumulative.to_string(),
+        );
+    }
+    emit_sample(
+        out,
+        &format!("{name}_bucket"),
+        labels,
+        &[("le", "+Inf".to_string())],
+        s.count().to_string(),
+    );
+    emit_sample(out, &format!("{name}_sum"), labels, &[], s.sum.to_string());
+    emit_sample(
+        out,
+        &format!("{name}_count"),
+        labels,
+        &[],
+        s.count().to_string(),
+    );
+    emit_sample(out, &format!("{name}_max"), labels, &[], s.max.to_string());
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// One parsed exposition sample.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    /// Metric (series) name, e.g. `csp_shard_queries_total` or
+    /// `csp_shard_query_service_ns_bucket`.
+    pub name: String,
+    /// Label pairs in source order.
+    pub labels: Vec<(String, String)>,
+    /// The value as written (always an integer for our encoder, but
+    /// `+Inf`-tolerant parsers keep it textual).
+    pub raw: String,
+}
+
+impl Sample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The sample value as `u64` (None for non-integers).
+    pub fn value_u64(&self) -> Option<u64> {
+        self.raw.parse().ok()
+    }
+
+    /// The sample value as `i64` (None for non-integers).
+    pub fn value_i64(&self) -> Option<i64> {
+        self.raw.parse().ok()
+    }
+}
+
+/// Parses Prometheus-style text exposition (the dialect
+/// [`Registry::encode_prometheus`] writes) back into samples. Comment
+/// and blank lines are skipped; a malformed line is skipped rather than
+/// failing the whole scrape.
+pub fn parse_text(text: &str) -> Vec<Sample> {
+    text.lines().filter_map(parse_line).collect()
+}
+
+fn parse_line(line: &str) -> Option<Sample> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return None;
+    }
+    let (series, value) = line.rsplit_once(' ')?;
+    let (name, labels) = match series.split_once('{') {
+        None => (series.to_string(), Vec::new()),
+        Some((name, rest)) => {
+            let body = rest.strip_suffix('}')?;
+            let mut labels = Vec::new();
+            for pair in split_label_pairs(body) {
+                let (k, v) = pair.split_once('=')?;
+                let v = v.strip_prefix('"')?.strip_suffix('"')?;
+                labels.push((
+                    k.to_string(),
+                    v.replace("\\n", "\n")
+                        .replace("\\\"", "\"")
+                        .replace("\\\\", "\\"),
+                ));
+            }
+            (name.to_string(), labels)
+        }
+    };
+    Some(Sample {
+        name,
+        labels,
+        raw: value.to_string(),
+    })
+}
+
+/// Splits `k1="v1",k2="v2"` on commas outside quotes.
+fn split_label_pairs(body: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let (mut start, mut in_quotes, mut escaped) = (0usize, false, false);
+    for (i, ch) in body.char_indices() {
+        match ch {
+            '\\' if in_quotes => escaped = !escaped,
+            '"' if !escaped => in_quotes = !in_quotes,
+            ',' if !in_quotes => {
+                out.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => escaped = false,
+        }
+    }
+    if start < body.len() {
+        out.push(&body[start..]);
+    }
+    out
+}
+
+/// Sums every sample of a counter family (e.g. the per-shard split of
+/// `csp_shard_queries_total`) into one total.
+pub fn sum_counter(samples: &[Sample], name: &str) -> u64 {
+    samples
+        .iter()
+        .filter(|s| s.name == name)
+        .filter_map(Sample::value_u64)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_round_trip_through_text() {
+        let r = Registry::new();
+        r.counter("requests_total", "Requests.", &[("shard", "0")])
+            .add(7);
+        r.counter("requests_total", "Requests.", &[("shard", "1")])
+            .add(3);
+        r.gauge("depth", "Queue depth.", &[]).set(-2);
+        let text = r.encode_prometheus();
+        let samples = parse_text(&text);
+        assert_eq!(sum_counter(&samples, "requests_total"), 10);
+        let depth = samples.iter().find(|s| s.name == "depth").expect("depth");
+        assert_eq!(depth.value_i64(), Some(-2));
+        // get-or-register returns the same instrument.
+        r.counter("requests_total", "Requests.", &[("shard", "0")])
+            .inc();
+        let samples = parse_text(&r.encode_prometheus());
+        assert_eq!(sum_counter(&samples, "requests_total"), 11);
+    }
+
+    #[test]
+    fn histogram_exposition_is_cumulative_and_parses_back() {
+        let r = Registry::new();
+        let h = r.histogram("lat_ns", "Latency.", &[("shard", "0")]);
+        h.record(100);
+        h.record(100);
+        h.record(5000);
+        let samples = parse_text(&r.encode_prometheus());
+        let buckets: Vec<&Sample> = samples
+            .iter()
+            .filter(|s| s.name == "lat_ns_bucket" && s.label("shard") == Some("0"))
+            .collect();
+        // Cumulative counts are monotone and end at the +Inf total.
+        let mut prev = 0;
+        for b in &buckets {
+            if b.label("le") == Some("+Inf") {
+                assert_eq!(b.value_u64(), Some(3));
+                continue;
+            }
+            let v = b.value_u64().expect("integer bucket");
+            assert!(v >= prev, "cumulative counts must be monotone");
+            prev = v;
+        }
+        let count = samples
+            .iter()
+            .find(|s| s.name == "lat_ns_count")
+            .expect("count");
+        assert_eq!(count.value_u64(), Some(3));
+        let max = samples
+            .iter()
+            .find(|s| s.name == "lat_ns_max")
+            .expect("max");
+        assert_eq!(max.value_u64(), Some(5000));
+    }
+
+    #[test]
+    fn callback_series_poll_at_encode_time() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let r = Registry::new();
+        let cell = Arc::new(AtomicU64::new(0));
+        let polled = Arc::clone(&cell);
+        r.register_counter_fn("polled_total", "Polled.", &[], move || {
+            polled.load(Ordering::Relaxed)
+        });
+        cell.store(42, Ordering::Relaxed);
+        let samples = parse_text(&r.encode_prometheus());
+        assert_eq!(sum_counter(&samples, "polled_total"), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as counter")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("x", "X.", &[]);
+        r.gauge("x", "X.", &[]);
+    }
+
+    #[test]
+    fn label_values_escape_and_unescape() {
+        let r = Registry::new();
+        r.counter("weird_total", "Weird.", &[("path", "a\"b\\c")])
+            .inc();
+        let samples = parse_text(&r.encode_prometheus());
+        let s = samples
+            .iter()
+            .find(|s| s.name == "weird_total")
+            .expect("sample");
+        assert_eq!(s.label("path"), Some("a\"b\\c"));
+        assert_eq!(s.value_u64(), Some(1));
+    }
+}

@@ -1,0 +1,508 @@
+//! Lightweight structured tracing: RAII spans, thread-local span
+//! stacks, and a bounded ring-buffer sink that serializes to
+//! checksummed JSONL.
+//!
+//! A [`span`] guard records wall-clock-free nanosecond timestamps
+//! (monotonic, relative to a process-wide epoch) and pushes its name on
+//! a thread-local stack so a nested span knows its parent without any
+//! global coordination. On drop, the completed [`SpanRecord`] lands in
+//! a [`TraceRing`] — a bounded, drop-oldest buffer, so tracing cost is
+//! O(1) and memory is fixed no matter how long the process runs.
+//!
+//! Ring dumps reuse the workspace's CRC32c section framing
+//! ([`csp_trace::io::ChecksumWriter`]): the file starts with a
+//! checksummed magic, then each record is a length-prefixed JSON line
+//! followed by its section CRC. A crash mid-write therefore loses at
+//! most the torn tail — every earlier span is still verifiable, the
+//! same durability story the snapshot store tells.
+//!
+//! Recording is *disabled by default*: an idle `TraceRing` costs one
+//! relaxed atomic load per span, which keeps instrumented hot paths
+//! near-free when nobody is watching (see `benches/obs.rs`).
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use csp_trace::io::{ChecksumReader, ChecksumWriter};
+
+/// Magic bytes opening a span-ring dump.
+pub const RING_MAGIC: &[u8; 8] = b"CSPOBSR1";
+
+/// Longest JSON line accepted when reading a dump back.
+const MAX_LINE: u32 = 1 << 16;
+
+/// One completed span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name (static — spans are code locations, not data).
+    pub name: &'static str,
+    /// Name of the enclosing span on the same thread, if any.
+    pub parent: Option<&'static str>,
+    /// Recording thread, as a small process-unique ordinal.
+    pub thread: u64,
+    /// Start time in nanoseconds since the process trace epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+impl SpanRecord {
+    /// Serializes the record as one JSON object (no trailing newline).
+    /// Span names are static identifiers, so the only escaping needed
+    /// is the conservative kind.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        s.push_str("{\"name\":\"");
+        push_json_str(&mut s, self.name);
+        s.push('"');
+        if let Some(parent) = self.parent {
+            s.push_str(",\"parent\":\"");
+            push_json_str(&mut s, parent);
+            s.push('"');
+        }
+        s.push_str(&format!(
+            ",\"thread\":{},\"start_ns\":{},\"dur_ns\":{}}}",
+            self.thread, self.start_ns, self.dur_ns
+        ));
+        s
+    }
+}
+
+fn push_json_str(out: &mut String, v: &str) {
+    for ch in v.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// A bounded, drop-oldest sink for completed spans.
+///
+/// Disabled by default; [`set_enabled`](Self::set_enabled) turns
+/// recording on. When full, the oldest record is dropped and counted —
+/// a long-running process keeps the most recent window, which is the
+/// one you want after an incident.
+#[derive(Debug)]
+pub struct TraceRing {
+    records: Mutex<VecDeque<SpanRecord>>,
+    capacity: usize,
+    enabled: AtomicBool,
+    dropped: AtomicU64,
+}
+
+impl TraceRing {
+    /// A ring holding at most `capacity` spans.
+    pub fn new(capacity: usize) -> Self {
+        TraceRing {
+            records: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            capacity: capacity.max(1),
+            enabled: AtomicBool::new(false),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether spans are currently recorded.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns recording on or off.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Spans evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Appends a record (dropping the oldest if full). No-op while
+    /// disabled.
+    pub fn push(&self, record: SpanRecord) {
+        if !self.enabled() {
+            return;
+        }
+        let mut records = self.records.lock().unwrap_or_else(|e| e.into_inner());
+        if records.len() >= self.capacity {
+            records.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        records.push_back(record);
+    }
+
+    /// Copies out the buffered records, oldest first.
+    pub fn drain_snapshot(&self) -> Vec<SpanRecord> {
+        let records = self.records.lock().unwrap_or_else(|e| e.into_inner());
+        records.iter().cloned().collect()
+    }
+
+    /// Number of buffered records.
+    pub fn len(&self) -> usize {
+        self.records.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether the ring holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Serializes the buffered spans to `w` as checksummed JSONL: a
+    /// CRC-framed magic header, then per record `len[4] json crc[4]`
+    /// with CRC32c over everything since the previous checksum.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn dump<W: Write>(&self, w: W) -> io::Result<()> {
+        let records = self.drain_snapshot();
+        let mut w = ChecksumWriter::new(w);
+        w.write_all(RING_MAGIC)?;
+        w.write_section_crc()?;
+        for record in &records {
+            let line = record.to_json();
+            w.write_all(&(line.len() as u32).to_le_bytes())?;
+            w.write_all(line.as_bytes())?;
+            w.write_section_crc()?;
+        }
+        Ok(())
+    }
+}
+
+/// Reads a span-ring dump written by [`TraceRing::dump`], returning the
+/// verified JSON lines in order.
+///
+/// A torn tail — a record cut off mid-write by a crash — terminates the
+/// read cleanly: every fully-checksummed prefix record is returned. A
+/// bad magic or a checksum mismatch on a *complete* record is an error.
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::InvalidData`] on a bad magic or corrupt
+/// header, and propagates I/O errors other than a clean mid-record EOF.
+pub fn read_dump<R: Read>(r: R) -> io::Result<Vec<String>> {
+    let mut r = ChecksumReader::new(r);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != RING_MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad magic; not a span-ring dump",
+        ));
+    }
+    r.check_section_crc("ring header")?;
+    let mut lines = Vec::new();
+    loop {
+        let mut len_bytes = [0u8; 4];
+        match read_fully(&mut r, &mut len_bytes) {
+            ReadOutcome::Done => break, // clean end
+            ReadOutcome::Torn => break, // torn tail: keep prefix
+            ReadOutcome::Err(e) => return Err(e),
+            ReadOutcome::Ok => {}
+        }
+        let len = u32::from_le_bytes(len_bytes);
+        if len > MAX_LINE {
+            // A wild length means the tail bytes are garbage, not a
+            // record; treat like a torn tail.
+            break;
+        }
+        let mut line = vec![0u8; len as usize];
+        match read_fully(&mut r, &mut line) {
+            ReadOutcome::Ok => {}
+            ReadOutcome::Err(e) => return Err(e),
+            _ => break,
+        }
+        if r.check_section_crc("span record").is_err() {
+            // Bad or missing CRC on the final record: torn tail.
+            break;
+        }
+        match String::from_utf8(line) {
+            Ok(s) => lines.push(s),
+            Err(_) => break,
+        }
+    }
+    Ok(lines)
+}
+
+enum ReadOutcome {
+    Ok,
+    Done,
+    Torn,
+    Err(io::Error),
+}
+
+fn read_fully<R: Read>(r: &mut R, buf: &mut [u8]) -> ReadOutcome {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return ReadOutcome::Done,
+            Ok(0) => return ReadOutcome::Torn,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return ReadOutcome::Err(e),
+        }
+    }
+    ReadOutcome::Ok
+}
+
+/// The process-wide span ring (capacity 4096), shared by all
+/// instrumented subsystems. Disabled until something calls
+/// `global_ring().set_enabled(true)` — e.g. `csp-served serve
+/// --trace-out`.
+pub fn global_ring() -> &'static TraceRing {
+    static RING: OnceLock<TraceRing> = OnceLock::new();
+    RING.get_or_init(|| TraceRing::new(4096))
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the process trace epoch (first observability use).
+pub fn now_ns() -> u64 {
+    u64::try_from(epoch().elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    static THREAD_ORDINAL: u64 = {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    };
+}
+
+/// An RAII guard recording a span into the global ring on drop.
+///
+/// Construct with [`span`]. While the guard lives, its name sits on the
+/// thread-local span stack, so nested spans record it as their parent.
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+    parent: Option<&'static str>,
+    start_ns: u64,
+    armed: bool,
+}
+
+/// Opens a span named `name` on the global ring.
+///
+/// When the ring is disabled (the default) the guard is a stub: no
+/// clock read, no stack push — one relaxed load total.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !global_ring().enabled() {
+        return SpanGuard {
+            name,
+            parent: None,
+            start_ns: 0,
+            armed: false,
+        };
+    }
+    let parent = SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let parent = stack.last().copied();
+        stack.push(name);
+        parent
+    });
+    SpanGuard {
+        name,
+        parent,
+        start_ns: now_ns(),
+        armed: true,
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        SPAN_STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+        let record = SpanRecord {
+            name: self.name,
+            parent: self.parent,
+            thread: THREAD_ORDINAL.with(|t| *t),
+            start_ns: self.start_ns,
+            dur_ns: now_ns().saturating_sub(self.start_ns),
+        };
+        global_ring().push(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_drops_oldest_when_full() {
+        let ring = TraceRing::new(2);
+        ring.set_enabled(true);
+        for i in 0..4u64 {
+            ring.push(SpanRecord {
+                name: "s",
+                parent: None,
+                thread: 0,
+                start_ns: i,
+                dur_ns: 1,
+            });
+        }
+        let records = ring.drain_snapshot();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].start_ns, 2);
+        assert_eq!(records[1].start_ns, 3);
+        assert_eq!(ring.dropped(), 2);
+    }
+
+    #[test]
+    fn disabled_ring_records_nothing() {
+        let ring = TraceRing::new(8);
+        ring.push(SpanRecord {
+            name: "s",
+            parent: None,
+            thread: 0,
+            start_ns: 0,
+            dur_ns: 0,
+        });
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn dump_and_read_round_trip() {
+        let ring = TraceRing::new(8);
+        ring.set_enabled(true);
+        for i in 0..3u64 {
+            ring.push(SpanRecord {
+                name: "serve.request",
+                parent: (i > 0).then_some("serve.connection"),
+                thread: i,
+                start_ns: i * 100,
+                dur_ns: 50,
+            });
+        }
+        let mut buf = Vec::new();
+        ring.dump(&mut buf).unwrap();
+        let lines = read_dump(buf.as_slice()).unwrap();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"name\":\"serve.request\""));
+        assert!(lines[0].contains("\"start_ns\":0"));
+        assert!(!lines[0].contains("parent"));
+        assert!(lines[1].contains("\"parent\":\"serve.connection\""));
+    }
+
+    #[test]
+    fn torn_tail_keeps_verified_prefix() {
+        let ring = TraceRing::new(8);
+        ring.set_enabled(true);
+        for i in 0..3u64 {
+            ring.push(SpanRecord {
+                name: "s",
+                parent: None,
+                thread: 0,
+                start_ns: i,
+                dur_ns: 1,
+            });
+        }
+        let mut buf = Vec::new();
+        ring.dump(&mut buf).unwrap();
+        // Cut into the last record's payload: first two survive.
+        let torn = &buf[..buf.len() - 5];
+        let lines = read_dump(torn).unwrap();
+        assert_eq!(lines.len(), 2);
+    }
+
+    #[test]
+    fn corrupt_record_is_dropped_with_prefix_kept() {
+        let ring = TraceRing::new(8);
+        ring.set_enabled(true);
+        for i in 0..2u64 {
+            ring.push(SpanRecord {
+                name: "s",
+                parent: None,
+                thread: 0,
+                start_ns: i,
+                dur_ns: 1,
+            });
+        }
+        let mut buf = Vec::new();
+        ring.dump(&mut buf).unwrap();
+        let last = buf.len() - 6; // inside record 1's payload
+        buf[last] ^= 0xFF;
+        let lines = read_dump(buf.as_slice()).unwrap();
+        assert_eq!(lines.len(), 1, "corrupt final record must not surface");
+    }
+
+    #[test]
+    fn bad_magic_is_an_error() {
+        let err = read_dump(&b"NOTARING00000000"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    /// Tests touching the process-wide ring serialize through this.
+    fn global_ring_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn spans_nest_through_the_thread_local_stack() {
+        let _guard = global_ring_lock();
+        let ring = global_ring();
+        ring.set_enabled(true);
+        {
+            let _outer = span("outer");
+            let _inner = span("inner");
+        }
+        ring.set_enabled(false);
+        let records = ring.drain_snapshot();
+        let inner = records
+            .iter()
+            .rev()
+            .find(|r| r.name == "inner")
+            .expect("inner span recorded");
+        assert_eq!(inner.parent, Some("outer"));
+        let outer = records
+            .iter()
+            .rev()
+            .find(|r| r.name == "outer")
+            .expect("outer span recorded");
+        assert_eq!(outer.parent, None);
+        assert!(outer.dur_ns >= inner.dur_ns);
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let _guard = global_ring_lock();
+        let before = SPAN_STACK.with(|s| s.borrow().len());
+        {
+            let ring = global_ring();
+            let was = ring.enabled();
+            ring.set_enabled(false);
+            let _s = span("inert");
+            ring.set_enabled(was);
+        }
+        let after = SPAN_STACK.with(|s| s.borrow().len());
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_controls() {
+        let record = SpanRecord {
+            name: "a\"b",
+            parent: None,
+            thread: 1,
+            start_ns: 2,
+            dur_ns: 3,
+        };
+        let json = record.to_json();
+        assert!(json.contains("a\\\"b"));
+    }
+}

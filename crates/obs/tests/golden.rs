@@ -1,0 +1,91 @@
+//! Golden-file test pinning the Prometheus text exposition format.
+//!
+//! `csp-served top`, the CI smoke step, and any external scraper all
+//! parse this text; an accidental format change should fail loudly
+//! here, not in a dashboard. The golden file is committed at
+//! `tests/golden_registry.prom`; regenerate it by running this test
+//! with `CSP_OBS_REGENERATE=1` after an *intentional* format change.
+
+use csp_obs::{parse_text, sum_counter, Registry};
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden_registry.prom")
+}
+
+/// A registry with one instrument of every kind, deterministic values.
+fn build_registry() -> Registry {
+    let r = Registry::new();
+    r.counter(
+        "csp_demo_queries_total",
+        "Probes answered.",
+        &[("shard", "0")],
+    )
+    .add(41);
+    r.counter(
+        "csp_demo_queries_total",
+        "Probes answered.",
+        &[("shard", "1")],
+    )
+    .add(59);
+    r.gauge(
+        "csp_demo_queue_depth",
+        "Messages waiting per shard.",
+        &[("shard", "0")],
+    )
+    .set(3);
+    r.register_counter_fn("csp_demo_polled_total", "Callback counter.", &[], || 7);
+    r.register_gauge_fn("csp_demo_polled_depth", "Callback gauge.", &[], || -2);
+    let h = r.histogram(
+        "csp_demo_latency_ns",
+        "Per-probe service time in nanoseconds.",
+        &[("shard", "0")],
+    );
+    // One observation at zero, a cluster in the 1µs decade, one outlier.
+    h.record(0);
+    for _ in 0..10 {
+        h.record(1_000);
+    }
+    h.record(1_000_000);
+    r
+}
+
+#[test]
+fn encoder_output_matches_golden_file() {
+    let text = build_registry().encode_prometheus();
+    let path = golden_path();
+    if std::env::var_os("CSP_OBS_REGENERATE").is_some() {
+        std::fs::write(&path, &text).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .expect("golden file missing; run with CSP_OBS_REGENERATE=1 to create it");
+    assert_eq!(
+        text, golden,
+        "Prometheus exposition format drifted from tests/golden_registry.prom; \
+         if intentional, regenerate with CSP_OBS_REGENERATE=1"
+    );
+}
+
+#[test]
+fn golden_file_parses_back_to_the_same_values() {
+    let samples = parse_text(&std::fs::read_to_string(golden_path()).expect("golden file"));
+    assert_eq!(sum_counter(&samples, "csp_demo_queries_total"), 100);
+    assert_eq!(sum_counter(&samples, "csp_demo_polled_total"), 7);
+    let count = samples
+        .iter()
+        .find(|s| s.name == "csp_demo_latency_ns_count")
+        .expect("histogram count");
+    assert_eq!(count.value_u64(), Some(12));
+    let max = samples
+        .iter()
+        .find(|s| s.name == "csp_demo_latency_ns_max")
+        .expect("histogram max");
+    assert_eq!(max.value_u64(), Some(1_000_000));
+    // The +Inf bucket always equals the count.
+    let inf = samples
+        .iter()
+        .find(|s| s.name == "csp_demo_latency_ns_bucket" && s.label("le") == Some("+Inf"))
+        .expect("+Inf bucket");
+    assert_eq!(inf.value_u64(), Some(12));
+}

@@ -1,7 +1,14 @@
 //! The load generator: drives a running server with batched prediction
 //! queries and reports throughput and latency percentiles.
+//!
+//! Latency is accumulated in a `csp-obs` log-bucketed [`Histogram`]
+//! rather than a sorted sample vector: memory stays constant no matter
+//! how many frames a run sends, and the full distribution (not just two
+//! cut points) survives into [`LoadReport::latency`] for JSON output
+//! and cross-run comparison.
 
 use crate::{Client, Probe};
+use csp_obs::{Histogram, HistogramSnapshot};
 use csp_trace::{LineAddr, NodeId, Pc};
 use std::fmt;
 use std::io;
@@ -49,8 +56,17 @@ pub struct LoadReport {
     pub elapsed: Duration,
     /// Median per-frame round-trip latency.
     pub p50: Duration,
+    /// 90th-percentile per-frame round-trip latency.
+    pub p90: Duration,
     /// 99th-percentile per-frame round-trip latency.
     pub p99: Duration,
+    /// 99.9th-percentile per-frame round-trip latency.
+    pub p999: Duration,
+    /// Worst per-frame round-trip latency observed.
+    pub max: Duration,
+    /// The full per-frame latency distribution (one observation per
+    /// answered frame).
+    pub latency: HistogramSnapshot,
     /// Frames that missed the [`LoadOptions::timeout`] deadline.
     pub timeouts: u64,
     /// Connections the server (or network) dropped mid-run; each one
@@ -62,6 +78,46 @@ impl LoadReport {
     /// Aggregate predictor queries per second.
     pub fn qps(&self) -> f64 {
         self.probes as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Serializes the report — including the latency histogram's
+    /// non-empty buckets — as one JSON object, for `csp-served bench
+    /// --json` and machine-readable sweep logs.
+    pub fn to_json(&self) -> String {
+        let mut buckets = String::new();
+        let mut first = true;
+        for (i, &count) in self.latency.buckets.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            if !first {
+                buckets.push(',');
+            }
+            first = false;
+            buckets.push_str(&format!(
+                "{{\"le_ns\":{},\"count\":{count}}}",
+                csp_obs::bucket_upper(i)
+            ));
+        }
+        format!(
+            "{{\"probes\":{},\"frames\":{},\"elapsed_s\":{:.6},\"qps\":{:.1},\
+             \"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\"max_ns\":{},\
+             \"timeouts\":{},\"disconnects\":{},\
+             \"latency\":{{\"count\":{},\"sum_ns\":{},\"buckets\":[{buckets}]}}}}",
+            self.probes,
+            self.frames,
+            self.elapsed.as_secs_f64(),
+            self.qps(),
+            self.p50.as_nanos(),
+            self.p90.as_nanos(),
+            self.p99.as_nanos(),
+            self.p999.as_nanos(),
+            self.max.as_nanos(),
+            self.timeouts,
+            self.disconnects,
+            self.latency.count(),
+            self.latency.sum,
+        )
     }
 }
 
@@ -153,7 +209,10 @@ pub fn run_load<A: ToSocketAddrs>(addr: A, opts: &LoadOptions) -> io::Result<Loa
     let probes = probe_stream(opts.seed, opts.nodes, opts.batch.max(1));
     let _ = client.predict_batch(&probes)?;
 
-    let mut latencies = Vec::with_capacity(opts.frames);
+    // Bounded-memory latency accounting: one histogram, not one sample
+    // per frame.
+    let histogram = Histogram::new();
+    let mut answered = 0u64;
     let mut timeouts = 0u64;
     let mut disconnects = 0u64;
     let start = Instant::now();
@@ -164,7 +223,8 @@ pub fn run_load<A: ToSocketAddrs>(addr: A, opts: &LoadOptions) -> io::Result<Loa
         let t0 = Instant::now();
         match client.predict_batch(&probes) {
             Ok(preds) => {
-                latencies.push(t0.elapsed());
+                histogram.record_duration(t0.elapsed());
+                answered += 1;
                 debug_assert_eq!(preds.len(), probes.len());
             }
             Err(e) => {
@@ -181,17 +241,17 @@ pub fn run_load<A: ToSocketAddrs>(addr: A, opts: &LoadOptions) -> io::Result<Loa
         }
     }
     let elapsed = start.elapsed();
-    latencies.sort_unstable();
-    let pick = |q: f64| {
-        let idx = ((latencies.len() as f64 - 1.0) * q).round() as usize;
-        latencies.get(idx).copied().unwrap_or_default()
-    };
+    let latency = histogram.snapshot();
     Ok(LoadReport {
-        probes: (latencies.len() * opts.batch.max(1)) as u64,
+        probes: answered * opts.batch.max(1) as u64,
         frames: opts.frames as u64,
         elapsed,
-        p50: pick(0.50),
-        p99: pick(0.99),
+        p50: latency.quantile_duration(0.50),
+        p90: latency.quantile_duration(0.90),
+        p99: latency.quantile_duration(0.99),
+        p999: latency.quantile_duration(0.999),
+        max: Duration::from_nanos(latency.max),
+        latency,
         timeouts,
         disconnects,
     })
@@ -236,7 +296,16 @@ mod tests {
         assert_eq!(report.frames, 20);
         assert!(report.qps() > 0.0);
         assert!(report.p99 >= report.p50);
+        assert!(report.p90 >= report.p50);
+        assert!(report.p999 >= report.p99);
+        assert!(report.max >= report.p999);
+        // The histogram holds one observation per answered frame.
+        assert_eq!(report.latency.count(), 20);
         assert!(report.to_string().contains("queries/sec"));
+        let json = report.to_json();
+        assert!(json.contains("\"probes\":1280"), "{json}");
+        assert!(json.contains("\"latency\":{\"count\":20"), "{json}");
+        assert!(json.contains("\"buckets\":[{\"le_ns\":"), "{json}");
         // A healthy run has a clean robustness ledger, and Display omits it.
         assert_eq!(report.timeouts, 0);
         assert_eq!(report.disconnects, 0);

@@ -4,8 +4,13 @@
 //! csp-served serve    --scheme S [--nodes N] [--shards K] [--listen ADDR]
 //!                     [--unix PATH] [--warm trace.csptrc]... [--stats-every SECS]
 //!                     [--snapshot-dir DIR] [--snapshot-every SECS] [--restore]
+//!                     [--trace-out FILE]
 //! csp-served bench    [--scheme S] [--nodes N] [--shards K] [--batch B]
 //!                     [--frames F] [--addr ADDR] [--warm trace.csptrc]
+//!                     [--json] [--metrics-out FILE]
+//! csp-served metrics  --addr ADDR
+//! csp-served top      --addr ADDR [--every SECS] [--count N]
+//! csp-served spans    <FILE>
 //! csp-served replay   --scheme S [--shards K] [--snapshot-dir DIR]
 //!                     [--snapshot-every-events N] [--restore]
 //!                     [--stats-out FILE] <trace.csptrc>...
@@ -22,6 +27,12 @@
 //! `--addr`, or against a self-hosted loopback server when no address is
 //! given — and reports any timeouts or disconnects the run absorbed.
 //!
+//! `metrics` fetches a running server's full metrics registry as
+//! Prometheus-style text (the `Metrics` wire frame). `top` polls the
+//! same registry and renders a refreshing per-shard table — qps, p99
+//! query service time, queue depth and restarts. `spans` prints a span
+//! ring dump (`serve --trace-out`) back as JSONL.
+//!
 //! `replay` replays recorded traces through the sharded engine and
 //! *verifies* the online screening statistics are bit-identical to the
 //! offline engine's. With `--snapshot-dir` it snapshots every
@@ -36,7 +47,7 @@
 
 use csp_core::engine::run_scheme;
 use csp_core::{PreparedTrace, Scheme};
-use csp_serve::{run_load, EngineState, LoadOptions, Server, ShardedEngine, SnapshotStore};
+use csp_serve::{run_load, Client, EngineState, LoadOptions, Server, ShardedEngine, SnapshotStore};
 use csp_trace::{io as trace_io, Trace};
 use std::fs::File;
 use std::io::{BufReader, Read as _};
@@ -64,6 +75,9 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("serve") => cmd_serve(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("metrics") => cmd_metrics(&args[1..]),
+        Some("top") => cmd_top(&args[1..]),
+        Some("spans") => cmd_spans(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         Some("snapshot") => cmd_snapshot(&args[1..]),
         _ => {
@@ -90,8 +104,13 @@ fn print_usage() {
     eprintln!("  csp-served serve    --scheme S [--nodes N] [--shards K] [--listen ADDR]");
     eprintln!("                      [--unix PATH] [--warm trace.csptrc]... [--stats-every SECS]");
     eprintln!("                      [--snapshot-dir DIR] [--snapshot-every SECS] [--restore]");
+    eprintln!("                      [--trace-out FILE]");
     eprintln!("  csp-served bench    [--scheme S] [--nodes N] [--shards K] [--batch B]");
     eprintln!("                      [--frames F] [--addr ADDR] [--warm trace.csptrc]");
+    eprintln!("                      [--json] [--metrics-out FILE]");
+    eprintln!("  csp-served metrics  --addr ADDR");
+    eprintln!("  csp-served top      --addr ADDR [--every SECS] [--count N]");
+    eprintln!("  csp-served spans    <FILE>");
     eprintln!("  csp-served replay   --scheme S [--shards K] [--snapshot-dir DIR]");
     eprintln!("                      [--snapshot-every-events N] [--restore]");
     eprintln!("                      [--stats-out FILE] <trace.csptrc>...");
@@ -127,6 +146,11 @@ struct Options {
     restore: bool,
     crash_after: Option<usize>,
     stats_out: Option<String>,
+    json: bool,
+    metrics_out: Option<String>,
+    trace_out: Option<String>,
+    every: u64,
+    count: Option<usize>,
     positional: Vec<String>,
 }
 
@@ -148,6 +172,11 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         restore: false,
         crash_after: None,
         stats_out: None,
+        json: false,
+        metrics_out: None,
+        trace_out: None,
+        every: 2,
+        count: None,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -221,6 +250,25 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                 )
             }
             "--stats-out" => o.stats_out = Some(value("--stats-out")?),
+            "--json" => o.json = true,
+            "--metrics-out" => o.metrics_out = Some(value("--metrics-out")?),
+            "--trace-out" => o.trace_out = Some(value("--trace-out")?),
+            "--every" => {
+                o.every = value("--every")?
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&v| v > 0)
+                    .ok_or_else(|| usage_err("--every needs a positive number of seconds"))?
+            }
+            "--count" => {
+                o.count = Some(
+                    value("--count")?
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&v| v > 0)
+                        .ok_or_else(|| usage_err("--count needs a positive integer"))?,
+                )
+            }
             other => o.positional.push(other.to_string()),
         }
     }
@@ -317,6 +365,16 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, CliError> {
         _ => build_engine(&o, "")?,
     };
 
+    // Expose snapshot lifecycle counters through the engine's registry so
+    // they ride along in `Metrics` replies and `csp-served top`.
+    if let Some(store) = &store {
+        store.bind_metrics(engine.registry());
+    }
+    if let Some(path) = &o.trace_out {
+        csp_obs::global_ring().set_enabled(true);
+        eprintln!("span tracing on; ring dumps to {path} at shutdown");
+    }
+
     let mut unix_shutdown = None;
     if let Some(path) = &o.unix {
         let _ = std::fs::remove_file(path);
@@ -393,6 +451,16 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, CliError> {
         let s = seq.fetch_add(1, Ordering::Relaxed) + 1;
         save_snapshot(store, &engine, s)?;
     }
+    if let Some(path) = &o.trace_out {
+        let ring = csp_obs::global_ring();
+        let spans = ring.len();
+        let mut bytes = Vec::new();
+        ring.dump(&mut bytes)
+            .map_err(|e| rt(format!("encode span ring: {e}")))?;
+        trace_io::write_file_atomically(std::path::Path::new(path), &bytes)
+            .map_err(|e| rt(format!("write {path}: {e}")))?;
+        eprintln!("wrote {spans} spans to {path}");
+    }
     log_stats(&engine);
     Ok(ExitCode::SUCCESS)
 }
@@ -405,8 +473,8 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, CliError> {
         nodes: o.nodes,
         ..LoadOptions::default()
     };
-    let report = match &o.addr {
-        Some(addr) => run_load(addr.as_str(), &opts).map_err(rt)?,
+    let (report, scrape_addr) = match &o.addr {
+        Some(addr) => (run_load(addr.as_str(), &opts).map_err(rt)?, addr.clone()),
         None => {
             // Self-hosted: spin the engine up on a loopback ephemeral port
             // so `csp-served bench` measures the full service stack.
@@ -420,10 +488,196 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, CliError> {
                 Server::bind_tcp("127.0.0.1:0", engine).map_err(|e| rt(format!("bind: {e}")))?;
             let addr = server.local_addr().map_err(rt)?;
             std::thread::spawn(move || server.run());
-            run_load(addr, &opts).map_err(rt)?
+            (run_load(addr, &opts).map_err(rt)?, addr.to_string())
         }
     };
-    println!("{report}");
+    if let Some(out) = &o.metrics_out {
+        let mut client = Client::connect_tcp(scrape_addr.as_str())
+            .map_err(|e| rt(format!("connect {scrape_addr}: {e}")))?;
+        let text = client.metrics().map_err(rt)?;
+        trace_io::write_file_atomically(std::path::Path::new(out), text.as_bytes())
+            .map_err(|e| rt(format!("write {out}: {e}")))?;
+        eprintln!("wrote metrics scrape to {out}");
+    }
+    if o.json {
+        println!("{}", report.to_json());
+    } else {
+        println!("{report}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_metrics(args: &[String]) -> Result<ExitCode, CliError> {
+    let o = parse_options(args)?;
+    let addr = o
+        .addr
+        .as_deref()
+        .ok_or_else(|| usage_err("metrics needs --addr"))?;
+    let mut client = Client::connect_tcp(addr).map_err(|e| rt(format!("connect {addr}: {e}")))?;
+    client
+        .set_timeouts(Some(Duration::from_secs(10)), Some(Duration::from_secs(10)))
+        .map_err(rt)?;
+    print!("{}", client.metrics().map_err(rt)?);
+    Ok(ExitCode::SUCCESS)
+}
+
+/// One refresh of the `top` table, derived from two metrics scrapes.
+struct TopRow {
+    shard: String,
+    qps: f64,
+    p99_ns: u64,
+    queue: i64,
+    restarts: u64,
+}
+
+/// Reads the p-th quantile of a Prometheus histogram back out of its
+/// cumulative `_bucket{le=...}` samples for one shard.
+fn bucket_quantile(samples: &[csp_obs::Sample], name: &str, shard: &str, q: f64) -> u64 {
+    let bucket_name = format!("{name}_bucket");
+    let mut buckets: Vec<(u64, u64)> = samples
+        .iter()
+        .filter(|s| s.name == bucket_name && s.label("shard") == Some(shard))
+        .filter_map(|s| {
+            let le = s.label("le")?;
+            let le = if le == "+Inf" {
+                u64::MAX
+            } else {
+                le.parse().ok()?
+            };
+            Some((le, s.value_u64()?))
+        })
+        .collect();
+    buckets.sort_unstable();
+    let total = buckets.last().map_or(0, |&(_, cum)| cum);
+    if total == 0 {
+        return 0;
+    }
+    #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+    let target = ((total as f64) * q).ceil().max(1.0) as u64;
+    buckets
+        .iter()
+        .find(|&&(_, cum)| cum >= target)
+        .map_or(0, |&(le, _)| le)
+}
+
+fn shard_counter(samples: &[csp_obs::Sample], name: &str, shard: &str) -> u64 {
+    samples
+        .iter()
+        .find(|s| s.name == name && s.label("shard") == Some(shard))
+        .and_then(csp_obs::Sample::value_u64)
+        .unwrap_or(0)
+}
+
+fn top_rows(prev: &[csp_obs::Sample], cur: &[csp_obs::Sample], secs: f64) -> Vec<TopRow> {
+    let mut shards: Vec<String> = cur
+        .iter()
+        .filter(|s| s.name == "csp_shard_queries_total")
+        .filter_map(|s| s.label("shard").map(str::to_string))
+        .collect();
+    shards.sort();
+    shards.dedup();
+    shards
+        .into_iter()
+        .map(|shard| {
+            let now = shard_counter(cur, "csp_shard_queries_total", &shard);
+            let before = shard_counter(prev, "csp_shard_queries_total", &shard);
+            #[allow(clippy::cast_precision_loss)]
+            let qps = now.saturating_sub(before) as f64 / secs.max(1e-9);
+            let queue = cur
+                .iter()
+                .find(|s| s.name == "csp_shard_queue_depth" && s.label("shard") == Some(&shard))
+                .and_then(csp_obs::Sample::value_i64)
+                .unwrap_or(0);
+            TopRow {
+                qps,
+                p99_ns: bucket_quantile(cur, "csp_shard_query_service_ns", &shard, 0.99),
+                queue,
+                restarts: shard_counter(cur, "csp_shard_restarts_total", &shard),
+                shard,
+            }
+        })
+        .collect()
+}
+
+fn render_top(rows: &[TopRow], samples: &[csp_obs::Sample]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let conns = samples
+        .iter()
+        .find(|s| s.name == "csp_connections_active")
+        .and_then(csp_obs::Sample::value_i64)
+        .unwrap_or(0);
+    let queries: u64 = rows
+        .iter()
+        .map(|r| shard_counter(samples, "csp_shard_queries_total", &r.shard))
+        .sum();
+    let _ = writeln!(
+        out,
+        "csp-served top — {conns} conns, {queries} queries total"
+    );
+    let _ = writeln!(
+        out,
+        "{:>6} {:>12} {:>12} {:>7} {:>9}",
+        "shard", "qps", "p99", "queue", "restarts"
+    );
+    for r in rows {
+        #[allow(clippy::cast_precision_loss)]
+        let p99_us = r.p99_ns as f64 / 1_000.0;
+        let _ = writeln!(
+            out,
+            "{:>6} {:>12.0} {:>10.1}us {:>7} {:>9}",
+            r.shard, r.qps, p99_us, r.queue, r.restarts
+        );
+    }
+    out
+}
+
+fn cmd_top(args: &[String]) -> Result<ExitCode, CliError> {
+    let o = parse_options(args)?;
+    let addr = o
+        .addr
+        .as_deref()
+        .ok_or_else(|| usage_err("top needs --addr"))?;
+    let mut client = Client::connect_tcp(addr).map_err(|e| rt(format!("connect {addr}: {e}")))?;
+    client
+        .set_timeouts(Some(Duration::from_secs(10)), Some(Duration::from_secs(10)))
+        .map_err(rt)?;
+    let every = Duration::from_secs(o.every);
+    #[allow(clippy::cast_precision_loss)]
+    let secs = o.every as f64;
+    let mut prev = csp_obs::parse_text(&client.metrics().map_err(rt)?);
+    let mut remaining = o.count;
+    loop {
+        std::thread::sleep(every);
+        let cur = csp_obs::parse_text(&client.metrics().map_err(rt)?);
+        let rows = top_rows(&prev, &cur, secs);
+        // Clear the screen and home the cursor between refreshes.
+        print!("\x1b[2J\x1b[H{}", render_top(&rows, &cur));
+        use std::io::Write as _;
+        std::io::stdout().flush().map_err(rt)?;
+        prev = cur;
+        if let Some(n) = &mut remaining {
+            *n -= 1;
+            if *n == 0 {
+                break;
+            }
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_spans(args: &[String]) -> Result<ExitCode, CliError> {
+    let o = parse_options(args)?;
+    let [path] = o.positional.as_slice() else {
+        return Err(usage_err("spans takes exactly one <FILE>"));
+    };
+    let file = File::open(path).map_err(|e| rt(format!("open {path}: {e}")))?;
+    let lines =
+        csp_obs::read_dump(BufReader::new(file)).map_err(|e| rt(format!("read {path}: {e}")))?;
+    for line in &lines {
+        println!("{line}");
+    }
+    eprintln!("{} spans", lines.len());
     Ok(ExitCode::SUCCESS)
 }
 

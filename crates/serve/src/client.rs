@@ -169,4 +169,18 @@ impl Client {
             other => Err(unexpected(other)),
         }
     }
+
+    /// Fetches the server's full metrics registry as Prometheus-style
+    /// text (parse with `csp_obs::parse_text`).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or [`io::ErrorKind::InvalidData`] on a mismatched
+    /// reply.
+    pub fn metrics(&mut self) -> io::Result<String> {
+        match self.round_trip(&Request::Metrics)? {
+            Response::Metrics(text) => Ok(text),
+            other => Err(unexpected(other)),
+        }
+    }
 }

@@ -23,6 +23,7 @@
 
 use crate::shard::ShardedEngine;
 use crate::wire::{self, FrameRead, Request, Response, StatsReply};
+use csp_obs::{span, Counter, Gauge, Histogram, Registry};
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 #[cfg(unix)]
@@ -244,6 +245,96 @@ impl Server {
     }
 }
 
+/// The wire-layer instruments one connection records into. Built from
+/// the engine registry when the connection opens (cold: a handful of
+/// registry lookups); everything on the per-frame path is an atomic op
+/// on these shared handles.
+struct WireMetrics {
+    connections_total: Arc<Counter>,
+    connections_active: Arc<Gauge>,
+    errors: Arc<Counter>,
+    decode_ns: Arc<Histogram>,
+    encode_ns: Arc<Histogram>,
+    ping: Arc<Counter>,
+    predict: Arc<Counter>,
+    predict_batch: Arc<Counter>,
+    stats: Arc<Counter>,
+    metrics: Arc<Counter>,
+    invalid: Arc<Counter>,
+}
+
+impl WireMetrics {
+    fn new(registry: &Registry) -> Self {
+        let frames = |ty: &str| {
+            registry.counter(
+                "csp_wire_frames_total",
+                "Request frames received, by decoded type.",
+                &[("type", ty)],
+            )
+        };
+        WireMetrics {
+            connections_total: registry.counter(
+                "csp_connections_total",
+                "Client connections accepted.",
+                &[],
+            ),
+            connections_active: registry.gauge(
+                "csp_connections_active",
+                "Client connections currently open.",
+                &[],
+            ),
+            errors: registry.counter(
+                "csp_wire_errors_total",
+                "Protocol errors answered with a typed error frame.",
+                &[],
+            ),
+            decode_ns: registry.histogram(
+                "csp_wire_decode_ns",
+                "First byte to decoded request, in nanoseconds.",
+                &[],
+            ),
+            encode_ns: registry.histogram(
+                "csp_wire_encode_ns",
+                "Response encode + write + flush, in nanoseconds.",
+                &[],
+            ),
+            ping: frames("ping"),
+            predict: frames("predict"),
+            predict_batch: frames("predict_batch"),
+            stats: frames("stats"),
+            metrics: frames("metrics"),
+            invalid: frames("invalid"),
+        }
+    }
+
+    fn count_request(&self, request: &Request) {
+        match request {
+            Request::Ping => self.ping.inc(),
+            Request::Predict(_) => self.predict.inc(),
+            Request::PredictBatch(_) => self.predict_batch.inc(),
+            Request::Stats => self.stats.inc(),
+            Request::Metrics => self.metrics.inc(),
+        }
+    }
+}
+
+/// Keeps `csp_connections_active` balanced on every exit path.
+struct ActiveConnection(Arc<Gauge>);
+
+impl ActiveConnection {
+    fn open(metrics: &WireMetrics) -> Self {
+        metrics.connections_total.inc();
+        metrics.connections_active.add(1);
+        ActiveConnection(Arc::clone(&metrics.connections_active))
+    }
+}
+
+impl Drop for ActiveConnection {
+    fn drop(&mut self) {
+        self.0.sub(1);
+    }
+}
+
 /// `true` for the error kinds a socket read/write deadline produces.
 fn is_timeout(e: &io::Error) -> bool {
     matches!(
@@ -298,24 +389,34 @@ pub fn serve_connection<R: Read, W: Write>(
     options: &ServerOptions,
     shutdown: &ShutdownHandle,
 ) -> io::Result<()> {
+    let metrics = WireMetrics::new(engine.registry());
+    let _active = ActiveConnection::open(&metrics);
     let mut errors: u32 = 0;
     loop {
         let first = match wait_first_byte(&mut reader, shutdown)? {
             Some(b) => b,
             None => return Ok(()), // clean EOF or shutdown
         };
+        // Decode time runs from the first byte of the frame to a decoded
+        // request (or a rejected one); idle time waiting for that byte is
+        // the client's, not ours.
+        let decode_started = Instant::now();
         let outcome = match wire::read_frame_after_first(&mut reader, first) {
             Ok(o) => o,
             Err(e) if is_timeout(&e) => {
                 // Mid-frame stall: a slowloris peer. Best-effort notice,
                 // then hang up.
+                metrics.errors.inc();
                 let _ = send_error(&mut writer, "read deadline exceeded mid-frame".to_string());
                 return Ok(());
             }
             Err(e) => return Err(e),
         };
+        let _request_span = span("serve.request");
         let response = match outcome {
             FrameRead::Oversized { len } => {
+                metrics.invalid.inc();
+                metrics.errors.inc();
                 let _ = send_error(
                     &mut writer,
                     format!(
@@ -327,20 +428,32 @@ pub fn serve_connection<R: Read, W: Write>(
             }
             FrameRead::BadChecksum { stored, computed } => {
                 errors += 1;
+                metrics.invalid.inc();
+                metrics.errors.inc();
+                metrics.decode_ns.record_duration(decode_started.elapsed());
                 Response::Error(format!(
                     "frame checksum mismatch: stored {stored:#010X}, computed {computed:#010X}"
                 ))
             }
             FrameRead::Frame(payload) => match wire::decode_request(&payload) {
-                Ok(request) => answer(engine, request),
+                Ok(request) => {
+                    metrics.count_request(&request);
+                    metrics.decode_ns.record_duration(decode_started.elapsed());
+                    answer(engine, request)
+                }
                 Err(e) => {
                     errors += 1;
+                    metrics.invalid.inc();
+                    metrics.errors.inc();
+                    metrics.decode_ns.record_duration(decode_started.elapsed());
                     Response::Error(e.to_string())
                 }
             },
         };
+        let encode_started = Instant::now();
         wire::write_response(&mut writer, &response)?;
         writer.flush()?;
+        metrics.encode_ns.record_duration(encode_started.elapsed());
         if errors > options.error_budget {
             let _ = send_error(
                 &mut writer,
@@ -363,7 +476,21 @@ pub fn answer(engine: &ShardedEngine, request: Request) -> Response {
             engine.shard_count(),
             &engine.stats(),
         )),
+        Request::Metrics => Response::Metrics(metrics_text(engine)),
     }
+}
+
+/// Encodes the engine registry for the wire, truncating at a line
+/// boundary in the (pathological) case where the scrape outgrows the
+/// frame limit — a short scrape beats a dropped connection.
+fn metrics_text(engine: &ShardedEngine) -> String {
+    let mut text = engine.registry().encode_prometheus();
+    let limit = wire::MAX_PAYLOAD - 16; // type byte + length header + slack
+    if text.len() > limit {
+        let cut = text[..limit].rfind('\n').map_or(0, |i| i + 1);
+        text.truncate(cut);
+    }
+    text
 }
 
 #[cfg(test)]

@@ -35,6 +35,7 @@
 use crate::{error::ServeError, Probe};
 use csp_core::{node_bits, shard_of_key, PredictorTable, PreparedTrace, Scheme, UpdateMode};
 use csp_metrics::{ConfusionMatrix, OnlineConfusion, Screening};
+use csp_obs::{Gauge, Histogram, Registry};
 use csp_trace::{SharingBitmap, SharingEvent, Trace};
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -42,6 +43,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Operations batched into a shard's inbox by the ingest path.
 #[derive(Clone, Copy, Debug)]
@@ -194,7 +196,87 @@ impl EngineSnapshot {
 struct ShardHandle {
     tx: SyncSender<ShardMsg>,
     counters: Arc<ShardCounters>,
+    queue_depth: Arc<Gauge>,
     join: Option<JoinHandle<PredictorTable>>,
+}
+
+/// The owned instruments one shard worker records into. Registered on
+/// the engine registry at spawn time (cold); recording is lock-free.
+struct ShardInstruments {
+    queue_depth: Arc<Gauge>,
+    batch_size: Arc<Histogram>,
+    batch_ns: Arc<Histogram>,
+    query_ns: Arc<Histogram>,
+}
+
+impl ShardInstruments {
+    /// Registers shard `i`'s instruments plus callback series that
+    /// expose its [`ShardCounters`] — the counters the worker already
+    /// publishes — so the scrape reads them with zero extra hot-path
+    /// cost.
+    fn register(registry: &Registry, i: usize, counters: &Arc<ShardCounters>) -> Self {
+        let shard = i.to_string();
+        let labels: &[(&str, &str)] = &[("shard", shard.as_str())];
+        let poll = |f: fn(&ShardCounters) -> &AtomicU64| {
+            let c = Arc::clone(counters);
+            move || f(&c).load(Ordering::Relaxed)
+        };
+        registry.register_counter_fn(
+            "csp_shard_updates_total",
+            "Predictor update operations applied, per shard.",
+            labels,
+            poll(|c| &c.updates),
+        );
+        registry.register_counter_fn(
+            "csp_shard_scored_total",
+            "Replay decisions scored against ground truth, per shard.",
+            labels,
+            poll(|c| &c.scored),
+        );
+        registry.register_counter_fn(
+            "csp_shard_queries_total",
+            "Serving probes answered, per shard.",
+            labels,
+            poll(|c| &c.queries),
+        );
+        registry.register_counter_fn(
+            "csp_shard_restarts_total",
+            "Supervised worker restarts (panics recovered in place), per shard.",
+            labels,
+            poll(|c| &c.restarts),
+        );
+        {
+            let c = Arc::clone(counters);
+            registry.register_gauge_fn(
+                "csp_shard_entries",
+                "Predictor entries currently allocated, per shard.",
+                labels,
+                move || c.entries.load(Ordering::Relaxed) as i64,
+            );
+        }
+        ShardInstruments {
+            queue_depth: registry.gauge(
+                "csp_shard_queue_depth",
+                "Messages waiting in the shard inbox.",
+                labels,
+            ),
+            batch_size: registry.histogram(
+                "csp_shard_batch_size",
+                "Ingest operations per applied batch.",
+                labels,
+            ),
+            batch_ns: registry.histogram(
+                "csp_shard_batch_service_ns",
+                "Wall time applying one ingest batch, in nanoseconds.",
+                labels,
+            ),
+            query_ns: registry.histogram(
+                "csp_shard_query_service_ns",
+                "Per-probe service time in nanoseconds (one observation per answered probe).",
+                labels,
+            ),
+        }
+    }
 }
 
 /// How many messages a shard inbox buffers before senders block
@@ -242,6 +324,7 @@ pub struct ShardedEngine {
     nodes: usize,
     node_bits: u32,
     shards: Vec<ShardHandle>,
+    registry: Arc<Registry>,
 }
 
 impl std::fmt::Debug for ShardHandle {
@@ -298,6 +381,20 @@ impl ShardedEngine {
     }
 
     fn spawn(scheme: Scheme, nodes: usize, states: Vec<ShardState>) -> Self {
+        let registry = Arc::new(Registry::new());
+        let shard_count = states.len();
+        registry.register_gauge_fn(
+            "csp_engine_shards",
+            "Worker shards in this engine.",
+            &[],
+            move || shard_count as i64,
+        );
+        registry.register_gauge_fn(
+            "csp_engine_nodes",
+            "Machine width predictions are scored against.",
+            &[],
+            move || nodes as i64,
+        );
         let handles = states
             .into_iter()
             .enumerate()
@@ -308,14 +405,17 @@ impl ShardedEngine {
                 // engine's counters must be readable immediately, not
                 // only after the OS happens to schedule each worker.
                 publish(&counters, &initial);
+                let instruments = ShardInstruments::register(&registry, i, &counters);
+                let queue_depth = Arc::clone(&instruments.queue_depth);
                 let worker_counters = Arc::clone(&counters);
                 let join = std::thread::Builder::new()
                     .name(format!("csp-shard-{i}"))
-                    .spawn(move || shard_worker(nodes, rx, &worker_counters, initial))
+                    .spawn(move || shard_worker(nodes, rx, &worker_counters, &instruments, initial))
                     .expect("spawn shard worker");
                 ShardHandle {
                     tx,
                     counters,
+                    queue_depth,
                     join: Some(join),
                 }
             })
@@ -325,6 +425,7 @@ impl ShardedEngine {
             nodes,
             node_bits: node_bits(nodes),
             shards: handles,
+            registry,
         }
     }
 
@@ -343,6 +444,17 @@ impl ShardedEngine {
         self.shards.len()
     }
 
+    /// The engine's metrics registry: per-shard queue-depth gauges,
+    /// batch/query service-time histograms, and callback counters over
+    /// the live [`ShardCounters`]. Per-engine (not global) so tests and
+    /// co-hosted engines never share series; callers hang their own
+    /// instruments here too (the wire server, the snapshot store), which
+    /// is what makes one `csp-served metrics` scrape cover the whole
+    /// process.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
     /// The predictor key a probe consults under the engine's scheme.
     pub fn key_of(&self, probe: &Probe) -> u64 {
         self.scheme.index.key(
@@ -355,6 +467,9 @@ impl ShardedEngine {
     }
 
     fn send(&self, shard: usize, msg: ShardMsg) {
+        // Depth counts messages between enqueue here and dequeue in the
+        // worker, so a stalled shard shows up as a climbing gauge.
+        self.shards[shard].queue_depth.add(1);
         // A send can only fail after a worker panicked, which tears down
         // the run anyway; surface it as the panic it is.
         if self.shards[shard].tx.send(msg).is_err() {
@@ -768,6 +883,7 @@ fn shard_worker(
     nodes: usize,
     rx: Receiver<ShardMsg>,
     counters: &ShardCounters,
+    instruments: &ShardInstruments,
     initial: ShardState,
 ) -> PredictorTable {
     let mut state = initial;
@@ -775,14 +891,17 @@ fn shard_worker(
     let mut journal: Vec<IngestOp> = Vec::new();
     publish(counters, &state);
     while let Ok(msg) = rx.recv() {
+        instruments.queue_depth.sub(1);
         match msg {
             ShardMsg::Ingest(ops) => {
+                let started = Instant::now();
                 let healthy = catch_unwind(AssertUnwindSafe(|| {
                     for &op in &ops {
                         apply_op(&mut state, op, nodes);
                     }
                 }))
                 .is_ok();
+                instruments.batch_size.record(ops.len() as u64);
                 if healthy {
                     journal.extend_from_slice(&ops);
                 } else {
@@ -812,13 +931,23 @@ fn shard_worker(
                     checkpoint = state.clone();
                     journal.clear();
                 }
+                instruments.batch_ns.record_duration(started.elapsed());
             }
             ShardMsg::Query { probes, reply } => {
-                state.queries += probes.len() as u64;
+                let started = Instant::now();
+                let answered = probes.len() as u64;
+                state.queries += answered;
                 let out: Vec<(usize, SharingBitmap)> = probes
                     .into_iter()
                     .map(|(pos, key)| (pos, state.table.predict(key)))
                     .collect();
+                // One observation per answered probe, so the histogram
+                // count tracks the queries counter exactly (a zero-probe
+                // flush barrier records nothing). Amortized: one clock
+                // read and three atomic adds per message, not per probe.
+                instruments
+                    .query_ns
+                    .record_duration_n(started.elapsed(), answered);
                 // Publish before replying: a querier that reads stats()
                 // right after the reply must see its own queries counted
                 // (the reply is the synchronization point).

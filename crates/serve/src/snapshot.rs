@@ -288,6 +288,18 @@ pub fn read_engine_state<R: Read>(r: R) -> io::Result<EngineState> {
 #[derive(Clone, Debug)]
 pub struct SnapshotStore {
     dir: PathBuf,
+    counters: std::sync::Arc<SnapshotCounters>,
+}
+
+/// Lifecycle counters for a [`SnapshotStore`], shared by clones of the
+/// store. [`SnapshotStore::bind_metrics`] exposes them on a registry so
+/// snapshot health shows up in the same scrape as everything else
+/// instead of only in server log lines.
+#[derive(Debug, Default)]
+struct SnapshotCounters {
+    writes: csp_obs::Counter,
+    prunes: csp_obs::Counter,
+    quarantines: csp_obs::Counter,
 }
 
 /// Snapshot files kept by [`SnapshotStore::save`]'s pruning: the one just
@@ -304,12 +316,44 @@ impl SnapshotStore {
     pub fn open(dir: impl Into<PathBuf>) -> Result<Self, ServeError> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir).map_err(|e| ServeError::io(&dir, e))?;
-        Ok(SnapshotStore { dir })
+        Ok(SnapshotStore {
+            dir,
+            counters: std::sync::Arc::default(),
+        })
     }
 
     /// The directory this store manages.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// Registers this store's lifecycle counters (`csp_snapshot_*`) on
+    /// `registry` — typically the engine registry, so one scrape covers
+    /// predictions and durability alike. Clones of the store share the
+    /// counters, so bind once per store lineage.
+    pub fn bind_metrics(&self, registry: &csp_obs::Registry) {
+        let poll = |f: fn(&SnapshotCounters) -> &csp_obs::Counter| {
+            let c = std::sync::Arc::clone(&self.counters);
+            move || f(&c).get()
+        };
+        registry.register_counter_fn(
+            "csp_snapshot_writes_total",
+            "Snapshot files written durably.",
+            &[],
+            poll(|c| &c.writes),
+        );
+        registry.register_counter_fn(
+            "csp_snapshot_prunes_total",
+            "Obsolete snapshot files removed by retention.",
+            &[],
+            poll(|c| &c.prunes),
+        );
+        registry.register_counter_fn(
+            "csp_snapshot_quarantines_total",
+            "Corrupt snapshot files renamed aside during restore.",
+            &[],
+            poll(|c| &c.quarantines),
+        );
     }
 
     fn path_for(&self, seq: u64) -> PathBuf {
@@ -329,9 +373,12 @@ impl SnapshotStore {
         write_engine_state(&mut bytes, state).map_err(|e| ServeError::io(&self.dir, e))?;
         let path = self.path_for(state.seq);
         write_file_atomically(&path, &bytes).map_err(|e| ServeError::io(&path, e))?;
+        self.counters.writes.inc();
         for old in self.list()?.into_iter().rev().skip(RETAIN) {
             // Pruning is best-effort: a leftover file only wastes space.
-            let _ = std::fs::remove_file(old);
+            if std::fs::remove_file(old).is_ok() {
+                self.counters.prunes.inc();
+            }
         }
         Ok(path)
     }
@@ -377,7 +424,9 @@ impl SnapshotStore {
     fn quarantine(&self, path: &Path) {
         let mut to = path.as_os_str().to_owned();
         to.push(".corrupt");
-        let _ = std::fs::rename(path, PathBuf::from(to));
+        if std::fs::rename(path, PathBuf::from(to)).is_ok() {
+            self.counters.quarantines.inc();
+        }
     }
 }
 
@@ -508,6 +557,33 @@ mod tests {
         let mut quarantined = path.as_os_str().to_owned();
         quarantined.push(".corrupt");
         assert!(PathBuf::from(quarantined).exists());
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lifecycle_counters_surface_through_a_registry() {
+        let dir = std::env::temp_dir().join(format!("csp-snap-metrics-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = SnapshotStore::open(&dir).unwrap();
+        let registry = csp_obs::Registry::new();
+        store.bind_metrics(&registry);
+
+        let mut state = trained_state("last(pid+pc8)1[direct]", 2);
+        for seq in [1, 2, 3] {
+            state.seq = seq;
+            store.save(&state).unwrap();
+        }
+        // Corrupt the newest so a restore must quarantine it.
+        let (_, newest) = store.load_latest().unwrap().unwrap();
+        std::fs::write(&newest, b"garbage").unwrap();
+        store.load_latest().unwrap().unwrap();
+
+        let samples = csp_obs::parse_text(&registry.encode_prometheus());
+        let get = |name: &str| csp_obs::sum_counter(&samples, name);
+        assert_eq!(get("csp_snapshot_writes_total"), 3);
+        assert_eq!(get("csp_snapshot_prunes_total"), 1); // 3 saved, RETAIN=2
+        assert_eq!(get("csp_snapshot_quarantines_total"), 1);
 
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -42,10 +42,12 @@ const T_PING: u8 = 0x01;
 const T_PREDICT: u8 = 0x02;
 const T_PREDICT_BATCH: u8 = 0x03;
 const T_STATS: u8 = 0x04;
+const T_METRICS: u8 = 0x05;
 const T_PONG: u8 = 0x81;
 const T_PREDICTION: u8 = 0x82;
 const T_PREDICTION_BATCH: u8 = 0x83;
 const T_STATS_SNAPSHOT: u8 = 0x84;
+const T_METRICS_TEXT: u8 = 0x85;
 const T_ERROR: u8 = 0xFF;
 
 /// A client-to-server message.
@@ -59,6 +61,8 @@ pub enum Request {
     PredictBatch(Vec<Probe>),
     /// Fetch the engine's merged live statistics.
     Stats,
+    /// Fetch the full metrics registry as Prometheus-style text.
+    Metrics,
 }
 
 /// The statistics body of a [`Response::Stats`] frame.
@@ -114,6 +118,11 @@ pub enum Response {
     PredictionBatch(Vec<SharingBitmap>),
     /// Answer to [`Request::Stats`].
     Stats(StatsReply),
+    /// Answer to [`Request::Metrics`]: the registry as Prometheus-style
+    /// text exposition (see `csp_obs::Registry::encode_prometheus`).
+    /// Carried with a `u32` length — a loaded many-shard registry
+    /// outgrows the `u16` strings other frames use.
+    Metrics(String),
     /// The request could not be served; the connection stays usable.
     Error(String),
 }
@@ -180,6 +189,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             }
         }
         Request::Stats => buf.push(T_STATS),
+        Request::Metrics => buf.push(T_METRICS),
     }
     buf
 }
@@ -214,6 +224,7 @@ pub fn decode_request(payload: &[u8]) -> io::Result<Request> {
             ))
         }
         T_STATS if body.is_empty() => Ok(Request::Stats),
+        T_METRICS if body.is_empty() => Ok(Request::Metrics),
         _ => Err(invalid(format!("malformed request (type 0x{tag:02X})"))),
     }
 }
@@ -252,6 +263,12 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             ] {
                 buf.extend_from_slice(&v.to_le_bytes());
             }
+        }
+        Response::Metrics(text) => {
+            buf.push(T_METRICS_TEXT);
+            let bytes = text.as_bytes();
+            buf.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            buf.extend_from_slice(bytes);
         }
         Response::Error(msg) => {
             buf.push(T_ERROR);
@@ -319,6 +336,19 @@ pub fn decode_response(payload: &[u8]) -> io::Result<Response> {
                     fn_: get_u64(fixed, 64),
                 },
             }))
+        }
+        T_METRICS_TEXT => {
+            if body.len() < 4 {
+                return Err(invalid("truncated metrics header"));
+            }
+            let len = u32::from_le_bytes([body[0], body[1], body[2], body[3]]) as usize;
+            if body.len() != 4 + len {
+                return Err(invalid("metrics body length mismatch"));
+            }
+            let text = std::str::from_utf8(&body[4..])
+                .map_err(|_| invalid("metrics text is not UTF-8"))?
+                .to_string();
+            Ok(Response::Metrics(text))
         }
         T_ERROR => {
             let (msg, used) = get_str(body)?;
@@ -498,6 +528,7 @@ mod tests {
             Request::PredictBatch((0..100).map(probe).collect()),
             Request::PredictBatch(Vec::new()),
             Request::Stats,
+            Request::Metrics,
         ];
         for req in reqs {
             let mut buf = Vec::new();
@@ -528,6 +559,15 @@ mod tests {
                     fn_: 40,
                 },
             }),
+            Response::Metrics(String::new()),
+            Response::Metrics(
+                "# HELP csp_shard_queries_total Serving probes answered.\n\
+                 # TYPE csp_shard_queries_total counter\n\
+                 csp_shard_queries_total{shard=\"0\"} 123\n"
+                    // Past 64 KiB: metrics bodies use a u32 length where
+                    // other frames' strings stop at u16.
+                    .repeat(600),
+            ),
             Response::Error("predictor on fire".to_string()),
         ];
         for resp in resps {

@@ -5,6 +5,7 @@
 pub use csp_core as core;
 pub use csp_harness as harness;
 pub use csp_metrics as metrics;
+pub use csp_obs as obs;
 pub use csp_serve as serve;
 pub use csp_sim as sim;
 pub use csp_trace as trace;
