@@ -86,6 +86,104 @@ pub fn verify_online_equivalence(
     divergences
 }
 
+/// Proves the replication pipeline preserves bit-identity in-process:
+/// for every benchmark, a leader journals half the trace, a follower
+/// bootstraps from the frozen snapshot, the remainder streams through
+/// the replication log in [`MAX_SEGMENT_OPS`]-bounded segments — and the
+/// follower must end bit-identical to both the leader and the offline
+/// reference engine.
+///
+/// [`MAX_SEGMENT_OPS`]: csp_serve::MAX_SEGMENT_OPS
+///
+/// An empty return means the proof holds; entries are human-readable
+/// divergence descriptions.
+pub fn verify_replication_equivalence(
+    suite: &Suite,
+    scheme: &Scheme,
+    shards: usize,
+) -> Vec<String> {
+    use csp_core::PreparedTrace;
+    use csp_serve::replication::{self, snapshot_at_head};
+    use csp_serve::{IngestOp, ReplOp, ReplicationLog, MAX_SEGMENT_OPS};
+    use std::time::Duration;
+
+    let mut divergences = Vec::new();
+    for bench in suite.traces() {
+        let offline = run_scheme(&bench.trace, scheme);
+        let nodes = bench.trace.nodes();
+        let fp = replication::fingerprint(scheme, nodes);
+
+        // Leader: journal from the start, snapshot mid-trace.
+        let leader = ShardedEngine::new(*scheme, nodes, shards);
+        leader
+            .attach_replication(ReplicationLog::in_memory(fp))
+            .expect("fresh engine has no log");
+        let prepared = PreparedTrace::new(&bench.trace);
+        let half = prepared.len() / 2;
+        leader
+            .replay_range(&prepared, 0..half)
+            .expect("engine built with the trace's own width");
+        leader.flush();
+        let state = snapshot_at_head(&leader).expect("in-memory snapshot cannot fail on io");
+
+        // Follower: bootstrap from the snapshot, then stream the rest.
+        let mut offset = state.seq;
+        let follower = state.restore().expect("snapshot restores");
+        follower.mark_follower();
+
+        leader
+            .replay_range(&prepared, half..prepared.len())
+            .expect("engine built with the trace's own width");
+        leader.flush();
+        let log = leader.replication().expect("attached above");
+        let head = log.head();
+        while offset < head {
+            let segment = match log.wait_segment(offset, MAX_SEGMENT_OPS, Duration::from_millis(10))
+            {
+                Ok(segment) => segment,
+                Err(e) => {
+                    divergences.push(format!(
+                        "{scheme} on {}: stream broke at offset {offset}: {e:?}",
+                        bench.benchmark
+                    ));
+                    break;
+                }
+            };
+            let ops: Vec<IngestOp> = segment.ops.iter().map(ReplOp::to_ingest).collect();
+            offset += ops.len() as u64;
+            follower.ingest_ops(ops);
+        }
+        follower.flush();
+
+        let l = leader.stats();
+        let f = follower.stats();
+        if f.confusion != offline {
+            divergences.push(format!(
+                "{scheme} on {}: follower {:?} != offline {:?}",
+                bench.benchmark, f.confusion, offline
+            ));
+        }
+        if (l.confusion, l.updates, l.scored, l.entries)
+            != (f.confusion, f.updates, f.scored, f.entries)
+        {
+            divergences.push(format!(
+                "{scheme} on {}: follower ({:?}, updates {}, scored {}, entries {}) \
+                 != leader ({:?}, updates {}, scored {}, entries {})",
+                bench.benchmark,
+                f.confusion,
+                f.updates,
+                f.scored,
+                f.entries,
+                l.confusion,
+                l.updates,
+                l.scored,
+                l.entries
+            ));
+        }
+    }
+    divergences
+}
+
 /// The scheme grid `csp-repro --verify-serve` checks: the paper's three
 /// prediction-function families under every update mode they support.
 pub fn verification_schemes() -> Vec<Scheme> {
@@ -122,5 +220,15 @@ mod tests {
         let suite = Suite::generate(0.02, 11);
         let divergences = verify_online_equivalence(&suite, &verification_schemes(), 4);
         assert!(divergences.is_empty(), "{divergences:?}");
+    }
+
+    #[test]
+    fn replication_pipeline_is_bit_identical_across_the_suite() {
+        let suite = Suite::generate(0.02, 11);
+        for scheme in ["union(pid+pc8)2[forwarded]", "last(pid+pc8)1[direct]"] {
+            let scheme: Scheme = scheme.parse().unwrap();
+            let divergences = verify_replication_equivalence(&suite, &scheme, 3);
+            assert!(divergences.is_empty(), "{divergences:#?}");
+        }
     }
 }

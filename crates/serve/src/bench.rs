@@ -31,6 +31,16 @@ pub struct LoadOptions {
     /// as a timeout (the generator reconnects and keeps going) instead
     /// of hanging the whole run. `None` waits forever.
     pub timeout: Option<Duration>,
+    /// Retry transient connect failures (refused/reset/aborted — a
+    /// server mid-restart) with backoff instead of failing the run.
+    /// `false` is the `--no-retry` escape hatch: any connect failure is
+    /// immediately fatal, for scripts that want a crisp liveness probe.
+    pub retry: bool,
+    /// Connect attempts per (re)connection before giving up, when
+    /// [`retry`](Self::retry) is on.
+    pub retry_attempts: u32,
+    /// Delay before the first connect retry; doubles per attempt.
+    pub retry_backoff: Duration,
 }
 
 impl Default for LoadOptions {
@@ -41,6 +51,9 @@ impl Default for LoadOptions {
             nodes: 16,
             seed: 0x5EED,
             timeout: Some(Duration::from_secs(10)),
+            retry: true,
+            retry_attempts: 5,
+            retry_backoff: Duration::from_millis(20),
         }
     }
 }
@@ -72,6 +85,10 @@ pub struct LoadReport {
     /// Connections the server (or network) dropped mid-run; each one
     /// forced a reconnect.
     pub disconnects: u64,
+    /// Transient connect failures absorbed by retry-with-backoff
+    /// ([`LoadOptions::retry`]) — attempts that failed and were retried,
+    /// not attempts that succeeded.
+    pub connect_retries: u64,
 }
 
 impl LoadReport {
@@ -102,7 +119,7 @@ impl LoadReport {
         format!(
             "{{\"probes\":{},\"frames\":{},\"elapsed_s\":{:.6},\"qps\":{:.1},\
              \"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\"max_ns\":{},\
-             \"timeouts\":{},\"disconnects\":{},\
+             \"timeouts\":{},\"disconnects\":{},\"connect_retries\":{},\
              \"latency\":{{\"count\":{},\"sum_ns\":{},\"buckets\":[{buckets}]}}}}",
             self.probes,
             self.frames,
@@ -115,6 +132,7 @@ impl LoadReport {
             self.max.as_nanos(),
             self.timeouts,
             self.disconnects,
+            self.connect_retries,
             self.latency.count(),
             self.latency.sum,
         )
@@ -132,11 +150,11 @@ impl fmt::Display for LoadReport {
             self.p50.as_secs_f64() * 1e6,
             self.p99.as_secs_f64() * 1e6,
         )?;
-        if self.timeouts > 0 || self.disconnects > 0 {
+        if self.timeouts > 0 || self.disconnects > 0 || self.connect_retries > 0 {
             write!(
                 f,
-                " [{} timeouts, {} disconnects]",
-                self.timeouts, self.disconnects
+                " [{} timeouts, {} disconnects, {} connect retries]",
+                self.timeouts, self.disconnects, self.connect_retries
             )?;
         }
         Ok(())
@@ -182,6 +200,46 @@ fn is_timeout(e: &io::Error) -> bool {
     )
 }
 
+/// `true` for connect failures worth retrying: the server is restarting
+/// or its accept queue hiccuped, not structurally unreachable.
+fn is_transient_connect(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::WouldBlock
+    )
+}
+
+/// Connects with the options' deadlines, absorbing up to
+/// [`LoadOptions::retry_attempts`] transient failures with doubling
+/// backoff when retry is enabled. Each absorbed failure increments
+/// `retries`.
+fn connect_with_retry<A: ToSocketAddrs>(
+    addr: &A,
+    opts: &LoadOptions,
+    retries: &mut u64,
+) -> io::Result<Client> {
+    let mut attempt: u32 = 0;
+    loop {
+        let result = Client::connect_tcp(addr).and_then(|mut client| {
+            client.set_timeouts(opts.timeout, opts.timeout)?;
+            Ok(client)
+        });
+        match result {
+            Ok(client) => return Ok(client),
+            Err(e) if opts.retry && attempt < opts.retry_attempts && is_transient_connect(&e) => {
+                *retries += 1;
+                std::thread::sleep(opts.retry_backoff * 2u32.saturating_pow(attempt));
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 /// Runs a load test against the server at `addr`, sending
 /// [`LoadOptions::frames`] batches of [`LoadOptions::batch`] probes and
 /// timing each round-trip.
@@ -192,18 +250,20 @@ fn is_timeout(e: &io::Error) -> bool {
 /// generator reconnects and continues. Only successfully answered frames
 /// contribute probes and latency samples.
 ///
+/// Transient *connect* failures (refused/reset while a server restarts)
+/// are retried with doubling backoff and tallied in
+/// [`LoadReport::connect_retries`] instead of failing the run or
+/// inflating the disconnect ledger; [`LoadOptions::retry`] `= false`
+/// (the `--no-retry` flag) restores fail-fast connects.
+///
 /// # Errors
 ///
-/// Propagates initial-connection and reconnection failures (a server
-/// that is *gone* still fails the run; one that is merely slow or
-/// flaky does not).
+/// Propagates initial-connection and reconnection failures once retry is
+/// exhausted or disabled (a server that is *gone* still fails the run;
+/// one that is merely slow or flaky does not).
 pub fn run_load<A: ToSocketAddrs>(addr: A, opts: &LoadOptions) -> io::Result<LoadReport> {
-    let connect = |client: &mut Client| -> io::Result<()> {
-        *client = Client::connect_tcp(&addr)?;
-        client.set_timeouts(opts.timeout, opts.timeout)
-    };
-    let mut client = Client::connect_tcp(&addr)?;
-    client.set_timeouts(opts.timeout, opts.timeout)?;
+    let mut connect_retries = 0u64;
+    let mut client = connect_with_retry(&addr, opts, &mut connect_retries)?;
     client.ping()?;
     // One warm-up frame so connection setup is not in the measurement.
     let probes = probe_stream(opts.seed, opts.nodes, opts.batch.max(1));
@@ -236,7 +296,7 @@ pub fn run_load<A: ToSocketAddrs>(addr: A, opts: &LoadOptions) -> io::Result<Loa
                 // Either way the stream state is unknown (a late reply
                 // would desynchronize request/response pairing), so start
                 // a fresh connection.
-                connect(&mut client)?;
+                client = connect_with_retry(&addr, opts, &mut connect_retries)?;
             }
         }
     }
@@ -254,6 +314,7 @@ pub fn run_load<A: ToSocketAddrs>(addr: A, opts: &LoadOptions) -> io::Result<Loa
         latency,
         timeouts,
         disconnects,
+        connect_retries,
     })
 }
 
@@ -312,6 +373,51 @@ mod tests {
         assert!(!report.to_string().contains("timeouts"));
         // The engine really answered them (warm-up frame included).
         assert_eq!(engine.stats().queries, 64 * 21);
+    }
+
+    #[test]
+    fn transient_connect_refusals_are_retried_not_fatal() {
+        // Reserve a port, then close the listener: connects are refused
+        // until the real server binds the same port moments later — a
+        // leader mid-restart, as the load generator sees it.
+        let placeholder = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = placeholder.local_addr().unwrap();
+        drop(placeholder);
+        let engine = Arc::new(ShardedEngine::new(
+            "last(pid+pc8)1[direct]".parse().unwrap(),
+            16,
+            1,
+        ));
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(150));
+            let server = Server::bind_tcp(addr, engine).unwrap();
+            server.run()
+        });
+
+        let opts = LoadOptions {
+            batch: 8,
+            frames: 5,
+            retry_backoff: Duration::from_millis(50),
+            ..LoadOptions::default()
+        };
+        let report = run_load(addr, &opts).unwrap();
+        assert!(report.connect_retries >= 1, "{report}");
+        assert_eq!(report.probes, 5 * 8, "{report}");
+        assert_eq!(report.disconnects, 0, "retries leaked into disconnects");
+        assert!(report.to_string().contains("connect retries"), "{report}");
+    }
+
+    #[test]
+    fn no_retry_fails_fast_on_refused_connect() {
+        let placeholder = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = placeholder.local_addr().unwrap();
+        drop(placeholder);
+        let opts = LoadOptions {
+            retry: false,
+            ..LoadOptions::default()
+        };
+        let err = run_load(addr, &opts).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused);
     }
 
     #[test]

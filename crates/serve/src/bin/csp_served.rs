@@ -2,12 +2,16 @@
 //!
 //! ```text
 //! csp-served serve    --scheme S [--nodes N] [--shards K] [--listen ADDR]
-//!                     [--unix PATH] [--warm trace.csptrc]... [--stats-every SECS]
-//!                     [--snapshot-dir DIR] [--snapshot-every SECS] [--restore]
-//!                     [--trace-out FILE]
+//!                     [--unix PATH] [--warm trace.csptrc]... [--warm-events N]
+//!                     [--stats-every SECS] [--snapshot-dir DIR]
+//!                     [--snapshot-every SECS] [--restore] [--trace-out FILE]
+//!                     [--replicate] [--follow ADDR | --follow-file PATH]
+//!                     [--addr-file PATH]
 //! csp-served bench    [--scheme S] [--nodes N] [--shards K] [--batch B]
 //!                     [--frames F] [--addr ADDR] [--warm trace.csptrc]
-//!                     [--json] [--metrics-out FILE]
+//!                     [--json] [--metrics-out FILE] [--no-retry]
+//! csp-served push     --addr ADDR --scheme S [--from-event N] [--to-event M]
+//!                     <trace.csptrc>
 //! csp-served metrics  --addr ADDR
 //! csp-served top      --addr ADDR [--every SECS] [--count N]
 //! csp-served spans    <FILE>
@@ -23,9 +27,23 @@
 //! shutdown (triggered by stdin closing). `--restore` resumes from the
 //! newest snapshot in the directory.
 //!
+//! `--replicate` makes a served engine a *leader*: every mutation is
+//! journaled to CRC32c-framed segment files beside the snapshots, remote
+//! producers can `push` operations over the wire, and followers stream
+//! the journal live. `--follow ADDR` (or `--follow-file PATH`, re-read
+//! on every dial so the leader can move) makes it a read-only *follower*
+//! that bootstraps from a copied snapshot (`--restore`), subscribes from
+//! its seq, reconnects with backoff, and keeps serving stale-but-
+//! consistent predictions while the leader is away. `PROTOCOL.md`
+//! ("Replication") specifies the frames and the failure model.
+//!
 //! `bench` measures queries/sec and frame latency percentiles — against
 //! `--addr`, or against a self-hosted loopback server when no address is
-//! given — and reports any timeouts or disconnects the run absorbed.
+//! given — and reports any timeouts, disconnects, or connect retries the
+//! run absorbed (`--no-retry` makes connect failures fatal instead).
+//!
+//! `push` feeds a recorded trace's operations into a replicated leader
+//! over `Ingest` frames — a stand-in for a live trace producer.
 //!
 //! `metrics` fetches a running server's full metrics registry as
 //! Prometheus-style text (the `Metrics` wire frame). `top` polls the
@@ -47,7 +65,11 @@
 
 use csp_core::engine::run_scheme;
 use csp_core::{PreparedTrace, Scheme};
-use csp_serve::{run_load, Client, EngineState, LoadOptions, Server, ShardedEngine, SnapshotStore};
+use csp_serve::replication::{self, run_follower, snapshot_at_head, trace_to_ops};
+use csp_serve::{
+    run_load, Client, EngineState, FollowerOptions, IngestOp, JournalStore, LoadOptions, ReplOp,
+    ReplicaStatus, ReplicationLog, Server, ShardedEngine, SnapshotStore,
+};
 use csp_trace::{io as trace_io, Trace};
 use std::fs::File;
 use std::io::{BufReader, Read as _};
@@ -75,6 +97,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("serve") => cmd_serve(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("push") => cmd_push(&args[1..]),
         Some("metrics") => cmd_metrics(&args[1..]),
         Some("top") => cmd_top(&args[1..]),
         Some("spans") => cmd_spans(&args[1..]),
@@ -102,12 +125,16 @@ fn main() -> ExitCode {
 fn print_usage() {
     eprintln!("usage:");
     eprintln!("  csp-served serve    --scheme S [--nodes N] [--shards K] [--listen ADDR]");
-    eprintln!("                      [--unix PATH] [--warm trace.csptrc]... [--stats-every SECS]");
-    eprintln!("                      [--snapshot-dir DIR] [--snapshot-every SECS] [--restore]");
-    eprintln!("                      [--trace-out FILE]");
+    eprintln!("                      [--unix PATH] [--warm trace.csptrc]... [--warm-events N]");
+    eprintln!("                      [--stats-every SECS] [--snapshot-dir DIR]");
+    eprintln!("                      [--snapshot-every SECS] [--restore] [--trace-out FILE]");
+    eprintln!("                      [--replicate] [--follow ADDR | --follow-file PATH]");
+    eprintln!("                      [--addr-file PATH]");
     eprintln!("  csp-served bench    [--scheme S] [--nodes N] [--shards K] [--batch B]");
     eprintln!("                      [--frames F] [--addr ADDR] [--warm trace.csptrc]");
-    eprintln!("                      [--json] [--metrics-out FILE]");
+    eprintln!("                      [--json] [--metrics-out FILE] [--no-retry]");
+    eprintln!("  csp-served push     --addr ADDR --scheme S [--from-event N] [--to-event M]");
+    eprintln!("                      <trace.csptrc>");
     eprintln!("  csp-served metrics  --addr ADDR");
     eprintln!("  csp-served top      --addr ADDR [--every SECS] [--count N]");
     eprintln!("  csp-served spans    <FILE>");
@@ -151,6 +178,14 @@ struct Options {
     trace_out: Option<String>,
     every: u64,
     count: Option<usize>,
+    replicate: bool,
+    follow: Option<String>,
+    follow_file: Option<String>,
+    addr_file: Option<String>,
+    warm_events: Option<usize>,
+    no_retry: bool,
+    from_event: usize,
+    to_event: Option<usize>,
     positional: Vec<String>,
 }
 
@@ -177,6 +212,14 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         trace_out: None,
         every: 2,
         count: None,
+        replicate: false,
+        follow: None,
+        follow_file: None,
+        addr_file: None,
+        warm_events: None,
+        no_retry: false,
+        from_event: 0,
+        to_event: None,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -269,6 +312,32 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                         .ok_or_else(|| usage_err("--count needs a positive integer"))?,
                 )
             }
+            "--replicate" => o.replicate = true,
+            "--follow" => o.follow = Some(value("--follow")?),
+            "--follow-file" => o.follow_file = Some(value("--follow-file")?),
+            "--addr-file" => o.addr_file = Some(value("--addr-file")?),
+            "--warm-events" => {
+                o.warm_events = Some(
+                    value("--warm-events")?
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&v| v > 0)
+                        .ok_or_else(|| usage_err("--warm-events needs a positive integer"))?,
+                )
+            }
+            "--no-retry" => o.no_retry = true,
+            "--from-event" => {
+                o.from_event = value("--from-event")?
+                    .parse()
+                    .map_err(|_| usage_err("--from-event needs an event index"))?
+            }
+            "--to-event" => {
+                o.to_event = Some(
+                    value("--to-event")?
+                        .parse()
+                        .map_err(|_| usage_err("--to-event needs an event index"))?,
+                )
+            }
             other => o.positional.push(other.to_string()),
         }
     }
@@ -285,8 +354,16 @@ fn build_engine(o: &Options, default_scheme: &str) -> Result<Arc<ShardedEngine>,
 fn warm_engine(engine: &ShardedEngine, o: &Options) -> Result<(), CliError> {
     for path in &o.warm {
         let trace = load_trace(path)?;
-        engine.replay_trace(&trace).map_err(rt)?;
-        eprintln!("warmed from {path}: {} events", trace.len());
+        let end = o.warm_events.unwrap_or(trace.len()).min(trace.len());
+        if end == trace.len() {
+            engine.replay_trace(&trace).map_err(rt)?;
+        } else {
+            // A prefix warm (--warm-events): e.g. a leader warmed half a
+            // trace whose other half arrives later over `push`.
+            let prepared = PreparedTrace::new(&trace);
+            engine.replay_range(&prepared, 0..end).map_err(rt)?;
+        }
+        eprintln!("warmed from {path}: {end} events");
     }
     Ok(())
 }
@@ -322,13 +399,38 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, CliError> {
     if o.restore && o.snapshot_dir.is_none() {
         return Err(usage_err("--restore needs --snapshot-dir"));
     }
+    let following = o.follow.is_some() || o.follow_file.is_some();
+    if o.follow.is_some() && o.follow_file.is_some() {
+        return Err(usage_err(
+            "--follow and --follow-file are mutually exclusive",
+        ));
+    }
+    if o.replicate && following {
+        return Err(usage_err(
+            "--replicate (leader) and --follow (follower) are mutually exclusive",
+        ));
+    }
+    if o.replicate && o.snapshot_dir.is_none() {
+        return Err(usage_err(
+            "--replicate needs --snapshot-dir (the journal lives beside the snapshots)",
+        ));
+    }
+    if following && !o.warm.is_empty() {
+        return Err(usage_err(
+            "--warm cannot be combined with --follow: a follower's state must come \
+             from the leader (snapshot + stream), or the replica diverges",
+        ));
+    }
     let store = match &o.snapshot_dir {
         Some(dir) => Some(SnapshotStore::open(dir).map_err(rt)?),
         None => None,
     };
 
-    // Restore from the newest snapshot, or start fresh (and warm).
+    // Restore from the newest snapshot, or start fresh. Warm-up happens
+    // below, once the replication log (if any) is attached, so warm
+    // replay is journaled and reaches followers.
     let seq = Arc::new(AtomicU64::new(0));
+    let mut restored = false;
     let engine = match (&store, o.restore) {
         (Some(store), true) => match store.load_latest().map_err(rt)? {
             Some((state, path)) => {
@@ -344,6 +446,7 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, CliError> {
                     )));
                 }
                 seq.store(state.seq, Ordering::Relaxed);
+                restored = true;
                 eprintln!(
                     "restored {} (seq {}) from {}",
                     state.scheme,
@@ -359,11 +462,121 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, CliError> {
             }
             None => {
                 eprintln!("no snapshot found; starting fresh");
-                build_engine(&o, "")?
+                let scheme = parse_scheme(o.scheme.as_deref().unwrap_or(""))?;
+                Arc::new(ShardedEngine::new(scheme, o.nodes, o.shards))
             }
         },
-        _ => build_engine(&o, "")?,
+        _ => {
+            let scheme = parse_scheme(o.scheme.as_deref().unwrap_or(""))?;
+            Arc::new(ShardedEngine::new(scheme, o.nodes, o.shards))
+        }
     };
+
+    // Leader bring-up: recover the journal, re-apply anything past the
+    // snapshot, attach the log, warm (now journaled), and cut a
+    // bootstrap snapshot for followers.
+    let mut initial_floor = 0u64;
+    if o.replicate {
+        let dir = o
+            .snapshot_dir
+            .clone()
+            .ok_or_else(|| usage_err("--replicate needs --snapshot-dir"))?;
+        let fp = replication::fingerprint(engine.scheme(), engine.nodes());
+        let jstore = JournalStore::open(&dir, fp).map_err(rt)?;
+        let recovered = jstore.recover_all().map_err(rt)?;
+        let snap_seq = seq.load(Ordering::Relaxed);
+        if snap_seq > recovered.head() {
+            return Err(rt(format!(
+                "snapshot seq {snap_seq} is ahead of the journal head {} — \
+                 the journal in {dir} is not this snapshot's history",
+                recovered.head()
+            )));
+        }
+        if !restored && recovered.base > 0 {
+            return Err(rt(format!(
+                "journal in {dir} starts at offset {} (older segments were compacted); \
+                 pass --restore to bootstrap from the snapshot",
+                recovered.base
+            )));
+        }
+        let tail = recovered.tail_from(snap_seq);
+        if !tail.is_empty() {
+            // Applied before the log attaches, so recovery replay is not
+            // journaled a second time.
+            let ops: Vec<IngestOp> = tail.iter().map(ReplOp::to_ingest).collect();
+            engine.ingest_ops(ops);
+            engine.flush();
+            eprintln!(
+                "re-applied {} journaled ops beyond snapshot seq {snap_seq}",
+                tail.len()
+            );
+        }
+        let log = ReplicationLog::durable(jstore, &recovered).map_err(rt)?;
+        engine.attach_replication(log).map_err(rt)?;
+        if !restored {
+            warm_engine(&engine, &o)?;
+        }
+        if let Some(store) = &store {
+            let state = snapshot_at_head(&engine).map_err(rt)?;
+            initial_floor = state.seq;
+            seq.store(state.seq, Ordering::Relaxed);
+            let path = store.save(&state).map_err(rt)?;
+            eprintln!("snapshot seq {} -> {}", state.seq, path.display());
+        }
+        eprintln!(
+            "replicating as leader: fingerprint {fp:#010X}, journal head {}",
+            engine.replication().map_or(0, |l| l.head())
+        );
+    } else if !restored && !following {
+        warm_engine(&engine, &o)?;
+    }
+
+    // Follower bring-up: read-only engine bootstrapped from the copied
+    // snapshot plus whatever its *local* journal already holds; the
+    // streaming thread starts once the server socket is up.
+    let mut follower_setup: Option<(Arc<ReplicaStatus>, u64, Option<JournalStore>)> = None;
+    if following {
+        engine.mark_follower();
+        let fp = replication::fingerprint(engine.scheme(), engine.nodes());
+        let snap_seq = seq.load(Ordering::Relaxed);
+        let mut start = snap_seq;
+        let jstore = match &o.snapshot_dir {
+            Some(dir) => {
+                let js = JournalStore::open(dir, fp).map_err(rt)?;
+                let recovered = js.recover_all().map_err(rt)?;
+                let head = recovered.head();
+                if head > 0 && head < snap_seq {
+                    return Err(rt(format!(
+                        "local journal ends at {head}, before snapshot seq {snap_seq}; \
+                         remove stale journal-*.cspjrnl files from {dir} before following"
+                    )));
+                }
+                let tail = recovered.tail_from(snap_seq);
+                if !tail.is_empty() {
+                    let ops: Vec<IngestOp> = tail.iter().map(ReplOp::to_ingest).collect();
+                    engine.ingest_ops(ops);
+                    engine.flush();
+                    eprintln!(
+                        "re-applied {} locally journaled ops beyond snapshot seq {snap_seq}",
+                        tail.len()
+                    );
+                    start = head;
+                }
+                Some(js)
+            }
+            None => None,
+        };
+        let status = ReplicaStatus::new(start);
+        status.bind_metrics(engine.registry());
+        eprintln!(
+            "following {} from offset {start} (read-only replica)",
+            o.follow
+                .as_deref()
+                .or(o.follow_file.as_deref())
+                .unwrap_or("?")
+        );
+        follower_setup = Some((status, start, jstore));
+    }
 
     // Expose snapshot lifecycle counters through the engine's registry so
     // they ride along in `Metrics` replies and `csp-served top`.
@@ -386,13 +599,53 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, CliError> {
     }
     let server = Server::bind_tcp(&o.listen, Arc::clone(&engine))
         .map_err(|e| rt(format!("bind {}: {e}", o.listen)))?;
+    let bound = server.local_addr().map_err(rt)?;
+    if let Some(path) = &o.addr_file {
+        // Published atomically so a follower's --follow-file never reads
+        // a half-written address.
+        trace_io::write_file_atomically(std::path::Path::new(path), bound.to_string().as_bytes())
+            .map_err(|e| rt(format!("write {path}: {e}")))?;
+        eprintln!("wrote bound address {bound} to {path}");
+    }
     eprintln!(
-        "serving {} on {} ({} shards, {} nodes)",
+        "serving {} on {bound} ({} shards, {} nodes)",
         engine.scheme(),
-        server.local_addr().map_err(rt)?,
         engine.shard_count(),
         engine.nodes()
     );
+
+    // The follower's streaming thread: dials the leader, applies
+    // segments, and retries with backoff until shutdown.
+    let mut follower_thread = None;
+    if let Some((status, start, jstore)) = follower_setup.take() {
+        let f_engine = Arc::clone(&engine);
+        let f_status = Arc::clone(&status);
+        let f_shutdown = server.shutdown_handle();
+        let follow_addr = o.follow.clone();
+        let follow_file = o.follow_file.clone();
+        let join = std::thread::spawn(move || {
+            // Re-resolved on every dial: a --follow-file leader can
+            // restart on a new port and just rewrite the file.
+            let leader = move || match (&follow_addr, &follow_file) {
+                (Some(addr), _) => Some(addr.clone()),
+                (None, Some(path)) => std::fs::read_to_string(path)
+                    .ok()
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty()),
+                (None, None) => None,
+            };
+            run_follower(
+                &f_engine,
+                leader,
+                start,
+                jstore.as_ref(),
+                &f_status,
+                &f_shutdown,
+                &FollowerOptions::default(),
+            )
+        });
+        follower_thread = Some((join, status));
+    }
 
     if o.stats_every > 0 {
         let monitor = Arc::clone(&engine);
@@ -403,20 +656,46 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, CliError> {
         });
     }
 
-    // Periodic background snapshots.
-    if let (Some(dir), true) = (&o.snapshot_dir, o.snapshot_every > 0) {
+    // Periodic background snapshots. A replicated leader snapshots at
+    // the journal head (seq == offset, an exact cut) and compacts the
+    // journal below the *previous* retained snapshot's horizon. A
+    // follower skips periodic snapshots: its applied offset moves on the
+    // streaming thread, so only the post-drain snapshot is an exact cut.
+    if following {
+        if o.snapshot_dir.is_some() && o.snapshot_every > 0 {
+            eprintln!("periodic snapshots are disabled while following; one is taken at shutdown");
+        }
+    } else if let (Some(dir), true) = (&o.snapshot_dir, o.snapshot_every > 0) {
         let dir = dir.clone();
         let snap_engine = Arc::clone(&engine);
         let snap_seq = Arc::clone(&seq);
         let every = Duration::from_secs(o.snapshot_every);
+        let mut floor = initial_floor;
         std::thread::spawn(move || {
             let Ok(store) = SnapshotStore::open(&dir) else {
                 return;
             };
             loop {
                 std::thread::sleep(every);
-                let s = snap_seq.fetch_add(1, Ordering::Relaxed) + 1;
-                if let Err(e) = save_snapshot(&store, &snap_engine, s) {
+                let result = if let Some(log) = snap_engine.replication() {
+                    snapshot_at_head(&snap_engine)
+                        .map_err(rt)
+                        .and_then(|state| {
+                            let s = state.seq;
+                            let path = store.save(&state).map_err(rt)?;
+                            eprintln!("snapshot seq {s} -> {}", path.display());
+                            snap_seq.store(s, Ordering::Relaxed);
+                            if let Err(e) = log.compact(floor) {
+                                eprintln!("journal compaction failed: {e}");
+                            }
+                            floor = s;
+                            Ok(())
+                        })
+                } else {
+                    let s = snap_seq.fetch_add(1, Ordering::Relaxed) + 1;
+                    save_snapshot(&store, &snap_engine, s)
+                };
+                if let Err(e) = result {
                     match e {
                         CliError::Usage(msg) | CliError::Runtime(msg) => {
                             eprintln!("snapshot failed: {msg}")
@@ -446,10 +725,35 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, CliError> {
         shutdown.shutdown();
     });
 
+    let handle = server.shutdown_handle();
     server.run().map_err(rt)?;
+    // A follower finishes applying its in-flight segment before the
+    // final snapshot is cut, and reports how far it got.
+    if let Some((join, status)) = follower_thread {
+        match join.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => eprintln!("follower stream failed: {e}"),
+            Err(_) => eprintln!("follower thread panicked"),
+        }
+        handle.record_final_offset(status.applied());
+        seq.store(status.applied(), Ordering::Relaxed);
+    }
     if let Some(store) = &store {
-        let s = seq.fetch_add(1, Ordering::Relaxed) + 1;
-        save_snapshot(store, &engine, s)?;
+        let state = if engine.replication().is_some() {
+            snapshot_at_head(&engine).map_err(rt)?
+        } else {
+            let s = if following {
+                seq.load(Ordering::Relaxed)
+            } else {
+                seq.fetch_add(1, Ordering::Relaxed) + 1
+            };
+            EngineState::capture(&engine, s)
+        };
+        let path = store.save(&state).map_err(rt)?;
+        eprintln!("snapshot seq {} -> {}", state.seq, path.display());
+    }
+    if let Some(offset) = handle.final_offset() {
+        eprintln!("final journal offset {offset}");
     }
     if let Some(path) = &o.trace_out {
         let ring = csp_obs::global_ring();
@@ -471,6 +775,7 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, CliError> {
         batch: o.batch,
         frames: o.frames,
         nodes: o.nodes,
+        retry: !o.no_retry,
         ..LoadOptions::default()
     };
     let (report, scrape_addr) = match &o.addr {
@@ -504,6 +809,59 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, CliError> {
     } else {
         println!("{report}");
     }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `push` — replay a slice of a recorded trace into a replicated leader
+/// over `Ingest` frames, as a remote trace producer would.
+fn cmd_push(args: &[String]) -> Result<ExitCode, CliError> {
+    let o = parse_options(args)?;
+    let addr = o
+        .addr
+        .as_deref()
+        .ok_or_else(|| usage_err("push needs --addr"))?;
+    let spec = o
+        .scheme
+        .as_deref()
+        .ok_or_else(|| usage_err("push needs --scheme (the leader's scheme)"))?;
+    let scheme = parse_scheme(spec)?;
+    let [path] = o.positional.as_slice() else {
+        return Err(usage_err("push takes exactly one <trace.csptrc>"));
+    };
+    let trace = load_trace(path)?;
+    let prepared = PreparedTrace::new(&trace);
+    let total = prepared.len();
+    let from = o.from_event.min(total);
+    let to = o.to_event.unwrap_or(total).min(total);
+    if from > to {
+        return Err(usage_err(format!(
+            "--from-event {from} is past --to-event {to}"
+        )));
+    }
+    let fp = replication::fingerprint(&scheme, trace.nodes());
+    let mut client = Client::connect_tcp(addr).map_err(|e| rt(format!("connect {addr}: {e}")))?;
+    client
+        .set_timeouts(Some(Duration::from_secs(30)), Some(Duration::from_secs(30)))
+        .map_err(rt)?;
+    // Derive and send in bounded chunks so an arbitrarily long trace
+    // never materializes as one giant op vector.
+    const CHUNK: usize = 8192;
+    let mut sent = 0usize;
+    let mut head = 0u64;
+    let mut pos = from;
+    while pos < to {
+        let end = (pos + CHUNK).min(to);
+        let ops = trace_to_ops(&prepared, &scheme, pos..end);
+        sent += ops.len();
+        head = client.ingest(fp, &ops).map_err(rt)?;
+        pos = end;
+    }
+    if from == to {
+        // Nothing to send: still validate the fingerprint and report
+        // the leader's head.
+        head = client.ingest(fp, &[]).map_err(rt)?;
+    }
+    println!("pushed {sent} ops from {path} (events [{from}..{to})); leader head {head}");
     Ok(ExitCode::SUCCESS)
 }
 
@@ -615,6 +973,33 @@ fn render_top(rows: &[TopRow], samples: &[csp_obs::Sample]) -> String {
         out,
         "csp-served top — {conns} conns, {queries} queries total"
     );
+    // A follower exposes csp_repl_* gauges; render its health line.
+    let repl = |name: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == name)
+            .and_then(csp_obs::Sample::value_i64)
+    };
+    if let Some(applied) = repl("csp_repl_applied_offset") {
+        let leader = repl("csp_repl_leader_offset").unwrap_or(applied);
+        let lag = repl("csp_repl_lag_ops").unwrap_or(0);
+        let connected = repl("csp_repl_connected").unwrap_or(0) == 1;
+        let diverged = repl("csp_repl_diverged").unwrap_or(0) == 1;
+        let reconnects = repl("csp_repl_reconnects_total").unwrap_or(0);
+        let resyncs = repl("csp_repl_resyncs_total").unwrap_or(0);
+        let health = if diverged {
+            "DIVERGED"
+        } else if connected {
+            "connected"
+        } else {
+            "disconnected (serving stale)"
+        };
+        let _ = writeln!(
+            out,
+            "replica: applied {applied} / leader {leader} (lag {lag} ops), \
+             {health}, {reconnects} reconnects, {resyncs} resyncs"
+        );
+    }
     let _ = writeln!(
         out,
         "{:>6} {:>12} {:>12} {:>7} {:>9}",
@@ -821,6 +1206,19 @@ fn cmd_snapshot(args: &[String]) -> Result<ExitCode, CliError> {
                 entries,
                 updates
             );
+            // A replicated deployment keeps journal-*.cspjrnl beside the
+            // snapshots; report the durable offset range for resume/debug.
+            let fp = replication::fingerprint(&state.scheme, state.nodes);
+            match JournalStore::open(dir.as_str(), fp).and_then(|j| j.recover_all()) {
+                Ok(recovered) if recovered.head() == 0 => println!("journal: none"),
+                Ok(recovered) => println!(
+                    "journal: ops [{}..{}) on disk (snapshot resumes at {})",
+                    recovered.base,
+                    recovered.head(),
+                    state.seq
+                ),
+                Err(e) => println!("journal: unreadable ({e})"),
+            }
             Ok(ExitCode::SUCCESS)
         }
         None => Err(rt(format!("no usable snapshot in {dir}"))),

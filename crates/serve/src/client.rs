@@ -1,5 +1,6 @@
 //! A blocking client for the prediction service.
 
+use crate::replication::{ReplOp, MAX_SEGMENT_OPS};
 use crate::wire::{self, Request, Response, StatsReply};
 use crate::Probe;
 use csp_trace::SharingBitmap;
@@ -182,5 +183,43 @@ impl Client {
             Response::Metrics(text) => Ok(text),
             other => Err(unexpected(other)),
         }
+    }
+
+    /// Pushes replication operations into a leader's write path,
+    /// returning the durable journal offset after them — how a remote
+    /// trace producer feeds a live engine without file replay. `ops`
+    /// larger than [`MAX_SEGMENT_OPS`] are sent in several frames; the
+    /// returned head is the offset after the last one.
+    ///
+    /// `fingerprint` must come from
+    /// [`replication::fingerprint`](crate::replication::fingerprint) for
+    /// the leader's scheme and width; a mismatch draws a typed server
+    /// error (surfaced here as [`io::ErrorKind::InvalidData`]), as does
+    /// pushing at a read-only follower.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or [`io::ErrorKind::InvalidData`] on a mismatched or
+    /// error reply.
+    pub fn ingest(&mut self, fingerprint: u32, ops: &[ReplOp]) -> io::Result<u64> {
+        // An empty push still round-trips once: it validates the
+        // fingerprint and reports the current head.
+        let chunks: Vec<&[ReplOp]> = if ops.is_empty() {
+            vec![&[]]
+        } else {
+            ops.chunks(MAX_SEGMENT_OPS).collect()
+        };
+        let mut head = 0u64;
+        for chunk in chunks {
+            let request = Request::Ingest {
+                fingerprint,
+                ops: chunk.to_vec(),
+            };
+            head = match self.round_trip(&request)? {
+                Response::IngestAck { head } => head,
+                other => return Err(unexpected(other)),
+            };
+        }
+        Ok(head)
     }
 }

@@ -34,6 +34,12 @@ pub enum ServeError {
         /// What the reader rejected.
         detail: String,
     },
+    /// A replication invariant was violated: a foreign or gapped
+    /// journal, a fingerprint mismatch, or a log attached twice.
+    Replication {
+        /// What went wrong.
+        detail: String,
+    },
     /// An I/O failure while reading or writing snapshot state.
     Io {
         /// The path being accessed, when known.
@@ -69,6 +75,9 @@ impl fmt::Display for ServeError {
             }
             ServeError::SnapshotCorrupt { path, detail } => {
                 write!(f, "corrupt snapshot {}: {detail}", path.display())
+            }
+            ServeError::Replication { detail } => {
+                write!(f, "replication: {detail}")
             }
             ServeError::Io {
                 path: Some(p),

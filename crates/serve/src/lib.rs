@@ -26,6 +26,12 @@
 //!   gracefully so a final snapshot can be taken.
 //! * [`bench`] — a load generator reporting queries/sec and p50/p99
 //!   latency against a running server.
+//! * [`replication`] — leader/follower replication: a totally-ordered,
+//!   journal-durable operation log on the leader, snapshot-bootstrapped
+//!   followers streaming `JournalSegment` frames with
+//!   backoff-and-resume, and fingerprint-guarded divergence detection.
+//!   Followers are bit-identical to the leader (see
+//!   `tests/replication.rs`).
 //!
 //! The `csp-served` binary wires these together: `serve` hosts an engine,
 //! `bench` drives one, `replay` proves online == offline on a trace file.
@@ -58,6 +64,7 @@
 pub mod bench;
 pub mod client;
 pub mod error;
+pub mod replication;
 pub mod server;
 pub mod shard;
 pub mod snapshot;
@@ -66,6 +73,9 @@ pub mod wire;
 pub use bench::{probe_stream, run_load, LoadOptions, LoadReport};
 pub use client::Client;
 pub use error::ServeError;
+pub use replication::{
+    FollowerOptions, JournalStore, ReplOp, ReplicaStatus, ReplicationLog, MAX_SEGMENT_OPS,
+};
 pub use server::{Server, ServerOptions, ShutdownHandle};
 pub use shard::{EngineSnapshot, IngestOp, ShardCounters, ShardRestart, ShardState, ShardedEngine};
 pub use snapshot::{EngineState, SnapshotStore};

@@ -21,6 +21,7 @@
 //!   that makes [`Server::run`] stop accepting, drain in-flight
 //!   connections, and return, so the owner can take a final snapshot.
 
+use crate::replication::{self, SegmentError, MAX_SEGMENT_OPS};
 use crate::shard::ShardedEngine;
 use crate::wire::{self, FrameRead, Request, Response, StatsReply};
 use csp_obs::{span, Counter, Gauge, Histogram, Registry};
@@ -28,7 +29,7 @@ use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 #[cfg(unix)]
 use std::os::unix::net::UnixListener;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -64,8 +65,27 @@ impl Default for ServerOptions {
 /// A cloneable flag that asks a running [`Server`] to shut down
 /// gracefully: stop accepting, drain connections, return from
 /// [`Server::run`].
-#[derive(Clone, Debug, Default)]
-pub struct ShutdownHandle(Arc<AtomicBool>);
+///
+/// After a replicated server drains, the handle also carries the final
+/// durable journal offset ([`final_offset`](Self::final_offset)), so the
+/// owner can log exactly where the operation log ended.
+#[derive(Clone, Debug)]
+pub struct ShutdownHandle {
+    flag: Arc<AtomicBool>,
+    final_offset: Arc<AtomicU64>,
+}
+
+/// Sentinel for "no final offset recorded (yet)".
+const OFFSET_UNSET: u64 = u64::MAX;
+
+impl Default for ShutdownHandle {
+    fn default() -> Self {
+        ShutdownHandle {
+            flag: Arc::new(AtomicBool::new(false)),
+            final_offset: Arc::new(AtomicU64::new(OFFSET_UNSET)),
+        }
+    }
+}
 
 impl ShutdownHandle {
     /// A fresh, un-triggered handle.
@@ -75,12 +95,27 @@ impl ShutdownHandle {
 
     /// Requests shutdown. Idempotent; never blocks.
     pub fn shutdown(&self) {
-        self.0.store(true, Ordering::Release);
+        self.flag.store(true, Ordering::Release);
     }
 
     /// Whether shutdown has been requested.
     pub fn is_shutdown(&self) -> bool {
-        self.0.load(Ordering::Acquire)
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// Records the final journal offset observed at drain time.
+    pub fn record_final_offset(&self, offset: u64) {
+        self.final_offset.store(offset, Ordering::Release);
+    }
+
+    /// The final journal offset recorded at drain, if any. `None` until
+    /// a replicated [`Server::run`] has drained (or a follower loop has
+    /// recorded its last applied offset).
+    pub fn final_offset(&self) -> Option<u64> {
+        match self.final_offset.load(Ordering::Acquire) {
+            OFFSET_UNSET => None,
+            offset => Some(offset),
+        }
     }
 }
 
@@ -223,6 +258,9 @@ impl Server {
         while active.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(10));
         }
+        if let Some(log) = self.engine.replication() {
+            self.shutdown.record_final_offset(log.head());
+        }
         Ok(())
     }
 
@@ -260,6 +298,8 @@ struct WireMetrics {
     predict_batch: Arc<Counter>,
     stats: Arc<Counter>,
     metrics: Arc<Counter>,
+    ingest: Arc<Counter>,
+    subscribe: Arc<Counter>,
     invalid: Arc<Counter>,
 }
 
@@ -303,6 +343,8 @@ impl WireMetrics {
             predict_batch: frames("predict_batch"),
             stats: frames("stats"),
             metrics: frames("metrics"),
+            ingest: frames("ingest"),
+            subscribe: frames("subscribe"),
             invalid: frames("invalid"),
         }
     }
@@ -314,6 +356,8 @@ impl WireMetrics {
             Request::PredictBatch(_) => self.predict_batch.inc(),
             Request::Stats => self.stats.inc(),
             Request::Metrics => self.metrics.inc(),
+            Request::Ingest { .. } => self.ingest.inc(),
+            Request::Subscribe { .. } => self.subscribe.inc(),
         }
     }
 }
@@ -436,6 +480,13 @@ pub fn serve_connection<R: Read, W: Write>(
                 ))
             }
             FrameRead::Frame(payload) => match wire::decode_request(&payload) {
+                Ok(Request::Subscribe { fingerprint, from }) => {
+                    // Subscribe abandons request/response: the connection
+                    // becomes a one-way segment stream until it drops.
+                    metrics.count_request(&Request::Subscribe { fingerprint, from });
+                    metrics.decode_ns.record_duration(decode_started.elapsed());
+                    return stream_segments(&mut writer, engine, shutdown, fingerprint, from);
+                }
                 Ok(request) => {
                     metrics.count_request(&request);
                     metrics.decode_ns.record_duration(decode_started.elapsed());
@@ -464,6 +515,68 @@ pub fn serve_connection<R: Read, W: Write>(
     }
 }
 
+/// Streams journal segments to a subscribed follower until the
+/// connection drops, shutdown fires, or the subscription is
+/// disqualified (wrong fingerprint, compacted-away offset, an offset
+/// past the head). Heartbeat (empty) segments flow while the log is
+/// idle so the follower can watch lag and liveness.
+///
+/// A follower that stops reading fills its socket buffers and trips the
+/// server's write deadline here — backpressure cuts the slow subscriber
+/// instead of wedging the handler thread or buffering unboundedly.
+fn stream_segments<W: Write>(
+    writer: &mut W,
+    engine: &ShardedEngine,
+    shutdown: &ShutdownHandle,
+    fingerprint: u32,
+    from: u64,
+) -> io::Result<()> {
+    let Some(log) = engine.replication() else {
+        return send_error(
+            writer,
+            "this server is not replicated; nothing to subscribe to".to_string(),
+        );
+    };
+    if fingerprint != log.fingerprint() {
+        return send_error(
+            writer,
+            format!(
+                "subscribe fingerprint mismatch: got {fingerprint:#010X}, \
+                 log is {:#010X} (scheme/width/revision differ)",
+                log.fingerprint()
+            ),
+        );
+    }
+    let mut offset = from;
+    let heartbeat = Duration::from_millis(500);
+    while !shutdown.is_shutdown() {
+        let segment = match log.wait_segment(offset, MAX_SEGMENT_OPS, heartbeat) {
+            Ok(segment) => segment,
+            Err(SegmentError::TooOld { oldest }) => {
+                return send_error(
+                    writer,
+                    format!(
+                        "offset {offset} was compacted away (oldest retained is {oldest}); \
+                         re-bootstrap from a newer snapshot"
+                    ),
+                );
+            }
+            Err(SegmentError::Ahead { head }) => {
+                return send_error(
+                    writer,
+                    format!("offset {offset} is ahead of the log head {head}"),
+                );
+            }
+        };
+        let next = segment.start + segment.ops.len() as u64;
+        let frame = replication::segment_frame(log.fingerprint(), &segment);
+        wire::write_response(writer, &Response::JournalSegment(frame))?;
+        writer.flush()?;
+        offset = next;
+    }
+    Ok(())
+}
+
 /// Computes the response to one request.
 pub fn answer(engine: &ShardedEngine, request: Request) -> Response {
     match request {
@@ -477,6 +590,28 @@ pub fn answer(engine: &ShardedEngine, request: Request) -> Response {
             &engine.stats(),
         )),
         Request::Metrics => Response::Metrics(metrics_text(engine)),
+        Request::Ingest { fingerprint, ops } => {
+            if engine.is_follower() {
+                return Response::Error("follower is read-only; ingest at the leader".to_string());
+            }
+            let expected = replication::fingerprint(engine.scheme(), engine.nodes());
+            if fingerprint != expected {
+                return Response::Error(format!(
+                    "ingest fingerprint mismatch: got {fingerprint:#010X}, \
+                     engine is {expected:#010X} (scheme/width/revision differ)"
+                ));
+            }
+            match engine.ingest_replicated(&ops) {
+                Ok(head) => Response::IngestAck { head },
+                Err(e) => Response::Error(format!("ingest journal write failed: {e}")),
+            }
+        }
+        // Subscribe is intercepted by `serve_connection` before `answer`;
+        // reaching it here means a direct caller asked for a stream a
+        // single response cannot carry.
+        Request::Subscribe { .. } => Response::Error(
+            "subscribe requires a streaming connection; use a follower client".to_string(),
+        ),
     }
 }
 

@@ -32,6 +32,7 @@
 //! them instead of double-counting. Restart totals surface as
 //! [`ShardRestart`] entries in [`EngineSnapshot`].
 
+use crate::replication::{ReplOp, ReplicationLog};
 use crate::{error::ServeError, Probe};
 use csp_core::{node_bits, shard_of_key, PredictorTable, PreparedTrace, Scheme, UpdateMode};
 use csp_metrics::{ConfusionMatrix, OnlineConfusion, Screening};
@@ -39,9 +40,9 @@ use csp_obs::{Gauge, Histogram, Registry};
 use csp_trace::{SharingBitmap, SharingEvent, Trace};
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -284,8 +285,96 @@ impl ShardInstruments {
 /// memory).
 const INBOX_DEPTH: usize = 64;
 
-/// Ingest operations buffered per shard before a batch is flushed.
-const BATCH: usize = 1024;
+/// Events per replay chunk: each chunk becomes one ordered ingest batch
+/// (and, on a replicating leader, one journal append of at most twice
+/// this many operations).
+const REPLAY_CHUNK: usize = 8192;
+
+/// Emits the operations replay dispatches for events `range`, in
+/// emission order, mirroring `csp_core::engine::run_scheme` exactly —
+/// the single definition both local replay and the push-producer path
+/// ([`crate::replication::trace_to_ops`]) share.
+#[allow(clippy::too_many_arguments)]
+fn emit_replay_ops(
+    update: UpdateMode,
+    keys: &[u64],
+    forward_keys: &[u64],
+    has_prev: &[bool],
+    invalidated: &[SharingBitmap],
+    actuals: &[SharingBitmap],
+    range: Range<usize>,
+    out: &mut Vec<IngestOp>,
+) {
+    for i in range {
+        let key = keys[i];
+        match update {
+            UpdateMode::Direct => {
+                if has_prev[i] {
+                    out.push(IngestOp::Update {
+                        key,
+                        feedback: invalidated[i],
+                    });
+                }
+                out.push(IngestOp::Score {
+                    key,
+                    actual: actuals[i],
+                });
+            }
+            UpdateMode::Forwarded => {
+                if has_prev[i] {
+                    out.push(IngestOp::Update {
+                        key: forward_keys[i],
+                        feedback: invalidated[i],
+                    });
+                }
+                out.push(IngestOp::Score {
+                    key,
+                    actual: actuals[i],
+                });
+            }
+            UpdateMode::Ordered => {
+                out.push(IngestOp::Score {
+                    key,
+                    actual: actuals[i],
+                });
+                out.push(IngestOp::Update {
+                    key,
+                    feedback: actuals[i],
+                });
+            }
+        }
+    }
+}
+
+/// The exact operation stream [`ShardedEngine::replay_range`] dispatches
+/// for events `range` of a prepared trace, without an engine: the
+/// producer side of push-based ingest derives its operations from the
+/// same shared preparation replay walks, so a remote push and a local
+/// replay cannot disagree.
+///
+/// # Panics
+///
+/// Panics if `range` is out of bounds for the prepared trace.
+pub fn replay_ops(
+    prepared: &PreparedTrace<'_>,
+    scheme: &Scheme,
+    range: Range<usize>,
+) -> Vec<IngestOp> {
+    assert!(range.end <= prepared.len(), "replay range out of bounds");
+    let stream = prepared.key_stream(scheme.index);
+    let mut out = Vec::with_capacity((range.end.saturating_sub(range.start)) * 2);
+    emit_replay_ops(
+        scheme.update,
+        stream.keys(),
+        stream.forward_keys(),
+        prepared.has_prev(),
+        prepared.invalidated(),
+        prepared.actuals(),
+        range,
+        &mut out,
+    );
+    out
+}
 
 /// An online prediction engine partitioned over worker-thread shards.
 ///
@@ -325,6 +414,14 @@ pub struct ShardedEngine {
     node_bits: u32,
     shards: Vec<ShardHandle>,
     registry: Arc<Registry>,
+    /// When attached (leaders only), every replicable ingest routes
+    /// through the log: journal append → dispatch under one lock.
+    replication: OnceLock<Arc<ReplicationLog>>,
+    /// Followers refuse wire-level ingest — they replicate, they don't
+    /// originate.
+    follower: AtomicBool,
+    /// Running op count for ingest acks when no log is attached.
+    ingested: AtomicU64,
 }
 
 impl std::fmt::Debug for ShardHandle {
@@ -426,6 +523,9 @@ impl ShardedEngine {
             node_bits: node_bits(nodes),
             shards: handles,
             registry,
+            replication: OnceLock::new(),
+            follower: AtomicBool::new(false),
+            ingested: AtomicU64::new(0),
         }
     }
 
@@ -506,10 +606,9 @@ impl ShardedEngine {
             }
         };
         if let Some(op) = op {
-            self.send(
-                shard_of_key(op.route_key(), self.shards.len()),
-                ShardMsg::Ingest(vec![op]),
-            );
+            // Through ingest_ops so a replicating leader journals live
+            // events exactly like replayed ones.
+            self.ingest_ops(vec![op]);
         }
     }
 
@@ -517,7 +616,30 @@ impl ShardedEngine {
     /// order. The low-level ingest path behind
     /// [`ingest_event`](Self::ingest_event), exposed for callers that
     /// compute keys themselves (custom feeds, fault-injection tests).
+    ///
+    /// When a replication log is attached (see
+    /// [`attach_replication`](Self::attach_replication)), the batch's
+    /// replicable operations are journaled and the dispatch happens
+    /// under the log lock, so followers observe the same total order.
+    ///
+    /// # Panics
+    ///
+    /// On a replicating leader, a journal write failure panics rather
+    /// than dispatching unjournaled operations — continuing would
+    /// silently diverge every follower.
     pub fn ingest_ops(&self, ops: Vec<IngestOp>) {
+        if let Some(log) = self.replication.get() {
+            let repl: Vec<ReplOp> = ops.iter().filter_map(ReplOp::from_ingest).collect();
+            log.append_with(&repl, || self.dispatch_ops(ops))
+                .expect("replication journal append failed");
+        } else {
+            self.dispatch_ops(ops);
+        }
+    }
+
+    /// Buckets `ops` per shard (preserving emission order within each
+    /// shard's FIFO) and sends. The raw dispatch under every ingest path.
+    fn dispatch_ops(&self, ops: Vec<IngestOp>) {
         let shards = self.shards.len();
         let mut buffers: Vec<Vec<IngestOp>> = vec![Vec::new(); shards];
         for op in ops {
@@ -527,6 +649,58 @@ impl ShardedEngine {
             if !batch.is_empty() {
                 self.send(s, ShardMsg::Ingest(batch));
             }
+        }
+    }
+
+    /// Attaches the replication log every subsequent mutation routes
+    /// through. Call once, before any traffic (the `csp-served` leader
+    /// attaches before warm-up so even warm replay is journaled).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Replication`] when a log is already attached.
+    pub fn attach_replication(&self, log: Arc<ReplicationLog>) -> Result<(), ServeError> {
+        self.replication
+            .set(log)
+            .map_err(|_| ServeError::Replication {
+                detail: "a replication log is already attached to this engine".to_string(),
+            })
+    }
+
+    /// The attached replication log, if any.
+    pub fn replication(&self) -> Option<&Arc<ReplicationLog>> {
+        self.replication.get()
+    }
+
+    /// Marks this engine a follower: wire-level ingest is refused (the
+    /// leader owns the write path) while queries keep serving.
+    pub fn mark_follower(&self) {
+        self.follower.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether this engine is a read-only follower.
+    pub fn is_follower(&self) -> bool {
+        self.follower.load(Ordering::SeqCst)
+    }
+
+    /// Applies already-replicated operations, returning the log head
+    /// after them — the ingest path behind
+    /// [`crate::wire::Request::Ingest`]. With a log attached, the head
+    /// is the durable journal offset (the operations survive `kill -9`
+    /// once this returns); without one, a process-local running count.
+    ///
+    /// # Errors
+    ///
+    /// A journal write failure — the operations were applied nowhere.
+    pub fn ingest_replicated(&self, ops: &[ReplOp]) -> std::io::Result<u64> {
+        let ingest: Vec<IngestOp> = ops.iter().map(ReplOp::to_ingest).collect();
+        if let Some(log) = self.replication.get() {
+            let (head, ()) = log.append_with(ops, || self.dispatch_ops(ingest))?;
+            Ok(head)
+        } else {
+            self.dispatch_ops(ingest);
+            let n = ops.len() as u64;
+            Ok(self.ingested.fetch_add(n, Ordering::Relaxed) + n)
         }
     }
 
@@ -592,82 +766,25 @@ impl ShardedEngine {
         }
         assert!(range.end <= prepared.len(), "replay range out of bounds");
         let stream = prepared.key_stream(self.scheme.index);
-        let keys = stream.keys();
-        let forward_keys = stream.forward_keys();
-        let has_prev = prepared.has_prev();
-        let invalidated = prepared.invalidated();
-        let actuals = prepared.actuals();
-        let shards = self.shards.len();
-        let mut buffers: Vec<Vec<IngestOp>> = vec![Vec::with_capacity(BATCH); shards];
-        let push = |buffers: &mut Vec<Vec<IngestOp>>, op: IngestOp| {
-            let s = shard_of_key(op.route_key(), shards);
-            buffers[s].push(op);
-            if buffers[s].len() >= BATCH {
-                let batch = std::mem::replace(&mut buffers[s], Vec::with_capacity(BATCH));
-                self.send(s, ShardMsg::Ingest(batch));
-            }
-        };
-        for i in range {
-            let key = keys[i];
-            match self.scheme.update {
-                UpdateMode::Direct => {
-                    if has_prev[i] {
-                        push(
-                            &mut buffers,
-                            IngestOp::Update {
-                                key,
-                                feedback: invalidated[i],
-                            },
-                        );
-                    }
-                    push(
-                        &mut buffers,
-                        IngestOp::Score {
-                            key,
-                            actual: actuals[i],
-                        },
-                    );
-                }
-                UpdateMode::Forwarded => {
-                    if has_prev[i] {
-                        push(
-                            &mut buffers,
-                            IngestOp::Update {
-                                key: forward_keys[i],
-                                feedback: invalidated[i],
-                            },
-                        );
-                    }
-                    push(
-                        &mut buffers,
-                        IngestOp::Score {
-                            key,
-                            actual: actuals[i],
-                        },
-                    );
-                }
-                UpdateMode::Ordered => {
-                    push(
-                        &mut buffers,
-                        IngestOp::Score {
-                            key,
-                            actual: actuals[i],
-                        },
-                    );
-                    push(
-                        &mut buffers,
-                        IngestOp::Update {
-                            key,
-                            feedback: actuals[i],
-                        },
-                    );
-                }
-            }
-        }
-        for (s, batch) in buffers.into_iter().enumerate() {
-            if !batch.is_empty() {
-                self.send(s, ShardMsg::Ingest(batch));
-            }
+        // Chunked so a replicating leader journals in bounded segments
+        // and a plain engine bounds its in-flight batch memory; order is
+        // the emission order either way.
+        let mut pos = range.start;
+        while pos < range.end {
+            let end = range.end.min(pos + REPLAY_CHUNK);
+            let mut ops = Vec::with_capacity((end - pos) * 2);
+            emit_replay_ops(
+                self.scheme.update,
+                stream.keys(),
+                stream.forward_keys(),
+                prepared.has_prev(),
+                prepared.invalidated(),
+                prepared.actuals(),
+                pos..end,
+                &mut ops,
+            );
+            self.ingest_ops(ops);
+            pos = end;
         }
         self.flush();
         Ok(())

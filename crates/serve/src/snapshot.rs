@@ -357,8 +357,17 @@ impl SnapshotStore {
     }
 
     fn path_for(&self, seq: u64) -> PathBuf {
-        // Zero-padded so lexicographic file order is sequence order.
+        // Zero-padded so casual `ls` shows sequence order; retention and
+        // restore order parse the number back out rather than trusting
+        // name order or mtime.
         self.dir.join(format!("snap-{seq:020}.cspsnap"))
+    }
+
+    /// The sequence number embedded in a snapshot filename, if it is one.
+    fn parse_seq(path: &Path) -> Option<u64> {
+        let name = path.file_name()?.to_str()?;
+        let digits = name.strip_prefix("snap-")?.strip_suffix(".cspsnap")?;
+        digits.parse().ok()
     }
 
     /// Writes `state` durably (tmp sibling + fsync + rename, so a crash
@@ -374,7 +383,7 @@ impl SnapshotStore {
         let path = self.path_for(state.seq);
         write_file_atomically(&path, &bytes).map_err(|e| ServeError::io(&path, e))?;
         self.counters.writes.inc();
-        for old in self.list()?.into_iter().rev().skip(RETAIN) {
+        for (_, old) in self.list()?.into_iter().rev().skip(RETAIN) {
             // Pruning is best-effort: a leftover file only wastes space.
             if std::fs::remove_file(old).is_ok() {
                 self.counters.prunes.inc();
@@ -383,17 +392,18 @@ impl SnapshotStore {
         Ok(path)
     }
 
-    /// Snapshot files in ascending sequence order.
-    fn list(&self) -> Result<Vec<PathBuf>, ServeError> {
-        let mut files: Vec<PathBuf> = std::fs::read_dir(&self.dir)
+    /// Snapshot files in ascending order of their *embedded* sequence
+    /// number. Retention and restore must never order by filename string
+    /// or mtime: an unpadded name sorts wrong lexicographically, and
+    /// mtimes can collide (coarse filesystem timestamps) or run backwards
+    /// (clock skew, restored backups) — either would prune the newest
+    /// snapshot. Files without a parseable sequence are not snapshots and
+    /// are ignored.
+    fn list(&self) -> Result<Vec<(u64, PathBuf)>, ServeError> {
+        let mut files: Vec<(u64, PathBuf)> = std::fs::read_dir(&self.dir)
             .map_err(|e| ServeError::io(&self.dir, e))?
             .filter_map(|entry| entry.ok().map(|e| e.path()))
-            .filter(|p| {
-                p.extension().is_some_and(|x| x == "cspsnap")
-                    && p.file_name()
-                        .and_then(|n| n.to_str())
-                        .is_some_and(|n| n.starts_with("snap-"))
-            })
+            .filter_map(|p| Self::parse_seq(&p).map(|seq| (seq, p)))
             .collect();
         files.sort();
         Ok(files)
@@ -409,7 +419,7 @@ impl SnapshotStore {
     ///
     /// [`ServeError::Io`] when the directory cannot be scanned.
     pub fn load_latest(&self) -> Result<Option<(EngineState, PathBuf)>, ServeError> {
-        for path in self.list()?.into_iter().rev() {
+        for (_, path) in self.list()?.into_iter().rev() {
             match std::fs::File::open(&path) {
                 Ok(file) => match read_engine_state(io::BufReader::new(file)) {
                     Ok(state) => return Ok(Some((state, path))),
@@ -557,6 +567,48 @@ mod tests {
         let mut quarantined = path.as_os_str().to_owned();
         quarantined.push(".corrupt");
         assert!(PathBuf::from(quarantined).exists());
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retention_orders_by_embedded_seq_not_name_or_mtime() {
+        let dir = std::env::temp_dir().join(format!("csp-snap-order-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = SnapshotStore::open(&dir).unwrap();
+        let mut state = trained_state("last(pid+pc8)1[direct]", 2);
+
+        // Saved newest-first, so mtime order contradicts sequence order.
+        state.seq = 30;
+        store.save(&state).unwrap();
+        state.seq = 10;
+        store.save(&state).unwrap();
+        // An unpadded filename (an operator-restored backup, say): it
+        // sorts *after* every zero-padded name lexicographically even
+        // though its sequence is the oldest of all.
+        state.seq = 5;
+        let mut bytes = Vec::new();
+        write_engine_state(&mut bytes, &state).unwrap();
+        let unpadded = dir.join("snap-5.cspsnap");
+        std::fs::write(&unpadded, &bytes).unwrap();
+        // Identical mtimes on everything: a coarse-timestamp filesystem.
+        let stamp = std::time::SystemTime::UNIX_EPOCH + std::time::Duration::from_secs(1_000_000);
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let f = std::fs::File::options()
+                .write(true)
+                .open(entry.unwrap().path())
+                .unwrap();
+            f.set_modified(stamp).unwrap();
+        }
+
+        // This save prunes: only the two highest sequences may survive.
+        state.seq = 20;
+        store.save(&state).unwrap();
+        let kept: Vec<u64> = store.list().unwrap().into_iter().map(|(s, _)| s).collect();
+        assert_eq!(kept, vec![20, 30], "retention kept the wrong snapshots");
+        assert!(!unpadded.exists(), "stale unpadded snapshot survived");
+        let (latest, _) = store.load_latest().unwrap().unwrap();
+        assert_eq!(latest.seq, 30, "restore picked a stale snapshot");
 
         let _ = std::fs::remove_dir_all(&dir);
     }

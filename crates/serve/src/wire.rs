@@ -25,6 +25,7 @@
 //! # Ok::<(), std::io::Error>(())
 //! ```
 
+use crate::replication::{decode_ops, ReplOp, MAX_SEGMENT_OPS};
 use crate::{EngineSnapshot, Probe};
 use csp_metrics::ConfusionMatrix;
 use csp_trace::{crc32c, LineAddr, NodeId, Pc, SharingBitmap};
@@ -43,11 +44,15 @@ const T_PREDICT: u8 = 0x02;
 const T_PREDICT_BATCH: u8 = 0x03;
 const T_STATS: u8 = 0x04;
 const T_METRICS: u8 = 0x05;
+const T_INGEST: u8 = 0x06;
+const T_SUBSCRIBE: u8 = 0x07;
 const T_PONG: u8 = 0x81;
 const T_PREDICTION: u8 = 0x82;
 const T_PREDICTION_BATCH: u8 = 0x83;
 const T_STATS_SNAPSHOT: u8 = 0x84;
 const T_METRICS_TEXT: u8 = 0x85;
+const T_INGEST_ACK: u8 = 0x86;
+const T_JOURNAL_SEGMENT: u8 = 0x87;
 const T_ERROR: u8 = 0xFF;
 
 /// A client-to-server message.
@@ -63,6 +68,27 @@ pub enum Request {
     Stats,
     /// Fetch the full metrics registry as Prometheus-style text.
     Metrics,
+    /// Append replicated operations to the leader's log (a push-based
+    /// trace producer, or any mutating client). Acked with
+    /// [`Response::IngestAck`] once the operations are durable and
+    /// ordered; refused on followers and on fingerprint mismatch.
+    Ingest {
+        /// The sender's [`crate::replication::fingerprint`]; must match
+        /// the engine's.
+        fingerprint: u32,
+        /// The operations, in intended log order (at most
+        /// [`MAX_SEGMENT_OPS`]).
+        ops: Vec<ReplOp>,
+    },
+    /// Switch this connection into a one-way journal stream: the server
+    /// answers with [`Response::JournalSegment`] frames (including empty
+    /// heartbeats) from offset `from` until either side drops.
+    Subscribe {
+        /// The subscriber's [`crate::replication::fingerprint`].
+        fingerprint: u32,
+        /// The log offset to resume from.
+        from: u64,
+    },
 }
 
 /// The statistics body of a [`Response::Stats`] frame.
@@ -107,6 +133,22 @@ impl StatsReply {
     }
 }
 
+/// The body of a [`Response::JournalSegment`] frame: one slice of the
+/// leader's replication log, self-describing enough for the subscriber
+/// to verify compatibility (`fingerprint`), continuity (`start` must be
+/// its next offset), and lag (`head`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SegmentFrame {
+    /// The leader's [`crate::replication::fingerprint`].
+    pub fingerprint: u32,
+    /// Log offset of `ops[0]`.
+    pub start: u64,
+    /// The leader's log head when the segment was cut.
+    pub head: u64,
+    /// The operations; empty is a heartbeat (`start == head` then).
+    pub ops: Vec<ReplOp>,
+}
+
 /// A server-to-client message.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Response {
@@ -123,6 +165,16 @@ pub enum Response {
     /// Carried with a `u32` length — a loaded many-shard registry
     /// outgrows the `u16` strings other frames use.
     Metrics(String),
+    /// Answer to [`Request::Ingest`]: the log head after the append —
+    /// the operations at offsets `[head - ops.len(), head)` are durable
+    /// and ordered.
+    IngestAck {
+        /// The leader's log head after this append.
+        head: u64,
+    },
+    /// One streamed slice of the replication log (see
+    /// [`Request::Subscribe`]).
+    JournalSegment(SegmentFrame),
     /// The request could not be served; the connection stays usable.
     Error(String),
 }
@@ -190,6 +242,20 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         }
         Request::Stats => buf.push(T_STATS),
         Request::Metrics => buf.push(T_METRICS),
+        Request::Ingest { fingerprint, ops } => {
+            buf.push(T_INGEST);
+            buf.extend_from_slice(&fingerprint.to_le_bytes());
+            let n = ops.len().min(MAX_SEGMENT_OPS);
+            buf.extend_from_slice(&(n as u32).to_le_bytes());
+            for op in &ops[..n] {
+                op.encode_into(&mut buf);
+            }
+        }
+        Request::Subscribe { fingerprint, from } => {
+            buf.push(T_SUBSCRIBE);
+            buf.extend_from_slice(&fingerprint.to_le_bytes());
+            buf.extend_from_slice(&from.to_le_bytes());
+        }
     }
     buf
 }
@@ -225,6 +291,21 @@ pub fn decode_request(payload: &[u8]) -> io::Result<Request> {
         }
         T_STATS if body.is_empty() => Ok(Request::Stats),
         T_METRICS if body.is_empty() => Ok(Request::Metrics),
+        T_INGEST => {
+            if body.len() < 8 {
+                return Err(invalid("truncated ingest header"));
+            }
+            let fingerprint = u32::from_le_bytes([body[0], body[1], body[2], body[3]]);
+            let count = u32::from_le_bytes([body[4], body[5], body[6], body[7]]);
+            // decode_ops validates the count against the byte length
+            // (and the MAX_SEGMENT_OPS cap) before allocating.
+            let ops = decode_ops(count, &body[8..])?;
+            Ok(Request::Ingest { fingerprint, ops })
+        }
+        T_SUBSCRIBE if body.len() == 12 => Ok(Request::Subscribe {
+            fingerprint: u32::from_le_bytes([body[0], body[1], body[2], body[3]]),
+            from: get_u64(body, 4),
+        }),
         _ => Err(invalid(format!("malformed request (type 0x{tag:02X})"))),
     }
 }
@@ -269,6 +350,21 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             let bytes = text.as_bytes();
             buf.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
             buf.extend_from_slice(bytes);
+        }
+        Response::IngestAck { head } => {
+            buf.push(T_INGEST_ACK);
+            buf.extend_from_slice(&head.to_le_bytes());
+        }
+        Response::JournalSegment(seg) => {
+            buf.push(T_JOURNAL_SEGMENT);
+            buf.extend_from_slice(&seg.fingerprint.to_le_bytes());
+            buf.extend_from_slice(&seg.start.to_le_bytes());
+            buf.extend_from_slice(&seg.head.to_le_bytes());
+            let n = seg.ops.len().min(MAX_SEGMENT_OPS);
+            buf.extend_from_slice(&(n as u32).to_le_bytes());
+            for op in &seg.ops[..n] {
+                op.encode_into(&mut buf);
+            }
         }
         Response::Error(msg) => {
             buf.push(T_ERROR);
@@ -349,6 +445,25 @@ pub fn decode_response(payload: &[u8]) -> io::Result<Response> {
                 .map_err(|_| invalid("metrics text is not UTF-8"))?
                 .to_string();
             Ok(Response::Metrics(text))
+        }
+        T_INGEST_ACK if body.len() == 8 => Ok(Response::IngestAck {
+            head: get_u64(body, 0),
+        }),
+        T_JOURNAL_SEGMENT => {
+            if body.len() < 24 {
+                return Err(invalid("truncated journal segment header"));
+            }
+            let fingerprint = u32::from_le_bytes([body[0], body[1], body[2], body[3]]);
+            let start = get_u64(body, 4);
+            let head = get_u64(body, 12);
+            let count = u32::from_le_bytes([body[20], body[21], body[22], body[23]]);
+            let ops = decode_ops(count, &body[24..])?;
+            Ok(Response::JournalSegment(SegmentFrame {
+                fingerprint,
+                start,
+                head,
+                ops,
+            }))
         }
         T_ERROR => {
             let (msg, used) = get_str(body)?;
@@ -529,6 +644,32 @@ mod tests {
             Request::PredictBatch(Vec::new()),
             Request::Stats,
             Request::Metrics,
+            Request::Ingest {
+                fingerprint: 0xFACE_FEED,
+                ops: (0..50)
+                    .map(|i| {
+                        if i % 2 == 0 {
+                            ReplOp::Update {
+                                key: i * 31,
+                                feedback: SharingBitmap::from_bits(i),
+                            }
+                        } else {
+                            ReplOp::Score {
+                                key: i * 37,
+                                actual: SharingBitmap::from_bits(!i),
+                            }
+                        }
+                    })
+                    .collect(),
+            },
+            Request::Ingest {
+                fingerprint: 0,
+                ops: Vec::new(),
+            },
+            Request::Subscribe {
+                fingerprint: 0x1234_5678,
+                from: u64::MAX - 1,
+            },
         ];
         for req in reqs {
             let mut buf = Vec::new();
@@ -568,6 +709,33 @@ mod tests {
                     // other frames' strings stop at u16.
                     .repeat(600),
             ),
+            Response::IngestAck { head: 0xDEAD_0001 },
+            Response::JournalSegment(SegmentFrame {
+                fingerprint: 0xAB,
+                start: 100,
+                head: 103,
+                ops: vec![
+                    ReplOp::Update {
+                        key: 1,
+                        feedback: SharingBitmap::from_bits(3),
+                    },
+                    ReplOp::Score {
+                        key: 2,
+                        actual: SharingBitmap::from_bits(5),
+                    },
+                    ReplOp::Score {
+                        key: 3,
+                        actual: SharingBitmap::from_bits(0),
+                    },
+                ],
+            }),
+            // A heartbeat: empty segment, start == head.
+            Response::JournalSegment(SegmentFrame {
+                fingerprint: 0xAB,
+                start: 103,
+                head: 103,
+                ops: Vec::new(),
+            }),
             Response::Error("predictor on fire".to_string()),
         ];
         for resp in resps {
@@ -613,5 +781,24 @@ mod tests {
         assert!(decode_request(&[]).is_err());
         // Wrong body length for a known type.
         assert!(decode_request(&[T_PREDICT, 1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn hostile_ingest_counts_are_rejected_without_allocating() {
+        // count = u32::MAX with a tiny body: the count/length cross-check
+        // must fire before any allocation sized by the count.
+        let mut payload = vec![T_INGEST];
+        payload.extend_from_slice(&7u32.to_le_bytes()); // fingerprint
+        payload.extend_from_slice(&u32::MAX.to_le_bytes()); // hostile count
+        payload.extend_from_slice(&[0u8; 17]); // one op's worth of bytes
+        assert!(decode_request(&payload).is_err());
+        // Same for the segment frame.
+        let mut payload = vec![T_JOURNAL_SEGMENT];
+        payload.extend_from_slice(&7u32.to_le_bytes());
+        payload.extend_from_slice(&0u64.to_le_bytes());
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        payload.extend_from_slice(&[0u8; 17]);
+        assert!(decode_response(&payload).is_err());
     }
 }

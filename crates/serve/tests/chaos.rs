@@ -5,15 +5,18 @@
 //! with the exactly correct prediction throughout, disconnect the
 //! abusers, and still be accepting when the dust settles.
 
-use csp_serve::wire::{self, Request, Response};
-use csp_serve::{Client, Probe, Server, ServerOptions, ShardedEngine};
+use csp_serve::replication::{self, run_follower, FollowerOptions, ReplOp, ReplicaStatus};
+use csp_serve::wire::{self, Request, Response, SegmentFrame};
+use csp_serve::{
+    Client, Probe, ReplicationLog, Server, ServerOptions, ShardedEngine, ShutdownHandle,
+};
 use csp_trace::fault::{FaultyWriter, WireFault};
 use csp_trace::{LineAddr, NodeId, Pc, SharingBitmap, SharingEvent};
-use std::io::{BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpStream};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const NODES: u8 = 16;
 
@@ -313,4 +316,264 @@ fn load_generator_ledger_is_clean_under_parallel_chaos() {
     // One last well-formed frame proves the listener is still alive.
     wire::write_request(&mut writer, &Request::Ping).unwrap();
     writer.flush().unwrap();
+}
+
+/// A torn journal segment from a hostile (or disk-corrupted) leader: the
+/// follower applies the valid prefix, rejects the bit-flipped frame at
+/// the checksum, keeps serving stale-but-consistent state, reconnects,
+/// and resumes from its durable offset — never applying a corrupt byte.
+#[test]
+fn follower_survives_torn_segment_and_resumes_from_offset() {
+    let engine = Arc::new(ShardedEngine::new(
+        "last(pid)1[direct]".parse().unwrap(),
+        NODES as usize,
+        2,
+    ));
+    engine.mark_follower();
+    let fp = replication::fingerprint(engine.scheme(), engine.nodes());
+    let ops: Vec<ReplOp> = (0..NODES as u64)
+        .map(|key| ReplOp::Update {
+            key,
+            feedback: SharingBitmap::singleton(NodeId(NODES - 1 - key as u8)),
+        })
+        .collect();
+
+    // The fake leader: first connection sends 8 good ops then a
+    // bit-flipped segment; second connection must see a Subscribe
+    // resuming at offset 8 and serves the rest.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let leader_ops = ops.clone();
+    let leader = std::thread::spawn(move || {
+        // Connection 1: valid prefix, then the tear.
+        let (stream, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        match wire::read_request(&mut reader).unwrap() {
+            Request::Subscribe { fingerprint, from } => {
+                assert_eq!(fingerprint, fp);
+                assert_eq!(from, 0, "first subscribe must start at bootstrap");
+            }
+            other => panic!("expected Subscribe, got {other:?}"),
+        }
+        let mut w = BufWriter::new(stream.try_clone().unwrap());
+        wire::write_response(
+            &mut w,
+            &Response::JournalSegment(SegmentFrame {
+                fingerprint: fp,
+                start: 0,
+                head: leader_ops.len() as u64,
+                ops: leader_ops[..8].to_vec(),
+            }),
+        )
+        .unwrap();
+        w.flush().unwrap();
+        // The tear: a continuation segment whose bytes were flipped in
+        // flight. The checksum must kill it before a single op applies.
+        let mut fw = FaultyWriter::new(
+            &stream,
+            WireFault::Flip {
+                offset: 30,
+                xor: 0x40,
+            },
+        );
+        let _ = wire::write_response(
+            &mut fw,
+            &Response::JournalSegment(SegmentFrame {
+                fingerprint: fp,
+                start: 8,
+                head: leader_ops.len() as u64,
+                ops: leader_ops[8..].to_vec(),
+            }),
+        );
+        let _ = (&stream).flush();
+        drop(stream);
+
+        // Connection 2: the reconnect. It must resume exactly at 8.
+        let (stream, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        match wire::read_request(&mut reader).unwrap() {
+            Request::Subscribe { fingerprint, from } => {
+                assert_eq!(fingerprint, fp);
+                assert_eq!(from, 8, "reconnect must resume from the durable offset");
+            }
+            other => panic!("expected resumed Subscribe, got {other:?}"),
+        }
+        let mut w = BufWriter::new(stream.try_clone().unwrap());
+        wire::write_response(
+            &mut w,
+            &Response::JournalSegment(SegmentFrame {
+                fingerprint: fp,
+                start: 8,
+                head: leader_ops.len() as u64,
+                ops: leader_ops[8..].to_vec(),
+            }),
+        )
+        .unwrap();
+        w.flush().unwrap();
+        // Hold the connection with heartbeats until the follower leaves.
+        loop {
+            let beat = Response::JournalSegment(SegmentFrame {
+                fingerprint: fp,
+                start: leader_ops.len() as u64,
+                head: leader_ops.len() as u64,
+                ops: Vec::new(),
+            });
+            if wire::write_response(&mut w, &beat)
+                .and_then(|()| w.flush())
+                .is_err()
+            {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    });
+
+    let status = ReplicaStatus::new(0);
+    let shutdown = ShutdownHandle::new();
+    let f_engine = Arc::clone(&engine);
+    let f_status = Arc::clone(&status);
+    let f_shutdown = shutdown.clone();
+    let follower = std::thread::spawn(move || {
+        run_follower(
+            &f_engine,
+            move || Some(addr.to_string()),
+            0,
+            None,
+            &f_status,
+            &f_shutdown,
+            &FollowerOptions {
+                backoff_base: Duration::from_millis(10),
+                backoff_max: Duration::from_millis(100),
+                read_timeout: Duration::from_secs(2),
+                ..FollowerOptions::default()
+            },
+        )
+    });
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while status.applied() < NODES as u64 {
+        assert!(
+            Instant::now() < deadline,
+            "follower stuck at offset {} (reconnects {})",
+            status.applied(),
+            status.reconnects()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // The tear forced exactly one reconnect cycle, no divergence, and the
+    // applied state is what an untorn stream would have produced.
+    assert!(status.reconnects() >= 1, "the tear never forced a redial");
+    assert!(!status.is_diverged(), "a checksum tear is not divergence");
+    let stats = engine.stats();
+    assert_eq!(stats.updates, NODES as u64, "corrupt ops leaked into state");
+
+    shutdown.shutdown();
+    follower.join().unwrap().unwrap();
+    leader.join().unwrap();
+}
+
+/// A subscriber that never reads: the leader's write buffer to it fills,
+/// the write deadline cuts the laggard, and neither healthy queries nor
+/// the leader's own ingest path stall behind it.
+#[test]
+fn slow_subscriber_is_cut_without_stalling_the_leader() {
+    let engine = trained_engine();
+    let fp = replication::fingerprint(engine.scheme(), engine.nodes());
+    engine
+        .attach_replication(ReplicationLog::in_memory(fp))
+        .unwrap();
+    let server = Server::bind_tcp("127.0.0.1:0", Arc::clone(&engine))
+        .unwrap()
+        .with_options(ServerOptions {
+            read_timeout: Some(Duration::from_millis(150)),
+            // Tight write deadline: a subscriber that stops draining is
+            // cut in well under a second.
+            write_timeout: Some(Duration::from_millis(200)),
+            ..ServerOptions::default()
+        });
+    let addr = server.local_addr().unwrap();
+    std::thread::spawn(move || server.run());
+
+    // Subscribe, then never read a byte.
+    let laggard = TcpStream::connect(addr).unwrap();
+    let mut w = BufWriter::new(laggard.try_clone().unwrap());
+    wire::write_request(
+        &mut w,
+        &Request::Subscribe {
+            fingerprint: fp,
+            from: 0,
+        },
+    )
+    .unwrap();
+    w.flush().unwrap();
+
+    // Meanwhile the leader keeps ingesting — far more bytes than the
+    // laggard's socket buffers can absorb — and healthy clients keep
+    // getting exact answers.
+    // ~35MB of journal — far beyond what the kernel will buffer for a
+    // socket nobody drains, so the stream writer must hit its deadline.
+    let ops: Vec<ReplOp> = (0..32_768u64)
+        .map(|i| ReplOp::Update {
+            key: i % NODES as u64,
+            feedback: SharingBitmap::singleton(NodeId((i % NODES as u64) as u8)),
+        })
+        .collect();
+    let mut client = Client::connect_tcp(addr).unwrap();
+    client
+        .set_timeouts(Some(Duration::from_secs(5)), Some(Duration::from_secs(5)))
+        .unwrap();
+    let start = Instant::now();
+    for _ in 0..64 {
+        engine.ingest_replicated(&ops).unwrap();
+        client.ping().unwrap();
+    }
+    assert!(
+        start.elapsed() < Duration::from_secs(60),
+        "leader ingest stalled behind the laggard: {:?}",
+        start.elapsed()
+    );
+
+    // With nobody draining the laggard, the stream writer is now blocked
+    // against full socket buffers; its 200ms deadline cuts the handler.
+    // The server's own connection gauge proves it: only the healthy
+    // client remains. (Draining instead would relieve the backpressure
+    // and keep the stream alive — the cut requires sustained stall.)
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let text = client.metrics().unwrap();
+        let active = csp_obs::parse_text(&text)
+            .into_iter()
+            .find(|s| s.name == "csp_connections_active")
+            .and_then(|s| s.value_i64())
+            .unwrap_or(-1);
+        if active == 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "laggard connection never cut; {active} connections still active"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    // Draining what the kernel already buffered now ends in EOF (or a
+    // reset), not a live stream.
+    laggard
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut drained = laggard;
+    let mut sink = [0u8; 64 * 1024];
+    loop {
+        match drained.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+
+    // And the server is still fully alive for everyone else.
+    let mut client = Client::connect_tcp(addr).unwrap();
+    client.ping().unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.restarts, 0, "backpressure must not reach shard state");
 }

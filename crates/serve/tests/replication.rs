@@ -1,0 +1,492 @@
+//! The replication proof, end to end through the real binary: a leader
+//! journals every mutation, a follower bootstraps from a shipped
+//! snapshot and streams the journal live — and the follower's screening
+//! statistics must be *bit-identical* to the leader's and to the offline
+//! engine's, across every benchmark of the paper's suite.
+//!
+//! The failover test then kills the leader with SIGKILL mid-stream,
+//! proves the follower keeps serving stale-but-consistent answers,
+//! restarts the leader on a new port from its durable snapshot+journal,
+//! and proves the follower reconnects, resumes from its offset, and
+//! converges bit-identically once the remaining trace is pushed.
+
+#![cfg(unix)]
+
+use csp_core::engine::run_scheme;
+use csp_core::Scheme;
+use csp_serve::wire::StatsReply;
+use csp_serve::Client;
+use csp_workloads::generate_suite;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const SCHEME: &str = "union(pid+pc8)2[direct]";
+const SHARDS: &str = "3";
+const SCALE: f64 = 0.02;
+const SEED: u64 = 11;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_csp-served")
+}
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("csp-repl-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn arg(p: &Path) -> &str {
+    p.to_str().unwrap()
+}
+
+/// A served process whose stdin is held open; dropping the guard closes
+/// stdin (graceful shutdown) and reaps the child. `kill9` skips the
+/// grace and SIGKILLs, like a crashed host.
+struct Served {
+    child: Child,
+    stderr_path: PathBuf,
+}
+
+impl Served {
+    fn spawn(dir: &TempDir, tag: &str, args: &[&str]) -> Served {
+        let stderr_path = dir.path(&format!("{tag}.stderr"));
+        let child = Command::new(bin())
+            .arg("serve")
+            .args(args)
+            .stdin(Stdio::piped())
+            .stderr(fs::File::create(&stderr_path).unwrap())
+            .spawn()
+            .unwrap();
+        Served { child, stderr_path }
+    }
+
+    fn stderr(&self) -> String {
+        fs::read_to_string(&self.stderr_path).unwrap_or_default()
+    }
+
+    /// SIGKILL — no drain, no snapshot, no flush.
+    fn kill9(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+
+    /// Closes stdin and waits for the graceful exit.
+    fn shutdown(mut self) -> (bool, String) {
+        drop(self.child.stdin.take());
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            match self.child.try_wait().unwrap() {
+                Some(status) => return (status.success(), self.stderr()),
+                None if Instant::now() > deadline => {
+                    let _ = self.child.kill();
+                    let _ = self.child.wait();
+                    panic!(
+                        "serve did not exit within 30s of stdin closing:\n{}",
+                        self.stderr()
+                    );
+                }
+                None => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+}
+
+impl Drop for Served {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Waits for an `--addr-file` to appear and parses the bound address.
+fn wait_addr(path: &Path) -> String {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(s) = fs::read_to_string(path) {
+            let s = s.trim().to_string();
+            if !s.is_empty() {
+                return s;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no address in {}",
+            path.display()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn connect(addr: &str) -> Client {
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        match Client::connect_tcp(addr) {
+            Ok(mut c) => {
+                c.set_timeouts(Some(Duration::from_secs(10)), Some(Duration::from_secs(10)))
+                    .unwrap();
+                return c;
+            }
+            Err(e) => {
+                assert!(Instant::now() < deadline, "connect {addr}: {e}");
+                std::thread::sleep(Duration::from_millis(30));
+            }
+        }
+    }
+}
+
+fn stats(addr: &str) -> StatsReply {
+    connect(addr).stats().unwrap()
+}
+
+/// Polls until `cond` holds over the follower's stats, or panics with the
+/// last observation.
+fn wait_stats(addr: &str, what: &str, cond: impl Fn(&StatsReply) -> bool) -> StatsReply {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let s = stats(addr);
+        if cond(&s) {
+            return s;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for {what}; last: scored {} updates {} entries {}",
+            s.scored,
+            s.updates,
+            s.entries
+        );
+        std::thread::sleep(Duration::from_millis(40));
+    }
+}
+
+/// Ships the leader's newest snapshot (and nothing else — no journal) to
+/// a follower's empty snapshot directory, as an operator would.
+fn ship_snapshot(from: &Path, to: &Path) {
+    fs::create_dir_all(to).unwrap();
+    let mut shipped = 0;
+    for entry in fs::read_dir(from).unwrap() {
+        let entry = entry.unwrap();
+        let name = entry.file_name();
+        if name.to_string_lossy().ends_with(".cspsnap") {
+            fs::copy(entry.path(), to.join(&name)).unwrap();
+            shipped += 1;
+        }
+    }
+    assert!(shipped > 0, "leader left no snapshot to ship");
+}
+
+fn write_trace(dir: &TempDir, bench_idx: usize) -> (PathBuf, usize, usize) {
+    let suite = generate_suite(SCALE, SEED);
+    let bench = &suite[bench_idx];
+    let path = dir.path(&format!("trace-{bench_idx}.csptrc"));
+    let file = fs::File::create(&path).unwrap();
+    csp_trace::io::write_trace(std::io::BufWriter::new(file), &bench.trace).unwrap();
+    (path, bench.trace.len(), bench.trace.nodes())
+}
+
+fn push(addr: &str, trace: &Path, from: usize, to: Option<usize>) {
+    let mut cmd = Command::new(bin());
+    cmd.args(["push", "--addr", addr, "--scheme", SCHEME])
+        .args(["--from-event", &from.to_string()]);
+    if let Some(to) = to {
+        cmd.args(["--to-event", &to.to_string()]);
+    }
+    let status = cmd.arg(arg(trace)).status().unwrap();
+    assert!(status.success(), "push exited {status}");
+}
+
+/// Leader and follower statistics must agree field for field — same
+/// confusion counters, same update/scored totals, same entry count.
+fn assert_replicas_agree(leader: &StatsReply, follower: &StatsReply, ctx: &str) {
+    assert_eq!(leader.confusion, follower.confusion, "{ctx}: confusion");
+    assert_eq!(leader.updates, follower.updates, "{ctx}: updates");
+    assert_eq!(leader.scored, follower.scored, "{ctx}: scored");
+    assert_eq!(leader.entries, follower.entries, "{ctx}: entries");
+    assert_eq!(
+        leader.confusion.screening().pvp.to_bits(),
+        follower.confusion.screening().pvp.to_bits(),
+        "{ctx}: screening rates"
+    );
+}
+
+/// One leader/follower pair over one benchmark: warm half the trace into
+/// the leader, ship the bootstrap snapshot, stream the journal, push the
+/// rest over the wire, and require three-way bit-identity (offline ==
+/// leader == follower).
+fn verify_pair(dir: &TempDir, bench_idx: usize) {
+    let (trace, events, nodes) = write_trace(dir, bench_idx);
+    let scheme: Scheme = SCHEME.parse().unwrap();
+    let suite = generate_suite(SCALE, SEED);
+    let offline = run_scheme(&suite[bench_idx].trace, &scheme);
+    let half = events / 2;
+    let nodes_s = nodes.to_string();
+    let half_s = half.to_string();
+
+    let ldir = dir.path(&format!("leader-{bench_idx}"));
+    let laddr_file = dir.path(&format!("leader-{bench_idx}.addr"));
+    let leader = Served::spawn(
+        dir,
+        &format!("leader-{bench_idx}"),
+        &[
+            "--scheme",
+            SCHEME,
+            "--nodes",
+            &nodes_s,
+            "--shards",
+            SHARDS,
+            "--listen",
+            "127.0.0.1:0",
+            "--snapshot-dir",
+            arg(&ldir),
+            "--replicate",
+            "--warm",
+            arg(&trace),
+            "--warm-events",
+            &half_s,
+            "--addr-file",
+            arg(&laddr_file),
+        ],
+    );
+    let laddr = wait_addr(&laddr_file);
+
+    // Bootstrap the follower from the leader's shipped snapshot only;
+    // everything past it must arrive over the stream.
+    let fdir = dir.path(&format!("follower-{bench_idx}"));
+    ship_snapshot(&ldir, &fdir);
+    let faddr_file = dir.path(&format!("follower-{bench_idx}.addr"));
+    let follower = Served::spawn(
+        dir,
+        &format!("follower-{bench_idx}"),
+        &[
+            "--scheme",
+            SCHEME,
+            "--nodes",
+            &nodes_s,
+            "--shards",
+            "2",
+            "--listen",
+            "127.0.0.1:0",
+            "--snapshot-dir",
+            arg(&fdir),
+            "--restore",
+            "--follow",
+            &laddr,
+            "--addr-file",
+            arg(&faddr_file),
+        ],
+    );
+    let faddr = wait_addr(&faddr_file);
+
+    // The second half arrives over Ingest frames, like a live producer.
+    push(&laddr, &trace, half, None);
+
+    let lstats = stats(&laddr);
+    assert_eq!(
+        lstats.confusion, offline,
+        "bench {bench_idx}: leader != offline"
+    );
+    let fstats = wait_stats(&faddr, "follower catch-up", |s| {
+        s.scored == lstats.scored && s.updates == lstats.updates
+    });
+    assert_replicas_agree(&lstats, &fstats, &format!("bench {bench_idx}"));
+    assert_eq!(
+        fstats.confusion, offline,
+        "bench {bench_idx}: follower != offline"
+    );
+
+    let (ok, err) = follower.shutdown();
+    assert!(ok, "follower shutdown failed:\n{err}");
+    assert!(
+        err.contains("final journal offset"),
+        "follower never reported its final journal offset:\n{err}"
+    );
+    let (ok, err) = leader.shutdown();
+    assert!(ok, "leader shutdown failed:\n{err}");
+}
+
+/// All seven benchmarks of the paper's suite, each through a real
+/// leader/follower pair: offline == leader == follower, bit for bit.
+#[test]
+fn follower_is_bit_identical_across_the_suite() {
+    let dir = TempDir::new("suite");
+    let suite_len = generate_suite(SCALE, SEED).len();
+    assert_eq!(suite_len, 7, "the paper's seven benchmarks");
+    for bench_idx in 0..suite_len {
+        verify_pair(&dir, bench_idx);
+    }
+}
+
+/// Reads one metric value out of a follower's Prometheus-style scrape.
+fn metric(addr: &str, name: &str) -> Option<i64> {
+    let text = connect(addr).metrics().unwrap();
+    csp_obs::parse_text(&text)
+        .into_iter()
+        .find(|s| s.name == name)
+        .and_then(|s| s.value_i64())
+}
+
+/// The failover chaos proof: SIGKILL the leader mid-stream, keep serving
+/// stale-but-consistent from the follower, restart the leader from its
+/// durable snapshot + journal on a *new* port, and converge.
+#[test]
+fn leader_kill9_failover_converges_bit_identically() {
+    let dir = TempDir::new("kill9");
+    let (trace, events, nodes) = write_trace(&dir, 0);
+    let scheme: Scheme = SCHEME.parse().unwrap();
+    let offline = run_scheme(&generate_suite(SCALE, SEED)[0].trace, &scheme);
+    let (t1, t2) = (events / 3, 2 * events / 3);
+    let nodes_s = nodes.to_string();
+
+    let ldir = dir.path("leader");
+    let addr_file = dir.path("leader.addr");
+    let leader_args = |warm: bool| {
+        let mut v = vec![
+            "--scheme".to_string(),
+            SCHEME.to_string(),
+            "--nodes".to_string(),
+            nodes_s.clone(),
+            "--shards".to_string(),
+            SHARDS.to_string(),
+            "--listen".to_string(),
+            "127.0.0.1:0".to_string(),
+            "--snapshot-dir".to_string(),
+            ldir.to_str().unwrap().to_string(),
+            "--replicate".to_string(),
+            "--addr-file".to_string(),
+            addr_file.to_str().unwrap().to_string(),
+        ];
+        if warm {
+            v.extend([
+                "--warm".to_string(),
+                trace.to_str().unwrap().to_string(),
+                "--warm-events".to_string(),
+                t1.to_string(),
+            ]);
+        } else {
+            v.push("--restore".to_string());
+        }
+        v
+    };
+    let args1 = leader_args(true);
+    let args1: Vec<&str> = args1.iter().map(String::as_str).collect();
+    let mut leader = Served::spawn(&dir, "leader1", &args1);
+    let laddr = wait_addr(&addr_file);
+
+    // Follower dials through --follow-file, so a restarted leader only
+    // has to rewrite the file to be found again.
+    let fdir = dir.path("follower");
+    ship_snapshot(&ldir, &fdir);
+    let faddr_file = dir.path("follower.addr");
+    let follower = Served::spawn(
+        &dir,
+        "follower",
+        &[
+            "--scheme",
+            SCHEME,
+            "--nodes",
+            &nodes_s,
+            "--shards",
+            "2",
+            "--listen",
+            "127.0.0.1:0",
+            "--snapshot-dir",
+            arg(&fdir),
+            "--restore",
+            "--follow-file",
+            arg(&addr_file),
+            "--addr-file",
+            arg(&faddr_file),
+        ],
+    );
+    let faddr = wait_addr(&faddr_file);
+
+    // Second third over the wire; wait until the follower has all of it,
+    // so the SIGKILL lands with an idle-but-subscribed stream.
+    push(&laddr, &trace, t1, Some(t2));
+    let mid = stats(&laddr);
+    let fmid = wait_stats(&faddr, "pre-kill catch-up", |s| {
+        s.scored == mid.scored && s.updates == mid.updates
+    });
+    assert_replicas_agree(&mid, &fmid, "pre-kill");
+
+    // Crash. No drain, no final snapshot — only the journal's per-append
+    // flushes stand between the leader's state and oblivion.
+    leader.kill9();
+    let _ = fs::remove_file(&addr_file);
+
+    // The follower must keep answering, stale but consistent, while the
+    // leader is gone.
+    let stale = stats(&faddr);
+    assert_replicas_agree(&mid, &stale, "during outage");
+    let disconnected = {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            if metric(&faddr, "csp_repl_connected") == Some(0) {
+                break true;
+            }
+            if Instant::now() > deadline {
+                break false;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    };
+    assert!(disconnected, "follower never noticed the leader die");
+
+    // Restart from durable state on a fresh ephemeral port. --restore
+    // loads the bootstrap snapshot; the journal replays everything past
+    // it, including the pushed second third.
+    let args2 = leader_args(false);
+    let args2: Vec<&str> = args2.iter().map(String::as_str).collect();
+    let leader = Served::spawn(&dir, "leader2", &args2);
+    let laddr2 = wait_addr(&addr_file);
+    assert_ne!(laddr, laddr2, "ephemeral rebind should move the port");
+    let recovered = stats(&laddr2);
+    assert_replicas_agree(&mid, &recovered, "post-restart recovery");
+
+    // The follower finds the new address, reconnects, and resumes from
+    // its durable offset — no re-bootstrap.
+    wait_stats(&faddr, "reconnect", |_| {
+        metric(&faddr, "csp_repl_connected") == Some(1)
+    });
+    assert!(
+        metric(&faddr, "csp_repl_reconnects_total").unwrap_or(0) >= 1,
+        "reconnect counter never moved"
+    );
+
+    // Final third; everyone converges on the offline truth.
+    push(&laddr2, &trace, t2, None);
+    let lfinal = stats(&laddr2);
+    assert_eq!(
+        lfinal.confusion, offline,
+        "leader != offline after failover"
+    );
+    let ffinal = wait_stats(&faddr, "post-failover catch-up", |s| {
+        s.scored == lfinal.scored && s.updates == lfinal.updates
+    });
+    assert_replicas_agree(&lfinal, &ffinal, "post-failover");
+    assert_eq!(
+        ffinal.confusion, offline,
+        "follower != offline after failover"
+    );
+
+    let (ok, err) = follower.shutdown();
+    assert!(ok, "follower shutdown failed:\n{err}");
+    let (ok, err) = leader.shutdown();
+    assert!(ok, "restarted leader shutdown failed:\n{err}");
+}

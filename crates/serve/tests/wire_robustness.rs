@@ -4,7 +4,10 @@
 //! field values (proptest).
 
 use csp_metrics::ConfusionMatrix;
-use csp_serve::wire::{self, read_frame, FrameRead, Request, Response, StatsReply, MAX_PAYLOAD};
+use csp_serve::replication::ReplOp;
+use csp_serve::wire::{
+    self, read_frame, FrameRead, Request, Response, SegmentFrame, StatsReply, MAX_PAYLOAD,
+};
 use csp_serve::Probe;
 use csp_trace::{LineAddr, NodeId, Pc, SharingBitmap};
 use proptest::prelude::*;
@@ -52,8 +55,26 @@ fn stats_reply() -> StatsReply {
     }
 }
 
+fn repl_ops(n: u64) -> Vec<ReplOp> {
+    (0..n)
+        .map(|i| {
+            if i % 2 == 0 {
+                ReplOp::Update {
+                    key: i * 17,
+                    feedback: SharingBitmap::from_bits(1 << (i % 64)),
+                }
+            } else {
+                ReplOp::Score {
+                    key: i * 31,
+                    actual: SharingBitmap::from_bits(i),
+                }
+            }
+        })
+        .collect()
+}
+
 /// One payload per request tag (`T_PING`, `T_PREDICT`,
-/// `T_PREDICT_BATCH`, `T_STATS`).
+/// `T_PREDICT_BATCH`, `T_STATS`, `T_INGEST`, `T_SUBSCRIBE`).
 fn request_payloads() -> Vec<(&'static str, Vec<u8>)> {
     vec![
         ("ping", wire::encode_request(&Request::Ping)),
@@ -63,14 +84,53 @@ fn request_payloads() -> Vec<(&'static str, Vec<u8>)> {
             wire::encode_request(&Request::PredictBatch((0..17).map(probe).collect())),
         ),
         ("stats", wire::encode_request(&Request::Stats)),
+        (
+            "ingest",
+            wire::encode_request(&Request::Ingest {
+                fingerprint: 0xDEAD_BEEF,
+                ops: repl_ops(11),
+            }),
+        ),
+        (
+            "subscribe",
+            wire::encode_request(&Request::Subscribe {
+                fingerprint: 0xDEAD_BEEF,
+                from: 0x0123_4567_89AB_CDEF,
+            }),
+        ),
     ]
 }
 
 /// One payload per response tag (`T_PONG`, `T_PREDICTION`,
-/// `T_PREDICTION_BATCH`, `T_STATS_SNAPSHOT`, `T_ERROR`).
+/// `T_PREDICTION_BATCH`, `T_STATS_SNAPSHOT`, `T_ERROR`,
+/// `T_INGEST_ACK`, `T_JOURNAL_SEGMENT`).
 fn response_payloads() -> Vec<(&'static str, Vec<u8>)> {
     vec![
         ("pong", wire::encode_response(&Response::Pong)),
+        (
+            "ingest-ack",
+            wire::encode_response(&Response::IngestAck {
+                head: 0xFEED_F00D_1234_5678,
+            }),
+        ),
+        (
+            "journal-segment",
+            wire::encode_response(&Response::JournalSegment(SegmentFrame {
+                fingerprint: 0xCAFE_BABE,
+                start: 100,
+                head: 113,
+                ops: repl_ops(13),
+            })),
+        ),
+        (
+            "journal-heartbeat",
+            wire::encode_response(&Response::JournalSegment(SegmentFrame {
+                fingerprint: 0xCAFE_BABE,
+                start: 113,
+                head: 113,
+                ops: Vec::new(),
+            })),
+        ),
         (
             "prediction",
             wire::encode_response(&Response::Prediction(SharingBitmap::from_bits(0xF00D))),
@@ -213,7 +273,122 @@ fn bad_checksum_is_typed_with_both_crcs() {
     }
 }
 
+/// A hostile operation count in an `Ingest` header — far more ops than
+/// the body carries, or than the cap allows — must be rejected by the
+/// length/cap validation before any allocation happens.
+#[test]
+fn hostile_ingest_op_count_is_rejected_without_allocating() {
+    let mut payload = wire::encode_request(&Request::Ingest {
+        fingerprint: 7,
+        ops: repl_ops(2),
+    });
+    // Payload layout: tag(1) | fingerprint(4) | count(4) | ops…
+    for hostile in [3u32, 1 << 20, u32::MAX] {
+        payload[5..9].copy_from_slice(&hostile.to_le_bytes());
+        assert!(
+            wire::decode_request(&payload).is_err(),
+            "count {hostile} over a 2-op body must be rejected"
+        );
+    }
+    // Same attack on the segment stream's count field:
+    // tag(1) | fingerprint(4) | start(8) | head(8) | count(4) | ops…
+    let mut payload = wire::encode_response(&Response::JournalSegment(SegmentFrame {
+        fingerprint: 7,
+        start: 0,
+        head: 2,
+        ops: repl_ops(2),
+    }));
+    for hostile in [3u32, 1 << 20, u32::MAX] {
+        payload[21..25].copy_from_slice(&hostile.to_le_bytes());
+        assert!(
+            wire::decode_response(&payload).is_err(),
+            "segment count {hostile} over a 2-op body must be rejected"
+        );
+    }
+}
+
+/// Operations whose tag byte is neither Update nor Score must fail the
+/// decode, wherever they sit in the batch.
+#[test]
+fn unknown_repl_op_tags_are_rejected() {
+    let payload = wire::encode_request(&Request::Ingest {
+        fingerprint: 7,
+        ops: repl_ops(3),
+    });
+    assert!(wire::decode_request(&payload).is_ok(), "baseline decodes");
+    let ops_at = 9;
+    for bad_tag in [0u8, 3, 0xFF] {
+        for op in 0..3 {
+            let mut hurt = payload.clone();
+            hurt[ops_at + op * 17] = bad_tag;
+            assert!(
+                wire::decode_request(&hurt).is_err(),
+                "op tag {bad_tag:#04X} at op {op} must be rejected"
+            );
+        }
+    }
+}
+
 proptest! {
+    /// Arbitrary operation batches survive the Ingest request round trip
+    /// bit-for-bit.
+    #[test]
+    fn ingest_round_trips(
+        fingerprint in any::<u32>(),
+        raw in proptest::collection::vec((any::<bool>(), any::<u64>(), any::<u64>()), 0..64),
+    ) {
+        let ops: Vec<ReplOp> = raw
+            .into_iter()
+            .map(|(update, key, bits)| if update {
+                ReplOp::Update { key, feedback: SharingBitmap::from_bits(bits) }
+            } else {
+                ReplOp::Score { key, actual: SharingBitmap::from_bits(bits) }
+            })
+            .collect();
+        let mut frame = Vec::new();
+        wire::write_request(&mut frame, &Request::Ingest { fingerprint, ops: ops.clone() }).unwrap();
+        let back = wire::read_request(&mut frame.as_slice()).unwrap();
+        prop_assert_eq!(back, Request::Ingest { fingerprint, ops });
+    }
+
+    /// Arbitrary journal segments survive the response round trip
+    /// bit-for-bit, heartbeats included.
+    #[test]
+    fn journal_segment_round_trips(
+        fingerprint in any::<u32>(),
+        start in any::<u64>(),
+        lead in any::<u32>(),
+        raw in proptest::collection::vec((any::<bool>(), any::<u64>(), any::<u64>()), 0..64),
+    ) {
+        let ops: Vec<ReplOp> = raw
+            .into_iter()
+            .map(|(update, key, bits)| if update {
+                ReplOp::Update { key, feedback: SharingBitmap::from_bits(bits) }
+            } else {
+                ReplOp::Score { key, actual: SharingBitmap::from_bits(bits) }
+            })
+            .collect();
+        let seg = SegmentFrame {
+            fingerprint,
+            start,
+            head: start.saturating_add(ops.len() as u64).saturating_add(u64::from(lead)),
+            ops,
+        };
+        let mut frame = Vec::new();
+        wire::write_response(&mut frame, &Response::JournalSegment(seg.clone())).unwrap();
+        let back = wire::read_response(&mut frame.as_slice()).unwrap();
+        prop_assert_eq!(back, Response::JournalSegment(seg));
+    }
+
+    /// Subscribe round-trips for arbitrary fingerprints and offsets.
+    #[test]
+    fn subscribe_round_trips(fingerprint in any::<u32>(), from in any::<u64>()) {
+        let mut frame = Vec::new();
+        wire::write_request(&mut frame, &Request::Subscribe { fingerprint, from }).unwrap();
+        let back = wire::read_request(&mut frame.as_slice()).unwrap();
+        prop_assert_eq!(back, Request::Subscribe { fingerprint, from });
+    }
+
     #[test]
     fn stats_reply_round_trips(
         scheme in scheme_strings(),

@@ -1,0 +1,403 @@
+//! Durable journal segment framing: the append-only on-disk log format
+//! replication builds on (`csp-serve`).
+//!
+//! A journal file is a header followed by CRC32c-framed *segments*, each
+//! carrying an opaque batch of fixed- or variable-width records the
+//! caller defines:
+//!
+//! ```text
+//! file:
+//!   magic "CSPJRNL1"
+//!   header: fingerprint u32 | start_offset u64 | crc u32   (crc over the 12 header bytes)
+//! segment (repeated):
+//!   count u32 | len u32 | records[len] | crc u32           (crc over count, len and records)
+//! ```
+//!
+//! All integers are little-endian, checksums are CRC32c
+//! ([`crate::crc32c`]) — the same conventions as the trace format.
+//!
+//! # Failure model
+//!
+//! The writer flushes after every appended segment, so a process killed
+//! hard (SIGKILL, power loss short of media failure) leaves at most one
+//! *torn* segment at the tail. [`read_journal`] tolerates exactly that:
+//! it returns every segment up to the first one that is short or fails
+//! its checksum and reports the cut with [`JournalContents::torn`] —
+//! corruption truncates the log, it never yields bogus records. A new
+//! writer then starts a *new* file at the recovered offset instead of
+//! appending past the tear.
+//!
+//! # Example
+//!
+//! ```
+//! use csp_trace::journal::{read_journal, JournalHeader, SegmentWriter};
+//!
+//! let mut bytes = Vec::new();
+//! let header = JournalHeader { fingerprint: 0xFEED, start_offset: 42 };
+//! let mut w = SegmentWriter::create(&mut bytes, &header)?;
+//! w.append(2, b"ab")?;
+//! w.append(1, b"c")?;
+//! let back = read_journal(bytes.as_slice())?;
+//! assert_eq!(back.header.start_offset, 42);
+//! assert_eq!(back.segments.len(), 2);
+//! assert!(!back.torn);
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+use crate::crc32c;
+use std::io::{self, Read, Write};
+
+/// Identifies a journal file (and its format version).
+pub const JOURNAL_MAGIC: &[u8; 8] = b"CSPJRNL1";
+
+/// Hard ceiling on one segment's record bytes: bounds what a corrupt
+/// length field can make the reader allocate.
+pub const MAX_SEGMENT_BYTES: usize = 1 << 24;
+
+/// The self-describing prefix of a journal file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JournalHeader {
+    /// Caller-defined compatibility fingerprint; a reader that expects a
+    /// different fingerprint must treat the file as foreign.
+    pub fingerprint: u32,
+    /// The logical offset (in records) of the first record in this file.
+    pub start_offset: u64,
+}
+
+/// One decoded segment: `count` records packed into `records` (the
+/// caller defines the record encoding).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JournalSegment {
+    /// Number of records in this segment.
+    pub count: u32,
+    /// The packed record bytes.
+    pub records: Vec<u8>,
+}
+
+/// Everything [`read_journal`] recovered from one file.
+#[derive(Clone, Debug)]
+pub struct JournalContents {
+    /// The file header.
+    pub header: JournalHeader,
+    /// Whole, checksum-verified segments, in append order.
+    pub segments: Vec<JournalSegment>,
+    /// `true` when the file ended in a torn or corrupt segment that was
+    /// discarded — the recovered prefix is still trustworthy.
+    pub torn: bool,
+}
+
+impl JournalContents {
+    /// Total records across the recovered segments.
+    pub fn record_count(&self) -> u64 {
+        self.segments.iter().map(|s| u64::from(s.count)).sum()
+    }
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Appends CRC32c-framed segments to a journal, flushing after each so a
+/// hard kill loses at most the segment being written.
+#[derive(Debug)]
+pub struct SegmentWriter<W: Write> {
+    inner: W,
+}
+
+impl<W: Write> SegmentWriter<W> {
+    /// Writes the magic and header, returning a writer positioned for
+    /// the first segment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn create(mut inner: W, header: &JournalHeader) -> io::Result<Self> {
+        inner.write_all(JOURNAL_MAGIC)?;
+        let mut fields = [0u8; 12];
+        fields[..4].copy_from_slice(&header.fingerprint.to_le_bytes());
+        fields[4..].copy_from_slice(&header.start_offset.to_le_bytes());
+        inner.write_all(&fields)?;
+        inner.write_all(&crc32c::checksum(&fields).to_le_bytes())?;
+        inner.flush()?;
+        Ok(SegmentWriter { inner })
+    }
+
+    /// Appends one segment of `count` records packed into `records` and
+    /// flushes, so the segment is out of this process's hands when the
+    /// call returns.
+    ///
+    /// # Errors
+    ///
+    /// Rejects segments over [`MAX_SEGMENT_BYTES`]; propagates I/O
+    /// errors.
+    pub fn append(&mut self, count: u32, records: &[u8]) -> io::Result<()> {
+        if records.len() > MAX_SEGMENT_BYTES {
+            return Err(bad(format!(
+                "segment of {} bytes exceeds the {MAX_SEGMENT_BYTES}-byte limit",
+                records.len()
+            )));
+        }
+        let mut head = [0u8; 8];
+        head[..4].copy_from_slice(&count.to_le_bytes());
+        head[4..].copy_from_slice(&(records.len() as u32).to_le_bytes());
+        let mut crc = crc32c::Hasher::new();
+        crc.update(&head);
+        crc.update(records);
+        self.inner.write_all(&head)?;
+        self.inner.write_all(records)?;
+        self.inner.write_all(&crc.finalize().to_le_bytes())?;
+        self.inner.flush()
+    }
+
+    /// Unwraps the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+fn read_exact_or_torn<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<ReadOutcome> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 {
+                    ReadOutcome::CleanEnd
+                } else {
+                    ReadOutcome::Torn
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(ReadOutcome::Whole)
+}
+
+enum ReadOutcome {
+    Whole,
+    CleanEnd,
+    Torn,
+}
+
+/// Reads a journal, tolerating a torn tail: every whole, checksummed
+/// segment before the first damaged one is returned and the damage is
+/// reported as [`JournalContents::torn`].
+///
+/// # Errors
+///
+/// [`io::ErrorKind::InvalidData`] when the magic or the *header* is bad
+/// (nothing can be trusted then); transport errors propagate. Segment
+/// damage is not an error — it truncates.
+pub fn read_journal<R: Read>(mut r: R) -> io::Result<JournalContents> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != JOURNAL_MAGIC {
+        return Err(bad("not a journal file (bad magic)"));
+    }
+    let mut fields = [0u8; 12];
+    r.read_exact(&mut fields)?;
+    let mut crc_bytes = [0u8; 4];
+    r.read_exact(&mut crc_bytes)?;
+    if u32::from_le_bytes(crc_bytes) != crc32c::checksum(&fields) {
+        return Err(bad("journal header checksum mismatch"));
+    }
+    let header = JournalHeader {
+        fingerprint: u32::from_le_bytes([fields[0], fields[1], fields[2], fields[3]]),
+        start_offset: u64::from_le_bytes([
+            fields[4], fields[5], fields[6], fields[7], fields[8], fields[9], fields[10],
+            fields[11],
+        ]),
+    };
+    let mut segments = Vec::new();
+    let mut torn = false;
+    loop {
+        let mut head = [0u8; 8];
+        match read_exact_or_torn(&mut r, &mut head)? {
+            ReadOutcome::CleanEnd => break,
+            ReadOutcome::Torn => {
+                torn = true;
+                break;
+            }
+            ReadOutcome::Whole => {}
+        }
+        let count = u32::from_le_bytes([head[0], head[1], head[2], head[3]]);
+        let len = u32::from_le_bytes([head[4], head[5], head[6], head[7]]) as usize;
+        if len > MAX_SEGMENT_BYTES {
+            // A plausible header never claims this; the tail is garbage.
+            torn = true;
+            break;
+        }
+        let mut records = vec![0u8; len];
+        if !matches!(
+            read_exact_or_torn(&mut r, &mut records)?,
+            ReadOutcome::Whole
+        ) {
+            torn = true;
+            break;
+        }
+        let mut crc_bytes = [0u8; 4];
+        if !matches!(
+            read_exact_or_torn(&mut r, &mut crc_bytes)?,
+            ReadOutcome::Whole
+        ) {
+            torn = true;
+            break;
+        }
+        let mut crc = crc32c::Hasher::new();
+        crc.update(&head);
+        crc.update(&records);
+        if u32::from_le_bytes(crc_bytes) != crc.finalize() {
+            torn = true;
+            break;
+        }
+        segments.push(JournalSegment { count, records });
+    }
+    Ok(JournalContents {
+        header,
+        segments,
+        torn,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{all_single_byte_flips, Mutation};
+
+    fn sample() -> Vec<u8> {
+        let mut bytes = Vec::new();
+        let header = JournalHeader {
+            fingerprint: 0xDEAD_BEEF,
+            start_offset: 1_000,
+        };
+        let mut w = SegmentWriter::create(&mut bytes, &header).unwrap();
+        w.append(3, b"aaabbbccc").unwrap();
+        w.append(1, b"dd").unwrap();
+        w.append(2, b"eeee").unwrap();
+        bytes
+    }
+
+    #[test]
+    fn round_trips_header_and_segments() {
+        let back = read_journal(sample().as_slice()).unwrap();
+        assert_eq!(back.header.fingerprint, 0xDEAD_BEEF);
+        assert_eq!(back.header.start_offset, 1_000);
+        assert!(!back.torn);
+        assert_eq!(back.record_count(), 6);
+        assert_eq!(
+            back.segments,
+            vec![
+                JournalSegment {
+                    count: 3,
+                    records: b"aaabbbccc".to_vec()
+                },
+                JournalSegment {
+                    count: 1,
+                    records: b"dd".to_vec()
+                },
+                JournalSegment {
+                    count: 2,
+                    records: b"eeee".to_vec()
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_journal_is_valid() {
+        let mut bytes = Vec::new();
+        let header = JournalHeader {
+            fingerprint: 7,
+            start_offset: 0,
+        };
+        SegmentWriter::create(&mut bytes, &header).unwrap();
+        let back = read_journal(bytes.as_slice()).unwrap();
+        assert!(back.segments.is_empty());
+        assert!(!back.torn);
+    }
+
+    #[test]
+    fn every_tail_truncation_recovers_a_clean_prefix() {
+        let bytes = sample();
+        // The file prefix before segments: magic + header + header crc.
+        let header_len = 8 + 12 + 4;
+        for len in header_len..bytes.len() {
+            let cut = Mutation::Truncate { len }.apply(&bytes);
+            let back = read_journal(cut.as_slice()).unwrap();
+            // Either the cut landed exactly on a segment boundary (clean)
+            // or the tail segment was discarded (torn) — never a partial
+            // or corrupt segment in the output.
+            assert!(back.segments.len() <= 3);
+            for (i, seg) in back.segments.iter().enumerate() {
+                let reference = [b"aaabbbccc".as_slice(), b"dd", b"eeee"];
+                assert_eq!(seg.records, reference[i], "truncated to {len}");
+            }
+            if len < bytes.len() {
+                assert!(
+                    back.torn || back.segments.len() < 3 || len == bytes.len(),
+                    "cut at {len} claimed a whole file"
+                );
+            }
+        }
+        // Truncating into the header itself is a hard error.
+        for len in 0..header_len {
+            assert!(read_journal(Mutation::Truncate { len }.apply(&bytes).as_slice()).is_err());
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected_or_truncates() {
+        let bytes = sample();
+        let clean = read_journal(bytes.as_slice()).unwrap();
+        for m in all_single_byte_flips(&bytes, 0x04) {
+            let hurt = m.apply(&bytes);
+            match read_journal(hurt.as_slice()) {
+                // Header damage: the whole file is rejected.
+                Err(_) => {}
+                // Segment damage: the log is truncated at the flip, and
+                // every surviving segment is bit-identical to the clean
+                // read's prefix.
+                Ok(back) => {
+                    assert!(
+                        back.torn || back.segments == clean.segments,
+                        "{m:?} silently altered the recovered log"
+                    );
+                    for (a, b) in back.segments.iter().zip(&clean.segments) {
+                        assert_eq!(a, b, "{m:?} corrupted a recovered segment");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_segment_length_truncates_instead_of_allocating() {
+        let mut bytes = Vec::new();
+        let header = JournalHeader {
+            fingerprint: 1,
+            start_offset: 0,
+        };
+        let mut w = SegmentWriter::create(&mut bytes, &header).unwrap();
+        w.append(1, b"x").unwrap();
+        // Forge a segment header claiming u32::MAX record bytes.
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(b"garbage");
+        let back = read_journal(bytes.as_slice()).unwrap();
+        assert_eq!(back.segments.len(), 1);
+        assert!(back.torn);
+    }
+
+    #[test]
+    fn oversized_append_is_rejected() {
+        let mut bytes = Vec::new();
+        let header = JournalHeader {
+            fingerprint: 1,
+            start_offset: 0,
+        };
+        let mut w = SegmentWriter::create(&mut bytes, &header).unwrap();
+        let big = vec![0u8; MAX_SEGMENT_BYTES + 1];
+        assert!(w.append(1, &big).is_err());
+    }
+}

@@ -11,7 +11,9 @@
 //!   state of memory, which together determine the *actual* future-reader
 //!   bitmap of every event,
 //! * [`TraceStats`] — the per-benchmark statistics of Table 5 of the paper,
-//! * a compact self-describing binary on-disk format ([`io`]).
+//! * a compact self-describing binary on-disk format ([`io`]),
+//! * durable CRC32c-framed journal segments ([`journal`]) — the on-disk
+//!   log replicated serving is built on.
 //!
 //! # Background
 //!
@@ -57,6 +59,7 @@ mod event;
 pub mod fault;
 mod ids;
 pub mod io;
+pub mod journal;
 mod prepared;
 mod stats;
 mod trace;
