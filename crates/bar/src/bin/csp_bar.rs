@@ -1,0 +1,515 @@
+//! `csp-bar` — the benchmark barometer CLI.
+//!
+//! ```text
+//! csp-bar run   [--defs F] [--out F] [run options]   measure the matrix, append records
+//! csp-bar diff  A.bar [B.bar]                        compare two record sets cell by cell
+//! csp-bar rank  F.bar                                rank engines per workload (latest run)
+//! csp-bar check [--defs F] [--trajectory F] [opts]   run a reduced matrix, gate vs history
+//! csp-bar import BENCH.json [--defs F] [--out F]     migrate a legacy engine-bench point
+//! ```
+//!
+//! Run options (also honored by `check`):
+//!
+//! ```text
+//!   --scale S        workload scale factor      (default: from definitions)
+//!   --seed N         suite seed                 (default: from definitions)
+//!   --warmup N       untimed passes per cell    (default: from definitions)
+//!   --iters N        timed passes per cell      (default: from definitions)
+//!   --shards N       sharded-engine workers     (default: from definitions)
+//!   --cache-dir DIR  trace cache directory      (default: results/trace-cache)
+//!   --no-cache       generate the suite in memory
+//! ```
+//!
+//! Exit codes: 0 success, 1 runtime or gate failure, 2 usage.
+
+#![forbid(unsafe_code)]
+
+use csp_bar::record::{append_records_file, read_records_file, require_fingerprint};
+use csp_bar::runner::RunMeta;
+use csp_bar::{check, diff, rank, run_matrix, BarDefs, BarError, BarRecord, SCHEMA_VERSION};
+use csp_harness::{CacheOutcome, Suite, TraceCache};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Default committed definitions file.
+const DEFAULT_DEFS: &str = "benchmarks.bar";
+/// Default committed trajectory file.
+const DEFAULT_TRAJECTORY: &str = "results/bar/trajectory.bar";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        return usage_error("missing subcommand");
+    };
+    let result = match cmd.as_str() {
+        "run" => cmd_run(rest),
+        "diff" => cmd_diff(rest),
+        "rank" => cmd_rank(rest),
+        "check" => cmd_check(rest),
+        "import" => cmd_import(rest),
+        "--help" | "-h" | "help" => {
+            print_usage();
+            return ExitCode::SUCCESS;
+        }
+        other => return usage_error(&format!("unknown subcommand {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Usage(msg)) => usage_error(&msg),
+        Err(CliError::Runtime(e)) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+enum CliError {
+    Usage(String),
+    Runtime(BarError),
+}
+
+impl From<BarError> for CliError {
+    fn from(e: BarError) -> Self {
+        CliError::Runtime(e)
+    }
+}
+
+fn usage(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
+
+/// Flags shared by `run` and `check`; `None` defers to the definitions.
+#[derive(Default)]
+struct RunFlags {
+    defs: Option<PathBuf>,
+    out: Option<PathBuf>,
+    trajectory: Option<PathBuf>,
+    scale: Option<f64>,
+    seed: Option<u64>,
+    warmup: Option<usize>,
+    iters: Option<usize>,
+    shards: Option<usize>,
+    cache_dir: Option<PathBuf>,
+    no_cache: bool,
+    positional: Vec<String>,
+}
+
+fn parse_flags(args: &[String]) -> Result<RunFlags, CliError> {
+    let mut flags = RunFlags {
+        cache_dir: Some(PathBuf::from("results/trace-cache")),
+        ..RunFlags::default()
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| usage(format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--defs" => flags.defs = Some(PathBuf::from(value("--defs")?)),
+            "--out" => flags.out = Some(PathBuf::from(value("--out")?)),
+            "--trajectory" => flags.trajectory = Some(PathBuf::from(value("--trajectory")?)),
+            "--scale" => flags.scale = Some(parse_value(&value("--scale")?, "--scale")?),
+            "--seed" => flags.seed = Some(parse_value(&value("--seed")?, "--seed")?),
+            "--warmup" => flags.warmup = Some(parse_value(&value("--warmup")?, "--warmup")?),
+            "--iters" => flags.iters = Some(parse_value(&value("--iters")?, "--iters")?),
+            "--shards" => flags.shards = Some(parse_value(&value("--shards")?, "--shards")?),
+            "--cache-dir" => flags.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
+            "--no-cache" => flags.no_cache = true,
+            other if other.starts_with('-') => {
+                return Err(usage(format!("unknown flag {other:?}")))
+            }
+            positional => flags.positional.push(positional.to_string()),
+        }
+    }
+    Ok(flags)
+}
+
+fn parse_value<T: std::str::FromStr>(raw: &str, name: &str) -> Result<T, CliError> {
+    raw.parse()
+        .map_err(|_| usage(format!("{name} got invalid value {raw:?}")))
+}
+
+/// Loads the definitions: `--defs` path, the committed default, or the
+/// built-in matrix when neither exists; then applies flag overrides.
+fn load_defs(flags: &RunFlags) -> Result<BarDefs, CliError> {
+    let mut defs = match &flags.defs {
+        Some(path) => parse_defs_file(path)?,
+        None if Path::new(DEFAULT_DEFS).exists() => parse_defs_file(Path::new(DEFAULT_DEFS))?,
+        None => {
+            eprintln!("no {DEFAULT_DEFS}; using built-in definitions");
+            BarDefs::builtin()
+        }
+    };
+    if let Some(v) = flags.scale {
+        defs.scale = v;
+    }
+    if let Some(v) = flags.seed {
+        defs.seed = v;
+    }
+    if let Some(v) = flags.warmup {
+        defs.warmup = v;
+    }
+    if let Some(v) = flags.iters {
+        defs.iters = v;
+    }
+    if let Some(v) = flags.shards {
+        defs.shards = v;
+    }
+    Ok(defs)
+}
+
+fn parse_defs_file(path: &Path) -> Result<BarDefs, CliError> {
+    let text = std::fs::read_to_string(path).map_err(|e| BarError::io(path, e))?;
+    let defs = BarDefs::parse(&text).map_err(|e| match e {
+        BarError::Defs { line, detail } => BarError::Defs {
+            line,
+            detail: format!("{}: {detail}", path.display()),
+        },
+        other => other,
+    })?;
+    Ok(defs)
+}
+
+/// Builds the suite, through the trace cache unless `--no-cache`.
+fn load_suite(defs: &BarDefs, flags: &RunFlags) -> Suite {
+    match (&flags.cache_dir, flags.no_cache) {
+        (Some(dir), false) => {
+            eprintln!(
+                "loading benchmark suite (scale {}, seed {}, cache {})...",
+                defs.scale,
+                defs.seed,
+                dir.display()
+            );
+            let cache = TraceCache::new(dir);
+            match cache.load_suite(defs.scale, defs.seed) {
+                Ok((suite, outcomes)) => {
+                    let hits = outcomes.iter().filter(|&&o| o == CacheOutcome::Hit).count();
+                    eprintln!("  cache: {hits}/{} hits", outcomes.len());
+                    suite
+                }
+                Err(e) => {
+                    eprintln!("  cache unavailable ({e}); generating in memory");
+                    Suite::generate(defs.scale, defs.seed)
+                }
+            }
+        }
+        _ => {
+            eprintln!(
+                "generating benchmark suite (scale {}, seed {})...",
+                defs.scale, defs.seed
+            );
+            Suite::generate(defs.scale, defs.seed)
+        }
+    }
+}
+
+fn measure(defs: &BarDefs, flags: &RunFlags) -> Result<(RunMeta, Vec<BarRecord>), CliError> {
+    let suite = load_suite(defs, flags);
+    let meta = RunMeta::capture();
+    eprintln!(
+        "run {} on {} ({} workloads x {} schemes x {} engines, warmup {}, iters {})",
+        meta.run,
+        meta.host,
+        defs.workloads.len(),
+        defs.schemes.len(),
+        defs.engines.len(),
+        defs.warmup,
+        defs.iters,
+    );
+    let records = run_matrix(&suite, defs, &meta, |line| eprintln!("  {line}"))?;
+    Ok((meta, records))
+}
+
+fn cmd_run(args: &[String]) -> Result<(), CliError> {
+    let flags = parse_flags(args)?;
+    if !flags.positional.is_empty() {
+        return Err(usage(format!(
+            "run takes no positionals, got {:?}",
+            flags.positional
+        )));
+    }
+    let defs = load_defs(&flags)?;
+    let (meta, records) = measure(&defs, &flags)?;
+    let out = flags
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from(DEFAULT_TRAJECTORY));
+    append_records_file(&out, &records)?;
+    println!(
+        "appended {} records (run {}) to {}",
+        records.len(),
+        meta.run,
+        out.display()
+    );
+    Ok(())
+}
+
+fn cmd_diff(args: &[String]) -> Result<(), CliError> {
+    let flags = parse_flags(args)?;
+    let report = match flags.positional.as_slice() {
+        [a, b] => {
+            let ra = read_records_file(Path::new(a))?;
+            let rb = read_records_file(Path::new(b))?;
+            diff(&ra, &rb)
+        }
+        [single] => {
+            // One file: compare its latest two run batches.
+            let records = read_records_file(Path::new(single))?;
+            let groups = csp_bar::report::runs(&records);
+            let [.., prev, last] = groups.as_slice() else {
+                return Err(BarError::Record {
+                    detail: format!("{single} holds fewer than two runs; nothing to diff"),
+                }
+                .into());
+            };
+            println!("diffing run {} (A) against run {} (B)", prev.run, last.run);
+            let a: Vec<BarRecord> = prev.records.iter().map(|r| (*r).clone()).collect();
+            let b: Vec<BarRecord> = last.records.iter().map(|r| (*r).clone()).collect();
+            diff(&a, &b)
+        }
+        _ => return Err(usage("diff takes one trajectory or two record files")),
+    };
+    print!("{report}");
+    Ok(())
+}
+
+fn cmd_rank(args: &[String]) -> Result<(), CliError> {
+    let flags = parse_flags(args)?;
+    let [file] = flags.positional.as_slice() else {
+        return Err(usage("rank takes exactly one record file"));
+    };
+    let records = read_records_file(Path::new(file))?;
+    if records.is_empty() {
+        return Err(BarError::Record {
+            detail: format!("{file} holds no records"),
+        }
+        .into());
+    }
+    print!("{}", rank(&records));
+    Ok(())
+}
+
+fn cmd_check(args: &[String]) -> Result<(), CliError> {
+    let flags = parse_flags(args)?;
+    if !flags.positional.is_empty() {
+        return Err(usage(format!(
+            "check takes no positionals, got {:?}",
+            flags.positional
+        )));
+    }
+    let defs = load_defs(&flags)?;
+    let trajectory_path = flags
+        .trajectory
+        .clone()
+        .unwrap_or_else(|| PathBuf::from(DEFAULT_TRAJECTORY));
+    let trajectory = if trajectory_path.exists() {
+        let records = read_records_file(&trajectory_path)?;
+        // History measured under a different matrix shape must never
+        // gate this one.
+        require_fingerprint(&records, defs.fingerprint())?;
+        records
+    } else {
+        eprintln!(
+            "no trajectory at {} — gating ratio floors on the current run only",
+            trajectory_path.display()
+        );
+        Vec::new()
+    };
+    let (_, current) = measure(&defs, &flags)?;
+    let report = check(&defs, &trajectory, &current);
+    println!("{report}");
+    if report.ok() {
+        Ok(())
+    } else {
+        Err(BarError::Gate {
+            failures: report.failures.clone(),
+        }
+        .into())
+    }
+}
+
+/// Migrates a legacy `BENCH_engine.json` single point into trajectory
+/// records: one whole-suite cell per arm, stamped with the definitions'
+/// matrix fingerprint so it lives in (and gates nothing outside) that
+/// trajectory.
+fn cmd_import(args: &[String]) -> Result<(), CliError> {
+    let flags = parse_flags(args)?;
+    let [file] = flags.positional.as_slice() else {
+        return Err(usage("import takes exactly one legacy BENCH_engine.json"));
+    };
+    let text = std::fs::read_to_string(file).map_err(|e| BarError::io(file.as_str(), e))?;
+    let defs = load_defs(&flags)?;
+    let records = import_engine_bench(&text, &defs).map_err(|detail| BarError::Record {
+        detail: format!("{file}: {detail}"),
+    })?;
+    let out = flags
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from(DEFAULT_TRAJECTORY));
+    append_records_file(&out, &records)?;
+    println!(
+        "imported {} -> {} ({} records, run {})",
+        file,
+        out.display(),
+        records.len(),
+        records[0].run
+    );
+    Ok(())
+}
+
+/// Converts the legacy engine-bench report (naive + prepared arms over
+/// the whole family sweep) into two `suite`-workload records.
+fn import_engine_bench(text: &str, defs: &BarDefs) -> Result<Vec<BarRecord>, String> {
+    let num = |key: &str| -> Result<f64, String> {
+        json_number(text, key).ok_or_else(|| format!("missing numeric field {key:?}"))
+    };
+    let events = num("events_per_pass")? as u64;
+    let scale = num("scale")?;
+    let seed = num("seed")? as u64;
+    let max_depth = num("max_depth")? as u64;
+    // The legacy report nests each arm as {"seconds": ..,
+    // "events_per_sec": ..}; slice the object out and read inside it.
+    let arm = |name: &str| -> Result<(f64, f64), String> {
+        let at = text
+            .find(&format!("\"{name}\""))
+            .ok_or_else(|| format!("missing arm {name:?}"))?;
+        let body = &text[at..];
+        let end = body.find('}').map(|i| i + 1).unwrap_or(body.len());
+        let body = &body[..end];
+        let seconds =
+            json_number(body, "seconds").ok_or_else(|| format!("arm {name:?} has no seconds"))?;
+        let eps = json_number(body, "events_per_sec")
+            .ok_or_else(|| format!("arm {name:?} has no events_per_sec"))?;
+        Ok((seconds, eps))
+    };
+    let scheme = format!("family-sweep[depth{max_depth}]");
+    let run = format!("legacy-bench-engine-scale{scale}");
+    let fingerprint = defs.fingerprint();
+    ["naive", "prepared"]
+        .iter()
+        .map(|engine| {
+            let (seconds, events_per_sec) = arm(engine)?;
+            let ns = (seconds * 1e9) as u64;
+            Ok(BarRecord {
+                schema: SCHEMA_VERSION,
+                fingerprint,
+                run: run.clone(),
+                unix_ms: 0,
+                git_rev: "legacy".to_string(),
+                host: "legacy".to_string(),
+                engine: (*engine).to_string(),
+                workload: "suite".to_string(),
+                scheme: scheme.clone(),
+                scale,
+                seed,
+                warmup: 0,
+                iters: 3,
+                shards: 0,
+                events,
+                seconds,
+                events_per_sec,
+                // The legacy point kept only the fastest pass; both
+                // quantiles collapse onto it.
+                p50_ns: ns,
+                p99_ns: ns,
+            })
+        })
+        .collect()
+}
+
+/// Finds `"key": <number>` in a flat JSON document — enough for the
+/// legacy reports `csp-repro --bench-engine` writes.
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E')
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn usage_error(err: &str) -> ExitCode {
+    eprintln!("error: {err}\n");
+    print_usage();
+    ExitCode::from(2)
+}
+
+fn print_usage() {
+    eprintln!("csp-bar — benchmark barometer (see crates/bar/FORMAT.md)");
+    eprintln!();
+    eprintln!("usage:");
+    eprintln!("  csp-bar run   [--defs F] [--out F] [run options]");
+    eprintln!("  csp-bar diff  A.bar [B.bar]");
+    eprintln!("  csp-bar rank  F.bar");
+    eprintln!("  csp-bar check [--defs F] [--trajectory F] [run options]");
+    eprintln!("  csp-bar import BENCH_engine.json [--defs F] [--out F]");
+    eprintln!();
+    eprintln!("run options:");
+    eprintln!("  --scale S        workload scale factor      (default: from definitions)");
+    eprintln!("  --seed N         suite seed                 (default: from definitions)");
+    eprintln!("  --warmup N       untimed passes per cell    (default: from definitions)");
+    eprintln!("  --iters N        timed passes per cell      (default: from definitions)");
+    eprintln!("  --shards N       sharded-engine workers     (default: from definitions)");
+    eprintln!("  --cache-dir DIR  trace cache directory      (default: results/trace-cache)");
+    eprintln!("  --no-cache       generate the suite in memory");
+    eprintln!();
+    eprintln!("defaults: --defs {DEFAULT_DEFS}, trajectory {DEFAULT_TRAJECTORY}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legacy_engine_bench_imports_both_arms() {
+        let legacy = r#"{
+  "bench": "engine", "scale": 0.1, "seed": 1, "max_depth": 4,
+  "indexes": 16, "updates": 3, "benchmarks": 7,
+  "events_per_pass": 2696400,
+  "naive": { "seconds": 0.161240, "events_per_sec": 16722889.9 },
+  "prepared": { "seconds": 0.061049, "events_per_sec": 44168092.6 },
+  "speedup": 2.6412
+}"#;
+        let defs = BarDefs::builtin();
+        let records = import_engine_bench(legacy, &defs).expect("imports");
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].engine, "naive");
+        assert_eq!(records[1].engine, "prepared");
+        assert_eq!(records[0].workload, "suite");
+        assert_eq!(records[0].scheme, "family-sweep[depth4]");
+        assert_eq!(records[0].events, 2_696_400);
+        let ratio = records[1].events_per_sec / records[0].events_per_sec;
+        assert!((ratio - 2.6412).abs() < 1e-3, "{ratio}");
+        assert_eq!(records[0].fingerprint, defs.fingerprint());
+        // The imported pair forms one run group that reproduces the
+        // committed speedup through the generic ratio machinery.
+        let groups = csp_bar::report::runs(&records);
+        let r = groups[0].engine_ratio("prepared", "naive").expect("pair");
+        assert!((r - 2.6412).abs() < 1e-3, "{r}");
+    }
+
+    #[test]
+    fn import_rejects_malformed_reports() {
+        let defs = BarDefs::builtin();
+        let err = import_engine_bench("{}", &defs).unwrap_err();
+        assert!(err.contains("events_per_pass"), "{err}");
+        let err = import_engine_bench(
+            r#"{"events_per_pass": 5, "scale": 1, "seed": 1, "max_depth": 2}"#,
+            &defs,
+        )
+        .unwrap_err();
+        assert!(err.contains("arm"), "{err}");
+    }
+
+    #[test]
+    fn json_number_handles_layouts() {
+        assert_eq!(json_number("{\"x\":1.5}", "x"), Some(1.5));
+        assert_eq!(json_number("{ \"x\" : 2 }", "x"), Some(2.0));
+        assert_eq!(json_number("{\"y\": 1}", "x"), None);
+    }
+}

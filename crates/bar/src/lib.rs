@@ -1,0 +1,122 @@
+//! `csp-bar` — the benchmark barometer.
+//!
+//! The workspace has grown several execution engines for the paper's
+//! pattern-based predictors (frozen-naive, prepared single-pass,
+//! sharded serving), but for a long time only a single committed perf
+//! point (`BENCH_engine.json`) and one hardcoded CI ratio check stood
+//! between a speedup on one path and a silent slowdown on another.
+//! This crate is the rebar-style answer:
+//!
+//! * [`defs`] — declarative benchmark definitions enumerating the
+//!   (workload x scheme x engine) matrix, run parameters, and the
+//!   regression/ratio gates, parsed from a committed `benchmarks.bar`
+//!   file and fingerprinted so measurement records can be tied to the
+//!   exact matrix that produced them;
+//! * [`record`] — the captured-measurement record format: one JSON
+//!   record per (engine, workload, scheme) run, CRC32c-framed through
+//!   `csp_trace::io`, appended under `results/bar/` so the committed
+//!   benchmark history is a *trajectory* rather than a point (see
+//!   `crates/bar/FORMAT.md` for the byte-level spec);
+//! * [`runner`] — the matrix runner: warmup and iteration control,
+//!   per-iteration latency through `csp-obs` histograms (p50/p99), and
+//!   a bit-identity cross-check of every engine's screening statistics
+//!   (via `csp_harness::engines`) before any timing is trusted;
+//! * [`report`] — `diff` (cell-by-cell comparison of two records or
+//!   revisions), `rank` (engines ordered per workload), and `check`
+//!   (the generalized regression gate: per-cell thresholds from the
+//!   definitions file over machine-relative ratios, plus declared
+//!   minimum-ratio gates such as the prepared-vs-naive >= 2x floor).
+//!
+//! The `csp-bar` binary exposes `run`, `diff`, `rank`, `check`, and
+//! `import` (migration of legacy `BENCH_engine.json` single points into
+//! the trajectory).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// Library code must surface failures as typed errors, not unwrap
+// panics; tests opt back in where unwrapping is the assertion.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod defs;
+pub mod record;
+pub mod report;
+pub mod runner;
+
+pub use defs::{BarDefs, CellKey, RatioGate};
+pub use record::{read_records, BarRecord, RECORD_MAGIC, SCHEMA_VERSION};
+pub use report::{check, diff, rank, CheckReport};
+pub use runner::{run_matrix, RunMeta};
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Everything that can go wrong in the barometer, as a typed error.
+#[derive(Debug)]
+pub enum BarError {
+    /// An I/O failure, with the path it happened on.
+    Io {
+        /// The file or directory involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A definitions file that does not parse.
+    Defs {
+        /// 1-based line number of the offending line (0 = whole file).
+        line: usize,
+        /// What was wrong.
+        detail: String,
+    },
+    /// A measurement record that does not decode or validate.
+    Record {
+        /// What was wrong.
+        detail: String,
+    },
+    /// Two engines disagreed on screening statistics — timing aborted.
+    Divergence {
+        /// Human-readable description of the diverging cell.
+        detail: String,
+    },
+    /// A regression or ratio gate failed.
+    Gate {
+        /// The failed gate descriptions, one per line.
+        failures: Vec<String>,
+    },
+}
+
+impl fmt::Display for BarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BarError::Io { path, source } => write!(f, "{}: {source}", path.display()),
+            BarError::Defs { line, detail } if *line == 0 => {
+                write!(f, "definitions file: {detail}")
+            }
+            BarError::Defs { line, detail } => {
+                write!(f, "definitions file line {line}: {detail}")
+            }
+            BarError::Record { detail } => write!(f, "measurement record: {detail}"),
+            BarError::Divergence { detail } => {
+                write!(f, "cross-engine divergence (timing aborted): {detail}")
+            }
+            BarError::Gate { failures } => {
+                write!(f, "{} gate(s) failed:", failures.len())?;
+                for failure in failures {
+                    write!(f, "\n  FAIL {failure}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for BarError {}
+
+impl BarError {
+    /// Wraps an I/O error with its path.
+    pub fn io(path: impl Into<PathBuf>, source: std::io::Error) -> Self {
+        BarError::Io {
+            path: path.into(),
+            source,
+        }
+    }
+}

@@ -1,0 +1,588 @@
+//! Trajectory analysis: `diff` two record sets cell by cell, `rank`
+//! engines per workload, and `check` the declared regression gates.
+//!
+//! All comparisons are *machine-relative* where they gate: absolute
+//! events/sec depends on the box, so `check` compares each cell's
+//! throughput **relative to the baseline engine measured in the same
+//! run** against the committed relative throughput in the trajectory.
+//! A slower CI runner shifts every cell together and trips nothing; a
+//! real regression of one path moves that cell's ratio and fails its
+//! declared threshold. This generalizes the historical
+//! `csp-repro --bench-check` 2x/20% rule from one number to the whole
+//! matrix.
+
+use crate::record::BarRecord;
+use crate::{BarDefs, CellKey};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One run batch: every record sharing a `run` id, in file order.
+#[derive(Clone, Debug)]
+pub struct RunGroup<'a> {
+    /// The shared run id.
+    pub run: &'a str,
+    /// Batch timestamp (from the first record).
+    pub unix_ms: u64,
+    /// The batch's records.
+    pub records: Vec<&'a BarRecord>,
+}
+
+impl RunGroup<'_> {
+    /// The latest record for each cell in this batch.
+    pub fn cells(&self) -> BTreeMap<CellKey, &BarRecord> {
+        let mut map = BTreeMap::new();
+        for r in &self.records {
+            map.insert(r.cell(), *r);
+        }
+        map
+    }
+
+    /// Geometric-mean throughput ratio `numerator/denominator` over
+    /// every (workload, scheme) pair both engines cover in this batch.
+    /// `None` when no pair is covered.
+    pub fn engine_ratio(&self, numerator: &str, denominator: &str) -> Option<f64> {
+        let cells = self.cells();
+        let ratios: Vec<f64> = cells
+            .iter()
+            .filter(|(k, _)| k.engine == numerator)
+            .filter_map(|(k, num)| {
+                let den = cells.get(&CellKey {
+                    engine: denominator.to_string(),
+                    workload: k.workload.clone(),
+                    scheme: k.scheme.clone(),
+                })?;
+                (den.events_per_sec > 0.0).then(|| num.events_per_sec / den.events_per_sec)
+            })
+            .collect();
+        geomean(&ratios)
+    }
+}
+
+/// Splits records into run batches, in order of first appearance
+/// (appends are chronological, so the last group is the newest).
+pub fn runs(records: &[BarRecord]) -> Vec<RunGroup<'_>> {
+    let mut out: Vec<RunGroup<'_>> = Vec::new();
+    for r in records {
+        match out.iter_mut().find(|g| g.run == r.run) {
+            Some(g) => g.records.push(r),
+            None => out.push(RunGroup {
+                run: &r.run,
+                unix_ms: r.unix_ms,
+                records: vec![r],
+            }),
+        }
+    }
+    out
+}
+
+/// Geometric mean of strictly positive samples.
+pub fn geomean(values: &[f64]) -> Option<f64> {
+    let logs: Vec<f64> = values
+        .iter()
+        .filter(|v| **v > 0.0)
+        .map(|v| v.ln())
+        .collect();
+    if logs.is_empty() {
+        None
+    } else {
+        Some((logs.iter().sum::<f64>() / logs.len() as f64).exp())
+    }
+}
+
+fn latest_per_cell(records: &[BarRecord]) -> BTreeMap<CellKey, &BarRecord> {
+    let mut map = BTreeMap::new();
+    for r in records {
+        map.insert(r.cell(), r);
+    }
+    map
+}
+
+/// One cell's before/after comparison.
+#[derive(Clone, Debug)]
+pub struct DiffRow {
+    /// The compared cell.
+    pub cell: CellKey,
+    /// Throughput in the first record set (events/sec).
+    pub a: f64,
+    /// Throughput in the second record set (events/sec).
+    pub b: f64,
+}
+
+impl DiffRow {
+    /// `b / a`: above 1.0 the cell got faster.
+    pub fn ratio(&self) -> f64 {
+        if self.a > 0.0 {
+            self.b / self.a
+        } else {
+            f64::NAN
+        }
+    }
+}
+
+/// The cell-by-cell comparison of two record sets.
+#[derive(Clone, Debug, Default)]
+pub struct DiffReport {
+    /// Cells present in both sets (latest record each side).
+    pub rows: Vec<DiffRow>,
+    /// Cells only in the first set.
+    pub only_a: Vec<CellKey>,
+    /// Cells only in the second set.
+    pub only_b: Vec<CellKey>,
+}
+
+/// Compares two record sets per cell (the latest record on each side).
+pub fn diff(a: &[BarRecord], b: &[BarRecord]) -> DiffReport {
+    let a_cells = latest_per_cell(a);
+    let b_cells = latest_per_cell(b);
+    let mut report = DiffReport::default();
+    for (key, ra) in &a_cells {
+        match b_cells.get(key) {
+            Some(rb) => report.rows.push(DiffRow {
+                cell: key.clone(),
+                a: ra.events_per_sec,
+                b: rb.events_per_sec,
+            }),
+            None => report.only_a.push(key.clone()),
+        }
+    }
+    for key in b_cells.keys() {
+        if !a_cells.contains_key(key) {
+            report.only_b.push(key.clone());
+        }
+    }
+    // Biggest movers first.
+    report.rows.sort_by(|x, y| {
+        let dx = (x.ratio().ln()).abs();
+        let dy = (y.ratio().ln()).abs();
+        dy.partial_cmp(&dx).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    report
+}
+
+impl fmt::Display for DiffReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<58} {:>12} {:>12} {:>8}",
+            "cell (engine/workload/scheme)", "A ev/s", "B ev/s", "B/A"
+        )?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "{:<58} {:>12.0} {:>12.0} {:>7.2}x",
+                row.cell.to_string(),
+                row.a,
+                row.b,
+                row.ratio()
+            )?;
+        }
+        for key in &self.only_a {
+            writeln!(f, "{key:<58} only in A")?;
+        }
+        for key in &self.only_b {
+            writeln!(f, "{key:<58} only in B")?;
+        }
+        Ok(())
+    }
+}
+
+/// Engines ordered by throughput for one workload.
+#[derive(Clone, Debug)]
+pub struct RankRow {
+    /// The workload ranked.
+    pub workload: String,
+    /// `(engine, geometric-mean events/sec across schemes)`, fastest
+    /// first.
+    pub engines: Vec<(String, f64)>,
+}
+
+/// The per-workload engine ranking from the latest run in `records`.
+#[derive(Clone, Debug, Default)]
+pub struct RankReport {
+    /// The run id the ranking was computed from.
+    pub run: String,
+    /// One row per workload, in trajectory order.
+    pub rows: Vec<RankRow>,
+}
+
+/// Ranks engines per workload from the latest run batch.
+pub fn rank(records: &[BarRecord]) -> RankReport {
+    let groups = runs(records);
+    let Some(latest) = groups.last() else {
+        return RankReport::default();
+    };
+    let cells = latest.cells();
+    let mut workloads: Vec<String> = Vec::new();
+    for key in cells.keys() {
+        if !workloads.contains(&key.workload) {
+            workloads.push(key.workload.clone());
+        }
+    }
+    let mut rows = Vec::new();
+    for workload in workloads {
+        let mut engines: Vec<(String, f64)> = Vec::new();
+        for (key, record) in &cells {
+            if key.workload != workload {
+                continue;
+            }
+            match engines.iter_mut().find(|(e, _)| *e == key.engine) {
+                // Accumulate log-space sums; finalized below.
+                Some((_, acc)) => *acc += record.events_per_sec.max(1e-9).ln(),
+                None => engines.push((key.engine.clone(), record.events_per_sec.max(1e-9).ln())),
+            }
+        }
+        let scheme_count = cells
+            .keys()
+            .filter(|k| k.workload == workload)
+            .map(|k| &k.scheme)
+            .collect::<std::collections::BTreeSet<_>>()
+            .len()
+            .max(1);
+        for (_, acc) in &mut engines {
+            *acc = (*acc / scheme_count as f64).exp();
+        }
+        engines.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        rows.push(RankRow { workload, engines });
+    }
+    RankReport {
+        run: latest.run.to_string(),
+        rows,
+    }
+}
+
+impl fmt::Display for RankReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "engine ranking (run {})", self.run)?;
+        for row in &self.rows {
+            write!(f, "{:>9}:", row.workload)?;
+            for (i, (engine, eps)) in row.engines.iter().enumerate() {
+                let sep = if i == 0 { " " } else { " > " };
+                write!(f, "{sep}{engine} ({:.2}M ev/s)", eps / 1e6)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of `csp-bar check`: every gate evaluated, pass or fail.
+#[derive(Clone, Debug, Default)]
+pub struct CheckReport {
+    /// Gates that held.
+    pub passes: Vec<String>,
+    /// Gates that failed.
+    pub failures: Vec<String>,
+    /// Informational notes (cells with no committed history, ...).
+    pub notes: Vec<String>,
+}
+
+impl CheckReport {
+    /// `true` when every gate held.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+impl fmt::Display for CheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in &self.passes {
+            writeln!(f, "  ok   {p}")?;
+        }
+        for n in &self.notes {
+            writeln!(f, "  note {n}")?;
+        }
+        for x in &self.failures {
+            writeln!(f, "  FAIL {x}")?;
+        }
+        write!(
+            f,
+            "{} gates passed, {} failed",
+            self.passes.len(),
+            self.failures.len()
+        )
+    }
+}
+
+/// Evaluates every declared gate: minimum-ratio gates on both the
+/// latest committed run and the current one, and per-cell regression of
+/// current relative throughput (vs the baseline engine) against the
+/// newest trajectory run covering the cell.
+pub fn check(defs: &BarDefs, trajectory: &[BarRecord], current: &[BarRecord]) -> CheckReport {
+    let mut report = CheckReport::default();
+    let trajectory_runs = runs(trajectory);
+    let current_runs = runs(current);
+    let baseline = defs.baseline_engine();
+
+    // Declared minimum-ratio gates (e.g. prepared/naive >= 2x), on the
+    // committed trajectory's newest run and on the current run.
+    for gate in &defs.ratio_gates {
+        for (label, group) in [
+            ("trajectory", trajectory_runs.last()),
+            ("current", current_runs.last()),
+        ] {
+            let Some(group) = group else { continue };
+            match group.engine_ratio(&gate.numerator, &gate.denominator) {
+                Some(ratio) if ratio >= gate.min => report.passes.push(format!(
+                    "{gate}: measured {ratio:.2}x on {label} run {}",
+                    group.run
+                )),
+                Some(ratio) => report.failures.push(format!(
+                    "{gate}: measured only {ratio:.2}x on {label} run {}",
+                    group.run
+                )),
+                None => report.notes.push(format!(
+                    "{gate}: no overlapping cells on {label} run {}",
+                    group.run
+                )),
+            }
+        }
+    }
+
+    // Per-cell regression: current relative throughput vs committed.
+    let Some(current_group) = current_runs.last() else {
+        if !current.is_empty() {
+            report.notes.push("current record set has no runs".into());
+        }
+        return report;
+    };
+    let current_cells = current_group.cells();
+    for (key, record) in &current_cells {
+        if key.engine == baseline {
+            continue; // the baseline is the denominator, not a gated cell
+        }
+        let base_key = CellKey {
+            engine: baseline.to_string(),
+            workload: key.workload.clone(),
+            scheme: key.scheme.clone(),
+        };
+        let Some(base) = current_cells.get(&base_key) else {
+            report
+                .notes
+                .push(format!("{key}: no {baseline} twin in the current run"));
+            continue;
+        };
+        let rel_now = record.events_per_sec / base.events_per_sec;
+        // Newest committed run that covers both the cell and its twin.
+        let committed = trajectory_runs.iter().rev().find_map(|g| {
+            let cells = g.cells();
+            let num = cells.get(key)?;
+            let den = cells.get(&base_key)?;
+            Some((g.run, num.events_per_sec / den.events_per_sec))
+        });
+        match committed {
+            None => report
+                .notes
+                .push(format!("{key}: no committed trajectory yet (new cell)")),
+            Some((run, rel_then)) => {
+                let threshold = defs.regression_threshold(key);
+                let floor = rel_then * (1.0 - threshold);
+                if rel_now >= floor {
+                    report.passes.push(format!(
+                        "{key}: {rel_now:.3}x vs {baseline} (committed {rel_then:.3}x \
+                         in {run}, floor {floor:.3}x at {:.0}% tolerance)",
+                        threshold * 100.0
+                    ));
+                } else {
+                    report.failures.push(format!(
+                        "{key}: regressed to {rel_now:.3}x vs {baseline} (committed \
+                         {rel_then:.3}x in {run}, floor {floor:.3}x at {:.0}% tolerance)",
+                        threshold * 100.0
+                    ));
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::BarRecord;
+
+    fn rec(run: &str, engine: &str, workload: &str, scheme: &str, eps: f64) -> BarRecord {
+        BarRecord {
+            schema: crate::SCHEMA_VERSION,
+            fingerprint: 7,
+            run: run.to_string(),
+            unix_ms: 1000,
+            git_rev: "rev".to_string(),
+            host: "host".to_string(),
+            engine: engine.to_string(),
+            workload: workload.to_string(),
+            scheme: scheme.to_string(),
+            scale: 0.05,
+            seed: 1,
+            warmup: 1,
+            iters: 3,
+            shards: 0,
+            events: 1000,
+            seconds: 1000.0 / eps,
+            events_per_sec: eps,
+            p50_ns: 100,
+            p99_ns: 200,
+        }
+    }
+
+    fn gated_defs() -> BarDefs {
+        let mut d = BarDefs::builtin();
+        d.default_regression = 0.2;
+        d
+    }
+
+    #[test]
+    fn runs_group_in_file_order() {
+        let records = vec![
+            rec("a", "naive", "water", "s", 1.0),
+            rec("a", "prepared", "water", "s", 2.0),
+            rec("b", "naive", "water", "s", 1.0),
+        ];
+        let groups = runs(&records);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].run, "a");
+        assert_eq!(groups[0].records.len(), 2);
+        assert_eq!(groups[1].run, "b");
+    }
+
+    #[test]
+    fn engine_ratio_is_geomean_over_cells() {
+        let records = vec![
+            rec("a", "naive", "water", "s", 10.0),
+            rec("a", "prepared", "water", "s", 40.0), // 4x
+            rec("a", "naive", "gauss", "s", 10.0),
+            rec("a", "prepared", "gauss", "s", 10.0), // 1x
+        ];
+        let groups = runs(&records);
+        let ratio = groups[0].engine_ratio("prepared", "naive").expect("cells");
+        assert!((ratio - 2.0).abs() < 1e-9, "{ratio}"); // sqrt(4 * 1)
+        assert!(groups[0].engine_ratio("prepared", "sharded").is_none());
+    }
+
+    #[test]
+    fn diff_pairs_cells_and_flags_singletons() {
+        let a = vec![
+            rec("a", "naive", "water", "s", 10.0),
+            rec("a", "naive", "gauss", "s", 10.0),
+        ];
+        let b = vec![
+            rec("b", "naive", "water", "s", 20.0),
+            rec("b", "prepared", "water", "s", 5.0),
+        ];
+        let d = diff(&a, &b);
+        assert_eq!(d.rows.len(), 1);
+        assert!((d.rows[0].ratio() - 2.0).abs() < 1e-9);
+        assert_eq!(d.only_a.len(), 1);
+        assert_eq!(d.only_b.len(), 1);
+        assert!(d.to_string().contains("only in A"));
+    }
+
+    #[test]
+    fn rank_orders_engines_fastest_first() {
+        let records = vec![
+            rec("a", "naive", "water", "s1", 10.0),
+            rec("a", "prepared", "water", "s1", 40.0),
+            rec("a", "sharded", "water", "s1", 1.0),
+        ];
+        let r = rank(&records);
+        assert_eq!(r.rows.len(), 1);
+        let names: Vec<&str> = r.rows[0].engines.iter().map(|(e, _)| e.as_str()).collect();
+        assert_eq!(names, vec!["prepared", "naive", "sharded"]);
+        assert!(r.to_string().contains("prepared"));
+    }
+
+    #[test]
+    fn rank_uses_only_the_latest_run() {
+        let records = vec![
+            rec("old", "naive", "water", "s1", 1000.0),
+            rec("new", "naive", "water", "s1", 10.0),
+            rec("new", "prepared", "water", "s1", 20.0),
+        ];
+        let r = rank(&records);
+        assert_eq!(r.run, "new");
+        assert_eq!(r.rows[0].engines[0].0, "prepared");
+        assert!((r.rows[0].engines[0].1 - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn check_passes_when_ratios_hold_and_cells_stay_put() {
+        let defs = gated_defs();
+        let trajectory = vec![
+            rec("t1", "naive", "water", "s", 10.0),
+            rec("t1", "prepared", "water", "s", 30.0),
+        ];
+        let current = vec![
+            // A slower machine overall: both cells halve. Relative
+            // throughput is unchanged, so nothing regresses.
+            rec("c1", "naive", "water", "s", 5.0),
+            rec("c1", "prepared", "water", "s", 15.0),
+        ];
+        let report = check(&defs, &trajectory, &current);
+        assert!(report.ok(), "{report}");
+        // ratio gate on both runs + one cell regression check.
+        assert_eq!(report.passes.len(), 3, "{report}");
+    }
+
+    #[test]
+    fn check_fails_a_regressed_cell_past_threshold() {
+        let defs = gated_defs();
+        let trajectory = vec![
+            rec("t1", "naive", "water", "s", 10.0),
+            rec("t1", "prepared", "water", "s", 40.0), // 4x committed
+        ];
+        let current = vec![
+            rec("c1", "naive", "water", "s", 10.0),
+            rec("c1", "prepared", "water", "s", 25.0), // 2.5x < 4x * 0.8
+        ];
+        let report = check(&defs, &trajectory, &current);
+        assert!(!report.ok());
+        assert!(
+            report.failures.iter().any(|f| f.contains("regressed")),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn check_fails_a_broken_ratio_gate() {
+        let defs = gated_defs();
+        let trajectory = vec![
+            rec("t1", "naive", "water", "s", 10.0),
+            rec("t1", "prepared", "water", "s", 15.0), // 1.5x < 2x gate
+        ];
+        let report = check(&defs, &trajectory, &[]);
+        assert!(!report.ok());
+        assert!(
+            report.failures.iter().any(|f| f.contains("only 1.50x")),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn check_notes_new_cells_instead_of_failing() {
+        let defs = gated_defs();
+        let current = vec![
+            rec("c1", "naive", "water", "s", 10.0),
+            rec("c1", "prepared", "water", "s", 30.0),
+        ];
+        let report = check(&defs, &[], &current);
+        assert!(report.ok(), "{report}");
+        assert!(
+            report.notes.iter().any(|n| n.contains("new cell")),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn check_is_machine_relative_not_absolute() {
+        let defs = gated_defs();
+        let trajectory = vec![
+            rec("t1", "naive", "water", "s", 100.0),
+            rec("t1", "prepared", "water", "s", 300.0),
+        ];
+        // 10x slower box, same shape: must pass.
+        let current = vec![
+            rec("c1", "naive", "water", "s", 10.0),
+            rec("c1", "prepared", "water", "s", 30.0),
+        ];
+        assert!(check(&defs, &trajectory, &current).ok());
+    }
+}

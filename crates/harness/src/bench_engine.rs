@@ -73,16 +73,27 @@ pub struct EngineBenchReport {
 /// Panics if the two arms disagree on any confusion matrix — a
 /// correctness bug that must never be papered over by a benchmark.
 pub fn run_engine_bench(suite: &Suite, max_depth: usize) -> EngineBenchReport {
+    run_engine_bench_warm(suite, max_depth, 0)
+}
+
+/// [`run_engine_bench`] with `warmup` untimed passes per arm before the
+/// timed iterations — on cold CI runners the first pass pays page
+/// faults and frequency ramp-up that are nobody's regression.
+///
+/// # Panics
+///
+/// Panics if the two arms disagree on any confusion matrix.
+pub fn run_engine_bench_warm(suite: &Suite, max_depth: usize, warmup: usize) -> EngineBenchReport {
     let indexes = figure6_index_grid();
     let updates = UpdateMode::ALL;
     let suite_events: u64 = suite.traces().iter().map(|b| b.trace.len() as u64).sum();
     let cells = (indexes.len() * updates.len()) as u64;
     let events_per_pass = cells * suite_events;
 
-    let (naive_results, naive) = timed(events_per_pass, || {
+    let (naive_results, naive) = timed(events_per_pass, warmup, || {
         sweep_naive(suite, &indexes, &updates, max_depth)
     });
-    let (prepared_results, prepared) = timed(events_per_pass, || {
+    let (prepared_results, prepared) = timed(events_per_pass, warmup, || {
         sweep_prepared(suite, &indexes, &updates, max_depth)
     });
     assert_eq!(
@@ -106,9 +117,13 @@ pub fn run_engine_bench(suite: &Suite, max_depth: usize) -> EngineBenchReport {
     }
 }
 
-/// Times `f` over [`BENCH_ITERS`] runs and reports the fastest — a
-/// single-shot wall-clock sample is too noisy to gate CI on.
-fn timed<T>(events: u64, f: impl Fn() -> T) -> (T, StageRate) {
+/// Times `f` over [`BENCH_ITERS`] runs (after `warmup` untimed passes)
+/// and reports the fastest — a single-shot wall-clock sample is too
+/// noisy to gate CI on.
+fn timed<T>(events: u64, warmup: usize, f: impl Fn() -> T) -> (T, StageRate) {
+    for _ in 0..warmup {
+        std::hint::black_box(f());
+    }
     let mut best = f64::INFINITY;
     let mut out = None;
     for _ in 0..BENCH_ITERS {

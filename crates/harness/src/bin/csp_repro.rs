@@ -18,10 +18,21 @@
 //!                     (csp-serve) and verify bit-identical statistics
 //!   --bench-engine    time the naive vs prepared sweep paths and exit
 //!   --bench-out FILE  where --bench-engine writes its JSON report
-//!                     (default BENCH_engine.json)
+//!                     (default BENCH_engine.json); with --bench-engine,
+//!                     --out FILE is accepted as a synonym (shared with
+//!                     `csp-bar run --out`)
+//!   --warmup N        untimed passes per arm before the timed
+//!                     iterations (default 0; shared with `csp-bar run`)
 //!   --bench-check FILE  fail if the measured speedup regressed more than
 //!                     20% below the baseline report in FILE
 //! ```
+//!
+//! The trajectory-aware successor of `--bench-engine` is the `csp-bar`
+//! barometer (see `crates/bar/FORMAT.md`): it runs the full
+//! (workload x scheme x engine) matrix through the same
+//! `csp_harness::engines` adapters and appends committed measurement
+//! records under `results/bar/`. `--bench-engine` remains as the
+//! single-point gate during the transition.
 //!
 //! Exit codes: 0 success; 1 runtime failure (I/O, corruption, worker
 //! panics — diagnostics on stderr, no usage text); 2 usage error (bad
@@ -43,7 +54,8 @@ struct Options {
     sweep_tsv: Option<PathBuf>,
     verify_serve: bool,
     bench_engine: bool,
-    bench_out: PathBuf,
+    bench_out: Option<PathBuf>,
+    warmup: usize,
     bench_check: Option<PathBuf>,
     requested: Vec<ExperimentId>,
 }
@@ -74,7 +86,8 @@ fn parse_args() -> Result<Options, String> {
         sweep_tsv: None,
         verify_serve: false,
         bench_engine: false,
-        bench_out: PathBuf::from("BENCH_engine.json"),
+        bench_out: None,
+        warmup: 0,
         bench_check: None,
         requested: Vec::new(),
     };
@@ -109,8 +122,12 @@ fn parse_args() -> Result<Options, String> {
             "--verify-serve" => opts.verify_serve = true,
             "--bench-engine" => opts.bench_engine = true,
             "--bench-out" => match args.next() {
-                Some(f) => opts.bench_out = PathBuf::from(f),
+                Some(f) => opts.bench_out = Some(PathBuf::from(f)),
                 None => return Err("--bench-out needs a file path".into()),
+            },
+            "--warmup" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => opts.warmup = n,
+                None => return Err("--warmup needs a non-negative integer".into()),
             },
             "--bench-check" => match args.next() {
                 Some(f) => opts.bench_check = Some(PathBuf::from(f)),
@@ -215,15 +232,21 @@ fn run(opts: &Options) -> Result<(), HarnessError> {
 /// sweep paths over the same family grid, writes the JSON report, and
 /// optionally gates on a committed baseline.
 fn bench_engine(suite: &Suite, opts: &Options) -> Result<(), HarnessError> {
-    use csp_harness::run_engine_bench;
+    use csp_harness::run_engine_bench_warm;
 
     const MAX_DEPTH: usize = 4;
     const TOLERANCE: f64 = 0.2;
-    let report = run_engine_bench(suite, MAX_DEPTH);
+    let report = run_engine_bench_warm(suite, MAX_DEPTH, opts.warmup);
     println!("{}", report.summary());
-    std::fs::write(&opts.bench_out, report.to_json())
-        .map_err(|e| HarnessError::io(&opts.bench_out, e))?;
-    eprintln!("report written to {}", opts.bench_out.display());
+    // `--bench-out` wins; in bench mode a bare `--out FILE` (the flag
+    // `csp-bar run` shares) is accepted as the report path too.
+    let out = opts
+        .bench_out
+        .clone()
+        .or_else(|| opts.out_dir.clone())
+        .unwrap_or_else(|| PathBuf::from("BENCH_engine.json"));
+    std::fs::write(&out, report.to_json()).map_err(|e| HarnessError::io(&out, e))?;
+    eprintln!("report written to {}", out.display());
     if let Some(baseline) = &opts.bench_check {
         let text = std::fs::read_to_string(baseline).map_err(|e| HarnessError::io(baseline, e))?;
         report.check_against_baseline(&text, TOLERANCE)?;
@@ -328,8 +351,10 @@ fn print_usage() {
     eprintln!("  --verify-serve    verify the online sharded engine reproduces offline stats");
     eprintln!("  --bench-engine    time the naive vs prepared sweep paths and exit");
     eprintln!(
-        "  --bench-out FILE  where --bench-engine writes its report (default BENCH_engine.json)"
+        "  --bench-out FILE  where --bench-engine writes its report (default BENCH_engine.json;"
     );
+    eprintln!("                    --out FILE is a synonym in bench mode)");
+    eprintln!("  --warmup N        untimed passes per bench arm before timing (default 0)");
     eprintln!("  --bench-check FILE  fail if speedup regressed >20% below the baseline in FILE");
     eprintln!("experiments:");
     for e in ExperimentId::ALL {

@@ -15,6 +15,10 @@
 //!   surfaces instead of panicking;
 //! * [`bench_engine`] — the naive-vs-prepared engine benchmark behind
 //!   `csp-repro --bench-engine` and the CI regression gate;
+//! * [`engines`] — the [`engines::Engine`] adapter layer putting the
+//!   naive, prepared, and sharded-serve execution paths behind one
+//!   trait with bit-identity cross-checks, shared by the benchmark
+//!   barometer (`csp-bar`);
 //! * [`serve`] — serve-backed evaluation through the online sharded
 //!   engine (`csp-serve`) and the online == offline equivalence check
 //!   behind `csp-repro --verify-serve`;
@@ -39,6 +43,7 @@
 pub mod bench_engine;
 pub mod cache;
 pub mod checkpoint;
+pub mod engines;
 pub mod error;
 pub mod experiments;
 pub mod render;
@@ -46,7 +51,7 @@ pub mod runner;
 pub mod serve;
 pub mod space;
 
-pub use bench_engine::{run_engine_bench, EngineBenchReport};
+pub use bench_engine::{run_engine_bench, run_engine_bench_warm, EngineBenchReport};
 pub use cache::{CacheOutcome, TraceCache};
 pub use error::HarnessError;
 pub use runner::{PreparedSuite, SchemeStats, Suite, SweepFailure, SweepOutcome};

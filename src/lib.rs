@@ -2,6 +2,7 @@
 //! workspace. See README.md; the real documentation lives on the member
 //! crates.
 
+pub use csp_bar as bar;
 pub use csp_core as core;
 pub use csp_harness as harness;
 pub use csp_metrics as metrics;
