@@ -4,6 +4,7 @@
 //! csp-bar run   [--defs F] [--out F] [run options]   measure the matrix, append records
 //! csp-bar diff  A.bar [B.bar]                        compare two record sets cell by cell
 //! csp-bar rank  F.bar                                rank engines per workload (latest run)
+//! csp-bar history CELL [F.bar]                       one cell's trajectory across runs
 //! csp-bar check [--defs F] [--trajectory F] [opts]   run a reduced matrix, gate vs history
 //! csp-bar import BENCH.json [--defs F] [--out F]     migrate a legacy engine-bench point
 //! ```
@@ -26,7 +27,9 @@
 
 use csp_bar::record::{append_records_file, read_records_file, require_fingerprint};
 use csp_bar::runner::RunMeta;
-use csp_bar::{check, diff, rank, run_matrix, BarDefs, BarError, BarRecord, SCHEMA_VERSION};
+use csp_bar::{
+    check, diff, history, rank, run_matrix, BarDefs, BarError, BarRecord, CellKey, SCHEMA_VERSION,
+};
 use csp_harness::{CacheOutcome, Suite, TraceCache};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -45,6 +48,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(rest),
         "diff" => cmd_diff(rest),
         "rank" => cmd_rank(rest),
+        "history" => cmd_history(rest),
         "check" => cmd_check(rest),
         "import" => cmd_import(rest),
         "--help" | "-h" | "help" => {
@@ -291,6 +295,46 @@ fn cmd_rank(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `csp-bar history ENGINE/WORKLOAD/SCHEME [F.bar]` — one cell's
+/// committed throughput trajectory: sparkline plus a p50/p99 table.
+/// Reads the default trajectory when no file is given. Deliberately no
+/// fingerprint requirement: history spans matrix reshapes; records key
+/// by cell strings, so old-shape runs that covered the cell still show.
+fn cmd_history(args: &[String]) -> Result<(), CliError> {
+    let flags = parse_flags(args)?;
+    let (cell_arg, file) = match flags.positional.as_slice() {
+        [cell] => (cell, PathBuf::from(DEFAULT_TRAJECTORY)),
+        [cell, file] => (cell, PathBuf::from(file)),
+        _ => {
+            return Err(usage(
+                "history takes a cell (engine/workload/scheme) and optionally a record file",
+            ))
+        }
+    };
+    let mut parts = cell_arg.splitn(3, '/');
+    let (Some(engine), Some(workload), Some(scheme)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(usage(format!(
+            "cell {cell_arg:?} must be engine/workload/scheme (e.g. simd/water/last(pid+pc8)1[direct])"
+        )));
+    };
+    let records = read_records_file(&file)?;
+    let cell = CellKey {
+        engine: engine.to_string(),
+        workload: workload.to_string(),
+        scheme: scheme.to_string(),
+    };
+    let report = history(&records, &cell);
+    if report.points.is_empty() {
+        return Err(BarError::Record {
+            detail: format!("{}: no runs in {} cover this cell", cell, file.display()),
+        }
+        .into());
+    }
+    println!("{report}");
+    Ok(())
+}
+
 fn cmd_check(args: &[String]) -> Result<(), CliError> {
     let flags = parse_flags(args)?;
     if !flags.positional.is_empty() {
@@ -446,6 +490,7 @@ fn print_usage() {
     eprintln!("  csp-bar run   [--defs F] [--out F] [run options]");
     eprintln!("  csp-bar diff  A.bar [B.bar]");
     eprintln!("  csp-bar rank  F.bar");
+    eprintln!("  csp-bar history ENGINE/WORKLOAD/SCHEME [F.bar]");
     eprintln!("  csp-bar check [--defs F] [--trajectory F] [run options]");
     eprintln!("  csp-bar import BENCH_engine.json [--defs F] [--out F]");
     eprintln!();

@@ -352,6 +352,7 @@ shards 4
 # Engines, baseline (ratio denominator) first.
 engine naive
 engine prepared
+engine simd
 engine sharded
 
 workload all
@@ -362,14 +363,17 @@ scheme union(pid+pc8)2[forwarded]
 scheme union(dir+add8)2[ordered]
 
 # The historical --bench-check rule, generalized: prepared must stay
-# >= 2x naive (geometric mean over the matrix), and no cell may lose
-# more than its declared fraction of committed relative throughput.
-# Per-cell timings at this scale are sub-millisecond, so the per-cell
-# tolerance is wide; the ratio gate catches systematic collapse.
+# >= 2x naive (geometric mean over the matrix), and the simd engine
+# must stay >= 2x prepared on top of that; no cell may lose more than
+# its declared fraction of committed relative throughput. Per-cell
+# timings at this scale are sub-millisecond, so the per-cell tolerance
+# is wide; the ratio gates catch systematic collapse.
 gate ratio prepared/naive min 2.0
+gate ratio simd/prepared min 2.0
 gate regression default 0.5
-# The sharded engine pays thread spawn per cell; its relative
-# throughput is noisy across runner core counts.
+# The sharded engine measures routing and channel cost over a
+# persistent worker pool; its relative throughput is still noisy
+# across runner core counts.
 gate regression engine sharded 0.85
 ";
 
@@ -381,13 +385,14 @@ mod tests {
     fn builtin_parses_and_covers_the_acceptance_matrix() {
         let d = BarDefs::builtin();
         assert_eq!(d.format, 1);
-        assert_eq!(d.engines, vec!["naive", "prepared", "sharded"]);
+        assert_eq!(d.engines, vec!["naive", "prepared", "simd", "sharded"]);
         assert_eq!(d.workloads.len(), 7);
         assert_eq!(d.schemes.len(), 3);
         assert_eq!(d.baseline_engine(), "naive");
-        assert_eq!(d.ratio_gates.len(), 1);
+        assert_eq!(d.ratio_gates.len(), 2);
         assert!((d.ratio_gates[0].min - 2.0).abs() < 1e-12);
         assert_eq!(d.ratio_gates[0].to_string(), "ratio prepared/naive >= 2.00");
+        assert_eq!(d.ratio_gates[1].to_string(), "ratio simd/prepared >= 2.00");
     }
 
     #[test]

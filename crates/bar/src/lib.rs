@@ -22,14 +22,16 @@
 //!   a bit-identity cross-check of every engine's screening statistics
 //!   (via `csp_harness::engines`) before any timing is trusted;
 //! * [`report`] — `diff` (cell-by-cell comparison of two records or
-//!   revisions), `rank` (engines ordered per workload), and `check`
-//!   (the generalized regression gate: per-cell thresholds from the
-//!   definitions file over machine-relative ratios, plus declared
-//!   minimum-ratio gates such as the prepared-vs-naive >= 2x floor).
+//!   revisions), `rank` (engines ordered per workload), `history` (one
+//!   cell's throughput across every committed run: sparkline plus
+//!   p50/p99 table), and `check` (the generalized regression gate:
+//!   per-cell thresholds from the definitions file over
+//!   machine-relative ratios, plus declared minimum-ratio gates such
+//!   as the prepared-vs-naive and simd-vs-prepared >= 2x floors).
 //!
-//! The `csp-bar` binary exposes `run`, `diff`, `rank`, `check`, and
-//! `import` (migration of legacy `BENCH_engine.json` single points into
-//! the trajectory).
+//! The `csp-bar` binary exposes `run`, `diff`, `rank`, `history`,
+//! `check`, and `import` (migration of legacy `BENCH_engine.json`
+//! single points into the trajectory).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,7 +46,7 @@ pub mod runner;
 
 pub use defs::{BarDefs, CellKey, RatioGate};
 pub use record::{read_records, BarRecord, RECORD_MAGIC, SCHEMA_VERSION};
-pub use report::{check, diff, rank, CheckReport};
+pub use report::{check, diff, history, rank, CheckReport, HistoryReport};
 pub use runner::{run_matrix, RunMeta};
 
 use std::fmt;

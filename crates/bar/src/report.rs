@@ -395,6 +395,134 @@ pub fn check(defs: &BarDefs, trajectory: &[BarRecord], current: &[BarRecord]) ->
     report
 }
 
+/// One committed observation of a cell, in trajectory (chronological)
+/// order.
+#[derive(Clone, Debug)]
+pub struct HistoryPoint {
+    /// The run id the observation belongs to.
+    pub run: String,
+    /// Batch timestamp of the run.
+    pub unix_ms: u64,
+    /// Measured throughput (events/sec).
+    pub events_per_sec: f64,
+    /// Median per-iteration latency.
+    pub p50_ns: u64,
+    /// Tail per-iteration latency.
+    pub p99_ns: u64,
+}
+
+/// The throughput trajectory of one cell across committed runs:
+/// a sparkline for shape at a glance, a table for the numbers.
+#[derive(Clone, Debug, Default)]
+pub struct HistoryReport {
+    /// The cell whose history this is.
+    pub cell: String,
+    /// One point per committed run covering the cell, oldest first.
+    pub points: Vec<HistoryPoint>,
+}
+
+impl HistoryReport {
+    /// A min-max scaled unicode sparkline of throughput, oldest run on
+    /// the left. Empty when there are no points.
+    pub fn sparkline(&self) -> String {
+        sparkline(
+            &self
+                .points
+                .iter()
+                .map(|p| p.events_per_sec)
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+/// Min-max scales `values` onto the eight unicode bar glyphs. A flat
+/// series renders mid-height so one-point histories still show a mark.
+fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for v in values {
+        lo = lo.min(*v);
+        hi = hi.max(*v);
+    }
+    values
+        .iter()
+        .map(|v| {
+            if hi <= lo {
+                BARS[3]
+            } else {
+                let t = (v - lo) / (hi - lo);
+                BARS[((t * 7.0).round() as usize).min(7)]
+            }
+        })
+        .collect()
+}
+
+/// The trajectory of one cell: every committed run covering `cell`,
+/// oldest first (file order is append order, hence chronological).
+pub fn history(records: &[BarRecord], cell: &CellKey) -> HistoryReport {
+    let mut points = Vec::new();
+    for group in runs(records) {
+        if let Some(record) = group.cells().get(cell) {
+            points.push(HistoryPoint {
+                run: group.run.to_string(),
+                unix_ms: group.unix_ms,
+                events_per_sec: record.events_per_sec,
+                p50_ns: record.p50_ns,
+                p99_ns: record.p99_ns,
+            });
+        }
+    }
+    HistoryReport {
+        cell: cell.to_string(),
+        points,
+    }
+}
+
+impl fmt::Display for HistoryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.points.is_empty() {
+            return write!(f, "{}: no committed runs cover this cell", self.cell);
+        }
+        writeln!(f, "{}  {}", self.cell, self.sparkline())?;
+        writeln!(
+            f,
+            "{:<28} {:>12} {:>10} {:>10}",
+            "run", "ev/s", "p50", "p99"
+        )?;
+        for p in &self.points {
+            writeln!(
+                f,
+                "{:<28} {:>11.2}M {:>10} {:>10}",
+                p.run,
+                p.events_per_sec / 1e6,
+                format_ns(p.p50_ns),
+                format_ns(p.p99_ns)
+            )?;
+        }
+        let first = self.points[0].events_per_sec;
+        let last = self.points[self.points.len() - 1].events_per_sec;
+        if first > 0.0 {
+            write!(
+                f,
+                "net {:.2}x over {} runs",
+                last / first,
+                self.points.len()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders nanoseconds with a unit that keeps 3-4 significant digits.
+fn format_ns(ns: u64) -> String {
+    match ns {
+        0..=9_999 => format!("{ns}ns"),
+        10_000..=9_999_999 => format!("{:.1}us", ns as f64 / 1e3),
+        10_000_000..=9_999_999_999 => format!("{:.1}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -569,6 +697,53 @@ mod tests {
             report.notes.iter().any(|n| n.contains("new cell")),
             "{report}"
         );
+    }
+
+    #[test]
+    fn history_walks_runs_chronologically_for_one_cell() {
+        let records = vec![
+            rec("t1", "simd", "water", "s", 10e6),
+            rec("t1", "naive", "water", "s", 1e6), // other cells ignored
+            rec("t2", "simd", "water", "s", 20e6),
+            rec("t3", "simd", "water", "s", 40e6),
+            rec("t3", "simd", "gauss", "s", 5e6),
+        ];
+        let cell = CellKey {
+            engine: "simd".to_string(),
+            workload: "water".to_string(),
+            scheme: "s".to_string(),
+        };
+        let h = history(&records, &cell);
+        assert_eq!(h.points.len(), 3);
+        assert_eq!(h.points[0].run, "t1");
+        assert_eq!(h.points[2].run, "t3");
+        assert_eq!(h.sparkline().chars().count(), 3);
+        // Min-max scaling: the extremes hit the extreme glyphs.
+        assert!(h.sparkline().starts_with('▁'), "{}", h.sparkline());
+        assert!(h.sparkline().ends_with('█'), "{}", h.sparkline());
+        let text = h.to_string();
+        assert!(text.contains("net 4.00x over 3 runs"), "{text}");
+        assert!(text.contains("simd/water/s"), "{text}");
+    }
+
+    #[test]
+    fn history_of_an_uncovered_cell_is_empty() {
+        let records = vec![rec("t1", "naive", "water", "s", 1e6)];
+        let cell = CellKey {
+            engine: "simd".to_string(),
+            workload: "water".to_string(),
+            scheme: "s".to_string(),
+        };
+        let h = history(&records, &cell);
+        assert!(h.points.is_empty());
+        assert!(h.to_string().contains("no committed runs"));
+        assert_eq!(h.sparkline(), "");
+    }
+
+    #[test]
+    fn sparkline_is_flat_mid_height_for_equal_values() {
+        assert_eq!(sparkline(&[5.0, 5.0, 5.0]), "▄▄▄");
+        assert_eq!(sparkline(&[]), "");
     }
 
     #[test]

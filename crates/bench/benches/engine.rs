@@ -11,7 +11,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use csp_bench::bench_suite;
 use csp_core::engine::run_history_family_prepared;
-use csp_core::UpdateMode;
+use csp_core::{run_scheme_simd, PredictionFunction, Scheme, UpdateMode};
 use csp_harness::bench_engine::family_reference;
 use csp_harness::runner::PreparedSuite;
 use csp_harness::space::figure6_index_grid;
@@ -60,6 +60,32 @@ fn bench_engine(c: &mut Criterion) {
                 // Evict like the sweep planner once no remaining cell
                 // needs this index, keeping the footprint bounded without
                 // thrashing the stream cache mid-pass.
+                for pt in prepared.traces() {
+                    pt.evict_stream(index);
+                }
+            }
+        })
+    });
+    // The simd engine scores one scheme per call, so it covers the same
+    // union+inter x depth grid as the family sweep cell by cell — arena
+    // tables, slot-major windows, batched popcount accumulation. Each
+    // decision is scored once per (function, depth) cell rather than
+    // once per pass, so its element count scales accordingly.
+    group.throughput(Throughput::Elements(events * (2 * MAX_DEPTH) as u64));
+    group.bench_function("simd_batch_scoring", |b| {
+        b.iter(|| {
+            let prepared = PreparedSuite::new(suite);
+            for &index in &indexes {
+                for &update in updates.iter() {
+                    for pt in prepared.traces() {
+                        for depth in 1..=MAX_DEPTH {
+                            for func in [PredictionFunction::Union, PredictionFunction::Inter] {
+                                let scheme = Scheme::new(func, index, depth, update);
+                                std::hint::black_box(run_scheme_simd(pt, &scheme));
+                            }
+                        }
+                    }
+                }
                 for pt in prepared.traces() {
                     pt.evict_stream(index);
                 }

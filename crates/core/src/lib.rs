@@ -47,9 +47,13 @@
 //! # Ok::<(), csp_core::ParseSchemeError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the [`simd`] module carries the crate's
+// only `unsafe` (runtime-dispatched `core::arch` intrinsics) under a
+// scoped allow; everything else stays unsafe-free at compile time.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod confidence;
 pub mod cosmos;
 pub mod distribution;
@@ -60,12 +64,15 @@ pub mod hash;
 mod index;
 mod prepared;
 mod scheme;
+pub mod simd;
 pub mod sticky;
 mod table;
 
+pub use arena::HistoryArena;
 pub use entry::{HistoryEntry, PasEntry, RawHistoryEntry, RawPasEntry, MAX_DEPTH};
 pub use function::PredictionFunction;
 pub use index::{node_bits, IndexSpec};
 pub use prepared::{KeyStream, PreparedTrace, SlotData};
 pub use scheme::{ParseSchemeError, Scheme, UpdateMode};
-pub use table::{shard_of_key, EntryView, PredictorTable, TableEntry};
+pub use simd::{run_scheme_simd, run_scheme_simd_with, SimdBackend};
+pub use table::{shard_of_key, EntryView, HistoryBackend, PredictorTable, TableEntry};

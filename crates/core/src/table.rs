@@ -1,5 +1,6 @@
 //! Predictor tables: sparse storage of entry state, keyed by index.
 
+use crate::arena::HistoryArena;
 use crate::entry::{HistoryEntry, PasEntry};
 use crate::hash::FxHashMap;
 use crate::{PredictionFunction, Scheme};
@@ -11,6 +12,12 @@ use csp_trace::SharingBitmap;
 /// even a 24-bit index costs only as much as the distinct keys the trace
 /// exercises. Prediction on a cold (never-updated) entry yields the empty
 /// bitmap — a cold predictor forwards nothing.
+///
+/// History-family tables (`last`/`union`/`inter`/`overlap-last`) store
+/// their entries in a flat open-addressing [`HistoryArena`] by default —
+/// one probe of the one-probe API touches one slot-major cache line. The
+/// original hashed storage remains available as the reference twin (see
+/// [`HistoryBackend`]); PAs entries are heap-backed and stay hashed.
 ///
 /// # Example
 ///
@@ -36,8 +43,21 @@ pub struct PredictorTable {
 
 #[derive(Clone, Debug)]
 enum Storage {
-    History(FxHashMap<u64, HistoryEntry>),
+    Arena(HistoryArena),
+    Hashed(FxHashMap<u64, HistoryEntry>),
     Pas(FxHashMap<u64, PasEntry>),
+}
+
+/// Storage backend for history-family tables (see
+/// [`PredictorTable::with_backend`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HistoryBackend {
+    /// Flat open-addressing arena (the default): key and entry inline in
+    /// one power-of-two slot array.
+    Arena,
+    /// The original `FxHashMap` storage, kept as the bit-identity
+    /// reference twin for the arena.
+    Hashed,
 }
 
 /// A borrowed view of one table entry (see [`PredictorTable::entries`]).
@@ -73,11 +93,36 @@ impl PredictorTable {
     /// [`KeyStream::distinct_keys`](crate::KeyStream::distinct_keys))
     /// allocate the end-state table up front instead.
     pub fn with_capacity(scheme: &Scheme, nodes: usize, capacity: usize) -> Self {
+        Self::with_backend(scheme, nodes, capacity, HistoryBackend::Arena)
+    }
+
+    /// Creates an empty table with an explicit history storage backend.
+    ///
+    /// The two backends are bit-identical through every table operation;
+    /// the hashed twin exists so equivalence tests (and any caller wary
+    /// of the arena) can cross-check them. PAs schemes ignore the choice
+    /// (their entries are heap-backed and always hashed).
+    pub fn with_backend(
+        scheme: &Scheme,
+        nodes: usize,
+        capacity: usize,
+        backend: HistoryBackend,
+    ) -> Self {
+        // `last`/`overlap-last` need up to 2 stored bitmaps.
+        let depth = match scheme.function {
+            PredictionFunction::OverlapLast => 2,
+            _ => scheme.depth,
+        };
         let storage = if scheme.function.uses_history() {
-            Storage::History(FxHashMap::with_capacity_and_hasher(
-                capacity,
-                Default::default(),
-            ))
+            match backend {
+                HistoryBackend::Arena => {
+                    Storage::Arena(HistoryArena::with_capacity(depth, capacity))
+                }
+                HistoryBackend::Hashed => Storage::Hashed(FxHashMap::with_capacity_and_hasher(
+                    capacity,
+                    Default::default(),
+                )),
+            }
         } else {
             Storage::Pas(FxHashMap::with_capacity_and_hasher(
                 capacity,
@@ -86,11 +131,7 @@ impl PredictorTable {
         };
         PredictorTable {
             function: scheme.function,
-            // `last`/`overlap-last` need up to 2 stored bitmaps.
-            depth: match scheme.function {
-                PredictionFunction::OverlapLast => 2,
-                _ => scheme.depth,
-            },
+            depth,
             nodes,
             storage,
         }
@@ -116,7 +157,11 @@ impl PredictorTable {
     #[inline]
     pub fn predict(&self, key: u64) -> SharingBitmap {
         match &self.storage {
-            Storage::History(map) => match map.get(&key) {
+            Storage::Arena(arena) => match arena.get(key) {
+                None => SharingBitmap::empty(),
+                Some(h) => Self::predict_history(self.function, self.depth, h),
+            },
+            Storage::Hashed(map) => match map.get(&key) {
                 None => SharingBitmap::empty(),
                 Some(h) => Self::predict_history(self.function, self.depth, h),
             },
@@ -132,7 +177,10 @@ impl PredictorTable {
     #[inline]
     pub fn update(&mut self, key: u64, feedback: SharingBitmap) {
         match &mut self.storage {
-            Storage::History(map) => {
+            Storage::Arena(arena) => {
+                arena.entry_mut(key).push(feedback);
+            }
+            Storage::Hashed(map) => {
                 map.entry(key)
                     .or_insert_with(|| HistoryEntry::new(self.depth))
                     .push(feedback);
@@ -155,7 +203,12 @@ impl PredictorTable {
     #[inline]
     pub fn update_and_predict(&mut self, key: u64, feedback: SharingBitmap) -> SharingBitmap {
         match &mut self.storage {
-            Storage::History(map) => {
+            Storage::Arena(arena) => {
+                let h = arena.entry_mut(key);
+                h.push(feedback);
+                Self::predict_history(self.function, self.depth, h)
+            }
+            Storage::Hashed(map) => {
                 let h = map
                     .entry(key)
                     .or_insert_with(|| HistoryEntry::new(self.depth));
@@ -183,7 +236,13 @@ impl PredictorTable {
     #[inline]
     pub fn predict_and_update(&mut self, key: u64, feedback: SharingBitmap) -> SharingBitmap {
         match &mut self.storage {
-            Storage::History(map) => {
+            Storage::Arena(arena) => {
+                let h = arena.entry_mut(key);
+                let predicted = Self::predict_history(self.function, self.depth, h);
+                h.push(feedback);
+                predicted
+            }
+            Storage::Hashed(map) => {
                 let h = map
                     .entry(key)
                     .or_insert_with(|| HistoryEntry::new(self.depth));
@@ -213,7 +272,12 @@ impl PredictorTable {
         feedback: SharingBitmap,
     ) -> Option<&HistoryEntry> {
         match &mut self.storage {
-            Storage::History(map) => {
+            Storage::Arena(arena) => {
+                let h = arena.entry_mut(key);
+                h.push(feedback);
+                Some(h)
+            }
+            Storage::Hashed(map) => {
                 let h = map
                     .entry(key)
                     .or_insert_with(|| HistoryEntry::new(self.depth));
@@ -236,7 +300,8 @@ impl PredictorTable {
     #[inline]
     pub fn history_mut(&mut self, key: u64) -> Option<&mut HistoryEntry> {
         match &mut self.storage {
-            Storage::History(map) => Some(
+            Storage::Arena(arena) => Some(arena.entry_mut(key)),
+            Storage::Hashed(map) => Some(
                 map.entry(key)
                     .or_insert_with(|| HistoryEntry::new(self.depth)),
             ),
@@ -247,7 +312,7 @@ impl PredictorTable {
     /// Whether this table stores ring-history entries (`true`) or
     /// two-level PAs entries (`false`).
     pub fn uses_history(&self) -> bool {
-        matches!(self.storage, Storage::History(_))
+        !matches!(self.storage, Storage::Pas(_))
     }
 
     /// The history depth entries of this table carry.
@@ -264,17 +329,22 @@ impl PredictorTable {
     /// arbitrary (hash-map) order. Serialization callers that need a
     /// canonical byte stream should sort by key.
     pub fn entries(&self) -> impl Iterator<Item = (u64, EntryView<'_>)> + '_ {
-        let history = match &self.storage {
-            Storage::History(m) => Some(m.iter().map(|(&k, e)| (k, EntryView::History(e)))),
-            Storage::Pas(_) => None,
+        let arena = match &self.storage {
+            Storage::Arena(a) => Some(a.iter().map(|(k, e)| (k, EntryView::History(e)))),
+            _ => None,
+        };
+        let hashed = match &self.storage {
+            Storage::Hashed(m) => Some(m.iter().map(|(&k, e)| (k, EntryView::History(e)))),
+            _ => None,
         };
         let pas = match &self.storage {
             Storage::Pas(m) => Some(m.iter().map(|(&k, e)| (k, EntryView::Pas(e)))),
-            Storage::History(_) => None,
+            _ => None,
         };
-        history
+        arena
             .into_iter()
             .flatten()
+            .chain(hashed.into_iter().flatten())
             .chain(pas.into_iter().flatten())
     }
 
@@ -290,7 +360,18 @@ impl PredictorTable {
     /// own.
     pub fn insert_entry(&mut self, key: u64, entry: TableEntry) -> Result<(), String> {
         match (&mut self.storage, entry) {
-            (Storage::History(map), TableEntry::History(e)) => {
+            (Storage::Arena(arena), TableEntry::History(e)) => {
+                if e.depth() != self.depth {
+                    return Err(format!(
+                        "history entry depth {} in a depth-{} table",
+                        e.depth(),
+                        self.depth
+                    ));
+                }
+                arena.insert(key, e);
+                Ok(())
+            }
+            (Storage::Hashed(map), TableEntry::History(e)) => {
                 if e.depth() != self.depth {
                     return Err(format!(
                         "history entry depth {} in a depth-{} table",
@@ -319,7 +400,8 @@ impl PredictorTable {
     /// Number of entries allocated so far (distinct keys touched).
     pub fn entries_touched(&self) -> usize {
         match &self.storage {
-            Storage::History(m) => m.len(),
+            Storage::Arena(a) => a.len(),
+            Storage::Hashed(m) => m.len(),
             Storage::Pas(m) => m.len(),
         }
     }
@@ -328,7 +410,8 @@ impl PredictorTable {
     /// history-based table and the entry exists.
     pub fn history(&self, key: u64) -> Option<&HistoryEntry> {
         match &self.storage {
-            Storage::History(m) => m.get(&key),
+            Storage::Arena(a) => a.get(key),
+            Storage::Hashed(m) => m.get(&key),
             Storage::Pas(_) => None,
         }
     }
@@ -357,7 +440,8 @@ impl PredictorTable {
     ///
     /// The two tables must come from the same scheme; keys present in
     /// both (impossible under disjoint shard routing) keep `other`'s
-    /// entry.
+    /// entry. History tables absorb across backends (arena and hashed
+    /// are the same storage family).
     ///
     /// # Panics
     ///
@@ -365,7 +449,20 @@ impl PredictorTable {
     /// prediction-function families).
     pub fn absorb(&mut self, other: PredictorTable) {
         match (&mut self.storage, other.storage) {
-            (Storage::History(a), Storage::History(b)) => a.extend(b),
+            (Storage::Arena(a), Storage::Arena(b)) => {
+                for (k, e) in b.iter() {
+                    a.insert(k, *e);
+                }
+            }
+            (Storage::Arena(a), Storage::Hashed(b)) => {
+                for (k, e) in b {
+                    a.insert(k, e);
+                }
+            }
+            (Storage::Hashed(a), Storage::Arena(b)) => {
+                a.extend(b.iter().map(|(k, e)| (k, *e)));
+            }
+            (Storage::Hashed(a), Storage::Hashed(b)) => a.extend(b),
             (Storage::Pas(a), Storage::Pas(b)) => a.extend(b),
             _ => panic!("cannot absorb a table of a different storage kind"),
         }
@@ -644,6 +741,69 @@ mod tests {
         // The cold entry predicts exactly what the absent entry did.
         assert!(t.predict(3).is_empty());
         assert!(table("pas(pid)2").history_mut(0).is_none());
+    }
+
+    /// The arena backend must be bit-identical to the hashed reference
+    /// twin through every table operation and interleaving.
+    #[test]
+    fn arena_and_hashed_backends_are_bit_identical() {
+        for spec in [
+            "last(pid)1",
+            "union(pid)3",
+            "inter(pid)2",
+            "overlap-last(pid)",
+        ] {
+            let scheme: Scheme = spec.parse().unwrap();
+            let mut arena = PredictorTable::with_backend(&scheme, 16, 0, HistoryBackend::Arena);
+            let mut hashed = PredictorTable::with_backend(&scheme, 16, 0, HistoryBackend::Hashed);
+            assert!(arena.uses_history() && hashed.uses_history());
+            for step in 0..400u64 {
+                let key = (step * 7) % 23;
+                let feedback = bm(&[(step % 16) as u8, ((step * 3) % 16) as u8]);
+                match step % 3 {
+                    0 => assert_eq!(
+                        arena.update_and_predict(key, feedback),
+                        hashed.update_and_predict(key, feedback),
+                        "{spec} update_and_predict @{step}"
+                    ),
+                    1 => assert_eq!(
+                        arena.predict_and_update(key, feedback),
+                        hashed.predict_and_update(key, feedback),
+                        "{spec} predict_and_update @{step}"
+                    ),
+                    _ => {
+                        arena.update(key, feedback);
+                        hashed.update(key, feedback);
+                    }
+                }
+            }
+            assert_eq!(arena.entries_touched(), hashed.entries_touched(), "{spec}");
+            for key in 0..23u64 {
+                assert_eq!(arena.predict(key), hashed.predict(key), "{spec} key {key}");
+                assert_eq!(arena.history(key), hashed.history(key), "{spec} key {key}");
+            }
+        }
+    }
+
+    /// History tables absorb across backends: a hashed shard folds into
+    /// an arena global (and vice versa) without losing an entry.
+    #[test]
+    fn absorb_crosses_history_backends() {
+        let scheme: Scheme = "union(pid)2".parse().unwrap();
+        let mut arena = PredictorTable::with_backend(&scheme, 16, 0, HistoryBackend::Arena);
+        let mut hashed = PredictorTable::with_backend(&scheme, 16, 0, HistoryBackend::Hashed);
+        for key in 0..50u64 {
+            hashed.update(key, bm(&[(key % 16) as u8]));
+        }
+        arena.absorb(hashed.clone());
+        assert_eq!(arena.entries_touched(), 50);
+        for key in 0..50u64 {
+            assert_eq!(arena.predict(key), hashed.predict(key), "key {key}");
+        }
+        let mut hashed_global =
+            PredictorTable::with_backend(&scheme, 16, 0, HistoryBackend::Hashed);
+        hashed_global.absorb(arena);
+        assert_eq!(hashed_global.entries_touched(), 50);
     }
 
     #[test]

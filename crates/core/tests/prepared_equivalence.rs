@@ -8,7 +8,10 @@
 //! properties pin that across random small traces, all three update
 //! modes, and both storage families (history and PAs).
 
-use csp_core::{engine, IndexSpec, PredictionFunction, PreparedTrace, Scheme, UpdateMode};
+use csp_core::{
+    engine, run_scheme_simd, run_scheme_simd_with, IndexSpec, PredictionFunction, PredictorTable,
+    PreparedTrace, Scheme, SimdBackend, UpdateMode,
+};
 use csp_trace::{LineAddr, NodeId, Pc, SharingBitmap, SharingEvent, Trace};
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -151,6 +154,163 @@ proptest! {
                 engine::predictions_for_prepared(&prepared, &scheme),
                 engine::predictions_for(&trace, &scheme)
             );
+        }
+    }
+
+    /// The SIMD engine (arena tables, slot-major windows, batched
+    /// popcount accumulation, runtime-dispatched backend) is
+    /// bit-identical to naive across every scheme family, update mode,
+    /// and index point, on random consistent traces.
+    #[test]
+    fn simd_scheme_matches_naive(
+        raw in vec((0u64..4, any::<u8>(), any::<u32>(), any::<u8>(), any::<u8>()), 1..40),
+    ) {
+        let trace = build_trace(&raw);
+        let prepared = PreparedTrace::new(&trace);
+        for index in index_points() {
+            for update in UpdateMode::ALL {
+                for scheme in scheme_points(index, update) {
+                    prop_assert_eq!(
+                        run_scheme_simd(&prepared, &scheme),
+                        engine::run_scheme(&trace, &scheme),
+                        "scheme {}", scheme
+                    );
+                }
+            }
+        }
+    }
+
+    /// The forced-scalar backend is bit-identical too, independently of
+    /// what the host CPU supports — the equivalence CI relies on when it
+    /// rebuilds without target features.
+    #[test]
+    fn simd_scalar_fallback_matches_naive(
+        raw in vec((0u64..4, any::<u8>(), any::<u32>(), any::<u8>(), any::<u8>()), 1..40),
+    ) {
+        let trace = build_trace(&raw);
+        let prepared = PreparedTrace::new(&trace);
+        for update in UpdateMode::ALL {
+            for scheme in scheme_points(IndexSpec::new(true, 2, false, 2), update) {
+                prop_assert_eq!(
+                    run_scheme_simd_with(&prepared, &scheme, SimdBackend::Scalar),
+                    engine::run_scheme(&trace, &scheme),
+                    "scheme {}", scheme
+                );
+            }
+        }
+    }
+
+    /// Narrower machines keep the equivalence: the node count only
+    /// changes the confusion matrix's true-negative algebra, which the
+    /// batched counters must reproduce exactly.
+    #[test]
+    fn simd_matches_naive_across_node_counts(
+        raw in vec((0u64..4, any::<u8>(), any::<u32>(), any::<u8>(), any::<u8>()), 1..30),
+        nodes in 1usize..=16,
+    ) {
+        // Rebuild the trace at this width (build_trace pins NODES=8).
+        let mut t = Trace::new(nodes);
+        let mut last: HashMap<u64, (NodeId, Pc)> = HashMap::new();
+        for &(line, writer, pc, bits, _) in &raw {
+            let writer = NodeId(writer % nodes as u8);
+            let prev = last.get(&line).copied();
+            let invalidated = if prev.is_some() {
+                SharingBitmap::from_bits(u64::from(bits)).masked(nodes)
+            } else {
+                SharingBitmap::empty()
+            };
+            t.push(SharingEvent::new(
+                writer,
+                Pc(pc % 16),
+                LineAddr(line),
+                NodeId((line % nodes as u64) as u8),
+                invalidated,
+                prev,
+            ));
+            last.insert(line, (writer, Pc(pc % 16)));
+        }
+        for &(line, _, _, _, final_bits) in &raw {
+            t.set_final_readers(
+                LineAddr(line),
+                SharingBitmap::from_bits(u64::from(final_bits)).masked(nodes),
+            );
+        }
+        let prepared = PreparedTrace::new(&t);
+        for update in UpdateMode::ALL {
+            for scheme in scheme_points(IndexSpec::new(true, 2, true, 2), update) {
+                prop_assert_eq!(
+                    run_scheme_simd(&prepared, &scheme),
+                    engine::run_scheme(&t, &scheme),
+                    "scheme {} nodes {}", scheme, nodes
+                );
+            }
+        }
+    }
+
+    /// Splitting a table's key space across shards and absorbing the
+    /// shards back reproduces the unsharded table exactly — the
+    /// invariant the serving engine's scatter/gather rests on, now over
+    /// the arena backend.
+    #[test]
+    fn arena_split_absorb_round_trips(
+        ops in vec((any::<u64>(), any::<u8>()), 1..200),
+        shards in 1usize..=5,
+    ) {
+        let scheme = Scheme::new(
+            PredictionFunction::Union,
+            IndexSpec::new(true, 2, false, 2),
+            2,
+            UpdateMode::Direct,
+        );
+        let mut whole = PredictorTable::new(&scheme, NODES);
+        let mut parts = PredictorTable::split(&scheme, NODES, shards);
+        for &(key, bits) in &ops {
+            let feedback = SharingBitmap::from_bits(u64::from(bits)).masked(NODES);
+            whole.update(key, feedback);
+            parts[csp_core::shard_of_key(key, shards)].update(key, feedback);
+        }
+        let mut merged = PredictorTable::new(&scheme, NODES);
+        for part in parts {
+            merged.absorb(part);
+        }
+        prop_assert_eq!(merged.entries_touched(), whole.entries_touched());
+        for &(key, _) in &ops {
+            prop_assert_eq!(merged.predict(key), whole.predict(key), "key {}", key);
+        }
+    }
+
+    /// Absorb crosses storage backends without drift: a hashed-backend
+    /// shard absorbed into an arena-backed table (and vice versa) lands
+    /// every entry.
+    #[test]
+    fn absorb_is_backend_agnostic(
+        ops in vec((any::<u64>(), any::<u8>()), 1..120),
+    ) {
+        use csp_core::HistoryBackend;
+        let scheme = Scheme::new(
+            PredictionFunction::Inter,
+            IndexSpec::new(true, 2, false, 0),
+            2,
+            UpdateMode::Direct,
+        );
+        for (into, from) in [
+            (HistoryBackend::Arena, HistoryBackend::Hashed),
+            (HistoryBackend::Hashed, HistoryBackend::Arena),
+        ] {
+            let mut reference = PredictorTable::new(&scheme, NODES);
+            let mut dst = PredictorTable::with_backend(&scheme, NODES, 0, into);
+            let mut src = PredictorTable::with_backend(&scheme, NODES, 0, from);
+            for &(key, bits) in &ops {
+                let feedback = SharingBitmap::from_bits(u64::from(bits)).masked(NODES);
+                reference.update(key, feedback);
+                // Route by key so each key's whole update sequence lands
+                // on exactly one side (absorb replaces on collision).
+                if key % 2 == 0 { dst.update(key, feedback) } else { src.update(key, feedback) }
+            }
+            dst.absorb(src);
+            for &(key, _) in &ops {
+                prop_assert_eq!(dst.predict(key), reference.predict(key), "key {}", key);
+            }
         }
     }
 

@@ -1,14 +1,15 @@
 //! Execution-engine adapters for the benchmark barometer (`csp-bar`).
 //!
-//! The repo grew four distinct ways to score a scheme over a trace: the
-//! frozen naive evaluator (per-call resolution, hashed tables), the
-//! prepared single-pass path (shared resolutions and key streams), and
-//! the sharded online serving engine (per-key routing over worker
-//! threads). This module puts them behind one [`Engine`] trait so the
-//! barometer can enumerate a (workload x scheme x engine) matrix
-//! declaratively — and, crucially, so every engine's screening
-//! statistics can be cross-checked for bit-identity before any timing
-//! number is trusted.
+//! The repo grew several distinct ways to score a scheme over a trace:
+//! the frozen naive evaluator (per-call resolution, hashed tables), the
+//! prepared single-pass path (shared resolutions and key streams), its
+//! SIMD-batched sibling (arena tables, vectorized confusion counting),
+//! and the sharded online serving engine (per-key routing over worker
+//! threads). This module puts them behind one [`Engine`] trait and a
+//! data-driven registry ([`ENGINE_SPECS`]) so the barometer can
+//! enumerate a (workload x scheme x engine) matrix declaratively — and,
+//! crucially, so every engine's screening statistics can be
+//! cross-checked for bit-identity before any timing number is trusted.
 //!
 //! Engines here evaluate one *cell* — a `(benchmark trace, scheme)`
 //! pair — to a [`ConfusionMatrix`]. Timing policy (warmup passes, timed
@@ -16,15 +17,16 @@
 //! guarantee that each call performs the full end-to-end evaluation the
 //! engine would pay in production, nothing cached across calls beyond
 //! what the engine's own architecture shares (the prepared engine's key
-//! streams are its architecture; the sharded engine's thread spawn is
-//! its cost too).
+//! streams are its architecture; the sharded engine's persistent worker
+//! pool is its architecture too — see [`ShardedServeEngine`]).
 
 use csp_core::engine::{run_scheme, run_scheme_prepared};
-use csp_core::{PreparedTrace, Scheme};
+use csp_core::{run_scheme_simd, PreparedTrace, Scheme};
 use csp_metrics::ConfusionMatrix;
-use csp_serve::ShardedEngine;
+use csp_serve::ShardPool;
 use csp_workloads::BenchmarkTrace;
 use std::fmt;
+use std::sync::Mutex;
 
 /// One (workload, scheme) evaluation cell, with both the raw trace and
 /// its prepared twin so each engine can consume its natural input.
@@ -86,14 +88,40 @@ impl Engine for PreparedEngine {
     }
 }
 
+/// The SIMD-batched prepared path (PR 8): flat open-addressing arena
+/// tables, slot-major history windows, and confusion counts accumulated
+/// in 8-wide popcount batches (AVX2 when the host has it, bit-identical
+/// scalar fallback otherwise — see [`csp_core::simd`]).
+pub struct SimdEngine;
+
+impl Engine for SimdEngine {
+    fn name(&self) -> &'static str {
+        "simd"
+    }
+
+    fn eval(&self, cell: &EngineCell<'_>) -> ConfusionMatrix {
+        run_scheme_simd(cell.prepared, &cell.scheme)
+    }
+}
+
 /// The in-process sharded serving engine (`csp-serve`): per-key routing
-/// over worker threads with bounded-channel backpressure. Each eval
-/// builds a fresh engine and replays the trace through it — thread
-/// spawn and channel costs are part of what this engine *is*, so they
-/// are deliberately inside the measured region.
+/// over worker threads with bounded-channel backpressure. The adapter
+/// holds a persistent [`ShardPool`] — worker threads live for the whole
+/// benchmark matrix and each eval re-tasks them with a fresh session,
+/// so the measured region is routing, channel, and apply cost (the
+/// steady state of a running service), not thread spawn/join. Bounded
+/// inboxes still backpressure inside the measurement.
 pub struct ShardedServeEngine {
-    /// Worker shards per evaluation.
-    pub shards: usize,
+    pool: Mutex<ShardPool>,
+}
+
+impl ShardedServeEngine {
+    /// Creates the adapter with a persistent pool of `shards` workers.
+    pub fn new(shards: usize) -> Self {
+        ShardedServeEngine {
+            pool: Mutex::new(ShardPool::new(shards)),
+        }
+    }
 }
 
 impl Engine for ShardedServeEngine {
@@ -102,26 +130,56 @@ impl Engine for ShardedServeEngine {
     }
 
     fn eval(&self, cell: &EngineCell<'_>) -> ConfusionMatrix {
-        let engine = ShardedEngine::new(cell.scheme, cell.bench.trace.nodes(), self.shards);
-        engine
-            .replay_prepared(cell.prepared)
-            .expect("engine built with the trace's own width");
-        engine.stats().confusion
+        let pool = self.pool.lock().expect("no panic holds the pool lock");
+        pool.replay_prepared(cell.prepared, &cell.scheme)
     }
 }
 
-/// Names of every engine [`engine_by_name`] can construct, in canonical
-/// order (the naive reference first — it is the ratio denominator).
-pub const ENGINE_NAMES: [&str; 3] = ["naive", "prepared", "sharded"];
+/// One registry row: a definitions-file name and how to build its
+/// adapter (`shards` is meaningful only to the sharded engine; the
+/// others ignore it).
+pub struct EngineSpec {
+    /// Stable lowercase name, as written in `benchmarks.bar`.
+    pub name: &'static str,
+    /// Builds the adapter; the argument is the configured shard count.
+    pub build: fn(usize) -> Box<dyn Engine>,
+}
+
+/// The engine registry, in canonical order (the naive reference first —
+/// it is the ratio denominator). Adding an engine means adding a row
+/// here; name lookup, [`ENGINE_NAMES`], and the barometer's validation
+/// all follow from it.
+pub const ENGINE_SPECS: [EngineSpec; 4] = [
+    EngineSpec {
+        name: "naive",
+        build: |_| Box::new(NaiveEngine),
+    },
+    EngineSpec {
+        name: "prepared",
+        build: |_| Box::new(PreparedEngine),
+    },
+    EngineSpec {
+        name: "simd",
+        build: |_| Box::new(SimdEngine),
+    },
+    EngineSpec {
+        name: "sharded",
+        build: |shards| Box::new(ShardedServeEngine::new(shards)),
+    },
+];
+
+/// Names of every engine [`engine_by_name`] can construct, in registry
+/// order. (A const mirror of [`ENGINE_SPECS`] so definitions-file
+/// validation can borrow it without building adapters; a test pins the
+/// two in sync.)
+pub const ENGINE_NAMES: [&str; 4] = ["naive", "prepared", "simd", "sharded"];
 
 /// Constructs an engine adapter by its definitions-file name.
 pub fn engine_by_name(name: &str, shards: usize) -> Option<Box<dyn Engine>> {
-    match name {
-        "naive" => Some(Box::new(NaiveEngine)),
-        "prepared" => Some(Box::new(PreparedEngine)),
-        "sharded" => Some(Box::new(ShardedServeEngine { shards })),
-        _ => None,
-    }
+    ENGINE_SPECS
+        .iter()
+        .find(|spec| spec.name == name)
+        .map(|spec| (spec.build)(shards))
 }
 
 /// Two engines disagreeing on a cell's screening statistics — a
@@ -226,6 +284,36 @@ mod tests {
         assert!(engine_by_name("warp-drive", 4).is_none());
         for name in ENGINE_NAMES {
             assert_eq!(engine_by_name(name, 2).expect("known").name(), name);
+        }
+    }
+
+    #[test]
+    fn registry_and_name_mirror_agree() {
+        assert_eq!(ENGINE_SPECS.len(), ENGINE_NAMES.len());
+        for (spec, name) in ENGINE_SPECS.iter().zip(ENGINE_NAMES) {
+            assert_eq!(spec.name, name);
+            // Each row builds an adapter that answers to its own name.
+            assert_eq!((spec.build)(2).name(), name);
+        }
+        assert_eq!(ENGINE_NAMES[0], "naive", "ratio denominator comes first");
+    }
+
+    #[test]
+    fn sharded_adapter_pool_survives_reuse_across_cells() {
+        let suite = Suite::generate(0.01, 7);
+        let engine = ShardedServeEngine::new(3);
+        // The same pooled adapter must stay bit-identical across cells
+        // with different schemes and traces (sessions fully reset).
+        for bench in suite.traces().iter().take(2) {
+            let prepared = PreparedTrace::new(&bench.trace);
+            for s in ["last(pid+pc8)1[direct]", "union(dir+add8)2[ordered]"] {
+                let cell = EngineCell {
+                    bench,
+                    prepared: &prepared,
+                    scheme: s.parse().expect("notation"),
+                };
+                assert_eq!(engine.eval(&cell), run_scheme(&bench.trace, &cell.scheme));
+            }
         }
     }
 

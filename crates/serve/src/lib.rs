@@ -10,6 +10,10 @@
 //!   inboxes (backpressure), batched ingest, and no global lock. Sharding
 //!   is *exact*: replaying a trace yields bit-identical screening
 //!   statistics to the offline engine (see `tests/equivalence.rs`).
+//! * [`ShardPool`] — the same shard workers with a persistent
+//!   lifecycle: threads live across many replays and are re-tasked per
+//!   session, for callers (like the `csp-bar` barometer) that replay
+//!   hundreds of short cells and must not measure thread spawn.
 //! * [`wire`] — a length-prefixed, CRC32c-checksummed binary protocol
 //!   (the same checksum conventions as the on-disk trace format), spoken
 //!   over TCP or Unix sockets by [`server`] and [`client`].
@@ -64,6 +68,7 @@
 pub mod bench;
 pub mod client;
 pub mod error;
+pub mod pool;
 pub mod replication;
 pub mod server;
 pub mod shard;
@@ -73,6 +78,7 @@ pub mod wire;
 pub use bench::{probe_stream, run_load, LoadOptions, LoadReport};
 pub use client::Client;
 pub use error::ServeError;
+pub use pool::ShardPool;
 pub use replication::{
     FollowerOptions, JournalStore, ReplOp, ReplicaStatus, ReplicationLog, MAX_SEGMENT_OPS,
 };

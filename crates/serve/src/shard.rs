@@ -76,7 +76,7 @@ pub enum IngestOp {
 
 impl IngestOp {
     /// The key that routes this operation to its shard.
-    fn route_key(&self) -> u64 {
+    pub(crate) fn route_key(&self) -> u64 {
         match *self {
             IngestOp::Update { key, .. } | IngestOp::Score { key, .. } => key,
             IngestOp::Poison { key } => key,
@@ -283,12 +283,12 @@ impl ShardInstruments {
 /// How many messages a shard inbox buffers before senders block
 /// (backpressure: a slow shard throttles ingest instead of ballooning
 /// memory).
-const INBOX_DEPTH: usize = 64;
+pub(crate) const INBOX_DEPTH: usize = 64;
 
 /// Events per replay chunk: each chunk becomes one ordered ingest batch
 /// (and, on a replicating leader, one journal append of at most twice
 /// this many operations).
-const REPLAY_CHUNK: usize = 8192;
+pub(crate) const REPLAY_CHUNK: usize = 8192;
 
 /// Emits the operations replay dispatches for events `range`, in
 /// emission order, mirroring `csp_core::engine::run_scheme` exactly —
@@ -961,7 +961,7 @@ const JOURNAL_CAP: usize = 1 << 16;
 /// supervised recovery has to re-run, so *all* state mutation funnels
 /// through it.
 #[inline]
-fn apply_op(state: &mut ShardState, op: IngestOp, nodes: usize) {
+pub(crate) fn apply_op(state: &mut ShardState, op: IngestOp, nodes: usize) {
     match op {
         IngestOp::Update { key, feedback } => {
             state.table.update(key, feedback);
