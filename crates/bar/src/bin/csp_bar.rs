@@ -7,6 +7,7 @@
 //! csp-bar history CELL [F.bar]                       one cell's trajectory across runs
 //! csp-bar check [--defs F] [--trajectory F] [opts]   run a reduced matrix, gate vs history
 //! csp-bar import BENCH.json [--defs F] [--out F]     migrate a legacy engine-bench point
+//! csp-bar prune --keep-last N [F.bar]                drop all but each cell's newest N records
 //! ```
 //!
 //! Run options (also honored by `check`):
@@ -25,7 +26,9 @@
 
 #![forbid(unsafe_code)]
 
-use csp_bar::record::{append_records_file, read_records_file, require_fingerprint};
+use csp_bar::record::{
+    append_records_file, prune_records_file, read_records_file, require_fingerprint,
+};
 use csp_bar::runner::RunMeta;
 use csp_bar::{
     check, diff, history, rank, run_matrix, BarDefs, BarError, BarRecord, CellKey, SCHEMA_VERSION,
@@ -51,6 +54,7 @@ fn main() -> ExitCode {
         "history" => cmd_history(rest),
         "check" => cmd_check(rest),
         "import" => cmd_import(rest),
+        "prune" => cmd_prune(rest),
         "--help" | "-h" | "help" => {
             print_usage();
             return ExitCode::SUCCESS;
@@ -95,6 +99,7 @@ struct RunFlags {
     shards: Option<usize>,
     cache_dir: Option<PathBuf>,
     no_cache: bool,
+    keep_last: Option<usize>,
     positional: Vec<String>,
 }
 
@@ -121,6 +126,9 @@ fn parse_flags(args: &[String]) -> Result<RunFlags, CliError> {
             "--shards" => flags.shards = Some(parse_value(&value("--shards")?, "--shards")?),
             "--cache-dir" => flags.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
             "--no-cache" => flags.no_cache = true,
+            "--keep-last" => {
+                flags.keep_last = Some(parse_value(&value("--keep-last")?, "--keep-last")?)
+            }
             other if other.starts_with('-') => {
                 return Err(usage(format!("unknown flag {other:?}")))
             }
@@ -403,6 +411,33 @@ fn cmd_import(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `csp-bar prune --keep-last N [F.bar]` — rewrites the trajectory
+/// keeping only each cell's newest N records. The rewrite is atomic
+/// (tmp + rename), so an interrupted prune leaves the file untouched;
+/// `--keep-last 0` is refused rather than silently emptying history.
+fn cmd_prune(args: &[String]) -> Result<(), CliError> {
+    let flags = parse_flags(args)?;
+    let path = match flags.positional.as_slice() {
+        [] => PathBuf::from(DEFAULT_TRAJECTORY),
+        [file] => PathBuf::from(file),
+        _ => return Err(usage("prune takes at most one trajectory file")),
+    };
+    let Some(keep_last) = flags.keep_last else {
+        return Err(usage("prune needs --keep-last N"));
+    };
+    if keep_last == 0 {
+        return Err(usage(
+            "--keep-last 0 would erase the whole trajectory; delete the file if you mean that",
+        ));
+    }
+    let (kept, dropped) = prune_records_file(&path, keep_last)?;
+    println!(
+        "pruned {}: kept {kept} record(s), dropped {dropped} (newest {keep_last} per cell)",
+        path.display()
+    );
+    Ok(())
+}
+
 /// Converts the legacy engine-bench report (naive + prepared arms over
 /// the whole family sweep) into two `suite`-workload records.
 fn import_engine_bench(text: &str, defs: &BarDefs) -> Result<Vec<BarRecord>, String> {
@@ -493,6 +528,7 @@ fn print_usage() {
     eprintln!("  csp-bar history ENGINE/WORKLOAD/SCHEME [F.bar]");
     eprintln!("  csp-bar check [--defs F] [--trajectory F] [run options]");
     eprintln!("  csp-bar import BENCH_engine.json [--defs F] [--out F]");
+    eprintln!("  csp-bar prune --keep-last N [F.bar]");
     eprintln!();
     eprintln!("run options:");
     eprintln!("  --scale S        workload scale factor      (default: from definitions)");

@@ -30,8 +30,9 @@
 //!   as the prepared-vs-naive and simd-vs-prepared >= 2x floors).
 //!
 //! The `csp-bar` binary exposes `run`, `diff`, `rank`, `history`,
-//! `check`, and `import` (migration of legacy `BENCH_engine.json`
-//! single points into the trajectory).
+//! `check`, `import` (migration of legacy `BENCH_engine.json` single
+//! points into the trajectory), and `prune` (atomic rewrite keeping
+//! only the newest N records per cell, bounding committed file growth).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,7 +46,7 @@ pub mod report;
 pub mod runner;
 
 pub use defs::{BarDefs, CellKey, RatioGate};
-pub use record::{read_records, BarRecord, RECORD_MAGIC, SCHEMA_VERSION};
+pub use record::{prune_records, read_records, BarRecord, RECORD_MAGIC, SCHEMA_VERSION};
 pub use report::{check, diff, history, rank, CheckReport, HistoryReport};
 pub use runner::{run_matrix, RunMeta};
 

@@ -419,6 +419,54 @@ pub fn append_records_file(path: &Path, records: &[BarRecord]) -> Result<(), Bar
     Ok(())
 }
 
+/// Keeps only the newest `keep_last` records of each (engine, workload,
+/// scheme) cell, preserving file order among the survivors. "Newest"
+/// means latest in file order — the trajectory is append-only, so file
+/// order is time order. `keep_last == 0` drops everything.
+pub fn prune_records(records: &[BarRecord], keep_last: usize) -> Vec<BarRecord> {
+    use std::collections::HashMap;
+    let mut total: HashMap<crate::CellKey, usize> = HashMap::new();
+    for r in records {
+        *total.entry(r.cell()).or_insert(0) += 1;
+    }
+    // A record survives when it sits within the last `keep_last` of its
+    // cell: its 1-based position must exceed `total - keep_last`.
+    let mut seen: HashMap<crate::CellKey, usize> = HashMap::new();
+    records
+        .iter()
+        .filter(|r| {
+            let cell = r.cell();
+            let cut = total[&cell].saturating_sub(keep_last);
+            let at = seen.entry(cell).or_insert(0);
+            *at += 1;
+            *at > cut
+        })
+        .cloned()
+        .collect()
+}
+
+/// Rewrites the trajectory at `path` keeping only the newest
+/// `keep_last` records per cell. The replacement is built in memory and
+/// swapped in atomically (tmp + rename), so a crash mid-prune leaves
+/// the original file intact. Returns `(kept, dropped)` counts.
+///
+/// # Errors
+///
+/// Returns [`BarError::Io`] on filesystem failures and
+/// [`BarError::Record`] if the existing file is not a trajectory.
+pub fn prune_records_file(path: &Path, keep_last: usize) -> Result<(usize, usize), BarError> {
+    let records = read_records_file(path)?;
+    let kept = prune_records(&records, keep_last);
+    let dropped = records.len() - kept.len();
+    if dropped == 0 {
+        return Ok((kept.len(), 0));
+    }
+    let mut buf = Vec::with_capacity(kept.len() * 512 + 16);
+    write_records(&mut buf, &kept).map_err(|e| BarError::io(path, e))?;
+    csp_trace::io::write_file_atomically(path, &buf).map_err(|e| BarError::io(path, e))?;
+    Ok((kept.len(), dropped))
+}
+
 /// Validates records against a definitions file's matrix fingerprint.
 /// Returns the indices and descriptions of rejected records.
 pub fn fingerprint_mismatches(records: &[BarRecord], fingerprint: u64) -> Vec<String> {
@@ -560,5 +608,58 @@ mod tests {
     fn bad_magic_is_an_error() {
         let err = read_records(&b"NOTABAR1xxxx"[..]).unwrap_err();
         assert!(err.to_string().contains("bad magic"), "{err}");
+    }
+
+    #[test]
+    fn prune_keeps_the_last_n_per_cell_in_file_order() {
+        // Two cells interleaved: naive/water runs a..d, prepared/water
+        // runs x..z. Keeping 2 must keep each cell's last two, still in
+        // original file order.
+        let records = vec![
+            sample("naive", "water", "a"),
+            sample("prepared", "water", "x"),
+            sample("naive", "water", "b"),
+            sample("naive", "water", "c"),
+            sample("prepared", "water", "y"),
+            sample("naive", "water", "d"),
+            sample("prepared", "water", "z"),
+        ];
+        let kept = prune_records(&records, 2);
+        let runs: Vec<&str> = kept.iter().map(|r| r.run.as_str()).collect();
+        assert_eq!(runs, ["c", "y", "d", "z"]);
+        // A cell with fewer records than the cap survives untouched.
+        assert_eq!(prune_records(&records, 10), records);
+        // Zero drops everything.
+        assert!(prune_records(&records, 0).is_empty());
+    }
+
+    #[test]
+    fn prune_rewrites_the_file_atomically_and_reports_counts() {
+        let dir = std::env::temp_dir().join(format!("csp-bar-prune-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("t.bar");
+        let records: Vec<BarRecord> = (0..5)
+            .map(|i| sample("naive", "gauss", &format!("run-{i}")))
+            .collect();
+        append_records_file(&path, &records).expect("create");
+        let (kept, dropped) = prune_records_file(&path, 2).expect("prune");
+        assert_eq!((kept, dropped), (2, 3));
+        let back = read_records_file(&path).expect("read pruned");
+        let runs: Vec<&str> = back.iter().map(|r| r.run.as_str()).collect();
+        assert_eq!(runs, ["run-3", "run-4"]);
+        // No leftover tmp file, and a no-op prune reports zero dropped
+        // without rewriting.
+        assert!(!dir.join("t.bar.tmp").exists());
+        let before = std::fs::metadata(&path).expect("meta").modified().ok();
+        let (kept, dropped) = prune_records_file(&path, 2).expect("no-op prune");
+        assert_eq!((kept, dropped), (2, 0));
+        assert_eq!(
+            std::fs::metadata(&path).expect("meta").modified().ok(),
+            before
+        );
+        // The pruned file still appends cleanly (header intact).
+        append_records_file(&path, &[sample("naive", "gauss", "run-5")]).expect("append");
+        assert_eq!(read_records_file(&path).expect("read").len(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -6,12 +6,14 @@
 //!                     [--stats-every SECS] [--snapshot-dir DIR]
 //!                     [--snapshot-every SECS] [--restore] [--trace-out FILE]
 //!                     [--replicate] [--follow ADDR | --follow-file PATH]
-//!                     [--addr-file PATH]
+//!                     [--addr-file PATH] [--replica-id N] [--auto-promote]
+//!                     [--lease-ms MS]
 //! csp-served bench    [--scheme S] [--nodes N] [--shards K] [--batch B]
 //!                     [--frames F] [--addr ADDR] [--warm trace.csptrc]
 //!                     [--json] [--metrics-out FILE] [--no-retry]
 //! csp-served push     --addr ADDR --scheme S [--from-event N] [--to-event M]
-//!                     <trace.csptrc>
+//!                     [--epoch E] <trace.csptrc>
+//! csp-served promote  --addr ADDR --scheme S [--nodes N] [--min-epoch E]
 //! csp-served metrics  --addr ADDR
 //! csp-served top      --addr ADDR [--every SECS] [--count N]
 //! csp-served spans    <FILE>
@@ -34,8 +36,17 @@
 //! on every dial so the leader can move) makes it a read-only *follower*
 //! that bootstraps from a copied snapshot (`--restore`), subscribes from
 //! its seq, reconnects with backoff, and keeps serving stale-but-
-//! consistent predictions while the leader is away. `PROTOCOL.md`
-//! ("Replication") specifies the frames and the failure model.
+//! consistent predictions while the leader is away. A follower carries
+//! its own replication log, so *it* can be followed in turn (chained
+//! fan-out) — and it can be promoted to leadership: `promote` does it by
+//! hand over the wire, `--auto-promote` does it automatically when the
+//! leader's lease lapses (rank-ordered by `--replica-id`, lowest wins).
+//! Promotion bumps the fencing epoch, stops the follower loop, and
+//! rewrites the shared `--follow-file` with this server's own address so
+//! the remaining followers re-parent onto the new leader; the deposed
+//! leader's writes are then refused with a typed `fenced` error.
+//! `PROTOCOL.md` ("Replication", "Failover & epochs") specifies the
+//! frames and the failure model.
 //!
 //! `bench` measures queries/sec and frame latency percentiles — against
 //! `--addr`, or against a self-hosted loopback server when no address is
@@ -67,8 +78,9 @@ use csp_core::engine::run_scheme;
 use csp_core::{PreparedTrace, Scheme};
 use csp_serve::replication::{self, run_follower, snapshot_at_head, trace_to_ops};
 use csp_serve::{
-    run_load, Client, EngineState, FollowerOptions, IngestOp, JournalStore, LoadOptions, ReplOp,
-    ReplicaStatus, ReplicationLog, Server, ShardedEngine, SnapshotStore,
+    run_load, Client, EngineState, FollowerOptions, IngestOp, JournalStore, LoadOptions,
+    PromoteHook, ReplOp, ReplicaStatus, ReplicationLog, Server, ShardedEngine, ShutdownHandle,
+    SnapshotStore, DEFAULT_LEASE,
 };
 use csp_trace::{io as trace_io, Trace};
 use std::fs::File;
@@ -98,6 +110,7 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("push") => cmd_push(&args[1..]),
+        Some("promote") => cmd_promote(&args[1..]),
         Some("metrics") => cmd_metrics(&args[1..]),
         Some("top") => cmd_top(&args[1..]),
         Some("spans") => cmd_spans(&args[1..]),
@@ -129,12 +142,14 @@ fn print_usage() {
     eprintln!("                      [--stats-every SECS] [--snapshot-dir DIR]");
     eprintln!("                      [--snapshot-every SECS] [--restore] [--trace-out FILE]");
     eprintln!("                      [--replicate] [--follow ADDR | --follow-file PATH]");
-    eprintln!("                      [--addr-file PATH]");
+    eprintln!("                      [--addr-file PATH] [--replica-id N] [--auto-promote]");
+    eprintln!("                      [--lease-ms MS]");
     eprintln!("  csp-served bench    [--scheme S] [--nodes N] [--shards K] [--batch B]");
     eprintln!("                      [--frames F] [--addr ADDR] [--warm trace.csptrc]");
     eprintln!("                      [--json] [--metrics-out FILE] [--no-retry]");
     eprintln!("  csp-served push     --addr ADDR --scheme S [--from-event N] [--to-event M]");
-    eprintln!("                      <trace.csptrc>");
+    eprintln!("                      [--epoch E] <trace.csptrc>");
+    eprintln!("  csp-served promote  --addr ADDR --scheme S [--nodes N] [--min-epoch E]");
     eprintln!("  csp-served metrics  --addr ADDR");
     eprintln!("  csp-served top      --addr ADDR [--every SECS] [--count N]");
     eprintln!("  csp-served spans    <FILE>");
@@ -186,6 +201,11 @@ struct Options {
     no_retry: bool,
     from_event: usize,
     to_event: Option<usize>,
+    replica_id: u64,
+    auto_promote: bool,
+    lease_ms: Option<u64>,
+    min_epoch: u64,
+    epoch: u64,
     positional: Vec<String>,
 }
 
@@ -220,6 +240,11 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         no_retry: false,
         from_event: 0,
         to_event: None,
+        replica_id: 0,
+        auto_promote: false,
+        lease_ms: None,
+        min_epoch: 0,
+        epoch: 0,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -326,6 +351,33 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                 )
             }
             "--no-retry" => o.no_retry = true,
+            "--replica-id" => {
+                o.replica_id = value("--replica-id")?
+                    .parse()
+                    .map_err(|_| usage_err("--replica-id needs an integer rank"))?
+            }
+            "--auto-promote" => o.auto_promote = true,
+            "--lease-ms" => {
+                o.lease_ms = Some(
+                    value("--lease-ms")?
+                        .parse::<u64>()
+                        .ok()
+                        .filter(|&v| v > 0)
+                        .ok_or_else(|| {
+                            usage_err("--lease-ms needs a positive millisecond count")
+                        })?,
+                )
+            }
+            "--min-epoch" => {
+                o.min_epoch = value("--min-epoch")?
+                    .parse()
+                    .map_err(|_| usage_err("--min-epoch needs an epoch number"))?
+            }
+            "--epoch" => {
+                o.epoch = value("--epoch")?
+                    .parse()
+                    .map_err(|_| usage_err("--epoch needs an epoch number"))?
+            }
             "--from-event" => {
                 o.from_event = value("--from-event")?
                     .parse()
@@ -413,6 +465,11 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, CliError> {
     if o.replicate && o.snapshot_dir.is_none() {
         return Err(usage_err(
             "--replicate needs --snapshot-dir (the journal lives beside the snapshots)",
+        ));
+    }
+    if o.auto_promote && !following {
+        return Err(usage_err(
+            "--auto-promote needs --follow or --follow-file (only a follower promotes itself)",
         ));
     }
     if following && !o.warm.is_empty() {
@@ -512,6 +569,10 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, CliError> {
             );
         }
         let log = ReplicationLog::durable(jstore, &recovered).map_err(rt)?;
+        if let Some(ms) = o.lease_ms {
+            log.set_lease_ttl(Duration::from_millis(ms));
+        }
+        log.bind_metrics(engine.registry());
         engine.attach_replication(log).map_err(rt)?;
         if !restored {
             warm_engine(&engine, &o)?;
@@ -532,18 +593,21 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, CliError> {
     }
 
     // Follower bring-up: read-only engine bootstrapped from the copied
-    // snapshot plus whatever its *local* journal already holds; the
-    // streaming thread starts once the server socket is up.
-    let mut follower_setup: Option<(Arc<ReplicaStatus>, u64, Option<JournalStore>)> = None;
+    // snapshot plus whatever its *local* journal already holds. The
+    // follower carries its own replication log — the relay point for
+    // chained fan-out, and the durable record a promotion re-opens as
+    // leader — so segments it applies are journaled (when durable) and
+    // republished to its own subscribers. The streaming thread starts
+    // once the server socket is up.
+    let mut follower_setup: Option<Arc<ReplicaStatus>> = None;
     if following {
         engine.mark_follower();
         let fp = replication::fingerprint(engine.scheme(), engine.nodes());
         let snap_seq = seq.load(Ordering::Relaxed);
-        let mut start = snap_seq;
-        let jstore = match &o.snapshot_dir {
+        let log = match &o.snapshot_dir {
             Some(dir) => {
                 let js = JournalStore::open(dir, fp).map_err(rt)?;
-                let recovered = js.recover_all().map_err(rt)?;
+                let mut recovered = js.recover_all().map_err(rt)?;
                 let head = recovered.head();
                 if head > 0 && head < snap_seq {
                     return Err(rt(format!(
@@ -560,12 +624,25 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, CliError> {
                         "re-applied {} locally journaled ops beyond snapshot seq {snap_seq}",
                         tail.len()
                     );
-                    start = head;
                 }
-                Some(js)
+                if head == 0 && snap_seq > 0 {
+                    // Empty journal under a bootstrapped snapshot: the
+                    // durable log resumes at the snapshot horizon.
+                    recovered.base = snap_seq;
+                }
+                ReplicationLog::durable(js, &recovered).map_err(rt)?
             }
-            None => None,
+            // Journal-less follower: an in-memory log still relays the
+            // stream downstream, but promotion yields a leader whose
+            // history starts at its in-memory base.
+            None => ReplicationLog::in_memory_at(fp, snap_seq, 1),
         };
+        if let Some(ms) = o.lease_ms {
+            log.set_lease_ttl(Duration::from_millis(ms));
+        }
+        let start = log.head();
+        log.bind_metrics(engine.registry());
+        engine.attach_replication(log).map_err(rt)?;
         let status = ReplicaStatus::new(start);
         status.bind_metrics(engine.registry());
         eprintln!(
@@ -575,7 +652,7 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, CliError> {
                 .or(o.follow_file.as_deref())
                 .unwrap_or("?")
         );
-        follower_setup = Some((status, start, jstore));
+        follower_setup = Some(status);
     }
 
     // Expose snapshot lifecycle counters through the engine's registry so
@@ -588,18 +665,64 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, CliError> {
         eprintln!("span tracing on; ring dumps to {path} at shutdown");
     }
 
-    let mut unix_shutdown = None;
-    if let Some(path) = &o.unix {
-        let _ = std::fs::remove_file(path);
-        let server = Server::bind_unix(path, Arc::clone(&engine))
-            .map_err(|e| rt(format!("bind {path}: {e}")))?;
-        eprintln!("listening on unix socket {path}");
-        unix_shutdown = Some(server.shutdown_handle());
-        std::thread::spawn(move || server.run());
-    }
     let server = Server::bind_tcp(&o.listen, Arc::clone(&engine))
         .map_err(|e| rt(format!("bind {}: {e}", o.listen)))?;
     let bound = server.local_addr().map_err(rt)?;
+
+    // Promotion: one routine shared by the wire `Promote` hook (which
+    // also serves the `promote` subcommand) and the auto-promote
+    // monitor. Fence first (durable epoch bump), then stop the follower
+    // loop, flip the engine writable, and re-parent the fleet by
+    // rewriting the shared --follow-file with this server's address —
+    // every other follower re-reads it on its next dial.
+    let follower_shutdown = ShutdownHandle::new();
+    let mut promoter: Option<PromoteHook> = None;
+    if following {
+        let p_engine = Arc::clone(&engine);
+        let p_stop = follower_shutdown.clone();
+        let follow_file = o.follow_file.clone();
+        let own_addr = bound.to_string();
+        promoter = Some(Arc::new(move |min_epoch: u64| {
+            let log = p_engine
+                .replication()
+                .ok_or_else(|| "no replication log attached".to_string())?;
+            let epoch = log.bump_epoch(min_epoch).map_err(|e| e.to_string())?;
+            p_stop.shutdown();
+            p_engine.mark_leader();
+            match &follow_file {
+                Some(path) => match trace_io::write_file_atomically(
+                    std::path::Path::new(path),
+                    own_addr.as_bytes(),
+                ) {
+                    Ok(()) => eprintln!(
+                        "promoted to leader (epoch {epoch}); re-parented {path} -> {own_addr}"
+                    ),
+                    Err(e) => eprintln!(
+                        "promoted to leader (epoch {epoch}); could not re-parent {path}: {e}"
+                    ),
+                },
+                None => eprintln!("promoted to leader (epoch {epoch})"),
+            }
+            Ok((epoch, log.head()))
+        }));
+    }
+    let server = match &promoter {
+        Some(hook) => server.with_promote_hook(Arc::clone(hook)),
+        None => server,
+    };
+
+    let mut unix_shutdown = None;
+    if let Some(path) = &o.unix {
+        let _ = std::fs::remove_file(path);
+        let mut unix_server = Server::bind_unix(path, Arc::clone(&engine))
+            .map_err(|e| rt(format!("bind {path}: {e}")))?;
+        if let Some(hook) = &promoter {
+            unix_server = unix_server.with_promote_hook(Arc::clone(hook));
+        }
+        eprintln!("listening on unix socket {path}");
+        unix_shutdown = Some(unix_server.shutdown_handle());
+        std::thread::spawn(move || unix_server.run());
+    }
     if let Some(path) = &o.addr_file {
         // Published atomically so a follower's --follow-file never reads
         // a half-written address.
@@ -615,17 +738,20 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, CliError> {
     );
 
     // The follower's streaming thread: dials the leader, applies
-    // segments, and retries with backoff until shutdown.
+    // segments, and retries with backoff until its *own* shutdown handle
+    // fires — server shutdown triggers it, and so does promotion
+    // (stopping the stream without stopping the server).
     let mut follower_thread = None;
-    if let Some((status, start, jstore)) = follower_setup.take() {
+    if let Some(status) = follower_setup.take() {
         let f_engine = Arc::clone(&engine);
         let f_status = Arc::clone(&status);
-        let f_shutdown = server.shutdown_handle();
+        let f_shutdown = follower_shutdown.clone();
         let follow_addr = o.follow.clone();
         let follow_file = o.follow_file.clone();
         let join = std::thread::spawn(move || {
             // Re-resolved on every dial: a --follow-file leader can
-            // restart on a new port and just rewrite the file.
+            // restart on a new port (or a promotion can re-parent the
+            // fleet) and just rewrite the file.
             let leader = move || match (&follow_addr, &follow_file) {
                 (Some(addr), _) => Some(addr.clone()),
                 (None, Some(path)) => std::fs::read_to_string(path)
@@ -637,14 +763,62 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, CliError> {
             run_follower(
                 &f_engine,
                 leader,
-                start,
-                jstore.as_ref(),
                 &f_status,
                 &f_shutdown,
                 &FollowerOptions::default(),
             )
         });
         follower_thread = Some((join, status));
+    }
+
+    // Lease-based failure detection: when segments (heartbeats included)
+    // stop arriving for longer than the leader-advertised lease —
+    // staggered by replica rank so exactly one replica moves first —
+    // promote this follower. Rank 0's deadline is one lease; each higher
+    // rank waits two extra leases, time enough to ride out reconnect
+    // backoff and re-parent onto whoever beat it to the claim.
+    if o.auto_promote {
+        if let (Some(hook), Some((_, status))) = (&promoter, &follower_thread) {
+            let hook = Arc::clone(hook);
+            let status = Arc::clone(status);
+            let stop = follower_shutdown.clone();
+            let rank = o.replica_id;
+            let fallback_ms = o.lease_ms.unwrap_or(DEFAULT_LEASE.as_millis() as u64);
+            std::thread::spawn(move || loop {
+                std::thread::sleep(Duration::from_millis(100));
+                if stop.is_shutdown() {
+                    // Promoted already (possibly by hand) or shutting down.
+                    return;
+                }
+                if status.is_connected() || status.is_diverged() {
+                    continue;
+                }
+                // A replica that never saw the stream has no standing to
+                // claim leadership — it may hold arbitrarily old state.
+                let Some(age) = status.last_segment_age_ms() else {
+                    continue;
+                };
+                let lease = match status.lease_ms() {
+                    0 => fallback_ms,
+                    ms => ms,
+                };
+                let deadline = lease.saturating_mul(2 * rank + 1);
+                if age <= deadline {
+                    continue;
+                }
+                eprintln!(
+                    "auto-promote: leader lease lapsed ({age}ms since last segment \
+                     > {deadline}ms deadline for rank {rank})"
+                );
+                match hook(0) {
+                    Ok((epoch, head)) => {
+                        eprintln!("auto-promoted: epoch {epoch}, journal head {head}");
+                    }
+                    Err(e) => eprintln!("auto-promotion failed: {e}"),
+                }
+                return;
+            });
+        }
     }
 
     if o.stats_every > 0 {
@@ -709,6 +883,7 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, CliError> {
     // Graceful shutdown: when stdin closes (Ctrl-D, or the supervising
     // process going away), stop accepting, drain, snapshot, exit 0.
     let shutdown = server.shutdown_handle();
+    let stdin_follower_stop = follower_shutdown.clone();
     std::thread::spawn(move || {
         let mut sink = [0u8; 256];
         let mut stdin = std::io::stdin();
@@ -722,11 +897,15 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, CliError> {
         if let Some(h) = &unix_shutdown {
             h.shutdown();
         }
+        stdin_follower_stop.shutdown();
         shutdown.shutdown();
     });
 
     let handle = server.shutdown_handle();
     server.run().map_err(rt)?;
+    // Whatever stopped the server also stops a still-streaming follower
+    // loop (a promoted one has stopped already).
+    follower_shutdown.shutdown();
     // A follower finishes applying its in-flight segment before the
     // final snapshot is cut, and reports how far it got.
     if let Some((join, status)) = follower_thread {
@@ -735,8 +914,11 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, CliError> {
             Ok(Err(e)) => eprintln!("follower stream failed: {e}"),
             Err(_) => eprintln!("follower thread panicked"),
         }
-        handle.record_final_offset(status.applied());
-        seq.store(status.applied(), Ordering::Relaxed);
+        // A promoted follower may have appended past what the stream
+        // applied; the attached log's head is the authoritative offset.
+        let final_offset = engine.replication().map_or(status.applied(), |l| l.head());
+        handle.record_final_offset(final_offset);
+        seq.store(final_offset, Ordering::Relaxed);
     }
     if let Some(store) = &store {
         let state = if engine.replication().is_some() {
@@ -853,15 +1035,42 @@ fn cmd_push(args: &[String]) -> Result<ExitCode, CliError> {
         let end = (pos + CHUNK).min(to);
         let ops = trace_to_ops(&prepared, &scheme, pos..end);
         sent += ops.len();
-        head = client.ingest(fp, &ops).map_err(rt)?;
+        head = client.ingest_at_epoch(fp, o.epoch, &ops).map_err(rt)?;
         pos = end;
     }
     if from == to {
-        // Nothing to send: still validate the fingerprint and report
-        // the leader's head.
-        head = client.ingest(fp, &[]).map_err(rt)?;
+        // Nothing to send: still validate the fingerprint (and epoch)
+        // and report the leader's head.
+        head = client.ingest_at_epoch(fp, o.epoch, &[]).map_err(rt)?;
     }
     println!("pushed {sent} ops from {path} (events [{from}..{to})); leader head {head}");
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `promote` — make a follower the new leader, over the wire. The
+/// replica bumps its fencing epoch to at least `--min-epoch` (always
+/// past its current term), stops streaming, re-parents the fleet via
+/// the shared address file, and starts accepting writes; the deposed
+/// leader's pushes are refused as `fenced` from then on. `--scheme` and
+/// `--nodes` must match the replica's (they form the fingerprint).
+fn cmd_promote(args: &[String]) -> Result<ExitCode, CliError> {
+    let o = parse_options(args)?;
+    let addr = o
+        .addr
+        .as_deref()
+        .ok_or_else(|| usage_err("promote needs --addr"))?;
+    let spec = o
+        .scheme
+        .as_deref()
+        .ok_or_else(|| usage_err("promote needs --scheme (the replica's scheme)"))?;
+    let scheme = parse_scheme(spec)?;
+    let fp = replication::fingerprint(&scheme, o.nodes);
+    let mut client = Client::connect_tcp(addr).map_err(|e| rt(format!("connect {addr}: {e}")))?;
+    client
+        .set_timeouts(Some(Duration::from_secs(10)), Some(Duration::from_secs(10)))
+        .map_err(rt)?;
+    let (epoch, head) = client.promote(fp, o.min_epoch).map_err(rt)?;
+    println!("promoted {addr}: epoch {epoch}, journal head {head}");
     Ok(ExitCode::SUCCESS)
 }
 

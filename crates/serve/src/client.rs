@@ -202,8 +202,26 @@ impl Client {
     /// I/O errors, or [`io::ErrorKind::InvalidData`] on a mismatched or
     /// error reply.
     pub fn ingest(&mut self, fingerprint: u32, ops: &[ReplOp]) -> io::Result<u64> {
+        self.ingest_at_epoch(fingerprint, 0, ops)
+    }
+
+    /// [`ingest`](Self::ingest) under an explicit fencing epoch. Epoch 0
+    /// is "no claim" (what `ingest` sends); any other value below the
+    /// server's current term identifies a deposed leader and draws a
+    /// typed `fenced` error (surfaced as [`io::ErrorKind::InvalidData`]).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or [`io::ErrorKind::InvalidData`] on a mismatched,
+    /// fenced, or error reply.
+    pub fn ingest_at_epoch(
+        &mut self,
+        fingerprint: u32,
+        epoch: u64,
+        ops: &[ReplOp],
+    ) -> io::Result<u64> {
         // An empty push still round-trips once: it validates the
-        // fingerprint and reports the current head.
+        // fingerprint (and epoch) and reports the current head.
         let chunks: Vec<&[ReplOp]> = if ops.is_empty() {
             vec![&[]]
         } else {
@@ -213,6 +231,7 @@ impl Client {
         for chunk in chunks {
             let request = Request::Ingest {
                 fingerprint,
+                epoch,
                 ops: chunk.to_vec(),
             };
             head = match self.round_trip(&request)? {
@@ -221,5 +240,25 @@ impl Client {
             };
         }
         Ok(head)
+    }
+
+    /// Promotes the connected server to leadership: its fencing epoch is
+    /// bumped to at least `min_epoch` (always past its current term), it
+    /// leaves follower mode, and — when the server runs the full
+    /// failover stack — its follower loop stops and downstreams are
+    /// re-parented. Returns the new `(epoch, head)`. Idempotent.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or [`io::ErrorKind::InvalidData`] on a fingerprint
+    /// mismatch or error reply.
+    pub fn promote(&mut self, fingerprint: u32, min_epoch: u64) -> io::Result<(u64, u64)> {
+        match self.round_trip(&Request::Promote {
+            fingerprint,
+            min_epoch,
+        })? {
+            Response::Promoted { epoch, head } => Ok((epoch, head)),
+            other => Err(unexpected(other)),
+        }
     }
 }

@@ -40,6 +40,14 @@ pub enum ServeError {
         /// What went wrong.
         detail: String,
     },
+    /// A mutation carried a fencing epoch below the current term — it
+    /// comes from a deposed leader and was refused unapplied.
+    Fenced {
+        /// The stale epoch the sender claimed.
+        claimed: u64,
+        /// The receiver's current fencing epoch.
+        current: u64,
+    },
     /// An I/O failure while reading or writing snapshot state.
     Io {
         /// The path being accessed, when known.
@@ -79,6 +87,10 @@ impl fmt::Display for ServeError {
             ServeError::Replication { detail } => {
                 write!(f, "replication: {detail}")
             }
+            ServeError::Fenced { claimed, current } => write!(
+                f,
+                "fenced: stale epoch {claimed} refused, current term is {current}"
+            ),
             ServeError::Io {
                 path: Some(p),
                 source,

@@ -35,7 +35,10 @@
 //!   followers streaming `JournalSegment` frames with
 //!   backoff-and-resume, and fingerprint-guarded divergence detection.
 //!   Followers are bit-identical to the leader (see
-//!   `tests/replication.rs`).
+//!   `tests/replication.rs`), relay segments to their own downstreams
+//!   (chained fan-out), and can be *promoted* to leadership under a
+//!   bumped fencing epoch — lease-based failure detection drives
+//!   automatic promotion, and deposed leaders are fenced by epoch.
 //!
 //! The `csp-served` binary wires these together: `serve` hosts an engine,
 //! `bench` drives one, `replay` proves online == offline on a trace file.
@@ -80,9 +83,10 @@ pub use client::Client;
 pub use error::ServeError;
 pub use pool::ShardPool;
 pub use replication::{
-    FollowerOptions, JournalStore, ReplOp, ReplicaStatus, ReplicationLog, MAX_SEGMENT_OPS,
+    CompactStats, FollowerOptions, JournalStore, LeaseId, Recovered, ReplOp, ReplicaStatus,
+    ReplicationLog, DEFAULT_LEASE, MAX_SEGMENT_OPS,
 };
-pub use server::{Server, ServerOptions, ShutdownHandle};
+pub use server::{PromoteHook, Server, ServerOptions, ShutdownHandle};
 pub use shard::{EngineSnapshot, IngestOp, ShardCounters, ShardRestart, ShardState, ShardedEngine};
 pub use snapshot::{EngineState, SnapshotStore};
 

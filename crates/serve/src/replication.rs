@@ -37,6 +37,27 @@
 //! * **Divergence** (scheme, width, or format drift): detected by a
 //!   [`fingerprint`] carried in every Subscribe/Ingest/JournalSegment
 //!   frame and journal header; the mismatching side refuses the data.
+//!
+//! # Failover
+//!
+//! Every log carries an **epoch** — a fencing term, bumped on each
+//! promotion and embedded in journal headers and every replication
+//! frame. A follower can be *promoted*: its durable journal is already a
+//! verified copy of the leader's history, so promotion is
+//! [`ReplicationLog::bump_epoch`] (rotating the journal so the new term
+//! is durable) plus flipping the engine out of follower mode. Peers fence
+//! the deposed leader by epoch: followers drop streams that regress the
+//! epoch they have observed, and `Ingest` frames carrying a stale epoch
+//! are refused with a typed error.
+//!
+//! Failure detection is **lease-based**: every `JournalSegment` frame
+//! (heartbeats included) grants the subscriber a time-boxed lease on the
+//! leader's liveness; a lease that lapses without renewal is the signal
+//! that drives (manual or rank-ordered automatic) promotion. The leader
+//! mirrors this: each live subscriber holds a lease on the journal
+//! horizon, so compaction never reclaims operations a live downstream
+//! still needs ([`ReplicationLog::compact`] floors at the slowest live
+//! lease and reports what laggards pin).
 
 use crate::error::ServeError;
 use crate::server::ShutdownHandle;
@@ -47,7 +68,7 @@ use csp_core::{PreparedTrace, Scheme};
 use csp_obs::Registry;
 use csp_trace::journal::{read_journal, JournalHeader, SegmentWriter};
 use csp_trace::{crc32c, SharingBitmap};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::TcpStream;
@@ -65,8 +86,14 @@ pub const REPL_OP_LEN: usize = 17;
 pub const MAX_SEGMENT_OPS: usize = 32 * 1024;
 
 /// Bumped whenever the replicated operation stream changes meaning;
-/// part of the [`fingerprint`].
-const REPL_REVISION: u32 = 1;
+/// part of the [`fingerprint`]. Revision 2 added epochs (fencing terms)
+/// to every replication frame and journal header.
+const REPL_REVISION: u32 = 2;
+
+/// Default lease a leader grants each subscriber per segment/heartbeat,
+/// and the staleness horizon a follower allows before it considers the
+/// leader dead. Must comfortably exceed the 500 ms heartbeat interval.
+pub const DEFAULT_LEASE: Duration = Duration::from_secs(10);
 
 const TAG_UPDATE: u8 = 1;
 const TAG_SCORE: u8 = 2;
@@ -205,6 +232,8 @@ pub fn fingerprint(scheme: &Scheme, nodes: usize) -> u32 {
 /// subscriber is caught up to `head`.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Segment {
+    /// The serving log's epoch when the segment was cut.
+    pub epoch: u64,
     /// Offset of the first operation in `ops`.
     pub start: u64,
     /// The leader's log head when the segment was cut.
@@ -241,6 +270,36 @@ struct LogInner {
     base: u64,
     ops: VecDeque<ReplOp>,
     durable: Option<DurableTail>,
+    /// The current fencing term; mirrored into `epoch_cell` for
+    /// lock-free reads.
+    epoch: u64,
+}
+
+/// One downstream subscriber's claim on the journal horizon.
+struct Lease {
+    /// The lowest offset the subscriber may still ask for.
+    offset: u64,
+    /// When the claim lapses unless renewed by a successful send.
+    expires: Instant,
+}
+
+/// A live subscriber's handle on its compaction lease. Release it with
+/// [`ReplicationLog::lease_release`] when the stream ends; an unreleased
+/// lease merely expires after its TTL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaseId(u64);
+
+/// What one [`ReplicationLog::compact`] pass did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CompactStats {
+    /// The floor actually applied (the requested floor, lowered to the
+    /// slowest live downstream lease).
+    pub floor: u64,
+    /// Journal-file bytes reclaimed from disk.
+    pub reclaimed_bytes: u64,
+    /// Journal-file bytes that would have been reclaimed at the
+    /// requested floor but are pinned by a live downstream lease.
+    pub held_bytes: u64,
 }
 
 /// The leader's totally-ordered operation log: the serialization point
@@ -250,54 +309,149 @@ pub struct ReplicationLog {
     fingerprint: u32,
     inner: Mutex<LogInner>,
     grew: Condvar,
+    /// Mirror of `LogInner::epoch` for lock-free reads.
+    epoch_cell: AtomicU64,
+    /// Live downstream leases, keyed by [`LeaseId`].
+    leases: Mutex<HashMap<u64, Lease>>,
+    lease_seq: AtomicU64,
+    lease_ttl_ms: AtomicU64,
+    /// Bytes the last compaction left on disk only because a live lease
+    /// pinned them (the `csp_repl_compact_held_bytes` gauge).
+    held_bytes: AtomicU64,
 }
 
 impl std::fmt::Debug for ReplicationLog {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ReplicationLog")
             .field("fingerprint", &self.fingerprint)
+            .field("epoch", &self.epoch())
             .finish_non_exhaustive()
     }
 }
 
 impl ReplicationLog {
-    /// A log with no on-disk journal (tests, the in-process harness).
-    pub fn in_memory(fingerprint: u32) -> Arc<Self> {
+    fn build(fingerprint: u32, inner: LogInner) -> Arc<Self> {
+        let epoch = inner.epoch;
         Arc::new(ReplicationLog {
             fingerprint,
-            inner: Mutex::new(LogInner {
-                base: 0,
+            inner: Mutex::new(inner),
+            grew: Condvar::new(),
+            epoch_cell: AtomicU64::new(epoch),
+            leases: Mutex::new(HashMap::new()),
+            lease_seq: AtomicU64::new(0),
+            lease_ttl_ms: AtomicU64::new(DEFAULT_LEASE.as_millis() as u64),
+            held_bytes: AtomicU64::new(0),
+        })
+    }
+
+    /// A log with no on-disk journal (tests, the in-process harness),
+    /// starting at offset 0 under epoch 1.
+    pub fn in_memory(fingerprint: u32) -> Arc<Self> {
+        Self::in_memory_at(fingerprint, 0, 1)
+    }
+
+    /// An in-memory log resuming at `base` under `epoch` — a journal-less
+    /// follower bootstrapped from a snapshot attaches one of these so it
+    /// can relay segments downstream.
+    pub fn in_memory_at(fingerprint: u32, base: u64, epoch: u64) -> Arc<Self> {
+        Self::build(
+            fingerprint,
+            LogInner {
+                base,
                 ops: VecDeque::new(),
                 durable: None,
-            }),
-            grew: Condvar::new(),
-        })
+                epoch,
+            },
+        )
     }
 
     /// A journal-backed log seeded with what [`JournalStore::recover_all`]
     /// found; opens a fresh journal file at the recovered head (never
-    /// appending past a torn tail).
+    /// appending past a torn tail) under the recovered epoch (floored at
+    /// 1 — epoch 0 is reserved for "no claim").
     ///
     /// # Errors
     ///
     /// Propagates journal-file I/O failures.
     pub fn durable(store: JournalStore, recovered: &Recovered) -> Result<Arc<Self>, ServeError> {
+        Self::durable_at_epoch(store, recovered, recovered.epoch.max(1))
+    }
+
+    /// As [`durable`](Self::durable) but opening under an explicit
+    /// `epoch` — the promotion path passes the recovered epoch plus one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates journal-file I/O failures.
+    pub fn durable_at_epoch(
+        store: JournalStore,
+        recovered: &Recovered,
+        epoch: u64,
+    ) -> Result<Arc<Self>, ServeError> {
         let head = recovered.head();
-        let writer = store.create_writer(head)?;
-        Ok(Arc::new(ReplicationLog {
-            fingerprint: store.fingerprint,
-            inner: Mutex::new(LogInner {
+        let writer = store.create_writer(head, epoch)?;
+        Ok(Self::build(
+            store.fingerprint,
+            LogInner {
                 base: recovered.base,
                 ops: recovered.ops.iter().copied().collect(),
                 durable: Some(DurableTail { store, writer }),
-            }),
-            grew: Condvar::new(),
-        }))
+                epoch,
+            },
+        ))
     }
 
     /// The compatibility fingerprint this log was opened under.
     pub fn fingerprint(&self) -> u32 {
         self.fingerprint
+    }
+
+    /// The current fencing term. Leaders author segments under it;
+    /// followers track the highest epoch they have observed.
+    pub fn epoch(&self) -> u64 {
+        self.epoch_cell.load(Ordering::SeqCst)
+    }
+
+    /// Adopts `epoch` if it is newer than the current term, rotating the
+    /// journal so the adoption is durable (a restarted follower must not
+    /// trust a leader it already saw deposed). Returns whether the term
+    /// advanced.
+    ///
+    /// # Errors
+    ///
+    /// Propagates journal rotation failures (the epoch is *not* adopted
+    /// then, so the durable and in-memory terms never disagree).
+    pub fn observe_epoch(&self, epoch: u64) -> Result<bool, ServeError> {
+        let mut inner = self.lock();
+        if epoch <= inner.epoch {
+            return Ok(false);
+        }
+        let head = inner.base + inner.ops.len() as u64;
+        if let Some(d) = inner.durable.as_mut() {
+            d.writer = d.store.create_writer(head, epoch)?;
+        }
+        inner.epoch = epoch;
+        self.epoch_cell.store(epoch, Ordering::SeqCst);
+        Ok(true)
+    }
+
+    /// Promotes this log to a new term: the new epoch is
+    /// `max(current + 1, at_least)`, made durable by rotating the
+    /// journal before it is published. Returns the new epoch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates journal rotation failures (the term does not advance).
+    pub fn bump_epoch(&self, at_least: u64) -> Result<u64, ServeError> {
+        let mut inner = self.lock();
+        let next = (inner.epoch + 1).max(at_least);
+        let head = inner.base + inner.ops.len() as u64;
+        if let Some(d) = inner.durable.as_mut() {
+            d.writer = d.store.create_writer(head, next)?;
+        }
+        inner.epoch = next;
+        self.epoch_cell.store(next, Ordering::SeqCst);
+        Ok(next)
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, LogInner> {
@@ -384,6 +538,7 @@ impl ReplicationLog {
                 let take = ((head - from) as usize).min(max_ops);
                 let ops = inner.ops.iter().skip(skip).take(take).copied().collect();
                 return Ok(Segment {
+                    epoch: inner.epoch,
                     start: from,
                     head,
                     ops,
@@ -392,6 +547,7 @@ impl ReplicationLog {
             let now = Instant::now();
             if now >= deadline {
                 return Ok(Segment {
+                    epoch: inner.epoch,
                     start: from,
                     head,
                     ops: Vec::new(),
@@ -405,28 +561,151 @@ impl ReplicationLog {
         }
     }
 
+    /// Grants a time-boxed downstream lease at `offset`: until it
+    /// expires (or is released), [`compact`](Self::compact) will not
+    /// reclaim operations at or above `offset`. Subscribers renew by
+    /// calling [`lease_renew`](Self::lease_renew) after each shipped
+    /// segment.
+    pub fn lease_grant(&self, offset: u64) -> LeaseId {
+        let id = self.lease_seq.fetch_add(1, Ordering::SeqCst);
+        let mut leases = self.leases.lock().expect("lease table poisoned");
+        leases.insert(
+            id,
+            Lease {
+                offset,
+                expires: Instant::now() + self.lease_ttl(),
+            },
+        );
+        LeaseId(id)
+    }
+
+    /// Advances a lease to `offset` and extends its expiry by the lease
+    /// TTL. A lapsed lease is revived — the subscriber demonstrably
+    /// still holds the stream.
+    pub fn lease_renew(&self, id: LeaseId, offset: u64) {
+        let mut leases = self.leases.lock().expect("lease table poisoned");
+        leases.insert(
+            id.0,
+            Lease {
+                offset,
+                expires: Instant::now() + self.lease_ttl(),
+            },
+        );
+    }
+
+    /// Drops a lease; its offset no longer pins compaction.
+    pub fn lease_release(&self, id: LeaseId) {
+        let mut leases = self.leases.lock().expect("lease table poisoned");
+        leases.remove(&id.0);
+    }
+
+    /// The number of live (unexpired) downstream leases.
+    pub fn lease_count(&self) -> u64 {
+        let now = Instant::now();
+        let leases = self.leases.lock().expect("lease table poisoned");
+        leases.values().filter(|l| l.expires > now).count() as u64
+    }
+
+    /// The slowest live lease offset, dropping expired entries.
+    fn lease_floor(&self) -> Option<u64> {
+        let now = Instant::now();
+        let mut leases = self.leases.lock().expect("lease table poisoned");
+        leases.retain(|_, l| l.expires > now);
+        leases.values().map(|l| l.offset).min()
+    }
+
+    /// The duration a granted lease stays live without renewal.
+    pub fn lease_ttl(&self) -> Duration {
+        Duration::from_millis(self.lease_ttl_ms.load(Ordering::SeqCst))
+    }
+
+    /// Sets the lease TTL ([`DEFAULT_LEASE`] until then). Advertised to
+    /// downstreams in every segment header, so their failure detectors
+    /// and this log's compaction floor agree on when a claim lapses.
+    /// Applies to leases granted or renewed from now on.
+    pub fn set_lease_ttl(&self, ttl: Duration) {
+        let ms = u64::try_from(ttl.as_millis()).unwrap_or(u64::MAX).max(1);
+        self.lease_ttl_ms.store(ms, Ordering::SeqCst);
+    }
+
+    /// Bytes the last compaction pass left on disk only because a live
+    /// downstream lease pinned them.
+    pub fn held_bytes(&self) -> u64 {
+        self.held_bytes.load(Ordering::SeqCst)
+    }
+
     /// Called after a snapshot at sequence `floor` became durable:
     /// rotates the journal to a fresh file at the head and drops
-    /// operations below `floor` from memory and disk — followers older
-    /// than the snapshot horizon re-bootstrap instead.
+    /// operations below the effective floor from memory and disk —
+    /// followers older than the snapshot horizon re-bootstrap instead.
+    ///
+    /// The effective floor is `floor` lowered to the slowest live
+    /// downstream lease, so a segment a live subscriber may still ask
+    /// for is never reclaimed; bytes pinned that way are reported in
+    /// [`CompactStats::held_bytes`] (and the
+    /// `csp_repl_compact_held_bytes` gauge).
     ///
     /// # Errors
     ///
-    /// Propagates journal-file I/O failures (the in-memory log is left
-    /// consistent either way).
-    pub fn compact(&self, floor: u64) -> Result<(), ServeError> {
+    /// Propagates journal rotation failures (the in-memory log is left
+    /// consistent either way). A segment file that vanishes mid-prune —
+    /// e.g. a racing unlink — is tolerated, not an error.
+    pub fn compact(&self, floor: u64) -> Result<CompactStats, ServeError> {
         let mut inner = self.lock();
         let head = inner.base + inner.ops.len() as u64;
-        let floor = floor.min(head);
+        let requested = floor.min(head);
+        let effective = match self.lease_floor() {
+            Some(leased) => requested.min(leased),
+            None => requested,
+        };
+        let mut stats = CompactStats {
+            floor: effective,
+            reclaimed_bytes: 0,
+            held_bytes: 0,
+        };
+        let base = inner.base;
+        let epoch = inner.epoch;
         if let Some(d) = inner.durable.as_mut() {
-            d.writer = d.store.create_writer(head)?;
-            d.store.prune_below(floor)?;
+            if effective > base {
+                d.writer = d.store.create_writer(head, epoch)?;
+                stats.reclaimed_bytes = d.store.prune_below(effective)?;
+            }
+            if effective < requested {
+                stats.held_bytes = d.store.bytes_below(requested).unwrap_or(0);
+            }
         }
-        while inner.base < floor {
+        self.held_bytes.store(stats.held_bytes, Ordering::SeqCst);
+        while inner.base < effective {
             inner.ops.pop_front();
             inner.base += 1;
         }
-        Ok(())
+        Ok(stats)
+    }
+
+    /// Registers this log's gauges — current epoch, live downstream
+    /// leases, and compaction bytes held by laggards — on `registry`.
+    pub fn bind_metrics(self: &Arc<Self>, registry: &Registry) {
+        let log = Arc::clone(self);
+        registry.register_gauge_fn(
+            "csp_repl_epoch",
+            "Current replication fencing epoch",
+            &[],
+            move || log.epoch() as i64,
+        );
+        let log = Arc::clone(self);
+        registry.register_gauge_fn(
+            "csp_repl_downstream_leases",
+            "Live downstream subscriber leases",
+            &[],
+            move || log.lease_count() as i64,
+        );
+        let log = Arc::clone(self);
+        registry.register_gauge_fn(
+            "csp_repl_compact_held_bytes",
+            "Journal bytes pinned by the slowest live downstream lease",
+            &[],
+            move || log.held_bytes() as i64,
+        );
     }
 }
 
@@ -437,6 +716,9 @@ pub struct Recovered {
     pub base: u64,
     /// Every durable operation from `base`, in log order.
     pub ops: Vec<ReplOp>,
+    /// The highest fencing epoch any journal file was written under
+    /// (0 for pre-epoch `CSPJRNL1` journals and empty directories).
+    pub epoch: u64,
 }
 
 impl Recovered {
@@ -523,6 +805,7 @@ impl JournalStore {
             return Ok(Recovered::default());
         };
         let mut ops = Vec::new();
+        let mut epoch = 0u64;
         let last = files.len() - 1;
         for (i, (start, path)) in files.iter().enumerate() {
             let expected = base + ops.len() as u64;
@@ -565,21 +848,27 @@ impl JournalStore {
                     ),
                 });
             }
+            epoch = epoch.max(contents.header.epoch);
             for seg in &contents.segments {
                 let decoded =
                     decode_ops(seg.count, &seg.records).map_err(|e| ServeError::io(path, e))?;
                 ops.extend(decoded);
             }
         }
-        Ok(Recovered { base, ops })
+        Ok(Recovered { base, ops, epoch })
     }
 
-    /// Starts a new journal file whose first operation will be `start`.
+    /// Starts a new journal file whose first operation will be `start`,
+    /// stamped with the fencing `epoch` it is written under.
     ///
     /// # Errors
     ///
     /// [`ServeError::Io`] when the file cannot be created.
-    pub fn create_writer(&self, start: u64) -> Result<SegmentWriter<BufWriter<File>>, ServeError> {
+    pub fn create_writer(
+        &self,
+        start: u64,
+        epoch: u64,
+    ) -> Result<SegmentWriter<BufWriter<File>>, ServeError> {
         let path = self.path_for(start);
         let file = File::create(&path).map_err(|e| ServeError::io(&path, e))?;
         SegmentWriter::create(
@@ -587,6 +876,7 @@ impl JournalStore {
             &JournalHeader {
                 fingerprint: self.fingerprint,
                 start_offset: start,
+                epoch,
             },
         )
         .map_err(|e| ServeError::io(&path, e))
@@ -594,19 +884,64 @@ impl JournalStore {
 
     /// Deletes journal files made wholly redundant by a durable snapshot
     /// at `floor` (a file goes once the *next* file starts at or below
-    /// `floor`; the newest file always stays).
+    /// `floor`; the newest file always stays). Returns the bytes
+    /// reclaimed from disk.
+    ///
+    /// A file that vanishes between listing and unlinking — a racing
+    /// compactor, an operator `rm` — is treated as already reclaimed by
+    /// someone else, not an error; likewise a journal directory that was
+    /// removed wholesale yields 0 rather than failing.
     ///
     /// # Errors
     ///
-    /// [`ServeError::Io`] when a redundant file cannot be removed.
-    pub fn prune_below(&self, floor: u64) -> Result<(), ServeError> {
-        let files = self.list()?;
+    /// [`ServeError::Io`] when a redundant file exists but cannot be
+    /// removed (permissions, I/O faults).
+    pub fn prune_below(&self, floor: u64) -> Result<u64, ServeError> {
+        let files = match self.list() {
+            Ok(files) => files,
+            Err(ServeError::Io { source, .. }) if source.kind() == io::ErrorKind::NotFound => {
+                return Ok(0);
+            }
+            Err(e) => return Err(e),
+        };
+        let mut reclaimed = 0u64;
         for pair in files.windows(2) {
             if pair[1].0 <= floor {
-                std::fs::remove_file(&pair[0].1).map_err(|e| ServeError::io(&pair[0].1, e))?;
+                let path = &pair[0].1;
+                let len = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+                match std::fs::remove_file(path) {
+                    Ok(()) => reclaimed += len,
+                    Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                    Err(e) => return Err(ServeError::io(path, e)),
+                }
             }
         }
-        Ok(())
+        Ok(reclaimed)
+    }
+
+    /// The on-disk bytes of journal files wholly below `floor` (the
+    /// files [`prune_below`](Self::prune_below) would delete) — what a
+    /// laggard lease is currently pinning.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on directory-listing failures other than a
+    /// missing directory (which yields 0).
+    pub fn bytes_below(&self, floor: u64) -> Result<u64, ServeError> {
+        let files = match self.list() {
+            Ok(files) => files,
+            Err(ServeError::Io { source, .. }) if source.kind() == io::ErrorKind::NotFound => {
+                return Ok(0);
+            }
+            Err(e) => return Err(e),
+        };
+        let mut pinned = 0u64;
+        for pair in files.windows(2) {
+            if pair[1].0 <= floor {
+                pinned += std::fs::metadata(&pair[0].1).map(|m| m.len()).unwrap_or(0);
+            }
+        }
+        Ok(pinned)
     }
 }
 
@@ -658,6 +993,7 @@ pub struct ReplicaStatus {
     resyncs: AtomicU64,
     diverged: AtomicU64,
     last_segment_unix_ms: AtomicU64,
+    lease_ms: AtomicU64,
 }
 
 impl ReplicaStatus {
@@ -703,6 +1039,24 @@ impl ReplicaStatus {
     /// Whether the follower has detected divergence from its leader.
     pub fn is_diverged(&self) -> bool {
         self.diverged.load(Ordering::Relaxed) == 1
+    }
+
+    /// The lease TTL (milliseconds) the leader advertised on the most
+    /// recent segment; 0 until a fenced leader has been heard from.
+    pub fn lease_ms(&self) -> u64 {
+        self.lease_ms.load(Ordering::Relaxed)
+    }
+
+    /// Milliseconds since the last segment (heartbeats included), or
+    /// `None` before the first — the failure-detection clock: once this
+    /// exceeds the advertised lease, the leader's claim has lapsed.
+    pub fn last_segment_age_ms(&self) -> Option<u64> {
+        let last = self.last_segment_unix_ms.load(Ordering::Relaxed);
+        if last == 0 {
+            None
+        } else {
+            Some(Self::now_ms().saturating_sub(last))
+        }
     }
 
     fn now_ms() -> u64 {
@@ -823,35 +1177,44 @@ fn interruptible_sleep(shutdown: &ShutdownHandle, dur: Duration) {
     }
 }
 
-/// The follower's streaming loop: subscribe at the durable offset, apply
-/// segments in order (journal first, then shards), and on any failure
-/// degrade to serving stale-but-consistent predictions while
-/// reconnecting with exponential backoff + jitter. Runs until `shutdown`
-/// fires; `leader` is re-queried on every dial so the leader address may
-/// move (e.g. a failover rewriting an address file).
+/// The follower's streaming loop: subscribe at the attached log's head,
+/// apply segments in order (journal first, then shards — through the
+/// engine's attached [`ReplicationLog`], so downstream subscribers of
+/// *this* node are fed the same total order), and on any failure degrade
+/// to serving stale-but-consistent predictions while reconnecting with
+/// exponential backoff + jitter. Runs until `shutdown` fires; `leader`
+/// is re-queried on every dial so the leader address may move (e.g. a
+/// failover rewriting an address file).
 ///
-/// The engine must have been marked a follower and must *not* have a
-/// replication log attached (followers replicate, they don't originate).
+/// Epoch fencing: segments carrying a *lower* epoch than the log has
+/// observed come from a deposed leader — the connection is dropped (and
+/// re-dialed, picking up the re-parented address) without applying
+/// anything. A *higher* epoch is durably adopted before its first
+/// operation is applied.
+///
+/// The engine must have been marked a follower and must have a
+/// replication log attached (the relay point for chained fan-out).
 ///
 /// # Errors
 ///
-/// Only local durability failures (journal create/append) end the loop
-/// with an error — network failures never do, they back off and retry.
+/// [`ServeError::Replication`] when the engine has no log attached.
+/// After that, only local durability failures (journal rotation/append)
+/// end the loop with an error — network failures never do, they back
+/// off and retry.
 pub fn run_follower(
     engine: &ShardedEngine,
     mut leader: impl FnMut() -> Option<String>,
-    start: u64,
-    journal: Option<&JournalStore>,
     status: &Arc<ReplicaStatus>,
     shutdown: &ShutdownHandle,
     opts: &FollowerOptions,
 ) -> Result<(), ServeError> {
     let fp = fingerprint(engine.scheme(), engine.nodes());
-    let mut offset = start;
-    let mut writer = match journal {
-        Some(store) => Some(store.create_writer(offset)?),
-        None => None,
-    };
+    let log = engine
+        .replication()
+        .ok_or_else(|| ServeError::Replication {
+            detail: "follower loop needs a replication log attached to relay from".to_string(),
+        })?;
+    let mut offset = log.head();
     let mut rng = crate::bench::SplitMix64(opts.jitter_seed);
     let mut attempt: u32 = 0;
     let mut ever_synced = false;
@@ -882,6 +1245,7 @@ pub fn run_follower(
             &mut sender,
             &Request::Subscribe {
                 fingerprint: fp,
+                epoch: log.epoch(),
                 from: offset,
             },
         )
@@ -903,12 +1267,21 @@ pub fn run_follower(
                 // wedged), or garbage: drop the connection and retry.
                 _ => break,
             };
+            if seg.epoch != 0 && seg.epoch < log.epoch() {
+                // A deposed leader still streaming under its old term:
+                // not divergence, just staleness. Re-dial — the address
+                // source will have been re-parented by the promotion.
+                break;
+            }
             if seg.fingerprint != fp || seg.start != offset {
                 // The stream is not a continuation of our history.
                 status.diverged.store(1, Ordering::Relaxed);
                 break;
             }
             status.diverged.store(0, Ordering::Relaxed);
+            // Adopt a newer term durably *before* applying anything
+            // written under it.
+            log.observe_epoch(seg.epoch)?;
             if !synced_this_conn {
                 synced_this_conn = true;
                 attempt = 0;
@@ -919,22 +1292,22 @@ pub fn run_follower(
                 status.connected.store(1, Ordering::Relaxed);
             }
             if !seg.ops.is_empty() {
-                // Durable first, then the shards: a crash between the
-                // two re-applies from the journal onto the snapshot at
-                // restart, so nothing is lost and nothing doubles.
-                if let Some(w) = writer.as_mut() {
-                    for chunk in seg.ops.chunks(MAX_SEGMENT_OPS) {
-                        w.append(chunk.len() as u32, &encode_ops(chunk))
-                            .map_err(ServeError::from)?;
-                    }
-                }
-                let ingest: Vec<IngestOp> = seg.ops.iter().map(ReplOp::to_ingest).collect();
-                engine.ingest_ops(ingest);
+                // Durable first, then the shards (engine.ingest_replicated
+                // runs journal append → shard dispatch → in-memory publish
+                // under the log lock): a crash between journal and shards
+                // re-applies from the journal onto the snapshot at
+                // restart, so nothing is lost and nothing doubles — and
+                // the publish feeds our own downstream subscribers.
+                offset = engine.ingest_replicated(seg.epoch, &seg.ops)?;
                 engine.flush();
-                offset += seg.ops.len() as u64;
             }
             status.applied.store(offset, Ordering::Relaxed);
             status.leader_head.store(seg.head, Ordering::Relaxed);
+            if seg.lease_ms != 0 {
+                status
+                    .lease_ms
+                    .store(u64::from(seg.lease_ms), Ordering::Relaxed);
+            }
             status
                 .last_segment_unix_ms
                 .store(ReplicaStatus::now_ms(), Ordering::Relaxed);
@@ -964,12 +1337,15 @@ fn backoff(
     interruptible_sleep(shutdown, base + Duration::from_nanos(u64::from(jitter_ns)));
 }
 
-/// Builds the [`SegmentFrame`] for one cut segment.
-pub(crate) fn segment_frame(fingerprint: u32, seg: &Segment) -> SegmentFrame {
+/// Builds the [`SegmentFrame`] for one cut segment, advertising the
+/// serving log's lease TTL so downstreams know when the claim lapses.
+pub(crate) fn segment_frame(fingerprint: u32, lease_ms: u32, seg: &Segment) -> SegmentFrame {
     SegmentFrame {
         fingerprint,
+        epoch: seg.epoch,
         start: seg.start,
         head: seg.head,
+        lease_ms,
         ops: seg.ops.clone(),
     }
 }
@@ -1169,16 +1545,144 @@ mod tests {
         let dir = TempDir::new("abort");
         let store = JournalStore::open(dir.path(), 9).unwrap();
         let log = ReplicationLog::durable(store, &Recovered::default()).unwrap();
+        log.append_with(&ops(2, 3), || ()).unwrap();
         // Remove the directory out from under the *next rotation* to
-        // force an append failure path: simplest reliable trigger is a
-        // compact() against a deleted directory.
+        // force an append failure path.
         fs::remove_dir_all(dir.path()).unwrap();
+        // A floor with nothing to reclaim is a tolerant no-op even with
+        // the directory gone (the satellite fix: a racing cleanup must
+        // not fail compaction).
+        let stats = log.compact(0).unwrap();
+        assert_eq!(stats.reclaimed_bytes, 0);
+        // A real floor needs a journal rotation, which must fail loudly:
+        // losing durability is not tolerable.
+        assert!(log.compact(3).is_err());
         let ran = std::cell::Cell::new(false);
-        // The current writer's fd is still valid, so appends succeed;
-        // but rotation must fail and leave the log consistent.
-        assert!(log.compact(0).is_err());
+        // The current writer's fd is still valid, so appends succeed and
+        // the log stays consistent.
         let (head, ()) = log.append_with(&ops(2, 3), || ran.set(true)).unwrap();
         assert!(ran.get());
-        assert_eq!(head, 3);
+        assert_eq!(head, 6);
+    }
+
+    #[test]
+    fn compact_reports_reclaimed_bytes() {
+        let dir = TempDir::new("reclaim");
+        let store = JournalStore::open(dir.path(), 9).unwrap();
+        let log = ReplicationLog::durable(store, &Recovered::default()).unwrap();
+        log.append_with(&ops(5, 40), || ()).unwrap();
+        let stats = log.compact(40).unwrap();
+        assert_eq!(stats.floor, 40);
+        // The pre-rotation file held 40 encoded ops plus framing.
+        assert!(stats.reclaimed_bytes > 40 * REPL_OP_LEN as u64);
+        assert_eq!(stats.held_bytes, 0);
+        assert_eq!(log.oldest(), 40);
+    }
+
+    #[test]
+    fn prune_tolerates_racing_unlinks() {
+        let dir = TempDir::new("race");
+        let store = JournalStore::open(dir.path(), 9).unwrap();
+        let mut w = store.create_writer(0, 1).unwrap();
+        w.append(3, &encode_ops(&ops(1, 3))).unwrap();
+        drop(w);
+        let _w2 = store.create_writer(3, 1).unwrap();
+        // Someone else unlinks the redundant file between our listing
+        // and our remove: prune must not fail, and reports 0 reclaimed.
+        let victim = store.list().unwrap()[0].1.clone();
+        fs::remove_file(&victim).unwrap();
+        assert_eq!(store.prune_below(3).unwrap(), 0);
+    }
+
+    #[test]
+    fn compaction_respects_live_leases_and_reports_held_bytes() {
+        let dir = TempDir::new("lease");
+        let store = JournalStore::open(dir.path(), 9).unwrap();
+        let log = ReplicationLog::durable(store, &Recovered::default()).unwrap();
+        log.append_with(&ops(5, 20), || ()).unwrap();
+        // A live downstream at offset 5 pins the horizon.
+        let lease = log.lease_grant(5);
+        assert_eq!(log.lease_count(), 1);
+        let stats = log.compact(20).unwrap();
+        assert_eq!(stats.floor, 5);
+        assert_eq!(stats.reclaimed_bytes, 0);
+        assert!(stats.held_bytes > 0);
+        assert_eq!(log.held_bytes(), stats.held_bytes);
+        assert_eq!(log.oldest(), 5);
+        // The laggard's offset is still servable.
+        assert!(log.wait_segment(5, 100, Duration::from_millis(5)).is_ok());
+        // Released, the same floor reclaims the pinned bytes.
+        log.lease_release(lease);
+        assert_eq!(log.lease_count(), 0);
+        let stats = log.compact(20).unwrap();
+        assert_eq!(stats.floor, 20);
+        assert!(stats.reclaimed_bytes > 0);
+        assert_eq!(stats.held_bytes, 0);
+        assert_eq!(log.held_bytes(), 0);
+        assert_eq!(log.oldest(), 20);
+    }
+
+    #[test]
+    fn observe_epoch_adopts_only_newer_terms() {
+        let log = ReplicationLog::in_memory(1);
+        assert_eq!(log.epoch(), 1);
+        assert!(!log.observe_epoch(1).unwrap());
+        assert!(log.observe_epoch(5).unwrap());
+        assert_eq!(log.epoch(), 5);
+        assert!(!log.observe_epoch(3).unwrap());
+        assert_eq!(log.epoch(), 5);
+        assert_eq!(log.bump_epoch(0).unwrap(), 6);
+        assert_eq!(log.bump_epoch(10).unwrap(), 10);
+    }
+
+    #[test]
+    fn segments_carry_the_current_epoch() {
+        let log = ReplicationLog::in_memory_at(1, 0, 4);
+        log.append_with(&ops(3, 2), || ()).unwrap();
+        let seg = log.wait_segment(0, 100, Duration::from_millis(5)).unwrap();
+        assert_eq!(seg.epoch, 4);
+        log.bump_epoch(0).unwrap();
+        let seg = log.wait_segment(0, 100, Duration::from_millis(5)).unwrap();
+        assert_eq!(seg.epoch, 5);
+    }
+
+    #[test]
+    fn epoch_bump_is_durable_across_restart_and_torn_tail() {
+        let dir = TempDir::new("epoch-durable");
+        let batch = ops(17, 15);
+        {
+            let store = JournalStore::open(dir.path(), 3).unwrap();
+            let log = ReplicationLog::durable(store, &Recovered::default()).unwrap();
+            assert_eq!(log.epoch(), 1);
+            log.append_with(&batch[..10], || ()).unwrap();
+            // Promotion: the new term is journaled before it's live.
+            assert_eq!(log.bump_epoch(0).unwrap(), 2);
+            log.append_with(&batch[10..], || ()).unwrap();
+        }
+        let store = JournalStore::open(dir.path(), 3).unwrap();
+        let recovered = store.recover_all().unwrap();
+        assert_eq!(recovered.head(), 15);
+        assert_eq!(recovered.epoch, 2);
+        // Tear the tail of the newest (post-bump) file mid-segment: the
+        // epoch claim survives because it lives in the header, and the
+        // re-open-as-leader path resumes at the clean durable prefix.
+        let (_, path) = store.list().unwrap().pop().unwrap();
+        let bytes = fs::read(&path).unwrap();
+        let cut = Mutation::Truncate {
+            len: bytes.len() - 7,
+        }
+        .apply(&bytes);
+        fs::write(&path, cut).unwrap();
+        let recovered = store.recover_all().unwrap();
+        assert_eq!(recovered.head(), 10);
+        assert_eq!(recovered.epoch, 2);
+        // Re-open as leader under the next term.
+        let next = recovered.epoch + 1;
+        let log = ReplicationLog::durable_at_epoch(store, &recovered, next).unwrap();
+        assert_eq!(log.epoch(), 3);
+        assert_eq!(log.head(), 10);
+        drop(log);
+        let store = JournalStore::open(dir.path(), 3).unwrap();
+        assert_eq!(store.recover_all().unwrap().epoch, 3);
     }
 }

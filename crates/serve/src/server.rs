@@ -21,6 +21,7 @@
 //!   that makes [`Server::run`] stop accepting, drain in-flight
 //!   connections, and return, so the owner can take a final snapshot.
 
+use crate::error::ServeError;
 use crate::replication::{self, SegmentError, MAX_SEGMENT_OPS};
 use crate::shard::ShardedEngine;
 use crate::wire::{self, FrameRead, Request, Response, StatsReply};
@@ -125,6 +126,13 @@ enum Listener {
     Unix(UnixListener),
 }
 
+/// Callback a [`Server`] invokes on a wire [`Request::Promote`] (after
+/// the fingerprint check): perform the whole promotion — epoch bump,
+/// follower-loop stop, leader flip, address re-parenting — and return
+/// the new `(epoch, head)`, or a message for the error frame. Must be
+/// idempotent: operators retry promotion.
+pub type PromoteHook = Arc<dyn Fn(u64) -> Result<(u64, u64), String> + Send + Sync>;
+
 /// A prediction server bound to a socket, not yet accepting.
 ///
 /// [`run`](Server::run) accepts until [`shutdown_handle`](Server::shutdown_handle)
@@ -135,6 +143,7 @@ pub struct Server {
     engine: Arc<ShardedEngine>,
     options: ServerOptions,
     shutdown: ShutdownHandle,
+    promote: Option<PromoteHook>,
 }
 
 impl Server {
@@ -149,6 +158,7 @@ impl Server {
             engine,
             options: ServerOptions::default(),
             shutdown: ShutdownHandle::new(),
+            promote: None,
         })
     }
 
@@ -167,6 +177,7 @@ impl Server {
             engine,
             options: ServerOptions::default(),
             shutdown: ShutdownHandle::new(),
+            promote: None,
         })
     }
 
@@ -174,6 +185,17 @@ impl Server {
     #[must_use]
     pub fn with_options(mut self, options: ServerOptions) -> Self {
         self.options = options;
+        self
+    }
+
+    /// Installs the promotion callback wire [`Request::Promote`] frames
+    /// invoke. Without one, promotion falls back to the log-level
+    /// default in [`answer`] (epoch bump + leader flip), which suffices
+    /// for a standalone replica but cannot stop a follower loop or
+    /// re-parent downstreams.
+    #[must_use]
+    pub fn with_promote_hook(mut self, hook: PromoteHook) -> Self {
+        self.promote = Some(hook);
         self
     }
 
@@ -272,12 +294,20 @@ impl Server {
         let engine = Arc::clone(&self.engine);
         let options = self.options;
         let shutdown = self.shutdown.clone();
+        let promote = self.promote.clone();
         let active = Arc::clone(active);
         active.fetch_add(1, Ordering::AcqRel);
         std::thread::spawn(move || {
             let reader = BufReader::new(&stream);
             let writer = BufWriter::new(&stream);
-            let _ = serve_connection(reader, writer, &engine, &options, &shutdown);
+            let _ = serve_connection_with(
+                reader,
+                writer,
+                &engine,
+                &options,
+                &shutdown,
+                promote.as_ref(),
+            );
             active.fetch_sub(1, Ordering::AcqRel);
         });
     }
@@ -300,6 +330,7 @@ struct WireMetrics {
     metrics: Arc<Counter>,
     ingest: Arc<Counter>,
     subscribe: Arc<Counter>,
+    promote: Arc<Counter>,
     invalid: Arc<Counter>,
 }
 
@@ -345,6 +376,7 @@ impl WireMetrics {
             metrics: frames("metrics"),
             ingest: frames("ingest"),
             subscribe: frames("subscribe"),
+            promote: frames("promote"),
             invalid: frames("invalid"),
         }
     }
@@ -358,6 +390,7 @@ impl WireMetrics {
             Request::Metrics => self.metrics.inc(),
             Request::Ingest { .. } => self.ingest.inc(),
             Request::Subscribe { .. } => self.subscribe.inc(),
+            Request::Promote { .. } => self.promote.inc(),
         }
     }
 }
@@ -427,11 +460,29 @@ fn send_error<W: Write>(writer: &mut W, msg: String) -> io::Result<()> {
 ///
 /// Propagates transport I/O errors (the connection is gone either way).
 pub fn serve_connection<R: Read, W: Write>(
+    reader: R,
+    writer: W,
+    engine: &ShardedEngine,
+    options: &ServerOptions,
+    shutdown: &ShutdownHandle,
+) -> io::Result<()> {
+    serve_connection_with(reader, writer, engine, options, shutdown, None)
+}
+
+/// [`serve_connection`] with an optional [`PromoteHook`] for wire
+/// [`Request::Promote`] frames (what [`Server::with_promote_hook`]
+/// installs per connection).
+///
+/// # Errors
+///
+/// Propagates transport I/O errors (the connection is gone either way).
+pub fn serve_connection_with<R: Read, W: Write>(
     mut reader: R,
     mut writer: W,
     engine: &ShardedEngine,
     options: &ServerOptions,
     shutdown: &ShutdownHandle,
+    promote: Option<&PromoteHook>,
 ) -> io::Result<()> {
     let metrics = WireMetrics::new(engine.registry());
     let _active = ActiveConnection::open(&metrics);
@@ -480,12 +531,51 @@ pub fn serve_connection<R: Read, W: Write>(
                 ))
             }
             FrameRead::Frame(payload) => match wire::decode_request(&payload) {
-                Ok(Request::Subscribe { fingerprint, from }) => {
+                Ok(Request::Subscribe {
+                    fingerprint,
+                    epoch,
+                    from,
+                }) => {
                     // Subscribe abandons request/response: the connection
                     // becomes a one-way segment stream until it drops.
-                    metrics.count_request(&Request::Subscribe { fingerprint, from });
+                    metrics.count_request(&Request::Subscribe {
+                        fingerprint,
+                        epoch,
+                        from,
+                    });
                     metrics.decode_ns.record_duration(decode_started.elapsed());
-                    return stream_segments(&mut writer, engine, shutdown, fingerprint, from);
+                    return stream_segments(
+                        &mut writer,
+                        engine,
+                        shutdown,
+                        fingerprint,
+                        epoch,
+                        from,
+                    );
+                }
+                Ok(
+                    request @ Request::Promote {
+                        fingerprint,
+                        min_epoch,
+                    },
+                ) if promote.is_some() => {
+                    metrics.count_request(&request);
+                    metrics.decode_ns.record_duration(decode_started.elapsed());
+                    let expected = replication::fingerprint(engine.scheme(), engine.nodes());
+                    if fingerprint != expected {
+                        Response::Error(format!(
+                            "promote fingerprint mismatch: got {fingerprint:#010X}, \
+                             engine is {expected:#010X} (scheme/width/revision differ)"
+                        ))
+                    } else {
+                        match promote.map(|hook| hook(min_epoch)) {
+                            Some(Ok((epoch, head))) => Response::Promoted { epoch, head },
+                            Some(Err(msg)) => Response::Error(format!("promotion failed: {msg}")),
+                            // Unreachable: the match arm is guarded by
+                            // `promote.is_some()`.
+                            None => Response::Error("no promotion hook installed".to_string()),
+                        }
+                    }
                 }
                 Ok(request) => {
                     metrics.count_request(&request);
@@ -517,18 +607,26 @@ pub fn serve_connection<R: Read, W: Write>(
 
 /// Streams journal segments to a subscribed follower until the
 /// connection drops, shutdown fires, or the subscription is
-/// disqualified (wrong fingerprint, compacted-away offset, an offset
-/// past the head). Heartbeat (empty) segments flow while the log is
-/// idle so the follower can watch lag and liveness.
+/// disqualified (wrong fingerprint, a subscriber ahead of this server's
+/// epoch, compacted-away offset, an offset past the head). Heartbeat
+/// (empty) segments flow while the log is idle so the follower can
+/// watch lag and liveness.
+///
+/// The subscriber holds a compaction lease for the duration of the
+/// stream, renewed per shipped segment: the horizon it may still ask
+/// for is never reclaimed under it (see
+/// [`replication::ReplicationLog::compact`]).
 ///
 /// A follower that stops reading fills its socket buffers and trips the
 /// server's write deadline here — backpressure cuts the slow subscriber
-/// instead of wedging the handler thread or buffering unboundedly.
+/// instead of wedging the handler thread or buffering unboundedly (its
+/// lease then lapses after the TTL, unpinning compaction).
 fn stream_segments<W: Write>(
     writer: &mut W,
     engine: &ShardedEngine,
     shutdown: &ShutdownHandle,
     fingerprint: u32,
+    peer_epoch: u64,
     from: u64,
 ) -> io::Result<()> {
     let Some(log) = engine.replication() else {
@@ -547,13 +645,30 @@ fn stream_segments<W: Write>(
             ),
         );
     }
+    if peer_epoch > log.epoch() {
+        // The subscriber has seen a newer term than ours: we are the
+        // stale side. Refuse to serve deposed history.
+        return send_error(
+            writer,
+            format!(
+                "fenced: this server's epoch {} is behind the subscriber's {peer_epoch}; \
+                 find the current leader",
+                log.epoch()
+            ),
+        );
+    }
+    let lease = log.lease_grant(from);
+    let lease_ms = log.lease_ttl().as_millis().min(u128::from(u32::MAX)) as u32;
     let mut offset = from;
     let heartbeat = Duration::from_millis(500);
-    while !shutdown.is_shutdown() {
+    let result = loop {
+        if shutdown.is_shutdown() {
+            break Ok(());
+        }
         let segment = match log.wait_segment(offset, MAX_SEGMENT_OPS, heartbeat) {
             Ok(segment) => segment,
             Err(SegmentError::TooOld { oldest }) => {
-                return send_error(
+                break send_error(
                     writer,
                     format!(
                         "offset {offset} was compacted away (oldest retained is {oldest}); \
@@ -562,19 +677,24 @@ fn stream_segments<W: Write>(
                 );
             }
             Err(SegmentError::Ahead { head }) => {
-                return send_error(
+                break send_error(
                     writer,
                     format!("offset {offset} is ahead of the log head {head}"),
                 );
             }
         };
         let next = segment.start + segment.ops.len() as u64;
-        let frame = replication::segment_frame(log.fingerprint(), &segment);
-        wire::write_response(writer, &Response::JournalSegment(frame))?;
-        writer.flush()?;
+        let frame = replication::segment_frame(log.fingerprint(), lease_ms, &segment);
+        if let Err(e) = wire::write_response(writer, &Response::JournalSegment(frame))
+            .and_then(|()| writer.flush())
+        {
+            break Err(e);
+        }
         offset = next;
-    }
-    Ok(())
+        log.lease_renew(lease, offset);
+    };
+    log.lease_release(lease);
+    result
 }
 
 /// Computes the response to one request.
@@ -590,7 +710,11 @@ pub fn answer(engine: &ShardedEngine, request: Request) -> Response {
             &engine.stats(),
         )),
         Request::Metrics => Response::Metrics(metrics_text(engine)),
-        Request::Ingest { fingerprint, ops } => {
+        Request::Ingest {
+            fingerprint,
+            epoch,
+            ops,
+        } => {
             if engine.is_follower() {
                 return Response::Error("follower is read-only; ingest at the leader".to_string());
             }
@@ -601,8 +725,9 @@ pub fn answer(engine: &ShardedEngine, request: Request) -> Response {
                      engine is {expected:#010X} (scheme/width/revision differ)"
                 ));
             }
-            match engine.ingest_replicated(&ops) {
+            match engine.ingest_replicated(epoch, &ops) {
                 Ok(head) => Response::IngestAck { head },
+                Err(e @ ServeError::Fenced { .. }) => Response::Error(e.to_string()),
                 Err(e) => Response::Error(format!("ingest journal write failed: {e}")),
             }
         }
@@ -612,6 +737,36 @@ pub fn answer(engine: &ShardedEngine, request: Request) -> Response {
         Request::Subscribe { .. } => Response::Error(
             "subscribe requires a streaming connection; use a follower client".to_string(),
         ),
+        // The log-level promotion fallback (no hook installed): bump the
+        // fencing term durably, then leave follower mode. A `Server`
+        // with a [`PromoteHook`] intercepts Promote before `answer`.
+        Request::Promote {
+            fingerprint,
+            min_epoch,
+        } => {
+            let expected = replication::fingerprint(engine.scheme(), engine.nodes());
+            if fingerprint != expected {
+                return Response::Error(format!(
+                    "promote fingerprint mismatch: got {fingerprint:#010X}, \
+                     engine is {expected:#010X} (scheme/width/revision differ)"
+                ));
+            }
+            let Some(log) = engine.replication() else {
+                return Response::Error(
+                    "this server is not replicated; nothing to promote".to_string(),
+                );
+            };
+            match log.bump_epoch(min_epoch) {
+                Ok(epoch) => {
+                    engine.mark_leader();
+                    Response::Promoted {
+                        epoch,
+                        head: log.head(),
+                    }
+                }
+                Err(e) => Response::Error(format!("promotion failed: {e}")),
+            }
+        }
     }
 }
 

@@ -678,23 +678,44 @@ impl ShardedEngine {
         self.follower.store(true, Ordering::SeqCst);
     }
 
+    /// Flips a promoted follower into leader mode: wire-level ingest is
+    /// accepted again. The fencing epoch — bumped on the attached log
+    /// *before* this is called — keeps the deposed leader out.
+    pub fn mark_leader(&self) {
+        self.follower.store(false, Ordering::SeqCst);
+    }
+
     /// Whether this engine is a read-only follower.
     pub fn is_follower(&self) -> bool {
         self.follower.load(Ordering::SeqCst)
     }
 
-    /// Applies already-replicated operations, returning the log head
-    /// after them — the ingest path behind
-    /// [`crate::wire::Request::Ingest`]. With a log attached, the head
-    /// is the durable journal offset (the operations survive `kill -9`
-    /// once this returns); without one, a process-local running count.
+    /// Applies already-replicated operations sent under fencing term
+    /// `epoch`, returning the log head after them — the ingest path
+    /// behind [`crate::wire::Request::Ingest`] and the follower apply
+    /// loop. With a log attached, the head is the durable journal offset
+    /// (the operations survive `kill -9` once this returns); without
+    /// one, a process-local running count.
+    ///
+    /// Epoch 0 means "no claim" (an unfenced producer) and is always
+    /// accepted; any other epoch below the log's current term is refused
+    /// unapplied.
     ///
     /// # Errors
     ///
-    /// A journal write failure — the operations were applied nowhere.
-    pub fn ingest_replicated(&self, ops: &[ReplOp]) -> std::io::Result<u64> {
+    /// [`ServeError::Fenced`] for a stale epoch; otherwise a journal
+    /// write failure — in both cases the operations were applied
+    /// nowhere.
+    pub fn ingest_replicated(&self, epoch: u64, ops: &[ReplOp]) -> Result<u64, ServeError> {
         let ingest: Vec<IngestOp> = ops.iter().map(ReplOp::to_ingest).collect();
         if let Some(log) = self.replication.get() {
+            let current = log.epoch();
+            if epoch != 0 && epoch < current {
+                return Err(ServeError::Fenced {
+                    claimed: epoch,
+                    current,
+                });
+            }
             let (head, ()) = log.append_with(ops, || self.dispatch_ops(ingest))?;
             Ok(head)
         } else {

@@ -46,6 +46,7 @@ const T_STATS: u8 = 0x04;
 const T_METRICS: u8 = 0x05;
 const T_INGEST: u8 = 0x06;
 const T_SUBSCRIBE: u8 = 0x07;
+const T_PROMOTE: u8 = 0x08;
 const T_PONG: u8 = 0x81;
 const T_PREDICTION: u8 = 0x82;
 const T_PREDICTION_BATCH: u8 = 0x83;
@@ -53,6 +54,7 @@ const T_STATS_SNAPSHOT: u8 = 0x84;
 const T_METRICS_TEXT: u8 = 0x85;
 const T_INGEST_ACK: u8 = 0x86;
 const T_JOURNAL_SEGMENT: u8 = 0x87;
+const T_PROMOTED: u8 = 0x88;
 const T_ERROR: u8 = 0xFF;
 
 /// A client-to-server message.
@@ -76,6 +78,10 @@ pub enum Request {
         /// The sender's [`crate::replication::fingerprint`]; must match
         /// the engine's.
         fingerprint: u32,
+        /// The sender's fencing epoch. 0 means "no claim" (an unfenced
+        /// producer); any other value below the receiver's current epoch
+        /// identifies a deposed leader and the frame is refused.
+        epoch: u64,
         /// The operations, in intended log order (at most
         /// [`MAX_SEGMENT_OPS`]).
         ops: Vec<ReplOp>,
@@ -86,8 +92,23 @@ pub enum Request {
     Subscribe {
         /// The subscriber's [`crate::replication::fingerprint`].
         fingerprint: u32,
+        /// The highest fencing epoch the subscriber has observed. A
+        /// server whose own epoch is *lower* is stale and refuses to
+        /// serve rather than feed the subscriber deposed history.
+        epoch: u64,
         /// The log offset to resume from.
         from: u64,
+    },
+    /// Promote this server to leadership: bump its fencing epoch to at
+    /// least `min_epoch` (always past its current term), durably rotate
+    /// the journal, and leave follower mode. Answered with
+    /// [`Response::Promoted`]. Idempotent — promoting a leader merely
+    /// advances its term.
+    Promote {
+        /// The sender's [`crate::replication::fingerprint`].
+        fingerprint: u32,
+        /// Lower bound for the new term (0 = just "next term").
+        min_epoch: u64,
     },
 }
 
@@ -141,10 +162,17 @@ impl StatsReply {
 pub struct SegmentFrame {
     /// The leader's [`crate::replication::fingerprint`].
     pub fingerprint: u32,
+    /// The fencing epoch the segment was cut under. Subscribers drop
+    /// streams whose epoch regresses below what they have observed.
+    pub epoch: u64,
     /// Log offset of `ops[0]`.
     pub start: u64,
     /// The leader's log head when the segment was cut.
     pub head: u64,
+    /// Lease grant in milliseconds: every segment (heartbeats included)
+    /// renews the subscriber's time-boxed belief in the leader's
+    /// liveness for this long. 0 = no lease advertised.
+    pub lease_ms: u32,
     /// The operations; empty is a heartbeat (`start == head` then).
     pub ops: Vec<ReplOp>,
 }
@@ -175,6 +203,13 @@ pub enum Response {
     /// One streamed slice of the replication log (see
     /// [`Request::Subscribe`]).
     JournalSegment(SegmentFrame),
+    /// Answer to [`Request::Promote`]: the server now leads.
+    Promoted {
+        /// The fencing epoch the server now serves under.
+        epoch: u64,
+        /// Its log head at promotion.
+        head: u64,
+    },
     /// The request could not be served; the connection stays usable.
     Error(String),
 }
@@ -242,19 +277,37 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         }
         Request::Stats => buf.push(T_STATS),
         Request::Metrics => buf.push(T_METRICS),
-        Request::Ingest { fingerprint, ops } => {
+        Request::Ingest {
+            fingerprint,
+            epoch,
+            ops,
+        } => {
             buf.push(T_INGEST);
             buf.extend_from_slice(&fingerprint.to_le_bytes());
+            buf.extend_from_slice(&epoch.to_le_bytes());
             let n = ops.len().min(MAX_SEGMENT_OPS);
             buf.extend_from_slice(&(n as u32).to_le_bytes());
             for op in &ops[..n] {
                 op.encode_into(&mut buf);
             }
         }
-        Request::Subscribe { fingerprint, from } => {
+        Request::Subscribe {
+            fingerprint,
+            epoch,
+            from,
+        } => {
             buf.push(T_SUBSCRIBE);
             buf.extend_from_slice(&fingerprint.to_le_bytes());
+            buf.extend_from_slice(&epoch.to_le_bytes());
             buf.extend_from_slice(&from.to_le_bytes());
+        }
+        Request::Promote {
+            fingerprint,
+            min_epoch,
+        } => {
+            buf.push(T_PROMOTE);
+            buf.extend_from_slice(&fingerprint.to_le_bytes());
+            buf.extend_from_slice(&min_epoch.to_le_bytes());
         }
     }
     buf
@@ -292,19 +345,29 @@ pub fn decode_request(payload: &[u8]) -> io::Result<Request> {
         T_STATS if body.is_empty() => Ok(Request::Stats),
         T_METRICS if body.is_empty() => Ok(Request::Metrics),
         T_INGEST => {
-            if body.len() < 8 {
+            if body.len() < 16 {
                 return Err(invalid("truncated ingest header"));
             }
             let fingerprint = u32::from_le_bytes([body[0], body[1], body[2], body[3]]);
-            let count = u32::from_le_bytes([body[4], body[5], body[6], body[7]]);
+            let epoch = get_u64(body, 4);
+            let count = u32::from_le_bytes([body[12], body[13], body[14], body[15]]);
             // decode_ops validates the count against the byte length
             // (and the MAX_SEGMENT_OPS cap) before allocating.
-            let ops = decode_ops(count, &body[8..])?;
-            Ok(Request::Ingest { fingerprint, ops })
+            let ops = decode_ops(count, &body[16..])?;
+            Ok(Request::Ingest {
+                fingerprint,
+                epoch,
+                ops,
+            })
         }
-        T_SUBSCRIBE if body.len() == 12 => Ok(Request::Subscribe {
+        T_SUBSCRIBE if body.len() == 20 => Ok(Request::Subscribe {
             fingerprint: u32::from_le_bytes([body[0], body[1], body[2], body[3]]),
-            from: get_u64(body, 4),
+            epoch: get_u64(body, 4),
+            from: get_u64(body, 12),
+        }),
+        T_PROMOTE if body.len() == 12 => Ok(Request::Promote {
+            fingerprint: u32::from_le_bytes([body[0], body[1], body[2], body[3]]),
+            min_epoch: get_u64(body, 4),
         }),
         _ => Err(invalid(format!("malformed request (type 0x{tag:02X})"))),
     }
@@ -358,13 +421,20 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         Response::JournalSegment(seg) => {
             buf.push(T_JOURNAL_SEGMENT);
             buf.extend_from_slice(&seg.fingerprint.to_le_bytes());
+            buf.extend_from_slice(&seg.epoch.to_le_bytes());
             buf.extend_from_slice(&seg.start.to_le_bytes());
             buf.extend_from_slice(&seg.head.to_le_bytes());
+            buf.extend_from_slice(&seg.lease_ms.to_le_bytes());
             let n = seg.ops.len().min(MAX_SEGMENT_OPS);
             buf.extend_from_slice(&(n as u32).to_le_bytes());
             for op in &seg.ops[..n] {
                 op.encode_into(&mut buf);
             }
+        }
+        Response::Promoted { epoch, head } => {
+            buf.push(T_PROMOTED);
+            buf.extend_from_slice(&epoch.to_le_bytes());
+            buf.extend_from_slice(&head.to_le_bytes());
         }
         Response::Error(msg) => {
             buf.push(T_ERROR);
@@ -450,21 +520,29 @@ pub fn decode_response(payload: &[u8]) -> io::Result<Response> {
             head: get_u64(body, 0),
         }),
         T_JOURNAL_SEGMENT => {
-            if body.len() < 24 {
+            if body.len() < 36 {
                 return Err(invalid("truncated journal segment header"));
             }
             let fingerprint = u32::from_le_bytes([body[0], body[1], body[2], body[3]]);
-            let start = get_u64(body, 4);
-            let head = get_u64(body, 12);
-            let count = u32::from_le_bytes([body[20], body[21], body[22], body[23]]);
-            let ops = decode_ops(count, &body[24..])?;
+            let epoch = get_u64(body, 4);
+            let start = get_u64(body, 12);
+            let head = get_u64(body, 20);
+            let lease_ms = u32::from_le_bytes([body[28], body[29], body[30], body[31]]);
+            let count = u32::from_le_bytes([body[32], body[33], body[34], body[35]]);
+            let ops = decode_ops(count, &body[36..])?;
             Ok(Response::JournalSegment(SegmentFrame {
                 fingerprint,
+                epoch,
                 start,
                 head,
+                lease_ms,
                 ops,
             }))
         }
+        T_PROMOTED if body.len() == 16 => Ok(Response::Promoted {
+            epoch: get_u64(body, 0),
+            head: get_u64(body, 8),
+        }),
         T_ERROR => {
             let (msg, used) = get_str(body)?;
             if used != body.len() {
@@ -646,6 +724,7 @@ mod tests {
             Request::Metrics,
             Request::Ingest {
                 fingerprint: 0xFACE_FEED,
+                epoch: 3,
                 ops: (0..50)
                     .map(|i| {
                         if i % 2 == 0 {
@@ -664,11 +743,21 @@ mod tests {
             },
             Request::Ingest {
                 fingerprint: 0,
+                epoch: 0,
                 ops: Vec::new(),
             },
             Request::Subscribe {
                 fingerprint: 0x1234_5678,
+                epoch: u64::MAX,
                 from: u64::MAX - 1,
+            },
+            Request::Promote {
+                fingerprint: 0xCAFE_D00D,
+                min_epoch: 42,
+            },
+            Request::Promote {
+                fingerprint: 0,
+                min_epoch: u64::MAX,
             },
         ];
         for req in reqs {
@@ -712,8 +801,10 @@ mod tests {
             Response::IngestAck { head: 0xDEAD_0001 },
             Response::JournalSegment(SegmentFrame {
                 fingerprint: 0xAB,
+                epoch: 2,
                 start: 100,
                 head: 103,
+                lease_ms: 10_000,
                 ops: vec![
                     ReplOp::Update {
                         key: 1,
@@ -732,10 +823,16 @@ mod tests {
             // A heartbeat: empty segment, start == head.
             Response::JournalSegment(SegmentFrame {
                 fingerprint: 0xAB,
+                epoch: u64::MAX,
                 start: 103,
                 head: 103,
+                lease_ms: 0,
                 ops: Vec::new(),
             }),
+            Response::Promoted {
+                epoch: 7,
+                head: 0xFFFF_FFFF_0000_0001,
+            },
             Response::Error("predictor on fire".to_string()),
         ];
         for resp in resps {
@@ -789,14 +886,17 @@ mod tests {
         // must fire before any allocation sized by the count.
         let mut payload = vec![T_INGEST];
         payload.extend_from_slice(&7u32.to_le_bytes()); // fingerprint
+        payload.extend_from_slice(&1u64.to_le_bytes()); // epoch
         payload.extend_from_slice(&u32::MAX.to_le_bytes()); // hostile count
         payload.extend_from_slice(&[0u8; 17]); // one op's worth of bytes
         assert!(decode_request(&payload).is_err());
         // Same for the segment frame.
         let mut payload = vec![T_JOURNAL_SEGMENT];
-        payload.extend_from_slice(&7u32.to_le_bytes());
-        payload.extend_from_slice(&0u64.to_le_bytes());
-        payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.extend_from_slice(&7u32.to_le_bytes()); // fingerprint
+        payload.extend_from_slice(&1u64.to_le_bytes()); // epoch
+        payload.extend_from_slice(&0u64.to_le_bytes()); // start
+        payload.extend_from_slice(&1u64.to_le_bytes()); // head
+        payload.extend_from_slice(&0u32.to_le_bytes()); // lease_ms
         payload.extend_from_slice(&u32::MAX.to_le_bytes());
         payload.extend_from_slice(&[0u8; 17]);
         assert!(decode_response(&payload).is_err());

@@ -331,6 +331,9 @@ fn follower_survives_torn_segment_and_resumes_from_offset() {
     ));
     engine.mark_follower();
     let fp = replication::fingerprint(engine.scheme(), engine.nodes());
+    engine
+        .attach_replication(ReplicationLog::in_memory(fp))
+        .unwrap();
     let ops: Vec<ReplOp> = (0..NODES as u64)
         .map(|key| ReplOp::Update {
             key,
@@ -349,7 +352,11 @@ fn follower_survives_torn_segment_and_resumes_from_offset() {
         let (stream, _) = listener.accept().unwrap();
         let mut reader = BufReader::new(stream.try_clone().unwrap());
         match wire::read_request(&mut reader).unwrap() {
-            Request::Subscribe { fingerprint, from } => {
+            Request::Subscribe {
+                fingerprint,
+                epoch: _,
+                from,
+            } => {
                 assert_eq!(fingerprint, fp);
                 assert_eq!(from, 0, "first subscribe must start at bootstrap");
             }
@@ -360,8 +367,10 @@ fn follower_survives_torn_segment_and_resumes_from_offset() {
             &mut w,
             &Response::JournalSegment(SegmentFrame {
                 fingerprint: fp,
+                epoch: 1,
                 start: 0,
                 head: leader_ops.len() as u64,
+                lease_ms: 0,
                 ops: leader_ops[..8].to_vec(),
             }),
         )
@@ -380,8 +389,10 @@ fn follower_survives_torn_segment_and_resumes_from_offset() {
             &mut fw,
             &Response::JournalSegment(SegmentFrame {
                 fingerprint: fp,
+                epoch: 1,
                 start: 8,
                 head: leader_ops.len() as u64,
+                lease_ms: 0,
                 ops: leader_ops[8..].to_vec(),
             }),
         );
@@ -392,7 +403,11 @@ fn follower_survives_torn_segment_and_resumes_from_offset() {
         let (stream, _) = listener.accept().unwrap();
         let mut reader = BufReader::new(stream.try_clone().unwrap());
         match wire::read_request(&mut reader).unwrap() {
-            Request::Subscribe { fingerprint, from } => {
+            Request::Subscribe {
+                fingerprint,
+                epoch: _,
+                from,
+            } => {
                 assert_eq!(fingerprint, fp);
                 assert_eq!(from, 8, "reconnect must resume from the durable offset");
             }
@@ -403,8 +418,10 @@ fn follower_survives_torn_segment_and_resumes_from_offset() {
             &mut w,
             &Response::JournalSegment(SegmentFrame {
                 fingerprint: fp,
+                epoch: 1,
                 start: 8,
                 head: leader_ops.len() as u64,
+                lease_ms: 0,
                 ops: leader_ops[8..].to_vec(),
             }),
         )
@@ -414,8 +431,10 @@ fn follower_survives_torn_segment_and_resumes_from_offset() {
         loop {
             let beat = Response::JournalSegment(SegmentFrame {
                 fingerprint: fp,
+                epoch: 1,
                 start: leader_ops.len() as u64,
                 head: leader_ops.len() as u64,
+                lease_ms: 0,
                 ops: Vec::new(),
             });
             if wire::write_response(&mut w, &beat)
@@ -437,8 +456,6 @@ fn follower_survives_torn_segment_and_resumes_from_offset() {
         run_follower(
             &f_engine,
             move || Some(addr.to_string()),
-            0,
-            None,
             &f_status,
             &f_shutdown,
             &FollowerOptions {
@@ -502,6 +519,7 @@ fn slow_subscriber_is_cut_without_stalling_the_leader() {
         &mut w,
         &Request::Subscribe {
             fingerprint: fp,
+            epoch: 0,
             from: 0,
         },
     )
@@ -525,7 +543,7 @@ fn slow_subscriber_is_cut_without_stalling_the_leader() {
         .unwrap();
     let start = Instant::now();
     for _ in 0..64 {
-        engine.ingest_replicated(&ops).unwrap();
+        engine.ingest_replicated(0, &ops).unwrap();
         client.ping().unwrap();
     }
     assert!(

@@ -4,11 +4,16 @@
 //! statistics must be *bit-identical* to the leader's and to the offline
 //! engine's, across every benchmark of the paper's suite.
 //!
-//! The failover test then kills the leader with SIGKILL mid-stream,
-//! proves the follower keeps serving stale-but-consistent answers,
-//! restarts the leader on a new port from its durable snapshot+journal,
-//! and proves the follower reconnects, resumes from its offset, and
-//! converges bit-identically once the remaining trace is pushed.
+//! The failover tests then kill the leader with SIGKILL mid-stream and
+//! prove both recovery paths: the *restart* path (the same leader comes
+//! back from its durable snapshot+journal and the follower resumes),
+//! and the *promotion* path (a follower bumps the fencing epoch, takes
+//! over leadership, re-parents the remaining replicas onto itself by
+//! rewriting the shared `--follow-file`, and the deposed epoch's writes
+//! are refused with a typed `fenced` error) — by hand via the `promote`
+//! subcommand and automatically via `--auto-promote` lease expiry,
+//! rank-ordered so exactly one replica claims the term. Chained
+//! fan-out (leader → follower → follower) is proven bit-identical too.
 
 #![cfg(unix)]
 
@@ -201,14 +206,45 @@ fn write_trace(dir: &TempDir, bench_idx: usize) -> (PathBuf, usize, usize) {
 }
 
 fn push(addr: &str, trace: &Path, from: usize, to: Option<usize>) {
+    let (ok, err) = push_at_epoch(addr, trace, from, to, 0);
+    assert!(ok, "push failed:\n{err}");
+}
+
+/// Runs `csp-served push --epoch N` and reports (success, stderr) so
+/// callers can assert fencing rejections as well as accepted writes.
+fn push_at_epoch(
+    addr: &str,
+    trace: &Path,
+    from: usize,
+    to: Option<usize>,
+    epoch: u64,
+) -> (bool, String) {
     let mut cmd = Command::new(bin());
     cmd.args(["push", "--addr", addr, "--scheme", SCHEME])
-        .args(["--from-event", &from.to_string()]);
+        .args(["--from-event", &from.to_string()])
+        .args(["--epoch", &epoch.to_string()]);
     if let Some(to) = to {
         cmd.args(["--to-event", &to.to_string()]);
     }
-    let status = cmd.arg(arg(trace)).status().unwrap();
-    assert!(status.success(), "push exited {status}");
+    let out = cmd.arg(arg(trace)).output().unwrap();
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+/// Runs the `promote` subcommand against a follower and reports
+/// (success, stdout + stderr).
+fn promote(addr: &str, nodes: &str, min_epoch: u64) -> (bool, String) {
+    let out = Command::new(bin())
+        .args(["promote", "--addr", addr, "--scheme", SCHEME])
+        .args(["--nodes", nodes])
+        .args(["--min-epoch", &min_epoch.to_string()])
+        .output()
+        .unwrap();
+    let mut text = String::from_utf8_lossy(&out.stdout).into_owned();
+    text.push_str(&String::from_utf8_lossy(&out.stderr));
+    (out.status.success(), text)
 }
 
 /// Leader and follower statistics must agree field for field — same
@@ -489,4 +525,442 @@ fn leader_kill9_failover_converges_bit_identically() {
     assert!(ok, "follower shutdown failed:\n{err}");
     let (ok, err) = leader.shutdown();
     assert!(ok, "restarted leader shutdown failed:\n{err}");
+}
+
+/// Spawns a durable follower bootstrapped from a shipped snapshot,
+/// following the address in `follow_file`, with optional auto-promote
+/// rank. Returns the process and its bound address.
+#[allow(clippy::too_many_arguments)]
+fn spawn_follower(
+    dir: &TempDir,
+    tag: &str,
+    nodes_s: &str,
+    snap_dir: &Path,
+    follow_file: &Path,
+    addr_file: &Path,
+    rank: Option<u64>,
+    lease_ms: Option<u64>,
+) -> (Served, String) {
+    let mut args = vec![
+        "--scheme".to_string(),
+        SCHEME.to_string(),
+        "--nodes".to_string(),
+        nodes_s.to_string(),
+        "--shards".to_string(),
+        "2".to_string(),
+        "--listen".to_string(),
+        "127.0.0.1:0".to_string(),
+        "--snapshot-dir".to_string(),
+        snap_dir.to_str().unwrap().to_string(),
+        "--restore".to_string(),
+        "--follow-file".to_string(),
+        follow_file.to_str().unwrap().to_string(),
+        "--addr-file".to_string(),
+        addr_file.to_str().unwrap().to_string(),
+    ];
+    if let Some(rank) = rank {
+        args.extend([
+            "--replica-id".to_string(),
+            rank.to_string(),
+            "--auto-promote".to_string(),
+        ]);
+    }
+    if let Some(ms) = lease_ms {
+        args.extend(["--lease-ms".to_string(), ms.to_string()]);
+    }
+    let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+    let served = Served::spawn(dir, tag, &argv);
+    let addr = wait_addr(addr_file);
+    (served, addr)
+}
+
+/// Polls until a follow-file names the expected address (promotion
+/// rewrites it moments after the epoch bump becomes visible).
+fn wait_file_addr(path: &Path, want: &str, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        let got = fs::read_to_string(path)
+            .unwrap_or_default()
+            .trim()
+            .to_string();
+        if got == want {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for {what}: {} still names {got:?}, want {want:?}",
+            path.display()
+        );
+        std::thread::sleep(Duration::from_millis(30));
+    }
+}
+
+/// Polls a node's `csp_repl_epoch` gauge until it reaches `want`.
+fn wait_epoch(addr: &str, want: i64, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let epoch = metric(addr, "csp_repl_epoch");
+        if epoch >= Some(want) {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for {what}; epoch stuck at {epoch:?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// Chained fan-out: the middle node is a follower *and* a leader — it
+/// streams from the root and relays its own replication log downstream.
+/// End of the chain must still be bit-identical to the root and to the
+/// offline engine, and the middle node's downstream lease must pin its
+/// journal while the tail is subscribed.
+#[test]
+fn chained_follower_relays_bit_identically() {
+    let dir = TempDir::new("chain");
+    let (trace, events, nodes) = write_trace(&dir, 2);
+    let scheme: Scheme = SCHEME.parse().unwrap();
+    let offline = run_scheme(&generate_suite(SCALE, SEED)[2].trace, &scheme);
+    let half = events / 2;
+    let nodes_s = nodes.to_string();
+    let half_s = half.to_string();
+
+    let ldir = dir.path("root");
+    let laddr_file = dir.path("root.addr");
+    let leader = Served::spawn(
+        &dir,
+        "root",
+        &[
+            "--scheme",
+            SCHEME,
+            "--nodes",
+            &nodes_s,
+            "--shards",
+            SHARDS,
+            "--listen",
+            "127.0.0.1:0",
+            "--snapshot-dir",
+            arg(&ldir),
+            "--replicate",
+            "--warm",
+            arg(&trace),
+            "--warm-events",
+            &half_s,
+            "--addr-file",
+            arg(&laddr_file),
+        ],
+    );
+    let laddr = wait_addr(&laddr_file);
+
+    // Middle of the chain: follows the root, relays to the tail. Both
+    // hops bootstrap from the same shipped snapshot.
+    let mdir = dir.path("mid");
+    ship_snapshot(&ldir, &mdir);
+    let maddr_file = dir.path("mid.addr");
+    let (mid, maddr) = spawn_follower(
+        &dir,
+        "mid",
+        &nodes_s,
+        &mdir,
+        &laddr_file,
+        &maddr_file,
+        None,
+        None,
+    );
+
+    let tdir = dir.path("tail");
+    ship_snapshot(&ldir, &tdir);
+    let taddr_file = dir.path("tail.addr");
+    let (tail, taddr) = spawn_follower(
+        &dir,
+        "tail",
+        &nodes_s,
+        &tdir,
+        &maddr_file,
+        &taddr_file,
+        None,
+        None,
+    );
+
+    // Everything past the snapshot flows root -> mid -> tail.
+    push(&laddr, &trace, half, None);
+    let lstats = stats(&laddr);
+    assert_eq!(lstats.confusion, offline, "chain root != offline");
+    let mstats = wait_stats(&maddr, "mid catch-up", |s| {
+        s.scored == lstats.scored && s.updates == lstats.updates
+    });
+    assert_replicas_agree(&lstats, &mstats, "root vs mid");
+    let tstats = wait_stats(&taddr, "tail catch-up", |s| {
+        s.scored == lstats.scored && s.updates == lstats.updates
+    });
+    assert_replicas_agree(&lstats, &tstats, "root vs tail");
+    assert_eq!(tstats.confusion, offline, "chain tail != offline");
+
+    // The tail's subscription holds a lease on the middle node's log, so
+    // its journal horizon is pinned while the tail might still resume.
+    wait_stats(&maddr, "downstream lease on the middle node", |_| {
+        metric(&maddr, "csp_repl_downstream_leases") == Some(1)
+    });
+
+    let (ok, err) = tail.shutdown();
+    assert!(ok, "tail shutdown failed:\n{err}");
+    let (ok, err) = mid.shutdown();
+    assert!(ok, "mid shutdown failed:\n{err}");
+    let (ok, err) = leader.shutdown();
+    assert!(ok, "root shutdown failed:\n{err}");
+}
+
+/// Promotion by hand: SIGKILL the leader, run `csp-served promote`
+/// against the survivor, and prove the epoch fence — the deposed
+/// epoch's pushes are refused with a typed error while current-epoch
+/// writes land, converging bit-identically with the offline engine.
+#[test]
+fn manual_promote_fences_the_deposed_epoch() {
+    let dir = TempDir::new("promote");
+    let (trace, events, nodes) = write_trace(&dir, 1);
+    let scheme: Scheme = SCHEME.parse().unwrap();
+    let offline = run_scheme(&generate_suite(SCALE, SEED)[1].trace, &scheme);
+    let (t1, t2) = (events / 3, 2 * events / 3);
+    let nodes_s = nodes.to_string();
+    let t1_s = t1.to_string();
+
+    let ldir = dir.path("leader");
+    let addr_file = dir.path("leader.addr");
+    let mut leader = Served::spawn(
+        &dir,
+        "leader",
+        &[
+            "--scheme",
+            SCHEME,
+            "--nodes",
+            &nodes_s,
+            "--shards",
+            SHARDS,
+            "--listen",
+            "127.0.0.1:0",
+            "--snapshot-dir",
+            arg(&ldir),
+            "--replicate",
+            "--warm",
+            arg(&trace),
+            "--warm-events",
+            &t1_s,
+            "--addr-file",
+            arg(&addr_file),
+        ],
+    );
+    let laddr = wait_addr(&addr_file);
+
+    let fdir = dir.path("follower");
+    ship_snapshot(&ldir, &fdir);
+    let faddr_file = dir.path("follower.addr");
+    let (follower, faddr) = spawn_follower(
+        &dir,
+        "follower",
+        &nodes_s,
+        &fdir,
+        &addr_file,
+        &faddr_file,
+        None,
+        None,
+    );
+
+    push(&laddr, &trace, t1, Some(t2));
+    let mid = stats(&laddr);
+    wait_stats(&faddr, "pre-kill catch-up", |s| {
+        s.scored == mid.scored && s.updates == mid.updates
+    });
+
+    leader.kill9();
+
+    // Operator-driven failover: claim at least term 7 (well past the
+    // deposed leader's term 1) over the wire.
+    let (ok, out) = promote(&faddr, &nodes_s, 7);
+    assert!(ok, "promote subcommand failed:\n{out}");
+    assert!(out.contains("epoch 7"), "unexpected promote output:\n{out}");
+    wait_epoch(&faddr, 7, "promoted epoch");
+    assert!(
+        follower.stderr().contains("promoted to leader (epoch 7)"),
+        "follower never logged its promotion:\n{}",
+        follower.stderr()
+    );
+
+    // Re-parenting: the shared follow-file now names the new leader.
+    wait_file_addr(&addr_file, &faddr, "manual promotion re-parenting");
+
+    // The fence: a producer still stamping the deposed term is refused
+    // with a typed error; a current-term producer lands.
+    let (ok, err) = push_at_epoch(&faddr, &trace, t2, None, 1);
+    assert!(!ok, "stale-epoch push must be refused");
+    assert!(err.contains("fenced"), "expected a fencing error:\n{err}");
+    let fenced = stats(&faddr);
+    assert_replicas_agree(&mid, &fenced, "fenced push must not mutate");
+
+    let (ok, err) = push_at_epoch(&faddr, &trace, t2, None, 7);
+    assert!(ok, "current-epoch push failed:\n{err}");
+    let ffinal = stats(&faddr);
+    assert_eq!(
+        ffinal.confusion, offline,
+        "promoted leader != offline after manual failover"
+    );
+
+    let (ok, err) = follower.shutdown();
+    assert!(ok, "promoted leader shutdown failed:\n{err}");
+    assert!(
+        err.contains("final journal offset"),
+        "promoted leader never reported its final journal offset:\n{err}"
+    );
+}
+
+/// The headline chaos proof, across every benchmark of the suite:
+/// SIGKILL the leader mid-stream with two ranked `--auto-promote`
+/// replicas subscribed. The lowest rank's lease deadline fires first and
+/// it promotes itself; the other replica re-parents onto it through the
+/// rewritten follow-file; the remaining trace pushed to the *new* leader
+/// converges every survivor bit-identically with the offline engine.
+fn verify_auto_failover(dir: &TempDir, bench_idx: usize) {
+    let (trace, events, nodes) = write_trace(dir, bench_idx);
+    let scheme: Scheme = SCHEME.parse().unwrap();
+    let suite = generate_suite(SCALE, SEED);
+    let offline = run_scheme(&suite[bench_idx].trace, &scheme);
+    let (t1, t2) = (events / 3, 2 * events / 3);
+    let nodes_s = nodes.to_string();
+    let t1_s = t1.to_string();
+
+    // Short leases make the chaos window testable: rank 0's deadline is
+    // one lease (2.5s), rank 1 waits three (7.5s) — enough to ride out
+    // reconnect backoff and re-parent instead of double-claiming.
+    let lease_ms = "2500";
+    let ldir = dir.path(&format!("al-{bench_idx}"));
+    let addr_file = dir.path(&format!("al-{bench_idx}.addr"));
+    let mut leader = Served::spawn(
+        dir,
+        &format!("al-{bench_idx}"),
+        &[
+            "--scheme",
+            SCHEME,
+            "--nodes",
+            &nodes_s,
+            "--shards",
+            SHARDS,
+            "--listen",
+            "127.0.0.1:0",
+            "--snapshot-dir",
+            arg(&ldir),
+            "--replicate",
+            "--lease-ms",
+            lease_ms,
+            "--warm",
+            arg(&trace),
+            "--warm-events",
+            &t1_s,
+            "--addr-file",
+            arg(&addr_file),
+        ],
+    );
+    let laddr = wait_addr(&addr_file);
+
+    let adir = dir.path(&format!("aa-{bench_idx}"));
+    ship_snapshot(&ldir, &adir);
+    let aaddr_file = dir.path(&format!("aa-{bench_idx}.addr"));
+    let (a, aaddr) = spawn_follower(
+        dir,
+        &format!("aa-{bench_idx}"),
+        &nodes_s,
+        &adir,
+        &addr_file,
+        &aaddr_file,
+        Some(0),
+        None,
+    );
+
+    let bdir = dir.path(&format!("ab-{bench_idx}"));
+    ship_snapshot(&ldir, &bdir);
+    let baddr_file = dir.path(&format!("ab-{bench_idx}.addr"));
+    let (b, baddr) = spawn_follower(
+        dir,
+        &format!("ab-{bench_idx}"),
+        &nodes_s,
+        &bdir,
+        &addr_file,
+        &baddr_file,
+        Some(1),
+        None,
+    );
+
+    // Both replicas fully synced before the crash, so the kill lands on
+    // an idle-but-subscribed stream.
+    push(&laddr, &trace, t1, Some(t2));
+    let mid = stats(&laddr);
+    for (addr, what) in [(&aaddr, "rank 0 pre-kill"), (&baddr, "rank 1 pre-kill")] {
+        let s = wait_stats(addr, what, |s| {
+            s.scored == mid.scored && s.updates == mid.updates
+        });
+        assert_replicas_agree(&mid, &s, what);
+    }
+
+    // Crash. Nobody rewrites the follow-file for them: rank 0's lease
+    // deadline must fire, bump the epoch, and re-parent the fleet.
+    leader.kill9();
+    wait_epoch(&aaddr, 2, "rank 0 auto-promotion");
+    wait_file_addr(
+        &addr_file,
+        &aaddr,
+        &format!("bench {bench_idx}: auto-promotion re-parenting"),
+    );
+
+    // The remaining trace goes to the *new* leader; both survivors must
+    // converge on the offline truth.
+    push(&aaddr, &trace, t2, None);
+    let afinal = stats(&aaddr);
+    assert_eq!(
+        afinal.confusion, offline,
+        "bench {bench_idx}: promoted leader != offline"
+    );
+    let bfinal = wait_stats(&baddr, "rank 1 re-parent catch-up", |s| {
+        s.scored == afinal.scored && s.updates == afinal.updates
+    });
+    assert_replicas_agree(
+        &afinal,
+        &bfinal,
+        &format!("bench {bench_idx}: post-promotion"),
+    );
+    assert_eq!(
+        bfinal.confusion, offline,
+        "bench {bench_idx}: re-parented follower != offline"
+    );
+
+    // Exactly one claimant: rank 0 promoted, rank 1 re-parented.
+    assert!(
+        a.stderr().contains("auto-promoted"),
+        "bench {bench_idx}: rank 0 never promoted:\n{}",
+        a.stderr()
+    );
+    assert!(
+        !b.stderr().contains("auto-promoted"),
+        "bench {bench_idx}: rank 1 double-claimed leadership:\n{}",
+        b.stderr()
+    );
+
+    let (ok, err) = b.shutdown();
+    assert!(ok, "bench {bench_idx}: rank 1 shutdown failed:\n{err}");
+    let (ok, err) = a.shutdown();
+    assert!(
+        ok,
+        "bench {bench_idx}: promoted leader shutdown failed:\n{err}"
+    );
+}
+
+/// All seven benchmarks through the full chaos sequence: kill -9 the
+/// leader, lease-driven auto-promotion, chain re-parenting, and
+/// bit-identical convergence on the new leader.
+#[test]
+fn auto_promotion_converges_bit_identically_across_the_suite() {
+    let dir = TempDir::new("autofail");
+    let suite_len = generate_suite(SCALE, SEED).len();
+    assert_eq!(suite_len, 7, "the paper's seven benchmarks");
+    for bench_idx in 0..suite_len {
+        verify_auto_failover(&dir, bench_idx);
+    }
 }

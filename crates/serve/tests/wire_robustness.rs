@@ -74,7 +74,8 @@ fn repl_ops(n: u64) -> Vec<ReplOp> {
 }
 
 /// One payload per request tag (`T_PING`, `T_PREDICT`,
-/// `T_PREDICT_BATCH`, `T_STATS`, `T_INGEST`, `T_SUBSCRIBE`).
+/// `T_PREDICT_BATCH`, `T_STATS`, `T_INGEST`, `T_SUBSCRIBE`,
+/// `T_PROMOTE`).
 fn request_payloads() -> Vec<(&'static str, Vec<u8>)> {
     vec![
         ("ping", wire::encode_request(&Request::Ping)),
@@ -88,6 +89,7 @@ fn request_payloads() -> Vec<(&'static str, Vec<u8>)> {
             "ingest",
             wire::encode_request(&Request::Ingest {
                 fingerprint: 0xDEAD_BEEF,
+                epoch: 3,
                 ops: repl_ops(11),
             }),
         ),
@@ -95,7 +97,15 @@ fn request_payloads() -> Vec<(&'static str, Vec<u8>)> {
             "subscribe",
             wire::encode_request(&Request::Subscribe {
                 fingerprint: 0xDEAD_BEEF,
+                epoch: 2,
                 from: 0x0123_4567_89AB_CDEF,
+            }),
+        ),
+        (
+            "promote",
+            wire::encode_request(&Request::Promote {
+                fingerprint: 0xDEAD_BEEF,
+                min_epoch: 0x0011_2233_4455_6677,
             }),
         ),
     ]
@@ -103,7 +113,7 @@ fn request_payloads() -> Vec<(&'static str, Vec<u8>)> {
 
 /// One payload per response tag (`T_PONG`, `T_PREDICTION`,
 /// `T_PREDICTION_BATCH`, `T_STATS_SNAPSHOT`, `T_ERROR`,
-/// `T_INGEST_ACK`, `T_JOURNAL_SEGMENT`).
+/// `T_INGEST_ACK`, `T_JOURNAL_SEGMENT`, `T_PROMOTED`).
 fn response_payloads() -> Vec<(&'static str, Vec<u8>)> {
     vec![
         ("pong", wire::encode_response(&Response::Pong)),
@@ -117,8 +127,10 @@ fn response_payloads() -> Vec<(&'static str, Vec<u8>)> {
             "journal-segment",
             wire::encode_response(&Response::JournalSegment(SegmentFrame {
                 fingerprint: 0xCAFE_BABE,
+                epoch: 2,
                 start: 100,
                 head: 113,
+                lease_ms: 10_000,
                 ops: repl_ops(13),
             })),
         ),
@@ -126,10 +138,19 @@ fn response_payloads() -> Vec<(&'static str, Vec<u8>)> {
             "journal-heartbeat",
             wire::encode_response(&Response::JournalSegment(SegmentFrame {
                 fingerprint: 0xCAFE_BABE,
+                epoch: u64::MAX,
                 start: 113,
                 head: 113,
+                lease_ms: 0,
                 ops: Vec::new(),
             })),
+        ),
+        (
+            "promoted",
+            wire::encode_response(&Response::Promoted {
+                epoch: 7,
+                head: 0xFFFF_FFFF_0000_0001,
+            }),
         ),
         (
             "prediction",
@@ -280,26 +301,30 @@ fn bad_checksum_is_typed_with_both_crcs() {
 fn hostile_ingest_op_count_is_rejected_without_allocating() {
     let mut payload = wire::encode_request(&Request::Ingest {
         fingerprint: 7,
+        epoch: 1,
         ops: repl_ops(2),
     });
-    // Payload layout: tag(1) | fingerprint(4) | count(4) | ops…
+    // Payload layout: tag(1) | fingerprint(4) | epoch(8) | count(4) | ops…
     for hostile in [3u32, 1 << 20, u32::MAX] {
-        payload[5..9].copy_from_slice(&hostile.to_le_bytes());
+        payload[13..17].copy_from_slice(&hostile.to_le_bytes());
         assert!(
             wire::decode_request(&payload).is_err(),
             "count {hostile} over a 2-op body must be rejected"
         );
     }
-    // Same attack on the segment stream's count field:
-    // tag(1) | fingerprint(4) | start(8) | head(8) | count(4) | ops…
+    // Same attack on the segment stream's count field: tag(1) |
+    // fingerprint(4) | epoch(8) | start(8) | head(8) | lease_ms(4) |
+    // count(4) | ops…
     let mut payload = wire::encode_response(&Response::JournalSegment(SegmentFrame {
         fingerprint: 7,
+        epoch: 1,
         start: 0,
         head: 2,
+        lease_ms: 1000,
         ops: repl_ops(2),
     }));
     for hostile in [3u32, 1 << 20, u32::MAX] {
-        payload[21..25].copy_from_slice(&hostile.to_le_bytes());
+        payload[33..37].copy_from_slice(&hostile.to_le_bytes());
         assert!(
             wire::decode_response(&payload).is_err(),
             "segment count {hostile} over a 2-op body must be rejected"
@@ -313,10 +338,11 @@ fn hostile_ingest_op_count_is_rejected_without_allocating() {
 fn unknown_repl_op_tags_are_rejected() {
     let payload = wire::encode_request(&Request::Ingest {
         fingerprint: 7,
+        epoch: 1,
         ops: repl_ops(3),
     });
     assert!(wire::decode_request(&payload).is_ok(), "baseline decodes");
-    let ops_at = 9;
+    let ops_at = 17;
     for bad_tag in [0u8, 3, 0xFF] {
         for op in 0..3 {
             let mut hurt = payload.clone();
@@ -335,6 +361,7 @@ proptest! {
     #[test]
     fn ingest_round_trips(
         fingerprint in any::<u32>(),
+        epoch in any::<u64>(),
         raw in proptest::collection::vec((any::<bool>(), any::<u64>(), any::<u64>()), 0..64),
     ) {
         let ops: Vec<ReplOp> = raw
@@ -346,9 +373,12 @@ proptest! {
             })
             .collect();
         let mut frame = Vec::new();
-        wire::write_request(&mut frame, &Request::Ingest { fingerprint, ops: ops.clone() }).unwrap();
+        wire::write_request(
+            &mut frame,
+            &Request::Ingest { fingerprint, epoch, ops: ops.clone() },
+        ).unwrap();
         let back = wire::read_request(&mut frame.as_slice()).unwrap();
-        prop_assert_eq!(back, Request::Ingest { fingerprint, ops });
+        prop_assert_eq!(back, Request::Ingest { fingerprint, epoch, ops });
     }
 
     /// Arbitrary journal segments survive the response round trip
@@ -356,8 +386,10 @@ proptest! {
     #[test]
     fn journal_segment_round_trips(
         fingerprint in any::<u32>(),
+        epoch in any::<u64>(),
         start in any::<u64>(),
         lead in any::<u32>(),
+        lease_ms in any::<u32>(),
         raw in proptest::collection::vec((any::<bool>(), any::<u64>(), any::<u64>()), 0..64),
     ) {
         let ops: Vec<ReplOp> = raw
@@ -370,8 +402,10 @@ proptest! {
             .collect();
         let seg = SegmentFrame {
             fingerprint,
+            epoch,
             start,
             head: start.saturating_add(ops.len() as u64).saturating_add(u64::from(lead)),
+            lease_ms,
             ops,
         };
         let mut frame = Vec::new();
@@ -380,13 +414,48 @@ proptest! {
         prop_assert_eq!(back, Response::JournalSegment(seg));
     }
 
-    /// Subscribe round-trips for arbitrary fingerprints and offsets.
+    /// Subscribe round-trips for arbitrary fingerprints, epochs, and
+    /// offsets.
     #[test]
-    fn subscribe_round_trips(fingerprint in any::<u32>(), from in any::<u64>()) {
+    fn subscribe_round_trips(
+        fingerprint in any::<u32>(),
+        epoch in any::<u64>(),
+        from in any::<u64>(),
+    ) {
         let mut frame = Vec::new();
-        wire::write_request(&mut frame, &Request::Subscribe { fingerprint, from }).unwrap();
+        wire::write_request(
+            &mut frame,
+            &Request::Subscribe { fingerprint, epoch, from },
+        ).unwrap();
         let back = wire::read_request(&mut frame.as_slice()).unwrap();
-        prop_assert_eq!(back, Request::Subscribe { fingerprint, from });
+        prop_assert_eq!(back, Request::Subscribe { fingerprint, epoch, from });
+    }
+
+    /// Promote and Promoted round-trip for arbitrary epochs — hostile
+    /// (maximal) epochs included, since a forged term must survive the
+    /// wire intact to be *refused* at the fencing layer, not mangled
+    /// into an accepted one.
+    #[test]
+    fn promote_round_trips(
+        fingerprint in any::<u32>(),
+        min_epoch in any::<u64>(),
+        head in any::<u64>(),
+    ) {
+        let mut frame = Vec::new();
+        wire::write_request(
+            &mut frame,
+            &Request::Promote { fingerprint, min_epoch },
+        ).unwrap();
+        let back = wire::read_request(&mut frame.as_slice()).unwrap();
+        prop_assert_eq!(back, Request::Promote { fingerprint, min_epoch });
+
+        let mut frame = Vec::new();
+        wire::write_response(
+            &mut frame,
+            &Response::Promoted { epoch: min_epoch, head },
+        ).unwrap();
+        let back = wire::read_response(&mut frame.as_slice()).unwrap();
+        prop_assert_eq!(back, Response::Promoted { epoch: min_epoch, head });
     }
 
     #[test]

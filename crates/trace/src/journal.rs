@@ -7,11 +7,17 @@
 //!
 //! ```text
 //! file:
-//!   magic "CSPJRNL1"
-//!   header: fingerprint u32 | start_offset u64 | crc u32   (crc over the 12 header bytes)
+//!   magic "CSPJRNL2"
+//!   header: fingerprint u32 | start_offset u64 | epoch u64 | crc u32
+//!           (crc over the 20 header bytes)
 //! segment (repeated):
 //!   count u32 | len u32 | records[len] | crc u32           (crc over count, len and records)
 //! ```
+//!
+//! The original `CSPJRNL1` layout (no `epoch` field — a 12-byte header)
+//! is still read, reporting `epoch = 0`; new files are always written as
+//! `CSPJRNL2`. The epoch is an opaque caller-defined term — replication
+//! uses it to fence writes from a deposed leader across a failover.
 //!
 //! All integers are little-endian, checksums are CRC32c
 //! ([`crate::crc32c`]) — the same conventions as the trace format.
@@ -33,12 +39,13 @@
 //! use csp_trace::journal::{read_journal, JournalHeader, SegmentWriter};
 //!
 //! let mut bytes = Vec::new();
-//! let header = JournalHeader { fingerprint: 0xFEED, start_offset: 42 };
+//! let header = JournalHeader { fingerprint: 0xFEED, start_offset: 42, epoch: 3 };
 //! let mut w = SegmentWriter::create(&mut bytes, &header)?;
 //! w.append(2, b"ab")?;
 //! w.append(1, b"c")?;
 //! let back = read_journal(bytes.as_slice())?;
 //! assert_eq!(back.header.start_offset, 42);
+//! assert_eq!(back.header.epoch, 3);
 //! assert_eq!(back.segments.len(), 2);
 //! assert!(!back.torn);
 //! # Ok::<(), std::io::Error>(())
@@ -47,8 +54,14 @@
 use crate::crc32c;
 use std::io::{self, Read, Write};
 
-/// Identifies a journal file (and its format version).
-pub const JOURNAL_MAGIC: &[u8; 8] = b"CSPJRNL1";
+/// Identifies a journal file written by this crate (format version 2,
+/// with an epoch field in the header).
+pub const JOURNAL_MAGIC: &[u8; 8] = b"CSPJRNL2";
+
+/// The original format-version-1 magic: same framing, but a 12-byte
+/// header with no epoch field. Still readable ([`read_journal`] reports
+/// `epoch = 0`); never written.
+pub const JOURNAL_MAGIC_V1: &[u8; 8] = b"CSPJRNL1";
 
 /// Hard ceiling on one segment's record bytes: bounds what a corrupt
 /// length field can make the reader allocate.
@@ -62,6 +75,9 @@ pub struct JournalHeader {
     pub fingerprint: u32,
     /// The logical offset (in records) of the first record in this file.
     pub start_offset: u64,
+    /// Caller-defined epoch (fencing term) the records were written
+    /// under. `0` for files recovered from the v1 format.
+    pub epoch: u64,
 }
 
 /// One decoded segment: `count` records packed into `records` (the
@@ -113,9 +129,10 @@ impl<W: Write> SegmentWriter<W> {
     /// Propagates I/O errors from the writer.
     pub fn create(mut inner: W, header: &JournalHeader) -> io::Result<Self> {
         inner.write_all(JOURNAL_MAGIC)?;
-        let mut fields = [0u8; 12];
+        let mut fields = [0u8; 20];
         fields[..4].copy_from_slice(&header.fingerprint.to_le_bytes());
-        fields[4..].copy_from_slice(&header.start_offset.to_le_bytes());
+        fields[4..12].copy_from_slice(&header.start_offset.to_le_bytes());
+        fields[12..].copy_from_slice(&header.epoch.to_le_bytes());
         inner.write_all(&fields)?;
         inner.write_all(&crc32c::checksum(&fields).to_le_bytes())?;
         inner.flush()?;
@@ -192,14 +209,18 @@ enum ReadOutcome {
 pub fn read_journal<R: Read>(mut r: R) -> io::Result<JournalContents> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
-    if &magic != JOURNAL_MAGIC {
+    let header_len = if &magic == JOURNAL_MAGIC {
+        20
+    } else if &magic == JOURNAL_MAGIC_V1 {
+        12
+    } else {
         return Err(bad("not a journal file (bad magic)"));
-    }
-    let mut fields = [0u8; 12];
-    r.read_exact(&mut fields)?;
+    };
+    let mut fields = [0u8; 20];
+    r.read_exact(&mut fields[..header_len])?;
     let mut crc_bytes = [0u8; 4];
     r.read_exact(&mut crc_bytes)?;
-    if u32::from_le_bytes(crc_bytes) != crc32c::checksum(&fields) {
+    if u32::from_le_bytes(crc_bytes) != crc32c::checksum(&fields[..header_len]) {
         return Err(bad("journal header checksum mismatch"));
     }
     let header = JournalHeader {
@@ -207,6 +228,11 @@ pub fn read_journal<R: Read>(mut r: R) -> io::Result<JournalContents> {
         start_offset: u64::from_le_bytes([
             fields[4], fields[5], fields[6], fields[7], fields[8], fields[9], fields[10],
             fields[11],
+        ]),
+        // v1 headers stop at the start offset; they predate epochs.
+        epoch: u64::from_le_bytes([
+            fields[12], fields[13], fields[14], fields[15], fields[16], fields[17], fields[18],
+            fields[19],
         ]),
     };
     let mut segments = Vec::new();
@@ -270,6 +296,7 @@ mod tests {
         let header = JournalHeader {
             fingerprint: 0xDEAD_BEEF,
             start_offset: 1_000,
+            epoch: 7,
         };
         let mut w = SegmentWriter::create(&mut bytes, &header).unwrap();
         w.append(3, b"aaabbbccc").unwrap();
@@ -283,6 +310,7 @@ mod tests {
         let back = read_journal(sample().as_slice()).unwrap();
         assert_eq!(back.header.fingerprint, 0xDEAD_BEEF);
         assert_eq!(back.header.start_offset, 1_000);
+        assert_eq!(back.header.epoch, 7);
         assert!(!back.torn);
         assert_eq!(back.record_count(), 6);
         assert_eq!(
@@ -310,6 +338,7 @@ mod tests {
         let header = JournalHeader {
             fingerprint: 7,
             start_offset: 0,
+            epoch: 1,
         };
         SegmentWriter::create(&mut bytes, &header).unwrap();
         let back = read_journal(bytes.as_slice()).unwrap();
@@ -317,11 +346,41 @@ mod tests {
         assert!(!back.torn);
     }
 
+    /// Hand-writes a v1 file (12-byte header, `CSPJRNL1` magic) and
+    /// requires the reader to recover it with `epoch = 0`.
+    #[test]
+    fn v1_journals_still_read_with_epoch_zero() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(JOURNAL_MAGIC_V1);
+        let mut fields = [0u8; 12];
+        fields[..4].copy_from_slice(&0xFEED_FACEu32.to_le_bytes());
+        fields[4..].copy_from_slice(&99u64.to_le_bytes());
+        bytes.extend_from_slice(&fields);
+        bytes.extend_from_slice(&crc32c::checksum(&fields).to_le_bytes());
+        // Segment framing is identical in both versions.
+        let mut head = [0u8; 8];
+        head[..4].copy_from_slice(&2u32.to_le_bytes());
+        head[4..].copy_from_slice(&4u32.to_le_bytes());
+        let mut crc = crc32c::Hasher::new();
+        crc.update(&head);
+        crc.update(b"wxyz");
+        bytes.extend_from_slice(&head);
+        bytes.extend_from_slice(b"wxyz");
+        bytes.extend_from_slice(&crc.finalize().to_le_bytes());
+        let back = read_journal(bytes.as_slice()).unwrap();
+        assert_eq!(back.header.fingerprint, 0xFEED_FACE);
+        assert_eq!(back.header.start_offset, 99);
+        assert_eq!(back.header.epoch, 0);
+        assert!(!back.torn);
+        assert_eq!(back.segments.len(), 1);
+        assert_eq!(back.segments[0].records, b"wxyz");
+    }
+
     #[test]
     fn every_tail_truncation_recovers_a_clean_prefix() {
         let bytes = sample();
         // The file prefix before segments: magic + header + header crc.
-        let header_len = 8 + 12 + 4;
+        let header_len = 8 + 20 + 4;
         for len in header_len..bytes.len() {
             let cut = Mutation::Truncate { len }.apply(&bytes);
             let back = read_journal(cut.as_slice()).unwrap();
@@ -377,6 +436,7 @@ mod tests {
         let header = JournalHeader {
             fingerprint: 1,
             start_offset: 0,
+            epoch: 1,
         };
         let mut w = SegmentWriter::create(&mut bytes, &header).unwrap();
         w.append(1, b"x").unwrap();
@@ -395,6 +455,7 @@ mod tests {
         let header = JournalHeader {
             fingerprint: 1,
             start_offset: 0,
+            epoch: 1,
         };
         let mut w = SegmentWriter::create(&mut bytes, &header).unwrap();
         let big = vec![0u8; MAX_SEGMENT_BYTES + 1];
